@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_*.py`` here regenerates one of the paper's artifacts (a
+Table 1 column, a theorem verification, a lemma audit) through the
+experiment harness, asserting the paper-vs-measured comparison passes,
+and additionally benchmarks the simulation kernels the experiment rests
+on. Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import torus_graph
+from repro.model.placement import all_on_one_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+
+
+@pytest.fixture
+def torus36():
+    return torus_graph(6)
+
+
+@pytest.fixture
+def skewed_state_torus36(torus36):
+    n = torus36.num_vertices
+    return UniformState(all_on_one_placement(n, 8 * n * n), uniform_speeds(n))
+
+
+def run_quick(experiment_id: str):
+    """Run one experiment in quick mode and assert its verdict."""
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(experiment_id, quick=True)
+    assert result.passed, f"{experiment_id} failed: {result.notes}"
+    return result

@@ -1,0 +1,49 @@
+"""Bench: selfish protocol vs diffusion baselines (experiment ``baselines``).
+
+Regenerates the rounds-to-balance comparison across the four dynamics
+and benchmarks the per-round kernels of the diffusion schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_quick
+from repro.diffusion.continuous import ContinuousDiffusion
+from repro.diffusion.discrete import RandomizedRoundingProtocol, RoundedFlowProtocol
+from repro.graphs.generators import torus_graph
+from repro.model.placement import all_on_one_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+
+
+def test_baselines_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_quick("baselines"), rounds=1, iterations=1)
+    schemes = result.data["rows"][0]["schemes"]
+    benchmark.extra_info["rounds_to_balance"] = {
+        name: value.get("rounds") for name, value in schemes.items()
+    }
+
+
+def test_continuous_diffusion_kernel(benchmark, torus36):
+    speeds = uniform_speeds(torus36.num_vertices)
+    scheme = ContinuousDiffusion(torus36, speeds)
+    weights = np.zeros(torus36.num_vertices)
+    weights[0] = 10_000.0
+    benchmark(lambda: scheme.step(weights))
+
+
+def test_randomized_rounding_kernel(benchmark, torus36):
+    n = torus36.num_vertices
+    state = UniformState(all_on_one_placement(n, 8 * n * n), uniform_speeds(n))
+    protocol = RandomizedRoundingProtocol()
+    rng = np.random.default_rng(2)
+    benchmark(lambda: protocol.execute_round(state, torus36, rng))
+
+
+def test_rounded_flow_kernel(benchmark, torus36):
+    n = torus36.num_vertices
+    state = UniformState(all_on_one_placement(n, 8 * n * n), uniform_speeds(n))
+    protocol = RoundedFlowProtocol()
+    rng = np.random.default_rng(2)
+    benchmark(lambda: protocol.execute_round(state, torus36, rng))

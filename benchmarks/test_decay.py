@@ -1,0 +1,49 @@
+"""Bench: geometric decay of E[Psi_0] (experiment ``decay``).
+
+Lemmas 3.13-3.15: the averaged potential trace must decay at least at
+the ``(1 - 1/gamma)`` rate while super-critical. Benchmarks the traced
+simulation run that produces one decay curve.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_quick
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.simulator import run_protocol
+from repro.core.trace import RecordingOptions
+from repro.graphs.generators import torus_graph
+from repro.model.placement import all_on_one_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+
+
+def test_decay_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_quick("decay"), rounds=1, iterations=1)
+    benchmark.extra_info["rates"] = [
+        {
+            "graph": row["family"],
+            "measured": round(row["measured_rate"], 5),
+            "bound": round(row["bound_rate"], 5),
+        }
+        for row in result.data["rows"]
+    ]
+
+
+def test_traced_run_kernel(benchmark):
+    """One 200-round traced run (Psi_0 recorded every round)."""
+    graph = torus_graph(4)
+    n = graph.num_vertices
+
+    def run():
+        state = UniformState(all_on_one_placement(n, 8 * n * n), uniform_speeds(n))
+        return run_protocol(
+            graph,
+            SelfishUniformProtocol(),
+            state,
+            max_rounds=200,
+            seed=4,
+            recording=RecordingOptions(psi0=True, moves=False),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.trace) == 201

@@ -1,0 +1,38 @@
+"""Bench: drop lemmas 3.10 / 3.22 and the alpha ablation
+(experiment ``potential-drop``).
+
+Also benchmarks the closed-form conditional-expectation kernel that the
+lemma audits rely on (exact ``E[Psi_0(X_{t+1}) | X_t]`` in ``O(E)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_quick
+from repro.core.drops import expected_psi0_after_round
+from repro.graphs.generators import torus_graph
+from repro.model.placement import random_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+
+
+def test_potential_drop_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_quick("potential-drop"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["lemma310_min_margin"] = {
+        key: round(value["min_margin"], 4)
+        for key, value in result.data["lemma310"].items()
+    }
+    benchmark.extra_info["alpha_ablation"] = {
+        key: round(value["final_ratio"], 3)
+        for key, value in result.data["alpha_ablation"].items()
+    }
+
+
+def test_expected_drop_kernel(benchmark, torus36):
+    """Exact E[Psi_0 after one round] on a 36-node torus."""
+    n = torus36.num_vertices
+    state = UniformState(random_placement(n, 40 * n, seed=3), uniform_speeds(n))
+    benchmark(lambda: expected_psi0_after_round(state, torus36))

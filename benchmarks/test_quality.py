@@ -1,0 +1,41 @@
+"""Bench: equilibrium quality (experiment ``equilibrium-quality``).
+
+Price-of-anarchy estimates of the reached Nash equilibria plus kernel
+benchmarks for the LPT comparator and the quality report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_quick
+from repro.core.quality import lpt_makespan, quality_report
+from repro.model.placement import random_placement
+from repro.model.speeds import linear_speeds
+from repro.model.state import UniformState
+from repro.model.tasks import random_weights
+
+
+def test_equilibrium_quality_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_quick("equilibrium-quality"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["poa"] = {
+        f"{row['family']}/{row['speeds']}": round(row["poa_estimate"], 4)
+        for row in result.data["rows"]
+    }
+
+
+def test_lpt_kernel(benchmark):
+    """LPT schedule of 5000 weighted tasks on 32 related machines."""
+    weights = random_weights(5000, 0.1, 1.0, seed=1)
+    speeds = linear_speeds(32, 4.0)
+    value = benchmark.pedantic(
+        lambda: lpt_makespan(weights, speeds), rounds=1, iterations=1
+    )
+    assert value > 0
+
+
+def test_quality_report_kernel(benchmark):
+    state = UniformState(random_placement(64, 6400, seed=2), linear_speeds(64, 3.0))
+    benchmark(lambda: quality_report(state))

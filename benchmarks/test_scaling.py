@@ -1,0 +1,43 @@
+"""Bench: per-round kernel cost scaling with network size.
+
+Not a paper artifact — a performance-regression harness for the core
+sampler: round cost should grow linearly in ``|E|`` (tori) and stay flat
+in the number of tasks ``m`` (counts-based sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocols import SelfishUniformProtocol
+from repro.graphs.generators import torus_graph
+from repro.model.placement import random_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+
+
+@pytest.mark.parametrize("side", [4, 8, 16, 32])
+def test_round_cost_vs_network_size(benchmark, side):
+    """Algorithm 1 round cost on a side^2 torus (m = 8 n^2)."""
+    graph = torus_graph(side)
+    n = graph.num_vertices
+    state = UniformState(random_placement(n, 8 * n * n, seed=1), uniform_speeds(n))
+    protocol = SelfishUniformProtocol()
+    rng = np.random.default_rng(0)
+    benchmark(lambda: protocol.execute_round(state, graph, rng))
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["edges"] = graph.num_edges
+
+
+@pytest.mark.parametrize("m_exponent", [3, 5, 7, 9])
+def test_round_cost_vs_task_count(benchmark, m_exponent):
+    """Round cost must be (near) independent of m: counts, not tasks."""
+    graph = torus_graph(6)
+    n = graph.num_vertices
+    m = 10**m_exponent
+    state = UniformState(random_placement(n, m, seed=2), uniform_speeds(n))
+    protocol = SelfishUniformProtocol()
+    rng = np.random.default_rng(0)
+    benchmark(lambda: protocol.execute_round(state, graph, rng))
+    benchmark.extra_info["m"] = m

@@ -1,0 +1,42 @@
+"""Bench: Appendix A spectral bounds (experiment ``spectral-bounds``).
+
+Closed-form lambda_2 checks, Cheeger sandwich, interlacing for
+``L S^{-1}``. Benchmarks the eigensolves that every bound evaluation
+depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_quick
+from repro.graphs.generators import torus_graph
+from repro.model.speeds import linear_speeds
+from repro.spectral.eigen import algebraic_connectivity, generalized_lambda2
+
+
+def test_spectral_bounds_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_quick("spectral-bounds"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["lambda2"] = {
+        family: round(value["numeric"], 5)
+        for family, value in result.data["closed_forms"].items()
+    }
+
+
+def test_lambda2_kernel(benchmark):
+    """Dense lambda_2 of a 400-node torus."""
+    graph = torus_graph(20)
+    value = benchmark(lambda: algebraic_connectivity(graph))
+    expected = 2.0 - 2.0 * np.cos(2.0 * np.pi / 20)
+    assert abs(value - expected) < 1e-9
+
+
+def test_generalized_lambda2_kernel(benchmark):
+    """mu_2 of L S^{-1} for a 225-node torus with linear speeds."""
+    graph = torus_graph(15)
+    speeds = linear_speeds(graph.num_vertices, 4.0)
+    value = benchmark(lambda: generalized_lambda2(graph, speeds))
+    lambda2 = algebraic_connectivity(graph)
+    assert lambda2 / 4.0 - 1e-9 <= value <= lambda2 + 1e-9

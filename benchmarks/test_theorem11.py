@@ -1,0 +1,54 @@
+"""Bench: Theorem 1.1 verification (experiment ``thm11``).
+
+Measured hitting times of ``Psi_0 <= 4 psi_c`` vs the explicit ``2T``
+bound, plus the approximate-NE property at the Lemma 3.17 task-count
+threshold. Also benchmarks one full convergence run at that scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_quick
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.simulator import run_protocol
+from repro.core.stopping import PotentialThresholdStop
+from repro.graphs.generators import torus_graph
+from repro.model.placement import all_on_one_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.constants import psi_critical
+
+
+def test_theorem11_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_quick("thm11"), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {"graph": row["family"], "T": row["median_rounds"], "bound": round(row["bound"])}
+        for row in result.data["rows"]
+    ]
+
+
+def test_convergence_run_at_threshold_scale(benchmark):
+    """One run to Psi_0 <= 4 psi_c at the Lemma 3.17 m threshold (n=9)."""
+    graph = torus_graph(3)
+    n = graph.num_vertices
+    m = 16 * n**3  # 8 * delta * s_max * S * n^2 with delta=2, uniform speeds
+    lambda2 = algebraic_connectivity(graph)
+    threshold = 4.0 * psi_critical(n, graph.max_degree, lambda2, 1.0)
+
+    def run():
+        state = UniformState(all_on_one_placement(n, m), uniform_speeds(n))
+        result = run_protocol(
+            graph,
+            SelfishUniformProtocol(),
+            state,
+            stopping=PotentialThresholdStop(threshold, "psi0"),
+            max_rounds=100_000,
+            seed=1,
+        )
+        assert result.converged
+        return result.stop_round
+
+    rounds = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["stop_round"] = rounds

@@ -1,0 +1,55 @@
+"""Bench: Theorem 1.2 verification (experiment ``thm12``).
+
+Exact-NE hitting times with integer / granular speeds vs the explicit
+607-constant bound, plus a kernel benchmark of the endgame (runs with
+``alpha = 4 s_max / eps``).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_quick
+from repro.core.flows import default_alpha
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.simulator import run_protocol
+from repro.core.stopping import NashStop
+from repro.graphs.generators import cycle_graph
+from repro.model.placement import adversarial_placement
+from repro.model.speeds import granular_speeds, speed_granularity
+from repro.model.state import UniformState
+
+
+def test_theorem12_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_quick("thm12"), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {
+            "graph": row["family"],
+            "eps": row["granularity"],
+            "T": row["median_rounds"],
+            "bound": round(row["bound"]),
+        }
+        for row in result.data["rows"]
+    ]
+
+
+def test_endgame_run_granular_speeds(benchmark):
+    """Full run to the exact NE on a ring with eps = 0.5 speeds."""
+    graph = cycle_graph(8)
+    speeds = granular_speeds(8, 2.0, 0.5, seed=7)
+    granularity = speed_granularity(speeds)
+    alpha = default_alpha(float(speeds.max()), granularity)
+
+    def run():
+        state = UniformState(adversarial_placement(speeds, 64), speeds)
+        result = run_protocol(
+            graph,
+            SelfishUniformProtocol(alpha=alpha),
+            state,
+            stopping=NashStop(),
+            max_rounds=500_000,
+            seed=3,
+        )
+        assert result.converged
+        return result.stop_round
+
+    rounds = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["stop_round"] = rounds

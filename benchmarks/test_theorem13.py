@@ -1,0 +1,45 @@
+"""Bench: Theorem 1.3 verification (experiment ``thm13``).
+
+Weighted tasks: hitting times of ``Psi_0 <= 4 psi_c`` (weighted critical
+value) plus the approximate-NE property above the total-weight
+threshold. Benchmarks the weighted round kernel, whose cost is
+``O(m)`` per round rather than ``O(E)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_quick
+from repro.core.protocols import SelfishWeightedProtocol
+from repro.graphs.generators import cycle_graph
+from repro.model.placement import place_weighted_all_on_one
+from repro.model.speeds import uniform_speeds
+from repro.model.state import WeightedState
+from repro.model.tasks import random_weights
+
+
+def test_theorem13_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_quick("thm13"), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {
+            "graph": row["family"],
+            "m": row["m"],
+            "T": row["median_rounds"],
+            "bound": round(row["bound"]),
+        }
+        for row in result.data["rows"]
+    ]
+
+
+def test_weighted_round_kernel(benchmark):
+    """Per-round cost of Algorithm 2 with m = 20000 weighted tasks."""
+    graph = cycle_graph(16)
+    m = 20_000
+    weights = random_weights(m, 0.5, 1.0, seed=5)
+    state = WeightedState(
+        place_weighted_all_on_one(m, 0), weights, uniform_speeds(16)
+    )
+    protocol = SelfishWeightedProtocol()
+    rng = np.random.default_rng(1)
+    benchmark(lambda: protocol.execute_round(state, graph, rng))

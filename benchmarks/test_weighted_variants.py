@@ -1,0 +1,40 @@
+"""Bench: Algorithm 2 rules vs the [6] per-task condition
+(experiment ``weighted-variants``).
+
+Regenerates the Section 4 ablation (convergence + post-convergence
+churn) and benchmarks the per-task baseline's round kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_quick
+from repro.core.protocols import PerTaskThresholdProtocol
+from repro.graphs.generators import cycle_graph
+from repro.model.placement import place_weighted_all_on_one
+from repro.model.speeds import two_class_speeds
+from repro.model.state import WeightedState
+from repro.model.tasks import two_class_weights
+
+
+def test_weighted_variants_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_quick("weighted-variants"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["churn_per_round"] = {
+        name: round(value["churn_per_round"], 3)
+        for name, value in result.data["rows"].items()
+    }
+
+
+def test_per_task_round_kernel(benchmark):
+    """Per-round cost of the [6]-style baseline with 10000 mixed tasks."""
+    graph = cycle_graph(16)
+    m = 10_000
+    weights = two_class_weights(m, heavy_fraction=0.1, heavy=1.0, light=0.1)
+    speeds = two_class_speeds(16, fast_fraction=0.25, fast_speed=2.0)
+    state = WeightedState(place_weighted_all_on_one(m, 0), weights, speeds)
+    protocol = PerTaskThresholdProtocol()
+    rng = np.random.default_rng(3)
+    benchmark(lambda: protocol.execute_round(state, graph, rng))

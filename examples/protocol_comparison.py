@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Selfish protocol versus diffusion baselines on one workload.
+
+Runs four balancing dynamics from the same adversarial start (all tasks
+on one node of a 6x6 torus) and reports when each reaches the balanced
+region ``Psi_0 <= 4 psi_c`` from Theorem 1.1:
+
+* Algorithm 1 (selfish, randomized, needs no coordination);
+* randomized-rounding discrete diffusion [20] (coordinated);
+* rounded-expected-flow discrete diffusion [2] (deterministic; stalls at
+  a bounded discrepancy once flows floor to zero);
+* continuous diffusion (real-valued idealization).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.theory import psi_critical
+
+
+def main() -> None:
+    graph = repro.torus_graph(6)
+    n = graph.num_vertices
+    speeds = repro.uniform_speeds(n)
+    m = 8 * n * n
+
+    lambda2 = repro.algebraic_connectivity(graph)
+    threshold = 4.0 * psi_critical(n, graph.max_degree, lambda2, 1.0)
+    initial = repro.all_on_one_placement(n, m)
+    print(f"network: {graph.name};  m={m};  target Psi_0 <= {threshold:.0f}\n")
+
+    schemes = [
+        ("selfish (Algorithm 1)", repro.SelfishUniformProtocol()),
+        ("randomized rounding [20]", repro.RandomizedRoundingProtocol()),
+        ("rounded flow [2]", repro.RoundedFlowProtocol()),
+    ]
+    for name, protocol in schemes:
+        state = repro.UniformState(initial.copy(), speeds)
+        result = repro.run_protocol(
+            graph, protocol, state,
+            stopping=repro.PotentialThresholdStop(threshold, "psi0"),
+            max_rounds=20_000, seed=5,
+        )
+        rounds = result.stop_round if result.converged else None
+        print(f"{name:<26} rounds to target: "
+              f"{rounds if rounds is not None else 'stalled':>8}   "
+              f"final L_delta = {repro.max_load_difference(state):6.2f}")
+
+    # Continuous diffusion on real-valued weights.
+    diffusion = repro.ContinuousDiffusion(graph, speeds)
+    weights = initial.astype(float)
+    target = weights.sum() / speeds.sum() * speeds
+    hit = None
+    for round_index in range(20_001):
+        deviation = weights - target
+        if float(np.sum(deviation**2 / speeds)) <= threshold:
+            hit = round_index
+            break
+        weights = diffusion.step(weights)
+    print(f"{'continuous diffusion':<26} rounds to target: {hit:>8}   "
+          f"(idealized reference)")
+
+    print("\nThe selfish protocol needs no coordination or global "
+          "information, yet tracks\nthe diffusion schemes — its expected "
+          "motion is exactly damped diffusion.")
+
+
+if __name__ == "__main__":
+    main()

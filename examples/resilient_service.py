@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Self-stabilizing service: surviving flash crowds and churn.
+
+Scenario: a 36-machine service (6x6 torus) balanced by selfish request
+migration. Operations throws two kinds of trouble at it:
+
+1. a *flash crowd* — half of all requests suddenly pile onto one
+   machine (a viral endpoint);
+2. steady *churn* — requests arrive and complete continuously.
+
+Because the protocol is memoryless (migration probabilities depend only
+on current loads), the Theorem 1.1 convergence guarantee restarts from
+any state: recovery from a shock is as fast as fresh convergence, and
+under churn the imbalance stays pinned in a narrow band.
+
+Run:  python examples/resilient_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.theory import psi_critical
+
+
+def main() -> None:
+    graph = repro.torus_graph(6)
+    n = graph.num_vertices
+    speeds = repro.uniform_speeds(n)
+    m = 8 * n * n
+
+    lambda2 = repro.algebraic_connectivity(graph)
+    threshold = 4.0 * psi_critical(n, graph.max_degree, lambda2, 1.0)
+    protocol = repro.SelfishUniformProtocol()
+    rng = np.random.default_rng(2012)
+
+    state = repro.UniformState(repro.random_placement(n, m, rng), speeds)
+    simulator = repro.Simulator(graph, protocol, rng)
+    stop = repro.PotentialThresholdStop(threshold, "psi0")
+
+    result = simulator.run(state, stopping=stop, max_rounds=50_000)
+    print(f"service of {n} machines, {m} requests")
+    print(f"initially balanced after {result.stop_round} rounds "
+          f"(Psi_0 <= {threshold:.0f})\n")
+
+    # --- flash crowds -------------------------------------------------
+    for event in range(1, 4):
+        moved = repro.shock_to_node(state, 0.5, 0, rng)
+        spike = repro.psi0_potential(state)
+        recovery = simulator.run(state, stopping=stop, max_rounds=50_000)
+        print(f"flash crowd {event}: {moved} requests hit machine 0 "
+              f"(Psi_0 -> {spike:.0f}); rebalanced in "
+              f"{recovery.stop_round} rounds")
+
+    # --- steady churn -------------------------------------------------
+    churn = repro.PoissonChurn(rate=10.0, seed=7)
+    band = []
+    for _ in range(500):
+        churn.apply(state)
+        protocol.execute_round(state, graph, rng)
+        band.append(repro.psi0_potential(state))
+    band_array = np.asarray(band[100:])
+    print(f"\nunder churn (Poisson(10) in/out per round, 400 rounds):")
+    print(f"  median Psi_0 = {np.median(band_array):.0f}, "
+          f"p95 = {np.quantile(band_array, 0.95):.0f} "
+          f"(threshold {threshold:.0f})")
+    print(f"  final load spread: {repro.load_discrepancy(state):.1f} "
+          f"(avg load {state.average_load:.1f})")
+    print("\nThe protocol needs no reconfiguration after any of it — "
+          "balance is an attractor.")
+
+
+if __name__ == "__main__":
+    main()

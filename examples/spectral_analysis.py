@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Spectral analysis: what lambda_2 predicts about convergence.
+
+The paper's central insight is that the convergence time of selfish
+neighbourhood load balancing is governed by ``Delta / lambda_2`` — the
+maximum degree over the algebraic connectivity. This script computes the
+spectral quantities for every Table 1 family at the same size, prints
+the predicted convergence bounds, and then validates the prediction
+order with actual simulations.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.theory import gamma_factor, psi_critical
+from repro.utils.tables import Table, format_float
+
+
+def main() -> None:
+    size = 16
+    m = 8 * size * size
+    families = ["complete", "ring", "path", "mesh", "torus", "hypercube"]
+
+    table = Table(
+        headers=[
+            "family",
+            "n",
+            "Delta",
+            "lambda2",
+            "Delta/lambda2",
+            "gamma",
+            "Thm 1.1 bound",
+            "measured T",
+        ],
+        title=f"Spectral quantities and convergence at n~{size}, m={m}",
+    )
+    measured_by_family = {}
+    for family_name in families:
+        family = repro.get_family(family_name)
+        graph = family.make(size)
+        n = graph.num_vertices
+        lambda2 = repro.algebraic_connectivity(graph)
+        quantities = repro.graph_quantities(graph)
+        gamma = gamma_factor(graph.max_degree, lambda2, 1.0)
+        bound = repro.theorem11_round_bound(quantities, m, 1.0)
+        threshold = 4.0 * psi_critical(n, graph.max_degree, lambda2, 1.0)
+
+        speeds = repro.uniform_speeds(n)
+        state = repro.UniformState(repro.all_on_one_placement(n, m), speeds)
+        result = repro.run_protocol(
+            graph, repro.SelfishUniformProtocol(), state,
+            stopping=repro.PotentialThresholdStop(threshold, "psi0"),
+            max_rounds=int(2 * bound) + 10, seed=3,
+        )
+        measured = result.stop_round if result.converged else float("nan")
+        measured_by_family[family_name] = measured
+        table.add_row(
+            [
+                family_name,
+                n,
+                graph.max_degree,
+                format_float(lambda2, 4),
+                format_float(graph.max_degree / lambda2, 2),
+                format_float(gamma, 1),
+                format_float(bound, 0),
+                measured,
+            ]
+        )
+    print(table.render())
+
+    order_by_prediction = sorted(
+        families,
+        key=lambda name: repro.get_family(name).make(size).max_degree
+        / repro.algebraic_connectivity(repro.get_family(name).make(size)),
+    )
+    order_by_measurement = sorted(families, key=lambda f: measured_by_family[f])
+    print("\npredicted order (fastest first):", " < ".join(order_by_prediction))
+    print("measured  order (fastest first):", " < ".join(order_by_measurement))
+    print("\nWell-connected graphs (high lambda_2) balance in a handful of "
+          "rounds; the ring/path\n(lambda_2 ~ 1/n^2) pay the predicted "
+          "quadratic penalty.")
+
+
+if __name__ == "__main__":
+    main()

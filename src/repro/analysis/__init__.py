@@ -1,0 +1,31 @@
+"""Measurement analysis: scaling fits, statistics, convergence extraction."""
+
+from repro.analysis.fitting import (
+    PowerLawFit,
+    fit_power_law,
+    fit_exponential_decay,
+    exponent_consistent,
+)
+from repro.analysis.statistics import (
+    SampleSummary,
+    summarize,
+    bootstrap_ci,
+    geometric_mean,
+)
+from repro.analysis.convergence import (
+    ConvergenceMeasurement,
+    measure_convergence_rounds,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_exponential_decay",
+    "exponent_consistent",
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "geometric_mean",
+    "ConvergenceMeasurement",
+    "measure_convergence_rounds",
+]

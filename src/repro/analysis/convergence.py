@@ -1,0 +1,107 @@
+"""Convergence-time measurement over independent repetitions.
+
+This is the measurement engine the experiments share: run a protocol from
+freshly generated initial states until a stopping rule fires, across
+``repetitions`` independent seeds, and summarize the first-hitting
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.statistics import SampleSummary, summarize
+from repro.core.protocols import Protocol
+from repro.core.simulator import Simulator
+from repro.core.stopping import StoppingRule
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase
+from repro.types import SeedLike
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["ConvergenceMeasurement", "measure_convergence_rounds"]
+
+
+@dataclass(frozen=True)
+class ConvergenceMeasurement:
+    """Convergence rounds across repetitions.
+
+    Attributes
+    ----------
+    rounds:
+        First-hitting round per converged repetition.
+    num_repetitions:
+        Total repetitions attempted.
+    num_converged:
+        How many hit the target within the budget.
+    summary:
+        Statistics over the converged repetitions (``None`` if none
+        converged).
+    """
+
+    rounds: np.ndarray
+    num_repetitions: int
+    num_converged: int
+    summary: SampleSummary | None
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every repetition reached the target."""
+        return self.num_converged == self.num_repetitions
+
+    @property
+    def median_rounds(self) -> float:
+        """Median first-hitting round (NaN when nothing converged)."""
+        if self.summary is None:
+            return float("nan")
+        return self.summary.median
+
+    @property
+    def mean_rounds(self) -> float:
+        """Mean first-hitting round (NaN when nothing converged)."""
+        if self.summary is None:
+            return float("nan")
+        return self.summary.mean
+
+
+def measure_convergence_rounds(
+    graph: Graph,
+    protocol: Protocol,
+    state_factory: Callable[[np.random.Generator], LoadStateBase],
+    stopping: StoppingRule,
+    repetitions: int,
+    max_rounds: int,
+    seed: SeedLike = None,
+    check_every: int = 1,
+) -> ConvergenceMeasurement:
+    """Measure first-hitting rounds of ``stopping`` over repetitions.
+
+    Parameters
+    ----------
+    state_factory:
+        Called once per repetition with that repetition's generator;
+        must return a fresh initial state (it will be mutated).
+    """
+    if repetitions < 1:
+        raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
+    generators = spawn_rngs(seed, repetitions)
+    hits: list[int] = []
+    for rng in generators:
+        state = state_factory(rng)
+        simulator = Simulator(graph, protocol, rng)
+        result = simulator.run(
+            state, stopping=stopping, max_rounds=max_rounds, check_every=check_every
+        )
+        if result.converged and result.stop_round is not None:
+            hits.append(result.stop_round)
+    rounds = np.asarray(hits, dtype=np.int64)
+    return ConvergenceMeasurement(
+        rounds=rounds,
+        num_repetitions=repetitions,
+        num_converged=int(rounds.shape[0]),
+        summary=summarize(rounds.astype(np.float64)) if rounds.shape[0] else None,
+    )

@@ -1,0 +1,110 @@
+"""Scaling-law fitting for convergence-time sweeps.
+
+The Table 1 experiment measures convergence rounds ``T(n)`` over a sweep
+of graph sizes and fits ``T ~ c * n^a`` by least squares in log-log
+space. The fitted exponent ``a`` is compared against the polynomial order
+of the paper's bound (measured exponents should not exceed the bound's
+exponent beyond statistical slack).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_array_1d
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_exponential_decay",
+    "exponent_consistent",
+]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = prefactor * x^exponent``.
+
+    Attributes
+    ----------
+    exponent:
+        Fitted power ``a``.
+    prefactor:
+        Fitted constant ``c``.
+    r_squared:
+        Coefficient of determination in log-log space.
+    num_points:
+        Number of (x, y) pairs used.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+    num_points: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(x: object, y: object) -> PowerLawFit:
+    """Fit ``y ~ c * x^a`` by linear regression of ``log y`` on ``log x``.
+
+    Requires at least two distinct positive ``x`` values and positive
+    ``y`` values.
+    """
+    x_array = check_array_1d(x, "x")
+    y_array = check_array_1d(y, "y", length=x_array.shape[0])
+    if x_array.shape[0] < 2:
+        raise ValidationError("power-law fit needs at least two points")
+    if np.any(x_array <= 0) or np.any(y_array <= 0):
+        raise ValidationError("power-law fit needs positive x and y")
+    if np.unique(x_array).shape[0] < 2:
+        raise ValidationError("power-law fit needs at least two distinct x values")
+    log_x = np.log(x_array)
+    log_y = np.log(y_array)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = log_y - predicted
+    total = log_y - log_y.mean()
+    denominator = float(np.dot(total, total))
+    r_squared = 1.0 - float(np.dot(residual, residual)) / denominator if denominator > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(math.exp(intercept)),
+        r_squared=r_squared,
+        num_points=int(x_array.shape[0]),
+    )
+
+
+def fit_exponential_decay(t: object, y: object) -> float:
+    """Fit ``y ~ y0 * rho^t`` and return the per-step factor ``rho``.
+
+    Used on ``E[Psi_0]`` traces to estimate the geometric decay rate that
+    Lemma 3.13 predicts to be at most ``1 - 1/gamma``.
+    """
+    t_array = check_array_1d(t, "t")
+    y_array = check_array_1d(y, "y", length=t_array.shape[0])
+    positive = y_array > 0
+    if np.count_nonzero(positive) < 2:
+        raise ValidationError("decay fit needs at least two positive samples")
+    slope = np.polyfit(t_array[positive], np.log(y_array[positive]), 1)[0]
+    return float(math.exp(slope))
+
+
+def exponent_consistent(
+    fit: PowerLawFit, bound_exponent: float, slack: float = 0.4
+) -> bool:
+    """Whether a measured exponent respects an upper-bound exponent.
+
+    The bound is an upper bound, so the fit passes when
+    ``fit.exponent <= bound_exponent + slack``. The slack absorbs polylog
+    factors and finite-size effects in small sweeps.
+    """
+    if slack < 0:
+        raise ValidationError(f"slack must be >= 0, got {slack}")
+    return fit.exponent <= bound_exponent + slack

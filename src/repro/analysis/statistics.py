@@ -1,0 +1,95 @@
+"""Summary statistics for repeated measurements.
+
+Convergence times over independent repetitions are summarized with mean,
+median and a normal-approximation confidence interval; a bootstrap CI is
+available for small or skewed samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import SeedLike
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_array_1d
+
+__all__ = ["SampleSummary", "summarize", "bootstrap_ci", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean / median / spread of a sample.
+
+    Attributes
+    ----------
+    count, mean, std, median, minimum, maximum:
+        The usual summary statistics.
+    ci_low, ci_high:
+        ~95% normal-approximation confidence interval for the mean
+        (collapses to the mean for a single observation).
+    """
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+
+def summarize(values: object) -> SampleSummary:
+    """Compute a :class:`SampleSummary` for a non-empty sample."""
+    array = check_array_1d(values, "values")
+    if array.shape[0] == 0:
+        raise ValidationError("cannot summarize an empty sample")
+    mean = float(array.mean())
+    std = float(array.std(ddof=1)) if array.shape[0] > 1 else 0.0
+    half_width = 1.96 * std / math.sqrt(array.shape[0]) if array.shape[0] > 1 else 0.0
+    return SampleSummary(
+        count=int(array.shape[0]),
+        mean=mean,
+        std=std,
+        median=float(np.median(array)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def bootstrap_ci(
+    values: object,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    array = check_array_1d(values, "values")
+    if array.shape[0] == 0:
+        raise ValidationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(f"confidence must lie in (0, 1), got {confidence}")
+    rng = make_rng(seed)
+    indices = rng.integers(0, array.shape[0], size=(num_resamples, array.shape[0]))
+    means = array[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, tail)),
+        float(np.quantile(means, 1.0 - tail)),
+    )
+
+
+def geometric_mean(values: object) -> float:
+    """Geometric mean of a positive sample."""
+    array = check_array_1d(values, "values")
+    if array.shape[0] == 0:
+        raise ValidationError("cannot average an empty sample")
+    if np.any(array <= 0):
+        raise ValidationError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(array))))

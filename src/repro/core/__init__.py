@@ -1,0 +1,135 @@
+"""Core contribution: the selfish load-balancing protocols and their analysis.
+
+* :mod:`repro.core.potentials` — the potential functions
+  ``Phi_0, Phi_1, Psi_0, Psi_1`` and ``L_Delta`` (Definitions 3.2–3.4,
+  3.19).
+* :mod:`repro.core.equilibrium` — Nash / approximate-Nash predicates and
+  blocking-edge diagnostics (Section 2 definitions).
+* :mod:`repro.core.flows` — expected flows ``f_ij`` and per-edge migration
+  probabilities (Definitions 3.1 and 4.1).
+* :mod:`repro.core.protocols` — Algorithm 1 (uniform tasks), Algorithm 2
+  (weighted tasks, flow rule and literal pseudo-code rule) and the
+  reconstructed per-task-weight rule of [6] as a baseline.
+* :mod:`repro.core.simulator` — the round loop with stopping rules and
+  trace recording.
+* :mod:`repro.core.drops` — closed-form conditional expectations
+  ``E[Psi_r(X_{t+1}) | X_t]`` used to verify the drop lemmas exactly.
+"""
+
+from repro.core.potentials import (
+    phi_potential,
+    psi0_potential,
+    psi1_potential,
+    max_load_difference,
+    potential_summary,
+    PotentialSummary,
+)
+from repro.core.equilibrium import (
+    is_nash,
+    is_epsilon_nash,
+    is_weighted_exact_nash,
+    blocking_edges,
+    max_improvement_incentive,
+    equilibrium_report,
+    EquilibriumReport,
+)
+from repro.core.flows import (
+    default_alpha,
+    expected_flows,
+    migration_probabilities,
+    flow_matrix,
+)
+from repro.core.protocols import (
+    Protocol,
+    RoundSummary,
+    SelfishUniformProtocol,
+    SelfishWeightedProtocol,
+    PerTaskThresholdProtocol,
+)
+from repro.core.simulator import Simulator, SimulationResult, run_protocol
+from repro.core.stopping import (
+    StoppingRule,
+    NashStop,
+    EpsilonNashStop,
+    PotentialThresholdStop,
+    WeightedExactNashStop,
+    AnyStop,
+    NeverStop,
+)
+from repro.core.trace import Trace, TraceRecorder, RecordingOptions
+from repro.core.drops import (
+    expected_psi0_after_round,
+    expected_psi1_after_round,
+    expected_potential_drop,
+)
+from repro.core.quality import (
+    makespan,
+    load_discrepancy,
+    optimal_makespan_lower_bound,
+    lpt_makespan,
+    QualityReport,
+    quality_report,
+    price_of_anarchy_estimate,
+)
+from repro.core.sequential import SequentialBestResponse
+from repro.core.reference import ReferenceUniformProtocol
+from repro.core.game import (
+    unit_move_phi1_delta,
+    weighted_move_phi1_delta,
+    is_improvement_move,
+    best_response_target,
+)
+
+__all__ = [
+    "phi_potential",
+    "psi0_potential",
+    "psi1_potential",
+    "max_load_difference",
+    "potential_summary",
+    "PotentialSummary",
+    "is_nash",
+    "is_epsilon_nash",
+    "is_weighted_exact_nash",
+    "blocking_edges",
+    "max_improvement_incentive",
+    "equilibrium_report",
+    "EquilibriumReport",
+    "default_alpha",
+    "expected_flows",
+    "migration_probabilities",
+    "flow_matrix",
+    "Protocol",
+    "RoundSummary",
+    "SelfishUniformProtocol",
+    "SelfishWeightedProtocol",
+    "PerTaskThresholdProtocol",
+    "Simulator",
+    "SimulationResult",
+    "run_protocol",
+    "StoppingRule",
+    "NashStop",
+    "EpsilonNashStop",
+    "PotentialThresholdStop",
+    "WeightedExactNashStop",
+    "AnyStop",
+    "NeverStop",
+    "Trace",
+    "TraceRecorder",
+    "RecordingOptions",
+    "expected_psi0_after_round",
+    "expected_psi1_after_round",
+    "expected_potential_drop",
+    "makespan",
+    "load_discrepancy",
+    "optimal_makespan_lower_bound",
+    "lpt_makespan",
+    "QualityReport",
+    "quality_report",
+    "price_of_anarchy_estimate",
+    "SequentialBestResponse",
+    "ReferenceUniformProtocol",
+    "unit_move_phi1_delta",
+    "weighted_move_phi1_delta",
+    "is_improvement_move",
+    "best_response_target",
+]

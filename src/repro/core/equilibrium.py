@@ -1,0 +1,182 @@
+"""Nash-equilibrium predicates and diagnostics.
+
+Paper Section 2: a state is a **Nash equilibrium** when no single task can
+improve its perceived load by migrating to a neighbour; for unit
+granularity this is ``l_i - l_j <= 1/s_j`` over all edges. It is an
+**eps-approximate NE** when no task can improve by a factor ``(1 - eps)``:
+``(1 - eps) l_i - l_j <= 1/s_j``.
+
+For *weighted* tasks the exact-NE condition is per-task
+(``l_i - l_j <= w_l / s_j`` for every task ``l`` on ``i``), which is
+equivalent to checking the **lightest** task on each node. Algorithm 2
+only guarantees the threshold condition ``l_i - l_j <= 1/s_j``, which the
+paper shows is an eps-approximate NE for large total weight.
+
+Directed convention: an edge ``(i, j)`` is *blocking* when a task on ``i``
+wants to move to ``j``. All predicates accept a numerical ``tolerance`` to
+absorb floating-point noise in weighted loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase, WeightedState
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "is_nash",
+    "is_epsilon_nash",
+    "is_weighted_exact_nash",
+    "blocking_edges",
+    "max_improvement_incentive",
+    "EquilibriumReport",
+    "equilibrium_report",
+]
+
+#: Default absolute tolerance for load comparisons.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def _directed_views(graph: Graph) -> tuple[IntArray, IntArray]:
+    """Both orientations of every edge: (sources, targets)."""
+    u, v = graph.edges_u, graph.edges_v
+    return np.concatenate([u, v]), np.concatenate([v, u])
+
+
+def _slack(state: LoadStateBase, graph: Graph, epsilon: float) -> FloatArray:
+    """Per-directed-edge slack ``1/s_j - ((1 - eps) l_i - l_j)``.
+
+    Negative slack means the (directed) edge is blocking at approximation
+    level ``epsilon``; ``epsilon = 0`` gives the exact-NE condition.
+    """
+    loads = state.loads
+    speeds = state.speeds
+    src, dst = _directed_views(graph)
+    return 1.0 / speeds[dst] - ((1.0 - epsilon) * loads[src] - loads[dst])
+
+
+def is_nash(
+    state: LoadStateBase, graph: Graph, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """Exact NE for unit-granularity tasks: ``l_i - l_j <= 1/s_j`` on all edges."""
+    if graph.num_edges == 0:
+        return True
+    return bool(np.all(_slack(state, graph, 0.0) >= -tolerance))
+
+
+def is_epsilon_nash(
+    state: LoadStateBase,
+    graph: Graph,
+    epsilon: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """eps-approximate NE: ``(1 - eps) l_i - l_j <= 1/s_j`` on all edges."""
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValidationError(f"epsilon must lie in [0, 1], got {epsilon}")
+    if graph.num_edges == 0:
+        return True
+    return bool(np.all(_slack(state, graph, epsilon) >= -tolerance))
+
+
+def is_weighted_exact_nash(
+    state: WeightedState, graph: Graph, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """Per-task exact NE for weighted tasks.
+
+    For every edge ``(i, j)`` and every task ``l`` on ``i``:
+    ``l_i - l_j <= w_l / s_j``. Only the lightest task per node matters.
+    Nodes without tasks impose no condition.
+    """
+    if graph.num_edges == 0:
+        return True
+    n = state.num_nodes
+    # Lightest task per node (inf where empty).
+    min_weight = np.full(n, np.inf)
+    np.minimum.at(min_weight, state.task_nodes, state.task_weights)
+    loads = state.loads
+    src, dst = _directed_views(graph)
+    has_task = np.isfinite(min_weight[src])
+    if not np.any(has_task):
+        return True
+    src_active = src[has_task]
+    dst_active = dst[has_task]
+    gain = loads[src_active] - loads[dst_active]
+    threshold = min_weight[src_active] / state.speeds[dst_active]
+    return bool(np.all(gain <= threshold + tolerance))
+
+
+def blocking_edges(
+    state: LoadStateBase,
+    graph: Graph,
+    epsilon: float = 0.0,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[tuple[int, int]]:
+    """Directed edges violating the (eps-)NE condition, sorted by violation.
+
+    These are the *non-Nash edges* ``E~`` of Definition 3.7 (for
+    ``epsilon = 0``).
+    """
+    if graph.num_edges == 0:
+        return []
+    slack = _slack(state, graph, epsilon)
+    src, dst = _directed_views(graph)
+    violating = np.flatnonzero(slack < -tolerance)
+    order = violating[np.argsort(slack[violating])]
+    return [(int(src[k]), int(dst[k])) for k in order]
+
+
+def max_improvement_incentive(state: LoadStateBase, graph: Graph) -> float:
+    """Largest ``l_i - l_j - 1/s_j`` over directed edges (<= 0 at NE).
+
+    A scalar "distance to equilibrium": how much load the most motivated
+    task would shed beyond the NE threshold by migrating.
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    return float(-(_slack(state, graph, 0.0).min()))
+
+
+@dataclass(frozen=True)
+class EquilibriumReport:
+    """Full equilibrium diagnostic for one state.
+
+    Attributes
+    ----------
+    nash:
+        Exact (unit-granularity) NE.
+    epsilon:
+        The approximation level requested for :attr:`epsilon_nash`.
+    epsilon_nash:
+        Whether the state is an eps-approximate NE at that level.
+    num_blocking_edges:
+        Number of directed edges violating the exact-NE condition.
+    max_incentive:
+        See :func:`max_improvement_incentive`.
+    """
+
+    nash: bool
+    epsilon: float
+    epsilon_nash: bool
+    num_blocking_edges: int
+    max_incentive: float
+
+
+def equilibrium_report(
+    state: LoadStateBase,
+    graph: Graph,
+    epsilon: float = 0.1,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> EquilibriumReport:
+    """Compute an :class:`EquilibriumReport` for ``state``."""
+    return EquilibriumReport(
+        nash=is_nash(state, graph, tolerance),
+        epsilon=float(epsilon),
+        epsilon_nash=is_epsilon_nash(state, graph, epsilon, tolerance),
+        num_blocking_edges=len(blocking_edges(state, graph, 0.0, tolerance)),
+        max_incentive=max_improvement_incentive(state, graph),
+    )

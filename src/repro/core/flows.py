@@ -1,0 +1,122 @@
+"""Expected flows and migration probabilities (Definitions 3.1 and 4.1).
+
+For a directed edge ``(i, j)`` with ``l_i - l_j > 1/s_j`` the expected flow
+is::
+
+    f_ij = (l_i - l_j) / (alpha * d_ij * (1/s_i + 1/s_j))
+
+and zero otherwise, where ``d_ij = max(deg(i), deg(j))`` and ``alpha`` is
+the convergence factor (``4 s_max`` by default; ``4 s_max / eps_gran``
+when speeds have granularity ``eps_gran < 1``, Section 3.2).
+
+The per-task probability of *choosing and migrating to* ``j`` from ``i``
+is ``q_ij = f_ij / W_i`` (the pseudo-code's ``p_ij`` equals
+``deg(i) * q_ij`` because a task first picks one of ``deg(i)`` neighbours
+uniformly). Both Algorithm 1 and the flow-rule form of Algorithm 2 share
+this structure; they differ only in whether a migrant carries weight 1 or
+``w_l``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase
+from repro.types import FloatArray
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ELIGIBILITY_TOLERANCE",
+    "default_alpha",
+    "directed_edge_arrays",
+    "expected_flows",
+    "migration_probabilities",
+    "flow_matrix",
+]
+
+#: Absolute tolerance on the migration condition ``l_i - l_j > 1/s_j``.
+#: Keeps the protocol consistent with the equilibrium predicates (which
+#: use the same tolerance): a state the protocol can act on is never
+#: classified as a Nash equilibrium, and vice versa. Without it,
+#: floating-point drift in weighted loads causes spurious borderline
+#: migrations in equilibrium states.
+ELIGIBILITY_TOLERANCE = 1e-9
+
+
+def default_alpha(s_max: float, granularity: float = 1.0) -> float:
+    """Paper's convergence factor ``alpha = 4 s_max / eps_gran``.
+
+    With integer speeds (``eps_gran = 1``) this is the original
+    ``alpha = 4 s_max`` of Algorithm 1; smaller granularity increases
+    ``alpha``, i.e. slows migration down enough for the endgame analysis
+    (Section 3.2).
+    """
+    s_max = check_positive(s_max, "s_max")
+    granularity = check_positive(granularity, "granularity")
+    if granularity > 1.0:
+        raise ProtocolError("granularity must lie in (0, 1]")
+    return 4.0 * s_max / granularity
+
+
+def directed_edge_arrays(graph: Graph) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """(sources, targets, d_ij) over both orientations of every edge."""
+    u, v = graph.edges_u, graph.edges_v
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    dij = np.concatenate([graph.edge_dij, graph.edge_dij]).astype(np.float64)
+    return src, dst, dij
+
+
+def expected_flows(
+    state: LoadStateBase, graph: Graph, alpha: float | None = None
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """Expected flow ``f_ij`` for every directed edge.
+
+    Returns
+    -------
+    (sources, targets, flows):
+        Directed edge endpoint arrays and the per-edge expected flow
+        (zero on Nash edges).
+    """
+    if alpha is None:
+        alpha = default_alpha(float(state.speeds.max()))
+    alpha = check_positive(alpha, "alpha")
+    src, dst, dij = directed_edge_arrays(graph)
+    loads = state.loads
+    speeds = state.speeds
+    gain = loads[src] - loads[dst]
+    eligible = gain > 1.0 / speeds[dst] + ELIGIBILITY_TOLERANCE
+    inverse_rate = alpha * dij * (1.0 / speeds[src] + 1.0 / speeds[dst])
+    flows = np.where(eligible, gain / inverse_rate, 0.0)
+    return src, dst, flows
+
+
+def migration_probabilities(
+    state: LoadStateBase, graph: Graph, alpha: float | None = None
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """Per-task probability ``q_ij = f_ij / W_i`` of choosing-and-moving.
+
+    Nodes without weight have all-zero outgoing probabilities. The theory
+    guarantees ``sum_j q_ij <= 1`` for ``alpha >= 4 s_max``; callers doing
+    ablations with smaller ``alpha`` must handle saturation themselves
+    (see :class:`repro.core.protocols.SelfishUniformProtocol`).
+    """
+    src, dst, flows = expected_flows(state, graph, alpha)
+    node_weight = state.node_weights
+    weight_at_src = node_weight[src]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        probabilities = np.where(weight_at_src > 0, flows / weight_at_src, 0.0)
+    return src, dst, probabilities
+
+
+def flow_matrix(
+    state: LoadStateBase, graph: Graph, alpha: float | None = None
+) -> FloatArray:
+    """Dense ``(n, n)`` matrix of expected flows (row = source)."""
+    n = state.num_nodes
+    matrix = np.zeros((n, n), dtype=np.float64)
+    src, dst, flows = expected_flows(state, graph, alpha)
+    matrix[src, dst] = flows
+    return matrix

@@ -1,0 +1,117 @@
+"""Potential-game structure of selfish neighbourhood load balancing.
+
+The migration game is an (exact) potential game: for *uniform* tasks,
+moving a single task from node ``i`` to node ``j`` changes ``Phi_1`` by::
+
+    delta Phi_1 = -2 * (l_i - (W_j + 1)/s_j)
+
+so ``Phi_1`` strictly decreases exactly when the move strictly improves
+the task's perceived load (from ``l_i`` to ``(W_j + 1)/s_j``). This is
+why sequential best response always terminates in an NE, and why the
+paper's Section 3.2 endgame analysis tracks ``Psi_1`` (= ``Phi_1`` up to
+constants). For *weighted* tasks the analogous identity for a task of
+weight ``w`` is::
+
+    delta Phi_1 = w * ((2 W_j + w + 1)/s_j - (2 W_i - w + 1)/s_i)
+
+This module exposes both identities and the improvement predicate; the
+property-based tests assert them exactly against recomputed potentials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, ValidationError
+from repro.graphs.graph import Graph
+from repro.model.state import UniformState, WeightedState
+
+__all__ = [
+    "unit_move_phi1_delta",
+    "weighted_move_phi1_delta",
+    "is_improvement_move",
+    "best_response_target",
+]
+
+
+def unit_move_phi1_delta(state: UniformState, source: int, target: int) -> float:
+    """Exact change of ``Phi_1`` when one unit task moves source -> target.
+
+    Negative iff the move improves the task's perceived load:
+    ``delta = -2 (l_src - (W_tgt + 1)/s_tgt)``.
+    """
+    if not isinstance(state, UniformState):
+        raise ModelError("unit_move_phi1_delta requires a UniformState")
+    n = state.num_nodes
+    if not (0 <= source < n and 0 <= target < n):
+        raise ValidationError("node index out of range")
+    if source == target:
+        return 0.0
+    if state.counts[source] < 1:
+        raise ModelError(f"node {source} holds no task to move")
+    loads = state.loads
+    perceived_after = (state.counts[target] + 1) / state.speeds[target]
+    return -2.0 * (loads[source] - perceived_after)
+
+
+def weighted_move_phi1_delta(
+    state: WeightedState, task: int, target: int
+) -> float:
+    """Exact change of ``Phi_1`` when ``task`` moves to ``target``.
+
+    ``delta = w ((2 W_tgt + w + 1)/s_tgt - (2 W_src - w + 1)/s_src)`` for
+    task weight ``w`` currently on ``src``.
+    """
+    if not isinstance(state, WeightedState):
+        raise ModelError("weighted_move_phi1_delta requires a WeightedState")
+    if not 0 <= task < state.num_tasks:
+        raise ValidationError("task index out of range")
+    n = state.num_nodes
+    if not 0 <= target < n:
+        raise ValidationError("target out of range")
+    source = int(state.task_nodes[task])
+    if source == target:
+        return 0.0
+    weight = float(state.task_weights[task])
+    w_source = float(state.node_weights[source])
+    w_target = float(state.node_weights[target])
+    return weight * (
+        (2.0 * w_target + weight + 1.0) / state.speeds[target]
+        - (2.0 * w_source - weight + 1.0) / state.speeds[source]
+    )
+
+
+def is_improvement_move(
+    state: UniformState, graph: Graph, source: int, target: int
+) -> bool:
+    """Whether moving one unit task source -> target strictly improves it.
+
+    Requires adjacency (the neighbourhood game restricts moves to edges)
+    and a task present on ``source``.
+    """
+    if not graph.has_edge(source, target):
+        return False
+    if state.counts[source] < 1:
+        return False
+    perceived_after = (state.counts[target] + 1) / state.speeds[target]
+    return bool(state.loads[source] > perceived_after)
+
+
+def best_response_target(
+    state: UniformState, graph: Graph, source: int
+) -> int | None:
+    """The neighbour minimizing the task's perceived load, if improving.
+
+    Returns ``None`` when no neighbouring move strictly improves — i.e.
+    the tasks on ``source`` are at a local best response.
+    """
+    if state.counts[source] < 1:
+        return None
+    neighbours = graph.neighbors(source)
+    if neighbours.shape[0] == 0:
+        return None
+    perceived = (state.counts[neighbours] + 1) / state.speeds[neighbours]
+    best = int(np.argmin(perceived))
+    if perceived[best] < state.loads[source]:
+        return int(neighbours[best])
+    return None

@@ -1,0 +1,100 @@
+"""Potential functions from the paper (Definitions 3.2–3.4, 3.19).
+
+* ``Phi_r(x) = sum_i W_i (W_i + r) / s_i`` for ``r in {0, 1}``.
+* ``Psi_0(x) = Phi_0(x) - W^2/S = sum_i e_i^2 / s_i = <e, e>_S`` — the
+  normalized potential whose geometric decay gives Theorem 1.1.
+* ``Psi_1(x) = Phi_1(x) - W^2/S - W n/S + n/4 (1/s_h - 1/s_a)`` — the
+  shifted potential for the endgame (Theorem 1.2); non-negative by
+  Observation 3.20 (2), with the equivalent form
+  ``sum_i (e_i + 1/2)^2 / s_i - n / (4 s_a)`` (Observation 3.20 (1)).
+* ``L_Delta(x) = max_i |e_i / s_i|`` — maximum load deviation
+  (Definition 3.4), sandwiched by ``Psi_0`` via Observation 3.16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.state import LoadStateBase
+
+__all__ = [
+    "phi_potential",
+    "psi0_potential",
+    "psi1_potential",
+    "max_load_difference",
+    "PotentialSummary",
+    "potential_summary",
+]
+
+
+def phi_potential(state: LoadStateBase, r: int = 0) -> float:
+    """``Phi_r(x) = sum_i W_i (W_i + r) / s_i`` (Definition 3.2)."""
+    if r not in (0, 1):
+        raise ValidationError(f"r must be 0 or 1, got {r}")
+    weights = state.node_weights
+    return float(np.sum(weights * (weights + r) / state.speeds))
+
+
+def psi0_potential(state: LoadStateBase) -> float:
+    """``Psi_0(x) = Phi_0(x) - W^2/S = sum_i e_i^2 / s_i`` (Definition 3.3).
+
+    Computed directly from the deviation vector (numerically preferable to
+    subtracting two large numbers).
+    """
+    deviation = state.deviation
+    return float(np.sum(deviation * deviation / state.speeds))
+
+
+def psi1_potential(state: LoadStateBase) -> float:
+    """``Psi_1(x)`` (Definition 3.19), via Observation 3.20 (1).
+
+    ``Psi_1 = sum_i (e_i + 1/2)^2 / s_i - n / (4 s_a)`` where ``s_a`` is
+    the arithmetic mean speed. Clamped at zero against floating-point
+    round-off (Observation 3.20 (2) guarantees non-negativity).
+    """
+    deviation = state.deviation
+    shifted = deviation + 0.5
+    value = float(np.sum(shifted * shifted / state.speeds))
+    arithmetic_mean = state.total_speed / state.num_nodes
+    value -= state.num_nodes / (4.0 * arithmetic_mean)
+    return max(0.0, value)
+
+
+def max_load_difference(state: LoadStateBase) -> float:
+    """``L_Delta(x) = max_i |W_i/s_i - W/S|`` (Definition 3.4)."""
+    return state.max_load_difference
+
+
+@dataclass(frozen=True)
+class PotentialSummary:
+    """All potential values of one state, computed together.
+
+    Attributes
+    ----------
+    phi0, phi1:
+        Raw potentials ``Phi_0`` and ``Phi_1``.
+    psi0, psi1:
+        Shifted potentials ``Psi_0`` and ``Psi_1``.
+    l_delta:
+        Maximum load deviation ``L_Delta``.
+    """
+
+    phi0: float
+    phi1: float
+    psi0: float
+    psi1: float
+    l_delta: float
+
+
+def potential_summary(state: LoadStateBase) -> PotentialSummary:
+    """Evaluate every potential on ``state``."""
+    return PotentialSummary(
+        phi0=phi_potential(state, 0),
+        phi1=phi_potential(state, 1),
+        psi0=psi0_potential(state),
+        psi1=psi1_potential(state),
+        l_delta=max_load_difference(state),
+    )

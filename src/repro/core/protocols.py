@@ -1,0 +1,431 @@
+"""The selfish load-balancing protocols.
+
+* :class:`SelfishUniformProtocol` — Algorithm 1 of the paper: uniform
+  tasks on machines with speeds. Rounds are sampled *exactly* from the
+  protocol's distribution: for each node the vector of per-neighbour
+  migrant counts is a multinomial, drawn via the binomial chain rule in
+  ``O(Delta)`` vectorized steps.
+* :class:`SelfishWeightedProtocol` — Algorithm 2: weighted tasks with the
+  weight-oblivious migration condition ``l_i - l_j > 1/s_j``. Two
+  probability rules: ``"flow"`` (Definition 4.1, the form the analysis
+  uses; the default) and ``"pseudocode"`` (the literal printed rule
+  ``deg(i)/d_ij * (W_i - W_j) / (2 alpha W_i)``, which coincides with the
+  flow rule for uniform speeds).
+* :class:`PerTaskThresholdProtocol` — reconstruction of the weighted-task
+  protocol of [6], where task ``l`` migrates only if
+  ``l_i - l_j > w_l / s_j`` (its *own* improvement condition). The paper
+  deviates from this rule; we keep it as the comparison baseline. [6]'s
+  exact migration probability is not restated in this paper, so we use
+  the same flow-style probability as Algorithm 2 — the comparison then
+  isolates the effect of the migration *condition*.
+
+All protocols mutate the state in place and return a
+:class:`RoundSummary`. Decisions within a round are based on the loads at
+the *start* of the round (the protocol is concurrent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flows import ELIGIBILITY_TOLERANCE, default_alpha
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase, UniformState, WeightedState
+from repro.types import FloatArray, IntArray
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "RoundSummary",
+    "Protocol",
+    "SelfishUniformProtocol",
+    "SelfishWeightedProtocol",
+    "PerTaskThresholdProtocol",
+]
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Outcome of one protocol round.
+
+    Attributes
+    ----------
+    tasks_moved:
+        Number of tasks that migrated this round.
+    weight_moved:
+        Total weight that migrated (equals ``tasks_moved`` for uniform
+        tasks).
+    saturated:
+        True when some migration probability had to be clipped to keep a
+        valid distribution. Never happens for ``alpha >= 4 s_max``
+        (guaranteed by the analysis); can happen in ablations with an
+        aggressive ``alpha``.
+    """
+
+    tasks_moved: int
+    weight_moved: float
+    saturated: bool
+
+
+class _GraphCache:
+    """Per-graph precomputed arrays shared across rounds.
+
+    ``csr_rows[k]`` is the source node of CSR slot ``k``; ``dij_csr[k]``
+    is ``max(deg(i), deg(j))`` for that directed edge; ``nodes_by_slot``
+    lists, for each neighbour position ``slot``, the nodes having at least
+    ``slot + 1`` neighbours.
+    """
+
+    def __init__(self, graph: Graph):
+        degrees = graph.degrees
+        self.csr_rows = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), degrees
+        )
+        self.dij_csr = np.maximum(
+            degrees[self.csr_rows], degrees[graph.indices]
+        ).astype(np.float64)
+        self.nodes_by_slot = [
+            np.flatnonzero(degrees > slot) for slot in range(graph.max_degree)
+        ]
+
+
+class Protocol:
+    """Base class: one concurrent round of selfish migrations.
+
+    Parameters
+    ----------
+    alpha:
+        Convergence factor; ``None`` resolves to ``4 s_max`` per state
+        (``default_alpha``). Theorem 1.2 runs pass ``4 s_max / eps_gran``.
+    """
+
+    name: str = "protocol"
+
+    def __init__(self, alpha: float | None = None):
+        if alpha is not None:
+            alpha = check_positive(alpha, "alpha")
+        self._alpha = alpha
+        self._cache: dict[int, _GraphCache] = {}
+
+    def resolve_alpha(self, state: LoadStateBase) -> float:
+        """The alpha used for this state (explicit or ``4 s_max``)."""
+        if self._alpha is not None:
+            return self._alpha
+        return default_alpha(float(state.speeds.max()))
+
+    def _graph_cache(self, graph: Graph) -> _GraphCache:
+        key = id(graph)
+        cache = self._cache.get(key)
+        if cache is None:
+            cache = _GraphCache(graph)
+            # Keep at most a few graphs cached; experiments sweep sizes.
+            if len(self._cache) > 8:
+                self._cache.clear()
+            self._cache[key] = cache
+        return cache
+
+    def execute_round(
+        self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
+    ) -> RoundSummary:
+        """Execute one concurrent round, mutating ``state``."""
+        raise NotImplementedError
+
+    def _check_graph(self, state: LoadStateBase, graph: Graph) -> None:
+        if graph.num_vertices != state.num_nodes:
+            raise ProtocolError(
+                f"graph has {graph.num_vertices} vertices but state has "
+                f"{state.num_nodes} nodes"
+            )
+
+
+def _csr_migration_probabilities(
+    state: LoadStateBase, graph: Graph, cache: _GraphCache, alpha: float
+) -> FloatArray:
+    """Per-CSR-slot probability that a single task on ``csr_rows[k]``
+    chooses slot ``k``'s neighbour *and* migrates there.
+
+    ``q_k = (l_i - l_j) / (alpha * d_ij * (1/s_i + 1/s_j) * W_i)`` when the
+    migration condition ``l_i - l_j > 1/s_j`` holds, else 0. Summing
+    ``q_k * W_i`` over a node's slots recovers the expected outgoing flow.
+    """
+    loads = state.loads
+    speeds = state.speeds
+    weights = state.node_weights
+    src = cache.csr_rows
+    dst = graph.indices
+    gain = loads[src] - loads[dst]
+    eligible = gain > 1.0 / speeds[dst] + ELIGIBILITY_TOLERANCE
+    inv_rate = alpha * cache.dij_csr * (1.0 / speeds[src] + 1.0 / speeds[dst])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = np.where(
+            eligible & (weights[src] > 0), gain / (inv_rate * weights[src]), 0.0
+        )
+    return q
+
+
+class SelfishUniformProtocol(Protocol):
+    """Algorithm 1: uniform tasks, machines with speeds.
+
+    Each task on node ``i`` picks a neighbour ``j`` u.a.r. and, when
+    ``l_i - l_j > 1/s_j``, migrates with probability
+    ``p_ij = deg(i)/d_ij * (l_i - l_j) / (alpha (1/s_i + 1/s_j) W_i)``.
+
+    Sampling: tasks on a node are exchangeable, so the per-neighbour
+    migrant counts follow ``Multinomial(w_i; q_i1, ..., q_ik, stay)`` with
+    ``q_ij = p_ij / deg(i)``. We draw that multinomial via the binomial
+    chain rule, vectorized over all nodes for each neighbour slot, which
+    is exact and costs ``O(Delta)`` numpy calls per round.
+    """
+
+    name = "algorithm1"
+
+    def execute_round(
+        self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
+    ) -> RoundSummary:
+        if not isinstance(state, UniformState):
+            raise ProtocolError("SelfishUniformProtocol requires a UniformState")
+        self._check_graph(state, graph)
+        if graph.max_degree == 0 or state.num_tasks == 0:
+            return RoundSummary(0, 0.0, False)
+
+        cache = self._graph_cache(graph)
+        alpha = self.resolve_alpha(state)
+        q = _csr_migration_probabilities(state, graph, cache, alpha)
+
+        # Saturation check: per-node total choose-and-move probability.
+        total_q = np.zeros(graph.num_vertices)
+        np.add.at(total_q, cache.csr_rows, q)
+        saturated = bool(np.any(total_q > 1.0 + 1e-12))
+
+        remaining = state.counts.copy()
+        prob_left = np.ones(graph.num_vertices)
+        move_src: list[IntArray] = []
+        move_dst: list[IntArray] = []
+        move_qty: list[IntArray] = []
+
+        indptr, indices = graph.indptr, graph.indices
+        for slot, nodes in enumerate(cache.nodes_by_slot):
+            k = indptr[nodes] + slot
+            q_slot = q[k]
+            active = (q_slot > 0.0) & (remaining[nodes] > 0)
+            if np.any(active):
+                nodes_a = nodes[active]
+                k_a = k[active]
+                denominator = np.maximum(prob_left[nodes_a], 1e-300)
+                conditional = np.clip(q_slot[active] / denominator, 0.0, 1.0)
+                draws = rng.binomial(remaining[nodes_a], conditional)
+                moving = draws > 0
+                if np.any(moving):
+                    move_src.append(nodes_a[moving])
+                    move_dst.append(indices[k_a[moving]])
+                    move_qty.append(draws[moving])
+                remaining[nodes_a] -= draws
+            prob_left[nodes] -= q_slot
+
+        if not move_src:
+            return RoundSummary(0, 0.0, saturated)
+        sources = np.concatenate(move_src)
+        destinations = np.concatenate(move_dst)
+        quantities = np.concatenate(move_qty)
+        state.apply_moves(sources, destinations, quantities)
+        moved = int(quantities.sum())
+        return RoundSummary(moved, float(moved), saturated)
+
+
+def _choose_neighbours(
+    task_nodes: IntArray, graph: Graph, rng: np.random.Generator
+) -> tuple[IntArray, IntArray]:
+    """For each task, pick a uniformly random neighbour of its node.
+
+    Returns (csr_slot_index, chosen_neighbour); tasks on isolated nodes
+    get slot -1 / neighbour -1 and never migrate.
+    """
+    degrees = graph.degrees[task_nodes]
+    chosen_slot = np.floor(rng.random(task_nodes.shape[0]) * degrees).astype(np.int64)
+    # Guard the measure-zero event random() == 1.0 exactly.
+    np.minimum(chosen_slot, np.maximum(degrees - 1, 0), out=chosen_slot)
+    has_neighbour = degrees > 0
+    slot_index = np.where(
+        has_neighbour, graph.indptr[task_nodes] + chosen_slot, -1
+    )
+    neighbour = np.where(has_neighbour, graph.indices[np.maximum(slot_index, 0)], -1)
+    return slot_index, neighbour
+
+
+class SelfishWeightedProtocol(Protocol):
+    """Algorithm 2: weighted tasks, weight-oblivious migration condition.
+
+    A task on ``i`` that picked neighbour ``j`` may migrate only when
+    ``l_i - l_j > 1/s_j`` — independent of its own weight, so either all
+    tasks on ``i`` have the incentive over edge ``(i, j)`` or none do
+    (the property the paper's Section 4 analysis exploits).
+
+    Parameters
+    ----------
+    alpha:
+        Convergence factor (default ``4 s_max``).
+    rule:
+        ``"flow"`` — migrate with probability
+        ``deg(i)/d_ij * (l_i - l_j) / (alpha (1/s_i + 1/s_j) W_i)`` so the
+        expected migrating *weight* equals ``f_ij`` of Definition 4.1
+        (default, matches the analysis);
+        ``"pseudocode"`` — the literal printed probability
+        ``deg(i)/d_ij * (W_i - W_j) / (2 alpha W_i)`` (equivalent for
+        uniform speeds).
+    """
+
+    name = "algorithm2"
+
+    VALID_RULES = ("flow", "pseudocode")
+
+    def __init__(self, alpha: float | None = None, rule: str = "flow"):
+        super().__init__(alpha)
+        if rule not in self.VALID_RULES:
+            raise ProtocolError(
+                f"rule must be one of {self.VALID_RULES}, got {rule!r}"
+            )
+        self._rule = rule
+
+    @property
+    def rule(self) -> str:
+        """Probability rule in use (``"flow"`` or ``"pseudocode"``)."""
+        return self._rule
+
+    def _conditional_probability(
+        self,
+        state: WeightedState,
+        graph: Graph,
+        cache: _GraphCache,
+        slot_index: IntArray,
+        neighbour: IntArray,
+        valid: np.ndarray,
+        alpha: float,
+    ) -> FloatArray:
+        """P(migrate | chose neighbour) per task, before eligibility."""
+        task_nodes = state.task_nodes
+        loads = state.loads
+        speeds = state.speeds
+        weights = state.node_weights
+        degrees = graph.degrees
+
+        i = task_nodes[valid]
+        j = neighbour[valid]
+        dij = cache.dij_csr[slot_index[valid]]
+        w_i = weights[i]
+        probability = np.zeros(valid.sum(), dtype=np.float64)
+        positive = w_i > 0
+        if self._rule == "flow":
+            gain = loads[i] - loads[j]
+            rate = alpha * dij * (1.0 / speeds[i] + 1.0 / speeds[j])
+            probability[positive] = (
+                degrees[i][positive]
+                * gain[positive]
+                / (rate[positive] * w_i[positive])
+            )
+        else:  # pseudocode rule
+            weight_gap = w_i - weights[j]
+            probability[positive] = (
+                degrees[i][positive]
+                / dij[positive]
+                * weight_gap[positive]
+                / (2.0 * alpha * w_i[positive])
+            )
+        return probability
+
+    def execute_round(
+        self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
+    ) -> RoundSummary:
+        if not isinstance(state, WeightedState):
+            raise ProtocolError("SelfishWeightedProtocol requires a WeightedState")
+        self._check_graph(state, graph)
+        if state.num_tasks == 0 or graph.num_edges == 0:
+            return RoundSummary(0, 0.0, False)
+
+        cache = self._graph_cache(graph)
+        alpha = self.resolve_alpha(state)
+        task_nodes = state.task_nodes
+        slot_index, neighbour = _choose_neighbours(task_nodes, graph, rng)
+        valid = neighbour >= 0
+        if not np.any(valid):
+            return RoundSummary(0, 0.0, False)
+
+        loads = state.loads
+        speeds = state.speeds
+        i = task_nodes[valid]
+        j = neighbour[valid]
+        eligible = loads[i] - loads[j] > 1.0 / speeds[j] + ELIGIBILITY_TOLERANCE
+
+        probability = self._conditional_probability(
+            state, graph, cache, slot_index, neighbour, valid, alpha
+        )
+        saturated = bool(np.any(probability[eligible] > 1.0 + 1e-12))
+        probability = np.clip(probability, 0.0, 1.0)
+
+        migrate = eligible & (rng.random(probability.shape[0]) < probability)
+        task_ids = np.flatnonzero(valid)[migrate]
+        if task_ids.size == 0:
+            return RoundSummary(0, 0.0, saturated)
+        destinations = j[migrate]
+        moved_weight = float(state.task_weights[task_ids].sum())
+        state.apply_moves(task_ids, destinations)
+        return RoundSummary(int(task_ids.size), moved_weight, saturated)
+
+
+class PerTaskThresholdProtocol(SelfishWeightedProtocol):
+    """Reconstructed [6]-style weighted protocol (per-task condition).
+
+    Identical to :class:`SelfishWeightedProtocol` with the ``"flow"``
+    probability, except the migration condition for task ``l`` is
+    ``l_i - l_j > w_l / s_j`` — the task's own improvement test. Light
+    tasks therefore keep migrating across edges that Algorithm 2 already
+    considers balanced; the ``weighted-variants`` experiment quantifies
+    the resulting behaviour difference.
+    """
+
+    name = "per-task-threshold"
+
+    def __init__(self, alpha: float | None = None):
+        super().__init__(alpha, rule="flow")
+
+    def execute_round(
+        self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
+    ) -> RoundSummary:
+        if not isinstance(state, WeightedState):
+            raise ProtocolError("PerTaskThresholdProtocol requires a WeightedState")
+        self._check_graph(state, graph)
+        if state.num_tasks == 0 or graph.num_edges == 0:
+            return RoundSummary(0, 0.0, False)
+
+        cache = self._graph_cache(graph)
+        alpha = self.resolve_alpha(state)
+        task_nodes = state.task_nodes
+        slot_index, neighbour = _choose_neighbours(task_nodes, graph, rng)
+        valid = neighbour >= 0
+        if not np.any(valid):
+            return RoundSummary(0, 0.0, False)
+
+        loads = state.loads
+        speeds = state.speeds
+        i = task_nodes[valid]
+        j = neighbour[valid]
+        own_weight = state.task_weights[valid]
+        eligible = (
+            loads[i] - loads[j] > own_weight / speeds[j] + ELIGIBILITY_TOLERANCE
+        )
+
+        probability = self._conditional_probability(
+            state, graph, cache, slot_index, neighbour, valid, alpha
+        )
+        saturated = bool(np.any(probability[eligible] > 1.0 + 1e-12))
+        probability = np.clip(probability, 0.0, 1.0)
+
+        migrate = eligible & (rng.random(probability.shape[0]) < probability)
+        task_ids = np.flatnonzero(valid)[migrate]
+        if task_ids.size == 0:
+            return RoundSummary(0, 0.0, saturated)
+        destinations = j[migrate]
+        moved_weight = float(state.task_weights[task_ids].sum())
+        state.apply_moves(task_ids, destinations)
+        return RoundSummary(int(task_ids.size), moved_weight, saturated)

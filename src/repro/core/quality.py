@@ -1,0 +1,146 @@
+"""Equilibrium-quality metrics: makespan, discrepancy, price of anarchy.
+
+The selfish load-balancing literature the paper builds on (surveyed in
+Vocking's chapter [27]) measures the *quality* of equilibria through the
+makespan (maximum load) relative to the optimum. This module provides:
+
+* :func:`makespan` — ``max_i W_i / s_i``;
+* :func:`load_discrepancy` — ``max_i l_i - min_i l_i``;
+* :func:`optimal_makespan_lower_bound` — the LP bound
+  ``max(W / S, w_max / s_max)`` valid for any fractional assignment;
+* :func:`lpt_makespan` — makespan of the Longest-Processing-Time greedy
+  schedule on related machines (a classic constant-factor approximation
+  of the optimum, used as the concrete comparator);
+* :func:`price_of_anarchy_estimate` — equilibrium makespan over the
+  optimum lower bound, an upper estimate of the instance's PoA ratio.
+
+Nash equilibria of the neighbourhood game are generally *not* globally
+balanced (the graph restricts migrations), so these metrics quantify how
+much quality the locality constraint costs — the ``equilibrium-quality``
+experiment sweeps exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.state import LoadStateBase, UniformState, WeightedState
+from repro.types import FloatArray
+from repro.utils.validation import check_array_1d
+
+__all__ = [
+    "makespan",
+    "load_discrepancy",
+    "optimal_makespan_lower_bound",
+    "lpt_makespan",
+    "QualityReport",
+    "quality_report",
+    "price_of_anarchy_estimate",
+]
+
+
+def makespan(state: LoadStateBase) -> float:
+    """Maximum load ``max_i W_i / s_i`` (the social cost)."""
+    return float(state.loads.max())
+
+
+def load_discrepancy(state: LoadStateBase) -> float:
+    """Spread ``max_i l_i - min_i l_i`` between the busiest and idlest node."""
+    loads = state.loads
+    return float(loads.max() - loads.min())
+
+
+def _task_weights_of(state: LoadStateBase) -> FloatArray:
+    if isinstance(state, WeightedState):
+        return state.task_weights
+    if isinstance(state, UniformState):
+        return np.ones(state.num_tasks, dtype=np.float64)
+    raise ModelError(f"unsupported state type {type(state).__name__}")
+
+
+def optimal_makespan_lower_bound(task_weights: object, speeds: object) -> float:
+    """Lower bound on any assignment's makespan.
+
+    ``max(W / S, w_max / s_max)``: the fractional average load, and the
+    heaviest task on the fastest machine. Both hold for arbitrary
+    (integral) assignments, so every schedule — optimal included — has
+    makespan at least this value.
+    """
+    weights = check_array_1d(task_weights, "task_weights")
+    speed_array = check_array_1d(speeds, "speeds")
+    if speed_array.size == 0 or np.any(speed_array <= 0):
+        raise ModelError("speeds must be non-empty and positive")
+    if weights.size == 0:
+        return 0.0
+    average = float(weights.sum() / speed_array.sum())
+    heaviest = float(weights.max() / speed_array.max())
+    return max(average, heaviest)
+
+
+def lpt_makespan(task_weights: object, speeds: object) -> float:
+    """Makespan of the LPT greedy schedule on related machines.
+
+    Tasks are placed heaviest-first on the machine minimizing the
+    resulting load. A classic centralized baseline: within a small
+    constant factor of the optimum, and a fair comparator for what the
+    decentralized selfish process gives up.
+    """
+    weights = check_array_1d(task_weights, "task_weights")
+    speed_array = check_array_1d(speeds, "speeds")
+    if speed_array.size == 0 or np.any(speed_array <= 0):
+        raise ModelError("speeds must be non-empty and positive")
+    node_weight = np.zeros(speed_array.shape[0])
+    for weight in np.sort(weights)[::-1]:
+        target = int(np.argmin((node_weight + weight) / speed_array))
+        node_weight[target] += weight
+    if weights.size == 0:
+        return 0.0
+    return float((node_weight / speed_array).max())
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality of one (equilibrium) state against centralized baselines.
+
+    Attributes
+    ----------
+    makespan:
+        The state's maximum load.
+    discrepancy:
+        Max-minus-min load.
+    optimum_lower_bound:
+        LP lower bound on any assignment's makespan.
+    lpt_makespan:
+        Makespan of the centralized LPT schedule on the same instance.
+    poa_estimate:
+        ``makespan / optimum_lower_bound`` (>= 1); an upper estimate of
+        the realized price-of-anarchy ratio.
+    """
+
+    makespan: float
+    discrepancy: float
+    optimum_lower_bound: float
+    lpt_makespan: float
+    poa_estimate: float
+
+
+def quality_report(state: LoadStateBase) -> QualityReport:
+    """Compute a :class:`QualityReport` for ``state``."""
+    weights = _task_weights_of(state)
+    lower = optimal_makespan_lower_bound(weights, state.speeds)
+    current = makespan(state)
+    return QualityReport(
+        makespan=current,
+        discrepancy=load_discrepancy(state),
+        optimum_lower_bound=lower,
+        lpt_makespan=lpt_makespan(weights, state.speeds),
+        poa_estimate=current / lower if lower > 0 else 1.0,
+    )
+
+
+def price_of_anarchy_estimate(state: LoadStateBase) -> float:
+    """``makespan(state) / optimal lower bound`` (>= 1 up to rounding)."""
+    return quality_report(state).poa_estimate

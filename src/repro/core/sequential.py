@@ -1,0 +1,115 @@
+"""Sequential best-response dynamics (the classical baseline).
+
+Before the concurrent protocols of [4, 6] and this paper, convergence of
+selfish load balancing was studied for *sequential* dynamics where one
+task moves at a time (Even-Dar–Kesselman–Mansour [13],
+Feldmann et al.'s Nashification [15]). This module implements that
+baseline restricted to the neighbourhood model:
+
+* :class:`SequentialBestResponse` — each "round" activates tasks one at
+  a time (random order); an activated task inspects **all** neighbours
+  of its machine and moves to the one minimizing its perceived load if
+  that is a strict improvement beyond the ``1/s_j`` threshold. Because
+  moves are sequential, the potential ``Phi_1`` strictly decreases with
+  every move, so the dynamics *always* converge to an exact NE — at the
+  cost of global coordination (a schedule of single movers), which is
+  precisely what the paper's concurrent protocol avoids.
+
+The class implements the :class:`repro.core.protocols.Protocol`
+interface: one ``execute_round`` activates every task once (in random
+order), so round counts are comparable with the concurrent protocols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocols import Protocol, RoundSummary
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase, UniformState
+
+__all__ = ["SequentialBestResponse"]
+
+
+class SequentialBestResponse(Protocol):
+    """One-task-at-a-time best-response dynamics for uniform tasks.
+
+    Parameters
+    ----------
+    tolerance:
+        Strictness margin on the improvement condition, matching the
+        concurrent protocols' eligibility tolerance.
+    """
+
+    name = "sequential-best-response"
+
+    def __init__(self, tolerance: float = 1e-9):
+        super().__init__(alpha=None)
+        self._tolerance = tolerance
+
+    def execute_round(
+        self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
+    ) -> RoundSummary:
+        if not isinstance(state, UniformState):
+            raise ProtocolError("SequentialBestResponse requires a UniformState")
+        self._check_graph(state, graph)
+        m = state.num_tasks
+        if m == 0 or graph.num_edges == 0:
+            return RoundSummary(0, 0.0, False)
+
+        counts = state.counts.copy()
+        speeds = state.speeds
+        indptr, indices = graph.indptr, graph.indices
+
+        # Activate m "task slots": each activation picks a random
+        # *occupied* node (tasks are anonymous, so activating a uniform
+        # random task = activating a node weighted by its count).
+        moved = 0
+        for _ in range(m):
+            total = counts.sum()
+            if total == 0:
+                break
+            # Sample a node proportionally to its current task count.
+            pick = rng.integers(0, total)
+            node = int(np.searchsorted(np.cumsum(counts), pick, side="right"))
+            neighbours = indices[indptr[node] : indptr[node + 1]]
+            if neighbours.shape[0] == 0:
+                continue
+            current_load = counts[node] / speeds[node]
+            # Perceived load after joining each neighbour.
+            prospective = (counts[neighbours] + 1) / speeds[neighbours]
+            best = int(np.argmin(prospective))
+            if prospective[best] < current_load - self._tolerance:
+                counts[node] -= 1
+                counts[neighbours[best]] += 1
+                moved += 1
+
+        if moved:
+            delta = counts - state.counts
+            gains = np.flatnonzero(delta > 0)
+            losses = np.flatnonzero(delta < 0)
+            # Apply as a batch of net moves (any routing with the right
+            # net effect is equivalent for anonymous tasks).
+            sources: list[int] = []
+            destinations: list[int] = []
+            amounts: list[int] = []
+            surplus = [(int(g), int(delta[g])) for g in gains]
+            deficit = [(int(l), int(-delta[l])) for l in losses]
+            gi = 0
+            for node, need in deficit:
+                remaining = need
+                while remaining > 0:
+                    target, available = surplus[gi]
+                    take = min(remaining, available)
+                    sources.append(node)
+                    destinations.append(target)
+                    amounts.append(take)
+                    remaining -= take
+                    available -= take
+                    if available == 0:
+                        gi += 1
+                    else:
+                        surplus[gi] = (target, available)
+            state.apply_moves(sources, destinations, amounts)
+        return RoundSummary(moved, float(moved), False)

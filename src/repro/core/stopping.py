@@ -1,0 +1,158 @@
+"""Stopping rules for the simulator.
+
+A stopping rule inspects the current state *before* each round and
+decides whether the run has reached its target. The convergence-time
+experiments measure the first round index at which the rule fires.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.equilibrium import is_epsilon_nash, is_nash, is_weighted_exact_nash
+from repro.core.potentials import psi0_potential, psi1_potential
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase, WeightedState
+
+__all__ = [
+    "StoppingRule",
+    "NashStop",
+    "EpsilonNashStop",
+    "WeightedExactNashStop",
+    "PotentialThresholdStop",
+    "AnyStop",
+    "NeverStop",
+]
+
+
+class StoppingRule:
+    """Base class; subclasses implement :meth:`satisfied`."""
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        """Whether the target condition holds in ``state``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description for logs and reports."""
+        return type(self).__name__
+
+
+class NashStop(StoppingRule):
+    """Stop at the unit-granularity NE: ``l_i - l_j <= 1/s_j`` on all edges.
+
+    For uniform tasks this is the exact Nash equilibrium (Theorem 1.2's
+    target); for weighted tasks it is the threshold state Algorithm 2
+    converges to (an approximate NE by Theorem 1.3).
+    """
+
+    def __init__(self, tolerance: float = 1e-9):
+        self._tolerance = tolerance
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        return is_nash(state, graph, self._tolerance)
+
+    def describe(self) -> str:
+        return "nash(l_i - l_j <= 1/s_j)"
+
+
+class EpsilonNashStop(StoppingRule):
+    """Stop at an eps-approximate NE: ``(1-eps) l_i - l_j <= 1/s_j``."""
+
+    def __init__(self, epsilon: float, tolerance: float = 1e-9):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValidationError(f"epsilon must lie in [0, 1], got {epsilon}")
+        self._epsilon = epsilon
+        self._tolerance = tolerance
+
+    @property
+    def epsilon(self) -> float:
+        """The approximation parameter."""
+        return self._epsilon
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        return is_epsilon_nash(state, graph, self._epsilon, self._tolerance)
+
+    def describe(self) -> str:
+        return f"epsilon-nash(eps={self._epsilon})"
+
+
+class WeightedExactNashStop(StoppingRule):
+    """Stop at the per-task exact NE for weighted tasks.
+
+    ``l_i - l_j <= w_l / s_j`` for every task ``l`` on every node ``i``
+    and every neighbour ``j``. Algorithm 2 does not guarantee reaching
+    this in general; the rule exists for diagnostics and for the [6]
+    baseline protocol.
+    """
+
+    def __init__(self, tolerance: float = 1e-9):
+        self._tolerance = tolerance
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        if not isinstance(state, WeightedState):
+            raise ValidationError("WeightedExactNashStop requires a WeightedState")
+        return is_weighted_exact_nash(state, graph, self._tolerance)
+
+    def describe(self) -> str:
+        return "weighted-exact-nash(l_i - l_j <= w_l/s_j)"
+
+
+class PotentialThresholdStop(StoppingRule):
+    """Stop when a potential drops to ``threshold`` or below.
+
+    Theorem 1.1 measures the first time ``Psi_0 <= 4 psi_c``; this rule
+    with ``potential="psi0"`` is that detector.
+    """
+
+    VALID_POTENTIALS = ("psi0", "psi1")
+
+    def __init__(self, threshold: float, potential: str = "psi0"):
+        if potential not in self.VALID_POTENTIALS:
+            raise ValidationError(
+                f"potential must be one of {self.VALID_POTENTIALS}, got {potential!r}"
+            )
+        if threshold < 0:
+            raise ValidationError(f"threshold must be >= 0, got {threshold}")
+        self._threshold = float(threshold)
+        self._potential = potential
+
+    @property
+    def threshold(self) -> float:
+        """The potential threshold."""
+        return self._threshold
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        if self._potential == "psi0":
+            value = psi0_potential(state)
+        else:
+            value = psi1_potential(state)
+        return value <= self._threshold
+
+    def describe(self) -> str:
+        return f"{self._potential} <= {self._threshold:.4g}"
+
+
+class AnyStop(StoppingRule):
+    """Stop when any of the component rules is satisfied."""
+
+    def __init__(self, rules: Sequence[StoppingRule]):
+        if not rules:
+            raise ValidationError("AnyStop needs at least one rule")
+        self._rules = list(rules)
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        return any(rule.satisfied(state, graph) for rule in self._rules)
+
+    def describe(self) -> str:
+        return " or ".join(rule.describe() for rule in self._rules)
+
+
+class NeverStop(StoppingRule):
+    """Run for the full round budget (fixed-horizon experiments)."""
+
+    def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "never"

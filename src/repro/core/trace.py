@@ -1,0 +1,157 @@
+"""Trace recording for simulation runs.
+
+A :class:`TraceRecorder` collects per-round observables (potentials,
+``L_Delta``, migration counts) into a :class:`Trace` of numpy arrays.
+Recording everything every round costs ``O(n)`` extra per round; the
+:class:`RecordingOptions` flags let convergence sweeps disable what they
+do not need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.potentials import max_load_difference, psi0_potential, psi1_potential
+from repro.core.protocols import RoundSummary
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase
+from repro.types import FloatArray, IntArray
+
+__all__ = ["RecordingOptions", "TraceRecorder", "Trace"]
+
+
+@dataclass(frozen=True)
+class RecordingOptions:
+    """What to record per round.
+
+    Attributes
+    ----------
+    psi0, psi1, l_delta:
+        Record the respective observable.
+    moves:
+        Record per-round migration counts / weights.
+    every:
+        Record only rounds divisible by ``every`` (round 0 always
+        recorded).
+    """
+
+    psi0: bool = True
+    psi1: bool = False
+    l_delta: bool = False
+    moves: bool = True
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValidationError(f"every must be >= 1, got {self.every}")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Immutable record of a simulation run.
+
+    All arrays are aligned with :attr:`rounds`; disabled observables are
+    ``None``.
+    """
+
+    rounds: IntArray
+    psi0: FloatArray | None
+    psi1: FloatArray | None
+    l_delta: FloatArray | None
+    tasks_moved: IntArray | None
+    weight_moved: FloatArray | None
+
+    def __len__(self) -> int:
+        return int(self.rounds.shape[0])
+
+    def first_round_psi0_below(self, threshold: float) -> int | None:
+        """Earliest recorded round with ``Psi_0 <= threshold``.
+
+        Returns ``None`` if never reached (within the recorded rounds).
+        """
+        if self.psi0 is None:
+            raise ValidationError("psi0 was not recorded")
+        hits = np.flatnonzero(self.psi0 <= threshold)
+        if hits.size == 0:
+            return None
+        return int(self.rounds[hits[0]])
+
+    def total_tasks_moved(self) -> int:
+        """Sum of recorded per-round migration counts."""
+        if self.tasks_moved is None:
+            raise ValidationError("moves were not recorded")
+        return int(self.tasks_moved.sum())
+
+    def psi0_decay_rate(self) -> float:
+        """Mean per-round geometric decay factor of ``Psi_0``.
+
+        Fitted as ``exp(mean diff of log Psi_0)`` over recorded rounds
+        with positive potential; values below 1 mean decay.
+        """
+        if self.psi0 is None:
+            raise ValidationError("psi0 was not recorded")
+        positive = self.psi0 > 0
+        if np.count_nonzero(positive) < 2:
+            raise ValidationError("need at least two positive Psi_0 samples")
+        log_values = np.log(self.psi0[positive])
+        round_values = self.rounds[positive].astype(np.float64)
+        slope = np.polyfit(round_values, log_values, 1)[0]
+        return float(np.exp(slope))
+
+
+class TraceRecorder:
+    """Accumulates per-round observables into a :class:`Trace`."""
+
+    def __init__(self, options: RecordingOptions | None = None):
+        self._options = options or RecordingOptions()
+        self._rounds: list[int] = []
+        self._psi0: list[float] = []
+        self._psi1: list[float] = []
+        self._l_delta: list[float] = []
+        self._tasks_moved: list[int] = []
+        self._weight_moved: list[float] = []
+
+    @property
+    def options(self) -> RecordingOptions:
+        """The recording configuration."""
+        return self._options
+
+    def record(
+        self,
+        round_index: int,
+        state: LoadStateBase,
+        graph: Graph,
+        summary: RoundSummary | None,
+    ) -> None:
+        """Record observables for ``round_index`` (0 = initial state)."""
+        if round_index % self._options.every != 0 and round_index != 0:
+            return
+        self._rounds.append(round_index)
+        if self._options.psi0:
+            self._psi0.append(psi0_potential(state))
+        if self._options.psi1:
+            self._psi1.append(psi1_potential(state))
+        if self._options.l_delta:
+            self._l_delta.append(max_load_difference(state))
+        if self._options.moves:
+            self._tasks_moved.append(summary.tasks_moved if summary else 0)
+            self._weight_moved.append(summary.weight_moved if summary else 0.0)
+
+    def finalize(self) -> Trace:
+        """Freeze the recorded data into a :class:`Trace`."""
+        options = self._options
+        return Trace(
+            rounds=np.asarray(self._rounds, dtype=np.int64),
+            psi0=np.asarray(self._psi0) if options.psi0 else None,
+            psi1=np.asarray(self._psi1) if options.psi1 else None,
+            l_delta=np.asarray(self._l_delta) if options.l_delta else None,
+            tasks_moved=(
+                np.asarray(self._tasks_moved, dtype=np.int64)
+                if options.moves
+                else None
+            ),
+            weight_moved=np.asarray(self._weight_moved) if options.moves else None,
+        )

@@ -1,0 +1,39 @@
+"""Non-selfish diffusion load balancing (the paper's reference substrate).
+
+The paper notes that *"in expectation, our protocols mimic continuous
+diffusion"* and that its techniques apply to discrete diffusive load
+balancing where each node sends the rounded expected flow ([2]). This
+subpackage implements those baselines:
+
+* :class:`ContinuousDiffusion` — deterministic first-order diffusion on
+  real-valued load (Cybenko/Boillat, heterogeneous form of
+  Elsasser–Monien–Preis via ``L S^{-1}`` flows);
+* :class:`SecondOrderDiffusion` — the accelerated scheme of
+  Muthukrishnan–Ghosh–Schultz;
+* :class:`RoundedFlowProtocol` — discrete diffusion sending the rounded
+  expected flow (deterministic, [2]);
+* :class:`RandomizedRoundingProtocol` — discrete diffusion with
+  randomized rounding of the expected flow ([20]).
+
+The discrete schemes implement the :class:`repro.core.protocols.Protocol`
+interface so they plug into the same simulator and stopping rules as the
+selfish protocols.
+"""
+
+from repro.diffusion.continuous import (
+    ContinuousDiffusion,
+    SecondOrderDiffusion,
+    run_continuous_diffusion,
+)
+from repro.diffusion.discrete import RoundedFlowProtocol, RandomizedRoundingProtocol
+from repro.diffusion.matchings import DimensionExchangeProtocol, greedy_edge_coloring
+
+__all__ = [
+    "ContinuousDiffusion",
+    "SecondOrderDiffusion",
+    "run_continuous_diffusion",
+    "RoundedFlowProtocol",
+    "RandomizedRoundingProtocol",
+    "DimensionExchangeProtocol",
+    "greedy_edge_coloring",
+]

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError` raised by numpy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "SpectralError",
+    "ModelError",
+    "SpeedError",
+    "PlacementError",
+    "ProtocolError",
+    "SimulationError",
+    "ConvergenceError",
+    "ExperimentError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation.
+
+    Subclasses :class:`ValueError` so idiomatic ``except ValueError``
+    call sites keep working.
+    """
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation on it is impossible."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requires a connected graph but got a disconnected one.
+
+    The load balancing analysis requires ``lambda_2 > 0``, which holds if
+    and only if the network is connected (Lemma 1.4 in the paper).
+    """
+
+
+class SpectralError(ReproError):
+    """Eigenvalue or spectral-bound computation failed."""
+
+
+class ModelError(ReproError):
+    """The load-balancing model (speeds, tasks, state) is inconsistent."""
+
+
+class SpeedError(ModelError):
+    """A speed vector violates the model assumptions (positivity, scaling)."""
+
+
+class PlacementError(ModelError):
+    """An initial task placement cannot be constructed as requested."""
+
+
+class ProtocolError(ReproError):
+    """A protocol was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid internal state."""
+
+
+class ConvergenceError(SimulationError):
+    """A run did not converge within its round budget.
+
+    Attributes
+    ----------
+    rounds:
+        Number of rounds that were executed before giving up.
+    """
+
+    def __init__(self, message: str, rounds: int | None = None):
+        super().__init__(message)
+        self.rounds = rounds
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or execution failed."""

@@ -1,0 +1,105 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table1-approx thm11 [--full] [--seed N]
+    python -m repro.experiments all [--full] [--markdown experiments.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.reporting import render_result, result_to_markdown
+from repro.utils.serialization import write_csv, write_json
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables/figures/theorems of Adolphs & "
+        "Berenbrink (PODC 2012).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run selected experiments")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids")
+    _add_common(run_parser)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    _add_common(all_parser)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full sweep sizes (default: quick sweeps)",
+    )
+    parser.add_argument("--seed", type=int, default=20120716, help="base seed")
+    parser.add_argument(
+        "--markdown", type=Path, default=None, help="append markdown report here"
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write raw result data here"
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        help="directory for figure-style data series (one CSV per series)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    ids = available_experiments() if args.command == "all" else args.ids
+    quick = not args.full
+    all_passed = True
+    markdown_sections: list[str] = []
+    json_data: dict = {}
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=quick, seed=args.seed)
+        print(render_result(result))
+        print()
+        all_passed = all_passed and result.passed
+        markdown_sections.append(result_to_markdown(result))
+        json_data[experiment_id] = {"passed": result.passed, **result.data}
+        if args.csv is not None and result.series:
+            args.csv.mkdir(parents=True, exist_ok=True)
+            for series_name, columns in result.series.items():
+                headers = list(columns)
+                rows = list(zip(*(columns[name] for name in headers)))
+                write_csv(args.csv / f"{series_name}.csv", rows, headers)
+
+    if args.markdown is not None:
+        existing = (
+            args.markdown.read_text(encoding="utf-8")
+            if args.markdown.exists()
+            else ""
+        )
+        args.markdown.write_text(
+            existing + "\n".join(markdown_sections) + "\n", encoding="utf-8"
+        )
+    if args.json is not None:
+        write_json(args.json, json_data)
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Shared measurement helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.convergence import measure_convergence_rounds
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.stopping import NashStop, PotentialThresholdStop, StoppingRule
+from repro.graphs.families import get_family
+from repro.graphs.graph import Graph
+from repro.model.placement import adversarial_placement, random_placement
+from repro.model.state import UniformState
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.bounds import GraphQuantities, theorem11_round_bound, theorem12_round_bound
+from repro.theory.constants import psi_critical
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "FamilyMeasurement",
+    "measure_psi_threshold_time",
+    "measure_exact_nash_time",
+    "APPROX_SWEEP_QUICK",
+    "APPROX_SWEEP_FULL",
+    "EXACT_SWEEP_QUICK",
+    "EXACT_SWEEP_FULL",
+]
+
+#: Sweep sizes per family for the eps-approximate NE measurement.
+APPROX_SWEEP_QUICK: dict[str, list[int]] = {
+    "complete": [8, 16, 32],
+    "ring": [8, 12, 16, 24],
+    "torus": [9, 16, 25],
+    "hypercube": [8, 16, 32],
+}
+APPROX_SWEEP_FULL: dict[str, list[int]] = {
+    "complete": [8, 16, 32, 64, 128],
+    "ring": [8, 12, 16, 24, 32, 48],
+    "path": [8, 12, 16, 24, 32],
+    "torus": [9, 16, 25, 36, 64],
+    "mesh": [9, 16, 25, 36],
+    "hypercube": [8, 16, 32, 64, 128],
+}
+
+#: Sweep sizes per family for the exact NE measurement.
+EXACT_SWEEP_QUICK: dict[str, list[int]] = {
+    "complete": [8, 16, 32],
+    "ring": [6, 8, 12, 16],
+    "torus": [9, 16, 25],
+    "hypercube": [8, 16, 32],
+}
+EXACT_SWEEP_FULL: dict[str, list[int]] = {
+    "complete": [8, 16, 32, 64],
+    "ring": [6, 8, 12, 16, 24],
+    "path": [6, 8, 12, 16],
+    "torus": [9, 16, 25, 36],
+    "mesh": [9, 16, 25],
+    "hypercube": [8, 16, 32, 64],
+}
+
+
+@dataclass(frozen=True)
+class FamilyMeasurement:
+    """Convergence measurement for one (family, size) cell.
+
+    Attributes
+    ----------
+    family, n, m:
+        Configuration of the cell (``n`` is the *actual* graph size).
+    lambda2, max_degree:
+        Measured spectral/structural quantities.
+    median_rounds, mean_rounds:
+        Convergence-time statistics over repetitions.
+    bound_rounds:
+        The paper's (concrete-constant) upper bound for this cell.
+    num_converged, num_repetitions:
+        Convergence bookkeeping.
+    """
+
+    family: str
+    n: int
+    m: int
+    lambda2: float
+    max_degree: int
+    median_rounds: float
+    mean_rounds: float
+    bound_rounds: float
+    num_converged: int
+    num_repetitions: int
+
+
+def _uniform_state_factory(graph: Graph, m: int, adversarial: bool):
+    """Factory producing fresh initial uniform states per repetition."""
+    n = graph.num_vertices
+    speeds = np.ones(n, dtype=np.float64)
+
+    def factory(rng: np.random.Generator) -> UniformState:
+        if adversarial:
+            counts = adversarial_placement(speeds, m)
+        else:
+            counts = random_placement(n, m, rng)
+        return UniformState(counts, speeds)
+
+    return factory
+
+
+def measure_psi_threshold_time(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    budget_factor: float = 2.0,
+) -> FamilyMeasurement:
+    """Measure rounds until ``Psi_0 <= 4 psi_c`` on one family cell.
+
+    Uniform speeds (Table 1 omits the speed factors). ``m`` is
+    ``ceil(m_factor * n^2)`` — quadratic in ``n`` so the initial potential
+    is far above the critical value at every size. The start is
+    adversarial (all tasks on one node).
+    """
+    family = get_family(family_name)
+    graph = family.make(target_n)
+    n = graph.num_vertices
+    m = int(math.ceil(m_factor * n * n))
+    lambda2 = algebraic_connectivity(graph)
+    quantities = GraphQuantities(n=n, max_degree=graph.max_degree, lambda2=lambda2)
+    psi_c = psi_critical(n, graph.max_degree, lambda2, 1.0)
+    bound = theorem11_round_bound(quantities, m, 1.0)
+    stopping: StoppingRule = PotentialThresholdStop(4.0 * psi_c, "psi0")
+    measurement = measure_convergence_rounds(
+        graph=graph,
+        protocol=SelfishUniformProtocol(),
+        state_factory=_uniform_state_factory(graph, m, adversarial=True),
+        stopping=stopping,
+        repetitions=repetitions,
+        max_rounds=int(math.ceil(budget_factor * bound)) + 10,
+        seed=derive_seed(seed, family_name, n, "approx"),
+    )
+    return FamilyMeasurement(
+        family=family_name,
+        n=n,
+        m=m,
+        lambda2=lambda2,
+        max_degree=graph.max_degree,
+        median_rounds=measurement.median_rounds,
+        mean_rounds=measurement.mean_rounds,
+        bound_rounds=bound,
+        num_converged=measurement.num_converged,
+        num_repetitions=measurement.num_repetitions,
+    )
+
+
+def measure_exact_nash_time(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    max_budget: int = 2_000_000,
+) -> FamilyMeasurement:
+    """Measure rounds until the exact NE on one family cell.
+
+    Uniform speeds and ``m = ceil(m_factor * n)`` tasks from an
+    adversarial start (all tasks on one node, so the endgame is reached
+    after a genuine spreading phase); the stopping rule is the exact NE
+    condition. The budget is the Theorem 1.2 bound capped at
+    ``max_budget``.
+    """
+    family = get_family(family_name)
+    graph = family.make(target_n)
+    n = graph.num_vertices
+    m = int(math.ceil(m_factor * n))
+    lambda2 = algebraic_connectivity(graph)
+    quantities = GraphQuantities(n=n, max_degree=graph.max_degree, lambda2=lambda2)
+    bound = theorem12_round_bound(quantities, 1.0, 1.0)
+    budget = int(min(bound, max_budget))
+    measurement = measure_convergence_rounds(
+        graph=graph,
+        protocol=SelfishUniformProtocol(),
+        state_factory=_uniform_state_factory(graph, m, adversarial=True),
+        stopping=NashStop(),
+        repetitions=repetitions,
+        max_rounds=budget,
+        seed=derive_seed(seed, family_name, n, "exact"),
+    )
+    return FamilyMeasurement(
+        family=family_name,
+        n=n,
+        m=m,
+        lambda2=lambda2,
+        max_degree=graph.max_degree,
+        median_rounds=measurement.median_rounds,
+        mean_rounds=measurement.mean_rounds,
+        bound_rounds=bound,
+        num_converged=measurement.num_converged,
+        num_repetitions=measurement.num_repetitions,
+    )

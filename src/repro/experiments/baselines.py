@@ -1,0 +1,187 @@
+"""Selfish protocol vs diffusion baselines.
+
+The paper situates its protocol against (non-selfish) diffusion: in
+expectation the selfish protocol mimics continuous diffusion, and its
+techniques transfer to discrete diffusive schemes ([2], [20], [26]).
+This experiment runs all four dynamics on the same workload and reports
+rounds to reach the balanced region ``Psi_0 <= 4 psi_c`` plus the final
+imbalance:
+
+* Algorithm 1 (selfish, randomized, incentive threshold ``1/s_j``);
+* rounded-expected-flow discrete diffusion (deterministic, [2]);
+* randomized-rounding discrete diffusion ([20]);
+* continuous diffusion (real-valued, the idealized reference).
+
+Expected shape: continuous diffusion is fastest (no rounding, no
+threshold); the discrete schemes track it; the selfish protocol pays for
+the incentive threshold and randomness but stays within a constant
+factor of the diffusion schemes — and it alone stops at the NE threshold
+rather than balancing further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flows import default_alpha
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.simulator import Simulator
+from repro.core.stopping import PotentialThresholdStop
+from repro.diffusion.continuous import ContinuousDiffusion
+from repro.diffusion.discrete import RandomizedRoundingProtocol, RoundedFlowProtocol
+from repro.experiments.registry import ExperimentResult, register_experiment
+from repro.graphs.families import get_family
+from repro.graphs.properties import diameter as graph_diameter
+from repro.model.placement import adversarial_placement
+from repro.model.speeds import two_class_speeds, uniform_speeds
+from repro.model.state import UniformState
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.constants import psi_critical
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import Table, format_float
+
+__all__ = ["run_baselines"]
+
+
+def _continuous_hitting_time(
+    diffusion: ContinuousDiffusion,
+    initial_weights: np.ndarray,
+    threshold: float,
+    speeds: np.ndarray,
+    horizon: int,
+) -> tuple[float, float]:
+    """(first round with Psi_0 <= threshold, final Psi_0)."""
+    total = float(initial_weights.sum())
+    total_speed = float(speeds.sum())
+    target = total / total_speed * speeds
+    weights = initial_weights.astype(np.float64)
+    hit = float("nan")
+    for round_index in range(horizon + 1):
+        deviation = weights - target
+        psi0 = float(np.sum(deviation * deviation / speeds))
+        if np.isnan(hit) and psi0 <= threshold:
+            hit = float(round_index)
+            break
+        if round_index < horizon:
+            weights = diffusion.step(weights)
+    deviation = weights - target
+    return hit, float(np.sum(deviation * deviation / speeds))
+
+
+@register_experiment("baselines")
+def run_baselines(quick: bool = True, seed: int = 20120716) -> ExperimentResult:
+    """Run the protocol-vs-diffusion comparison."""
+    cells = [("torus", 9, "uniform")]
+    if not quick:
+        cells.extend([("torus", 16, "two-class"), ("ring", 16, "uniform")])
+
+    table = Table(
+        headers=[
+            "graph",
+            "speeds",
+            "scheme",
+            "rounds to 4 psi_c",
+            "final L_delta",
+            "converged",
+        ],
+        title="Selfish protocol vs diffusion baselines (m = 8 n^2, adversarial start)",
+    )
+    rows = []
+    all_ok = True
+    for family_name, n_target, speed_kind in cells:
+        family = get_family(family_name)
+        graph = family.make(n_target)
+        n = graph.num_vertices
+        speeds = (
+            uniform_speeds(n)
+            if speed_kind == "uniform"
+            else two_class_speeds(n, 0.25, 2.0)
+        )
+        s_max = float(speeds.max())
+        m = 8 * n * n
+        lambda2 = algebraic_connectivity(graph)
+        psi_c = psi_critical(n, graph.max_degree, lambda2, s_max)
+        threshold = 4.0 * psi_c
+        horizon = 3000 if quick else 20000
+        initial_counts = adversarial_placement(speeds, m)
+
+        # The deterministic rounded-flow scheme legitimately stalls once
+        # every expected flow floors to zero; its discrepancy then sits
+        # below the per-edge stall gain times the diameter.
+        s_min = float(speeds.min())
+        stall_gain = default_alpha(s_max) * graph.max_degree * 2.0 / s_min
+        stall_bound = stall_gain * graph_diameter(graph)
+
+        schemes = [
+            ("selfish (Alg. 1)", SelfishUniformProtocol(), False),
+            ("rounded-flow [2]", RoundedFlowProtocol(), True),
+            ("randomized-rounding [20]", RandomizedRoundingProtocol(), False),
+        ]
+        cell_rows = {}
+        for scheme_name, protocol, may_stall in schemes:
+            rng = make_rng(derive_seed(seed, "baseline", family_name, scheme_name))
+            state = UniformState(initial_counts.copy(), speeds)
+            simulator = Simulator(graph, protocol, rng)
+            result = simulator.run(
+                state,
+                stopping=PotentialThresholdStop(threshold, "psi0"),
+                max_rounds=horizon,
+            )
+            rounds = result.stop_round if result.converged else float("nan")
+            final_l_delta = state.max_load_difference
+            scheme_ok = result.converged or (
+                may_stall and final_l_delta <= stall_bound
+            )
+            table.add_row(
+                [
+                    family_name,
+                    speed_kind,
+                    scheme_name,
+                    rounds,
+                    format_float(final_l_delta, 4),
+                    result.converged,
+                ]
+            )
+            cell_rows[scheme_name] = {
+                "rounds": rounds,
+                "final_l_delta": final_l_delta,
+                "converged": result.converged,
+            }
+            all_ok = all_ok and scheme_ok
+
+        diffusion = ContinuousDiffusion(graph, speeds)
+        hit, final_psi0 = _continuous_hitting_time(
+            diffusion, initial_counts.astype(np.float64), threshold, speeds, horizon
+        )
+        final_l_delta = float("nan") if np.isnan(hit) else None
+        table.add_row(
+            [
+                family_name,
+                speed_kind,
+                "continuous diffusion",
+                hit,
+                "-",
+                not np.isnan(hit),
+            ]
+        )
+        cell_rows["continuous"] = {"rounds": hit, "final_psi0": final_psi0}
+        all_ok = all_ok and not np.isnan(hit)
+        rows.append({"family": family_name, "speeds": speed_kind, "schemes": cell_rows})
+
+    result = ExperimentResult(
+        experiment_id="baselines",
+        title="Selfish load balancing vs (non-selfish) diffusion",
+        tables=[table],
+        passed=all_ok,
+        data={"rows": rows},
+    )
+    result.notes.append(
+        "Selfish protocol, randomized rounding and continuous diffusion "
+        "all reach the balanced region at comparable round counts (the "
+        "selfish protocol's expected motion *is* damped diffusion); the "
+        "deterministic rounded-flow scheme stalls at its documented "
+        "bounded discrepancy once flows floor to zero."
+        if all_ok
+        else "WARNING: a scheme failed to reach the balanced region."
+    )
+    return result

@@ -1,0 +1,127 @@
+"""Experiment registry and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.utils.tables import Table
+
+__all__ = [
+    "ExperimentResult",
+    "register_experiment",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id.
+    title:
+        Human-readable title (references the paper artifact).
+    tables:
+        Rendered result tables.
+    notes:
+        Free-form observations (measured-vs-paper commentary).
+    passed:
+        Overall verdict: did the measurements respect the paper's claims?
+    data:
+        Raw numbers for JSON export.
+    series:
+        Named data series (figure-style output): series name -> mapping
+        of column name to list of values, all columns equal length. The
+        CLI's ``--csv`` option writes one CSV per series.
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    passed: bool = True
+    data: dict = field(default_factory=dict)
+    series: dict[str, dict[str, list]] = field(default_factory=dict)
+
+
+#: Registered experiments: id -> callable(quick: bool, seed: int) -> result.
+_REGISTRY: dict[str, Callable[[bool, int], ExperimentResult]] = {}
+
+
+def register_experiment(
+    experiment_id: str,
+) -> Callable[[Callable[[bool, int], ExperimentResult]], Callable[[bool, int], ExperimentResult]]:
+    """Class/function decorator registering an experiment runner.
+
+    The wrapped callable must accept ``(quick, seed)`` keyword-compatible
+    positionals and return an :class:`ExperimentResult`.
+    """
+
+    def decorator(
+        func: Callable[[bool, int], ExperimentResult]
+    ) -> Callable[[bool, int], ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"experiment {experiment_id!r} already registered")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    """Import all experiment modules so their registrations run."""
+    # Imported lazily to avoid import cycles at package import time.
+    from repro.experiments import (  # noqa: F401
+        baselines,
+        decay,
+        potential_drop,
+        quality,
+        robustness,
+        spectral_exp,
+        table1,
+        theorem11,
+        theorem12,
+        theorem13,
+        weighted_variants,
+    )
+
+
+def available_experiments() -> list[str]:
+    """Sorted ids of all registered experiments."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[bool, int], ExperimentResult]:
+    """Look up an experiment runner by id."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = True, seed: int = 20120716
+) -> ExperimentResult:
+    """Run an experiment by id.
+
+    Parameters
+    ----------
+    quick:
+        ``True`` (default) uses reduced sweeps suitable for CI;
+        ``False`` runs the full sweep sizes.
+    seed:
+        Base seed; every repetition derives an independent child.
+    """
+    runner = get_experiment(experiment_id)
+    return runner(quick, seed)

@@ -1,0 +1,40 @@
+"""Rendering experiment results to text and markdown."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult
+
+__all__ = ["render_result", "result_to_markdown"]
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render a result for terminal output."""
+    lines = [
+        "=" * 72,
+        f"experiment: {result.experiment_id}",
+        result.title,
+        "=" * 72,
+    ]
+    for table in result.tables:
+        lines.append(table.render())
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"* {note}")
+    lines.append("")
+    lines.append(f"verdict: {'PASS' if result.passed else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render a result as a markdown section (EXPERIMENTS.md format)."""
+    lines = [f"### `{result.experiment_id}` — {result.title}", ""]
+    for table in result.tables:
+        lines.append(table.render_markdown())
+        lines.append("")
+    if result.notes:
+        for note in result.notes:
+            lines.append(f"- {note}")
+        lines.append("")
+    lines.append(f"**Verdict:** {'PASS' if result.passed else 'FAIL'}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Theorem 1.2 measured-vs-bound.
+
+With speeds that are integer multiples of a granularity ``eps`` and the
+convergence factor raised to ``alpha = 4 s_max / eps``, Theorem 1.2 claims
+the protocol reaches an **exact** NE in expected time
+``O(n Delta^2 / lambda_2 * s_max^4 / eps^2)`` (concrete constant 607 in
+the proof). The experiment measures hitting times of the exact NE on
+small graphs with integer and fractional-granularity speeds and asserts
+they stay below the explicit bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flows import default_alpha
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.simulator import Simulator
+from repro.core.stopping import NashStop
+from repro.experiments.registry import ExperimentResult, register_experiment
+from repro.graphs.families import get_family
+from repro.model.placement import adversarial_placement
+from repro.model.speeds import granular_speeds, random_integer_speeds, speed_granularity
+from repro.model.state import UniformState
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.bounds import GraphQuantities, theorem12_round_bound
+from repro.utils.rng import derive_seed, spawn_rngs
+from repro.utils.tables import Table, format_float
+
+__all__ = ["run_theorem12"]
+
+
+def _cells(quick: bool) -> list[dict]:
+    cells = [
+        {"family": "ring", "n": 8, "speeds": "integer", "s_max": 2},
+        {"family": "ring", "n": 8, "speeds": "granular", "granularity": 0.5, "s_max": 2.0},
+    ]
+    if not quick:
+        cells.extend(
+            [
+                {"family": "torus", "n": 9, "speeds": "integer", "s_max": 2},
+                {"family": "ring", "n": 12, "speeds": "granular", "granularity": 0.5, "s_max": 2.0},
+                {"family": "hypercube", "n": 16, "speeds": "integer", "s_max": 3},
+            ]
+        )
+    return cells
+
+
+@register_experiment("thm12")
+def run_theorem12(quick: bool = True, seed: int = 20120716) -> ExperimentResult:
+    """Run the Theorem 1.2 verification."""
+    repetitions = 3 if quick else 5
+    m_factor = 8
+    table = Table(
+        headers=[
+            "graph",
+            "n",
+            "speeds",
+            "eps_gran",
+            "alpha",
+            "median T",
+            "bound",
+            "T/bound",
+        ],
+        title="Theorem 1.2: rounds to the exact NE with granular speeds",
+    )
+    all_ok = True
+    rows_data = []
+    for cell in _cells(quick):
+        family = get_family(cell["family"])
+        graph = family.make(cell["n"])
+        n = graph.num_vertices
+        cell_seed = derive_seed(seed, cell["family"], n, cell["speeds"])
+        if cell["speeds"] == "integer":
+            speeds = random_integer_speeds(n, cell["s_max"], seed=cell_seed)
+        else:
+            speeds = granular_speeds(
+                n, cell["s_max"], cell["granularity"], seed=cell_seed
+            )
+        granularity = speed_granularity(speeds)
+        s_max = float(speeds.max())
+        alpha = default_alpha(s_max, granularity)
+        lambda2 = algebraic_connectivity(graph)
+        quantities = GraphQuantities(n=n, max_degree=graph.max_degree, lambda2=lambda2)
+        bound = theorem12_round_bound(quantities, s_max, granularity)
+        m = m_factor * n
+
+        times: list[int] = []
+        for rng in spawn_rngs(cell_seed, repetitions):
+            counts = adversarial_placement(speeds, m)
+            state = UniformState(counts, speeds)
+            simulator = Simulator(
+                graph, SelfishUniformProtocol(alpha=alpha), rng
+            )
+            result = simulator.run(
+                state, stopping=NashStop(), max_rounds=int(min(bound, 2_000_000)) + 10
+            )
+            times.append(result.stop_round if result.converged else -1)
+
+        converged = [t for t in times if t >= 0]
+        median_t = float(np.median(converged)) if converged else float("nan")
+        ok = len(converged) == repetitions and all(t <= bound for t in converged)
+        all_ok = all_ok and ok
+        table.add_row(
+            [
+                cell["family"],
+                n,
+                cell["speeds"],
+                format_float(granularity, 2),
+                format_float(alpha, 1),
+                median_t,
+                format_float(bound, 0),
+                format_float(median_t / bound if bound > 0 else float("nan"), 6),
+            ]
+        )
+        rows_data.append(
+            {
+                "family": cell["family"],
+                "n": n,
+                "speeds": cell["speeds"],
+                "granularity": granularity,
+                "median_rounds": median_t,
+                "bound": bound,
+            }
+        )
+
+    result = ExperimentResult(
+        experiment_id="thm12",
+        title="Theorem 1.2: exact NE in O(n Delta^2/lambda2 s_max^4/eps^2)",
+        tables=[table],
+        passed=all_ok,
+        data={"rows": rows_data},
+    )
+    result.notes.append(
+        "All repetitions reached the exact NE well below the explicit "
+        "607-constant bound (the constant is loose, as expected)."
+        if all_ok
+        else "WARNING: a repetition missed the Theorem 1.2 bound."
+    )
+    return result

@@ -1,0 +1,131 @@
+"""Algorithm 2 probability rules vs the [6] per-task condition.
+
+Section 4's key design decision: a task's migration decision ignores its
+own weight (condition ``l_i - l_j > 1/s_j``), so per edge either all
+tasks want to move or none — the property the analysis leans on. The
+baseline keeps [6]'s per-task condition ``l_i - l_j > w_l/s_j``.
+
+The experiment compares three protocols on a heavy/light task mix:
+
+* Algorithm 2, flow rule (Definition 4.1 — the analysis form);
+* Algorithm 2, literal pseudo-code rule (differs for non-uniform speeds);
+* the per-task-threshold baseline ([6]-style).
+
+Measured: rounds to the threshold state (``l_i - l_j <= 1/s_j`` on all
+edges, Algorithm 2's convergence target) and the residual churn
+afterwards. The per-task baseline's lighter tasks keep migrating after
+the threshold state is reached (their own condition is stricter), which
+is exactly the behaviour the paper's modification removes.
+"""
+
+from __future__ import annotations
+
+from repro.core.equilibrium import is_nash
+from repro.core.protocols import (
+    PerTaskThresholdProtocol,
+    SelfishWeightedProtocol,
+)
+from repro.core.simulator import Simulator
+from repro.core.stopping import NashStop
+from repro.experiments.registry import ExperimentResult, register_experiment
+from repro.graphs.families import get_family
+from repro.model.placement import place_weighted_all_on_one
+from repro.model.speeds import two_class_speeds
+from repro.model.state import WeightedState
+from repro.model.tasks import two_class_weights
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import Table, format_float
+
+__all__ = ["run_weighted_variants"]
+
+
+@register_experiment("weighted-variants")
+def run_weighted_variants(quick: bool = True, seed: int = 20120716) -> ExperimentResult:
+    """Run the weighted-protocol ablation."""
+    family = get_family("ring")
+    graph = family.make(8 if quick else 16)
+    n = graph.num_vertices
+    speeds = two_class_speeds(n, fast_fraction=0.25, fast_speed=2.0)
+    m = 1500 if quick else 6000
+    weights = two_class_weights(m, heavy_fraction=0.1, heavy=1.0, light=0.1)
+    budget = 30_000 if quick else 200_000
+    churn_window = 200
+
+    protocols = [
+        ("Alg. 2 / flow rule", SelfishWeightedProtocol(rule="flow")),
+        ("Alg. 2 / pseudo-code rule", SelfishWeightedProtocol(rule="pseudocode")),
+        ("[6]-style per-task", PerTaskThresholdProtocol()),
+    ]
+    table = Table(
+        headers=[
+            "protocol",
+            "rounds to threshold state",
+            "churn/round after",
+            "still threshold-NE after churn",
+        ],
+        title=(
+            f"Weighted variants on ring(n={n}), two-class speeds, "
+            f"m={m} heavy/light tasks"
+        ),
+    )
+    rows = {}
+    converged_all = True
+    for name, protocol in protocols:
+        rng = make_rng(derive_seed(seed, "weighted-variants", name))
+        locations = place_weighted_all_on_one(m, 0)
+        state = WeightedState(locations, weights, speeds)
+        simulator = Simulator(graph, protocol, rng)
+        result = simulator.run(state, stopping=NashStop(), max_rounds=budget)
+        rounds = result.stop_round if result.converged else float("nan")
+        converged_all = converged_all and result.converged
+
+        # Post-convergence churn: keep running and count migrations.
+        moved = 0
+        for _ in range(churn_window):
+            moved += protocol.execute_round(state, graph, rng).tasks_moved
+        churn = moved / churn_window
+        still_nash = is_nash(state, graph)
+        table.add_row(
+            [
+                name,
+                rounds,
+                format_float(churn, 3),
+                still_nash,
+            ]
+        )
+        rows[name] = {
+            "rounds": rounds,
+            "churn_per_round": churn,
+            "still_threshold_nash": still_nash,
+        }
+
+    # Expected shape: both Algorithm 2 rules converge and then stay quiet
+    # (zero churn: no edge satisfies the weight-oblivious condition). The
+    # per-task baseline may keep moving light tasks.
+    alg2_quiet = (
+        rows["Alg. 2 / flow rule"]["churn_per_round"] == 0.0
+        and rows["Alg. 2 / pseudo-code rule"]["churn_per_round"] == 0.0
+    )
+    result = ExperimentResult(
+        experiment_id="weighted-variants",
+        title="Section 4 ablation: migration condition and probability rule",
+        tables=[table],
+        passed=converged_all and alg2_quiet,
+        data={"rows": rows},
+    )
+    result.notes.append(
+        "Both Algorithm 2 rules reach the threshold state and stop moving "
+        "entirely (all-or-none incentive per edge)."
+        if alg2_quiet
+        else "WARNING: Algorithm 2 kept migrating after the threshold state."
+    )
+    per_task_churn = rows["[6]-style per-task"]["churn_per_round"]
+    result.notes.append(
+        f"The per-task baseline continues migrating light tasks after the "
+        f"threshold state ({per_task_churn:.2f} moves/round) — the churn "
+        f"the paper's weight-oblivious condition eliminates."
+        if per_task_churn > 0
+        else "The per-task baseline also became quiet (it reached the "
+        "stronger per-task NE)."
+    )
+    return result

@@ -1,0 +1,78 @@
+"""Graph substrate: representation, generators, properties, families.
+
+The network of processors is an undirected simple graph. The central type
+is :class:`repro.graphs.Graph`, an immutable CSR-backed adjacency structure
+sized for vectorized per-round simulation. Generators for all graph classes
+appearing in the paper's Table 1 (complete, ring, path, mesh, torus,
+hypercube) plus several auxiliary families live in
+:mod:`repro.graphs.generators`, and :mod:`repro.graphs.families` packages
+them together with their closed-form spectral quantities.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    path_graph,
+    cycle_graph,
+    grid_graph,
+    torus_graph,
+    hypercube_graph,
+    star_graph,
+    complete_bipartite_graph,
+    binary_tree_graph,
+    random_regular_graph,
+    erdos_renyi_graph,
+    watts_strogatz_graph,
+    random_geometric_graph,
+    barbell_graph,
+    lollipop_graph,
+    circulant_graph,
+    from_edges,
+)
+from repro.graphs.properties import (
+    bfs_distances,
+    diameter,
+    is_connected,
+    connected_components,
+    degree_histogram,
+    is_bipartite,
+    is_regular,
+)
+from repro.graphs.families import (
+    GraphFamily,
+    FAMILIES,
+    get_family,
+    family_names,
+)
+
+__all__ = [
+    "Graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "star_graph",
+    "complete_bipartite_graph",
+    "binary_tree_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "random_geometric_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "circulant_graph",
+    "from_edges",
+    "bfs_distances",
+    "diameter",
+    "is_connected",
+    "connected_components",
+    "degree_histogram",
+    "is_bipartite",
+    "is_regular",
+    "GraphFamily",
+    "FAMILIES",
+    "get_family",
+    "family_names",
+]

@@ -1,0 +1,228 @@
+"""Graph families with closed-form spectral quantities.
+
+Table 1 of the paper reports convergence bounds for four graph classes.
+A :class:`GraphFamily` bundles, for each class:
+
+* a constructor mapping a *target* size ``n`` to a concrete graph whose
+  actual size is the closest admissible value (e.g. a square torus needs a
+  perfect-square ``n``, a hypercube a power of two);
+* closed forms for the algebraic connectivity ``lambda_2``, the maximum
+  degree ``Delta``, and the diameter — the three graph quantities entering
+  the paper's bounds;
+* the asymptotic Table 1 rows for this paper and for the baseline [6]
+  (as python callables of ``n`` and ``m``), used by the Table 1 experiment
+  to fit and compare scaling exponents.
+
+The closed forms are standard (see e.g. the spectra listed in Mohar's
+survey [24] in the paper's bibliography):
+
+* ``K_n``: Laplacian spectrum ``{0, n, ..., n}``, so ``lambda_2 = n``.
+* ``C_n``: ``lambda_k = 2 - 2 cos(2 pi k / n)``, so
+  ``lambda_2 = 2(1 - cos(2 pi / n))``.
+* ``P_n``: ``lambda_k = 2 - 2 cos(pi k / n)``, so
+  ``lambda_2 = 2(1 - cos(pi / n))``.
+* square mesh ``P_k x P_k``: Cartesian-product spectrum; ``lambda_2`` equals
+  the path's ``2(1 - cos(pi / k))``.
+* square torus ``C_k x C_k``: ``lambda_2 = 2(1 - cos(2 pi / k))``.
+* hypercube ``Q_d``: spectrum ``{2i : i = 0..d}``, so ``lambda_2 = 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    torus_graph,
+)
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphFamily", "FAMILIES", "get_family", "family_names"]
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """A named graph family with closed-form spectral quantities.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in experiment configs (``"complete"``, ``"ring"``,
+        ``"path"``, ``"mesh"``, ``"torus"``, ``"hypercube"``).
+    make:
+        Maps a target ``n`` to a concrete :class:`Graph` (actual size may be
+        rounded to the nearest admissible value; read it off the graph).
+    admissible_size:
+        Maps a target ``n`` to the actual size the constructor will use.
+    lambda2:
+        Closed-form algebraic connectivity as a function of the *actual* n.
+    max_degree:
+        Closed-form ``Delta`` as a function of the actual n.
+    diameter:
+        Closed-form diameter as a function of the actual n.
+    approx_bound_this:
+        Table 1 row (this paper), eps-approximate NE column: ``f(n, m)``.
+    approx_bound_prior:
+        Table 1 row for [6], eps-approximate NE column.
+    exact_bound_this:
+        Table 1 row (this paper), exact NE column: ``f(n)``.
+    exact_bound_prior:
+        Table 1 row for [6], exact NE column.
+    """
+
+    name: str
+    make: Callable[[int], Graph]
+    admissible_size: Callable[[int], int]
+    lambda2: Callable[[int], float]
+    max_degree: Callable[[int], int]
+    diameter: Callable[[int], int]
+    approx_bound_this: Callable[[int, int], float]
+    approx_bound_prior: Callable[[int, int], float]
+    exact_bound_this: Callable[[int], float]
+    exact_bound_prior: Callable[[int], float]
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"family {self.name}"
+
+
+def _nearest_square(n: int) -> int:
+    side = max(2, round(math.sqrt(n)))
+    return side * side
+
+
+def _nearest_square_min3(n: int) -> int:
+    side = max(3, round(math.sqrt(n)))
+    return side * side
+
+
+def _nearest_power_of_two(n: int) -> int:
+    if n < 2:
+        return 2
+    exponent = round(math.log2(n))
+    return 1 << max(1, exponent)
+
+
+def _log_ratio(m: int, n: int) -> float:
+    """``ln(m/n)`` floored at 1 so the bound never vanishes."""
+    return max(1.0, math.log(max(m, 2) / max(n, 1)))
+
+
+FAMILIES: dict[str, GraphFamily] = {}
+
+
+def _register(family: GraphFamily) -> None:
+    FAMILIES[family.name] = family
+
+
+_register(
+    GraphFamily(
+        name="complete",
+        make=lambda n: complete_graph(max(2, n)),
+        admissible_size=lambda n: max(2, n),
+        lambda2=lambda n: float(n),
+        max_degree=lambda n: n - 1,
+        diameter=lambda n: 1,
+        approx_bound_this=lambda n, m: _log_ratio(m, n),
+        approx_bound_prior=lambda n, m: n**2 * math.log(max(m, 2)),
+        exact_bound_this=lambda n: float(n**2),
+        exact_bound_prior=lambda n: float(n**6),
+    )
+)
+
+_register(
+    GraphFamily(
+        name="ring",
+        make=lambda n: cycle_graph(max(3, n)),
+        admissible_size=lambda n: max(3, n),
+        lambda2=lambda n: 2.0 * (1.0 - math.cos(2.0 * math.pi / n)),
+        max_degree=lambda n: 2,
+        diameter=lambda n: n // 2,
+        approx_bound_this=lambda n, m: n**2 * _log_ratio(m, n),
+        approx_bound_prior=lambda n, m: n**3 * math.log(max(m, 2)),
+        exact_bound_this=lambda n: float(n**3),
+        exact_bound_prior=lambda n: float(n**5),
+    )
+)
+
+_register(
+    GraphFamily(
+        name="path",
+        make=lambda n: path_graph(max(2, n)),
+        admissible_size=lambda n: max(2, n),
+        lambda2=lambda n: 2.0 * (1.0 - math.cos(math.pi / n)),
+        max_degree=lambda n: 2 if n >= 3 else 1,
+        diameter=lambda n: n - 1,
+        approx_bound_this=lambda n, m: n**2 * _log_ratio(m, n),
+        approx_bound_prior=lambda n, m: n**3 * math.log(max(m, 2)),
+        exact_bound_this=lambda n: float(n**3),
+        exact_bound_prior=lambda n: float(n**5),
+    )
+)
+
+_register(
+    GraphFamily(
+        name="mesh",
+        make=lambda n: grid_graph(max(2, round(math.sqrt(n)))),
+        admissible_size=_nearest_square,
+        lambda2=lambda n: 2.0 * (1.0 - math.cos(math.pi / round(math.sqrt(n)))),
+        max_degree=lambda n: 4 if n >= 9 else (3 if n >= 6 else 2),
+        diameter=lambda n: 2 * (round(math.sqrt(n)) - 1),
+        approx_bound_this=lambda n, m: n * _log_ratio(m, n),
+        approx_bound_prior=lambda n, m: n**2 * math.log(max(m, 2)),
+        exact_bound_this=lambda n: float(n**2),
+        exact_bound_prior=lambda n: float(n**4),
+    )
+)
+
+_register(
+    GraphFamily(
+        name="torus",
+        make=lambda n: torus_graph(max(3, round(math.sqrt(n)))),
+        admissible_size=_nearest_square_min3,
+        lambda2=lambda n: 2.0 * (1.0 - math.cos(2.0 * math.pi / round(math.sqrt(n)))),
+        max_degree=lambda n: 4,
+        diameter=lambda n: 2 * (round(math.sqrt(n)) // 2),
+        approx_bound_this=lambda n, m: n * _log_ratio(m, n),
+        approx_bound_prior=lambda n, m: n**2 * math.log(max(m, 2)),
+        exact_bound_this=lambda n: float(n**2),
+        exact_bound_prior=lambda n: float(n**4),
+    )
+)
+
+_register(
+    GraphFamily(
+        name="hypercube",
+        make=lambda n: hypercube_graph(max(1, round(math.log2(max(2, n))))),
+        admissible_size=_nearest_power_of_two,
+        lambda2=lambda n: 2.0,
+        max_degree=lambda n: int(round(math.log2(n))),
+        diameter=lambda n: int(round(math.log2(n))),
+        approx_bound_this=lambda n, m: math.log(n) * _log_ratio(m, n),
+        approx_bound_prior=lambda n, m: n * math.log(n) ** 3 * math.log(max(m, 2)),
+        exact_bound_this=lambda n: n * math.log(n) ** 2,
+        exact_bound_prior=lambda n: n**3 * math.log(n) ** 5,
+    )
+)
+
+
+def get_family(name: str) -> GraphFamily:
+    """Look up a family by name; raises with the list of valid names."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown graph family {name!r}; valid names: {sorted(FAMILIES)}"
+        ) from None
+
+
+def family_names() -> list[str]:
+    """Sorted list of registered family names."""
+    return sorted(FAMILIES)

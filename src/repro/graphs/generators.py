@@ -1,0 +1,333 @@
+"""Graph generators for all families used in the paper and the experiments.
+
+Table 1 of the paper evaluates complete graphs, rings/paths, meshes/tori and
+hypercubes; those four families are the core generators. The remaining
+generators (stars, trees, expanders, random graphs, barbells, ...) supply
+adversarial and sanity-check topologies for the test suite and the
+ablation experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError, ValidationError
+from repro.graphs.graph import Graph
+from repro.types import EdgeList, SeedLike
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = [
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "star_graph",
+    "complete_bipartite_graph",
+    "binary_tree_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "random_geometric_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "circulant_graph",
+    "from_edges",
+]
+
+
+def from_edges(num_vertices: int, edges: EdgeList, name: str | None = None) -> Graph:
+    """Build a graph from an explicit edge list."""
+    return Graph(num_vertices, edges, name=name)
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n``: every pair of distinct vertices is adjacent."""
+    n = check_integer(n, "n", minimum=1)
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges, name=f"complete(n={n})")
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``P_n``: vertices ``0 - 1 - ... - (n-1)``."""
+    n = check_integer(n, "n", minimum=1)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Graph(n, edges, name=f"path(n={n})")
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle (ring) ``C_n``. Requires ``n >= 3`` to stay a simple graph."""
+    n = check_integer(n, "n", minimum=3)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges, name=f"ring(n={n})")
+
+
+def grid_graph(rows: int, cols: int | None = None) -> Graph:
+    """2-D mesh (grid) of ``rows x cols`` vertices with 4-neighbourhoods.
+
+    ``cols`` defaults to ``rows`` (square mesh). Vertex ``(r, c)`` has index
+    ``r * cols + c``.
+    """
+    rows = check_integer(rows, "rows", minimum=1)
+    cols = rows if cols is None else check_integer(cols, "cols", minimum=1)
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            index = r * cols + c
+            if c + 1 < cols:
+                edges.append((index, index + 1))
+            if r + 1 < rows:
+                edges.append((index, index + cols))
+    return Graph(rows * cols, edges, name=f"mesh({rows}x{cols})")
+
+
+def torus_graph(rows: int, cols: int | None = None) -> Graph:
+    """2-D torus of ``rows x cols`` vertices (grid with wraparound).
+
+    Requires both dimensions ``>= 3`` so that the wraparound edges do not
+    coincide with grid edges (which would create multi-edges).
+    """
+    rows = check_integer(rows, "rows", minimum=3)
+    cols = rows if cols is None else check_integer(cols, "cols", minimum=3)
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            index = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.append((index, right))
+            edges.append((index, down))
+    return Graph(rows * cols, edges, name=f"torus({rows}x{cols})")
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """Hypercube ``Q_d`` on ``2^d`` vertices; edges differ in one bit."""
+    dimension = check_integer(dimension, "dimension", minimum=1)
+    if dimension > 24:
+        raise ValidationError(f"hypercube dimension {dimension} is unreasonably large")
+    n = 1 << dimension
+    edges = [
+        (vertex, vertex ^ (1 << bit))
+        for vertex in range(n)
+        for bit in range(dimension)
+        if vertex < vertex ^ (1 << bit)
+    ]
+    return Graph(n, edges, name=f"hypercube(d={dimension})")
+
+
+def star_graph(n: int) -> Graph:
+    """Star ``S_n`` on ``n`` vertices: vertex 0 joined to all others."""
+    n = check_integer(n, "n", minimum=2)
+    edges = [(0, i) for i in range(1, n)]
+    return Graph(n, edges, name=f"star(n={n})")
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Complete bipartite graph ``K_{a,b}``."""
+    a = check_integer(a, "a", minimum=1)
+    b = check_integer(b, "b", minimum=1)
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return Graph(a + b, edges, name=f"complete_bipartite({a},{b})")
+
+
+def binary_tree_graph(n: int) -> Graph:
+    """Complete binary tree on ``n`` vertices in heap order.
+
+    Vertex ``i`` has children ``2i + 1`` and ``2i + 2`` when they exist.
+    """
+    n = check_integer(n, "n", minimum=1)
+    edges = []
+    for child in range(1, n):
+        parent = (child - 1) // 2
+        edges.append((parent, child))
+    return Graph(n, edges, name=f"binary_tree(n={n})")
+
+
+def random_regular_graph(n: int, degree: int, seed: SeedLike = None) -> Graph:
+    """Random ``degree``-regular graph via the pairing model.
+
+    Retries the pairing until it yields a simple graph; for the modest
+    degrees used in experiments this terminates quickly (the failure
+    probability per attempt is bounded away from one).
+    """
+    n = check_integer(n, "n", minimum=2)
+    degree = check_integer(degree, "degree", minimum=1)
+    if degree >= n:
+        raise ValidationError(f"degree {degree} must be < n = {n}")
+    if (n * degree) % 2 != 0:
+        raise ValidationError("n * degree must be even for a regular graph")
+    rng = make_rng(seed)
+    max_attempts = 1000
+    for _ in range(max_attempts):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        if np.any(pairs[:, 0] == pairs[:, 1]):
+            continue
+        low = np.minimum(pairs[:, 0], pairs[:, 1])
+        high = np.maximum(pairs[:, 0], pairs[:, 1])
+        keyed = low * n + high
+        if np.unique(keyed).shape[0] != keyed.shape[0]:
+            continue
+        return Graph(
+            n, list(zip(low.tolist(), high.tolist())), name=f"random_regular(n={n},d={degree})"
+        )
+    raise GraphError(
+        f"failed to sample a simple {degree}-regular graph on {n} vertices "
+        f"after {max_attempts} attempts"
+    )
+
+
+def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """Erdos–Renyi ``G(n, p)`` random graph."""
+    n = check_integer(n, "n", minimum=1)
+    p = check_probability(p, "p")
+    rng = make_rng(seed)
+    upper = np.triu_indices(n, k=1)
+    mask = rng.random(upper[0].shape[0]) < p
+    edges = list(zip(upper[0][mask].tolist(), upper[1][mask].tolist()))
+    return Graph(n, edges, name=f"erdos_renyi(n={n},p={p})")
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
+    """Two ``K_k`` cliques joined by a path of ``bridge_length`` extra vertices.
+
+    A classic low-conductance topology: ``lambda_2`` is tiny, which makes it
+    a stress test for convergence-time scaling.
+    """
+    clique_size = check_integer(clique_size, "clique_size", minimum=2)
+    bridge_length = check_integer(bridge_length, "bridge_length", minimum=0)
+    n = 2 * clique_size + bridge_length
+    edges: list[tuple[int, int]] = []
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((u, v))
+    offset = clique_size + bridge_length
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((offset + u, offset + v))
+    chain = [clique_size - 1]
+    chain.extend(range(clique_size, clique_size + bridge_length))
+    chain.append(offset)
+    for left, right in zip(chain[:-1], chain[1:]):
+        edges.append((left, right))
+    return Graph(n, edges, name=f"barbell(k={clique_size},b={bridge_length})")
+
+
+def lollipop_graph(clique_size: int, tail_length: int) -> Graph:
+    """A ``K_k`` clique with a path of ``tail_length`` vertices attached."""
+    clique_size = check_integer(clique_size, "clique_size", minimum=2)
+    tail_length = check_integer(tail_length, "tail_length", minimum=1)
+    n = clique_size + tail_length
+    edges = [
+        (u, v) for u in range(clique_size) for v in range(u + 1, clique_size)
+    ]
+    previous = clique_size - 1
+    for tail_vertex in range(clique_size, n):
+        edges.append((previous, tail_vertex))
+        previous = tail_vertex
+    return Graph(n, edges, name=f"lollipop(k={clique_size},t={tail_length})")
+
+
+def watts_strogatz_graph(
+    n: int, nearest: int, rewire_probability: float, seed: SeedLike = None
+) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where every vertex connects to its
+    ``nearest`` closest neighbours per side... specifically ``nearest``
+    must be even and each vertex links to ``nearest/2`` neighbours on
+    each side; every lattice edge is then rewired with probability
+    ``rewire_probability`` to a uniform random non-duplicate endpoint.
+    Rewired graphs interpolate between the ring (high diameter, tiny
+    ``lambda_2``) and expander-like topologies — useful for robustness
+    sweeps of the convergence bounds.
+    """
+    n = check_integer(n, "n", minimum=4)
+    nearest = check_integer(nearest, "nearest", minimum=2)
+    if nearest % 2 != 0:
+        raise ValidationError(f"nearest must be even, got {nearest}")
+    if nearest >= n:
+        raise ValidationError(f"nearest ({nearest}) must be < n ({n})")
+    rewire_probability = check_probability(rewire_probability, "rewire_probability")
+    rng = make_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for offset in range(1, nearest // 2 + 1):
+        for i in range(n):
+            j = (i + offset) % n
+            edges.add((min(i, j), max(i, j)))
+    if rewire_probability > 0.0:
+        for edge in sorted(edges):
+            if rng.random() >= rewire_probability:
+                continue
+            u = edge[0]
+            candidates = [
+                w
+                for w in range(n)
+                if w != u and (min(u, w), max(u, w)) not in edges
+            ]
+            if not candidates:
+                continue
+            new_v = int(candidates[int(rng.integers(0, len(candidates)))])
+            edges.discard(edge)
+            edges.add((min(u, new_v), max(u, new_v)))
+    return Graph(
+        n,
+        sorted(edges),
+        name=f"watts_strogatz(n={n},k={nearest},p={rewire_probability})",
+    )
+
+
+def random_geometric_graph(
+    n: int, radius: float, seed: SeedLike = None
+) -> Graph:
+    """Random geometric graph on the unit square.
+
+    ``n`` points are placed uniformly at random; two are adjacent when
+    their Euclidean distance is at most ``radius``. Models spatially
+    embedded networks (sensor fields); connectivity kicks in around
+    ``radius ~ sqrt(log n / n)``.
+    """
+    n = check_integer(n, "n", minimum=1)
+    radius = float(radius)
+    if not 0.0 < radius <= math.sqrt(2.0):
+        raise ValidationError(f"radius must lie in (0, sqrt(2)], got {radius}")
+    rng = make_rng(seed)
+    points = rng.random((n, 2))
+    deltas = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    distances = np.sqrt(np.sum(deltas * deltas, axis=2))
+    upper_u, upper_v = np.triu_indices(n, k=1)
+    close = distances[upper_u, upper_v] <= radius
+    edges = list(zip(upper_u[close].tolist(), upper_v[close].tolist()))
+    return Graph(n, edges, name=f"random_geometric(n={n},r={radius})")
+
+
+def circulant_graph(n: int, offsets: list[int]) -> Graph:
+    """Circulant graph: vertex ``i`` adjacent to ``i +- o`` for each offset.
+
+    With well-chosen offsets these are good expanders; used in tests as a
+    constant-degree high-``lambda_2`` family.
+    """
+    n = check_integer(n, "n", minimum=3)
+    if not offsets:
+        raise ValidationError("offsets must be non-empty")
+    edges = set()
+    for offset in offsets:
+        offset = check_integer(offset, "offset", minimum=1)
+        if offset >= n:
+            raise ValidationError(f"offset {offset} must be < n = {n}")
+        if 2 * offset == n:
+            # The antipodal offset contributes each edge once.
+            for i in range(n // 2):
+                edges.add((i, i + offset))
+            continue
+        for i in range(n):
+            j = (i + offset) % n
+            edges.add((min(i, j), max(i, j)))
+    return Graph(
+        n, sorted(edges), name=f"circulant(n={n},offsets={sorted(set(offsets))})"
+    )

@@ -1,0 +1,48 @@
+"""Edge-list text IO for graphs.
+
+Format: first line ``n <num_vertices>``, then one ``u v`` pair per line.
+Lines starting with ``#`` are comments. This is deliberately minimal — it
+exists so experiment configurations can reference externally supplied
+topologies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list"]
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    lines = [f"# {graph.name}", f"n {graph.num_vertices}"]
+    for u, v in graph.edges.tolist():
+        lines.append(f"{u} {v}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: str | Path, name: str | None = None) -> Graph:
+    """Read a graph from ``path`` in edge-list format."""
+    num_vertices: int | None = None
+    edges: list[tuple[int, int]] = []
+    for line_number, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "n":
+            if len(parts) != 2:
+                raise GraphError(f"line {line_number}: malformed vertex count")
+            num_vertices = int(parts[1])
+            continue
+        if len(parts) != 2:
+            raise GraphError(f"line {line_number}: expected 'u v', got {line!r}")
+        edges.append((int(parts[0]), int(parts[1])))
+    if num_vertices is None:
+        raise GraphError("missing 'n <count>' header line")
+    return Graph(num_vertices, edges, name=name or str(path))

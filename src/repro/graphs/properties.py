@@ -1,0 +1,119 @@
+"""Structural graph properties: BFS distances, diameter, connectivity.
+
+These routines are used by the theory module (the Mohar diameter bound of
+Lemma 1.5 relates ``diam(G)`` and ``lambda_2``) and by tests validating the
+generators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs.graph import Graph
+from repro.types import IntArray
+
+__all__ = [
+    "bfs_distances",
+    "diameter",
+    "eccentricity",
+    "is_connected",
+    "connected_components",
+    "degree_histogram",
+    "is_bipartite",
+    "is_regular",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> IntArray:
+    """Hop distances from ``source`` to every vertex (-1 if unreachable)."""
+    if not 0 <= source < graph.num_vertices:
+        raise GraphError(f"source {source} out of range")
+    distances = np.full(graph.num_vertices, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = deque([source])
+    indptr, indices = graph.indptr, graph.indices
+    while frontier:
+        vertex = frontier.popleft()
+        next_distance = distances[vertex] + 1
+        for neighbour in indices[indptr[vertex] : indptr[vertex + 1]]:
+            if distances[neighbour] < 0:
+                distances[neighbour] = next_distance
+                frontier.append(neighbour)
+    return distances
+
+
+def eccentricity(graph: Graph, vertex: int) -> int:
+    """Maximum distance from ``vertex`` to any other vertex."""
+    distances = bfs_distances(graph, vertex)
+    if np.any(distances < 0):
+        raise DisconnectedGraphError(
+            f"{graph.name} is disconnected; eccentricity undefined"
+        )
+    return int(distances.max())
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter via one BFS per vertex (``O(n * (n + m))``).
+
+    Raises :class:`DisconnectedGraphError` on disconnected graphs.
+    """
+    best = 0
+    for vertex in range(graph.num_vertices):
+        best = max(best, eccentricity(graph, vertex))
+    return best
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has a single connected component."""
+    if graph.num_vertices == 0:
+        return True
+    distances = bfs_distances(graph, 0)
+    return bool(np.all(distances >= 0))
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """List of connected components, each a sorted vertex list."""
+    seen = np.zeros(graph.num_vertices, dtype=bool)
+    components: list[list[int]] = []
+    for start in range(graph.num_vertices):
+        if seen[start]:
+            continue
+        distances = bfs_distances(graph, start)
+        members = np.flatnonzero(distances >= 0)
+        seen[members] = True
+        components.append(members.tolist())
+    return components
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Mapping from degree value to the number of vertices with it."""
+    values, counts = np.unique(graph.degrees, return_counts=True)
+    return {int(value): int(count) for value, count in zip(values, counts)}
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Whether the graph is 2-colourable (BFS 2-colouring)."""
+    colour = np.full(graph.num_vertices, -1, dtype=np.int8)
+    indptr, indices = graph.indptr, graph.indices
+    for start in range(graph.num_vertices):
+        if colour[start] >= 0:
+            continue
+        colour[start] = 0
+        frontier = deque([start])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbour in indices[indptr[vertex] : indptr[vertex + 1]]:
+                if colour[neighbour] < 0:
+                    colour[neighbour] = 1 - colour[vertex]
+                    frontier.append(neighbour)
+                elif colour[neighbour] == colour[vertex]:
+                    return False
+    return True
+
+
+def is_regular(graph: Graph) -> bool:
+    """Whether all vertices have the same degree."""
+    return graph.max_degree == graph.min_degree

@@ -1,0 +1,131 @@
+"""Workload perturbations: task churn and adversarial shocks.
+
+The paper's model keeps the task set fixed ("the total number of tokens
+is time-invariant"), but the protocol is memoryless in the state, so it
+is naturally *self-stabilizing*: after any perturbation, convergence
+restarts from the perturbed state with the same guarantees. This module
+provides the perturbation primitives the ``robustness`` experiment uses
+to demonstrate that:
+
+* :func:`inject_tasks` / :func:`remove_tasks` — task churn (arrivals
+  and departures at random nodes);
+* :func:`shock_to_node` — an adversarial shock relocating a fraction of
+  all tasks onto one node;
+* :class:`PoissonChurn` — a stationary churn process applying a random
+  number of arrivals and departures per round (keeping the expected
+  task count constant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.state import UniformState
+from repro.types import SeedLike
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_integer, check_non_negative
+
+__all__ = ["inject_tasks", "remove_tasks", "shock_to_node", "PoissonChurn"]
+
+
+def inject_tasks(
+    state: UniformState,
+    count: int,
+    rng: np.random.Generator,
+    node: int | None = None,
+) -> None:
+    """Add ``count`` new unit tasks, at ``node`` or uniformly at random."""
+    if not isinstance(state, UniformState):
+        raise ModelError("task injection supports uniform states")
+    count = check_integer(count, "count", minimum=0)
+    if count == 0:
+        return
+    if node is not None:
+        node = check_integer(node, "node", minimum=0)
+        if node >= state.num_nodes:
+            raise ModelError(f"node {node} out of range")
+        additions = np.zeros(state.num_nodes, dtype=np.int64)
+        additions[node] = count
+    else:
+        targets = rng.integers(0, state.num_nodes, size=count)
+        additions = np.bincount(targets, minlength=state.num_nodes).astype(np.int64)
+    state.counts[:] = state.counts + additions
+
+
+def remove_tasks(state: UniformState, count: int, rng: np.random.Generator) -> None:
+    """Remove ``count`` tasks chosen uniformly among the present tasks.
+
+    Removing more tasks than exist clears the system.
+    """
+    if not isinstance(state, UniformState):
+        raise ModelError("task removal supports uniform states")
+    count = check_integer(count, "count", minimum=0)
+    total = state.num_tasks
+    if count == 0 or total == 0:
+        return
+    if count >= total:
+        state.counts[:] = 0
+        return
+    # Sample a uniformly random subset of tasks via the multivariate
+    # hypergeometric distribution over the per-node counts.
+    removed = rng.multivariate_hypergeometric(state.counts, count)
+    state.counts[:] = state.counts - removed
+
+
+def shock_to_node(
+    state: UniformState, fraction: float, node: int, rng: np.random.Generator
+) -> int:
+    """Relocate ``fraction`` of all tasks onto ``node``; returns the number moved.
+
+    Each task independently participates with probability ``fraction``
+    — an adversarial "flash crowd" event.
+    """
+    if not isinstance(state, UniformState):
+        raise ModelError("shocks support uniform states")
+    fraction = check_non_negative(fraction, "fraction")
+    if fraction > 1.0:
+        raise ModelError("fraction must lie in [0, 1]")
+    node = check_integer(node, "node", minimum=0)
+    if node >= state.num_nodes:
+        raise ModelError(f"node {node} out of range")
+    grabbed = rng.binomial(state.counts, fraction).astype(np.int64)
+    grabbed[node] = 0
+    moved = int(grabbed.sum())
+    state.counts[:] = state.counts - grabbed
+    state.counts[node] += moved
+    return moved
+
+
+class PoissonChurn:
+    """Stationary task churn: Poisson arrivals and matched departures.
+
+    Each application draws ``k ~ Poisson(rate)`` arrivals (placed at
+    uniform random nodes) and ``k' ~ Poisson(rate)`` departures (uniform
+    among present tasks), so the expected task count is stationary.
+
+    Parameters
+    ----------
+    rate:
+        Expected arrivals (= expected departures) per application.
+    seed:
+        RNG seed for the churn process (independent of protocol noise).
+    """
+
+    def __init__(self, rate: float, seed: SeedLike = None):
+        self._rate = check_non_negative(rate, "rate")
+        self._rng = make_rng(seed)
+
+    @property
+    def rate(self) -> float:
+        """Expected arrivals (and departures) per application."""
+        return self._rate
+
+    def apply(self, state: UniformState) -> tuple[int, int]:
+        """Apply one churn step; returns ``(arrived, departed)``."""
+        arrivals = int(self._rng.poisson(self._rate))
+        departures = int(self._rng.poisson(self._rate))
+        inject_tasks(state, arrivals, self._rng)
+        before = state.num_tasks
+        remove_tasks(state, departures, self._rng)
+        return arrivals, before - state.num_tasks

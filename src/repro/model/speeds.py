@@ -1,0 +1,199 @@
+"""Processor speed profiles.
+
+The paper scales speeds so the smallest is 1 (``s_min = 1``); every
+generator here returns vectors already in that normalization. Theorem 1.2
+additionally assumes a *granularity* ``eps in (0, 1]`` such that every
+speed is an integer multiple of ``eps``; :func:`speed_granularity` recovers
+the largest such ``eps`` from a rational speed vector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import SpeedError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_array_1d, check_integer, check_positive
+
+__all__ = [
+    "uniform_speeds",
+    "two_class_speeds",
+    "linear_speeds",
+    "geometric_speeds",
+    "random_integer_speeds",
+    "granular_speeds",
+    "normalize_speeds",
+    "speed_granularity",
+    "SpeedStats",
+    "speed_stats",
+]
+
+
+def uniform_speeds(n: int) -> FloatArray:
+    """All processors identical: ``s_i = 1``."""
+    n = check_integer(n, "n", minimum=1)
+    return np.ones(n, dtype=np.float64)
+
+
+def two_class_speeds(n: int, fast_fraction: float, fast_speed: float) -> FloatArray:
+    """A fraction of "fast" machines with speed ``fast_speed``, rest speed 1.
+
+    The fast machines are the lowest-indexed ones; shuffle externally if a
+    random arrangement is needed.
+    """
+    n = check_integer(n, "n", minimum=1)
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise SpeedError(f"fast_fraction must lie in [0, 1], got {fast_fraction}")
+    fast_speed = check_positive(fast_speed, "fast_speed")
+    if fast_speed < 1.0:
+        raise SpeedError("fast_speed must be >= 1 (speeds are scaled to s_min = 1)")
+    speeds = np.ones(n, dtype=np.float64)
+    num_fast = int(round(fast_fraction * n))
+    speeds[:num_fast] = fast_speed
+    return speeds
+
+
+def linear_speeds(n: int, s_max: float) -> FloatArray:
+    """Speeds spread linearly from 1 to ``s_max`` across processors."""
+    n = check_integer(n, "n", minimum=1)
+    s_max = check_positive(s_max, "s_max")
+    if s_max < 1.0:
+        raise SpeedError("s_max must be >= 1")
+    if n == 1:
+        return np.ones(1, dtype=np.float64)
+    return np.linspace(1.0, s_max, n)
+
+
+def geometric_speeds(n: int, s_max: float) -> FloatArray:
+    """Speeds spread geometrically from 1 to ``s_max``."""
+    n = check_integer(n, "n", minimum=1)
+    s_max = check_positive(s_max, "s_max")
+    if s_max < 1.0:
+        raise SpeedError("s_max must be >= 1")
+    if n == 1:
+        return np.ones(1, dtype=np.float64)
+    return np.geomspace(1.0, s_max, n)
+
+
+def random_integer_speeds(n: int, s_max: int, seed: SeedLike = None) -> FloatArray:
+    """Random integer speeds in ``{1, ..., s_max}`` with at least one 1.
+
+    Integer speeds have granularity ``eps = 1``, the best case for
+    Theorem 1.2's bound.
+    """
+    n = check_integer(n, "n", minimum=1)
+    s_max = check_integer(s_max, "s_max", minimum=1)
+    rng = make_rng(seed)
+    speeds = rng.integers(1, s_max + 1, size=n).astype(np.float64)
+    speeds[int(rng.integers(0, n))] = 1.0
+    return speeds
+
+
+def granular_speeds(
+    n: int, s_max: float, granularity: float, seed: SeedLike = None
+) -> FloatArray:
+    """Random speeds that are integer multiples of ``granularity``.
+
+    Speeds are drawn uniformly from the admissible grid
+    ``{1, 1 + eps, 1 + 2 eps, ..., <= s_max}`` with at least one processor
+    pinned to speed 1, matching Theorem 1.2's setting with ``eps < 1``.
+    Requires ``1/granularity`` to be an integer so that 1 is on the grid.
+    """
+    n = check_integer(n, "n", minimum=1)
+    s_max = check_positive(s_max, "s_max")
+    granularity = check_positive(granularity, "granularity")
+    if granularity > 1.0:
+        raise SpeedError("granularity must lie in (0, 1]")
+    steps_to_one = 1.0 / granularity
+    if abs(steps_to_one - round(steps_to_one)) > 1e-9:
+        raise SpeedError(
+            "1/granularity must be an integer so that the minimum speed 1 "
+            f"is a multiple of eps, got eps={granularity}"
+        )
+    max_steps = int(math.floor(s_max / granularity + 1e-9))
+    min_steps = int(round(steps_to_one))
+    if max_steps < min_steps:
+        raise SpeedError(f"s_max={s_max} is below the minimum speed 1")
+    rng = make_rng(seed)
+    steps = rng.integers(min_steps, max_steps + 1, size=n)
+    steps[int(rng.integers(0, n))] = min_steps
+    return steps.astype(np.float64) * granularity
+
+
+def normalize_speeds(speeds: object) -> FloatArray:
+    """Scale a positive speed vector so that ``min(s) = 1``."""
+    array = check_array_1d(speeds, "speeds")
+    if array.size == 0:
+        raise SpeedError("speed vector must be non-empty")
+    if np.any(array <= 0):
+        raise SpeedError("all speeds must be positive")
+    return array / array.min()
+
+
+def speed_granularity(speeds: object, max_denominator: int = 10**6) -> float:
+    """Largest ``eps in (0, 1]`` such that every speed is an integer
+    multiple of it.
+
+    Speeds are interpreted as rationals (via ``Fraction.limit_denominator``)
+    and their fraction-GCD ``g = gcd(numerators) / lcm(denominators)`` is
+    computed. When ``g <= 1`` that is the answer; when ``g > 1`` (e.g. all
+    speeds even integers, or a single speed of 1.5) the paper's constraint
+    ``eps <= 1`` forces dividing down: the largest admissible value is
+    ``g / ceil(g)``, which still divides every speed exactly.
+    """
+    array = check_array_1d(speeds, "speeds")
+    if array.size == 0:
+        raise SpeedError("speed vector must be non-empty")
+    if np.any(array <= 0):
+        raise SpeedError("all speeds must be positive")
+    fractions = [Fraction(float(s)).limit_denominator(max_denominator) for s in array]
+    gcd_value = fractions[0]
+    for fraction in fractions[1:]:
+        gcd_value = Fraction(
+            math.gcd(gcd_value.numerator, fraction.numerator),
+            math.lcm(gcd_value.denominator, fraction.denominator),
+        )
+    if gcd_value > 1:
+        gcd_value = gcd_value / math.ceil(gcd_value)
+    return float(gcd_value)
+
+
+@dataclass(frozen=True)
+class SpeedStats:
+    """Summary statistics of a speed vector used throughout the bounds.
+
+    Attributes mirror the paper's notation: ``s_min``, ``s_max``, total
+    capacity ``S = sum_i s_i``, arithmetic mean ``s_a`` and harmonic mean
+    ``s_h`` (Definition 3.19 uses both).
+    """
+
+    n: int
+    s_min: float
+    s_max: float
+    total: float
+    arithmetic_mean: float
+    harmonic_mean: float
+    granularity: float
+
+
+def speed_stats(speeds: object) -> SpeedStats:
+    """Compute :class:`SpeedStats` for a speed vector."""
+    array = check_array_1d(speeds, "speeds")
+    if array.size == 0:
+        raise SpeedError("speed vector must be non-empty")
+    if np.any(array <= 0):
+        raise SpeedError("all speeds must be positive")
+    return SpeedStats(
+        n=int(array.size),
+        s_min=float(array.min()),
+        s_max=float(array.max()),
+        total=float(array.sum()),
+        arithmetic_mean=float(array.mean()),
+        harmonic_mean=float(array.size / np.sum(1.0 / array)),
+        granularity=speed_granularity(array),
+    )

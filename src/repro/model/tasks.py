@@ -1,0 +1,134 @@
+"""Task systems: uniform unit-weight tasks and weighted tasks.
+
+The paper treats two regimes. In the *uniform* case all ``m`` tasks have
+weight one and only per-node counts matter; in the *weighted* case task
+``l`` has an individual weight ``w_l in (0, 1]`` (Section 4) and tasks keep
+their identity across migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_array_1d, check_integer
+
+__all__ = [
+    "TaskSystem",
+    "UniformTaskSystem",
+    "WeightedTaskSystem",
+    "uniform_weights",
+    "random_weights",
+    "two_class_weights",
+]
+
+
+@dataclass(frozen=True)
+class TaskSystem:
+    """Base class describing a collection of tasks.
+
+    Attributes
+    ----------
+    num_tasks:
+        Total number of tasks ``m``.
+    total_weight:
+        ``W = sum_l w_l`` (equals ``m`` in the uniform case).
+    """
+
+    num_tasks: int
+    total_weight: float
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether all tasks have unit weight."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformTaskSystem(TaskSystem):
+    """``m`` identical unit-weight tasks."""
+
+    def __init__(self, num_tasks: int):
+        num_tasks = check_integer(num_tasks, "num_tasks", minimum=0)
+        object.__setattr__(self, "num_tasks", num_tasks)
+        object.__setattr__(self, "total_weight", float(num_tasks))
+
+    @property
+    def is_uniform(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class WeightedTaskSystem(TaskSystem):
+    """Tasks with individual weights ``w_l in (0, 1]``."""
+
+    weights: FloatArray = field(default=None)  # type: ignore[assignment]
+
+    def __init__(self, weights: object):
+        array = check_array_1d(weights, "weights")
+        if array.size and (np.any(array <= 0.0) or np.any(array > 1.0)):
+            raise ModelError("task weights must lie in (0, 1]")
+        array = array.copy()
+        array.setflags(write=False)
+        object.__setattr__(self, "weights", array)
+        object.__setattr__(self, "num_tasks", int(array.size))
+        object.__setattr__(self, "total_weight", float(array.sum()))
+
+    @property
+    def is_uniform(self) -> bool:
+        return bool(self.weights.size and np.all(self.weights == 1.0))
+
+    @property
+    def max_weight(self) -> float:
+        """Largest task weight (``w_max``)."""
+        if self.weights.size == 0:
+            raise ModelError("empty task system has no max weight")
+        return float(self.weights.max())
+
+    @property
+    def min_weight(self) -> float:
+        """Smallest task weight."""
+        if self.weights.size == 0:
+            raise ModelError("empty task system has no min weight")
+        return float(self.weights.min())
+
+
+def uniform_weights(m: int) -> FloatArray:
+    """Weight vector of ``m`` ones."""
+    m = check_integer(m, "m", minimum=0)
+    return np.ones(m, dtype=np.float64)
+
+
+def random_weights(
+    m: int, low: float = 0.1, high: float = 1.0, seed: SeedLike = None
+) -> FloatArray:
+    """``m`` weights drawn uniformly from ``[low, high] subset of (0, 1]``."""
+    m = check_integer(m, "m", minimum=0)
+    if not 0.0 < low <= high <= 1.0:
+        raise ModelError(f"need 0 < low <= high <= 1, got low={low}, high={high}")
+    rng = make_rng(seed)
+    return rng.uniform(low, high, size=m)
+
+
+def two_class_weights(
+    m: int, heavy_fraction: float, heavy: float = 1.0, light: float = 0.1
+) -> FloatArray:
+    """A mix of heavy and light tasks (heavy ones first).
+
+    Models the workload the paper's weighted analysis targets: when a few
+    heavy tasks dominate, per-task migration conditions (the [6] rule)
+    behave very differently from the paper's weight-oblivious rule.
+    """
+    m = check_integer(m, "m", minimum=0)
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise ModelError("heavy_fraction must lie in [0, 1]")
+    if not 0.0 < light <= heavy <= 1.0:
+        raise ModelError("need 0 < light <= heavy <= 1")
+    weights = np.full(m, light, dtype=np.float64)
+    num_heavy = int(round(heavy_fraction * m))
+    weights[:num_heavy] = heavy
+    return weights

@@ -1,0 +1,71 @@
+"""Spectral graph theory substrate (paper Appendix A).
+
+Implements the combinatorial Laplacian ``L``, the generalized Laplacian
+``L S^{-1}`` of Elsasser–Monien–Preis used for machines with speeds, the
+generalized inner product ``<x, y>_S = sum_i x_i y_i / s_i``, eigenvalue
+computations (``lambda_2``, Fiedler vectors, full spectra), and the
+spectral bounds the paper's analysis rests on (Lemmas 1.5, 1.7, 1.10,
+1.14, 1.15 and Corollaries 1.6, 1.16).
+"""
+
+from repro.spectral.laplacian import (
+    laplacian_matrix,
+    laplacian_sparse,
+    generalized_laplacian,
+    symmetrized_laplacian,
+    laplacian_quadratic_form,
+)
+from repro.spectral.eigen import (
+    laplacian_spectrum,
+    algebraic_connectivity,
+    fiedler_vector,
+    generalized_spectrum,
+    generalized_lambda2,
+    spectral_gap_ratio,
+)
+from repro.spectral.inner_product import (
+    s_dot,
+    s_norm,
+    s_orthogonal,
+    project_out_speed_component,
+)
+from repro.spectral.bounds import (
+    fiedler_degree_upper_bound,
+    mohar_diameter_lower_bound,
+    lambda2_universal_lower_bound,
+    cheeger_bounds,
+    interlacing_bounds,
+    corollary_116_bounds,
+    rayleigh_lower_bound_check,
+)
+from repro.spectral.cheeger import (
+    isoperimetric_number_exact,
+    isoperimetric_number_sweep,
+)
+
+__all__ = [
+    "laplacian_matrix",
+    "laplacian_sparse",
+    "generalized_laplacian",
+    "symmetrized_laplacian",
+    "laplacian_quadratic_form",
+    "laplacian_spectrum",
+    "algebraic_connectivity",
+    "fiedler_vector",
+    "generalized_spectrum",
+    "generalized_lambda2",
+    "spectral_gap_ratio",
+    "s_dot",
+    "s_norm",
+    "s_orthogonal",
+    "project_out_speed_component",
+    "fiedler_degree_upper_bound",
+    "mohar_diameter_lower_bound",
+    "lambda2_universal_lower_bound",
+    "cheeger_bounds",
+    "interlacing_bounds",
+    "corollary_116_bounds",
+    "rayleigh_lower_bound_check",
+    "isoperimetric_number_exact",
+    "isoperimetric_number_sweep",
+]

@@ -1,0 +1,173 @@
+"""Spectral bounds from the paper's Appendix A, as checkable functions.
+
+Each bound is exposed in two forms where useful: the bound value itself and
+a ``*_check`` predicate returning the measured margin, which the
+``spectral-bounds`` experiment and the test suite assert to be
+non-negative.
+
+Implemented results:
+
+* Lemma 1.5 (Mohar): ``diam(G) >= 4 / (n * lambda_2)``.
+* Corollary 1.6: ``lambda_2 >= 4 / n^2``.
+* Lemma 1.7 (Fiedler): ``lambda_2 <= n/(n-1) * min_degree``.
+* Lemma 1.10 (Mohar/Cheeger): ``i(G)^2 / (2 Delta) <= lambda_2 <= 2 i(G)``.
+* Lemma 1.14: ``<e, L S^{-1} e>_S >= mu_2 <e, e>_S`` for ``<e, s>_S = 0``.
+* Lemma 1.15 (Weyl/Horn interlacing): ``mu_{i+j-1} >= lambda_i / s_j`` and
+  ``mu_{i+j-n} <= lambda_i / s_j`` with speeds sorted descending.
+* Corollary 1.16: ``lambda_2 / s_max <= mu_2 <= lambda_2 / s_min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpectralError
+from repro.graphs.graph import Graph
+from repro.spectral.eigen import (
+    algebraic_connectivity,
+    generalized_lambda2,
+    generalized_spectrum,
+    laplacian_spectrum,
+)
+from repro.spectral.inner_product import s_dot
+from repro.spectral.laplacian import generalized_laplacian
+from repro.utils.validation import check_array_1d
+
+__all__ = [
+    "fiedler_degree_upper_bound",
+    "mohar_diameter_lower_bound",
+    "lambda2_universal_lower_bound",
+    "cheeger_bounds",
+    "interlacing_bounds",
+    "InterlacingReport",
+    "corollary_116_bounds",
+    "rayleigh_lower_bound_check",
+]
+
+
+def fiedler_degree_upper_bound(graph: Graph) -> float:
+    """Lemma 1.7: ``lambda_2 <= n/(n-1) * min_i deg(i)``."""
+    n = graph.num_vertices
+    if n < 2:
+        raise SpectralError("bound needs at least two vertices")
+    return n / (n - 1) * graph.min_degree
+
+
+def mohar_diameter_lower_bound(graph: Graph) -> float:
+    """Lemma 1.5: lower bound ``4 / (n * lambda_2)`` on the diameter."""
+    lambda2 = algebraic_connectivity(graph)
+    return 4.0 / (graph.num_vertices * lambda2)
+
+
+def lambda2_universal_lower_bound(graph: Graph) -> float:
+    """Corollary 1.6: ``lambda_2 >= 4 / n^2`` for connected graphs."""
+    return 4.0 / graph.num_vertices**2
+
+
+def cheeger_bounds(isoperimetric_number: float, max_degree: int) -> tuple[float, float]:
+    """Lemma 1.10: ``(i(G)^2 / (2 Delta), 2 i(G))`` bracketing ``lambda_2``."""
+    if isoperimetric_number < 0:
+        raise SpectralError("isoperimetric number must be non-negative")
+    if max_degree < 1:
+        raise SpectralError("max degree must be at least 1")
+    lower = isoperimetric_number**2 / (2.0 * max_degree)
+    upper = 2.0 * isoperimetric_number
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class InterlacingReport:
+    """Result of checking the Lemma 1.15 interlacing inequalities.
+
+    Attributes
+    ----------
+    holds:
+        Whether every applicable inequality held (up to ``tolerance``).
+    worst_margin:
+        Smallest slack observed; negative means a violation.
+    num_checked:
+        Number of index pairs checked.
+    """
+
+    holds: bool
+    worst_margin: float
+    num_checked: int
+
+
+def interlacing_bounds(
+    graph: Graph, speeds: object, tolerance: float = 1e-8
+) -> InterlacingReport:
+    """Check Lemma 1.15 numerically for every applicable ``(i, j)`` pair.
+
+    With ``mu`` ascending eigenvalues of ``L S^{-1}``, ``lambda`` ascending
+    eigenvalues of ``L``, and ``s`` the speeds in *descending* order:
+    ``mu_{i+j-1} >= lambda_i / s_j`` (when ``i + j - 1 <= n``) and
+    ``mu_{i+j-n} <= lambda_i / s_j`` (when ``i + j - n >= 1``), indices
+    1-based as in the paper.
+    """
+    speeds_array = check_array_1d(speeds, "speeds", length=graph.num_vertices)
+    n = graph.num_vertices
+    mu = generalized_spectrum(graph, speeds_array)
+    lam = laplacian_spectrum(graph)
+    s_desc = np.sort(speeds_array)[::-1]
+
+    worst = np.inf
+    checked = 0
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            ratio = lam[i - 1] / s_desc[j - 1]
+            k_low = i + j - 1
+            if 1 <= k_low <= n:
+                margin = mu[k_low - 1] - ratio
+                worst = min(worst, margin)
+                checked += 1
+            k_high = i + j - n
+            if 1 <= k_high <= n:
+                margin = ratio - mu[k_high - 1]
+                worst = min(worst, margin)
+                checked += 1
+    scale = max(1.0, float(lam[-1]))
+    return InterlacingReport(
+        holds=bool(worst >= -tolerance * scale),
+        worst_margin=float(worst),
+        num_checked=checked,
+    )
+
+
+def corollary_116_bounds(graph: Graph, speeds: object) -> tuple[float, float, float]:
+    """Corollary 1.16: returns ``(lambda_2/s_max, mu_2, lambda_2/s_min)``.
+
+    The middle value is guaranteed (and asserted by tests) to lie within
+    the outer two.
+    """
+    speeds_array = check_array_1d(speeds, "speeds", length=graph.num_vertices)
+    lambda2 = algebraic_connectivity(graph)
+    mu2 = generalized_lambda2(graph, speeds_array)
+    return (
+        lambda2 / float(speeds_array.max()),
+        mu2,
+        lambda2 / float(speeds_array.min()),
+    )
+
+
+def rayleigh_lower_bound_check(
+    graph: Graph, speeds: object, deviation: object, tolerance: float = 1e-8
+) -> float:
+    """Lemma 1.14 margin: ``<e, L S^{-1} e>_S - mu_2 <e, e>_S``.
+
+    ``deviation`` must satisfy ``<e, s>_S = 0`` i.e. ``sum_i e_i = 0``.
+    Returns the (non-negative, up to tolerance) margin.
+    """
+    e = check_array_1d(deviation, "deviation", length=graph.num_vertices)
+    speeds_array = check_array_1d(speeds, "speeds", length=graph.num_vertices)
+    if abs(float(np.sum(e))) > tolerance * max(1.0, float(np.abs(e).max(initial=0.0))):
+        raise SpectralError(
+            "deviation vector must sum to zero (S-orthogonality to speeds)"
+        )
+    gen_lap = generalized_laplacian(graph, speeds_array)
+    lhs = s_dot(e, gen_lap @ e, speeds_array)
+    mu2 = generalized_lambda2(graph, speeds_array)
+    rhs = mu2 * s_dot(e, e, speeds_array)
+    return float(lhs - rhs)

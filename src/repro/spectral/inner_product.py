@@ -1,0 +1,61 @@
+"""The generalized inner product ``<x, y>_S`` (Definition 1.11).
+
+``<x, y>_S = x^T S^{-1} y = sum_i x_i y_i / s_i``. The paper's potential
+``Psi_0`` is exactly ``<e, e>_S`` for the task deviation vector ``e``
+(Lemma 3.6 (2)), and the convergence analysis uses that the deviation
+vector is S-orthogonal to the speed vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpeedError
+from repro.types import FloatArray
+from repro.utils.validation import check_array_1d
+
+__all__ = ["s_dot", "s_norm", "s_orthogonal", "project_out_speed_component"]
+
+
+def _speeds(speeds: object, n: int) -> FloatArray:
+    array = check_array_1d(speeds, "speeds", length=n)
+    if np.any(array <= 0):
+        raise SpeedError("all speeds must be positive")
+    return array
+
+
+def s_dot(x: object, y: object, speeds: object) -> float:
+    """Generalized dot product ``<x, y>_S = sum_i x_i y_i / s_i``."""
+    x_array = check_array_1d(x, "x")
+    y_array = check_array_1d(y, "y", length=x_array.shape[0])
+    speeds_array = _speeds(speeds, x_array.shape[0])
+    return float(np.sum(x_array * y_array / speeds_array))
+
+
+def s_norm(x: object, speeds: object) -> float:
+    """Norm induced by ``<.,.>_S``: ``sqrt(<x, x>_S)``."""
+    return float(np.sqrt(max(0.0, s_dot(x, x, speeds))))
+
+
+def s_orthogonal(x: object, y: object, speeds: object, tolerance: float = 1e-9) -> bool:
+    """Whether ``<x, y>_S`` vanishes up to ``tolerance`` (relative)."""
+    x_array = check_array_1d(x, "x")
+    y_array = check_array_1d(y, "y", length=x_array.shape[0])
+    value = s_dot(x_array, y_array, speeds)
+    scale = max(s_norm(x_array, speeds) * s_norm(y_array, speeds), 1e-30)
+    return abs(value) <= tolerance * max(1.0, scale)
+
+
+def project_out_speed_component(x: object, speeds: object) -> FloatArray:
+    """Remove the component of ``x`` along the speed vector w.r.t. ``<.,.>_S``.
+
+    The speed vector ``s`` spans the kernel of ``L S^{-1}`` (Lemma 1.13 (1));
+    the returned vector satisfies ``<result, s>_S = 0``, i.e. it sums to
+    zero (because ``<x, s>_S = sum_i x_i``). This is exactly the deviation
+    structure of ``e = w - (m/S) s``.
+    """
+    x_array = check_array_1d(x, "x")
+    speeds_array = _speeds(speeds, x_array.shape[0])
+    total_speed = float(np.sum(speeds_array))
+    coefficient = float(np.sum(x_array)) / total_speed
+    return x_array - coefficient * speeds_array

@@ -1,0 +1,73 @@
+"""Theory layer: the paper's bounds and lemmas as executable formulas.
+
+Everything the experiments compare measurements against lives here:
+
+* :mod:`repro.theory.constants` — ``alpha``, ``gamma``, ``psi_c``;
+* :mod:`repro.theory.bounds` — Theorems 1.1, 1.2, 1.3 and the [6]
+  comparison bounds;
+* :mod:`repro.theory.lemmas` — lemma-level inequalities as checkable
+  predicates (Observation 3.16/3.20, Lemmas 3.10, 3.21, 3.22, 3.23);
+* :mod:`repro.theory.table1` — the paper's Table 1 as data.
+"""
+
+from repro.theory.constants import (
+    gamma_factor,
+    psi_critical,
+    psi_critical_weighted,
+    PSI_C_FACTOR,
+)
+from repro.theory.bounds import (
+    GraphQuantities,
+    graph_quantities,
+    theorem11_round_bound,
+    theorem11_m_threshold,
+    epsilon_from_delta,
+    delta_from_epsilon,
+    theorem12_round_bound,
+    theorem13_round_bound,
+    theorem13_weight_threshold,
+    prior_work_exact_bound,
+    observation_328_factor,
+)
+from repro.theory.lemmas import (
+    observation_316_check,
+    observation_320_identity_check,
+    lemma_310_drop_lower_bound,
+    lemma_311_recursion,
+    lemma_321_check,
+    lemma_322_drop_lower_bound,
+    lemma_323_check,
+    lemma_43_variance_check,
+    LemmaCheck,
+)
+from repro.theory.table1 import TABLE1_ROWS, Table1Row, table1_render
+
+__all__ = [
+    "gamma_factor",
+    "psi_critical",
+    "psi_critical_weighted",
+    "PSI_C_FACTOR",
+    "GraphQuantities",
+    "graph_quantities",
+    "theorem11_round_bound",
+    "theorem11_m_threshold",
+    "epsilon_from_delta",
+    "delta_from_epsilon",
+    "theorem12_round_bound",
+    "theorem13_round_bound",
+    "theorem13_weight_threshold",
+    "prior_work_exact_bound",
+    "observation_328_factor",
+    "observation_316_check",
+    "observation_320_identity_check",
+    "lemma_310_drop_lower_bound",
+    "lemma_311_recursion",
+    "lemma_321_check",
+    "lemma_322_drop_lower_bound",
+    "lemma_323_check",
+    "lemma_43_variance_check",
+    "LemmaCheck",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "table1_render",
+]

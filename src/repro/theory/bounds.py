@@ -1,0 +1,198 @@
+"""Theorem-level convergence bounds (Theorems 1.1, 1.2, 1.3).
+
+Each bound is provided as a concrete round count with the constants from
+the paper's proofs, so the experiments can print "measured vs bound" rows.
+The bounds are *upper* bounds: measured times should land below them
+(often far below — the constants are not tight).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import diameter as graph_diameter
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.constants import PSI_C_FACTOR, gamma_factor
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "GraphQuantities",
+    "graph_quantities",
+    "theorem11_round_bound",
+    "theorem11_m_threshold",
+    "epsilon_from_delta",
+    "delta_from_epsilon",
+    "theorem12_round_bound",
+    "theorem13_round_bound",
+    "theorem13_weight_threshold",
+    "prior_work_exact_bound",
+    "observation_328_factor",
+]
+
+
+@dataclass(frozen=True)
+class GraphQuantities:
+    """The graph quantities entering the bounds.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    max_degree:
+        ``Delta``.
+    lambda2:
+        Algebraic connectivity of ``L``.
+    diameter:
+        Graph diameter (used by Observation 3.28's comparison factor);
+        ``None`` when not computed.
+    """
+
+    n: int
+    max_degree: int
+    lambda2: float
+    diameter: int | None = None
+
+
+def graph_quantities(graph: Graph, with_diameter: bool = False) -> GraphQuantities:
+    """Measure the bound-relevant quantities of a concrete graph."""
+    return GraphQuantities(
+        n=graph.num_vertices,
+        max_degree=graph.max_degree,
+        lambda2=algebraic_connectivity(graph),
+        diameter=graph_diameter(graph) if with_diameter else None,
+    )
+
+
+def theorem11_round_bound(
+    quantities: GraphQuantities,
+    m: int,
+    s_max: float,
+    factor: float = PSI_C_FACTOR,
+) -> float:
+    """Expected rounds to reach ``Psi_0 <= 4 psi_c`` (Theorem 1.1).
+
+    The proof gives expected time at most ``2 T`` with
+    ``T = 2 gamma ln(m/n)`` (Lemma 3.15), ``gamma = 32 Delta s_max^2 /
+    lambda_2``. ``ln(m/n)`` is floored at 1 so the bound stays positive
+    for ``m`` close to ``n``.
+    """
+    m = check_integer(m, "m", minimum=1)
+    s_max = check_positive(s_max, "s_max")
+    gamma = gamma_factor(quantities.max_degree, quantities.lambda2, s_max)
+    log_term = max(1.0, math.log(m / quantities.n))
+    return 2.0 * (2.0 * gamma * log_term)
+
+
+def theorem11_m_threshold(n: int, total_speed: float, s_max: float, delta: float) -> float:
+    """Task-count threshold ``m >= 8 delta s_max S n^2`` (Lemma 3.17).
+
+    Above this threshold, a state with ``Psi_0 <= 4 psi_c`` is a
+    ``2/(1+delta)``-approximate NE.
+    """
+    n = check_integer(n, "n", minimum=1)
+    total_speed = check_positive(total_speed, "total_speed")
+    s_max = check_positive(s_max, "s_max")
+    if delta <= 1.0:
+        raise ValidationError(f"delta must be > 1, got {delta}")
+    return 8.0 * delta * s_max * total_speed * n**2
+
+
+def epsilon_from_delta(delta: float) -> float:
+    """``eps = 2 / (1 + delta)`` (Theorem 1.1's approximation level)."""
+    if delta <= 1.0:
+        raise ValidationError(f"delta must be > 1, got {delta}")
+    return 2.0 / (1.0 + delta)
+
+
+def delta_from_epsilon(epsilon: float) -> float:
+    """Inverse of :func:`epsilon_from_delta`: ``delta = 2/eps - 1``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValidationError(f"epsilon must lie in (0, 1), got {epsilon}")
+    return 2.0 / epsilon - 1.0
+
+
+def theorem12_round_bound(
+    quantities: GraphQuantities, s_max: float, granularity: float = 1.0
+) -> float:
+    """Expected rounds to an exact NE (Theorem 1.2, explicit constant).
+
+    The proof concludes ``E[T] <= 607 Delta^2 s_max^4 / eps^2 * n /
+    lambda_2`` for a start with ``Psi_0 <= 4 psi_c``; reaching that start
+    costs at most the Theorem 1.1 bound, which is asymptotically dominated.
+    We report the 607-constant term.
+    """
+    s_max = check_positive(s_max, "s_max")
+    granularity = check_positive(granularity, "granularity")
+    if granularity > 1.0:
+        raise ValidationError("granularity must lie in (0, 1]")
+    return (
+        607.0
+        * quantities.max_degree**2
+        * s_max**4
+        / granularity**2
+        * quantities.n
+        / quantities.lambda2
+    )
+
+
+def theorem13_round_bound(
+    quantities: GraphQuantities,
+    m: int,
+    s_max: float,
+    s_min: float,
+    factor: float = PSI_C_FACTOR,
+) -> float:
+    """Expected rounds for weighted tasks to reach ``Psi_0 <= 4 psi_c``
+    (Theorem 1.3): ``O(ln(m/n) * Delta/lambda_2 * s_max^2 / s_min)``.
+
+    The paper does not restate the explicit constant; by the proof's
+    "same steps as the unweighted case" we use the unweighted constants
+    with the extra ``1/s_min`` factor.
+    """
+    m = check_integer(m, "m", minimum=1)
+    s_max = check_positive(s_max, "s_max")
+    s_min = check_positive(s_min, "s_min")
+    gamma = gamma_factor(quantities.max_degree, quantities.lambda2, s_max) / s_min
+    log_term = max(1.0, math.log(m / quantities.n))
+    return 2.0 * (2.0 * gamma * log_term)
+
+
+def theorem13_weight_threshold(
+    n: int, total_speed: float, s_max: float, s_min: float, delta: float
+) -> float:
+    """Total-weight threshold ``W > 8 delta (s_max/s_min) S n^2``
+    (Theorem 1.3)."""
+    n = check_integer(n, "n", minimum=1)
+    total_speed = check_positive(total_speed, "total_speed")
+    s_max = check_positive(s_max, "s_max")
+    s_min = check_positive(s_min, "s_min")
+    if delta <= 1.0:
+        raise ValidationError(f"delta must be > 1, got {delta}")
+    return 8.0 * delta * (s_max / s_min) * total_speed * n**2
+
+
+def observation_328_factor(quantities: GraphQuantities) -> float:
+    """The ``Delta * diam(G)`` factor of Observation 3.28.
+
+    The bound of [6] for exact NE exceeds Theorem 1.2's bound by at least
+    this factor.
+    """
+    if quantities.diameter is None:
+        raise ValidationError("graph_quantities must be computed with_diameter=True")
+    return float(quantities.max_degree * quantities.diameter)
+
+
+def prior_work_exact_bound(
+    quantities: GraphQuantities, s_max: float, granularity: float = 1.0
+) -> float:
+    """[6]'s exact-NE bound reconstructed via Observation 3.28.
+
+    Equal to ``theorem12_round_bound * Delta * diam(G)`` — the paper shows
+    the prior bound is at least this much larger.
+    """
+    return theorem12_round_bound(quantities, s_max, granularity) * observation_328_factor(
+        quantities
+    )

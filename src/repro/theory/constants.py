@@ -1,0 +1,70 @@
+"""The paper's analysis constants: ``gamma`` and ``psi_c``.
+
+* ``gamma`` (Lemma 3.11): ``1/gamma = lambda_2 / (32 Delta s_max^2)``,
+  the geometric-decay time constant of ``E[Psi_0]``.
+* ``psi_c`` (critical potential): the value below which the multiplicative
+  drop argument stops and the state is "almost balanced". The paper
+  states ``psi_c = 16 n Delta s_max / lambda_2`` in Theorem 1.1 but
+  ``8 n Delta s_max / lambda_2`` in Definition 3.12; the proof of
+  Lemma 3.15 uses 16, so 16 is our default — exposed as
+  :data:`PSI_C_FACTOR` and overridable per call for the ablation.
+* weighted variant (Theorem 1.3):
+  ``psi_c = 16 n Delta / lambda_2 * s_max / s_min^2``.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = ["PSI_C_FACTOR", "gamma_factor", "psi_critical", "psi_critical_weighted"]
+
+#: Default constant in ``psi_c`` (Theorem 1.1 / Lemma 3.15 use 16;
+#: Definition 3.12 prints 8 — a known internal inconsistency of the paper).
+PSI_C_FACTOR = 16.0
+
+
+def gamma_factor(max_degree: int, lambda2: float, s_max: float) -> float:
+    """``gamma = 32 Delta s_max^2 / lambda_2`` (Lemma 3.11).
+
+    While ``E[Psi_0] > psi_c`` the potential satisfies
+    ``E[Psi_0(X_{t+1})] <= (1 - 1/gamma) E[Psi_0(X_t)]`` (Lemma 3.13).
+    """
+    max_degree = check_integer(max_degree, "max_degree", minimum=1)
+    lambda2 = check_positive(lambda2, "lambda2")
+    s_max = check_positive(s_max, "s_max")
+    return 32.0 * max_degree * s_max**2 / lambda2
+
+
+def psi_critical(
+    n: int,
+    max_degree: int,
+    lambda2: float,
+    s_max: float,
+    factor: float = PSI_C_FACTOR,
+) -> float:
+    """``psi_c = factor * n * Delta * s_max / lambda_2`` (Theorem 1.1)."""
+    n = check_integer(n, "n", minimum=1)
+    max_degree = check_integer(max_degree, "max_degree", minimum=1)
+    lambda2 = check_positive(lambda2, "lambda2")
+    s_max = check_positive(s_max, "s_max")
+    factor = check_positive(factor, "factor")
+    return factor * n * max_degree * s_max / lambda2
+
+
+def psi_critical_weighted(
+    n: int,
+    max_degree: int,
+    lambda2: float,
+    s_max: float,
+    s_min: float,
+    factor: float = PSI_C_FACTOR,
+) -> float:
+    """Weighted-task critical potential (Theorem 1.3):
+    ``psi_c = factor * n * Delta / lambda_2 * s_max / s_min^2``."""
+    n = check_integer(n, "n", minimum=1)
+    max_degree = check_integer(max_degree, "max_degree", minimum=1)
+    lambda2 = check_positive(lambda2, "lambda2")
+    s_max = check_positive(s_max, "s_max")
+    s_min = check_positive(s_min, "s_min")
+    factor = check_positive(factor, "factor")
+    return factor * n * max_degree / lambda2 * s_max / s_min**2

@@ -1,0 +1,225 @@
+"""Lemma-level inequalities as checkable predicates.
+
+Each function either returns the bound value (so callers can compare
+against a measurement) or a :class:`LemmaCheck` with the measured margin.
+The ``potential-drop`` experiment and the test suite assert these on many
+random states — a direct numerical audit of the paper's analysis chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.potentials import psi0_potential, psi1_potential
+from repro.graphs.graph import Graph
+from repro.model.state import LoadStateBase
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "LemmaCheck",
+    "observation_316_check",
+    "observation_320_identity_check",
+    "lemma_310_drop_lower_bound",
+    "lemma_311_recursion",
+    "lemma_321_check",
+    "lemma_322_drop_lower_bound",
+    "lemma_323_check",
+    "lemma_43_variance_check",
+]
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """Result of auditing one inequality on one state.
+
+    Attributes
+    ----------
+    name:
+        Which lemma was checked.
+    holds:
+        Whether the inequality held (within ``tolerance``).
+    margin:
+        Measured slack (LHS-vs-RHS, oriented so that >= 0 means "holds").
+    detail:
+        Human-readable one-liner with the compared values.
+    """
+
+    name: str
+    holds: bool
+    margin: float
+    detail: str
+
+
+def observation_316_check(state: LoadStateBase, tolerance: float = 1e-9) -> LemmaCheck:
+    """Observation 3.16: ``L_Delta^2 <= Psi_0 <= S * L_Delta^2``."""
+    psi0 = psi0_potential(state)
+    l_delta = state.max_load_difference
+    total_speed = state.total_speed
+    lower = l_delta**2
+    upper = total_speed * l_delta**2
+    margin = min(psi0 - lower, upper - psi0)
+    return LemmaCheck(
+        name="observation-3.16",
+        holds=bool(margin >= -tolerance * max(1.0, psi0)),
+        margin=float(margin),
+        detail=f"L_d^2={lower:.6g} <= Psi0={psi0:.6g} <= S*L_d^2={upper:.6g}",
+    )
+
+
+def observation_320_identity_check(
+    state: LoadStateBase, tolerance: float = 1e-6
+) -> LemmaCheck:
+    """Observation 3.20 (3): ``Psi_1 = Psi_0 + sum_i e_i/s_i + n/4 (1/s_h - 1/s_a)``.
+
+    Also covers (2): ``Psi_1 >= 0`` (checked implicitly since
+    :func:`psi1_potential` clamps and we compare against the identity).
+    """
+    psi1 = psi1_potential(state)
+    psi0 = psi0_potential(state)
+    speeds = state.speeds
+    n = state.num_nodes
+    harmonic = n / float(np.sum(1.0 / speeds))
+    arithmetic = state.total_speed / n
+    identity = (
+        psi0
+        + float(np.sum(state.deviation / speeds))
+        + n / 4.0 * (1.0 / harmonic - 1.0 / arithmetic)
+    )
+    margin = -abs(psi1 - identity)
+    scale = max(1.0, abs(psi1), abs(identity))
+    return LemmaCheck(
+        name="observation-3.20(3)",
+        holds=bool(abs(psi1 - identity) <= tolerance * scale),
+        margin=float(margin),
+        detail=f"Psi1={psi1:.6g} vs identity={identity:.6g}",
+    )
+
+
+def lemma_310_drop_lower_bound(
+    n: int, max_degree: int, lambda2: float, s_max: float, psi0: float
+) -> float:
+    """Lemma 3.10's lower bound on ``E[Delta Psi_0]``:
+
+    ``lambda_2 / (16 Delta s_max^2) * Psi_0 - n / (4 s_max)``.
+    """
+    lambda2 = check_positive(lambda2, "lambda2")
+    s_max = check_positive(s_max, "s_max")
+    return lambda2 / (16.0 * max_degree * s_max**2) * psi0 - n / (4.0 * s_max)
+
+
+def lemma_311_recursion(
+    previous_expectation: float,
+    max_degree: int,
+    lambda2: float,
+    s_max: float,
+    n: int,
+) -> float:
+    """Lemma 3.11's one-step recursion on ``E[Psi_0]``:
+
+    ``E[Psi_0(X_t)] <= (1 - 2/gamma) E[Psi_0(X_{t-1})] + n/(4 s_max)``
+    with ``1/gamma = lambda_2 / (32 Delta s_max^2)``. Returns the RHS.
+    """
+    inverse_gamma = lambda2 / (32.0 * max_degree * s_max**2)
+    return (1.0 - 2.0 * inverse_gamma) * previous_expectation + n / (4.0 * s_max)
+
+
+def lemma_321_check(
+    state: LoadStateBase, graph: Graph, granularity: float, tolerance: float = 1e-9
+) -> LemmaCheck:
+    """Lemma 3.21: every edge with ``l_i - l_j > 1/s_j`` also satisfies
+    ``l_i - l_j >= 1/s_j + eps/(s_i s_j)`` when speeds have granularity
+    ``eps`` **and the node weights are integers** (the lemma's setting is
+    uniform tasks).
+    """
+    granularity = check_positive(granularity, "granularity")
+    loads = state.loads
+    speeds = state.speeds
+    src = np.concatenate([graph.edges_u, graph.edges_v])
+    dst = np.concatenate([graph.edges_v, graph.edges_u])
+    gain = loads[src] - loads[dst]
+    strict = gain > 1.0 / speeds[dst] + tolerance
+    if not np.any(strict):
+        return LemmaCheck(
+            name="lemma-3.21",
+            holds=True,
+            margin=float("inf"),
+            detail="no strict edges to check",
+        )
+    required = 1.0 / speeds[dst][strict] + granularity / (
+        speeds[src][strict] * speeds[dst][strict]
+    )
+    margin = float(np.min(gain[strict] - required))
+    return LemmaCheck(
+        name="lemma-3.21",
+        holds=bool(margin >= -tolerance),
+        margin=margin,
+        detail=f"min margin over {int(np.count_nonzero(strict))} strict edges",
+    )
+
+
+def lemma_322_drop_lower_bound(
+    max_degree: int, s_max: float, granularity: float
+) -> float:
+    """Lemma 3.22's constant drop of ``Psi_1`` off equilibrium:
+
+    ``E[Delta Psi_1] >= eps^2 / (8 Delta s_max^3)`` (requires the
+    protocol to run with ``alpha = 4 s_max / eps``).
+    """
+    s_max = check_positive(s_max, "s_max")
+    granularity = check_positive(granularity, "granularity")
+    return granularity**2 / (8.0 * max_degree * s_max**3)
+
+
+def lemma_43_variance_check(
+    state: LoadStateBase, graph: Graph, alpha: float | None = None,
+    tolerance: float = 1e-9,
+) -> LemmaCheck:
+    """Lemma 4.3: the weighted protocol's per-round variance is bounded by
+
+    ``sum_i Var[W_i(X_t) | x] / s_i <= sum_(i,j) f_ij (1/s_i + 1/s_j)``
+
+    with the sum over directed non-Nash edges. The exact variances come
+    from :func:`repro.core.drops.one_round_moments`; the proof uses
+    ``w_l^2 <= w_l`` (weights at most 1), so the bound also covers the
+    uniform case.
+    """
+    from repro.core.drops import one_round_moments
+    from repro.core.flows import expected_flows
+
+    _, variance = one_round_moments(state, graph, alpha)
+    lhs = float(np.sum(variance / state.speeds))
+    src, dst, flows = expected_flows(state, graph, alpha)
+    speeds = state.speeds
+    rhs = float(np.sum(flows * (1.0 / speeds[src] + 1.0 / speeds[dst])))
+    margin = rhs - lhs
+    return LemmaCheck(
+        name="lemma-4.3",
+        holds=bool(margin >= -tolerance * max(1.0, rhs)),
+        margin=float(margin),
+        detail=f"sum Var/s = {lhs:.6g} <= flow bound = {rhs:.6g}",
+    )
+
+
+def lemma_323_check(state: LoadStateBase, tolerance: float = 1e-9) -> LemmaCheck:
+    """Lemma 3.23: ``Psi_1 <= Psi_0 + sqrt(Psi_0 n / s_h) + n/4 (1/s_h - 1/s_a)``."""
+    psi0 = psi0_potential(state)
+    psi1 = psi1_potential(state)
+    speeds = state.speeds
+    n = state.num_nodes
+    harmonic = n / float(np.sum(1.0 / speeds))
+    arithmetic = state.total_speed / n
+    bound = (
+        psi0
+        + math.sqrt(max(0.0, psi0) * n / harmonic)
+        + n / 4.0 * (1.0 / harmonic - 1.0 / arithmetic)
+    )
+    margin = bound - psi1
+    return LemmaCheck(
+        name="lemma-3.23",
+        holds=bool(margin >= -tolerance * max(1.0, abs(bound))),
+        margin=float(margin),
+        detail=f"Psi1={psi1:.6g} <= bound={bound:.6g}",
+    )

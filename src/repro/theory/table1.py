@@ -1,0 +1,132 @@
+"""The paper's Table 1 as data.
+
+Each row carries the asymptotic bound strings exactly as printed in the
+paper plus the *scaling exponents in n* that the empirical Table 1
+experiment fits measured convergence times against. For bounds of the
+form ``n^a * polylog`` the exponent is ``a``; measured exponents should
+come out at or below the bound's exponent (the bounds are worst-case
+upper bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.tables import Table
+
+__all__ = ["Table1Row", "TABLE1_ROWS", "table1_render"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1.
+
+    ``*_exponent`` fields give the polynomial order in ``n`` of the
+    corresponding bound (ignoring polylog factors), used for log-log
+    scaling fits.
+    """
+
+    family: str
+    approx_this: str
+    approx_prior: str
+    exact_this: str
+    exact_prior: str
+    approx_this_exponent: float
+    approx_prior_exponent: float
+    exact_this_exponent: float
+    exact_prior_exponent: float
+
+
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row(
+        family="complete",
+        approx_this="ln(m/n)",
+        approx_prior="n^2 ln(m)",
+        exact_this="n^2",
+        exact_prior="n^6",
+        approx_this_exponent=0.0,
+        approx_prior_exponent=2.0,
+        exact_this_exponent=2.0,
+        exact_prior_exponent=6.0,
+    ),
+    Table1Row(
+        family="ring",
+        approx_this="n^2 ln(m/n)",
+        approx_prior="n^3 ln(m)",
+        exact_this="n^3",
+        exact_prior="n^5",
+        approx_this_exponent=2.0,
+        approx_prior_exponent=3.0,
+        exact_this_exponent=3.0,
+        exact_prior_exponent=5.0,
+    ),
+    Table1Row(
+        family="path",
+        approx_this="n^2 ln(m/n)",
+        approx_prior="n^3 ln(m)",
+        exact_this="n^3",
+        exact_prior="n^5",
+        approx_this_exponent=2.0,
+        approx_prior_exponent=3.0,
+        exact_this_exponent=3.0,
+        exact_prior_exponent=5.0,
+    ),
+    Table1Row(
+        family="mesh",
+        approx_this="n ln(m/n)",
+        approx_prior="n^2 ln(m)",
+        exact_this="n^2",
+        exact_prior="n^4",
+        approx_this_exponent=1.0,
+        approx_prior_exponent=2.0,
+        exact_this_exponent=2.0,
+        exact_prior_exponent=4.0,
+    ),
+    Table1Row(
+        family="torus",
+        approx_this="n ln(m/n)",
+        approx_prior="n^2 ln(m)",
+        exact_this="n^2",
+        exact_prior="n^4",
+        approx_this_exponent=1.0,
+        approx_prior_exponent=2.0,
+        exact_this_exponent=2.0,
+        exact_prior_exponent=4.0,
+    ),
+    Table1Row(
+        family="hypercube",
+        approx_this="ln(n) ln(m/n)",
+        approx_prior="n ln^3(n) ln(m)",
+        exact_this="n ln^2(n)",
+        exact_prior="n^3 ln^5(n)",
+        approx_this_exponent=0.0,
+        approx_prior_exponent=1.0,
+        exact_this_exponent=1.0,
+        exact_prior_exponent=3.0,
+    ),
+)
+
+
+def table1_render() -> str:
+    """Render the paper's Table 1 (the asymptotic comparison) as text."""
+    table = Table(
+        headers=[
+            "Graph",
+            "eps-approx NE (this paper)",
+            "eps-approx NE ([6])",
+            "NE (this paper)",
+            "NE ([6])",
+        ],
+        title="Paper Table 1: asymptotic convergence bounds",
+    )
+    for row in TABLE1_ROWS:
+        table.add_row(
+            [
+                row.family,
+                row.approx_this,
+                row.approx_prior,
+                row.exact_this,
+                row.exact_prior,
+            ]
+        )
+    return table.render()

@@ -1,0 +1,42 @@
+"""Shared type aliases used across the ``repro`` package.
+
+Centralizing the aliases keeps signatures short and consistent: a function
+that accepts ``SeedLike`` takes anything :func:`repro.utils.rng.make_rng`
+understands, a function returning ``FloatArray`` returns a 1-D or 2-D
+``numpy`` array of floats, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "FloatArray",
+    "IntArray",
+    "BoolArray",
+    "SeedLike",
+    "EdgeList",
+    "Edge",
+]
+
+#: 1-D or 2-D array of float64 values.
+FloatArray = npt.NDArray[np.float64]
+
+#: 1-D or 2-D array of int64 values.
+IntArray = npt.NDArray[np.int64]
+
+#: Boolean mask array.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Anything accepted as a random seed: ``None`` (non-deterministic), an
+#: integer, or an already-constructed numpy ``Generator``.
+SeedLike = Union[None, int, np.random.Generator]
+
+#: A single undirected edge as a pair of vertex indices.
+Edge = tuple[int, int]
+
+#: A sequence of undirected edges.
+EdgeList = Sequence[Edge]

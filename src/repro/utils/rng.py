@@ -1,0 +1,85 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library accepts a ``SeedLike`` argument and turns
+it into a :class:`numpy.random.Generator` through :func:`make_rng`. This
+gives three properties the experiments rely on:
+
+* **Reproducibility** — an integer seed always produces the same stream.
+* **Independence** — :func:`spawn_rngs` derives statistically independent
+  child generators for parallel repetitions of an experiment, so that
+  repetition ``k`` is reproducible on its own regardless of how many other
+  repetitions ran.
+* **Convenience** — passing an existing ``Generator`` threads it through
+  unchanged, so composed simulations can share one stream when desired.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import SeedLike
+
+__all__ = ["make_rng", "spawn_rngs", "derive_seed"]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy ``Generator`` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or
+        an existing ``Generator`` which is returned as-is.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValidationError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from ``seed``.
+
+    Uses numpy's ``SeedSequence.spawn`` so the children are independent of
+    each other and of the parent stream.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [seed.spawn(1)[0] for _ in range(count)]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(seed: int, *components: int | str) -> int:
+    """Deterministically derive a sub-seed from ``seed`` and labels.
+
+    Experiments use this to give each (graph size, repetition) cell a stable
+    seed: ``derive_seed(base, n, rep)``. The derivation hashes the components
+    through ``SeedSequence`` entropy mixing, so nearby inputs give unrelated
+    outputs.
+    """
+    mixed: list[int] = [seed]
+    for component in components:
+        if isinstance(component, str):
+            # Stable (process-independent) string folding.
+            value = 0
+            for char in component:
+                value = (value * 131 + ord(char)) % (2**63)
+            mixed.append(value)
+        elif isinstance(component, (int, np.integer)):
+            mixed.append(int(component) & (2**63 - 1))
+        else:
+            raise ValidationError(
+                f"seed components must be int or str, got {type(component).__name__}"
+            )
+    sequence = np.random.SeedSequence(mixed)
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] % (2**63))

@@ -1,0 +1,88 @@
+"""JSON / CSV serialization for experiment results.
+
+Experiment results are nested dataclass-like dictionaries possibly holding
+numpy scalars and arrays; :func:`to_json` normalizes those into plain Python
+types so the output is portable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "write_json",
+    "read_json",
+    "write_csv",
+    "rows_to_csv_text",
+]
+
+
+def _normalize(value: Any) -> Any:
+    """Recursively convert numpy types to plain Python equivalents."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [_normalize(item) for item in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): _normalize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValidationError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def to_json(data: Any, *, indent: int = 2) -> str:
+    """Serialize ``data`` (possibly containing numpy values) to JSON text."""
+    return json.dumps(_normalize(data), indent=indent, sort_keys=False)
+
+
+def from_json(text: str) -> Any:
+    """Parse JSON text."""
+    return json.loads(text)
+
+
+def write_json(path: str | Path, data: Any) -> None:
+    """Write ``data`` to ``path`` as JSON."""
+    Path(path).write_text(to_json(data) + "\n", encoding="utf-8")
+
+
+def read_json(path: str | Path) -> Any:
+    """Read JSON from ``path``."""
+    return from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def rows_to_csv_text(
+    rows: Iterable[Sequence[object]], headers: Sequence[str] | None = None
+) -> str:
+    """Render rows (and optional header) as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if headers is not None:
+        writer.writerow(headers)
+    for row in rows:
+        writer.writerow([_normalize(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[str] | None = None,
+) -> None:
+    """Write rows (and optional header) to ``path`` as CSV."""
+    Path(path).write_text(rows_to_csv_text(rows, headers), encoding="utf-8")

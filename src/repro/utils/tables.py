@@ -1,0 +1,119 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints paper-style tables to stdout and writes the
+same content to ``EXPERIMENTS.md``. :class:`Table` renders either a
+fixed-width ASCII grid or GitHub-flavoured markdown from the same data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["Table", "format_float", "format_scientific"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly: integers without decimals, NaN as ``-``."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def format_scientific(value: float, digits: int = 2) -> str:
+    """Format a float in scientific notation, NaN as ``-``."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.{digits}e}"
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    title:
+        Optional table caption printed above the grid.
+
+    Examples
+    --------
+    >>> table = Table(headers=["graph", "T"], title="demo")
+    >>> table.add_row(["ring", 12])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; values are stringified with sensible defaults."""
+        row = [self._stringify(value) for value in values]
+        if len(row) != len(self.headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _stringify(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format_float(value)
+        return str(value)
+
+    def _widths(self) -> list[int]:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render as a fixed-width ASCII grid."""
+        widths = self._widths()
+        separator = "+".join("-" * (width + 2) for width in widths)
+        separator = f"+{separator}+"
+
+        def render_row(cells: Sequence[str]) -> str:
+            padded = [f" {cell:<{widths[i]}} " for i, cell in enumerate(cells)]
+            return "|" + "|".join(padded) + "|"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(separator)
+        lines.append(render_row(list(self.headers)))
+        lines.append(separator)
+        for row in self.rows:
+            lines.append(render_row(row))
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("| " + " | ".join("---" for _ in self.headers) + " |")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,99 @@
+"""Tests for repro.analysis.convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import measure_convergence_rounds
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.stopping import NashStop, PotentialThresholdStop
+from repro.errors import ValidationError
+from repro.graphs.generators import cycle_graph
+from repro.model.state import UniformState
+
+
+def state_factory(rng):
+    counts = np.zeros(8, dtype=np.int64)
+    counts[0] = 80
+    return UniformState(counts, np.ones(8))
+
+
+class TestMeasureConvergenceRounds:
+    def test_all_converge(self, ring8):
+        measurement = measure_convergence_rounds(
+            graph=ring8,
+            protocol=SelfishUniformProtocol(),
+            state_factory=state_factory,
+            stopping=NashStop(),
+            repetitions=4,
+            max_rounds=50_000,
+            seed=3,
+        )
+        assert measurement.all_converged
+        assert measurement.num_converged == 4
+        assert measurement.rounds.shape == (4,)
+        assert measurement.summary is not None
+        assert measurement.median_rounds > 0
+        assert measurement.mean_rounds > 0
+
+    def test_budget_too_small(self, ring8):
+        measurement = measure_convergence_rounds(
+            graph=ring8,
+            protocol=SelfishUniformProtocol(),
+            state_factory=state_factory,
+            stopping=NashStop(),
+            repetitions=3,
+            max_rounds=1,
+            seed=3,
+        )
+        assert measurement.num_converged == 0
+        assert not measurement.all_converged
+        assert np.isnan(measurement.median_rounds)
+        assert np.isnan(measurement.mean_rounds)
+
+    def test_reproducible(self, ring8):
+        def run():
+            return measure_convergence_rounds(
+                graph=ring8,
+                protocol=SelfishUniformProtocol(),
+                state_factory=state_factory,
+                stopping=PotentialThresholdStop(500.0, "psi0"),
+                repetitions=3,
+                max_rounds=20_000,
+                seed=8,
+            ).rounds
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_state_factory_uses_rng(self, ring8):
+        """Random starts differ across repetitions (factory receives rng)."""
+        seen = []
+
+        def factory(rng):
+            counts = np.bincount(rng.integers(0, 8, size=80), minlength=8)
+            seen.append(counts.copy())
+            return UniformState(counts, np.ones(8))
+
+        measure_convergence_rounds(
+            graph=ring8,
+            protocol=SelfishUniformProtocol(),
+            state_factory=factory,
+            stopping=NashStop(),
+            repetitions=3,
+            max_rounds=10_000,
+            seed=1,
+        )
+        assert len(seen) == 3
+        assert not all(np.array_equal(seen[0], other) for other in seen[1:])
+
+    def test_repetitions_validated(self, ring8):
+        with pytest.raises(ValidationError):
+            measure_convergence_rounds(
+                graph=ring8,
+                protocol=SelfishUniformProtocol(),
+                state_factory=state_factory,
+                stopping=NashStop(),
+                repetitions=0,
+                max_rounds=10,
+            )

@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    PowerLawFit,
+    exponent_consistent,
+    fit_exponential_decay,
+    fit_power_law,
+)
+from repro.errors import ValidationError
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law(self):
+        x = np.array([2.0, 4.0, 8.0, 16.0])
+        y = 3.0 * x**2
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-10)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.num_points == 4
+
+    def test_constant_data(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [5.0, 5.0, 5.0])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-10)
+
+    def test_noisy_fit_reasonable(self, rng):
+        x = np.linspace(4, 64, 12)
+        y = 2.0 * x**1.5 * rng.uniform(0.9, 1.1, size=12)
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.5, abs=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, prefactor=3.0, r_squared=1.0, num_points=4)
+        assert fit.predict(10.0) == pytest.approx(300.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([2.0], [4.0])
+
+    def test_needs_positive_values(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValidationError):
+            fit_power_law([-1.0, 2.0], [1.0, 1.0])
+
+    def test_needs_distinct_x(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([2.0, 2.0], [1.0, 2.0])
+
+
+class TestFitExponentialDecay:
+    def test_exact_decay(self):
+        t = np.arange(30, dtype=float)
+        y = 100.0 * 0.9**t
+        assert fit_exponential_decay(t, y) == pytest.approx(0.9, rel=1e-9)
+
+    def test_growth_detected(self):
+        t = np.arange(10, dtype=float)
+        y = 1.1**t
+        assert fit_exponential_decay(t, y) > 1.0
+
+    def test_ignores_zero_samples(self):
+        t = np.arange(10, dtype=float)
+        y = 100.0 * 0.5**t
+        y[-1] = 0.0
+        assert fit_exponential_decay(t, y) == pytest.approx(0.5, rel=1e-6)
+
+    def test_needs_two_positive(self):
+        with pytest.raises(ValidationError):
+            fit_exponential_decay([0.0, 1.0], [0.0, 0.0])
+
+
+class TestExponentConsistent:
+    def test_within(self):
+        fit = PowerLawFit(2.1, 1.0, 1.0, 5)
+        assert exponent_consistent(fit, 2.0, slack=0.2)
+
+    def test_outside(self):
+        fit = PowerLawFit(2.7, 1.0, 1.0, 5)
+        assert not exponent_consistent(fit, 2.0, slack=0.2)
+
+    def test_below_is_fine(self):
+        """Upper bounds allow slower growth than predicted."""
+        fit = PowerLawFit(0.5, 1.0, 1.0, 5)
+        assert exponent_consistent(fit, 3.0, slack=0.0)
+
+    def test_negative_slack_rejected(self):
+        fit = PowerLawFit(1.0, 1.0, 1.0, 5)
+        with pytest.raises(ValidationError):
+            exponent_consistent(fit, 1.0, slack=-0.1)

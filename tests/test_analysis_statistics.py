@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import bootstrap_ci, geometric_mean, summarize
+from repro.errors import ValidationError
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_ci_contains_mean(self):
+        summary = summarize([5.0, 6.0, 7.0, 8.0, 9.0])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_single_observation(self):
+        summary = summarize([3.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([])
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean_usually(self, rng):
+        sample = rng.normal(10.0, 2.0, size=100)
+        low, high = bootstrap_ci(sample, seed=1)
+        assert low <= float(sample.mean()) <= high
+        assert low <= 10.5 and high >= 9.5
+
+    def test_narrows_with_confidence(self, rng):
+        sample = rng.normal(0.0, 1.0, size=60)
+        low50, high50 = bootstrap_ci(sample, confidence=0.5, seed=2)
+        low99, high99 = bootstrap_ci(sample, confidence=0.99, seed=2)
+        assert (high50 - low50) < (high99 - low99)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([], seed=0)
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0], confidence=1.5, seed=0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_equals_arithmetic_for_constant(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([])

@@ -1,0 +1,115 @@
+"""Tests for repro.core.drops: exact conditional expectations.
+
+The closed forms are validated against brute-force Monte Carlo and
+against the drop lemmas of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drops import (
+    expected_potential_drop,
+    expected_psi0_after_round,
+    expected_psi1_after_round,
+)
+from repro.core.flows import default_alpha
+from repro.core.potentials import psi0_potential, psi1_potential
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.errors import ValidationError
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph
+from repro.model.state import UniformState, WeightedState
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.lemmas import lemma_310_drop_lower_bound
+
+
+class TestUniformExactExpectation:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_monte_carlo(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = grid_graph(3)
+        counts = rng.integers(0, 60, size=9)
+        speeds = rng.uniform(1.0, 3.0, size=9)
+        state = UniformState(counts, speeds)
+        exact = expected_psi0_after_round(state, graph)
+        protocol = SelfishUniformProtocol()
+        samples = []
+        for _ in range(4000):
+            trial = state.copy()
+            protocol.execute_round(trial, graph, rng)
+            samples.append(psi0_potential(trial))
+        mean = float(np.mean(samples))
+        standard_error = float(np.std(samples)) / np.sqrt(len(samples))
+        assert abs(mean - exact) < 4.5 * standard_error + 1e-9
+
+    def test_nash_state_no_change(self, ring8):
+        state = UniformState(np.full(8, 10), np.ones(8))
+        assert expected_psi0_after_round(state, ring8) == pytest.approx(
+            psi0_potential(state)
+        )
+        assert expected_potential_drop(state, ring8, r=0) == pytest.approx(0.0)
+
+    def test_psi1_matches_monte_carlo(self):
+        rng = np.random.default_rng(3)
+        graph = cycle_graph(6)
+        counts = rng.integers(0, 40, size=6)
+        speeds = np.array([1.0, 2.0, 1.0, 2.0, 1.0, 1.0])
+        state = UniformState(counts, speeds)
+        alpha = default_alpha(2.0)
+        exact = expected_psi1_after_round(state, graph, alpha=alpha)
+        protocol = SelfishUniformProtocol(alpha=alpha)
+        samples = []
+        for _ in range(4000):
+            trial = state.copy()
+            protocol.execute_round(trial, graph, rng)
+            samples.append(psi1_potential(trial))
+        mean = float(np.mean(samples))
+        standard_error = float(np.std(samples)) / np.sqrt(len(samples))
+        assert abs(mean - exact) < 4.5 * standard_error + 1e-9
+
+
+class TestWeightedExactExpectation:
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(5)
+        graph = path_graph(4)
+        m = 100
+        weights = rng.uniform(0.1, 1.0, size=m)
+        locations = rng.integers(0, 4, size=m)
+        speeds = np.array([1.0, 2.0, 1.0, 1.5])
+        state = WeightedState(locations, weights, speeds)
+        exact = expected_psi0_after_round(state, graph)
+        protocol = SelfishWeightedProtocol(rule="flow")
+        samples = []
+        for _ in range(4000):
+            trial = state.copy()
+            protocol.execute_round(trial, graph, rng)
+            samples.append(psi0_potential(trial))
+        mean = float(np.mean(samples))
+        standard_error = float(np.std(samples)) / np.sqrt(len(samples))
+        assert abs(mean - exact) < 4.5 * standard_error + 1e-9
+
+
+class TestDropLemmaConsistency:
+    def test_lemma_310_on_random_states(self, rng):
+        """E[drop Psi_0] >= the spectral lower bound (Lemma 3.10)."""
+        graph = grid_graph(3)
+        lambda2 = algebraic_connectivity(graph)
+        for _ in range(25):
+            counts = rng.integers(0, 80, size=9)
+            speeds = rng.uniform(1.0, 2.0, size=9)
+            state = UniformState(counts, speeds)
+            drop = expected_potential_drop(state, graph, r=0)
+            bound = lemma_310_drop_lower_bound(
+                9, graph.max_degree, lambda2, float(speeds.max()), psi0_potential(state)
+            )
+            assert drop >= bound - 1e-9
+
+    def test_drop_positive_far_from_equilibrium(self, ring8):
+        state = UniformState(np.array([800, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        assert expected_potential_drop(state, ring8, r=0) > 0
+
+    def test_invalid_r(self, ring8):
+        state = UniformState(np.full(8, 5), np.ones(8))
+        with pytest.raises(ValidationError):
+            expected_potential_drop(state, ring8, r=2)

@@ -1,0 +1,171 @@
+"""Tests for repro.core.equilibrium."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import (
+    blocking_edges,
+    equilibrium_report,
+    is_epsilon_nash,
+    is_nash,
+    is_weighted_exact_nash,
+    max_improvement_incentive,
+)
+from repro.errors import ValidationError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.model.state import UniformState, WeightedState
+
+
+class TestIsNash:
+    def test_balanced_is_nash(self, ring8):
+        state = UniformState(np.full(8, 10), np.ones(8))
+        assert is_nash(state, ring8)
+
+    def test_difference_of_one_is_nash(self):
+        """l_i - l_j = 1 = 1/s_j is allowed (not a strict improvement)."""
+        graph = path_graph(2)
+        state = UniformState([3, 2], [1.0, 1.0])
+        assert is_nash(state, graph)
+
+    def test_difference_of_two_not_nash(self):
+        graph = path_graph(2)
+        state = UniformState([4, 2], [1.0, 1.0])
+        assert not is_nash(state, graph)
+
+    def test_speeds_change_threshold(self):
+        """With fast target s_j = 2 the threshold is 1/2."""
+        graph = path_graph(2)
+        # loads 2 and 1.5: gap 0.5 = 1/s_j -> still NE.
+        assert is_nash(UniformState([2, 3], [1.0, 2.0]), graph)
+        # loads 3 and 1: gap 2 > 1/2 -> not NE.
+        assert not is_nash(UniformState([3, 2], [1.0, 2.0]), graph)
+
+    def test_non_adjacent_imbalance_still_nash(self):
+        """NE is a local notion: distant imbalance does not violate it."""
+        graph = path_graph(3)
+        state = UniformState([3, 2, 1], [1.0, 1.0, 1.0])
+        assert is_nash(state, graph)
+
+    def test_empty_graph_vacuous(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(2, [])
+        state = UniformState([100, 0], [1.0, 1.0])
+        assert is_nash(state, graph)
+
+
+class TestEpsilonNash:
+    def test_exact_nash_is_epsilon_nash(self, ring8):
+        state = UniformState(np.full(8, 5), np.ones(8))
+        assert is_epsilon_nash(state, ring8, 0.3)
+
+    def test_looser_epsilon_easier(self):
+        graph = path_graph(2)
+        state = UniformState([8, 4], [1.0, 1.0])
+        # gap 4 > 1: not exact NE.
+        assert not is_nash(state, graph)
+        # (1 - eps) * 8 - 4 <= 1 requires eps >= 3/8.
+        assert not is_epsilon_nash(state, graph, 0.30)
+        assert is_epsilon_nash(state, graph, 0.40)
+
+    def test_epsilon_one_always(self, ring8):
+        state = UniformState([80, 0, 0, 0, 0, 0, 0, 0], np.ones(8))
+        assert is_epsilon_nash(state, ring8, 1.0)
+
+    def test_epsilon_validated(self, ring8):
+        state = UniformState(np.full(8, 5), np.ones(8))
+        with pytest.raises(ValidationError):
+            is_epsilon_nash(state, ring8, 1.5)
+
+
+class TestWeightedExactNash:
+    def test_lightest_task_decides(self):
+        graph = path_graph(2)
+        # Node 0 holds weights {1.0, 0.2}; loads 1.2 vs 0.
+        # Gap 1.2 > 0.2/1: the light task can improve -> not exact NE.
+        state = WeightedState([0, 0], [1.0, 0.2], [1.0, 1.0])
+        assert not is_weighted_exact_nash(state, graph)
+
+    def test_heavy_only_is_nash(self):
+        graph = path_graph(2)
+        # Single task of weight 1.0: gap 1.0 <= 1.0/1 -> NE.
+        state = WeightedState([0], [1.0], [1.0, 1.0])
+        assert is_weighted_exact_nash(state, graph)
+
+    def test_empty_nodes_no_condition(self):
+        graph = path_graph(3)
+        state = WeightedState([1], [0.5], [1.0, 1.0, 1.0])
+        assert is_weighted_exact_nash(state, graph)
+
+    def test_threshold_vs_exact_gap(self):
+        """A threshold-NE state need not be a per-task exact NE."""
+        graph = path_graph(2)
+        # Loads 0.9 vs 0.0: gap 0.9 <= 1 (threshold-NE) but light task
+        # with w = 0.1 can still improve (0.9 > 0.1).
+        state = WeightedState([0, 0, 0], [0.3, 0.3, 0.3], [1.0, 1.0])
+        assert is_nash(state, graph)
+        assert not is_weighted_exact_nash(state, graph)
+
+
+class TestBlockingEdges:
+    def test_empty_at_nash(self, ring8):
+        state = UniformState(np.full(8, 5), np.ones(8))
+        assert blocking_edges(state, ring8) == []
+
+    def test_detects_direction(self):
+        graph = path_graph(2)
+        state = UniformState([5, 0], [1.0, 1.0])
+        edges = blocking_edges(state, graph)
+        assert edges == [(0, 1)]
+
+    def test_sorted_by_violation(self):
+        graph = path_graph(3)
+        state = UniformState([9, 0, 5], [1.0, 1.0, 1.0])
+        edges = blocking_edges(state, graph)
+        assert edges[0] == (0, 1)  # gap 9 beats gap 5
+        assert set(edges) == {(0, 1), (2, 1)}
+
+    def test_epsilon_parameter(self):
+        graph = path_graph(2)
+        state = UniformState([8, 4], [1.0, 1.0])
+        assert blocking_edges(state, graph, epsilon=0.4) == []
+        assert blocking_edges(state, graph, epsilon=0.0) == [(0, 1)]
+
+
+class TestMaxIncentive:
+    def test_zero_at_balanced(self, ring8):
+        state = UniformState(np.full(8, 5), np.ones(8))
+        assert max_improvement_incentive(state, ring8) <= 0.0
+
+    def test_positive_off_equilibrium(self):
+        graph = path_graph(2)
+        state = UniformState([5, 0], [1.0, 1.0])
+        assert max_improvement_incentive(state, graph) == pytest.approx(4.0)
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        state = UniformState([5, 0], [1.0, 1.0])
+        assert max_improvement_incentive(state, Graph(2, [])) == 0.0
+
+
+class TestReport:
+    def test_consistency(self):
+        graph = cycle_graph(4)
+        state = UniformState([10, 0, 0, 0], np.ones(4))
+        report = equilibrium_report(state, graph, epsilon=0.5)
+        assert not report.nash
+        assert report.num_blocking_edges == len(blocking_edges(state, graph))
+        assert report.max_incentive == pytest.approx(
+            max_improvement_incentive(state, graph)
+        )
+        assert report.epsilon == 0.5
+
+    def test_nash_report(self, ring8):
+        state = UniformState(np.full(8, 3), np.ones(8))
+        report = equilibrium_report(state, ring8)
+        assert report.nash
+        assert report.epsilon_nash
+        assert report.num_blocking_edges == 0

@@ -1,0 +1,116 @@
+"""Tests for repro.core.flows (Definitions 3.1 / 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flows import (
+    default_alpha,
+    expected_flows,
+    flow_matrix,
+    migration_probabilities,
+)
+from repro.errors import ProtocolError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.model.state import UniformState
+
+
+class TestDefaultAlpha:
+    def test_four_smax(self):
+        assert default_alpha(3.0) == 12.0
+
+    def test_granularity_raises_alpha(self):
+        assert default_alpha(2.0, 0.5) == 16.0
+
+    def test_granularity_above_one_rejected(self):
+        with pytest.raises(ProtocolError):
+            default_alpha(1.0, 1.5)
+
+
+class TestExpectedFlows:
+    def test_explicit_value(self):
+        """Hand-computed flow on a 2-path."""
+        graph = path_graph(2)
+        state = UniformState([10, 0], [1.0, 1.0])
+        src, dst, flows = expected_flows(state, graph)
+        # alpha = 4, d_ij = 1, 1/s_i + 1/s_j = 2, gain = 10.
+        # f = 10 / (4 * 1 * 2) = 1.25 on (0 -> 1); 0 on (1 -> 0).
+        flow_map = {(int(s), int(d)): f for s, d, f in zip(src, dst, flows)}
+        assert flow_map[(0, 1)] == pytest.approx(1.25)
+        assert flow_map[(1, 0)] == 0.0
+
+    def test_threshold_respected(self):
+        """No flow when the gap does not beat 1/s_j."""
+        graph = path_graph(2)
+        state = UniformState([3, 2], [1.0, 1.0])  # gap exactly 1
+        _, _, flows = expected_flows(state, graph)
+        np.testing.assert_array_equal(flows, 0.0)
+
+    def test_zero_at_nash(self, ring8):
+        """Definition 3.7: NE <=> all flows vanish."""
+        state = UniformState(np.full(8, 5), np.ones(8))
+        _, _, flows = expected_flows(state, ring8)
+        np.testing.assert_array_equal(flows, 0.0)
+
+    def test_custom_alpha_scales(self):
+        graph = path_graph(2)
+        state = UniformState([10, 0], [1.0, 1.0])
+        _, _, flows_default = expected_flows(state, graph, alpha=4.0)
+        _, _, flows_double = expected_flows(state, graph, alpha=8.0)
+        np.testing.assert_allclose(flows_double, flows_default / 2.0)
+
+    def test_speeds_enter_rate(self):
+        graph = path_graph(2)
+        state = UniformState([10, 0], [1.0, 2.0])
+        _, _, flows = expected_flows(state, graph)
+        # alpha = 8 (s_max = 2), rate = 8 * 1 * (1 + 0.5) = 12, gain = 10.
+        flow_map_value = flows[flows > 0]
+        assert flow_map_value[0] == pytest.approx(10.0 / 12.0)
+
+
+class TestMigrationProbabilities:
+    def test_q_is_flow_over_weight(self):
+        graph = path_graph(2)
+        state = UniformState([10, 0], [1.0, 1.0])
+        src, dst, q = migration_probabilities(state, graph)
+        _, _, flows = expected_flows(state, graph)
+        np.testing.assert_allclose(q * state.node_weights[src], flows)
+
+    def test_empty_node_zero_probability(self):
+        graph = path_graph(2)
+        state = UniformState([0, 10], [1.0, 1.0])
+        src, dst, q = migration_probabilities(state, graph)
+        # Flow is from node 1; node 0 (empty) has zero out-probability.
+        for s, value in zip(src, q):
+            if s == 0:
+                assert value == 0.0
+
+    def test_total_probability_below_one_default_alpha(self, rng):
+        """The analysis guarantees sum_j q_ij <= 1 for alpha = 4 s_max."""
+        graph = cycle_graph(8)
+        for _ in range(20):
+            counts = rng.integers(0, 100, size=8)
+            speeds = rng.uniform(1.0, 3.0, size=8)
+            state = UniformState(counts, speeds)
+            src, _, q = migration_probabilities(state, graph)
+            totals = np.zeros(8)
+            np.add.at(totals, src, q)
+            assert totals.max() <= 1.0 + 1e-12
+
+
+class TestFlowMatrix:
+    def test_matches_edge_flows(self):
+        graph = path_graph(3)
+        state = UniformState([9, 3, 0], [1.0, 1.0, 1.0])
+        matrix = flow_matrix(state, graph)
+        src, dst, flows = expected_flows(state, graph)
+        for s, d, f in zip(src, dst, flows):
+            assert matrix[s, d] == pytest.approx(f)
+
+    def test_no_flow_on_non_edges(self):
+        graph = path_graph(3)
+        state = UniformState([9, 3, 0], [1.0, 1.0, 1.0])
+        matrix = flow_matrix(state, graph)
+        assert matrix[0, 2] == 0.0
+        assert matrix[2, 0] == 0.0

@@ -1,0 +1,155 @@
+"""Tests for repro.core.game: the potential-game structure.
+
+The central identities are verified *exactly* against recomputed
+potentials: the closed-form ``Phi_1`` move deltas must match the actual
+before/after difference to machine precision on arbitrary states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import (
+    best_response_target,
+    is_improvement_move,
+    unit_move_phi1_delta,
+    weighted_move_phi1_delta,
+)
+from repro.core.potentials import phi_potential
+from repro.errors import ModelError, ValidationError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.model.state import UniformState, WeightedState
+from repro.utils.rng import make_rng
+
+
+class TestUnitMoveDelta:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_recomputed_phi1(self, seed):
+        rng = make_rng(seed)
+        n = int(rng.integers(2, 8))
+        counts = rng.integers(0, 30, size=n)
+        counts[0] = max(1, counts[0])  # ensure a task to move
+        speeds = rng.uniform(1.0, 4.0, size=n)
+        state = UniformState(counts, speeds)
+        target = int(rng.integers(1, n))
+        predicted = unit_move_phi1_delta(state, 0, target)
+        before = phi_potential(state, 1)
+        state.apply_moves([0], [target], [1])
+        after = phi_potential(state, 1)
+        assert after - before == pytest.approx(predicted, rel=1e-9, abs=1e-9)
+
+    def test_sign_iff_improvement(self):
+        """delta Phi_1 < 0 exactly when the task's load improves."""
+        # loads 5 vs 0: improving move -> negative delta.
+        improving = UniformState([5, 0], [1.0, 1.0])
+        assert unit_move_phi1_delta(improving, 0, 1) < 0
+        # loads 2 vs 2: moving worsens (perceived 3 > 2) -> positive.
+        worsening = UniformState([2, 2], [1.0, 1.0])
+        assert unit_move_phi1_delta(worsening, 0, 1) > 0
+        # Boundary: perceived load equal to current -> delta 0.
+        boundary = UniformState([3, 2], [1.0, 1.0])
+        assert unit_move_phi1_delta(boundary, 0, 1) == pytest.approx(0.0)
+
+    def test_self_move_zero(self):
+        state = UniformState([3, 2], [1.0, 1.0])
+        assert unit_move_phi1_delta(state, 0, 0) == 0.0
+
+    def test_empty_source_rejected(self):
+        state = UniformState([0, 2], [1.0, 1.0])
+        with pytest.raises(ModelError):
+            unit_move_phi1_delta(state, 0, 1)
+
+    def test_out_of_range(self):
+        state = UniformState([1, 1], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            unit_move_phi1_delta(state, 0, 5)
+
+
+class TestWeightedMoveDelta:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_recomputed_phi1(self, seed):
+        rng = make_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 25))
+        weights = rng.uniform(0.05, 1.0, size=m)
+        locations = rng.integers(0, n, size=m)
+        speeds = rng.uniform(1.0, 3.0, size=n)
+        state = WeightedState(locations, weights, speeds)
+        task = int(rng.integers(0, m))
+        target = int(rng.integers(0, n))
+        predicted = weighted_move_phi1_delta(state, task, target)
+        before = phi_potential(state, 1)
+        if target != state.task_nodes[task]:
+            state.apply_moves([task], [target])
+        after = phi_potential(state, 1)
+        assert after - before == pytest.approx(predicted, rel=1e-7, abs=1e-7)
+
+    def test_unit_weight_consistent_with_uniform(self):
+        """w = 1 weighted delta equals the uniform-task delta."""
+        uniform = UniformState([4, 1], [1.0, 2.0])
+        weighted = WeightedState(
+            [0, 0, 0, 0, 1], np.ones(5), [1.0, 2.0]
+        )
+        assert weighted_move_phi1_delta(weighted, 0, 1) == pytest.approx(
+            unit_move_phi1_delta(uniform, 0, 1)
+        )
+
+    def test_bad_task_index(self):
+        state = WeightedState([0], [0.5], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            weighted_move_phi1_delta(state, 3, 1)
+
+
+class TestImprovementPredicate:
+    def test_requires_adjacency(self):
+        graph = path_graph(3)
+        state = UniformState([9, 0, 0], [1.0, 1.0, 1.0])
+        assert is_improvement_move(state, graph, 0, 1)
+        assert not is_improvement_move(state, graph, 0, 2)  # not an edge
+
+    def test_requires_task(self):
+        graph = path_graph(2)
+        state = UniformState([0, 5], [1.0, 1.0])
+        assert not is_improvement_move(state, graph, 0, 1)
+
+    def test_consistent_with_delta_sign(self, rng):
+        graph = cycle_graph(6)
+        for _ in range(30):
+            counts = rng.integers(0, 15, size=6)
+            speeds = rng.uniform(1.0, 3.0, size=6)
+            state = UniformState(counts, speeds)
+            for source in range(6):
+                if state.counts[source] < 1:
+                    continue
+                for target in graph.neighbors(source):
+                    improving = is_improvement_move(state, graph, source, int(target))
+                    delta = unit_move_phi1_delta(state, source, int(target))
+                    assert improving == (delta < -1e-12)
+
+
+class TestBestResponse:
+    def test_picks_global_min_neighbour(self):
+        graph = star_graph(4)  # hub 0
+        state = UniformState([9, 5, 1, 3], [1.0, 1.0, 1.0, 1.0])
+        assert best_response_target(state, graph, 0) == 2
+
+    def test_none_at_local_equilibrium(self):
+        graph = path_graph(2)
+        state = UniformState([3, 2], [1.0, 1.0])
+        assert best_response_target(state, graph, 0) is None
+
+    def test_none_without_tasks(self):
+        graph = path_graph(2)
+        state = UniformState([0, 3], [1.0, 1.0])
+        assert best_response_target(state, graph, 0) is None
+
+    def test_speeds_considered(self):
+        graph = star_graph(3)
+        # neighbour 1: (4+1)/1 = 5; neighbour 2: (6+1)/2 = 3.5 -> pick 2.
+        state = UniformState([9, 4, 6], [1.0, 1.0, 2.0])
+        assert best_response_target(state, graph, 0) == 2

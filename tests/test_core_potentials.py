@@ -1,0 +1,153 @@
+"""Tests for repro.core.potentials (Definitions 3.2-3.4, 3.19, Obs 3.16/3.20)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.potentials import (
+    max_load_difference,
+    phi_potential,
+    potential_summary,
+    psi0_potential,
+    psi1_potential,
+)
+from repro.errors import ValidationError
+from repro.model.state import UniformState, WeightedState
+
+
+def make_state(counts, speeds):
+    return UniformState(counts, speeds)
+
+
+class TestPhi:
+    def test_phi0_explicit(self):
+        state = make_state([3, 1], [1.0, 1.0])
+        assert phi_potential(state, 0) == pytest.approx(9.0 + 1.0)
+
+    def test_phi1_explicit(self):
+        state = make_state([3, 1], [1.0, 1.0])
+        assert phi_potential(state, 1) == pytest.approx(12.0 + 2.0)
+
+    def test_speeds_divide(self):
+        state = make_state([4, 0], [2.0, 1.0])
+        assert phi_potential(state, 0) == pytest.approx(16.0 / 2.0)
+
+    def test_invalid_r(self):
+        state = make_state([1, 1], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            phi_potential(state, 2)
+
+
+class TestPsi0:
+    def test_balanced_state_zero(self):
+        state = make_state([5, 5, 5], [1.0, 1.0, 1.0])
+        assert psi0_potential(state) == pytest.approx(0.0, abs=1e-12)
+
+    def test_equals_phi0_minus_constant(self):
+        """Definition 3.3: Psi_0 = Phi_0 - W^2/S."""
+        state = make_state([7, 2, 0, 3], [1.0, 2.0, 1.0, 3.0])
+        w = state.total_weight
+        expected = phi_potential(state, 0) - w * w / state.total_speed
+        assert psi0_potential(state) == pytest.approx(expected, rel=1e-12)
+
+    def test_equals_generalized_inner_product(self):
+        """Lemma 3.6 (2): Psi_0 = <e, e>_S."""
+        from repro.spectral.inner_product import s_dot
+
+        state = make_state([7, 2, 0, 3], [1.0, 2.0, 1.0, 3.0])
+        e = state.deviation
+        assert psi0_potential(state) == pytest.approx(s_dot(e, e, state.speeds))
+
+    def test_nonnegative(self, rng):
+        for _ in range(20):
+            counts = rng.integers(0, 30, size=6)
+            speeds = rng.uniform(1.0, 4.0, size=6)
+            assert psi0_potential(make_state(counts, speeds)) >= 0.0
+
+    def test_adversarial_upper_bound(self):
+        """Psi_0(X_0) <= m^2 for any start (used in Lemma 3.15's proof)."""
+        state = make_state([100, 0, 0, 0], [1.0, 1.0, 1.0, 1.0])
+        assert psi0_potential(state) <= 100.0**2
+
+    def test_weighted_state_supported(self, weighted_state_ring8):
+        value = psi0_potential(weighted_state_ring8)
+        e = weighted_state_ring8.deviation
+        expected = float(np.sum(e * e / weighted_state_ring8.speeds))
+        assert value == pytest.approx(expected)
+
+
+class TestPsi1:
+    def test_nonnegative_on_random_states(self, rng):
+        """Observation 3.20 (2)."""
+        for _ in range(50):
+            counts = rng.integers(0, 20, size=5)
+            speeds = rng.uniform(1.0, 3.0, size=5)
+            assert psi1_potential(make_state(counts, speeds)) >= 0.0
+
+    def test_definition_319_identity(self, rng):
+        """Psi_1 = Phi_1 - W^2/S - W n/S + n/4 (1/s_h - 1/s_a)."""
+        counts = rng.integers(0, 25, size=6)
+        speeds = rng.uniform(1.0, 4.0, size=6)
+        state = make_state(counts, speeds)
+        n = 6
+        w = state.total_weight
+        total_speed = state.total_speed
+        harmonic = n / np.sum(1.0 / speeds)
+        arithmetic = total_speed / n
+        expected = (
+            phi_potential(state, 1)
+            - w * w / total_speed
+            - w * n / total_speed
+            + n / 4.0 * (1.0 / harmonic - 1.0 / arithmetic)
+        )
+        assert psi1_potential(state) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_observation_320_3(self, rng):
+        """Psi_1 = Psi_0 + sum e_i/s_i + n/4 (1/s_h - 1/s_a)."""
+        counts = rng.integers(0, 25, size=6)
+        speeds = rng.uniform(1.0, 4.0, size=6)
+        state = make_state(counts, speeds)
+        n = 6
+        harmonic = n / np.sum(1.0 / speeds)
+        arithmetic = state.total_speed / n
+        expected = (
+            psi0_potential(state)
+            + float(np.sum(state.deviation / speeds))
+            + n / 4.0 * (1.0 / harmonic - 1.0 / arithmetic)
+        )
+        assert psi1_potential(state) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_uniform_speeds_minimum(self):
+        """For s = 1: Psi_1 = sum (e_i + 1/2)^2 - n/4, zero when e_i = 0."""
+        state = make_state([5, 5, 5, 5], np.ones(4))
+        assert psi1_potential(state) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLDelta:
+    def test_explicit(self):
+        state = make_state([6, 0, 0], [1.0, 1.0, 1.0])
+        # average load 2: deviations 4, -2, -2.
+        assert max_load_difference(state) == pytest.approx(4.0)
+
+    def test_observation_316(self, rng):
+        """L_Delta^2 <= Psi_0 <= S L_Delta^2."""
+        for _ in range(30):
+            counts = rng.integers(0, 40, size=7)
+            speeds = rng.uniform(1.0, 4.0, size=7)
+            state = make_state(counts, speeds)
+            psi0 = psi0_potential(state)
+            l_delta = max_load_difference(state)
+            assert l_delta**2 <= psi0 + 1e-9
+            assert psi0 <= state.total_speed * l_delta**2 + 1e-9
+
+
+class TestSummary:
+    def test_matches_individual(self):
+        state = make_state([5, 1, 0], [1.0, 2.0, 1.0])
+        summary = potential_summary(state)
+        assert summary.phi0 == pytest.approx(phi_potential(state, 0))
+        assert summary.phi1 == pytest.approx(phi_potential(state, 1))
+        assert summary.psi0 == pytest.approx(psi0_potential(state))
+        assert summary.psi1 == pytest.approx(psi1_potential(state))
+        assert summary.l_delta == pytest.approx(max_load_difference(state))

@@ -1,0 +1,131 @@
+"""Tests for repro.core.quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.quality import (
+    load_discrepancy,
+    lpt_makespan,
+    makespan,
+    optimal_makespan_lower_bound,
+    price_of_anarchy_estimate,
+    quality_report,
+)
+from repro.errors import ModelError
+from repro.model.state import UniformState, WeightedState
+
+
+class TestMakespanAndDiscrepancy:
+    def test_makespan_uniform(self):
+        state = UniformState([6, 2, 4], [2.0, 1.0, 1.0])
+        assert makespan(state) == pytest.approx(4.0)
+
+    def test_discrepancy(self):
+        state = UniformState([6, 2, 4], [2.0, 1.0, 1.0])
+        assert load_discrepancy(state) == pytest.approx(4.0 - 2.0)
+
+    def test_balanced_zero_discrepancy(self):
+        state = UniformState([4, 4, 4], np.ones(3))
+        assert load_discrepancy(state) == 0.0
+
+    def test_weighted_state(self):
+        state = WeightedState([0, 1], [1.0, 0.5], [1.0, 1.0])
+        assert makespan(state) == pytest.approx(1.0)
+
+
+class TestOptimalLowerBound:
+    def test_average_dominates(self):
+        # 10 unit tasks on 2 unit machines: LB = 5.
+        assert optimal_makespan_lower_bound(np.ones(10), [1.0, 1.0]) == 5.0
+
+    def test_heaviest_task_dominates(self):
+        # One task of weight 1 on two speed-1 machines: LB = 1.
+        assert optimal_makespan_lower_bound([1.0], [1.0, 1.0]) == 1.0
+
+    def test_speeds_scale_average(self):
+        assert optimal_makespan_lower_bound(np.ones(12), [1.0, 2.0]) == 4.0
+
+    def test_empty_tasks(self):
+        assert optimal_makespan_lower_bound([], [1.0]) == 0.0
+
+    def test_bad_speeds(self):
+        with pytest.raises(ModelError):
+            optimal_makespan_lower_bound([1.0], [0.0])
+
+
+class TestLpt:
+    def test_unit_tasks_balanced(self):
+        # 9 unit tasks on 3 unit machines: perfect split.
+        assert lpt_makespan(np.ones(9), np.ones(3)) == pytest.approx(3.0)
+
+    def test_respects_speeds(self):
+        # 6 unit tasks, speeds (2, 1): 4 on fast, 2 on slow -> makespan 2.
+        assert lpt_makespan(np.ones(6), [2.0, 1.0]) == pytest.approx(2.0)
+
+    def test_never_below_lower_bound(self, rng):
+        for _ in range(20):
+            weights = rng.uniform(0.1, 1.0, size=30)
+            speeds = rng.uniform(1.0, 3.0, size=4)
+            assert lpt_makespan(weights, speeds) >= optimal_makespan_lower_bound(
+                weights, speeds
+            ) - 1e-9
+
+    def test_within_factor_two_of_bound(self, rng):
+        """LPT is a constant-factor approximation on related machines."""
+        for _ in range(20):
+            weights = rng.uniform(0.1, 1.0, size=50)
+            speeds = rng.uniform(1.0, 3.0, size=5)
+            ratio = lpt_makespan(weights, speeds) / optimal_makespan_lower_bound(
+                weights, speeds
+            )
+            assert ratio <= 2.0
+
+    def test_empty(self):
+        assert lpt_makespan([], [1.0, 1.0]) == 0.0
+
+
+class TestQualityReport:
+    def test_fields_consistent(self):
+        state = UniformState([10, 4, 4], np.ones(3))
+        report = quality_report(state)
+        assert report.makespan == pytest.approx(10.0)
+        assert report.optimum_lower_bound == pytest.approx(6.0)
+        assert report.poa_estimate == pytest.approx(10.0 / 6.0)
+        assert report.lpt_makespan >= report.optimum_lower_bound - 1e-9
+
+    def test_poa_at_least_one_at_equilibrium(self):
+        """A converged NE's makespan is >= the LP lower bound."""
+        graph = repro.torus_graph(3)
+        n = graph.num_vertices
+        state = repro.UniformState(
+            repro.all_on_one_placement(n, 20 * n), repro.uniform_speeds(n)
+        )
+        repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=50_000,
+            seed=1,
+        )
+        assert price_of_anarchy_estimate(state) >= 1.0 - 1e-9
+
+    def test_nash_quality_close_to_optimal_on_complete_graph(self):
+        """On complete graphs NE and near-optimal states coincide."""
+        graph = repro.complete_graph(8)
+        state = repro.UniformState(
+            repro.all_on_one_placement(8, 800), repro.uniform_speeds(8)
+        )
+        repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=50_000,
+            seed=2,
+        )
+        report = quality_report(state)
+        assert report.poa_estimate <= 1.02

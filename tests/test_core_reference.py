@@ -1,0 +1,119 @@
+"""Cross-validation: optimized sampler vs the literal per-task reference.
+
+The production :class:`SelfishUniformProtocol` draws per-node multinomials
+via a binomial chain rule; :class:`ReferenceUniformProtocol` implements
+the pseudo-code one task at a time. Both must induce the same per-round
+migration distribution. We compare first and second moments of per-edge
+migrant counts over many sampled rounds, plus end-to-end convergence
+behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash
+from repro.core.flows import expected_flows
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.reference import ReferenceUniformProtocol
+from repro.core.simulator import run_protocol
+from repro.core.stopping import NashStop
+from repro.graphs.generators import cycle_graph, path_graph, torus_graph
+from repro.model.state import UniformState
+
+
+def sample_moved(protocol, state, graph, rounds, seed):
+    """Per-trial net task outflow of node 0 over one protocol round."""
+    rng = np.random.default_rng(seed)
+    samples = np.empty(rounds)
+    for k in range(rounds):
+        trial = state.copy()
+        protocol.execute_round(trial, graph, rng)
+        samples[k] = state.counts[0] - trial.counts[0]
+    return samples
+
+
+class TestDistributionEquivalence:
+    @pytest.mark.parametrize(
+        "counts,speeds",
+        [
+            ([40, 0], [1.0, 1.0]),
+            ([60, 10], [1.0, 2.0]),
+            ([100, 30, 0, 20], [1.0, 1.0, 2.0, 1.0]),
+        ],
+    )
+    def test_first_two_moments_match(self, counts, speeds):
+        n = len(counts)
+        graph = path_graph(n) if n != 4 else cycle_graph(4)
+        state = UniformState(np.asarray(counts), np.asarray(speeds))
+        rounds = 3000
+        fast = sample_moved(SelfishUniformProtocol(), state, graph, rounds, 1)
+        slow = sample_moved(ReferenceUniformProtocol(), state, graph, rounds, 2)
+        # Same mean (z-test) and comparable variance (F-ish ratio).
+        se = np.sqrt(fast.var() / rounds + slow.var() / rounds)
+        assert abs(fast.mean() - slow.mean()) < 4.5 * se + 1e-9
+        if slow.var() > 0:
+            assert 0.8 < fast.var() / slow.var() < 1.25
+
+    def test_both_match_expected_flow(self):
+        graph = path_graph(2)
+        state = UniformState([48, 0], [1.0, 1.0])
+        _, _, flows = expected_flows(state, graph)
+        expected = flows[flows > 0][0]
+        for protocol, seed in [
+            (SelfishUniformProtocol(), 3),
+            (ReferenceUniformProtocol(), 4),
+        ]:
+            samples = sample_moved(protocol, state, graph, 4000, seed)
+            se = samples.std() / np.sqrt(samples.shape[0])
+            assert abs(samples.mean() - expected) < 4.5 * se + 1e-9
+
+
+class TestReferenceBehaviour:
+    def test_converges_to_nash(self):
+        graph = torus_graph(3)
+        state = UniformState(np.array([90] + [0] * 8), np.ones(9))
+        result = run_protocol(
+            graph,
+            ReferenceUniformProtocol(),
+            state,
+            stopping=NashStop(),
+            max_rounds=50_000,
+            seed=5,
+        )
+        assert result.converged
+        assert is_nash(state, graph)
+
+    def test_mass_conserved(self, rng):
+        graph = cycle_graph(6)
+        state = UniformState(np.array([60, 0, 0, 0, 0, 0]), np.ones(6))
+        protocol = ReferenceUniformProtocol()
+        for _ in range(50):
+            protocol.execute_round(state, graph, rng)
+            assert state.num_tasks == 60
+            assert np.all(state.counts >= 0)
+
+    def test_nash_absorbing(self, rng):
+        graph = cycle_graph(6)
+        state = UniformState(np.full(6, 10), np.ones(6))
+        protocol = ReferenceUniformProtocol()
+        for _ in range(20):
+            assert protocol.execute_round(state, graph, rng).tasks_moved == 0
+
+    def test_requires_uniform_state(self, ring8, rng):
+        from repro.model.state import WeightedState
+
+        state = WeightedState([0], [0.5], np.ones(8))
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            ReferenceUniformProtocol().execute_round(state, ring8, rng)
+
+    def test_saturation_flag(self, rng):
+        from repro.graphs.generators import complete_graph
+
+        graph = complete_graph(4)
+        state = UniformState([1000, 0, 0, 0], np.ones(4))
+        protocol = ReferenceUniformProtocol(alpha=0.01)
+        assert protocol.execute_round(state, graph, rng).saturated

@@ -1,0 +1,96 @@
+"""Tests for repro.core.sequential (best-response baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash
+from repro.core.potentials import phi_potential
+from repro.core.sequential import SequentialBestResponse
+from repro.core.simulator import run_protocol
+from repro.core.stopping import NashStop
+from repro.errors import ProtocolError
+from repro.graphs.generators import cycle_graph, star_graph, torus_graph
+from repro.model.state import UniformState, WeightedState
+
+
+class TestSequentialBestResponse:
+    def test_requires_uniform_state(self, ring8, rng):
+        state = WeightedState([0], [0.5], np.ones(8))
+        with pytest.raises(ProtocolError):
+            SequentialBestResponse().execute_round(state, ring8, rng)
+
+    def test_mass_conserved(self, ring8, rng):
+        state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        protocol = SequentialBestResponse()
+        for _ in range(10):
+            protocol.execute_round(state, ring8, rng)
+            assert state.num_tasks == 80
+            assert np.all(state.counts >= 0)
+
+    def test_converges_to_nash(self, rng):
+        graph = torus_graph(3)
+        state = UniformState(np.array([90] + [0] * 8), np.ones(9))
+        result = run_protocol(
+            graph,
+            SequentialBestResponse(),
+            state,
+            stopping=NashStop(),
+            max_rounds=5_000,
+            seed=3,
+        )
+        assert result.converged
+        assert is_nash(state, graph)
+
+    def test_nash_absorbing(self, ring8, rng):
+        state = UniformState(np.full(8, 10), np.ones(8))
+        protocol = SequentialBestResponse()
+        for _ in range(10):
+            assert protocol.execute_round(state, ring8, rng).tasks_moved == 0
+
+    def test_phi1_strictly_decreases_with_moves(self, rng):
+        """Each sequential best-response move strictly drops Phi_1."""
+        graph = cycle_graph(6)
+        state = UniformState(np.array([60, 0, 0, 0, 0, 0]), np.ones(6))
+        protocol = SequentialBestResponse()
+        previous = phi_potential(state, 1)
+        for _ in range(40):
+            summary = protocol.execute_round(state, graph, rng)
+            current = phi_potential(state, 1)
+            if summary.tasks_moved > 0:
+                assert current < previous
+            else:
+                assert current == pytest.approx(previous)
+            previous = current
+
+    def test_respects_speeds(self, rng):
+        """Fast neighbour attracts the task even at equal counts."""
+        graph = star_graph(3)  # hub 0, leaves 1, 2
+        speeds = np.array([1.0, 1.0, 1.0])
+        state = UniformState(np.array([0, 6, 0]), speeds)
+        protocol = SequentialBestResponse()
+        for _ in range(20):
+            protocol.execute_round(state, graph, rng)
+        assert is_nash(state, graph)
+
+    def test_faster_than_concurrent_in_rounds(self, rng):
+        """Best response with full neighbourhood info needs fewer rounds."""
+        from repro.core.protocols import SelfishUniformProtocol
+
+        graph = cycle_graph(8)
+
+        def rounds(protocol, seed):
+            state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+            result = run_protocol(
+                graph, protocol, state, stopping=NashStop(),
+                max_rounds=50_000, seed=seed,
+            )
+            assert result.converged
+            return result.stop_round
+
+        sequential = np.median([rounds(SequentialBestResponse(), s) for s in range(3)])
+        concurrent = np.median(
+            [rounds(SelfishUniformProtocol(), s) for s in range(3)]
+        )
+        assert sequential <= concurrent

@@ -1,0 +1,156 @@
+"""Tests for repro.core.simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.simulator import Simulator, run_protocol
+from repro.core.stopping import NashStop, NeverStop, PotentialThresholdStop
+from repro.core.trace import RecordingOptions
+from repro.graphs.generators import cycle_graph, torus_graph
+from repro.model.state import UniformState
+
+
+class TestSimulatorRun:
+    def test_converges_to_nash(self, ring8):
+        state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        simulator = Simulator(ring8, SelfishUniformProtocol(), seed=1)
+        result = simulator.run(state, stopping=NashStop(), max_rounds=20_000)
+        assert result.converged
+        assert is_nash(state, ring8)
+        assert result.stop_round == result.rounds_executed
+        assert "nash" in result.stop_reason
+
+    def test_initial_state_already_converged(self, ring8):
+        state = UniformState(np.full(8, 10), np.ones(8))
+        result = run_protocol(
+            ring8, SelfishUniformProtocol(), state, stopping=NashStop(), seed=0
+        )
+        assert result.converged
+        assert result.stop_round == 0
+        assert result.rounds_executed == 0
+
+    def test_budget_exhaustion(self, ring8):
+        state = UniformState(np.array([800, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        result = run_protocol(
+            ring8,
+            SelfishUniformProtocol(),
+            state,
+            stopping=NashStop(),
+            max_rounds=2,
+            seed=0,
+        )
+        assert not result.converged
+        assert result.stop_round is None
+        assert result.rounds_executed == 2
+        assert "budget" in result.stop_reason
+
+    def test_no_stopping_runs_full_horizon(self, ring8):
+        state = UniformState(np.full(8, 10), np.ones(8))
+        result = run_protocol(
+            ring8, SelfishUniformProtocol(), state, max_rounds=7, seed=0
+        )
+        assert result.rounds_executed == 7
+        assert not result.converged
+
+    def test_deterministic_given_seed(self, ring8):
+        def run_once():
+            state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+            return run_protocol(
+                ring8,
+                SelfishUniformProtocol(),
+                state,
+                stopping=NashStop(),
+                max_rounds=20_000,
+                seed=77,
+            ).stop_round
+
+        assert run_once() == run_once()
+
+    def test_recording_trace(self, ring8):
+        state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        result = run_protocol(
+            ring8,
+            SelfishUniformProtocol(),
+            state,
+            stopping=NashStop(),
+            max_rounds=20_000,
+            seed=1,
+            record=True,
+        )
+        trace = result.trace
+        assert trace is not None
+        assert len(trace) == result.rounds_executed + 1
+        assert trace.psi0 is not None
+        assert trace.psi0[-1] <= trace.psi0[0]
+
+    def test_recording_options_every(self, ring8):
+        state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        result = run_protocol(
+            ring8,
+            SelfishUniformProtocol(),
+            state,
+            max_rounds=10,
+            seed=1,
+            recording=RecordingOptions(every=5),
+        )
+        np.testing.assert_array_equal(result.trace.rounds, [0, 5, 10])
+
+    def test_check_every(self, torus9):
+        state = UniformState(np.array([90] + [0] * 8), np.ones(9))
+        result = run_protocol(
+            torus9,
+            SelfishUniformProtocol(),
+            state,
+            stopping=NashStop(),
+            max_rounds=50_000,
+            seed=2,
+            check_every=10,
+        )
+        assert result.converged
+        assert result.stop_round % 10 == 0
+
+    def test_never_stop(self, ring8):
+        state = UniformState(np.full(8, 10), np.ones(8))
+        result = run_protocol(
+            ring8,
+            SelfishUniformProtocol(),
+            state,
+            stopping=NeverStop(),
+            max_rounds=5,
+            seed=0,
+        )
+        assert not result.converged
+        assert result.rounds_executed == 5
+
+    def test_potential_threshold_stop(self, torus9):
+        state = UniformState(np.array([900] + [0] * 8), np.ones(9))
+        result = run_protocol(
+            torus9,
+            SelfishUniformProtocol(),
+            state,
+            stopping=PotentialThresholdStop(1000.0, "psi0"),
+            max_rounds=10_000,
+            seed=3,
+        )
+        assert result.converged
+        from repro.core.potentials import psi0_potential
+
+        assert psi0_potential(state) <= 1000.0
+
+    def test_zero_max_rounds(self, ring8):
+        state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        result = run_protocol(
+            ring8, SelfishUniformProtocol(), state, stopping=NashStop(), max_rounds=0
+        )
+        assert not result.converged
+        assert result.rounds_executed == 0
+
+    def test_properties_exposed(self, ring8):
+        protocol = SelfishUniformProtocol()
+        simulator = Simulator(ring8, protocol, seed=0)
+        assert simulator.graph is ring8
+        assert simulator.protocol is protocol

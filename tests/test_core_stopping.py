@@ -1,0 +1,115 @@
+"""Tests for repro.core.stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stopping import (
+    AnyStop,
+    EpsilonNashStop,
+    NashStop,
+    NeverStop,
+    PotentialThresholdStop,
+    WeightedExactNashStop,
+)
+from repro.errors import ValidationError
+from repro.graphs.generators import path_graph
+from repro.model.state import UniformState, WeightedState
+
+
+@pytest.fixture
+def balanced(ring8):
+    return UniformState(np.full(8, 10), np.ones(8))
+
+
+@pytest.fixture
+def skewed(ring8):
+    return UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+
+
+class TestNashStop:
+    def test_satisfied_at_nash(self, ring8, balanced):
+        assert NashStop().satisfied(balanced, ring8)
+
+    def test_not_satisfied_off_nash(self, ring8, skewed):
+        assert not NashStop().satisfied(skewed, ring8)
+
+    def test_describe(self):
+        assert "1/s_j" in NashStop().describe()
+
+
+class TestEpsilonNashStop:
+    def test_epsilon_validated(self):
+        with pytest.raises(ValidationError):
+            EpsilonNashStop(-0.1)
+
+    def test_satisfied(self, ring8, balanced):
+        assert EpsilonNashStop(0.5).satisfied(balanced, ring8)
+
+    def test_property(self):
+        assert EpsilonNashStop(0.25).epsilon == 0.25
+
+    def test_describe_contains_eps(self):
+        assert "0.25" in EpsilonNashStop(0.25).describe()
+
+
+class TestWeightedExactNashStop:
+    def test_requires_weighted(self, ring8, balanced):
+        with pytest.raises(ValidationError):
+            WeightedExactNashStop().satisfied(balanced, ring8)
+
+    def test_weighted_check(self):
+        graph = path_graph(2)
+        rule = WeightedExactNashStop()
+        nash_state = WeightedState([0], [1.0], [1.0, 1.0])
+        assert rule.satisfied(nash_state, graph)
+        off_state = WeightedState([0, 0], [1.0, 0.2], [1.0, 1.0])
+        assert not rule.satisfied(off_state, graph)
+
+
+class TestPotentialThresholdStop:
+    def test_psi0_threshold(self, ring8, balanced, skewed):
+        rule = PotentialThresholdStop(10.0, "psi0")
+        assert rule.satisfied(balanced, ring8)
+        assert not rule.satisfied(skewed, ring8)
+
+    def test_psi1_threshold(self, ring8, balanced):
+        assert PotentialThresholdStop(5.0, "psi1").satisfied(balanced, ring8)
+
+    def test_invalid_potential_name(self):
+        with pytest.raises(ValidationError):
+            PotentialThresholdStop(1.0, "psi2")
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValidationError):
+            PotentialThresholdStop(-1.0)
+
+    def test_threshold_property(self):
+        assert PotentialThresholdStop(3.5).threshold == 3.5
+
+    def test_describe(self):
+        assert "psi0" in PotentialThresholdStop(2.0, "psi0").describe()
+
+
+class TestAnyStop:
+    def test_fires_when_any_satisfied(self, ring8, skewed):
+        rule = AnyStop([NashStop(), PotentialThresholdStop(1e12, "psi0")])
+        assert rule.satisfied(skewed, ring8)  # the loose threshold fires
+
+    def test_not_fires_when_none(self, ring8, skewed):
+        rule = AnyStop([NashStop(), PotentialThresholdStop(0.0, "psi0")])
+        assert not rule.satisfied(skewed, ring8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            AnyStop([])
+
+    def test_describe_joins(self):
+        text = AnyStop([NashStop(), NeverStop()]).describe()
+        assert " or " in text
+
+
+class TestNeverStop:
+    def test_never(self, ring8, balanced):
+        assert not NeverStop().satisfied(balanced, ring8)

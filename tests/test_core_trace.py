@@ -1,0 +1,107 @@
+"""Tests for repro.core.trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocols import RoundSummary
+from repro.core.trace import RecordingOptions, Trace, TraceRecorder
+from repro.errors import ValidationError
+from repro.model.state import UniformState
+
+
+@pytest.fixture
+def state(ring8):
+    return UniformState(np.array([40, 10, 5, 5, 5, 5, 5, 5]), np.ones(8))
+
+
+class TestRecordingOptions:
+    def test_defaults(self):
+        options = RecordingOptions()
+        assert options.psi0 and options.moves
+        assert not options.psi1 and not options.l_delta
+        assert options.every == 1
+
+    def test_every_validated(self):
+        with pytest.raises(ValidationError):
+            RecordingOptions(every=0)
+
+
+class TestTraceRecorder:
+    def test_records_initial_and_rounds(self, ring8, state):
+        recorder = TraceRecorder()
+        recorder.record(0, state, ring8, None)
+        recorder.record(1, state, ring8, RoundSummary(3, 3.0, False))
+        trace = recorder.finalize()
+        assert len(trace) == 2
+        np.testing.assert_array_equal(trace.rounds, [0, 1])
+        np.testing.assert_array_equal(trace.tasks_moved, [0, 3])
+
+    def test_every_skips(self, ring8, state):
+        recorder = TraceRecorder(RecordingOptions(every=2))
+        for round_index in range(5):
+            recorder.record(round_index, state, ring8, RoundSummary(1, 1.0, False))
+        trace = recorder.finalize()
+        np.testing.assert_array_equal(trace.rounds, [0, 2, 4])
+
+    def test_optional_channels(self, ring8, state):
+        recorder = TraceRecorder(
+            RecordingOptions(psi0=True, psi1=True, l_delta=True, moves=False)
+        )
+        recorder.record(0, state, ring8, None)
+        trace = recorder.finalize()
+        assert trace.psi1 is not None
+        assert trace.l_delta is not None
+        assert trace.tasks_moved is None
+
+    def test_disabled_psi0(self, ring8, state):
+        recorder = TraceRecorder(RecordingOptions(psi0=False))
+        recorder.record(0, state, ring8, None)
+        trace = recorder.finalize()
+        assert trace.psi0 is None
+
+
+class TestTraceQueries:
+    def make_trace(self, psi0_values):
+        n = len(psi0_values)
+        return Trace(
+            rounds=np.arange(n, dtype=np.int64),
+            psi0=np.asarray(psi0_values, dtype=float),
+            psi1=None,
+            l_delta=None,
+            tasks_moved=np.ones(n, dtype=np.int64),
+            weight_moved=np.ones(n),
+        )
+
+    def test_first_round_below(self):
+        trace = self.make_trace([100.0, 50.0, 20.0, 5.0])
+        assert trace.first_round_psi0_below(30.0) == 2
+        assert trace.first_round_psi0_below(200.0) == 0
+        assert trace.first_round_psi0_below(1.0) is None
+
+    def test_first_round_requires_psi0(self):
+        trace = Trace(
+            rounds=np.array([0]),
+            psi0=None,
+            psi1=None,
+            l_delta=None,
+            tasks_moved=None,
+            weight_moved=None,
+        )
+        with pytest.raises(ValidationError):
+            trace.first_round_psi0_below(1.0)
+
+    def test_total_tasks_moved(self):
+        trace = self.make_trace([4.0, 3.0, 2.0])
+        assert trace.total_tasks_moved() == 3
+
+    def test_decay_rate_geometric_series(self):
+        values = [1000.0 * 0.8**t for t in range(20)]
+        trace = self.make_trace(values)
+        assert trace.psi0_decay_rate() == pytest.approx(0.8, rel=1e-6)
+
+    def test_decay_rate_needs_positive_samples(self):
+        trace = self.make_trace([0.0, 0.0])
+        with pytest.raises(ValidationError):
+            trace.psi0_decay_rate()

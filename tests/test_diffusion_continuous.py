@@ -1,0 +1,116 @@
+"""Tests for repro.diffusion.continuous."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.continuous import (
+    ContinuousDiffusion,
+    SecondOrderDiffusion,
+    run_continuous_diffusion,
+)
+from repro.errors import ProtocolError
+from repro.graphs.generators import cycle_graph, path_graph, torus_graph
+
+
+class TestContinuousDiffusion:
+    def test_mass_conserved(self, torus9, rng):
+        speeds = rng.uniform(1.0, 3.0, size=9)
+        scheme = ContinuousDiffusion(torus9, speeds)
+        weights = rng.uniform(0.0, 100.0, size=9)
+        after = scheme.run(weights, 50)
+        assert after.sum() == pytest.approx(weights.sum(), rel=1e-10)
+
+    def test_converges_to_speed_proportional(self, torus9):
+        speeds = np.array([1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 1.0, 1.0, 2.0])
+        scheme = ContinuousDiffusion(torus9, speeds)
+        weights = np.zeros(9)
+        weights[0] = 140.0
+        final = scheme.run(weights, 3000)
+        target = 140.0 / speeds.sum() * speeds
+        np.testing.assert_allclose(final, target, atol=1e-6)
+
+    def test_balanced_is_fixed_point(self, ring8):
+        speeds = np.ones(8)
+        scheme = ContinuousDiffusion(ring8, speeds)
+        weights = np.full(8, 5.0)
+        np.testing.assert_allclose(scheme.step(weights), weights)
+
+    def test_monotone_potential(self, ring8):
+        """Psi_0 never increases under deterministic diffusion."""
+        speeds = np.ones(8)
+        scheme = ContinuousDiffusion(ring8, speeds)
+        weights = np.array([80.0, 0, 0, 0, 0, 0, 0, 0])
+        target = weights.sum() / 8.0 * speeds
+        previous = float(np.sum((weights - target) ** 2))
+        for _ in range(100):
+            weights = scheme.step(weights)
+            current = float(np.sum((weights - target) ** 2))
+            assert current <= previous + 1e-9
+            previous = current
+
+    def test_trajectory_shape(self, ring8):
+        scheme = ContinuousDiffusion(ring8, np.ones(8))
+        history = scheme.trajectory(np.full(8, 2.0), 10)
+        assert history.shape == (11, 8)
+        np.testing.assert_allclose(history[0], 2.0)
+
+    def test_flow_direction_high_to_low(self):
+        graph = path_graph(2)
+        scheme = ContinuousDiffusion(graph, np.ones(2))
+        after = scheme.step(np.array([10.0, 0.0]))
+        assert after[0] < 10.0
+        assert after[1] > 0.0
+
+    def test_bad_speeds_rejected(self, ring8):
+        with pytest.raises(ProtocolError):
+            ContinuousDiffusion(ring8, np.zeros(8))
+
+    def test_convenience_wrapper(self, ring8):
+        final = run_continuous_diffusion(ring8, np.ones(8), np.full(8, 3.0), 5)
+        np.testing.assert_allclose(final, 3.0)
+
+
+class TestSecondOrderDiffusion:
+    def test_beta_one_matches_first_order(self, torus9):
+        speeds = np.ones(9)
+        weights = np.zeros(9)
+        weights[0] = 90.0
+        first = ContinuousDiffusion(torus9, speeds).run(weights.copy(), 20)
+        second = SecondOrderDiffusion(torus9, speeds, beta=1.0).run(weights.copy(), 20)
+        np.testing.assert_allclose(first, second, atol=1e-9)
+
+    def test_acceleration_on_slow_graph(self):
+        """On a long cycle, beta > 1 converges faster than beta = 1."""
+        graph = cycle_graph(24)
+        speeds = np.ones(24)
+        weights = np.zeros(24)
+        weights[0] = 240.0
+        target = 10.0
+        rounds = 400
+
+        def residual(beta):
+            scheme = SecondOrderDiffusion(graph, speeds, beta=beta)
+            final = scheme.run(weights.copy(), rounds)
+            return float(np.abs(final - target).max())
+
+        assert residual(1.8) < residual(1.0)
+
+    def test_mass_conserved(self, torus9, rng):
+        speeds = rng.uniform(1.0, 2.0, size=9)
+        scheme = SecondOrderDiffusion(torus9, speeds, beta=1.5)
+        weights = rng.uniform(0.0, 50.0, size=9)
+        final = scheme.run(weights, 60)
+        assert final.sum() == pytest.approx(weights.sum(), rel=1e-9)
+
+    def test_beta_range_validated(self, ring8):
+        with pytest.raises(ProtocolError):
+            SecondOrderDiffusion(ring8, np.ones(8), beta=2.0)
+        with pytest.raises(ProtocolError):
+            SecondOrderDiffusion(ring8, np.ones(8), beta=0.5)
+
+    def test_zero_rounds(self, ring8):
+        scheme = SecondOrderDiffusion(ring8, np.ones(8))
+        weights = np.full(8, 4.0)
+        np.testing.assert_allclose(scheme.run(weights, 0), weights)

@@ -1,0 +1,112 @@
+"""Tests for repro.diffusion.discrete."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flows import default_alpha
+from repro.diffusion.discrete import RandomizedRoundingProtocol, RoundedFlowProtocol
+from repro.errors import ProtocolError
+from repro.graphs.generators import cycle_graph, path_graph, torus_graph
+from repro.model.state import UniformState, WeightedState
+
+
+class TestRoundedFlowProtocol:
+    def test_mass_conserved(self, torus9, rng):
+        state = UniformState(np.array([900] + [0] * 8), np.ones(9))
+        protocol = RoundedFlowProtocol()
+        for _ in range(100):
+            protocol.execute_round(state, torus9, rng)
+            assert state.num_tasks == 900
+            assert np.all(state.counts >= 0)
+
+    def test_deterministic(self, torus9):
+        a = UniformState(np.array([900] + [0] * 8), np.ones(9))
+        b = UniformState(np.array([900] + [0] * 8), np.ones(9))
+        protocol = RoundedFlowProtocol()
+        for _ in range(10):
+            protocol.execute_round(a, torus9, np.random.default_rng(1))
+            protocol.execute_round(b, torus9, np.random.default_rng(99))
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_stalls_at_bounded_discrepancy(self, rng):
+        """Once flows floor to zero, nothing moves; gap stays bounded."""
+        graph = cycle_graph(8)
+        state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+        protocol = RoundedFlowProtocol()
+        for _ in range(2000):
+            if protocol.execute_round(state, graph, rng).tasks_moved == 0:
+                break
+        # Per-edge stall gain: alpha * d_ij * (1/s_i + 1/s_j) = 4*2*2 = 16.
+        gaps = np.abs(np.diff(np.concatenate([state.counts, state.counts[:1]])))
+        assert gaps.max() <= 16.0
+
+    def test_requires_uniform_state(self, ring8, rng):
+        protocol = RoundedFlowProtocol()
+        state = WeightedState([0], [0.5], np.ones(8))
+        with pytest.raises(ProtocolError):
+            protocol.execute_round(state, ring8, rng)
+
+    def test_moves_toward_balance(self, rng):
+        graph = path_graph(2)
+        state = UniformState([100, 0], [1.0, 1.0])
+        protocol = RoundedFlowProtocol()
+        protocol.execute_round(state, graph, rng)
+        # flow = 100 / 8 = 12.5 -> floor 12.
+        np.testing.assert_array_equal(state.counts, [88, 12])
+
+
+class TestRandomizedRoundingProtocol:
+    def test_mass_conserved(self, torus9, rng):
+        state = UniformState(np.array([900] + [0] * 8), np.ones(9))
+        protocol = RandomizedRoundingProtocol()
+        for _ in range(100):
+            protocol.execute_round(state, torus9, rng)
+            assert state.num_tasks == 900
+            assert np.all(state.counts >= 0)
+
+    def test_expected_flow_preserved(self, rng):
+        """Randomized rounding is unbiased: mean moved ~ continuous flow."""
+        graph = path_graph(2)
+        state = UniformState([10, 0], [1.0, 1.0])
+        # flow = 10 / 8 = 1.25.
+        protocol = RandomizedRoundingProtocol()
+        moved = []
+        for _ in range(4000):
+            trial = state.copy()
+            protocol.execute_round(trial, graph, rng)
+            moved.append(10 - trial.counts[0])
+        mean = float(np.mean(moved))
+        standard_error = float(np.std(moved)) / np.sqrt(len(moved))
+        assert abs(mean - 1.25) < 4 * standard_error + 1e-9
+
+    def test_gets_closer_than_deterministic(self, rng):
+        """Randomized rounding keeps balancing where floor stalls."""
+        graph = cycle_graph(8)
+
+        def final_psi(protocol_class):
+            state = UniformState(np.array([80, 0, 0, 0, 0, 0, 0, 0]), np.ones(8))
+            protocol = protocol_class()
+            local = np.random.default_rng(4)
+            for _ in range(3000):
+                protocol.execute_round(state, graph, local)
+            deviation = state.deviation
+            return float(np.sum(deviation * deviation))
+
+        assert final_psi(RandomizedRoundingProtocol) < final_psi(RoundedFlowProtocol)
+
+    def test_never_overdraws(self, rng):
+        """Outflow capping keeps counts non-negative even when flows are big."""
+        graph = torus_graph(3)
+        state = UniformState(np.array([5] + [0] * 8), np.ones(9))
+        protocol = RandomizedRoundingProtocol(alpha=0.05)  # huge flows
+        for _ in range(50):
+            protocol.execute_round(state, graph, rng)
+            assert np.all(state.counts >= 0)
+            assert state.num_tasks == 5
+
+    def test_requires_uniform_state(self, ring8, rng):
+        state = WeightedState([0], [0.5], np.ones(8))
+        with pytest.raises(ProtocolError):
+            RandomizedRoundingProtocol().execute_round(state, ring8, rng)

@@ -1,0 +1,162 @@
+"""Error hierarchy and failure-injection tests.
+
+Verifies that the library fails loudly and precisely: the exception
+taxonomy is coherent, invalid configurations are rejected at the right
+layer, and degenerate topologies (isolated nodes, disconnected graphs)
+are handled without silent corruption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.simulator import Simulator
+from repro.core.stopping import NashStop, StoppingRule
+from repro.errors import (
+    ConvergenceError,
+    DisconnectedGraphError,
+    ExperimentError,
+    GraphError,
+    ModelError,
+    PlacementError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SpectralError,
+    SpeedError,
+    ValidationError,
+)
+from repro.graphs.generators import from_edges, path_graph
+from repro.model.state import UniformState, WeightedState
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            GraphError,
+            DisconnectedGraphError,
+            SpectralError,
+            ModelError,
+            SpeedError,
+            PlacementError,
+            ProtocolError,
+            SimulationError,
+            ConvergenceError,
+            ExperimentError,
+            ValidationError,
+        ],
+    )
+    def test_all_subclass_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_disconnected_is_graph_error(self):
+        assert issubclass(DisconnectedGraphError, GraphError)
+
+    def test_speed_error_is_model_error(self):
+        assert issubclass(SpeedError, ModelError)
+
+    def test_convergence_error_carries_rounds(self):
+        error = ConvergenceError("did not converge", rounds=42)
+        assert error.rounds == 42
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            repro.cycle_graph(1)  # ValidationError
+
+
+class TestFailurePropagation:
+    def test_raising_stopping_rule_propagates(self, ring8):
+        class ExplodingStop(StoppingRule):
+            def satisfied(self, state, graph):
+                raise RuntimeError("boom")
+
+        state = UniformState(np.full(8, 5), np.ones(8))
+        simulator = Simulator(ring8, SelfishUniformProtocol(), seed=0)
+        with pytest.raises(RuntimeError, match="boom"):
+            simulator.run(state, stopping=ExplodingStop(), max_rounds=10)
+
+    def test_state_graph_size_mismatch_rejected_upfront(self, ring8):
+        state = UniformState([1, 2, 3], np.ones(3))
+        simulator = Simulator(ring8, SelfishUniformProtocol(), seed=0)
+        with pytest.raises(SimulationError, match="vertices"):
+            simulator.run(state, stopping=NashStop(), max_rounds=5)
+
+    def test_wrong_state_type_rejected_by_each_protocol(self, ring8, rng):
+        uniform = UniformState(np.full(8, 2), np.ones(8))
+        weighted = WeightedState([0], [0.5], np.ones(8))
+        with pytest.raises(ProtocolError):
+            SelfishUniformProtocol().execute_round(weighted, ring8, rng)
+        with pytest.raises(ProtocolError):
+            SelfishWeightedProtocol().execute_round(uniform, ring8, rng)
+
+
+class TestDegenerateTopologies:
+    def test_isolated_node_tasks_are_stuck(self, rng):
+        """Tasks on a degree-0 node never move; others balance around it."""
+        graph = from_edges(3, [(0, 1)])  # node 2 isolated
+        state = UniformState([10, 0, 7], np.ones(3))
+        protocol = SelfishUniformProtocol()
+        for _ in range(200):
+            protocol.execute_round(state, graph, rng)
+        assert state.counts[2] == 7  # untouched
+        assert state.counts[0] + state.counts[1] == 10
+
+    def test_disconnected_components_balance_independently(self, rng):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        state = UniformState([20, 0, 0, 12], np.ones(4))
+        result = repro.run_protocol(
+            graph,
+            SelfishUniformProtocol(),
+            state,
+            stopping=NashStop(),
+            max_rounds=20_000,
+            seed=1,
+        )
+        assert result.converged
+        assert state.counts[0] + state.counts[1] == 20
+        assert state.counts[2] + state.counts[3] == 12
+        assert abs(int(state.counts[0]) - int(state.counts[1])) <= 1
+        assert abs(int(state.counts[2]) - int(state.counts[3])) <= 1
+
+    def test_lambda2_refuses_disconnected(self):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            repro.algebraic_connectivity(graph)
+
+    def test_weighted_tasks_on_isolated_node(self, rng):
+        graph = from_edges(3, [(0, 1)])
+        state = WeightedState([2, 2], [0.5, 0.5], np.ones(3))
+        protocol = SelfishWeightedProtocol()
+        for _ in range(50):
+            summary = protocol.execute_round(state, graph, rng)
+            assert summary.tasks_moved == 0
+        np.testing.assert_array_equal(state.task_nodes, [2, 2])
+
+    def test_single_edge_graph_extreme_imbalance(self, rng):
+        graph = path_graph(2)
+        state = UniformState([10**9, 0], np.ones(2))
+        protocol = SelfishUniformProtocol()
+        summary = protocol.execute_round(state, graph, rng)
+        assert state.num_tasks == 10**9
+        assert summary.tasks_moved > 0
+
+    def test_empty_graph_protocol_noop(self, rng):
+        graph = from_edges(3, [])
+        state = UniformState([5, 5, 5], np.ones(3))
+        summary = SelfishUniformProtocol().execute_round(state, graph, rng)
+        assert summary.tasks_moved == 0
+
+
+class TestExperimentErrors:
+    def test_unknown_experiment(self):
+        from repro.experiments.registry import run_experiment
+
+        with pytest.raises(ExperimentError):
+            run_experiment("nonexistent")

@@ -1,0 +1,87 @@
+"""Tests for repro.graphs.families: closed forms vs numerics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.families import FAMILIES, family_names, get_family
+from repro.graphs.properties import diameter as measure_diameter
+from repro.spectral.eigen import algebraic_connectivity
+
+
+class TestRegistry:
+    def test_expected_families_present(self):
+        assert set(family_names()) == {
+            "complete",
+            "ring",
+            "path",
+            "mesh",
+            "torus",
+            "hypercube",
+        }
+
+    def test_get_family_unknown(self):
+        with pytest.raises(ValidationError, match="unknown graph family"):
+            get_family("petersen")
+
+    def test_lookup_returns_registered(self):
+        assert get_family("ring") is FAMILIES["ring"]
+
+
+@pytest.mark.parametrize("family_name", family_names())
+class TestClosedForms:
+    @pytest.mark.parametrize("target", [8, 16, 25])
+    def test_lambda2_matches_numeric(self, family_name, target):
+        family = get_family(family_name)
+        graph = family.make(target)
+        n = graph.num_vertices
+        assert n == family.admissible_size(target)
+        numeric = algebraic_connectivity(graph)
+        closed = family.lambda2(n)
+        assert numeric == pytest.approx(closed, rel=1e-9, abs=1e-9)
+
+    def test_max_degree_matches(self, family_name):
+        family = get_family(family_name)
+        graph = family.make(16)
+        assert graph.max_degree == family.max_degree(graph.num_vertices)
+
+    def test_diameter_matches(self, family_name):
+        family = get_family(family_name)
+        graph = family.make(16)
+        assert measure_diameter(graph) == family.diameter(graph.num_vertices)
+
+
+class TestAdmissibleSizes:
+    def test_mesh_rounds_to_square(self):
+        assert get_family("mesh").admissible_size(17) == 16
+        assert get_family("mesh").admissible_size(25) == 25
+
+    def test_hypercube_rounds_to_power_of_two(self):
+        assert get_family("hypercube").admissible_size(20) == 16
+        assert get_family("hypercube").admissible_size(48) == 64
+
+    def test_ring_minimum(self):
+        assert get_family("ring").admissible_size(2) == 3
+
+
+class TestTable1Bounds:
+    def test_this_paper_below_prior(self):
+        """Our bound rows must be asymptotically below [6]'s at real sizes."""
+        for family_name in family_names():
+            family = get_family(family_name)
+            n, m = 64, 64 * 64
+            assert family.approx_bound_this(n, m) < family.approx_bound_prior(n, m)
+            assert family.exact_bound_this(n) < family.exact_bound_prior(n)
+
+    def test_bounds_monotone_in_n(self):
+        for family_name in family_names():
+            family = get_family(family_name)
+            small = family.exact_bound_this(16)
+            large = family.exact_bound_this(64)
+            assert large > small
+
+    def test_log_ratio_floor(self):
+        family = get_family("complete")
+        # m == n would give ln(1) = 0; the floor keeps the bound positive.
+        assert family.approx_bound_this(16, 16) >= 1.0

@@ -1,0 +1,225 @@
+"""Tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.generators import (
+    barbell_graph,
+    binary_tree_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    from_edges,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.properties import diameter, is_connected, is_regular
+
+
+class TestComplete:
+    def test_edge_count(self):
+        assert complete_graph(6).num_edges == 15
+
+    def test_regular(self):
+        graph = complete_graph(5)
+        assert is_regular(graph)
+        assert graph.max_degree == 4
+
+    def test_diameter_one(self):
+        assert diameter(complete_graph(4)) == 1
+
+    def test_single_vertex(self):
+        assert complete_graph(1).num_edges == 0
+
+
+class TestPathAndCycle:
+    def test_path_structure(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+        assert diameter(graph) == 4
+
+    def test_cycle_structure(self):
+        graph = cycle_graph(6)
+        assert graph.num_edges == 6
+        assert is_regular(graph)
+        assert diameter(graph) == 3
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ValidationError):
+            cycle_graph(2)
+
+
+class TestGridAndTorus:
+    def test_grid_counts(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        # edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert graph.num_edges == 17
+
+    def test_grid_square_default(self):
+        assert grid_graph(3).num_vertices == 9
+
+    def test_grid_corner_degree(self):
+        graph = grid_graph(3)
+        assert graph.degree(0) == 2  # corner
+        assert graph.degree(4) == 4  # center
+
+    def test_torus_regular(self):
+        graph = torus_graph(4)
+        assert is_regular(graph)
+        assert graph.max_degree == 4
+        assert graph.num_edges == 2 * 16
+
+    def test_torus_min_dimension(self):
+        with pytest.raises(ValidationError):
+            torus_graph(2)
+
+    def test_torus_rectangular(self):
+        graph = torus_graph(3, 5)
+        assert graph.num_vertices == 15
+        assert is_regular(graph)
+
+    def test_grid_diameter(self):
+        assert diameter(grid_graph(4)) == 6  # 2 * (k - 1)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_structure(self, d):
+        graph = hypercube_graph(d)
+        assert graph.num_vertices == 2**d
+        assert graph.num_edges == d * 2 ** (d - 1)
+        assert is_regular(graph)
+        assert graph.max_degree == d
+        assert diameter(graph) == d
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValidationError):
+            hypercube_graph(30)
+
+
+class TestStarAndBipartite:
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.num_edges == 6
+        assert graph.degree(0) == 6
+        assert graph.degree(1) == 1
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(2, 3)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 6
+        assert graph.degree(0) == 3
+        assert graph.degree(2) == 2
+
+
+class TestBinaryTree:
+    def test_heap_structure(self):
+        graph = binary_tree_graph(7)
+        assert graph.num_edges == 6
+        assert graph.degree(0) == 2
+        assert graph.degree(1) == 3
+        assert graph.degree(6) == 1
+
+    def test_connected(self):
+        assert is_connected(binary_tree_graph(20))
+
+
+class TestRandomRegular:
+    def test_regularity(self):
+        graph = random_regular_graph(12, 3, seed=1)
+        assert is_regular(graph)
+        assert graph.max_degree == 3
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValidationError):
+            random_regular_graph(5, 3)
+
+    def test_degree_too_large(self):
+        with pytest.raises(ValidationError):
+            random_regular_graph(4, 4)
+
+    def test_deterministic_with_seed(self):
+        a = random_regular_graph(10, 3, seed=5)
+        b = random_regular_graph(10, 3, seed=5)
+        assert a == b
+
+
+class TestErdosRenyi:
+    def test_p_one_is_complete(self):
+        graph = erdos_renyi_graph(6, 1.0, seed=0)
+        assert graph.num_edges == 15
+
+    def test_p_zero_is_empty(self):
+        graph = erdos_renyi_graph(6, 0.0, seed=0)
+        assert graph.num_edges == 0
+
+    def test_edge_count_plausible(self):
+        graph = erdos_renyi_graph(40, 0.5, seed=3)
+        expected = 0.5 * 40 * 39 / 2
+        assert abs(graph.num_edges - expected) < 120
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_graph(5, 1.5)
+
+
+class TestBarbellAndLollipop:
+    def test_barbell_no_bridge(self):
+        graph = barbell_graph(4)
+        assert graph.num_vertices == 8
+        # two K4 (6 edges each) + 1 connecting edge
+        assert graph.num_edges == 13
+        assert is_connected(graph)
+
+    def test_barbell_with_bridge(self):
+        graph = barbell_graph(3, bridge_length=2)
+        assert graph.num_vertices == 8
+        assert is_connected(graph)
+
+    def test_lollipop(self):
+        graph = lollipop_graph(4, 3)
+        assert graph.num_vertices == 7
+        assert graph.num_edges == 6 + 3
+        assert is_connected(graph)
+
+
+class TestCirculant:
+    def test_offsets_one_is_cycle(self):
+        assert circulant_graph(8, [1]) == cycle_graph(8)
+
+    def test_two_offsets_degree_four(self):
+        graph = circulant_graph(10, [1, 2])
+        assert is_regular(graph)
+        assert graph.max_degree == 4
+
+    def test_antipodal_offset(self):
+        graph = circulant_graph(6, [3])
+        assert graph.num_edges == 3  # antipodal matching
+
+    def test_offset_too_large(self):
+        with pytest.raises(ValidationError):
+            circulant_graph(5, [5])
+
+    def test_empty_offsets(self):
+        with pytest.raises(ValidationError):
+            circulant_graph(5, [])
+
+
+class TestFromEdges:
+    def test_roundtrip(self):
+        graph = from_edges(4, [(0, 1), (2, 3)], name="pair")
+        assert graph.name == "pair"
+        assert graph.num_edges == 2

@@ -1,0 +1,130 @@
+"""Tests for repro.graphs.graph.Graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_triangle(self):
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        np.testing.assert_array_equal(graph.degrees, [2, 2, 2])
+
+    def test_edges_normalized_and_deduplicated(self):
+        graph = Graph(3, [(1, 0), (0, 1), (2, 1)])
+        assert graph.num_edges == 2
+        np.testing.assert_array_equal(graph.edges, [[0, 1], [1, 2]])
+
+    def test_empty_edge_list(self):
+        graph = Graph(4, [])
+        assert graph.num_edges == 0
+        assert graph.max_degree == 0
+        np.testing.assert_array_equal(graph.degrees, [0, 0, 0, 0])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="loop"):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 0)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_name_default_and_custom(self):
+        assert "n=3" in Graph(3, []).name
+        assert Graph(3, [], name="custom").name == "custom"
+
+
+class TestAccessors:
+    @pytest.fixture
+    def square(self):
+        return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_neighbors_sorted(self, square):
+        np.testing.assert_array_equal(square.neighbors(0), [1, 3])
+        np.testing.assert_array_equal(square.neighbors(2), [1, 3])
+
+    def test_degree(self, square):
+        assert square.degree(0) == 2
+        assert square.max_degree == 2
+        assert square.min_degree == 2
+
+    def test_has_edge(self, square):
+        assert square.has_edge(0, 1)
+        assert square.has_edge(1, 0)
+        assert not square.has_edge(0, 2)
+        assert not square.has_edge(0, 0)
+
+    def test_csr_consistency(self, square):
+        for v in range(4):
+            start, end = square.indptr[v], square.indptr[v + 1]
+            assert end - start == square.degree(v)
+            np.testing.assert_array_equal(
+                square.indices[start:end], square.neighbors(v)
+            )
+
+    def test_edge_dij(self):
+        # Star: center degree 3, leaves degree 1 -> every dij is 3.
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        np.testing.assert_array_equal(star.edge_dij, [3, 3, 3])
+
+    def test_adjacency_matrix_symmetric(self, square):
+        matrix = square.adjacency_matrix()
+        np.testing.assert_array_equal(matrix, matrix.T)
+        assert matrix.sum() == 2 * square.num_edges
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_vertex_range_checked(self, square):
+        with pytest.raises(GraphError):
+            square.neighbors(4)
+        with pytest.raises(GraphError):
+            square.degree(-1)
+
+    def test_arrays_read_only(self, square):
+        with pytest.raises(ValueError):
+            square.degrees[0] = 99
+        with pytest.raises(ValueError):
+            square.edges[0, 0] = 99
+
+
+class TestEqualityAndCopy:
+    def test_equality(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+    def test_hash_consistent(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(0, 1)])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_renamed_shares_structure(self):
+        a = Graph(3, [(0, 1)])
+        b = a.renamed("other")
+        assert b.name == "other"
+        assert b == a
+        assert b.indices is a.indices
+
+    def test_repr_contains_counts(self):
+        text = repr(Graph(3, [(0, 1)]))
+        assert "n=3" in text
+        assert "m=1" in text

@@ -1,0 +1,56 @@
+"""Tests for repro.graphs.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRoundtrip:
+    def test_roundtrip_cycle(self, tmp_path):
+        original = cycle_graph(7)
+        path = tmp_path / "cycle.edges"
+        write_edge_list(original, path)
+        loaded = read_edge_list(path)
+        assert loaded == original
+
+    def test_roundtrip_grid(self, tmp_path):
+        original = grid_graph(3)
+        path = tmp_path / "grid.edges"
+        write_edge_list(original, path)
+        assert read_edge_list(path) == original
+
+    def test_custom_name(self, tmp_path):
+        path = tmp_path / "g.edges"
+        write_edge_list(cycle_graph(4), path)
+        assert read_edge_list(path, name="renamed").name == "renamed"
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# comment\n\nn 3\n0 1\n\n# trailing\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError, match="missing"):
+            read_edge_list(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("n 3\n0 1 2\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("n 3 4\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)

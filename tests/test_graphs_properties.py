@@ -1,0 +1,126 @@
+"""Tests for repro.graphs.properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    from_edges,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_bipartite,
+    is_connected,
+    is_regular,
+)
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        distances = bfs_distances(path_graph(5), 0)
+        np.testing.assert_array_equal(distances, [0, 1, 2, 3, 4])
+
+    def test_cycle_distances(self):
+        distances = bfs_distances(cycle_graph(6), 0)
+        np.testing.assert_array_equal(distances, [0, 1, 2, 3, 2, 1])
+
+    def test_unreachable_marked(self):
+        graph = from_edges(4, [(0, 1)])
+        distances = bfs_distances(graph, 0)
+        assert distances[2] == -1
+        assert distances[3] == -1
+
+    def test_bad_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 5)
+
+
+class TestDiameter:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(6), 5),
+            (cycle_graph(8), 4),
+            (cycle_graph(7), 3),
+            (complete_graph(5), 1),
+            (grid_graph(3), 4),
+            (hypercube_graph(4), 4),
+            (star_graph(9), 2),
+        ],
+    )
+    def test_known_diameters(self, graph, expected):
+        assert diameter(graph) == expected
+
+    def test_disconnected_raises(self):
+        with pytest.raises(DisconnectedGraphError):
+            diameter(from_edges(3, [(0, 1)]))
+
+    def test_eccentricity_center_vs_leaf(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 2) == 2
+        assert eccentricity(graph, 0) == 4
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(cycle_graph(5))
+
+    def test_disconnected(self):
+        assert not is_connected(from_edges(4, [(0, 1), (2, 3)]))
+
+    def test_components(self):
+        graph = from_edges(5, [(0, 1), (2, 3)])
+        components = connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3], [4]]
+
+    def test_single_component(self):
+        assert connected_components(complete_graph(4)) == [[0, 1, 2, 3]]
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        histogram = degree_histogram(star_graph(5))
+        assert histogram == {1: 4, 4: 1}
+
+    def test_regular(self):
+        assert degree_histogram(cycle_graph(6)) == {2: 6}
+
+
+class TestBipartite:
+    def test_even_cycle(self):
+        assert is_bipartite(cycle_graph(6))
+
+    def test_odd_cycle(self):
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_grid(self):
+        assert is_bipartite(grid_graph(4))
+
+    def test_complete(self):
+        assert not is_bipartite(complete_graph(3))
+
+    def test_hypercube(self):
+        assert is_bipartite(hypercube_graph(4))
+
+    def test_disconnected_bipartite(self):
+        assert is_bipartite(from_edges(4, [(0, 1), (2, 3)]))
+
+
+class TestRegular:
+    def test_cycle_regular(self):
+        assert is_regular(cycle_graph(5))
+
+    def test_path_not_regular(self):
+        assert not is_regular(path_graph(4))

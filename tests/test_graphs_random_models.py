@@ -1,0 +1,106 @@
+"""Tests for the Watts–Strogatz and random-geometric generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.generators import (
+    cycle_graph,
+    random_geometric_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import diameter, is_connected
+from repro.spectral.eigen import algebraic_connectivity
+
+
+class TestWattsStrogatz:
+    def test_p_zero_is_ring_lattice(self):
+        graph = watts_strogatz_graph(10, 2, 0.0)
+        assert graph == cycle_graph(10)
+
+    def test_k4_lattice_edge_count(self):
+        graph = watts_strogatz_graph(12, 4, 0.0)
+        assert graph.num_edges == 24  # n * k / 2
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(30, 4, 0.5, seed=1)
+        assert graph.num_edges == 60
+
+    def test_deterministic(self):
+        a = watts_strogatz_graph(20, 4, 0.3, seed=7)
+        b = watts_strogatz_graph(20, 4, 0.3, seed=7)
+        assert a == b
+
+    def test_small_world_effect(self):
+        """A little rewiring collapses the lattice diameter."""
+        lattice = watts_strogatz_graph(64, 4, 0.0)
+        rewired = watts_strogatz_graph(64, 4, 0.3, seed=2)
+        if is_connected(rewired):
+            assert diameter(rewired) < diameter(lattice)
+
+    def test_rewiring_raises_lambda2(self):
+        """Shortcuts increase algebraic connectivity (usually sharply)."""
+        lattice = watts_strogatz_graph(48, 4, 0.0)
+        rewired = watts_strogatz_graph(48, 4, 0.5, seed=3)
+        if is_connected(rewired):
+            assert algebraic_connectivity(rewired) > algebraic_connectivity(lattice)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValidationError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValidationError):
+            watts_strogatz_graph(6, 6, 0.1)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValidationError):
+            watts_strogatz_graph(10, 2, 1.5)
+
+
+class TestRandomGeometric:
+    def test_radius_sqrt2_is_complete(self):
+        graph = random_geometric_graph(10, np.sqrt(2.0), seed=0)
+        assert graph.num_edges == 45
+
+    def test_tiny_radius_is_sparse(self):
+        graph = random_geometric_graph(40, 0.01, seed=1)
+        assert graph.num_edges < 20
+
+    def test_deterministic(self):
+        a = random_geometric_graph(25, 0.3, seed=4)
+        b = random_geometric_graph(25, 0.3, seed=4)
+        assert a == b
+
+    def test_edge_count_grows_with_radius(self):
+        small = random_geometric_graph(50, 0.15, seed=5)
+        large = random_geometric_graph(50, 0.5, seed=5)
+        assert large.num_edges > small.num_edges
+
+    def test_radius_validated(self):
+        with pytest.raises(ValidationError):
+            random_geometric_graph(10, 0.0)
+        with pytest.raises(ValidationError):
+            random_geometric_graph(10, 2.0)
+
+    def test_protocol_runs_on_geometric_graph(self):
+        """End-to-end: the protocol balances on a spatial topology."""
+        import repro
+
+        graph = random_geometric_graph(30, 0.45, seed=6)
+        if not is_connected(graph):
+            pytest.skip("sampled graph disconnected")
+        state = repro.UniformState(
+            repro.all_on_one_placement(30, 600), repro.uniform_speeds(30)
+        )
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=100_000,
+            seed=7,
+        )
+        assert result.converged

@@ -1,0 +1,234 @@
+"""End-to-end integration tests: full runs reproducing paper behaviour.
+
+These tests exercise multiple modules together and assert the paper's
+headline claims at small scale: convergence to (approximate) equilibria
+within the theorem bounds, equilibrium absorption, speed-proportional
+balancing, and the potential-drop machinery along real trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.theory import (
+    epsilon_from_delta,
+    gamma_factor,
+    psi_critical,
+    theorem11_m_threshold,
+    theorem11_round_bound,
+    theorem12_round_bound,
+)
+
+
+class TestUniformEndToEnd:
+    @pytest.mark.parametrize("family_name", ["complete", "ring", "torus", "hypercube"])
+    def test_reaches_exact_nash(self, family_name):
+        family = repro.get_family(family_name)
+        graph = family.make(9)
+        n = graph.num_vertices
+        state = repro.UniformState(
+            repro.all_on_one_placement(n, 20 * n), repro.uniform_speeds(n)
+        )
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=100_000,
+            seed=11,
+        )
+        assert result.converged
+        assert repro.is_nash(state, graph)
+
+    def test_theorem11_bound_respected(self):
+        """Hitting time of Psi_0 <= 4 psi_c lands under the explicit bound."""
+        graph = repro.torus_graph(3)
+        n = graph.num_vertices
+        m = 8 * n * n
+        quantities = repro.graph_quantities(graph)
+        bound = theorem11_round_bound(quantities, m, 1.0)
+        threshold = 4.0 * psi_critical(n, graph.max_degree, quantities.lambda2, 1.0)
+        for seed in range(3):
+            state = repro.UniformState(
+                repro.all_on_one_placement(n, m), repro.uniform_speeds(n)
+            )
+            result = repro.run_protocol(
+                graph,
+                repro.SelfishUniformProtocol(),
+                state,
+                stopping=repro.PotentialThresholdStop(threshold, "psi0"),
+                max_rounds=int(2 * bound),
+                seed=seed,
+            )
+            assert result.converged
+            assert result.stop_round <= bound
+
+    def test_lemma_317_epsilon_nash_property(self):
+        """Above the m threshold, Psi_0 <= 4 psi_c implies an eps-NE."""
+        graph = repro.torus_graph(3)
+        n = graph.num_vertices
+        delta = 2.0
+        m = int(np.ceil(theorem11_m_threshold(n, float(n), 1.0, delta)))
+        threshold = 4.0 * psi_critical(
+            n, graph.max_degree, repro.algebraic_connectivity(graph), 1.0
+        )
+        state = repro.UniformState(
+            repro.all_on_one_placement(n, m), repro.uniform_speeds(n)
+        )
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(),
+            state,
+            stopping=repro.PotentialThresholdStop(threshold, "psi0"),
+            max_rounds=100_000,
+            seed=5,
+        )
+        assert result.converged
+        assert repro.is_epsilon_nash(state, graph, epsilon_from_delta(delta))
+
+    def test_theorem12_bound_with_granular_speeds(self):
+        graph = repro.cycle_graph(6)
+        speeds = repro.granular_speeds(6, 2.0, 0.5, seed=3)
+        granularity = repro.speed_granularity(speeds)
+        alpha = repro.default_alpha(float(speeds.max()), granularity)
+        quantities = repro.graph_quantities(graph)
+        bound = theorem12_round_bound(quantities, float(speeds.max()), granularity)
+        state = repro.UniformState(repro.adversarial_placement(speeds, 48), speeds)
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(alpha=alpha),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=int(min(bound, 500_000)),
+            seed=4,
+        )
+        assert result.converged
+        assert result.stop_round <= bound
+
+    def test_speed_proportional_equilibrium(self):
+        """At NE, loads equalize: counts split proportionally to speeds."""
+        graph = repro.complete_graph(6)
+        speeds = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        m = 1200
+        state = repro.UniformState(repro.all_on_one_placement(6, m), speeds)
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishUniformProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=100_000,
+            seed=9,
+        )
+        assert result.converged
+        ideal = m * speeds / speeds.sum()
+        # At NE every load is within 1/s of the average: counts within ~s_i.
+        assert np.all(np.abs(state.counts - ideal) <= speeds + 1.0)
+
+    def test_potential_monotone_in_expectation_along_run(self):
+        """Along a real trajectory, E[Psi_0 | state] <= Psi_0 + noise term."""
+        graph = repro.torus_graph(3)
+        n = graph.num_vertices
+        state = repro.UniformState(
+            repro.all_on_one_placement(n, 500), repro.uniform_speeds(n)
+        )
+        protocol = repro.SelfishUniformProtocol()
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            before = repro.psi0_potential(state)
+            from repro.core.drops import expected_psi0_after_round
+
+            conditional = expected_psi0_after_round(state, graph)
+            assert conditional <= before + n / 4.0 + 1e-9
+            protocol.execute_round(state, graph, rng)
+
+
+class TestWeightedEndToEnd:
+    def test_algorithm2_reaches_threshold_state(self):
+        graph = repro.cycle_graph(8)
+        speeds = repro.two_class_speeds(8, 0.25, 2.0)
+        weights = repro.random_weights(500, 0.3, 1.0, seed=1)
+        state = repro.WeightedState(
+            repro.place_weighted_all_on_one(500, 0), weights, speeds
+        )
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishWeightedProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=100_000,
+            seed=2,
+        )
+        assert result.converged
+        assert repro.is_nash(state, graph)
+
+    def test_weighted_uniform_weights_match_uniform_protocol_target(self):
+        """Algorithm 2 with all weights 1 lands in the same NE set."""
+        graph = repro.cycle_graph(6)
+        speeds = repro.uniform_speeds(6)
+        m = 120
+        weights = repro.uniform_weights(m)
+        state = repro.WeightedState(
+            repro.place_weighted_all_on_one(m, 0), weights, speeds
+        )
+        result = repro.run_protocol(
+            graph,
+            repro.SelfishWeightedProtocol(),
+            state,
+            stopping=repro.NashStop(),
+            max_rounds=100_000,
+            seed=3,
+        )
+        assert result.converged
+        counts = np.bincount(state.task_nodes, minlength=6)
+        uniform_state = repro.UniformState(counts, speeds)
+        assert repro.is_nash(uniform_state, graph)
+
+    def test_per_task_baseline_reaches_weighted_exact_nash_on_path(self):
+        graph = repro.path_graph(3)
+        weights = repro.random_weights(60, 0.4, 1.0, seed=5)
+        state = repro.WeightedState(
+            repro.place_weighted_all_on_one(60, 0), weights, repro.uniform_speeds(3)
+        )
+        result = repro.run_protocol(
+            graph,
+            repro.PerTaskThresholdProtocol(),
+            state,
+            stopping=repro.WeightedExactNashStop(),
+            max_rounds=200_000,
+            seed=6,
+        )
+        assert result.converged
+        assert repro.is_weighted_exact_nash(state, graph)
+
+
+class TestDecayEnvelope:
+    def test_mean_trace_respects_lemma_313(self):
+        """Averaged Psi_0 decays at least at the (1 - 1/gamma) rate."""
+        graph = repro.torus_graph(3)
+        n = graph.num_vertices
+        m = 8 * n * n
+        lambda2 = repro.algebraic_connectivity(graph)
+        gamma = gamma_factor(graph.max_degree, lambda2, 1.0)
+        psi_c = psi_critical(n, graph.max_degree, lambda2, 1.0)
+        horizon = 60
+        traces = []
+        for seed in range(6):
+            state = repro.UniformState(
+                repro.all_on_one_placement(n, m), repro.uniform_speeds(n)
+            )
+            result = repro.run_protocol(
+                graph,
+                repro.SelfishUniformProtocol(),
+                state,
+                max_rounds=horizon,
+                seed=seed,
+                record=True,
+            )
+            traces.append(result.trace.psi0)
+        mean_trace = np.mean(np.stack(traces), axis=0)
+        envelope = 1.0 - 1.0 / gamma
+        above = mean_trace >= psi_c
+        for t in range(1, int(np.argmin(above)) if not above.all() else horizon):
+            assert mean_trace[t] <= envelope * mean_trace[t - 1] * 1.05 + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for repro.model.perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.perturbation import (
+    PoissonChurn,
+    inject_tasks,
+    remove_tasks,
+    shock_to_node,
+)
+from repro.model.state import UniformState, WeightedState
+
+
+@pytest.fixture
+def state():
+    return UniformState(np.array([10, 5, 0, 5]), np.ones(4))
+
+
+class TestInjectTasks:
+    def test_targeted_injection(self, state, rng):
+        inject_tasks(state, 7, rng, node=2)
+        assert state.counts[2] == 7
+        assert state.num_tasks == 27
+
+    def test_random_injection_total(self, state, rng):
+        inject_tasks(state, 100, rng)
+        assert state.num_tasks == 120
+
+    def test_zero_noop(self, state, rng):
+        inject_tasks(state, 0, rng)
+        assert state.num_tasks == 20
+
+    def test_bad_node(self, state, rng):
+        with pytest.raises(ModelError):
+            inject_tasks(state, 1, rng, node=9)
+
+    def test_weighted_rejected(self, rng):
+        weighted = WeightedState([0], [0.5], [1.0, 1.0])
+        with pytest.raises(ModelError):
+            inject_tasks(weighted, 1, rng)
+
+
+class TestRemoveTasks:
+    def test_removes_exactly(self, state, rng):
+        remove_tasks(state, 6, rng)
+        assert state.num_tasks == 14
+        assert np.all(state.counts >= 0)
+
+    def test_uniform_over_tasks(self, rng):
+        """Removal hits nodes proportionally to their counts."""
+        counts = np.array([900, 100])
+        removed_from_big = []
+        for seed in range(200):
+            trial = UniformState(counts.copy(), np.ones(2))
+            remove_tasks(trial, 100, np.random.default_rng(seed))
+            removed_from_big.append(900 - trial.counts[0])
+        mean = float(np.mean(removed_from_big))
+        assert mean == pytest.approx(90.0, abs=3.0)
+
+    def test_overremoval_clears(self, state, rng):
+        remove_tasks(state, 1000, rng)
+        assert state.num_tasks == 0
+
+    def test_empty_noop(self, rng):
+        empty = UniformState(np.zeros(3, dtype=np.int64), np.ones(3))
+        remove_tasks(empty, 5, rng)
+        assert empty.num_tasks == 0
+
+
+class TestShock:
+    def test_full_shock_moves_everything(self, state, rng):
+        moved = shock_to_node(state, 1.0, 0, rng)
+        assert moved == 10  # everything not already on node 0
+        assert state.counts[0] == 20
+        assert state.num_tasks == 20
+
+    def test_zero_shock_noop(self, state, rng):
+        before = state.counts.copy()
+        assert shock_to_node(state, 0.0, 0, rng) == 0
+        np.testing.assert_array_equal(state.counts, before)
+
+    def test_partial_shock_conserves(self, state, rng):
+        shock_to_node(state, 0.5, 1, rng)
+        assert state.num_tasks == 20
+
+    def test_fraction_validated(self, state, rng):
+        with pytest.raises(ModelError):
+            shock_to_node(state, 1.5, 0, rng)
+
+    def test_node_validated(self, state, rng):
+        with pytest.raises(ModelError):
+            shock_to_node(state, 0.5, 9, rng)
+
+
+class TestPoissonChurn:
+    def test_stationary_in_expectation(self):
+        state = UniformState(np.full(4, 100), np.ones(4))
+        churn = PoissonChurn(10.0, seed=1)
+        for _ in range(300):
+            churn.apply(state)
+        # Expected count stays 400; allow a generous random-walk band.
+        assert 200 <= state.num_tasks <= 600
+
+    def test_reports_arrivals_departures(self):
+        state = UniformState(np.full(4, 50), np.ones(4))
+        churn = PoissonChurn(5.0, seed=2)
+        arrived, departed = churn.apply(state)
+        assert arrived >= 0 and departed >= 0
+        assert state.num_tasks == 200 + arrived - departed
+
+    def test_zero_rate_noop(self):
+        state = UniformState(np.full(4, 50), np.ones(4))
+        churn = PoissonChurn(0.0, seed=3)
+        assert churn.apply(state) == (0, 0)
+        assert state.num_tasks == 200
+
+    def test_rate_property(self):
+        assert PoissonChurn(2.5).rate == 2.5

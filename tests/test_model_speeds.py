@@ -1,0 +1,164 @@
+"""Tests for repro.model.speeds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpeedError
+from repro.model.speeds import (
+    geometric_speeds,
+    granular_speeds,
+    linear_speeds,
+    normalize_speeds,
+    random_integer_speeds,
+    speed_granularity,
+    speed_stats,
+    two_class_speeds,
+    uniform_speeds,
+)
+
+
+class TestUniformSpeeds:
+    def test_all_ones(self):
+        np.testing.assert_array_equal(uniform_speeds(4), np.ones(4))
+
+
+class TestTwoClassSpeeds:
+    def test_split(self):
+        speeds = two_class_speeds(8, 0.25, 3.0)
+        assert np.count_nonzero(speeds == 3.0) == 2
+        assert np.count_nonzero(speeds == 1.0) == 6
+
+    def test_zero_fraction(self):
+        np.testing.assert_array_equal(two_class_speeds(4, 0.0, 2.0), np.ones(4))
+
+    def test_full_fraction(self):
+        np.testing.assert_array_equal(two_class_speeds(4, 1.0, 2.0), np.full(4, 2.0))
+
+    def test_fast_below_one_rejected(self):
+        with pytest.raises(SpeedError):
+            two_class_speeds(4, 0.5, 0.5)
+
+    def test_bad_fraction(self):
+        with pytest.raises(SpeedError):
+            two_class_speeds(4, 1.5, 2.0)
+
+
+class TestLinearGeometric:
+    def test_linear_endpoints(self):
+        speeds = linear_speeds(5, 3.0)
+        assert speeds[0] == 1.0
+        assert speeds[-1] == 3.0
+        assert np.all(np.diff(speeds) > 0)
+
+    def test_geometric_endpoints(self):
+        speeds = geometric_speeds(5, 4.0)
+        assert speeds[0] == pytest.approx(1.0)
+        assert speeds[-1] == pytest.approx(4.0)
+        ratios = speeds[1:] / speeds[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_single_node(self):
+        np.testing.assert_array_equal(linear_speeds(1, 5.0), [1.0])
+        np.testing.assert_array_equal(geometric_speeds(1, 5.0), [1.0])
+
+    def test_smax_below_one_rejected(self):
+        with pytest.raises(SpeedError):
+            linear_speeds(3, 0.9)
+
+
+class TestRandomIntegerSpeeds:
+    def test_integral_and_bounded(self):
+        speeds = random_integer_speeds(50, 4, seed=0)
+        assert np.all(speeds == np.rint(speeds))
+        assert speeds.min() == 1.0  # guaranteed one slow machine
+        assert speeds.max() <= 4.0
+
+    def test_deterministic(self):
+        a = random_integer_speeds(10, 3, seed=1)
+        b = random_integer_speeds(10, 3, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGranularSpeeds:
+    def test_multiples_of_granularity(self):
+        speeds = granular_speeds(30, 3.0, 0.5, seed=2)
+        steps = speeds / 0.5
+        np.testing.assert_allclose(steps, np.rint(steps), atol=1e-12)
+        assert speeds.min() == pytest.approx(1.0)
+        assert speeds.max() <= 3.0
+
+    def test_non_divisor_granularity_rejected(self):
+        with pytest.raises(SpeedError):
+            granular_speeds(5, 2.0, 0.3)
+
+    def test_granularity_above_one_rejected(self):
+        with pytest.raises(SpeedError):
+            granular_speeds(5, 2.0, 1.5)
+
+    def test_smax_below_one_rejected(self):
+        with pytest.raises(SpeedError):
+            granular_speeds(5, 0.5, 0.5)
+
+
+class TestNormalizeSpeeds:
+    def test_scales_min_to_one(self):
+        speeds = normalize_speeds([2.0, 4.0, 6.0])
+        np.testing.assert_allclose(speeds, [1.0, 2.0, 3.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SpeedError):
+            normalize_speeds([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpeedError):
+            normalize_speeds([])
+
+
+class TestSpeedGranularity:
+    def test_integer_speeds(self):
+        assert speed_granularity([1.0, 2.0, 3.0]) == 1.0
+
+    def test_half_granularity(self):
+        assert speed_granularity([1.0, 1.5, 2.5]) == pytest.approx(0.5)
+
+    def test_quarter(self):
+        assert speed_granularity([1.0, 1.25, 2.0]) == pytest.approx(0.25)
+
+    def test_capped_at_one(self):
+        """Paper defines eps in (0, 1]; all-even speeds would gcd to 2."""
+        assert speed_granularity([2.0, 4.0]) == 1.0
+
+    def test_gcd_above_one_divided_down(self):
+        """gcd 1.5 is inadmissible; the largest valid eps is 0.75."""
+        assert speed_granularity([1.5]) == pytest.approx(0.75)
+        assert speed_granularity([1.5, 3.0]) == pytest.approx(0.75)
+
+    def test_result_always_divides(self):
+        for speeds in ([2.5], [3.0, 4.5], [1.0, 2.4]):
+            eps = speed_granularity(speeds)
+            steps = np.asarray(speeds) / eps
+            np.testing.assert_allclose(steps, np.rint(steps), atol=1e-9)
+            assert 0 < eps <= 1.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SpeedError):
+            speed_granularity([1.0, -1.0])
+
+
+class TestSpeedStats:
+    def test_values(self):
+        stats = speed_stats([1.0, 2.0, 2.0, 4.0])
+        assert stats.n == 4
+        assert stats.s_min == 1.0
+        assert stats.s_max == 4.0
+        assert stats.total == 9.0
+        assert stats.arithmetic_mean == pytest.approx(2.25)
+        assert stats.harmonic_mean == pytest.approx(4.0 / (1.0 + 0.5 + 0.5 + 0.25))
+        assert stats.granularity == 1.0
+
+    def test_harmonic_leq_arithmetic(self, rng):
+        speeds = rng.uniform(1.0, 5.0, size=20)
+        stats = speed_stats(speeds)
+        assert stats.harmonic_mean <= stats.arithmetic_mean + 1e-12

@@ -1,0 +1,94 @@
+"""Tests for repro.model.tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.tasks import (
+    UniformTaskSystem,
+    WeightedTaskSystem,
+    random_weights,
+    two_class_weights,
+    uniform_weights,
+)
+
+
+class TestUniformTaskSystem:
+    def test_counts(self):
+        system = UniformTaskSystem(10)
+        assert system.num_tasks == 10
+        assert system.total_weight == 10.0
+        assert system.is_uniform
+
+    def test_empty(self):
+        system = UniformTaskSystem(0)
+        assert system.total_weight == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            UniformTaskSystem(-1)
+
+
+class TestWeightedTaskSystem:
+    def test_totals(self):
+        system = WeightedTaskSystem([0.5, 1.0, 0.25])
+        assert system.num_tasks == 3
+        assert system.total_weight == pytest.approx(1.75)
+        assert system.max_weight == 1.0
+        assert system.min_weight == 0.25
+
+    def test_uniform_detection(self):
+        assert WeightedTaskSystem([1.0, 1.0]).is_uniform
+        assert not WeightedTaskSystem([1.0, 0.5]).is_uniform
+
+    def test_weight_range_enforced(self):
+        with pytest.raises(ModelError):
+            WeightedTaskSystem([0.0])
+        with pytest.raises(ModelError):
+            WeightedTaskSystem([1.1])
+        with pytest.raises(ModelError):
+            WeightedTaskSystem([-0.5])
+
+    def test_weights_immutable(self):
+        system = WeightedTaskSystem([0.5, 0.5])
+        with pytest.raises(ValueError):
+            system.weights[0] = 0.9
+
+    def test_empty_max_weight_raises(self):
+        system = WeightedTaskSystem([])
+        with pytest.raises(ModelError):
+            _ = system.max_weight
+
+
+class TestWeightGenerators:
+    def test_uniform_weights(self):
+        np.testing.assert_array_equal(uniform_weights(3), np.ones(3))
+
+    def test_random_weights_range(self):
+        weights = random_weights(200, 0.2, 0.8, seed=1)
+        assert weights.min() >= 0.2
+        assert weights.max() <= 0.8
+
+    def test_random_weights_deterministic(self):
+        np.testing.assert_array_equal(
+            random_weights(10, seed=3), random_weights(10, seed=3)
+        )
+
+    def test_random_weights_bad_range(self):
+        with pytest.raises(ModelError):
+            random_weights(5, 0.9, 0.1)
+        with pytest.raises(ModelError):
+            random_weights(5, 0.0, 1.0)
+
+    def test_two_class_weights(self):
+        weights = two_class_weights(10, 0.3, heavy=1.0, light=0.2)
+        assert np.count_nonzero(weights == 1.0) == 3
+        assert np.count_nonzero(weights == 0.2) == 7
+
+    def test_two_class_validation(self):
+        with pytest.raises(ModelError):
+            two_class_weights(10, 1.5)
+        with pytest.raises(ModelError):
+            two_class_weights(10, 0.5, heavy=0.1, light=0.5)

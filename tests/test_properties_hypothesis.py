@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These exercise the library's load-bearing algebraic identities and
+conservation laws on arbitrary inputs: potential identities, inner-product
+axioms, protocol conservation, equilibrium consistency, and the sandwich
+inequalities of the paper's analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.drops import expected_psi0_after_round
+from repro.core.equilibrium import blocking_edges, is_epsilon_nash, is_nash
+from repro.core.flows import expected_flows, migration_probabilities
+from repro.core.potentials import (
+    max_load_difference,
+    phi_potential,
+    psi0_potential,
+    psi1_potential,
+)
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.model.placement import proportional_placement
+from repro.model.speeds import speed_granularity
+from repro.model.state import UniformState, WeightedState
+from repro.spectral.inner_product import s_dot
+from repro.utils.rng import make_rng
+
+# Shared strategies -----------------------------------------------------
+
+SIZES = st.integers(min_value=3, max_value=12)
+
+
+def counts_strategy(n):
+    return hnp.arrays(
+        dtype=np.int64,
+        shape=n,
+        elements=st.integers(min_value=0, max_value=200),
+    )
+
+
+def speeds_strategy(n):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=n,
+        elements=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    )
+
+
+state_strategy = SIZES.flatmap(
+    lambda n: st.tuples(counts_strategy(n), speeds_strategy(n))
+)
+
+
+# Potential identities ---------------------------------------------------
+
+
+class TestPotentialProperties:
+    @given(state_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_psi0_identity(self, data):
+        """Psi_0 = Phi_0 - W^2/S = <e, e>_S >= 0."""
+        counts, speeds = data
+        state = UniformState(counts, speeds)
+        psi0 = psi0_potential(state)
+        assert psi0 >= -1e-9
+        w = state.total_weight
+        via_phi = phi_potential(state, 0) - w * w / state.total_speed
+        assert psi0 == pytest.approx(via_phi, rel=1e-7, abs=1e-6)
+        via_inner = s_dot(state.deviation, state.deviation, speeds)
+        assert psi0 == pytest.approx(via_inner, rel=1e-9, abs=1e-9)
+
+    @given(state_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_psi1_nonnegative(self, data):
+        """Observation 3.20 (2)."""
+        counts, speeds = data
+        assert psi1_potential(UniformState(counts, speeds)) >= 0.0
+
+    @given(state_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_observation_316_sandwich(self, data):
+        counts, speeds = data
+        state = UniformState(counts, speeds)
+        psi0 = psi0_potential(state)
+        l_delta = max_load_difference(state)
+        assert l_delta**2 <= psi0 + 1e-6
+        assert psi0 <= state.total_speed * l_delta**2 + 1e-6
+
+    @given(state_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_deviation_sums_to_zero(self, data):
+        counts, speeds = data
+        state = UniformState(counts, speeds)
+        assert float(state.deviation.sum()) == pytest.approx(0.0, abs=1e-7)
+
+
+# Flow properties --------------------------------------------------------
+
+
+class TestFlowProperties:
+    @given(state_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_flows_nonnegative_and_thresholded(self, data):
+        counts, speeds = data
+        n = counts.shape[0]
+        graph = cycle_graph(n)
+        state = UniformState(counts, speeds)
+        src, dst, flows = expected_flows(state, graph)
+        assert np.all(flows >= 0.0)
+        loads = state.loads
+        positive = flows > 0
+        # Flow only across edges beating the selfishness threshold.
+        assert np.all(
+            loads[src[positive]] - loads[dst[positive]]
+            > 1.0 / speeds[dst[positive]]
+        )
+
+    @given(state_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_valid(self, data):
+        """With alpha = 4 s_max, per-node totals never exceed 1."""
+        counts, speeds = data
+        n = counts.shape[0]
+        graph = cycle_graph(n)
+        state = UniformState(counts, speeds)
+        src, _, q = migration_probabilities(state, graph)
+        assert np.all(q >= 0.0)
+        totals = np.zeros(n)
+        np.add.at(totals, src, q)
+        assert totals.max() <= 1.0 + 1e-9
+
+    @given(state_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_nash_iff_no_flows(self, data):
+        """Definition 3.7 consistency: NE <=> empty non-Nash edge set."""
+        counts, speeds = data
+        n = counts.shape[0]
+        graph = cycle_graph(n)
+        state = UniformState(counts, speeds)
+        _, _, flows = expected_flows(state, graph)
+        assert is_nash(state, graph) == bool(np.all(flows <= 0.0))
+
+
+# Protocol conservation --------------------------------------------------
+
+
+class TestProtocolProperties:
+    @given(state_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_round_conserves_tasks(self, data, seed):
+        counts, speeds = data
+        n = counts.shape[0]
+        graph = cycle_graph(n)
+        state = UniformState(counts, speeds)
+        total = state.num_tasks
+        SelfishUniformProtocol().execute_round(state, graph, make_rng(seed))
+        assert state.num_tasks == total
+        assert np.all(state.counts >= 0)
+
+    @given(state_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_expected_potential_never_increases_above_noise(self, data, seed):
+        """E[Psi_0 after] <= Psi_0 + n/(4 s_max) (Lemma 3.9 consequence)."""
+        counts, speeds = data
+        n = counts.shape[0]
+        graph = cycle_graph(n)
+        state = UniformState(counts, speeds)
+        before = psi0_potential(state)
+        after = expected_psi0_after_round(state, graph)
+        slack = n / (4.0 * float(speeds.max())) + 1e-9
+        assert after <= before + slack
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_round_conserves_weight(self, n, seed):
+        rng = make_rng(seed)
+        m = int(rng.integers(1, 120))
+        weights = rng.uniform(0.05, 1.0, size=m)
+        locations = rng.integers(0, n, size=m)
+        speeds = rng.uniform(1.0, 4.0, size=n)
+        graph = cycle_graph(n)
+        state = WeightedState(locations, weights, speeds)
+        total = state.total_weight
+        SelfishWeightedProtocol().execute_round(state, graph, rng)
+        assert state.total_weight == pytest.approx(total, rel=1e-9)
+        # W_i must remain the bincount of assigned weights.
+        recomputed = np.bincount(state.task_nodes, weights=weights, minlength=n)
+        np.testing.assert_allclose(state.node_weights, recomputed, atol=1e-9)
+
+
+# Equilibrium consistency ------------------------------------------------
+
+
+class TestEquilibriumProperties:
+    @given(state_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_nash_implies_epsilon_nash(self, data):
+        counts, speeds = data
+        graph = cycle_graph(counts.shape[0])
+        state = UniformState(counts, speeds)
+        if is_nash(state, graph):
+            for epsilon in (0.1, 0.5, 0.9):
+                assert is_epsilon_nash(state, graph, epsilon)
+
+    @given(state_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_epsilon_monotone(self, data):
+        """If an eps-NE holds, every larger eps also holds."""
+        counts, speeds = data
+        graph = cycle_graph(counts.shape[0])
+        state = UniformState(counts, speeds)
+        small = is_epsilon_nash(state, graph, 0.2)
+        large = is_epsilon_nash(state, graph, 0.6)
+        assert not small or large
+
+    @given(state_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_nash_iff_no_blocking_edges(self, data):
+        counts, speeds = data
+        graph = cycle_graph(counts.shape[0])
+        state = UniformState(counts, speeds)
+        assert is_nash(state, graph) == (len(blocking_edges(state, graph)) == 0)
+
+
+# Model utilities --------------------------------------------------------
+
+
+class TestModelProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_placement_total(self, n, m):
+        speeds = np.linspace(1.0, 3.0, n)
+        counts = proportional_placement(speeds, m)
+        assert counts.sum() == m
+        assert np.all(counts >= 0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=40), min_size=1, max_size=10
+        ),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_speed_granularity_divides(self, numerators, denominator):
+        speeds = np.array([k / denominator for k in numerators], dtype=float)
+        eps = speed_granularity(speeds)
+        steps = speeds / eps
+        np.testing.assert_allclose(steps, np.rint(steps), atol=1e-6)
+        assert 0 < eps <= 1.0

@@ -1,0 +1,69 @@
+"""Public API integrity: everything advertised in ``__all__`` exists."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_no_private_names_exported(self):
+        """Single-underscore internals stay internal (dunders are fine)."""
+        leaked = [
+            name
+            for name in repro.__all__
+            if name.startswith("_") and not name.startswith("__")
+        ]
+        assert not leaked
+
+    def test_all_sorted_within_sections(self):
+        """__all__ has no duplicates."""
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.utils",
+        "repro.graphs",
+        "repro.spectral",
+        "repro.model",
+        "repro.core",
+        "repro.diffusion",
+        "repro.theory",
+        "repro.analysis",
+        "repro.experiments",
+    ],
+)
+class TestSubpackageApi:
+    def test_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+class TestDocstringCoverage:
+    def test_public_callables_documented(self):
+        """Every top-level public callable/class carries a docstring."""
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,128 @@
+"""Tests for repro.spectral.bounds (Appendix A lemmas)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import diameter
+from repro.spectral.bounds import (
+    corollary_116_bounds,
+    cheeger_bounds,
+    fiedler_degree_upper_bound,
+    interlacing_bounds,
+    lambda2_universal_lower_bound,
+    mohar_diameter_lower_bound,
+    rayleigh_lower_bound_check,
+)
+from repro.spectral.eigen import algebraic_connectivity
+
+
+class TestFiedlerBound:
+    def test_holds_on_small_graphs(self, small_graphs):
+        """Lemma 1.7: lambda_2 <= n/(n-1) min deg."""
+        for graph in small_graphs:
+            assert algebraic_connectivity(graph) <= fiedler_degree_upper_bound(
+                graph
+            ) + 1e-9
+
+    def test_complete_graph_tight(self):
+        """K_n attains the bound: lambda_2 = n = n/(n-1) * (n-1)."""
+        graph = complete_graph(6)
+        assert algebraic_connectivity(graph) == pytest.approx(
+            fiedler_degree_upper_bound(graph), rel=1e-9
+        )
+
+    def test_needs_two_vertices(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(SpectralError):
+            fiedler_degree_upper_bound(Graph(1, []))
+
+
+class TestMoharDiameterBound:
+    def test_holds(self, small_graphs):
+        """Lemma 1.5: diam >= 4/(n lambda_2)."""
+        for graph in small_graphs:
+            assert diameter(graph) >= mohar_diameter_lower_bound(graph) - 1e-9
+
+    def test_universal_lower_bound(self, small_graphs):
+        """Corollary 1.6: lambda_2 >= 4/n^2."""
+        for graph in small_graphs:
+            assert algebraic_connectivity(graph) >= lambda2_universal_lower_bound(
+                graph
+            ) - 1e-12
+
+    def test_path_close_to_universal(self):
+        """Long paths have lambda_2 = Theta(1/n^2), same order as the bound."""
+        graph = path_graph(30)
+        ratio = algebraic_connectivity(graph) / lambda2_universal_lower_bound(graph)
+        assert 1.0 <= ratio <= 10.0
+
+
+class TestCheegerBounds:
+    def test_bracket_shape(self):
+        lower, upper = cheeger_bounds(2.0, 4)
+        assert lower == pytest.approx(0.5)
+        assert upper == pytest.approx(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SpectralError):
+            cheeger_bounds(-1.0, 4)
+        with pytest.raises(SpectralError):
+            cheeger_bounds(1.0, 0)
+
+
+class TestInterlacing:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_holds_with_random_speeds(self, seed, torus9):
+        rng = np.random.default_rng(seed)
+        speeds = rng.uniform(1.0, 4.0, size=9)
+        report = interlacing_bounds(torus9, speeds)
+        assert report.holds
+        assert report.num_checked > 0
+
+    def test_uniform_speeds_equalities(self, ring8):
+        """With s_i = 1, mu_i = lambda_i: every inequality is tight or slack."""
+        report = interlacing_bounds(ring8, np.ones(8))
+        assert report.holds
+
+    def test_corollary_116(self, cube8):
+        rng = np.random.default_rng(7)
+        speeds = rng.uniform(1.0, 5.0, size=8)
+        low, mu2, high = corollary_116_bounds(cube8, speeds)
+        assert low - 1e-9 <= mu2 <= high + 1e-9
+        lambda2 = algebraic_connectivity(cube8)
+        assert low == pytest.approx(lambda2 / speeds.max())
+        assert high == pytest.approx(lambda2 / speeds.min())
+
+
+class TestRayleighBound:
+    def test_margin_nonnegative(self, small_graphs, rng):
+        """Lemma 1.14 on random zero-sum deviation vectors."""
+        for graph in small_graphs:
+            speeds = rng.uniform(1.0, 3.0, size=graph.num_vertices)
+            for _ in range(5):
+                e = rng.normal(size=graph.num_vertices)
+                e -= e.mean()
+                margin = rayleigh_lower_bound_check(graph, speeds, e)
+                assert margin >= -1e-8
+
+    def test_rejects_nonzero_sum(self, ring8):
+        with pytest.raises(SpectralError):
+            rayleigh_lower_bound_check(ring8, np.ones(8), np.ones(8))
+
+    def test_tight_for_fiedler_direction(self, ring8):
+        """Equality holds when e is the mu_2 eigenvector (uniform speeds)."""
+        from repro.spectral.eigen import fiedler_vector
+
+        vec = fiedler_vector(ring8)
+        margin = rayleigh_lower_bound_check(ring8, np.ones(8), vec)
+        assert margin == pytest.approx(0.0, abs=1e-8)

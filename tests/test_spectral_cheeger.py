@@ -1,0 +1,72 @@
+"""Tests for repro.spectral.cheeger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.spectral.cheeger import (
+    EXACT_CUTOFF,
+    isoperimetric_number_exact,
+    isoperimetric_number_sweep,
+)
+from repro.spectral.eigen import algebraic_connectivity
+
+
+class TestExact:
+    def test_cycle(self):
+        """i(C_n) = 2 / floor(n/2): cut an arc of half the nodes."""
+        assert isoperimetric_number_exact(cycle_graph(8)) == pytest.approx(0.5)
+        assert isoperimetric_number_exact(cycle_graph(6)) == pytest.approx(2.0 / 3.0)
+
+    def test_complete(self):
+        """i(K_n) = ceil(n/2): each subset vertex connects to all outside."""
+        assert isoperimetric_number_exact(complete_graph(6)) == pytest.approx(3.0)
+        assert isoperimetric_number_exact(complete_graph(5)) == pytest.approx(3.0)
+
+    def test_star(self):
+        """i(S_n) = 1: take the leaves (without the center)."""
+        assert isoperimetric_number_exact(star_graph(7)) == pytest.approx(1.0)
+
+    def test_path(self):
+        """i(P_n) = 1/floor(n/2): cut at the middle."""
+        assert isoperimetric_number_exact(path_graph(6)) == pytest.approx(1.0 / 3.0)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(SpectralError):
+            isoperimetric_number_exact(cycle_graph(EXACT_CUTOFF + 2))
+
+
+class TestSweep:
+    def test_upper_bounds_exact(self):
+        for graph in [cycle_graph(8), complete_graph(8), star_graph(8), torus_graph(3)]:
+            exact = isoperimetric_number_exact(graph)
+            sweep = isoperimetric_number_sweep(graph)
+            assert sweep >= exact - 1e-9
+
+    def test_sweep_exact_on_cycle(self):
+        """The Fiedler sweep finds the optimal arc cut on cycles."""
+        assert isoperimetric_number_sweep(cycle_graph(10)) == pytest.approx(
+            isoperimetric_number_exact(cycle_graph(10))
+        )
+
+    def test_works_on_larger_graph(self):
+        value = isoperimetric_number_sweep(torus_graph(6))
+        assert value > 0
+
+
+class TestCheegerSandwich:
+    def test_lemma_110(self):
+        """i^2/(2 Delta) <= lambda_2 <= 2 i on exactly solvable graphs."""
+        for graph in [cycle_graph(8), complete_graph(7), star_graph(9), path_graph(7)]:
+            i_value = isoperimetric_number_exact(graph)
+            lambda2 = algebraic_connectivity(graph)
+            assert i_value**2 / (2.0 * graph.max_degree) <= lambda2 + 1e-9
+            assert lambda2 <= 2.0 * i_value + 1e-9

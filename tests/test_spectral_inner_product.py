@@ -1,0 +1,116 @@
+"""Tests for repro.spectral.inner_product (Definition 1.11, Lemma 1.12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpeedError
+from repro.spectral.inner_product import (
+    project_out_speed_component,
+    s_dot,
+    s_norm,
+    s_orthogonal,
+)
+
+
+class TestSDot:
+    def test_uniform_speeds_is_standard_dot(self, rng):
+        x = rng.normal(size=6)
+        y = rng.normal(size=6)
+        assert s_dot(x, y, np.ones(6)) == pytest.approx(float(x @ y))
+
+    def test_explicit_value(self):
+        x = np.array([2.0, 4.0])
+        y = np.array([1.0, 1.0])
+        speeds = np.array([2.0, 4.0])
+        assert s_dot(x, y, speeds) == pytest.approx(2.0 / 2.0 + 4.0 / 4.0)
+
+    def test_symmetry(self, rng):
+        """Lemma 1.12 (1)."""
+        x, y = rng.normal(size=5), rng.normal(size=5)
+        speeds = rng.uniform(1.0, 3.0, size=5)
+        assert s_dot(x, y, speeds) == pytest.approx(s_dot(y, x, speeds))
+
+    def test_linearity(self, rng):
+        """Lemma 1.12 (2)."""
+        x1, x2, y = rng.normal(size=5), rng.normal(size=5), rng.normal(size=5)
+        speeds = rng.uniform(1.0, 3.0, size=5)
+        a, b = 2.5, -1.5
+        assert s_dot(a * x1 + b * x2, y, speeds) == pytest.approx(
+            a * s_dot(x1, y, speeds) + b * s_dot(x2, y, speeds)
+        )
+
+    def test_positive_definite(self, rng):
+        """Lemma 1.12 (3)."""
+        speeds = rng.uniform(1.0, 3.0, size=5)
+        x = rng.normal(size=5)
+        assert s_dot(x, x, speeds) > 0
+        assert s_dot(np.zeros(5), np.zeros(5), speeds) == 0.0
+
+    def test_cauchy_schwarz(self, rng):
+        for _ in range(20):
+            x, y = rng.normal(size=6), rng.normal(size=6)
+            speeds = rng.uniform(1.0, 4.0, size=6)
+            lhs = s_dot(x, y, speeds) ** 2
+            rhs = s_dot(x, x, speeds) * s_dot(y, y, speeds)
+            assert lhs <= rhs + 1e-9
+
+    def test_non_positive_speeds_rejected(self):
+        with pytest.raises(SpeedError):
+            s_dot([1.0], [1.0], [0.0])
+
+
+class TestSNorm:
+    def test_norm_squared_is_self_dot(self, rng):
+        x = rng.normal(size=5)
+        speeds = rng.uniform(1.0, 2.0, size=5)
+        assert s_norm(x, speeds) ** 2 == pytest.approx(s_dot(x, x, speeds))
+
+    def test_zero_vector(self):
+        assert s_norm(np.zeros(4), np.ones(4)) == 0.0
+
+
+class TestSOrthogonal:
+    def test_detects_orthogonality(self):
+        speeds = np.array([1.0, 2.0])
+        # <x, y>_S = x1 y1 / 1 + x2 y2 / 2 = 0 for x=(1, 2), y=(1, -1).
+        assert s_orthogonal([1.0, 2.0], [1.0, -1.0], speeds)
+
+    def test_detects_non_orthogonality(self):
+        assert not s_orthogonal([1.0, 0.0], [1.0, 0.0], [1.0, 1.0])
+
+    def test_deviation_orthogonal_to_speeds(self, rng):
+        """e sums to zero <=> <e, s>_S = 0 (used by Lemma 3.10's proof)."""
+        speeds = rng.uniform(1.0, 3.0, size=7)
+        e = rng.normal(size=7)
+        e -= e.mean()  # now sums to zero
+        assert s_orthogonal(e, speeds, speeds)
+
+
+class TestProjection:
+    def test_result_sums_to_zero(self, rng):
+        speeds = rng.uniform(1.0, 3.0, size=6)
+        x = rng.normal(size=6) * 10
+        projected = project_out_speed_component(x, speeds)
+        assert float(projected.sum()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_result_s_orthogonal_to_speeds(self, rng):
+        speeds = rng.uniform(1.0, 3.0, size=6)
+        projected = project_out_speed_component(rng.normal(size=6), speeds)
+        assert s_orthogonal(projected, speeds, speeds)
+
+    def test_idempotent(self, rng):
+        speeds = rng.uniform(1.0, 3.0, size=6)
+        once = project_out_speed_component(rng.normal(size=6), speeds)
+        twice = project_out_speed_component(once, speeds)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_matches_deviation_structure(self, rng):
+        """Projecting a task vector yields exactly e = w - (W/S) s."""
+        speeds = rng.uniform(1.0, 3.0, size=6)
+        w = rng.integers(0, 50, size=6).astype(float)
+        expected = w - w.sum() / speeds.sum() * speeds
+        np.testing.assert_allclose(
+            project_out_speed_component(w, speeds), expected, atol=1e-12
+        )

@@ -1,0 +1,108 @@
+"""Tests for repro.spectral.laplacian."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpeedError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.spectral.laplacian import (
+    generalized_laplacian,
+    laplacian_matrix,
+    laplacian_quadratic_form,
+    laplacian_sparse,
+    symmetrized_laplacian,
+)
+
+
+class TestLaplacianMatrix:
+    def test_path3_explicit(self):
+        lap = laplacian_matrix(path_graph(3))
+        expected = np.array([[1, -1, 0], [-1, 2, -1], [0, -1, 1]], dtype=float)
+        np.testing.assert_array_equal(lap, expected)
+
+    def test_rows_sum_to_zero(self, small_graphs):
+        for graph in small_graphs:
+            lap = laplacian_matrix(graph)
+            np.testing.assert_allclose(lap.sum(axis=0), 0.0, atol=1e-12)
+            np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_symmetric_psd(self, small_graphs):
+        for graph in small_graphs:
+            lap = laplacian_matrix(graph)
+            np.testing.assert_array_equal(lap, lap.T)
+            eigenvalues = np.linalg.eigvalsh(lap)
+            assert eigenvalues.min() >= -1e-10
+
+    def test_diagonal_is_degree(self, ring8):
+        lap = laplacian_matrix(ring8)
+        np.testing.assert_array_equal(np.diag(lap), ring8.degrees)
+
+    def test_sparse_matches_dense(self, small_graphs):
+        for graph in small_graphs:
+            dense = laplacian_matrix(graph)
+            sparse = laplacian_sparse(graph).toarray()
+            np.testing.assert_allclose(sparse, dense)
+
+
+class TestQuadraticForm:
+    def test_matches_matrix_form(self, small_graphs, rng):
+        for graph in small_graphs:
+            x = rng.normal(size=graph.num_vertices)
+            direct = laplacian_quadratic_form(graph, x)
+            via_matrix = float(x @ laplacian_matrix(graph) @ x)
+            assert direct == pytest.approx(via_matrix, rel=1e-10, abs=1e-10)
+
+    def test_constant_vector_zero(self, ring8):
+        assert laplacian_quadratic_form(ring8, np.ones(8)) == 0.0
+
+    def test_edgeless_graph(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(3, [])
+        assert laplacian_quadratic_form(graph, [1.0, 2.0, 3.0]) == 0.0
+
+
+class TestGeneralizedLaplacian:
+    def test_speed_vector_in_kernel(self, small_graphs, rng):
+        """Lemma 1.13 (1): L S^{-1} s = 0."""
+        for graph in small_graphs:
+            speeds = rng.uniform(1.0, 3.0, size=graph.num_vertices)
+            gen = generalized_laplacian(graph, speeds)
+            np.testing.assert_allclose(gen @ speeds, 0.0, atol=1e-9)
+
+    def test_uniform_speeds_reduce_to_laplacian(self, ring8):
+        gen = generalized_laplacian(ring8, np.ones(8))
+        np.testing.assert_allclose(gen, laplacian_matrix(ring8))
+
+    def test_not_symmetric_with_speeds(self, star6):
+        speeds = np.array([1.0, 2.0, 1.0, 1.0, 1.0, 3.0])
+        gen = generalized_laplacian(star6, speeds)
+        assert not np.allclose(gen, gen.T)
+
+    def test_non_positive_speed_rejected(self, ring8):
+        with pytest.raises(SpeedError):
+            generalized_laplacian(ring8, np.zeros(8))
+
+
+class TestSymmetrizedLaplacian:
+    def test_symmetric(self, torus9, rng):
+        speeds = rng.uniform(1.0, 4.0, size=9)
+        sym = symmetrized_laplacian(torus9, speeds)
+        np.testing.assert_allclose(sym, sym.T)
+
+    def test_same_spectrum_as_generalized(self, cube8, rng):
+        """Lemma 1.13: S^{-1/2} L S^{-1/2} is similar to L S^{-1}."""
+        speeds = rng.uniform(1.0, 4.0, size=8)
+        sym_eigs = np.sort(np.linalg.eigvalsh(symmetrized_laplacian(cube8, speeds)))
+        gen_eigs = np.sort(
+            np.real(np.linalg.eigvals(generalized_laplacian(cube8, speeds)))
+        )
+        np.testing.assert_allclose(sym_eigs, gen_eigs, atol=1e-8)
+
+    def test_psd(self, small_graphs, rng):
+        for graph in small_graphs:
+            speeds = rng.uniform(1.0, 2.0, size=graph.num_vertices)
+            eigenvalues = np.linalg.eigvalsh(symmetrized_laplacian(graph, speeds))
+            assert eigenvalues.min() >= -1e-10

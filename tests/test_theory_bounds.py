@@ -1,0 +1,134 @@
+"""Tests for repro.theory.bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.generators import cycle_graph, torus_graph
+from repro.theory.bounds import (
+    GraphQuantities,
+    delta_from_epsilon,
+    epsilon_from_delta,
+    graph_quantities,
+    observation_328_factor,
+    prior_work_exact_bound,
+    theorem11_m_threshold,
+    theorem11_round_bound,
+    theorem12_round_bound,
+    theorem13_round_bound,
+    theorem13_weight_threshold,
+)
+
+
+@pytest.fixture
+def ring_quantities():
+    return graph_quantities(cycle_graph(8))
+
+
+class TestGraphQuantities:
+    def test_ring(self, ring_quantities):
+        assert ring_quantities.n == 8
+        assert ring_quantities.max_degree == 2
+        assert ring_quantities.lambda2 == pytest.approx(
+            2.0 - 2.0 * math.cos(2.0 * math.pi / 8)
+        )
+        assert ring_quantities.diameter is None
+
+    def test_with_diameter(self):
+        quantities = graph_quantities(torus_graph(3), with_diameter=True)
+        assert quantities.diameter == 2
+
+
+class TestTheorem11:
+    def test_formula(self, ring_quantities):
+        """bound = 2 * 2 gamma ln(m/n), gamma = 32 Delta s_max^2/lambda_2."""
+        m = 800
+        gamma = 32 * 2 * 1.0 / ring_quantities.lambda2
+        expected = 4.0 * gamma * math.log(m / 8)
+        assert theorem11_round_bound(ring_quantities, m, 1.0) == pytest.approx(expected)
+
+    def test_log_floor(self, ring_quantities):
+        """For m close to n the log term floors at 1."""
+        bound = theorem11_round_bound(ring_quantities, 8, 1.0)
+        gamma = 32 * 2 / ring_quantities.lambda2
+        assert bound == pytest.approx(4.0 * gamma)
+
+    def test_speed_scaling(self, ring_quantities):
+        slow = theorem11_round_bound(ring_quantities, 800, 1.0)
+        fast = theorem11_round_bound(ring_quantities, 800, 2.0)
+        assert fast == pytest.approx(4.0 * slow)
+
+    def test_m_threshold(self):
+        """m >= 8 delta s_max S n^2 (Lemma 3.17)."""
+        assert theorem11_m_threshold(4, 4.0, 1.0, 2.0) == pytest.approx(
+            8 * 2 * 1 * 4 * 16
+        )
+
+    def test_m_threshold_delta_validated(self):
+        with pytest.raises(ValidationError):
+            theorem11_m_threshold(4, 4.0, 1.0, 1.0)
+
+
+class TestEpsilonDelta:
+    def test_roundtrip(self):
+        for delta in [1.5, 2.0, 5.0]:
+            assert delta_from_epsilon(epsilon_from_delta(delta)) == pytest.approx(delta)
+
+    def test_known_value(self):
+        assert epsilon_from_delta(2.0) == pytest.approx(2.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            epsilon_from_delta(1.0)
+        with pytest.raises(ValidationError):
+            delta_from_epsilon(1.0)
+
+
+class TestTheorem12:
+    def test_formula(self, ring_quantities):
+        """607 Delta^2 s_max^4 / eps^2 * n / lambda_2."""
+        expected = 607.0 * 4 * 1.0 * 8 / ring_quantities.lambda2
+        assert theorem12_round_bound(ring_quantities, 1.0) == pytest.approx(expected)
+
+    def test_granularity_quadratic(self, ring_quantities):
+        base = theorem12_round_bound(ring_quantities, 1.0, 1.0)
+        fine = theorem12_round_bound(ring_quantities, 1.0, 0.5)
+        assert fine == pytest.approx(4.0 * base)
+
+    def test_granularity_validated(self, ring_quantities):
+        with pytest.raises(ValidationError):
+            theorem12_round_bound(ring_quantities, 1.0, 1.5)
+
+
+class TestTheorem13:
+    def test_smin_scaling(self, ring_quantities):
+        base = theorem13_round_bound(ring_quantities, 800, 2.0, 1.0)
+        # Larger s_min shrinks the bound linearly.
+        faster = theorem13_round_bound(ring_quantities, 800, 2.0, 2.0)
+        assert faster == pytest.approx(base / 2.0)
+
+    def test_weight_threshold(self):
+        """W > 8 delta (s_max/s_min) S n^2."""
+        assert theorem13_weight_threshold(4, 4.0, 2.0, 1.0, 2.0) == pytest.approx(
+            8 * 2 * 2 * 4 * 16
+        )
+
+
+class TestObservation328:
+    def test_factor(self):
+        quantities = graph_quantities(cycle_graph(8), with_diameter=True)
+        assert observation_328_factor(quantities) == pytest.approx(2 * 4)
+
+    def test_requires_diameter(self, ring_quantities):
+        with pytest.raises(ValidationError):
+            observation_328_factor(ring_quantities)
+
+    def test_prior_bound_larger(self):
+        quantities = graph_quantities(cycle_graph(8), with_diameter=True)
+        ours = theorem12_round_bound(quantities, 1.0)
+        prior = prior_work_exact_bound(quantities, 1.0)
+        assert prior == pytest.approx(ours * 8)
+        assert prior > ours

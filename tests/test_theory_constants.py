@@ -1,0 +1,63 @@
+"""Tests for repro.theory.constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.theory.constants import (
+    PSI_C_FACTOR,
+    gamma_factor,
+    psi_critical,
+    psi_critical_weighted,
+)
+
+
+class TestGamma:
+    def test_formula(self):
+        """gamma = 32 Delta s_max^2 / lambda_2."""
+        assert gamma_factor(4, 2.0, 1.0) == pytest.approx(64.0)
+        assert gamma_factor(4, 2.0, 3.0) == pytest.approx(64.0 * 9.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gamma_factor(0, 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            gamma_factor(2, -1.0, 1.0)
+
+
+class TestPsiCritical:
+    def test_formula(self):
+        """psi_c = 16 n Delta s_max / lambda_2 (Theorem 1.1)."""
+        assert psi_critical(10, 4, 2.0, 1.0) == pytest.approx(16 * 10 * 4 / 2.0)
+
+    def test_default_factor_is_16(self):
+        assert PSI_C_FACTOR == 16.0
+
+    def test_factor_override(self):
+        """The Definition 3.12 variant (factor 8) is half the default."""
+        full = psi_critical(10, 4, 2.0, 1.0)
+        half = psi_critical(10, 4, 2.0, 1.0, factor=8.0)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_scales_with_smax(self):
+        assert psi_critical(10, 4, 2.0, 3.0) == pytest.approx(
+            3.0 * psi_critical(10, 4, 2.0, 1.0)
+        )
+
+
+class TestPsiCriticalWeighted:
+    def test_formula(self):
+        """psi_c = 16 n Delta / lambda_2 * s_max / s_min^2 (Theorem 1.3)."""
+        value = psi_critical_weighted(10, 4, 2.0, 3.0, 1.0)
+        assert value == pytest.approx(16 * 10 * 4 / 2.0 * 3.0)
+
+    def test_smin_dependence(self):
+        base = psi_critical_weighted(10, 4, 2.0, 3.0, 1.0)
+        halved = psi_critical_weighted(10, 4, 2.0, 3.0, 2.0)
+        assert halved == pytest.approx(base / 4.0)
+
+    def test_reduces_to_uniform_for_smin_one(self):
+        assert psi_critical_weighted(10, 4, 2.0, 3.0, 1.0) == pytest.approx(
+            psi_critical(10, 4, 2.0, 3.0)
+        )

@@ -1,0 +1,60 @@
+"""Tests for Lemma 4.3 (weighted variance bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.model.state import UniformState, WeightedState
+from repro.theory.lemmas import lemma_43_variance_check
+from repro.utils.rng import make_rng
+
+
+class TestLemma43:
+    def test_holds_on_random_weighted_states(self):
+        graph = cycle_graph(8)
+        rng = make_rng(17)
+        for _ in range(30):
+            m = int(rng.integers(10, 200))
+            weights = rng.uniform(0.05, 1.0, size=m)
+            locations = rng.integers(0, 8, size=m)
+            speeds = rng.uniform(1.0, 3.0, size=8)
+            state = WeightedState(locations, weights, speeds)
+            check = lemma_43_variance_check(state, graph)
+            assert check.holds, check.detail
+
+    def test_holds_on_uniform_states(self):
+        """w_l = 1 satisfies w^2 <= w with equality; bound still holds."""
+        graph = grid_graph(3)
+        rng = make_rng(23)
+        for _ in range(30):
+            counts = rng.integers(0, 60, size=9)
+            speeds = rng.uniform(1.0, 2.0, size=9)
+            state = UniformState(counts, speeds)
+            check = lemma_43_variance_check(state, graph)
+            assert check.holds, check.detail
+
+    def test_zero_at_equilibrium(self):
+        """No flows => no variance; both sides vanish."""
+        graph = cycle_graph(6)
+        state = UniformState(np.full(6, 10), np.ones(6))
+        check = lemma_43_variance_check(state, graph)
+        assert check.holds
+        assert check.margin == pytest.approx(0.0, abs=1e-12)
+
+    def test_light_tasks_gain_margin(self):
+        """w^2 << w for light tasks: the bound is looser, margin bigger."""
+        graph = cycle_graph(6)
+        speeds = np.ones(6)
+        heavy = WeightedState(
+            np.zeros(60, dtype=np.int64), np.full(60, 1.0), speeds
+        )
+        light = WeightedState(
+            np.zeros(600, dtype=np.int64), np.full(600, 0.1), speeds
+        )
+        # Same total weight and loads -> same flows (RHS), but the light
+        # system's variance (LHS) is ~10x smaller.
+        heavy_check = lemma_43_variance_check(heavy, graph)
+        light_check = lemma_43_variance_check(light, graph)
+        assert light_check.margin > heavy_check.margin

@@ -1,0 +1,128 @@
+"""Tests for repro.theory.lemmas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph
+from repro.model.speeds import granular_speeds, random_integer_speeds
+from repro.model.state import UniformState
+from repro.theory.lemmas import (
+    lemma_310_drop_lower_bound,
+    lemma_311_recursion,
+    lemma_321_check,
+    lemma_322_drop_lower_bound,
+    lemma_323_check,
+    observation_316_check,
+    observation_320_identity_check,
+)
+
+
+def random_state(rng, n=9, max_count=50, s_max=3.0):
+    counts = rng.integers(0, max_count, size=n)
+    speeds = rng.uniform(1.0, s_max, size=n)
+    return UniformState(counts, speeds)
+
+
+class TestObservation316:
+    def test_holds_on_random_states(self, rng):
+        for _ in range(40):
+            check = observation_316_check(random_state(rng))
+            assert check.holds, check.detail
+
+    def test_holds_at_balance(self):
+        state = UniformState(np.full(4, 5), np.ones(4))
+        assert observation_316_check(state).holds
+
+
+class TestObservation320:
+    def test_identity_on_random_states(self, rng):
+        for _ in range(40):
+            check = observation_320_identity_check(random_state(rng))
+            assert check.holds, check.detail
+
+    def test_identity_with_extreme_speeds(self, rng):
+        counts = rng.integers(0, 100, size=5)
+        speeds = np.array([1.0, 1.0, 10.0, 1.0, 5.0])
+        check = observation_320_identity_check(UniformState(counts, speeds))
+        assert check.holds
+
+
+class TestLemma310Bound:
+    def test_value(self):
+        # lambda2/(16 Delta s^2) Psi - n/(4 s)
+        value = lemma_310_drop_lower_bound(8, 2, 0.5, 1.0, 320.0)
+        assert value == pytest.approx(0.5 / 32.0 * 320.0 - 2.0)
+
+    def test_negative_for_small_potential(self):
+        assert lemma_310_drop_lower_bound(8, 2, 0.5, 1.0, 0.0) < 0
+
+
+class TestLemma311:
+    def test_recursion_value(self):
+        # (1 - 2/gamma) prev + n/(4 smax), 1/gamma = lambda2/(32 Delta s^2)
+        value = lemma_311_recursion(100.0, 2, 0.5, 1.0, 8)
+        inverse_gamma = 0.5 / 64.0
+        assert value == pytest.approx((1 - 2 * inverse_gamma) * 100.0 + 2.0)
+
+    def test_fixed_point_is_stable(self):
+        """Iterating the recursion converges to n/(4 s_max) * gamma/2."""
+        value = 1e6
+        for _ in range(20000):
+            value = lemma_311_recursion(value, 2, 0.5, 1.0, 8)
+        inverse_gamma = 0.5 / 64.0
+        fixed_point = 2.0 / (2 * inverse_gamma)
+        assert value == pytest.approx(fixed_point, rel=1e-6)
+
+
+class TestLemma321:
+    def test_integer_speeds(self, rng):
+        """With integer speeds (eps = 1) strict edges have extra slack."""
+        graph = grid_graph(3)
+        for _ in range(20):
+            speeds = random_integer_speeds(9, 3, seed=rng)
+            counts = rng.integers(0, 50, size=9)
+            state = UniformState(counts, speeds)
+            check = lemma_321_check(state, graph, granularity=1.0)
+            assert check.holds, check.detail
+
+    def test_granular_speeds(self, rng):
+        graph = cycle_graph(8)
+        for _ in range(20):
+            speeds = granular_speeds(8, 3.0, 0.5, seed=rng)
+            counts = rng.integers(0, 50, size=8)
+            state = UniformState(counts, speeds)
+            check = lemma_321_check(state, graph, granularity=0.5)
+            assert check.holds, check.detail
+
+    def test_no_strict_edges(self):
+        graph = path_graph(2)
+        state = UniformState([1, 1], [1.0, 1.0])
+        check = lemma_321_check(state, graph, granularity=1.0)
+        assert check.holds
+        assert check.margin == float("inf")
+
+
+class TestLemma322Bound:
+    def test_value(self):
+        # eps^2 / (8 Delta s^3)
+        assert lemma_322_drop_lower_bound(2, 2.0, 1.0) == pytest.approx(
+            1.0 / (8 * 2 * 8.0)
+        )
+
+    def test_granularity_quadratic(self):
+        full = lemma_322_drop_lower_bound(4, 1.0, 1.0)
+        half = lemma_322_drop_lower_bound(4, 1.0, 0.5)
+        assert half == pytest.approx(full / 4.0)
+
+
+class TestLemma323:
+    def test_holds_on_random_states(self, rng):
+        for _ in range(40):
+            check = lemma_323_check(random_state(rng))
+            assert check.holds, check.detail
+
+    def test_holds_at_balance(self):
+        state = UniformState(np.full(6, 7), np.ones(6))
+        assert lemma_323_check(state).holds

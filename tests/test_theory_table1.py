@@ -1,0 +1,44 @@
+"""Tests for repro.theory.table1."""
+
+from __future__ import annotations
+
+from repro.theory.table1 import TABLE1_ROWS, table1_render
+
+
+class TestTable1Rows:
+    def test_all_families_present(self):
+        families = {row.family for row in TABLE1_ROWS}
+        assert families == {"complete", "ring", "path", "mesh", "torus", "hypercube"}
+
+    def test_this_paper_exponents_below_prior(self):
+        """Table 1's whole point: our columns beat [6]'s."""
+        for row in TABLE1_ROWS:
+            assert row.approx_this_exponent <= row.approx_prior_exponent
+            assert row.exact_this_exponent <= row.exact_prior_exponent
+
+    def test_exact_exponents_at_least_approx(self):
+        """Reaching the exact NE is never easier than the approximate one."""
+        for row in TABLE1_ROWS:
+            assert row.exact_this_exponent >= row.approx_this_exponent
+
+    def test_ring_and_path_identical(self):
+        ring = next(r for r in TABLE1_ROWS if r.family == "ring")
+        path = next(r for r in TABLE1_ROWS if r.family == "path")
+        assert ring.approx_this == path.approx_this
+        assert ring.exact_prior == path.exact_prior
+
+    def test_paper_strings_as_printed(self):
+        complete = next(r for r in TABLE1_ROWS if r.family == "complete")
+        assert complete.approx_this == "ln(m/n)"
+        assert complete.exact_prior == "n^6"
+        cube = next(r for r in TABLE1_ROWS if r.family == "hypercube")
+        assert cube.exact_this == "n ln^2(n)"
+
+
+class TestRender:
+    def test_render_contains_all_rows(self):
+        text = table1_render()
+        for row in TABLE1_ROWS:
+            assert row.family in text
+        assert "Table 1" in text
+        assert "[6]" in text

@@ -1,0 +1,91 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            make_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValidationError):
+            make_rng("seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(make_rng(np.int64(7)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(7, 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.allclose(a, b)
+
+    def test_reproducible(self):
+        first = [g.random(3) for g in spawn_rngs(9, 3)]
+        second = [g.random(3) for g in spawn_rngs(9, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_from_generator(self):
+        generator = np.random.default_rng(3)
+        children = spawn_rngs(generator, 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "a", 1) == derive_seed(5, "a", 1)
+
+    def test_component_sensitivity(self):
+        assert derive_seed(5, "a", 1) != derive_seed(5, "a", 2)
+        assert derive_seed(5, "a", 1) != derive_seed(5, "b", 1)
+        assert derive_seed(5, "a", 1) != derive_seed(6, "a", 1)
+
+    def test_non_negative(self):
+        for k in range(20):
+            assert derive_seed(k, "x", k) >= 0
+
+    def test_bad_component_type(self):
+        with pytest.raises(ValidationError):
+            derive_seed(1, 2.5)  # type: ignore[arg-type]
+
+    def test_usable_as_seed(self):
+        seed = derive_seed(11, "experiment", 3)
+        generator = make_rng(seed)
+        assert 0.0 <= generator.random() < 1.0

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.serialization import (
+    from_json,
+    read_json,
+    rows_to_csv_text,
+    to_json,
+    write_csv,
+    write_json,
+)
+
+
+class TestToJson:
+    def test_plain_types_roundtrip(self):
+        data = {"a": 1, "b": [1.5, "x"], "c": None, "d": True}
+        assert from_json(to_json(data)) == data
+
+    def test_numpy_scalars(self):
+        data = {"i": np.int64(3), "f": np.float64(2.5), "b": np.bool_(True)}
+        parsed = from_json(to_json(data))
+        assert parsed == {"i": 3, "f": 2.5, "b": True}
+
+    def test_numpy_array(self):
+        parsed = from_json(to_json({"v": np.arange(3)}))
+        assert parsed["v"] == [0, 1, 2]
+
+    def test_nested_structures(self):
+        data = {"outer": {"inner": [np.float64(1.0), {"deep": np.int32(2)}]}}
+        parsed = from_json(to_json(data))
+        assert parsed["outer"]["inner"][1]["deep"] == 2
+
+    def test_tuple_becomes_list(self):
+        assert from_json(to_json((1, 2))) == [1, 2]
+
+    def test_unserializable_raises(self):
+        with pytest.raises(ValidationError):
+            to_json({"bad": object()})
+
+
+class TestFileIo:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(path, {"x": [1, 2]})
+        assert read_json(path) == {"x": [1, 2]}
+
+    def test_csv_with_headers(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, [[1, "a"], [2, "b"]], headers=["num", "letter"])
+        text = path.read_text()
+        assert text.splitlines()[0] == "num,letter"
+        assert "1,a" in text
+
+    def test_csv_text_no_headers(self):
+        text = rows_to_csv_text([[np.int64(5), 2.5]])
+        assert text.strip() == "5,2.5"

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.tables import Table, format_float, format_scientific
+
+
+class TestFormatFloat:
+    def test_integer_valued(self):
+        assert format_float(3.0) == "3"
+
+    def test_fractional(self):
+        assert format_float(3.14159, 3) == "3.142"
+
+    def test_nan_dash(self):
+        assert format_float(math.nan) == "-"
+
+    def test_none_dash(self):
+        assert format_float(None) == "-"  # type: ignore[arg-type]
+
+    def test_inf(self):
+        assert format_float(math.inf) == "inf"
+        assert format_float(-math.inf) == "-inf"
+
+
+class TestFormatScientific:
+    def test_basic(self):
+        assert format_scientific(12345.0, 2) == "1.23e+04"
+
+    def test_nan(self):
+        assert format_scientific(math.nan) == "-"
+
+
+class TestTable:
+    def test_render_contains_headers_and_cells(self):
+        table = Table(headers=["graph", "T"], title="demo")
+        table.add_row(["ring", 12])
+        text = table.render()
+        assert "demo" in text
+        assert "graph" in text
+        assert "ring" in text
+        assert "12" in text
+
+    def test_row_width_mismatch(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValidationError):
+            table.add_row([1])
+
+    def test_bool_rendering(self):
+        table = Table(headers=["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        text = table.render()
+        assert "yes" in text
+        assert "no" in text
+
+    def test_none_rendering(self):
+        table = Table(headers=["value"])
+        table.add_row([None])
+        assert "-" in table.render()
+
+    def test_markdown_shape(self):
+        table = Table(headers=["a", "b"], title="t")
+        table.add_row([1, 2])
+        markdown = table.render_markdown()
+        lines = markdown.splitlines()
+        assert lines[0] == "**t**"
+        assert "| a | b |" in markdown
+        assert "| --- | --- |" in markdown
+        assert "| 1 | 2 |" in markdown
+
+    def test_column_alignment(self):
+        table = Table(headers=["name"])
+        table.add_row(["a-very-long-cell"])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line same width
+
+    def test_str_matches_render(self):
+        table = Table(headers=["x"])
+        table.add_row([1])
+        assert str(table) == table.render()
