@@ -1,0 +1,116 @@
+"""Bench: batched ensemble engine throughput vs the sequential baseline.
+
+Not a paper artifact — the perf trajectory of the tentpole refactor. The
+batched engine advances all replicas with one vectorized kernel call per
+round, so replica-rounds/sec should grow near-linearly with the ensemble
+size ``R`` while the sequential baseline stays flat. The acceptance
+check pins the ensemble-measurement speedup at 100 repetitions on the
+``torus36`` quick cell to at least 5x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import measure_convergence_rounds
+from repro.core.protocols import SelfishUniformProtocol
+from repro.core.stopping import PotentialThresholdStop
+from repro.model.batch import BatchUniformState
+from repro.model.placement import adversarial_placement, random_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+from repro.spectral.eigen import algebraic_connectivity
+from repro.theory.constants import psi_critical
+from repro.utils.rng import spawn_rngs
+
+REPLICA_COUNTS = [1, 32, 256]
+
+
+def _heavy_ensemble(graph, replicas, seed=7):
+    n = graph.num_vertices
+    rngs = spawn_rngs(seed, replicas)
+    counts = np.stack([random_placement(n, 8 * n * n, rng) for rng in rngs])
+    return BatchUniformState(counts, uniform_speeds(n)), rngs
+
+
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_batched_round_cost(benchmark, torus36, replicas):
+    """One batched round over R replicas (m = 8 n^2 each) on torus36."""
+    batch, rngs = _heavy_ensemble(torus36, replicas)
+    protocol = SelfishUniformProtocol()
+    benchmark(lambda: protocol.execute_round_batch(batch, torus36, rngs, None))
+    benchmark.extra_info["replicas"] = replicas
+    benchmark.extra_info["replica_rounds_per_op"] = replicas
+
+
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_sequential_round_cost(benchmark, torus36, replicas):
+    """The same R replica-rounds through the scalar kernel, one at a time."""
+    n = torus36.num_vertices
+    rngs = spawn_rngs(7, replicas)
+    states = [
+        UniformState(random_placement(n, 8 * n * n, rng), uniform_speeds(n))
+        for rng in rngs
+    ]
+    protocol = SelfishUniformProtocol()
+
+    def run_all():
+        for state, rng in zip(states, rngs):
+            protocol.execute_round(state, torus36, rng)
+
+    benchmark(run_all)
+    benchmark.extra_info["replicas"] = replicas
+    benchmark.extra_info["replica_rounds_per_op"] = replicas
+
+
+def test_speedup_at_100_repetitions(torus36):
+    """Acceptance: >= 5x wall-clock at 100 repetitions on the quick cell.
+
+    Times the full ensemble measurement (Psi_0 <= 4 psi_c from an
+    adversarial start, as in the Table 1 quick cell) through both
+    engines with identical seeds.
+    """
+    n = torus36.num_vertices
+    m = 8 * n * n
+    speeds = uniform_speeds(n)
+    lambda2 = algebraic_connectivity(torus36)
+    threshold = 4.0 * psi_critical(n, torus36.max_degree, lambda2, 1.0)
+
+    def factory(rng):
+        return UniformState(adversarial_placement(speeds, m), speeds)
+
+    common = dict(
+        graph=torus36,
+        protocol=SelfishUniformProtocol(),
+        state_factory=factory,
+        stopping=PotentialThresholdStop(threshold, "psi0"),
+        repetitions=100,
+        max_rounds=20_000,
+        seed=42,
+    )
+
+    def timed(engine):
+        # Best of two runs per engine: a single wall-clock sample is at
+        # the mercy of noisy-neighbor CI runners.
+        best_seconds, measurement = float("inf"), None
+        for _ in range(2):
+            start = time.perf_counter()
+            measurement = measure_convergence_rounds(engine=engine, **common)
+            best_seconds = min(best_seconds, time.perf_counter() - start)
+        return measurement, best_seconds
+
+    batch, batch_seconds = timed("batch")
+    scalar, scalar_seconds = timed("scalar")
+
+    assert batch.all_converged and scalar.all_converged
+    # Identical seeds, identical migration law -> medians land together.
+    assert batch.median_rounds == pytest.approx(scalar.median_rounds, rel=0.25)
+
+    speedup = scalar_seconds / batch_seconds
+    assert speedup >= 5.0, (
+        f"batched engine only {speedup:.1f}x faster "
+        f"({batch_seconds:.2f}s vs {scalar_seconds:.2f}s)"
+    )

@@ -4,6 +4,30 @@ This is the measurement engine the experiments share: run a protocol from
 freshly generated initial states until a stopping rule fires, across
 ``repetitions`` independent seeds, and summarize the first-hitting
 rounds.
+
+Engines
+-------
+Two execution engines produce statistically identical measurements:
+
+* ``"batch"`` — stack all repetitions into one
+  :class:`~repro.model.batch.BatchUniformState` and advance them together
+  through :class:`~repro.core.batch.BatchSimulator`, one vectorized
+  kernel call per round. Available when the protocol has a batched
+  kernel (``supports_batch``) and the factory produces uniform states
+  over one shared speed vector.
+* ``"scalar"`` — the original one-repetition-at-a-time loop through
+  :class:`~repro.core.simulator.Simulator`; kept as the reference
+  implementation and as the fallback for weighted protocols.
+
+``"auto"`` (the default) picks the batch engine whenever the inputs
+qualify. Both engines derive repetition ``k``'s randomness from the same
+spawned child stream (state construction first, then migration draws),
+so each repetition's first-hitting time has the same distribution either
+way; sample paths differ because the kernels consume randomness
+differently (binomial chain vs. batched multinomial — the same law).
+The only regime where the laws diverge is probability clipping under an
+ablation-level ``alpha < 4 s_max``; ``"auto"`` therefore keeps such runs
+on the scalar reference (``"batch"`` can still be forced explicitly).
 """
 
 from __future__ import annotations
@@ -14,16 +38,21 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.statistics import SampleSummary, summarize
+from repro.core.batch import BatchSimulator
+from repro.core.flows import default_alpha
 from repro.core.protocols import Protocol
 from repro.core.simulator import Simulator
 from repro.core.stopping import StoppingRule
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
-from repro.model.state import LoadStateBase
+from repro.model.batch import BatchUniformState
+from repro.model.state import LoadStateBase, UniformState
 from repro.types import SeedLike
 from repro.utils.rng import spawn_rngs
 
 __all__ = ["ConvergenceMeasurement", "measure_convergence_rounds"]
+
+_ENGINES = ("auto", "batch", "scalar")
 
 
 @dataclass(frozen=True)
@@ -41,12 +70,16 @@ class ConvergenceMeasurement:
     summary:
         Statistics over the converged repetitions (``None`` if none
         converged).
+    engine:
+        Which engine produced the measurement (``"batch"`` or
+        ``"scalar"``).
     """
 
     rounds: np.ndarray
     num_repetitions: int
     num_converged: int
     summary: SampleSummary | None
+    engine: str = "scalar"
 
     @property
     def all_converged(self) -> bool:
@@ -68,6 +101,27 @@ class ConvergenceMeasurement:
         return self.summary.mean
 
 
+def _batch_stackable(protocol: Protocol, states: list[LoadStateBase]) -> bool:
+    """Whether the repetitions can be stacked through the batch engine."""
+    return bool(
+        getattr(protocol, "supports_batch", False)
+        and BatchUniformState.can_stack(states)
+    )
+
+
+def _same_law_as_scalar(protocol: Protocol, states: list[LoadStateBase]) -> bool:
+    """Whether batched and scalar kernels sample the identical law.
+
+    With ``alpha >= 4 s_max`` no probability clipping can occur and the
+    kernels are distribution-identical. Below that (ablation alphas) the
+    scalar kernel truncates the binomial chain slot by slot while the
+    batched kernel rescales the whole per-node distribution, so
+    ``engine="auto"`` stays on the scalar reference there.
+    """
+    s_max = float(states[0].speeds.max())
+    return protocol.resolve_alpha(states[0]) >= default_alpha(s_max) - 1e-12
+
+
 def measure_convergence_rounds(
     graph: Graph,
     protocol: Protocol,
@@ -77,6 +131,7 @@ def measure_convergence_rounds(
     max_rounds: int,
     seed: SeedLike = None,
     check_every: int = 1,
+    engine: str = "auto",
 ) -> ConvergenceMeasurement:
     """Measure first-hitting rounds of ``stopping`` over repetitions.
 
@@ -85,23 +140,61 @@ def measure_convergence_rounds(
     state_factory:
         Called once per repetition with that repetition's generator;
         must return a fresh initial state (it will be mutated).
+    engine:
+        ``"auto"`` (default) uses the vectorized batch engine when the
+        protocol and states qualify, else the scalar loop; ``"batch"``
+        and ``"scalar"`` force the respective path (``"batch"`` raises
+        when the inputs do not qualify).
     """
     if repetitions < 1:
         raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
+    if engine not in _ENGINES:
+        raise ValidationError(f"engine must be one of {_ENGINES}, got {engine!r}")
     generators = spawn_rngs(seed, repetitions)
-    hits: list[int] = []
-    for rng in generators:
-        state = state_factory(rng)
-        simulator = Simulator(graph, protocol, rng)
-        result = simulator.run(
-            state, stopping=stopping, max_rounds=max_rounds, check_every=check_every
+    states = [state_factory(rng) for rng in generators]
+
+    stackable = _batch_stackable(protocol, states)
+    if engine == "batch" and not stackable:
+        raise ValidationError(
+            "engine='batch' requires a batch-capable protocol and uniform "
+            "states sharing one speed vector; use engine='auto' to fall "
+            "back automatically"
         )
-        if result.converged and result.stop_round is not None:
-            hits.append(result.stop_round)
-    rounds = np.asarray(hits, dtype=np.int64)
+    use_batch = engine == "batch" or (
+        engine == "auto" and stackable and _same_law_as_scalar(protocol, states)
+    )
+
+    if use_batch:
+        batch = BatchUniformState.from_states(states)  # type: ignore[arg-type]
+        simulator = BatchSimulator(graph, protocol)
+        result = simulator.run(
+            batch,
+            stopping=stopping,
+            max_rounds=max_rounds,
+            check_every=check_every,
+            rngs=generators,
+        )
+        rounds = result.converged_rounds.astype(np.int64)
+        engine_used = "batch"
+    else:
+        hits: list[int] = []
+        for rng, state in zip(generators, states):
+            simulator = Simulator(graph, protocol, rng)
+            scalar_result = simulator.run(
+                state,
+                stopping=stopping,
+                max_rounds=max_rounds,
+                check_every=check_every,
+            )
+            if scalar_result.converged and scalar_result.stop_round is not None:
+                hits.append(scalar_result.stop_round)
+        rounds = np.asarray(hits, dtype=np.int64)
+        engine_used = "scalar"
+
     return ConvergenceMeasurement(
         rounds=rounds,
         num_repetitions=repetitions,
         num_converged=int(rounds.shape[0]),
         summary=summarize(rounds.astype(np.float64)) if rounds.shape[0] else None,
+        engine=engine_used,
     )

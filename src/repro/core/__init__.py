@@ -12,6 +12,8 @@
   reconstructed per-task-weight rule of [6] as a baseline.
 * :mod:`repro.core.simulator` — the round loop with stopping rules and
   trace recording.
+* :mod:`repro.core.batch` — the batched ensemble simulator advancing a
+  whole replica stack per vectorized round.
 * :mod:`repro.core.drops` — closed-form conditional expectations
   ``E[Psi_r(X_{t+1}) | X_t]`` used to verify the drop lemmas exactly.
 """
@@ -42,11 +44,17 @@ from repro.core.flows import (
 from repro.core.protocols import (
     Protocol,
     RoundSummary,
+    BatchRoundSummary,
     SelfishUniformProtocol,
     SelfishWeightedProtocol,
     PerTaskThresholdProtocol,
 )
 from repro.core.simulator import Simulator, SimulationResult, run_protocol
+from repro.core.batch import (
+    BatchSimulator,
+    BatchSimulationResult,
+    run_protocol_batch,
+)
 from repro.core.stopping import (
     StoppingRule,
     NashStop,
@@ -100,12 +108,16 @@ __all__ = [
     "flow_matrix",
     "Protocol",
     "RoundSummary",
+    "BatchRoundSummary",
     "SelfishUniformProtocol",
     "SelfishWeightedProtocol",
     "PerTaskThresholdProtocol",
     "Simulator",
     "SimulationResult",
     "run_protocol",
+    "BatchSimulator",
+    "BatchSimulationResult",
+    "run_protocol_batch",
     "StoppingRule",
     "NashStop",
     "EpsilonNashStop",

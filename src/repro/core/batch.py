@@ -1,0 +1,232 @@
+"""The batched ensemble simulator: R independent replicas per round loop.
+
+:class:`BatchSimulator` is the vectorized counterpart of
+:class:`repro.core.simulator.Simulator`. Instead of running repetitions
+one at a time, it advances a :class:`~repro.model.batch.BatchUniformState`
+replica stack with one batched kernel call per round, evaluates the
+stopping rule over the whole stack, records each replica's first-hitting
+round, and *retires* converged replicas from the active set so stragglers
+never pay for finished work.
+
+RNG stream derivation
+---------------------
+Replica randomness comes from child generators spawned off the
+simulator's seed with :func:`repro.utils.rng.spawn_rngs` (NumPy
+``SeedSequence.spawn``). Child ``r`` depends only on the root seed and
+its index — not on how many replicas run — so replica ``r`` is
+reproducible in isolation: the same seed replayed with a smaller or
+larger ensemble yields bit-identical trajectories for the shared prefix
+of replicas. Retired replicas stop consuming randomness, which cannot
+perturb the others because no stream is shared.
+
+Convergence-time convention (same as the scalar simulator): a replica's
+*stop round* is the number of rounds executed before the stopping
+condition first held for it; a replica already satisfying the condition
+stops at round 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.protocols import Protocol
+from repro.core.stopping import StoppingRule
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.model.batch import BatchUniformState
+from repro.types import IntArray, SeedLike
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_integer
+
+__all__ = ["BatchSimulationResult", "BatchSimulator", "run_protocol_batch"]
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Outcome of a batched ensemble run.
+
+    Attributes
+    ----------
+    final_state:
+        The replica stack when the run ended (the mutated object).
+        Retired replicas keep the state they had when they converged.
+    rounds_executed:
+        Number of batched rounds executed (the rounds of the slowest
+        still-active replica; retired replicas executed fewer).
+    converged:
+        ``(R,)`` boolean mask of replicas whose stopping rule fired
+        within the budget.
+    stop_rounds:
+        ``(R,)`` first-hitting round per replica; ``-1`` where the rule
+        never held.
+    stop_reason:
+        Human-readable description of why the run ended.
+    any_saturation:
+        ``(R,)`` whether any round clipped that replica's migration
+        probabilities (only possible with ablation-level ``alpha``).
+    """
+
+    final_state: BatchUniformState
+    rounds_executed: int
+    converged: np.ndarray
+    stop_rounds: IntArray
+    stop_reason: str
+    any_saturation: np.ndarray
+
+    @property
+    def num_replicas(self) -> int:
+        """Ensemble size ``R``."""
+        return int(self.stop_rounds.shape[0])
+
+    @property
+    def num_converged(self) -> int:
+        """How many replicas hit the target within the budget."""
+        return int(np.count_nonzero(self.converged))
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every replica reached the target."""
+        return self.num_converged == self.num_replicas
+
+    @property
+    def converged_rounds(self) -> IntArray:
+        """First-hitting rounds of the converged replicas (replica order)."""
+        return self.stop_rounds[self.converged]
+
+
+class BatchSimulator:
+    """Runs a batch-capable protocol on a replica stack until all stop.
+
+    Parameters
+    ----------
+    graph:
+        The processor network (shared by all replicas).
+    protocol:
+        A protocol whose class advertises ``supports_batch`` (currently
+        :class:`repro.core.protocols.SelfishUniformProtocol`).
+    seed:
+        Seed for the per-replica child streams (see module docstring).
+    """
+
+    def __init__(self, graph: Graph, protocol: Protocol, seed: SeedLike = None):
+        if not getattr(protocol, "supports_batch", False):
+            raise SimulationError(
+                f"protocol {protocol.name!r} has no batched kernel; use the "
+                "scalar Simulator instead"
+            )
+        self._graph = graph
+        self._protocol = protocol
+        self._seed = seed
+
+    @property
+    def graph(self) -> Graph:
+        """The processor network."""
+        return self._graph
+
+    @property
+    def protocol(self) -> Protocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    def run(
+        self,
+        batch: BatchUniformState,
+        stopping: StoppingRule | None = None,
+        max_rounds: int = 10_000,
+        check_every: int = 1,
+        rngs: Sequence[np.random.Generator] | None = None,
+    ) -> BatchSimulationResult:
+        """Run the protocol on the replica stack (mutated in place).
+
+        Parameters
+        ----------
+        batch:
+            Initial replica stack; will be mutated.
+        stopping:
+            Target condition, evaluated per replica; ``None`` runs every
+            replica for the full ``max_rounds``.
+        max_rounds:
+            Round budget per replica.
+        check_every:
+            Evaluate the stopping rule only every ``check_every`` rounds
+            (and at round 0), as in the scalar simulator.
+        rngs:
+            Optional pre-spawned per-replica generators (length ``R``).
+            The measurement pipeline passes the same children it used to
+            build the initial states; by default fresh children are
+            spawned from the simulator's seed.
+        """
+        max_rounds = check_integer(max_rounds, "max_rounds", minimum=0)
+        check_every = check_integer(check_every, "check_every", minimum=1)
+        if batch.num_nodes != self._graph.num_vertices:
+            raise SimulationError(
+                f"batch has {batch.num_nodes} nodes but graph "
+                f"{self._graph.name} has {self._graph.num_vertices} vertices"
+            )
+        num_replicas = batch.num_replicas
+        if rngs is None:
+            rngs = spawn_rngs(self._seed, num_replicas)
+        elif len(rngs) != num_replicas:
+            raise SimulationError(
+                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+            )
+
+        active = np.ones(num_replicas, dtype=bool)
+        stop_rounds = np.full(num_replicas, -1, dtype=np.int64)
+        any_saturation = np.zeros(num_replicas, dtype=bool)
+        rounds_executed = 0
+        for round_index in range(max_rounds + 1):
+            if stopping is not None and round_index % check_every == 0:
+                rows = np.flatnonzero(active)
+                if rows.size:
+                    hit = stopping.satisfied_batch(batch, self._graph, rows)
+                    newly_stopped = rows[hit]
+                    stop_rounds[newly_stopped] = round_index
+                    active[newly_stopped] = False
+            if stopping is not None and not np.any(active):
+                break
+            if round_index == max_rounds:
+                break
+            summary = self._protocol.execute_round_batch(
+                batch, self._graph, rngs, active
+            )
+            any_saturation |= summary.saturated
+            rounds_executed += 1
+
+        converged = stop_rounds >= 0
+        if stopping is None:
+            stop_reason = "fixed horizon completed"
+        elif bool(np.all(converged)):
+            stop_reason = f"stopping rule fired: {stopping.describe()}"
+        else:
+            stop_reason = (
+                f"round budget exhausted for "
+                f"{int(np.count_nonzero(~converged))}/{num_replicas} replicas"
+            )
+        return BatchSimulationResult(
+            final_state=batch,
+            rounds_executed=rounds_executed,
+            converged=converged,
+            stop_rounds=stop_rounds,
+            stop_reason=stop_reason,
+            any_saturation=any_saturation,
+        )
+
+
+def run_protocol_batch(
+    graph: Graph,
+    protocol: Protocol,
+    batch: BatchUniformState,
+    stopping: StoppingRule | None = None,
+    max_rounds: int = 10_000,
+    seed: SeedLike = None,
+    check_every: int = 1,
+) -> BatchSimulationResult:
+    """One-call convenience wrapper around :class:`BatchSimulator`."""
+    simulator = BatchSimulator(graph, protocol, seed)
+    return simulator.run(
+        batch, stopping=stopping, max_rounds=max_rounds, check_every=check_every
+    )

@@ -26,7 +26,9 @@ the *start* of the round (the protocol is concurrent).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -37,8 +39,12 @@ from repro.model.state import LoadStateBase, UniformState, WeightedState
 from repro.types import FloatArray, IntArray
 from repro.utils.validation import check_positive
 
+if TYPE_CHECKING:
+    from repro.model.batch import BatchUniformState
+
 __all__ = [
     "RoundSummary",
+    "BatchRoundSummary",
     "Protocol",
     "SelfishUniformProtocol",
     "SelfishWeightedProtocol",
@@ -69,13 +75,29 @@ class RoundSummary:
     saturated: bool
 
 
+@dataclass(frozen=True)
+class BatchRoundSummary:
+    """Outcome of one batched protocol round over a replica stack.
+
+    All arrays are aligned with the replica axis (length ``R``); inactive
+    replicas report zero movement.
+    """
+
+    tasks_moved: IntArray
+    weight_moved: FloatArray
+    saturated: np.ndarray
+
+
 class _GraphCache:
     """Per-graph precomputed arrays shared across rounds.
 
     ``csr_rows[k]`` is the source node of CSR slot ``k``; ``dij_csr[k]``
     is ``max(deg(i), deg(j))`` for that directed edge; ``nodes_by_slot``
     lists, for each neighbour position ``slot``, the nodes having at least
-    ``slot + 1`` neighbours.
+    ``slot + 1`` neighbours; ``slot_in_row[k]`` is the neighbour position
+    of CSR slot ``k`` within its source node's adjacency list (used by the
+    batched kernel to scatter per-slot probabilities into the padded
+    ``(n, Delta)`` layout).
     """
 
     def __init__(self, graph: Graph):
@@ -89,6 +111,10 @@ class _GraphCache:
         self.nodes_by_slot = [
             np.flatnonzero(degrees > slot) for slot in range(graph.max_degree)
         ]
+        self.slot_in_row = (
+            np.arange(self.csr_rows.shape[0], dtype=np.int64)
+            - graph.indptr[self.csr_rows]
+        )
 
 
 class Protocol:
@@ -107,7 +133,16 @@ class Protocol:
         if alpha is not None:
             alpha = check_positive(alpha, "alpha")
         self._alpha = alpha
-        self._cache: dict[int, _GraphCache] = {}
+        # Keyed by the graph object itself (weakly): keying by id(graph)
+        # is unsound because a garbage-collected graph's id can be reused
+        # by a new, structurally different graph, which would then be
+        # served the stale cache's dij/CSR arrays. ``_last`` is an
+        # identity fast path for the per-round lookup in single-graph
+        # simulation loops (a weak ref, so it cannot resurrect ids).
+        self._cache: "weakref.WeakKeyDictionary[Graph, _GraphCache]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._last: tuple[weakref.ref, _GraphCache] | None = None
 
     def resolve_alpha(self, state: LoadStateBase) -> float:
         """The alpha used for this state (explicit or ``4 s_max``)."""
@@ -116,14 +151,19 @@ class Protocol:
         return default_alpha(float(state.speeds.max()))
 
     def _graph_cache(self, graph: Graph) -> _GraphCache:
-        key = id(graph)
-        cache = self._cache.get(key)
+        last = self._last
+        if last is not None and last[0]() is graph:
+            return last[1]
+        cache = self._cache.get(graph)
         if cache is None:
             cache = _GraphCache(graph)
             # Keep at most a few graphs cached; experiments sweep sizes.
+            # (Dead graphs drop out automatically via the weak keys; this
+            # bounds memory when many graphs stay alive simultaneously.)
             if len(self._cache) > 8:
                 self._cache.clear()
-            self._cache[key] = cache
+            self._cache[graph] = cache
+        self._last = (weakref.ref(graph), cache)
         return cache
 
     def execute_round(
@@ -177,9 +217,22 @@ class SelfishUniformProtocol(Protocol):
     ``q_ij = p_ij / deg(i)``. We draw that multinomial via the binomial
     chain rule, vectorized over all nodes for each neighbour slot, which
     is exact and costs ``O(Delta)`` numpy calls per round.
+
+    The batched kernel (:meth:`execute_round_batch`) advances a whole
+    :class:`~repro.model.batch.BatchUniformState` replica stack per call:
+    the probability math vectorizes over ``replicas x nodes``, and each
+    replica's migrant counts are drawn with a single batched
+    ``Generator.multinomial`` call over its ``(n, Delta + 1)`` probability
+    matrix — the same multinomial law as the scalar chain rule, so both
+    kernels induce exactly the same per-round migration distribution
+    (they differ pathwise because they consume randomness differently).
     """
 
     name = "algorithm1"
+
+    #: The batched engine may route this protocol through
+    #: :meth:`execute_round_batch`.
+    supports_batch = True
 
     def execute_round(
         self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
@@ -232,6 +285,121 @@ class SelfishUniformProtocol(Protocol):
         state.apply_moves(sources, destinations, quantities)
         moved = int(quantities.sum())
         return RoundSummary(moved, float(moved), saturated)
+
+    def execute_round_batch(
+        self,
+        batch: "BatchUniformState",
+        graph: Graph,
+        rngs: Sequence[np.random.Generator],
+        active: np.ndarray | None = None,
+    ) -> BatchRoundSummary:
+        """Execute one concurrent round for every active replica at once.
+
+        Parameters
+        ----------
+        batch:
+            The ``(R, n)`` replica stack; mutated in place.
+        rngs:
+            One generator per replica (length ``R``). Replica ``r`` draws
+            only from ``rngs[r]``, so its trajectory is reproducible in
+            isolation regardless of how many other replicas run
+            alongside it or when they retire.
+        active:
+            Boolean mask of replicas to advance (all when ``None``).
+            Retired replicas neither move tasks nor consume randomness.
+
+        Notes
+        -----
+        Saturation handling differs from the scalar kernel only in the
+        clipped (ablation-``alpha``) regime: the scalar chain rule
+        truncates conditional probabilities slot by slot, while the
+        batched kernel rescales the whole per-node distribution to total
+        probability one. For ``alpha >= 4 s_max`` no clipping ever occurs
+        and the two kernels sample the identical multinomial.
+        """
+        from repro.model.batch import BatchUniformState
+
+        if not isinstance(batch, BatchUniformState):
+            raise ProtocolError("execute_round_batch requires a BatchUniformState")
+        if graph.num_vertices != batch.num_nodes:
+            raise ProtocolError(
+                f"graph has {graph.num_vertices} vertices but batch has "
+                f"{batch.num_nodes} nodes"
+            )
+        num_replicas = batch.num_replicas
+        if len(rngs) != num_replicas:
+            raise ProtocolError(
+                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+            )
+        tasks_moved = np.zeros(num_replicas, dtype=np.int64)
+        saturated = np.zeros(num_replicas, dtype=bool)
+        if active is None:
+            rows = np.arange(num_replicas, dtype=np.int64)
+        else:
+            rows = np.flatnonzero(np.asarray(active, dtype=bool))
+        if rows.size == 0 or graph.max_degree == 0:
+            return BatchRoundSummary(
+                tasks_moved, tasks_moved.astype(np.float64), saturated
+            )
+
+        cache = self._graph_cache(graph)
+        alpha = self.resolve_alpha(batch)
+        n = batch.num_nodes
+        max_degree = graph.max_degree
+        speeds = batch.speeds
+        counts = batch.counts[rows]  # (A, n) copy via fancy indexing
+        loads = counts / speeds
+        src, dst = cache.csr_rows, graph.indices
+
+        # Choose-and-move probability per (replica, CSR slot), exactly as
+        # in the scalar kernel but with a leading replica axis.
+        gain = loads[:, src] - loads[:, dst]
+        eligible = gain > 1.0 / speeds[dst] + ELIGIBILITY_TOLERANCE
+        weights_src = counts[:, src].astype(np.float64)
+        inv_rate = alpha * cache.dij_csr * (1.0 / speeds[src] + 1.0 / speeds[dst])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            q = np.where(
+                eligible & (weights_src > 0), gain / (inv_rate * weights_src), 0.0
+            )
+
+        # Scatter into the padded (A, n, Delta + 1) multinomial layout;
+        # column Delta is the stay probability.
+        pvals = np.zeros((rows.size, n, max_degree + 1))
+        pvals[:, cache.csr_rows, cache.slot_in_row] = q
+        total = pvals[..., :max_degree].sum(axis=2)
+        row_saturated = (total > 1.0 + 1e-12).any(axis=1)
+        if np.any(total > 1.0):
+            scale = np.where(total > 1.0, 1.0 / np.maximum(total, 1e-300), 1.0)
+            pvals[..., :max_degree] *= scale[..., None]
+            total = np.minimum(total, 1.0)
+        pvals[..., max_degree] = np.maximum(1.0 - total, 0.0)
+
+        # One exact multinomial draw per replica from its own stream.
+        draws = np.empty((rows.size, n, max_degree + 1), dtype=np.int64)
+        for position, replica in enumerate(rows):
+            draws[position] = rngs[replica].multinomial(
+                counts[position], pvals[position]
+            )
+
+        moved_slots = draws[..., :max_degree]
+        sent = moved_slots.sum(axis=2)
+        flows = moved_slots[:, cache.csr_rows, cache.slot_in_row]  # (A, nnz)
+        offsets = np.arange(rows.size, dtype=np.int64)[:, None] * n
+        received = (
+            np.bincount(
+                (offsets + dst[None, :]).ravel(),
+                weights=flows.ravel(),
+                minlength=rows.size * n,
+            )
+            .reshape(rows.size, n)
+            .astype(np.int64)
+        )
+        batch.apply_flows(rows, sent, received)
+        tasks_moved[rows] = sent.sum(axis=1)
+        saturated[rows] = row_saturated
+        return BatchRoundSummary(
+            tasks_moved, tasks_moved.astype(np.float64), saturated
+        )
 
 
 def _choose_neighbours(

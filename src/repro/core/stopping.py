@@ -3,17 +3,36 @@
 A stopping rule inspects the current state *before* each round and
 decides whether the run has reached its target. The convergence-time
 experiments measure the first round index at which the rule fires.
+
+Batched evaluation: every rule also answers :meth:`StoppingRule.satisfied_batch`
+for a :class:`~repro.model.batch.BatchUniformState` replica stack,
+returning one verdict per requested replica. The rules the measurement
+pipeline uses (:class:`NashStop`, :class:`EpsilonNashStop`,
+:class:`PotentialThresholdStop`, :class:`AnyStop`, :class:`NeverStop`)
+override it with fully vectorized implementations; the base class falls
+back to extracting each replica and running the scalar predicate, so any
+custom rule keeps working under the batch engine.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.core.equilibrium import is_epsilon_nash, is_nash, is_weighted_exact_nash
+import numpy as np
+
+from repro.core.equilibrium import (
+    _directed_views,
+    is_epsilon_nash,
+    is_nash,
+    is_weighted_exact_nash,
+)
 from repro.core.potentials import psi0_potential, psi1_potential
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.model.state import LoadStateBase, WeightedState
+
+if TYPE_CHECKING:
+    from repro.model.batch import BatchUniformState
 
 __all__ = [
     "StoppingRule",
@@ -33,9 +52,39 @@ class StoppingRule:
         """Whether the target condition holds in ``state``."""
         raise NotImplementedError
 
+    def satisfied_batch(
+        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        """Per-replica verdicts for the requested rows of a replica stack.
+
+        Returns a boolean array aligned with ``replicas``. This generic
+        fallback extracts each replica and evaluates the scalar
+        predicate; vectorized overrides avoid the per-replica cost.
+        """
+        rows = np.asarray(replicas, dtype=np.int64)
+        return np.fromiter(
+            (self.satisfied(batch.replica(int(r)), graph) for r in rows),
+            dtype=bool,
+            count=rows.shape[0],
+        )
+
     def describe(self) -> str:
         """Human-readable description for logs and reports."""
         return type(self).__name__
+
+
+def _batch_slack(
+    batch: "BatchUniformState", graph: Graph, replicas: np.ndarray, epsilon: float
+) -> np.ndarray:
+    """Per-(replica, directed edge) slack ``1/s_j - ((1-eps) l_i - l_j)``.
+
+    Computes loads for the requested rows only, so per-round checks stay
+    cheap once most replicas have retired.
+    """
+    speeds = batch.speeds
+    loads = batch.counts[np.asarray(replicas, dtype=np.int64)] / speeds
+    src, dst = _directed_views(graph)
+    return 1.0 / speeds[dst] - ((1.0 - epsilon) * loads[:, src] - loads[:, dst])
 
 
 class NashStop(StoppingRule):
@@ -51,6 +100,15 @@ class NashStop(StoppingRule):
 
     def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
         return is_nash(state, graph, self._tolerance)
+
+    def satisfied_batch(
+        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        rows = np.asarray(replicas, dtype=np.int64)
+        if graph.num_edges == 0:
+            return np.ones(rows.shape[0], dtype=bool)
+        slack = _batch_slack(batch, graph, rows, 0.0)
+        return np.all(slack >= -self._tolerance, axis=1)
 
     def describe(self) -> str:
         return "nash(l_i - l_j <= 1/s_j)"
@@ -72,6 +130,15 @@ class EpsilonNashStop(StoppingRule):
 
     def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
         return is_epsilon_nash(state, graph, self._epsilon, self._tolerance)
+
+    def satisfied_batch(
+        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        rows = np.asarray(replicas, dtype=np.int64)
+        if graph.num_edges == 0:
+            return np.ones(rows.shape[0], dtype=bool)
+        slack = _batch_slack(batch, graph, rows, self._epsilon)
+        return np.all(slack >= -self._tolerance, axis=1)
 
     def describe(self) -> str:
         return f"epsilon-nash(eps={self._epsilon})"
@@ -129,6 +196,16 @@ class PotentialThresholdStop(StoppingRule):
             value = psi1_potential(state)
         return value <= self._threshold
 
+    def satisfied_batch(
+        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        rows = np.asarray(replicas, dtype=np.int64)
+        if self._potential == "psi0":
+            values = batch.psi0_potentials(rows)
+        else:
+            values = batch.psi1_potentials(rows)
+        return values <= self._threshold
+
     def describe(self) -> str:
         return f"{self._potential} <= {self._threshold:.4g}"
 
@@ -144,6 +221,15 @@ class AnyStop(StoppingRule):
     def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
         return any(rule.satisfied(state, graph) for rule in self._rules)
 
+    def satisfied_batch(
+        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        rows = np.asarray(replicas, dtype=np.int64)
+        verdicts = np.zeros(rows.shape[0], dtype=bool)
+        for rule in self._rules:
+            verdicts |= rule.satisfied_batch(batch, graph, rows)
+        return verdicts
+
     def describe(self) -> str:
         return " or ".join(rule.describe() for rule in self._rules)
 
@@ -153,6 +239,11 @@ class NeverStop(StoppingRule):
 
     def satisfied(self, state: LoadStateBase, graph: Graph) -> bool:
         return False
+
+    def satisfied_batch(
+        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        return np.zeros(np.asarray(replicas).shape[0], dtype=bool)
 
     def describe(self) -> str:
         return "never"

@@ -114,13 +114,16 @@ def measure_psi_threshold_time(
     repetitions: int,
     seed: int,
     budget_factor: float = 2.0,
+    engine: str = "auto",
 ) -> FamilyMeasurement:
     """Measure rounds until ``Psi_0 <= 4 psi_c`` on one family cell.
 
     Uniform speeds (Table 1 omits the speed factors). ``m`` is
     ``ceil(m_factor * n^2)`` — quadratic in ``n`` so the initial potential
     is far above the critical value at every size. The start is
-    adversarial (all tasks on one node).
+    adversarial (all tasks on one node). Repetitions run through the
+    batched ensemble engine by default (``engine="auto"``); pass
+    ``engine="scalar"`` to force the sequential reference path.
     """
     family = get_family(family_name)
     graph = family.make(target_n)
@@ -139,6 +142,7 @@ def measure_psi_threshold_time(
         repetitions=repetitions,
         max_rounds=int(math.ceil(budget_factor * bound)) + 10,
         seed=derive_seed(seed, family_name, n, "approx"),
+        engine=engine,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -161,6 +165,7 @@ def measure_exact_nash_time(
     repetitions: int,
     seed: int,
     max_budget: int = 2_000_000,
+    engine: str = "auto",
 ) -> FamilyMeasurement:
     """Measure rounds until the exact NE on one family cell.
 
@@ -168,7 +173,8 @@ def measure_exact_nash_time(
     adversarial start (all tasks on one node, so the endgame is reached
     after a genuine spreading phase); the stopping rule is the exact NE
     condition. The budget is the Theorem 1.2 bound capped at
-    ``max_budget``.
+    ``max_budget``. Repetitions run through the batched ensemble engine
+    by default (``engine="auto"``).
     """
     family = get_family(family_name)
     graph = family.make(target_n)
@@ -186,6 +192,7 @@ def measure_exact_nash_time(
         repetitions=repetitions,
         max_rounds=budget,
         seed=derive_seed(seed, family_name, n, "exact"),
+        engine=engine,
     )
     return FamilyMeasurement(
         family=family_name,

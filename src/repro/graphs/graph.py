@@ -48,6 +48,8 @@ class Graph:
         "_degrees",
         "_edge_dij",
         "_name",
+        "_hash",
+        "__weakref__",
     )
 
     def __init__(self, num_vertices: int, edges: EdgeList, name: str | None = None):
@@ -104,6 +106,7 @@ class Graph:
             dij = np.zeros(0, dtype=np.int64)
         self._edge_dij = dij
         self._edge_dij.setflags(write=False)
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -223,7 +226,11 @@ class Graph:
         )
 
     def __hash__(self) -> int:
-        return hash((self._num_vertices, self._edges.tobytes()))
+        # Cached: graphs are immutable, and weak-keyed protocol caches
+        # hash the graph on every round.
+        if self._hash is None:
+            self._hash = hash((self._num_vertices, self._edges.tobytes()))
+        return self._hash
 
     def renamed(self, name: str) -> "Graph":
         """Return a copy of this graph carrying a different name."""
@@ -235,4 +242,5 @@ class Graph:
         clone._degrees = self._degrees
         clone._edge_dij = self._edge_dij
         clone._name = name
+        clone._hash = self._hash
         return clone

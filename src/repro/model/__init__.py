@@ -33,6 +33,7 @@ from repro.model.tasks import (
     two_class_weights,
 )
 from repro.model.state import UniformState, WeightedState, LoadStateBase
+from repro.model.batch import BatchUniformState
 from repro.model.placement import (
     all_on_one_placement,
     random_placement,
@@ -70,6 +71,7 @@ __all__ = [
     "UniformState",
     "WeightedState",
     "LoadStateBase",
+    "BatchUniformState",
     "all_on_one_placement",
     "random_placement",
     "proportional_placement",

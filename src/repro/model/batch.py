@@ -1,0 +1,292 @@
+"""Batched replica stacks: many independent uniform states as one array.
+
+The convergence-time experiments measure first-hitting rounds over many
+independent repetitions of the same scenario. Running them one at a time
+through the scalar :class:`~repro.model.state.UniformState` leaves the
+wall-clock dominated by per-round NumPy dispatch on tiny arrays. A
+:class:`BatchUniformState` instead stacks ``R`` independent replicas into
+a single ``(R, n)`` counts matrix so one vectorized kernel call advances
+the whole ensemble.
+
+Replica-stack layout
+--------------------
+Axis 0 is the replica axis, axis 1 the node axis. Every derived quantity
+keeps that convention: :attr:`BatchUniformState.loads` is ``(R, n)``,
+per-replica scalars such as :attr:`BatchUniformState.max_load_difference`
+are ``(R,)``. All replicas share one speed vector (they are repetitions
+of the *same* scenario); replicas may hold different task totals, so
+``average_load`` and the balanced target are per-replica.
+
+Replicas are statistically independent: the batched protocol kernels
+draw each replica's randomness from its own spawned RNG stream (see
+:mod:`repro.core.batch`), and nothing in the state couples rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.state import UniformState, _read_only_view, _validated_speeds
+from repro.types import FloatArray, IntArray
+
+__all__ = ["BatchUniformState"]
+
+
+class BatchUniformState:
+    """``R`` independent uniform-task states stacked as an ``(R, n)`` matrix.
+
+    Parameters
+    ----------
+    counts:
+        Non-negative integer matrix of shape ``(R, n)``; row ``r`` is the
+        per-node task counts of replica ``r``.
+    speeds:
+        Positive per-node speeds of length ``n``, shared by all replicas.
+    """
+
+    def __init__(self, counts: object, speeds: object):
+        counts_array = np.asarray(counts)
+        if counts_array.ndim != 2:
+            raise ModelError(
+                f"batch counts must be 2-D (replicas, nodes), got shape "
+                f"{counts_array.shape}"
+            )
+        if counts_array.shape[0] == 0 or counts_array.shape[1] == 0:
+            raise ModelError("batch counts must be non-empty in both axes")
+        if not np.issubdtype(counts_array.dtype, np.integer):
+            rounded = np.rint(np.asarray(counts_array, dtype=np.float64))
+            if not np.allclose(counts_array, rounded):
+                raise ModelError("batch counts must be integers")
+            counts_array = rounded
+        counts_array = counts_array.astype(np.int64)
+        if np.any(counts_array < 0):
+            raise ModelError("batch counts must be non-negative")
+        self._counts = counts_array
+        self._speeds = _validated_speeds(speeds, counts_array.shape[1])
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def can_stack(cls, states: "list") -> bool:
+        """Whether :meth:`from_states` would accept these states.
+
+        The single source of truth for stackability: uniform states over
+        one node count and one shared speed vector. The measurement
+        pipeline's ``engine="auto"`` routing uses this predicate.
+        """
+        if not states:
+            return False
+        if not all(isinstance(state, UniformState) for state in states):
+            return False
+        first = states[0]
+        return all(
+            state.num_nodes == first.num_nodes
+            and np.array_equal(state.speeds, first.speeds)
+            for state in states[1:]
+        )
+
+    @classmethod
+    def from_states(cls, states: "list[UniformState]") -> "BatchUniformState":
+        """Stack scalar :class:`UniformState` objects into one batch.
+
+        All states must be uniform states over the same node count and
+        the *same* speed vector (replicas are repetitions of one
+        scenario); see :meth:`can_stack`.
+        """
+        if not cls.can_stack(states):
+            # Diagnose which requirement failed for the error message.
+            if not states:
+                raise ModelError("from_states needs at least one state")
+            for state in states:
+                if not isinstance(state, UniformState):
+                    raise ModelError(
+                        "from_states requires UniformState replicas, got "
+                        f"{type(state).__name__}"
+                    )
+            first = states[0]
+            for state in states[1:]:
+                if state.num_nodes != first.num_nodes:
+                    raise ModelError(
+                        "all replicas must have the same node count"
+                    )
+            raise ModelError("all replicas must share one speed vector")
+        counts = np.stack([state.counts for state in states], axis=0)
+        return cls(counts, states[0].speeds)
+
+    @classmethod
+    def replicate(cls, state: UniformState, num_replicas: int) -> "BatchUniformState":
+        """``num_replicas`` identical copies of one initial state."""
+        if not isinstance(state, UniformState):
+            raise ModelError("replicate requires a UniformState")
+        if num_replicas < 1:
+            raise ModelError(f"num_replicas must be >= 1, got {num_replicas}")
+        counts = np.repeat(state.counts[None, :], num_replicas, axis=0)
+        return cls(counts, state.speeds)
+
+    def replica(self, index: int) -> UniformState:
+        """Extract replica ``index`` as an independent scalar state."""
+        if not 0 <= index < self.num_replicas:
+            raise ModelError(
+                f"replica index {index} out of range [0, {self.num_replicas - 1}]"
+            )
+        return UniformState(self._counts[index].copy(), self._speeds)
+
+    def copy(self) -> "BatchUniformState":
+        """Deep copy of the mutable counts matrix."""
+        return BatchUniformState(self._counts.copy(), self._speeds)
+
+    # ------------------------------------------------------------------
+    # Dimensions
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        """Number of stacked replicas ``R``."""
+        return int(self._counts.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors ``n``."""
+        return int(self._counts.shape[1])
+
+    # ------------------------------------------------------------------
+    # Raw arrays
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> IntArray:
+        """``(R, n)`` per-replica task counts (read-only view)."""
+        return _read_only_view(self._counts)
+
+    @property
+    def speeds(self) -> FloatArray:
+        """Shared per-processor speeds (read-only view)."""
+        return _read_only_view(self._speeds)
+
+    # ------------------------------------------------------------------
+    # Derived quantities (batched analogues of LoadStateBase)
+    # ------------------------------------------------------------------
+    @property
+    def node_weights(self) -> FloatArray:
+        """``(R, n)`` per-node total weight ``W_i`` per replica."""
+        return self._counts.astype(np.float64)
+
+    @property
+    def num_tasks(self) -> IntArray:
+        """``(R,)`` task totals ``m`` per replica."""
+        return self._counts.sum(axis=1)
+
+    @property
+    def total_weight(self) -> FloatArray:
+        """``(R,)`` total weight ``W`` per replica."""
+        return self._counts.sum(axis=1).astype(np.float64)
+
+    @property
+    def total_speed(self) -> float:
+        """Total capacity ``S = sum_i s_i`` (shared)."""
+        return float(self._speeds.sum())
+
+    @property
+    def loads(self) -> FloatArray:
+        """``(R, n)`` per-node loads ``l_i = W_i / s_i``."""
+        return self._counts / self._speeds
+
+    @property
+    def average_load(self) -> FloatArray:
+        """``(R,)`` network-wide average load ``W / S`` per replica."""
+        return self.total_weight / self.total_speed
+
+    @property
+    def target_weights(self) -> FloatArray:
+        """``(R, n)`` balanced weight vectors ``wbar = (W/S) * s``."""
+        return self.average_load[:, None] * self._speeds[None, :]
+
+    @property
+    def deviation(self) -> FloatArray:
+        """``(R, n)`` deviations ``e = w - wbar``; each row sums to zero."""
+        return self._deviation_rows(None)
+
+    @property
+    def max_load_difference(self) -> FloatArray:
+        """``(R,)`` per-replica ``L_Delta = max_i |e_i / s_i|``."""
+        return np.abs(self.deviation / self._speeds).max(axis=1)
+
+    def _deviation_rows(self, replicas: object | None) -> FloatArray:
+        """Deviation matrix restricted to the requested replica rows."""
+        if replicas is None:
+            counts = self._counts
+        else:
+            counts = self._counts[np.asarray(replicas, dtype=np.int64)]
+        weights = counts.astype(np.float64)
+        average_load = weights.sum(axis=1) / self.total_speed
+        return weights - average_load[:, None] * self._speeds[None, :]
+
+    def psi0_potentials(self, replicas: object | None = None) -> FloatArray:
+        """Per-replica ``Psi_0 = sum_i e_i^2 / s_i``.
+
+        ``replicas`` restricts the computation to the given rows (the
+        simulator's active set), avoiding full-stack work when most
+        replicas have retired; ``None`` evaluates all ``R``.
+        """
+        deviation = self._deviation_rows(replicas)
+        return np.sum(deviation * deviation / self._speeds, axis=1)
+
+    def psi1_potentials(self, replicas: object | None = None) -> FloatArray:
+        """Per-replica ``Psi_1`` (Observation 3.20 (1) form).
+
+        Accepts the same optional row restriction as
+        :meth:`psi0_potentials`.
+        """
+        shifted = self._deviation_rows(replicas) + 0.5
+        values = np.sum(shifted * shifted / self._speeds, axis=1)
+        arithmetic_mean = self.total_speed / self.num_nodes
+        values = values - self.num_nodes / (4.0 * arithmetic_mean)
+        return np.maximum(values, 0.0)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_flows(
+        self, replicas: object, sent: object, received: object
+    ) -> None:
+        """Apply one concurrent round of migrations to the given replicas.
+
+        Parameters
+        ----------
+        replicas:
+            Indices of the replica rows being advanced (the simulator's
+            active set).
+        sent / received:
+            ``(len(replicas), n)`` integer matrices of tasks leaving and
+            arriving per node. Task conservation (``sent`` and
+            ``received`` row totals equal) and non-negativity of the
+            resulting counts are enforced.
+        """
+        rows = np.asarray(replicas, dtype=np.int64)
+        sent_array = np.asarray(sent, dtype=np.int64)
+        received_array = np.asarray(received, dtype=np.int64)
+        expected_shape = (rows.shape[0], self.num_nodes)
+        if sent_array.shape != expected_shape or received_array.shape != expected_shape:
+            raise ModelError(
+                f"sent/received must have shape {expected_shape}, got "
+                f"{sent_array.shape} and {received_array.shape}"
+            )
+        if np.any(sent_array < 0) or np.any(received_array < 0):
+            raise ModelError("flow amounts must be non-negative")
+        if not np.array_equal(sent_array.sum(axis=1), received_array.sum(axis=1)):
+            raise ModelError(
+                "task conservation violated: sent and received totals differ"
+            )
+        updated = self._counts[rows] - sent_array + received_array
+        if np.any(updated < 0):
+            raise ModelError(
+                "flows drove a node's task count negative; migration "
+                "sampling exceeded available tasks"
+            )
+        self._counts[rows] = updated
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchUniformState(R={self.num_replicas}, n={self.num_nodes}, "
+            f"m={np.array2string(self.num_tasks, threshold=4)})"
+        )

@@ -50,7 +50,7 @@ def inject_tasks(
     else:
         targets = rng.integers(0, state.num_nodes, size=count)
         additions = np.bincount(targets, minlength=state.num_nodes).astype(np.int64)
-    state.counts[:] = state.counts + additions
+    state.replace_counts(state.counts + additions)
 
 
 def remove_tasks(state: UniformState, count: int, rng: np.random.Generator) -> None:
@@ -65,12 +65,12 @@ def remove_tasks(state: UniformState, count: int, rng: np.random.Generator) -> N
     if count == 0 or total == 0:
         return
     if count >= total:
-        state.counts[:] = 0
+        state.replace_counts(np.zeros(state.num_nodes, dtype=np.int64))
         return
     # Sample a uniformly random subset of tasks via the multivariate
     # hypergeometric distribution over the per-node counts.
     removed = rng.multivariate_hypergeometric(state.counts, count)
-    state.counts[:] = state.counts - removed
+    state.replace_counts(state.counts - removed)
 
 
 def shock_to_node(
@@ -92,8 +92,9 @@ def shock_to_node(
     grabbed = rng.binomial(state.counts, fraction).astype(np.int64)
     grabbed[node] = 0
     moved = int(grabbed.sum())
-    state.counts[:] = state.counts - grabbed
-    state.counts[node] += moved
+    new_counts = state.counts - grabbed
+    new_counts[node] += moved
+    state.replace_counts(new_counts)
     return moved
 
 

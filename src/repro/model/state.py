@@ -31,7 +31,35 @@ def _validated_speeds(speeds: object, n: int | None = None) -> FloatArray:
         raise SpeedError("speed vector must be non-empty")
     if np.any(array <= 0):
         raise SpeedError("all speeds must be positive")
-    return array.copy()
+    array = array.copy()
+    array.setflags(write=False)
+    return array
+
+
+def _validated_counts(counts: object, n: int | None = None) -> IntArray:
+    """Coerce ``counts`` to a non-negative 1-D int64 array."""
+    counts_array = np.asarray(counts)
+    if counts_array.ndim != 1:
+        raise ModelError(f"counts must be 1-D, got shape {counts_array.shape}")
+    if counts_array.size == 0:
+        raise ModelError("counts must be non-empty")
+    if not np.issubdtype(counts_array.dtype, np.integer):
+        rounded = np.rint(np.asarray(counts_array, dtype=np.float64))
+        if not np.allclose(counts_array, rounded):
+            raise ModelError("counts must be integers")
+        counts_array = rounded
+    counts_array = counts_array.astype(np.int64)
+    if np.any(counts_array < 0):
+        raise ModelError("counts must be non-negative")
+    if n is not None and counts_array.shape[0] != n:
+        raise ModelError(f"counts must have length {n}, got {counts_array.shape[0]}")
+    return counts_array
+
+
+def _read_only_view(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.setflags(write=False)
+    return view
 
 
 class LoadStateBase:
@@ -46,7 +74,7 @@ class LoadStateBase:
     @property
     def speeds(self) -> FloatArray:
         """Per-processor speeds (read-only view)."""
-        return self._speeds
+        return _read_only_view(self._speeds)
 
     @property
     def num_nodes(self) -> int:
@@ -110,26 +138,14 @@ class UniformState(LoadStateBase):
     """
 
     def __init__(self, counts: object, speeds: object):
-        counts_array = np.asarray(counts)
-        if counts_array.ndim != 1:
-            raise ModelError(f"counts must be 1-D, got shape {counts_array.shape}")
-        if counts_array.size == 0:
-            raise ModelError("counts must be non-empty")
-        if not np.issubdtype(counts_array.dtype, np.integer):
-            rounded = np.rint(np.asarray(counts_array, dtype=np.float64))
-            if not np.allclose(counts_array, rounded):
-                raise ModelError("counts must be integers")
-            counts_array = rounded
-        counts_array = counts_array.astype(np.int64)
-        if np.any(counts_array < 0):
-            raise ModelError("counts must be non-negative")
+        counts_array = _validated_counts(counts)
         self._counts = counts_array
         self._speeds = _validated_speeds(speeds, counts_array.shape[0])
 
     @property
     def counts(self) -> IntArray:
-        """Per-node integer task counts ``w_i(x)``."""
-        return self._counts
+        """Per-node integer task counts ``w_i(x)`` (read-only view)."""
+        return _read_only_view(self._counts)
 
     @property
     def node_weights(self) -> FloatArray:
@@ -163,6 +179,14 @@ class UniformState(LoadStateBase):
                 "moves drove a node's task count negative; "
                 "migration sampling exceeded available tasks"
             )
+
+    def replace_counts(self, counts: object) -> None:
+        """Overwrite the per-node counts wholesale (validated).
+
+        The sanctioned mutation path for workload perturbations (task
+        churn, shocks): :attr:`counts` itself is a read-only view.
+        """
+        self._counts[:] = _validated_counts(counts, self.num_nodes)
 
     def copy(self) -> "UniformState":
         return UniformState(self._counts.copy(), self._speeds)
@@ -207,8 +231,8 @@ class WeightedState(LoadStateBase):
 
     @property
     def task_nodes(self) -> IntArray:
-        """Current location of each task."""
-        return self._task_nodes
+        """Current location of each task (read-only view)."""
+        return _read_only_view(self._task_nodes)
 
     @property
     def task_weights(self) -> FloatArray:

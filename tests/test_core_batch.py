@@ -1,0 +1,379 @@
+"""Tests for the batched ensemble engine (repro.core.batch).
+
+Covers the ISSUE-mandated equivalence battery:
+
+(a) per-replica determinism under fixed seeds (including prefix
+    stability: the same replica is bit-identical regardless of how many
+    other replicas run alongside it);
+(b) KS-test agreement of first-hit distributions between
+    ``BatchSimulator`` and the scalar ``Simulator`` on a torus cell;
+(c) conservation of tasks across every batched round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.convergence import measure_convergence_rounds
+from repro.core.batch import BatchSimulator, run_protocol_batch
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.stopping import (
+    AnyStop,
+    EpsilonNashStop,
+    NashStop,
+    NeverStop,
+    PotentialThresholdStop,
+    StoppingRule,
+)
+from repro.errors import ProtocolError, SimulationError, ValidationError
+from repro.graphs.generators import torus_graph
+from repro.model.batch import BatchUniformState
+from repro.model.placement import place_weighted_random, random_placement
+from repro.model.state import UniformState, WeightedState
+from repro.utils.rng import spawn_rngs
+
+
+@pytest.fixture
+def torus9():
+    return torus_graph(3)
+
+
+def uniform_factory(n, m):
+    def factory(rng):
+        return UniformState(random_placement(n, m, rng), np.ones(n))
+
+    return factory
+
+
+def make_ensemble(graph, replicas, m, seed):
+    """Replica stack + its generators, factory-built like the pipeline."""
+    rngs = spawn_rngs(seed, replicas)
+    factory = uniform_factory(graph.num_vertices, m)
+    states = [factory(rng) for rng in rngs]
+    return BatchUniformState.from_states(states), rngs
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, torus9):
+        def run():
+            batch, rngs = make_ensemble(torus9, 8, 72, seed=11)
+            simulator = BatchSimulator(torus9, SelfishUniformProtocol())
+            result = simulator.run(
+                batch, stopping=NashStop(), max_rounds=20_000, rngs=rngs
+            )
+            return result.stop_rounds.copy(), batch.counts.copy()
+
+        rounds_a, counts_a = run()
+        rounds_b, counts_b = run()
+        np.testing.assert_array_equal(rounds_a, rounds_b)
+        np.testing.assert_array_equal(counts_a, counts_b)
+
+    def test_replicas_reproducible_in_isolation(self, torus9):
+        """Replica r's trajectory must not depend on the ensemble size.
+
+        Child streams are spawned per replica, so running the first 3
+        replicas alone must reproduce their results from an 8-replica
+        run bit-for-bit.
+        """
+        protocol = SelfishUniformProtocol()
+
+        def run(replicas):
+            batch, rngs = make_ensemble(torus9, replicas, 72, seed=5)
+            simulator = BatchSimulator(torus9, protocol)
+            result = simulator.run(
+                batch, stopping=NashStop(), max_rounds=20_000, rngs=rngs
+            )
+            return result.stop_rounds, batch.counts
+
+        rounds_small, counts_small = run(3)
+        rounds_large, counts_large = run(8)
+        np.testing.assert_array_equal(rounds_small, rounds_large[:3])
+        np.testing.assert_array_equal(counts_small, counts_large[:3])
+
+    def test_simulator_spawns_deterministic_streams(self, torus9):
+        batch_a, _ = make_ensemble(torus9, 4, 72, seed=9)
+        batch_b = batch_a.copy()
+        result_a = run_protocol_batch(
+            torus9, SelfishUniformProtocol(), batch_a, NashStop(),
+            max_rounds=20_000, seed=123,
+        )
+        result_b = run_protocol_batch(
+            torus9, SelfishUniformProtocol(), batch_b, NashStop(),
+            max_rounds=20_000, seed=123,
+        )
+        np.testing.assert_array_equal(result_a.stop_rounds, result_b.stop_rounds)
+
+
+class TestConservation:
+    def test_tasks_conserved_every_round(self, torus9):
+        batch, rngs = make_ensemble(torus9, 6, 90, seed=2)
+        protocol = SelfishUniformProtocol()
+        totals = batch.num_tasks.copy()
+        active = np.ones(6, dtype=bool)
+        active[4] = False  # a retired replica must stay untouched
+        frozen = batch.counts[4].copy()
+        for _ in range(60):
+            summary = protocol.execute_round_batch(batch, torus9, rngs, active)
+            np.testing.assert_array_equal(batch.num_tasks, totals)
+            assert np.all(batch.counts >= 0)
+            assert summary.tasks_moved[4] == 0
+        np.testing.assert_array_equal(batch.counts[4], frozen)
+
+    def test_moved_counts_reported(self, torus9):
+        """From an extreme start the first round must move tasks."""
+        counts = np.zeros((3, torus9.num_vertices), dtype=np.int64)
+        counts[:, 0] = 200
+        batch = BatchUniformState(counts, np.ones(torus9.num_vertices))
+        rngs = spawn_rngs(0, 3)
+        summary = SelfishUniformProtocol().execute_round_batch(
+            batch, torus9, rngs, None
+        )
+        assert np.all(summary.tasks_moved > 0)
+        np.testing.assert_array_equal(
+            summary.weight_moved, summary.tasks_moved.astype(float)
+        )
+
+
+class TestDistributionalEquivalence:
+    def test_ks_agreement_with_scalar_engine(self, torus9):
+        """Same seed set -> first-hit distributions agree (KS test).
+
+        The batched multinomial kernel and the scalar binomial-chain
+        kernel sample the identical per-round migration law, so the
+        first-hitting-round samples are draws from one distribution.
+        """
+        factory = uniform_factory(torus9.num_vertices, 72)
+        common = dict(
+            graph=torus9,
+            protocol=SelfishUniformProtocol(),
+            state_factory=factory,
+            stopping=NashStop(),
+            repetitions=80,
+            max_rounds=50_000,
+            seed=31,
+        )
+        batch = measure_convergence_rounds(engine="batch", **common)
+        scalar = measure_convergence_rounds(engine="scalar", **common)
+        assert batch.engine == "batch"
+        assert scalar.engine == "scalar"
+        assert batch.all_converged and scalar.all_converged
+        statistic = stats.ks_2samp(batch.rounds, scalar.rounds)
+        assert statistic.pvalue > 0.01, (
+            f"first-hit distributions diverged: KS p={statistic.pvalue:.4g} "
+            f"(batch median {batch.median_rounds}, "
+            f"scalar median {scalar.median_rounds})"
+        )
+
+    def test_psi_threshold_agreement(self, torus9):
+        factory = uniform_factory(torus9.num_vertices, 120)
+        common = dict(
+            graph=torus9,
+            protocol=SelfishUniformProtocol(),
+            state_factory=factory,
+            stopping=PotentialThresholdStop(60.0, "psi0"),
+            repetitions=60,
+            max_rounds=20_000,
+            seed=77,
+        )
+        batch = measure_convergence_rounds(engine="batch", **common)
+        scalar = measure_convergence_rounds(engine="scalar", **common)
+        assert batch.all_converged and scalar.all_converged
+        statistic = stats.ks_2samp(batch.rounds, scalar.rounds)
+        assert statistic.pvalue > 0.01
+
+
+class TestBatchedStoppingRules:
+    """satisfied_batch must agree with scalar satisfied per replica."""
+
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            NashStop(),
+            EpsilonNashStop(0.2),
+            PotentialThresholdStop(40.0, "psi0"),
+            PotentialThresholdStop(40.0, "psi1"),
+            NeverStop(),
+            AnyStop([NashStop(), PotentialThresholdStop(40.0, "psi0")]),
+        ],
+        ids=["nash", "eps-nash", "psi0", "psi1", "never", "any"],
+    )
+    def test_matches_scalar(self, torus9, rule):
+        rng = np.random.default_rng(4)
+        counts = rng.integers(0, 12, size=(10, torus9.num_vertices))
+        counts[0] = counts[0].sum() // torus9.num_vertices  # near-balanced row
+        batch = BatchUniformState(counts, np.ones(torus9.num_vertices))
+        rows = np.arange(batch.num_replicas)
+        batched = rule.satisfied_batch(batch, torus9, rows)
+        scalar = np.array(
+            [rule.satisfied(batch.replica(r), torus9) for r in rows]
+        )
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_generic_fallback_used_by_custom_rules(self, torus9):
+        class BalancedNodeZero(StoppingRule):
+            def satisfied(self, state, graph):
+                return int(state.counts[0]) <= 2
+
+        rng = np.random.default_rng(8)
+        counts = rng.integers(0, 6, size=(7, torus9.num_vertices))
+        batch = BatchUniformState(counts, np.ones(torus9.num_vertices))
+        rows = np.arange(7)
+        verdicts = BalancedNodeZero().satisfied_batch(batch, torus9, rows)
+        np.testing.assert_array_equal(verdicts, counts[:, 0] <= 2)
+
+
+class TestEngineRouting:
+    def test_auto_uses_batch_for_uniform(self, torus9):
+        measurement = measure_convergence_rounds(
+            graph=torus9,
+            protocol=SelfishUniformProtocol(),
+            state_factory=uniform_factory(torus9.num_vertices, 36),
+            stopping=NashStop(),
+            repetitions=5,
+            max_rounds=20_000,
+            seed=1,
+        )
+        assert measurement.engine == "batch"
+        assert measurement.all_converged
+
+    def test_auto_stays_scalar_for_ablation_alpha(self, torus9):
+        """Clipped (alpha < 4 s_max) regimes keep the scalar reference:
+
+        there the two kernels resolve saturation differently, so auto
+        must not silently switch laws."""
+        measurement = measure_convergence_rounds(
+            graph=torus9,
+            protocol=SelfishUniformProtocol(alpha=0.5),
+            state_factory=uniform_factory(torus9.num_vertices, 36),
+            stopping=NashStop(),
+            repetitions=3,
+            max_rounds=5_000,
+            seed=2,
+        )
+        assert measurement.engine == "scalar"
+
+    def test_auto_falls_back_for_weighted(self, torus9):
+        n = torus9.num_vertices
+
+        def weighted_factory(rng):
+            weights = rng.uniform(0.2, 1.0, size=4 * n)
+            locations = place_weighted_random(weights.shape[0], n, rng)
+            return WeightedState(locations, weights, np.ones(n))
+
+        measurement = measure_convergence_rounds(
+            graph=torus9,
+            protocol=SelfishWeightedProtocol(),
+            state_factory=weighted_factory,
+            stopping=NashStop(),
+            repetitions=3,
+            max_rounds=20_000,
+            seed=6,
+        )
+        assert measurement.engine == "scalar"
+
+    def test_forced_batch_rejects_weighted(self, torus9):
+        n = torus9.num_vertices
+
+        def weighted_factory(rng):
+            weights = rng.uniform(0.2, 1.0, size=n)
+            locations = place_weighted_random(weights.shape[0], n, rng)
+            return WeightedState(locations, weights, np.ones(n))
+
+        with pytest.raises(ValidationError):
+            measure_convergence_rounds(
+                graph=torus9,
+                protocol=SelfishWeightedProtocol(),
+                state_factory=weighted_factory,
+                stopping=NashStop(),
+                repetitions=2,
+                max_rounds=100,
+                seed=6,
+                engine="batch",
+            )
+
+    def test_unknown_engine_rejected(self, torus9):
+        with pytest.raises(ValidationError):
+            measure_convergence_rounds(
+                graph=torus9,
+                protocol=SelfishUniformProtocol(),
+                state_factory=uniform_factory(torus9.num_vertices, 9),
+                stopping=NashStop(),
+                repetitions=1,
+                max_rounds=10,
+                engine="warp",
+            )
+
+
+class TestBatchSimulatorContract:
+    def test_rejects_batch_incapable_protocol(self, torus9):
+        with pytest.raises(SimulationError):
+            BatchSimulator(torus9, SelfishWeightedProtocol())
+
+    def test_rejects_node_mismatch(self, torus9):
+        batch = BatchUniformState(np.ones((2, 4), dtype=np.int64), np.ones(4))
+        simulator = BatchSimulator(torus9, SelfishUniformProtocol())
+        with pytest.raises(SimulationError):
+            simulator.run(batch)
+
+    def test_rejects_wrong_rng_count(self, torus9):
+        batch, _ = make_ensemble(torus9, 4, 36, seed=0)
+        simulator = BatchSimulator(torus9, SelfishUniformProtocol())
+        with pytest.raises(SimulationError):
+            simulator.run(batch, rngs=spawn_rngs(0, 3))
+
+    def test_kernel_rejects_wrong_rng_count(self, torus9):
+        batch, _ = make_ensemble(torus9, 4, 36, seed=0)
+        with pytest.raises(ProtocolError):
+            SelfishUniformProtocol().execute_round_batch(
+                batch, torus9, spawn_rngs(0, 3), None
+            )
+
+    def test_fixed_horizon_runs_all_rounds(self, torus9):
+        batch, rngs = make_ensemble(torus9, 3, 36, seed=0)
+        simulator = BatchSimulator(torus9, SelfishUniformProtocol())
+        result = simulator.run(batch, stopping=None, max_rounds=17, rngs=rngs)
+        assert result.rounds_executed == 17
+        assert not np.any(result.converged)
+        assert result.stop_reason == "fixed horizon completed"
+
+    def test_already_converged_stops_at_round_zero(self, torus9):
+        n = torus9.num_vertices
+        batch = BatchUniformState(
+            np.full((3, n), 4, dtype=np.int64), np.ones(n)
+        )
+        result = run_protocol_batch(
+            torus9, SelfishUniformProtocol(), batch, NashStop(), max_rounds=100
+        )
+        assert result.all_converged
+        np.testing.assert_array_equal(result.stop_rounds, 0)
+        assert result.rounds_executed == 0
+
+    def test_budget_exhaustion_reported(self, torus9):
+        counts = np.zeros((2, torus9.num_vertices), dtype=np.int64)
+        counts[:, 0] = 500
+        batch = BatchUniformState(counts, np.ones(torus9.num_vertices))
+        result = run_protocol_batch(
+            torus9, SelfishUniformProtocol(), batch, NashStop(),
+            max_rounds=1, seed=3,
+        )
+        assert result.num_converged == 0
+        assert "budget exhausted" in result.stop_reason
+
+    def test_check_every_coarsens_stop_round(self, torus9):
+        batch_fine, rngs_fine = make_ensemble(torus9, 4, 72, seed=21)
+        simulator = BatchSimulator(torus9, SelfishUniformProtocol())
+        fine = simulator.run(
+            batch_fine, stopping=NashStop(), max_rounds=20_000, rngs=rngs_fine
+        )
+        batch_coarse, rngs_coarse = make_ensemble(torus9, 4, 72, seed=21)
+        coarse = simulator.run(
+            batch_coarse,
+            stopping=NashStop(),
+            max_rounds=20_000,
+            check_every=5,
+            rngs=rngs_coarse,
+        )
+        assert np.all(coarse.stop_rounds % 5 == 0)
+        assert np.all(coarse.stop_rounds >= fine.stop_rounds)

@@ -247,3 +247,50 @@ class TestPerTaskThresholdProtocol:
         protocol = PerTaskThresholdProtocol()
         for _ in range(50):
             assert protocol.execute_round(state, graph, rng).tasks_moved == 0
+
+
+class TestGraphCacheKeying:
+    """Regression: the per-protocol graph cache was keyed by ``id(graph)``,
+
+    so a garbage-collected graph whose id got reused by a new graph was
+    served the stale cache (wrong dij/CSR arrays). The cache is now
+    weakly keyed by the graph object itself."""
+
+    def test_entry_released_when_graph_dies(self):
+        import gc
+
+        protocol = SelfishUniformProtocol()
+        graph = cycle_graph(8)
+        protocol._graph_cache(graph)
+        assert len(protocol._cache) == 1
+        del graph
+        protocol._last = None  # drop the identity fast path's weak ref too
+        gc.collect()
+        assert len(protocol._cache) == 0
+
+    def test_fresh_graphs_always_get_matching_arrays(self):
+        import gc
+
+        protocol = SelfishUniformProtocol()
+        # Churn through differently shaped graphs, destroying each before
+        # the next is built, so ids are eligible for reuse; every lookup
+        # must return arrays consistent with the live graph's structure.
+        for n in [4, 9, 5, 12, 6, 16, 7, 8] * 3:
+            graph = cycle_graph(n) if n % 2 == 0 else star_graph(n)
+            cache = protocol._graph_cache(graph)
+            assert cache.csr_rows.shape[0] == graph.indices.shape[0]
+            expected_dij = np.maximum(
+                graph.degrees[cache.csr_rows], graph.degrees[graph.indices]
+            ).astype(np.float64)
+            np.testing.assert_array_equal(cache.dij_csr, expected_dij)
+            del graph, cache
+            gc.collect()
+
+    def test_identity_fast_path_tracks_graph_switches(self):
+        protocol = SelfishUniformProtocol()
+        first = cycle_graph(6)
+        second = star_graph(6)
+        cache_first = protocol._graph_cache(first)
+        cache_second = protocol._graph_cache(second)
+        assert protocol._graph_cache(first) is cache_first
+        assert protocol._graph_cache(second) is cache_second

@@ -6,6 +6,7 @@ end-to-end in a fresh interpreter and print its closing message.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,6 +14,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 EXPECTED_CLOSING = {
     "quickstart.py": "Theorem 1.1 bound",
@@ -28,11 +30,20 @@ EXPECTED_CLOSING = {
 def test_example_runs(script_name):
     script = EXAMPLES_DIR / script_name
     assert script.exists(), f"missing example {script_name}"
+    # The child interpreter needs the src layout on its path even when the
+    # parent pytest found `repro` via pyproject's `pythonpath` setting
+    # (which does not propagate to subprocesses).
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
     completed = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=180,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr
     assert EXPECTED_CLOSING[script_name] in completed.stdout

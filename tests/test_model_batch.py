@@ -1,0 +1,176 @@
+"""Tests for repro.model.batch (the replica-stack state)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.potentials import psi0_potential, psi1_potential
+from repro.errors import ModelError
+from repro.model.batch import BatchUniformState
+from repro.model.state import UniformState
+
+
+def make_batch():
+    counts = np.array([[4, 0, 2], [1, 1, 1], [0, 0, 9]])
+    return BatchUniformState(counts, [1.0, 1.0, 2.0])
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        batch = make_batch()
+        assert batch.num_replicas == 3
+        assert batch.num_nodes == 3
+        np.testing.assert_array_equal(batch.num_tasks, [6, 3, 9])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ModelError):
+            BatchUniformState([1, 2, 3], [1.0, 1.0, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            BatchUniformState([[1, -2]], [1.0, 1.0])
+
+    def test_rejects_non_integral(self):
+        with pytest.raises(ModelError):
+            BatchUniformState([[1.5, 2.0]], [1.0, 1.0])
+
+    def test_coerces_integral_floats(self):
+        batch = BatchUniformState([[1.0, 2.0]], [1.0, 1.0])
+        assert batch.counts.dtype == np.int64
+
+    def test_speed_length_must_match(self):
+        with pytest.raises(Exception):
+            BatchUniformState([[1, 2, 3]], [1.0, 1.0])
+
+    def test_from_states(self):
+        states = [
+            UniformState([4, 0, 2], [1.0, 1.0, 2.0]),
+            UniformState([1, 1, 1], [1.0, 1.0, 2.0]),
+        ]
+        batch = BatchUniformState.from_states(states)
+        np.testing.assert_array_equal(batch.counts, [[4, 0, 2], [1, 1, 1]])
+
+    def test_from_states_rejects_mixed_speeds(self):
+        states = [
+            UniformState([4, 0], [1.0, 1.0]),
+            UniformState([1, 1], [1.0, 2.0]),
+        ]
+        with pytest.raises(ModelError):
+            BatchUniformState.from_states(states)
+
+    def test_from_states_rejects_empty(self):
+        with pytest.raises(ModelError):
+            BatchUniformState.from_states([])
+
+    def test_can_stack_mirrors_from_states(self):
+        same = [
+            UniformState([4, 0], [1.0, 1.0]),
+            UniformState([1, 1], [1.0, 1.0]),
+        ]
+        mixed_speeds = [
+            UniformState([4, 0], [1.0, 1.0]),
+            UniformState([1, 1], [1.0, 2.0]),
+        ]
+        assert BatchUniformState.can_stack(same)
+        assert not BatchUniformState.can_stack(mixed_speeds)
+        assert not BatchUniformState.can_stack([])
+        assert not BatchUniformState.can_stack([object()])
+
+    def test_replicate(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        batch = BatchUniformState.replicate(state, 4)
+        assert batch.num_replicas == 4
+        np.testing.assert_array_equal(batch.counts[3], [4, 0, 2])
+
+    def test_replica_round_trip(self):
+        batch = make_batch()
+        replica = batch.replica(1)
+        assert isinstance(replica, UniformState)
+        np.testing.assert_array_equal(replica.counts, [1, 1, 1])
+        np.testing.assert_array_equal(replica.speeds, batch.speeds)
+
+    def test_replica_out_of_range(self):
+        with pytest.raises(ModelError):
+            make_batch().replica(3)
+
+
+class TestDerivedQuantities:
+    """Every batched quantity must agree row-wise with the scalar state."""
+
+    def test_rowwise_match(self):
+        batch = make_batch()
+        for r in range(batch.num_replicas):
+            scalar = batch.replica(r)
+            np.testing.assert_allclose(batch.loads[r], scalar.loads)
+            np.testing.assert_allclose(batch.deviation[r], scalar.deviation)
+            np.testing.assert_allclose(
+                batch.target_weights[r], scalar.target_weights
+            )
+            assert batch.max_load_difference[r] == pytest.approx(
+                scalar.max_load_difference
+            )
+            assert batch.average_load[r] == pytest.approx(scalar.average_load)
+            assert batch.total_weight[r] == pytest.approx(scalar.total_weight)
+
+    def test_potentials_match_scalar(self):
+        batch = make_batch()
+        psi0 = batch.psi0_potentials()
+        psi1 = batch.psi1_potentials()
+        for r in range(batch.num_replicas):
+            scalar = batch.replica(r)
+            assert psi0[r] == pytest.approx(psi0_potential(scalar))
+            assert psi1[r] == pytest.approx(psi1_potential(scalar))
+
+    def test_deviation_rows_sum_to_zero(self):
+        np.testing.assert_allclose(
+            make_batch().deviation.sum(axis=1), 0.0, atol=1e-9
+        )
+
+
+class TestMutation:
+    def test_counts_read_only(self):
+        batch = make_batch()
+        with pytest.raises(ValueError):
+            batch.counts[0, 0] = 5
+        with pytest.raises(ValueError):
+            batch.speeds[0] = 5.0
+
+    def test_apply_flows(self):
+        batch = make_batch()
+        sent = np.array([[2, 0, 0], [0, 0, 1]])
+        received = np.array([[0, 2, 0], [1, 0, 0]])
+        batch.apply_flows([0, 2], sent, received)
+        np.testing.assert_array_equal(
+            batch.counts, [[2, 2, 2], [1, 1, 1], [1, 0, 8]]
+        )
+
+    def test_apply_flows_conservation_enforced(self):
+        batch = make_batch()
+        sent = np.array([[2, 0, 0]])
+        received = np.array([[0, 1, 0]])  # one task vanished
+        with pytest.raises(ModelError):
+            batch.apply_flows([0], sent, received)
+
+    def test_apply_flows_negative_counts_rejected(self):
+        batch = make_batch()
+        sent = np.array([[0, 2, 0]])  # node 1 has no tasks in replica 0
+        received = np.array([[2, 0, 0]])
+        with pytest.raises(ModelError):
+            batch.apply_flows([0], sent, received)
+
+    def test_apply_flows_shape_checked(self):
+        batch = make_batch()
+        with pytest.raises(ModelError):
+            batch.apply_flows([0], np.zeros((1, 2), dtype=int), np.zeros((1, 2), dtype=int))
+
+    def test_copy_independent(self):
+        batch = make_batch()
+        clone = batch.copy()
+        batch.apply_flows(
+            [0], np.array([[2, 0, 0]]), np.array([[0, 2, 0]])
+        )
+        np.testing.assert_array_equal(clone.counts[0], [4, 0, 2])
+
+    def test_repr(self):
+        assert "R=3" in repr(make_batch())

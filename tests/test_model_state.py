@@ -181,3 +181,55 @@ class TestWeightedStateMoves:
 
     def test_repr(self):
         assert "m=2" in repr(WeightedState([0, 0], [0.5, 0.5], [1.0, 1.0]))
+
+
+class TestReadOnlyViews:
+    """The exposed state arrays must not be writable (regression:
+
+    the docstrings promised read-only views but handed out the internal
+    writable arrays)."""
+
+    def test_uniform_counts_read_only(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            state.counts[0] = 99
+        assert state.counts[0] == 4
+
+    def test_uniform_speeds_read_only(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            state.speeds[0] = 99.0
+
+    def test_weighted_task_nodes_read_only(self):
+        state = WeightedState([0, 1], [0.5, 0.5], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            state.task_nodes[0] = 1
+
+    def test_weighted_speeds_read_only(self):
+        state = WeightedState([0, 1], [0.5, 0.5], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            state.speeds[:] = 2.0
+
+    def test_apply_moves_still_works_after_view_access(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        _ = state.counts  # materialize a read-only view first
+        state.apply_moves([0], [1], [2])
+        np.testing.assert_array_equal(state.counts, [2, 2, 2])
+
+
+class TestReplaceCounts:
+    def test_replaces_and_validates(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        state.replace_counts([1, 2, 3])
+        np.testing.assert_array_equal(state.counts, [1, 2, 3])
+        assert state.num_tasks == 6
+
+    def test_rejects_negative(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        with pytest.raises(ModelError):
+            state.replace_counts([1, -1, 3])
+
+    def test_rejects_wrong_length(self):
+        state = UniformState([4, 0, 2], [1.0, 1.0, 2.0])
+        with pytest.raises(ModelError):
+            state.replace_counts([1, 2])
