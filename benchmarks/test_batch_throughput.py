@@ -1,11 +1,21 @@
 """Bench: batched ensemble engine throughput vs the sequential baseline.
 
 Not a paper artifact — the perf trajectory of the tentpole refactor. The
-batched engine advances all replicas with one vectorized kernel call per
+batched engines advance all replicas with one vectorized kernel call per
 round, so replica-rounds/sec should grow near-linearly with the ensemble
-size ``R`` while the sequential baseline stays flat. The acceptance
-check pins the ensemble-measurement speedup at 100 repetitions on the
-``torus36`` quick cell to at least 5x.
+size ``R`` while the sequential baseline stays flat. Two acceptance
+checks pin the ensemble-measurement speedup at 100 repetitions: at
+least 5x on the uniform ``torus36`` quick cell, and at least 3x on the
+weighted quick cell (ring(16), two-class speeds, m = 8n heavy/light
+tasks — the ``m = O(n)`` regime every weighted convergence measurement
+lives in) where the per-task Bernoulli kernel has no multinomial
+shortcut to lean on.
+
+The per-round cost cells additionally probe the heavy-m regime
+(ring(8), m=1500, the ``weighted-variants`` configuration): there the
+scalar weighted kernel is already vectorized over 1500 tasks, so
+batching only removes per-replica dispatch overhead (~1.3-1.8x), while
+in the ``m = O(n)`` measurement regime it is worth ~5-9x.
 """
 
 from __future__ import annotations
@@ -16,17 +26,50 @@ import numpy as np
 import pytest
 
 from repro.analysis.convergence import measure_convergence_rounds
-from repro.core.protocols import SelfishUniformProtocol
-from repro.core.stopping import PotentialThresholdStop
-from repro.model.batch import BatchUniformState
-from repro.model.placement import adversarial_placement, random_placement
-from repro.model.speeds import uniform_speeds
-from repro.model.state import UniformState
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.stopping import NashStop, PotentialThresholdStop
+from repro.graphs.generators import cycle_graph
+from repro.model.batch import BatchUniformState, BatchWeightedState
+from repro.model.placement import (
+    adversarial_placement,
+    place_weighted_random,
+    random_placement,
+)
+from repro.model.speeds import two_class_speeds, uniform_speeds
+from repro.model.state import UniformState, WeightedState
+from repro.model.tasks import two_class_weights
 from repro.spectral.eigen import algebraic_connectivity
 from repro.theory.constants import psi_critical
 from repro.utils.rng import spawn_rngs
 
 REPLICA_COUNTS = [1, 32, 256]
+
+#: Heavy-m weighted cell for per-round cost (mirrors weighted_variants).
+WEIGHTED_HEAVY_N = 8
+WEIGHTED_HEAVY_M = 1500
+
+#: The weighted quick cell for the measurement-speedup acceptance:
+#: m = O(n), the regime of the convergence-time experiments.
+WEIGHTED_QUICK_N = 16
+WEIGHTED_QUICK_M = 8 * WEIGHTED_QUICK_N
+
+
+def _weighted_cell(n, m):
+    graph = cycle_graph(n)
+    speeds = two_class_speeds(n, fast_fraction=0.25, fast_speed=2.0)
+    weights = two_class_weights(m, heavy_fraction=0.1, heavy=1.0, light=0.1)
+    return graph, speeds, weights
+
+
+def _weighted_states(replicas, seed=7):
+    n, m = WEIGHTED_HEAVY_N, WEIGHTED_HEAVY_M
+    graph, speeds, weights = _weighted_cell(n, m)
+    rngs = spawn_rngs(seed, replicas)
+    states = [
+        WeightedState(place_weighted_random(m, n, rng), weights, speeds)
+        for rng in rngs
+    ]
+    return graph, states, rngs
 
 
 def _heavy_ensemble(graph, replicas, seed=7):
@@ -66,6 +109,80 @@ def test_sequential_round_cost(benchmark, torus36, replicas):
     benchmark.extra_info["replica_rounds_per_op"] = replicas
 
 
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_weighted_batched_round_cost(benchmark, replicas):
+    """One batched weighted round over R replicas on the heavy-m cell."""
+    graph, states, rngs = _weighted_states(replicas)
+    batch = BatchWeightedState.from_states(states)
+    protocol = SelfishWeightedProtocol()
+    benchmark(lambda: protocol.execute_round_batch(batch, graph, rngs, None))
+    benchmark.extra_info["replicas"] = replicas
+    benchmark.extra_info["replica_rounds_per_op"] = replicas
+
+
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_weighted_sequential_round_cost(benchmark, replicas):
+    """The same R weighted replica-rounds through the scalar kernel."""
+    graph, states, rngs = _weighted_states(replicas)
+    protocol = SelfishWeightedProtocol()
+
+    def run_all():
+        for state, rng in zip(states, rngs):
+            protocol.execute_round(state, graph, rng)
+
+    benchmark(run_all)
+    benchmark.extra_info["replicas"] = replicas
+    benchmark.extra_info["replica_rounds_per_op"] = replicas
+
+
+@pytest.mark.slow
+def test_weighted_speedup_at_100_repetitions():
+    """Acceptance: >= 3x wall-clock at 100 reps on the weighted quick cell.
+
+    Times the full ensemble measurement (rounds to the threshold state
+    from random placements) through both engines with identical seeds.
+    The weighted kernels are pathwise identical, so beyond the KS check
+    the samples must agree exactly.
+    """
+    n, m = WEIGHTED_QUICK_N, WEIGHTED_QUICK_M
+    graph, speeds, weights = _weighted_cell(n, m)
+
+    def factory(rng):
+        return WeightedState(place_weighted_random(m, n, rng), weights, speeds)
+
+    common = dict(
+        graph=graph,
+        protocol=SelfishWeightedProtocol(),
+        state_factory=factory,
+        stopping=NashStop(),
+        repetitions=100,
+        max_rounds=50_000,
+        seed=42,
+    )
+
+    def timed(engine):
+        best_seconds, measurement = float("inf"), None
+        for _ in range(2):
+            start = time.perf_counter()
+            measurement = measure_convergence_rounds(engine=engine, **common)
+            best_seconds = min(best_seconds, time.perf_counter() - start)
+        return measurement, best_seconds
+
+    batch, batch_seconds = timed("batch")
+    scalar, scalar_seconds = timed("scalar")
+
+    assert batch.all_converged and scalar.all_converged
+    # Pathwise-identical kernels: the samples are equal, not just close.
+    np.testing.assert_array_equal(batch.rounds, scalar.rounds)
+
+    speedup = scalar_seconds / batch_seconds
+    assert speedup >= 3.0, (
+        f"batched weighted engine only {speedup:.1f}x faster "
+        f"({batch_seconds:.2f}s vs {scalar_seconds:.2f}s)"
+    )
+
+
+@pytest.mark.slow
 def test_speedup_at_100_repetitions(torus36):
     """Acceptance: >= 5x wall-clock at 100 repetitions on the quick cell.
 

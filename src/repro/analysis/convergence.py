@@ -9,25 +9,31 @@ Engines
 -------
 Two execution engines produce statistically identical measurements:
 
-* ``"batch"`` — stack all repetitions into one
-  :class:`~repro.model.batch.BatchUniformState` and advance them together
-  through :class:`~repro.core.batch.BatchSimulator`, one vectorized
-  kernel call per round. Available when the protocol has a batched
-  kernel (``supports_batch``) and the factory produces uniform states
-  over one shared speed vector.
+* ``"batch"`` — stack all repetitions into one replica stack (the
+  protocol's ``batch_state_class()``:
+  :class:`~repro.model.batch.BatchUniformState` for the uniform
+  protocol, the padded :class:`~repro.model.batch.BatchWeightedState`
+  for the weighted protocols) and advance them together through
+  :class:`~repro.core.batch.BatchSimulator`, one vectorized kernel call
+  per round. Available when the protocol has a batched kernel
+  (``supports_batch``) and the factory produces stackable states over
+  one shared speed vector.
 * ``"scalar"`` — the original one-repetition-at-a-time loop through
   :class:`~repro.core.simulator.Simulator`; kept as the reference
-  implementation and as the fallback for weighted protocols.
+  implementation.
 
 ``"auto"`` (the default) picks the batch engine whenever the inputs
 qualify. Both engines derive repetition ``k``'s randomness from the same
 spawned child stream (state construction first, then migration draws),
 so each repetition's first-hitting time has the same distribution either
-way; sample paths differ because the kernels consume randomness
-differently (binomial chain vs. batched multinomial — the same law).
-The only regime where the laws diverge is probability clipping under an
-ablation-level ``alpha < 4 s_max``; ``"auto"`` therefore keeps such runs
-on the scalar reference (``"batch"`` can still be forced explicitly).
+way. For the uniform protocol the sample paths differ (binomial chain
+vs. batched multinomial — the same law), and the laws diverge only under
+probability clipping with an ablation-level ``alpha < 4 s_max``;
+``"auto"`` therefore keeps such uniform runs on the scalar reference
+(``"batch"`` can still be forced explicitly). The weighted kernels
+consume randomness exactly as the scalar kernel does (per-task Bernoulli
+draws), so their batch runs are pathwise identical to scalar runs in
+every regime and ``"auto"`` always batches them when stackable.
 """
 
 from __future__ import annotations
@@ -45,8 +51,7 @@ from repro.core.simulator import Simulator
 from repro.core.stopping import StoppingRule
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
-from repro.model.batch import BatchUniformState
-from repro.model.state import LoadStateBase, UniformState
+from repro.model.state import LoadStateBase
 from repro.types import SeedLike
 from repro.utils.rng import spawn_rngs
 
@@ -101,12 +106,18 @@ class ConvergenceMeasurement:
         return self.summary.mean
 
 
+def _batch_state_class(protocol: Protocol) -> type | None:
+    """The replica-stack type the protocol's batched kernel advances."""
+    getter = getattr(protocol, "batch_state_class", None)
+    return getter() if getter is not None else None
+
+
 def _batch_stackable(protocol: Protocol, states: list[LoadStateBase]) -> bool:
     """Whether the repetitions can be stacked through the batch engine."""
-    return bool(
-        getattr(protocol, "supports_batch", False)
-        and BatchUniformState.can_stack(states)
-    )
+    if not getattr(protocol, "supports_batch", False):
+        return False
+    batch_cls = _batch_state_class(protocol)
+    return batch_cls is not None and bool(batch_cls.can_stack(states))
 
 
 def _same_law_as_scalar(protocol: Protocol, states: list[LoadStateBase]) -> bool:
@@ -144,7 +155,18 @@ def measure_convergence_rounds(
         ``"auto"`` (default) uses the vectorized batch engine when the
         protocol and states qualify, else the scalar loop; ``"batch"``
         and ``"scalar"`` force the respective path (``"batch"`` raises
-        when the inputs do not qualify).
+        when the inputs do not qualify). Qualification means the
+        protocol advertises ``supports_batch`` and all repetition states
+        stack into its ``batch_state_class()`` — uniform states over one
+        shared speed vector for ``SelfishUniformProtocol``, weighted
+        states over one shared speed vector (task counts and weights may
+        differ; the ``(R, M)`` stack is padded with an active-task mask)
+        for ``SelfishWeightedProtocol`` and the per-task-threshold
+        baseline. ``"auto"`` additionally keeps uniform ablation-alpha
+        runs (``alpha < 4 s_max``) on the scalar reference because the
+        uniform kernels resolve probability clipping differently; the
+        weighted kernels clip per task exactly as the scalar kernel
+        does, so weighted runs batch in every regime.
     """
     if repetitions < 1:
         raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
@@ -156,16 +178,22 @@ def measure_convergence_rounds(
     stackable = _batch_stackable(protocol, states)
     if engine == "batch" and not stackable:
         raise ValidationError(
-            "engine='batch' requires a batch-capable protocol and uniform "
-            "states sharing one speed vector; use engine='auto' to fall "
-            "back automatically"
+            "engine='batch' requires a batch-capable protocol and states "
+            "that stack into its replica layout (one node count, one "
+            "shared speed vector); use engine='auto' to fall back "
+            "automatically"
         )
     use_batch = engine == "batch" or (
-        engine == "auto" and stackable and _same_law_as_scalar(protocol, states)
+        engine == "auto"
+        and stackable
+        and (
+            getattr(protocol, "batch_matches_clipped_law", False)
+            or _same_law_as_scalar(protocol, states)
+        )
     )
 
     if use_batch:
-        batch = BatchUniformState.from_states(states)  # type: ignore[arg-type]
+        batch = _batch_state_class(protocol).from_states(states)  # type: ignore[union-attr]
         simulator = BatchSimulator(graph, protocol)
         result = simulator.run(
             batch,

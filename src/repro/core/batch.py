@@ -2,8 +2,10 @@
 
 :class:`BatchSimulator` is the vectorized counterpart of
 :class:`repro.core.simulator.Simulator`. Instead of running repetitions
-one at a time, it advances a :class:`~repro.model.batch.BatchUniformState`
-replica stack with one batched kernel call per round, evaluates the
+one at a time, it advances a replica stack — a
+:class:`~repro.model.batch.BatchUniformState` for the uniform protocol
+or a :class:`~repro.model.batch.BatchWeightedState` for the weighted
+protocols — with one batched kernel call per round, evaluates the
 stopping rule over the whole stack, records each replica's first-hitting
 round, and *retires* converged replicas from the active set so stragglers
 never pay for finished work.
@@ -36,7 +38,7 @@ from repro.core.protocols import Protocol
 from repro.core.stopping import StoppingRule
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
-from repro.model.batch import BatchUniformState
+from repro.model.batch import BatchStateBase
 from repro.types import IntArray, SeedLike
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_integer
@@ -69,7 +71,7 @@ class BatchSimulationResult:
         probabilities (only possible with ablation-level ``alpha``).
     """
 
-    final_state: BatchUniformState
+    final_state: BatchStateBase
     rounds_executed: int
     converged: np.ndarray
     stop_rounds: IntArray
@@ -105,8 +107,11 @@ class BatchSimulator:
     graph:
         The processor network (shared by all replicas).
     protocol:
-        A protocol whose class advertises ``supports_batch`` (currently
-        :class:`repro.core.protocols.SelfishUniformProtocol`).
+        A protocol whose class advertises ``supports_batch``
+        (:class:`repro.core.protocols.SelfishUniformProtocol`,
+        :class:`repro.core.protocols.SelfishWeightedProtocol` and its
+        per-task-threshold variant). The stack passed to :meth:`run`
+        must be the protocol's ``batch_state_class()``.
     seed:
         Seed for the per-replica child streams (see module docstring).
     """
@@ -133,7 +138,7 @@ class BatchSimulator:
 
     def run(
         self,
-        batch: BatchUniformState,
+        batch: BatchStateBase,
         stopping: StoppingRule | None = None,
         max_rounds: int = 10_000,
         check_every: int = 1,
@@ -219,7 +224,7 @@ class BatchSimulator:
 def run_protocol_batch(
     graph: Graph,
     protocol: Protocol,
-    batch: BatchUniformState,
+    batch: BatchStateBase,
     stopping: StoppingRule | None = None,
     max_rounds: int = 10_000,
     seed: SeedLike = None,

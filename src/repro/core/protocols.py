@@ -40,7 +40,7 @@ from repro.types import FloatArray, IntArray
 from repro.utils.validation import check_positive
 
 if TYPE_CHECKING:
-    from repro.model.batch import BatchUniformState
+    from repro.model.batch import BatchUniformState, BatchWeightedState
 
 __all__ = [
     "RoundSummary",
@@ -128,6 +128,27 @@ class Protocol:
     """
 
     name: str = "protocol"
+
+    #: Whether the protocol has a batched kernel
+    #: (:meth:`execute_round_batch`) the ensemble engine may route
+    #: through.
+    supports_batch: bool = False
+
+    #: Whether the batched kernel samples the *identical* law as the
+    #: scalar kernel even when migration probabilities clip (ablation
+    #: ``alpha < 4 s_max``). When False, ``engine="auto"`` keeps clipped
+    #: runs on the scalar reference.
+    batch_matches_clipped_law: bool = False
+
+    @classmethod
+    def batch_state_class(cls) -> type | None:
+        """The replica-stack state type the batched kernel advances.
+
+        ``None`` when the protocol has no batched kernel. The
+        measurement pipeline uses this (together with the class's
+        ``can_stack``) to decide whether repetitions can be stacked.
+        """
+        return None
 
     def __init__(self, alpha: float | None = None):
         if alpha is not None:
@@ -233,6 +254,12 @@ class SelfishUniformProtocol(Protocol):
     #: The batched engine may route this protocol through
     #: :meth:`execute_round_batch`.
     supports_batch = True
+
+    @classmethod
+    def batch_state_class(cls) -> type:
+        from repro.model.batch import BatchUniformState
+
+        return BatchUniformState
 
     def execute_round(
         self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
@@ -430,6 +457,17 @@ class SelfishWeightedProtocol(Protocol):
     tasks on ``i`` have the incentive over edge ``(i, j)`` or none do
     (the property the paper's Section 4 analysis exploits).
 
+    The batched kernel (:meth:`execute_round_batch`) advances a whole
+    :class:`~repro.model.batch.BatchWeightedState` replica stack per
+    call. Weighted tasks are not exchangeable, so there is no multinomial
+    shortcut: the kernel performs the same per-task neighbour choice and
+    Bernoulli migration draw as the scalar kernel, vectorized over the
+    padded ``(R, M)`` task stack. Each replica draws from its own stream
+    *in the same order and count as the scalar kernel*, so for identical
+    generator states the batched and scalar kernels are pathwise
+    bit-identical per replica — a stronger contract than the uniform
+    protocol's law-level equivalence.
+
     Parameters
     ----------
     alpha:
@@ -448,6 +486,21 @@ class SelfishWeightedProtocol(Protocol):
 
     VALID_RULES = ("flow", "pseudocode")
 
+    #: The batched engine may route this protocol through
+    #: :meth:`execute_round_batch`.
+    supports_batch = True
+
+    #: Clipping is per-task in both kernels (a plain ``clip`` of the
+    #: same Bernoulli probability), so batched and scalar sampling share
+    #: one law even in ablation-``alpha`` regimes.
+    batch_matches_clipped_law = True
+
+    @classmethod
+    def batch_state_class(cls) -> type:
+        from repro.model.batch import BatchWeightedState
+
+        return BatchWeightedState
+
     def __init__(self, alpha: float | None = None, rule: str = "flow"):
         super().__init__(alpha)
         if rule not in self.VALID_RULES:
@@ -460,6 +513,19 @@ class SelfishWeightedProtocol(Protocol):
     def rule(self) -> str:
         """Probability rule in use (``"flow"`` or ``"pseudocode"``)."""
         return self._rule
+
+    def _migration_eligible(
+        self, gain: FloatArray, dst_speeds: FloatArray, own_weights: FloatArray
+    ) -> np.ndarray:
+        """Migration condition per task (elementwise over aligned arrays).
+
+        Algorithm 2's condition is weight-oblivious: ``l_i - l_j >
+        1/s_j`` regardless of ``own_weights``.
+        :class:`PerTaskThresholdProtocol` overrides this with the [6]
+        per-task test — the *only* behavioural difference between the
+        two protocols, in both the scalar and the batched kernel.
+        """
+        return gain > 1.0 / dst_speeds + ELIGIBILITY_TOLERANCE
 
     def _conditional_probability(
         self,
@@ -506,7 +572,9 @@ class SelfishWeightedProtocol(Protocol):
         self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
     ) -> RoundSummary:
         if not isinstance(state, WeightedState):
-            raise ProtocolError("SelfishWeightedProtocol requires a WeightedState")
+            raise ProtocolError(
+                f"{type(self).__name__} requires a WeightedState"
+            )
         self._check_graph(state, graph)
         if state.num_tasks == 0 or graph.num_edges == 0:
             return RoundSummary(0, 0.0, False)
@@ -523,7 +591,9 @@ class SelfishWeightedProtocol(Protocol):
         speeds = state.speeds
         i = task_nodes[valid]
         j = neighbour[valid]
-        eligible = loads[i] - loads[j] > 1.0 / speeds[j] + ELIGIBILITY_TOLERANCE
+        eligible = self._migration_eligible(
+            loads[i] - loads[j], speeds[j], state.task_weights[valid]
+        )
 
         probability = self._conditional_probability(
             state, graph, cache, slot_index, neighbour, valid, alpha
@@ -534,11 +604,184 @@ class SelfishWeightedProtocol(Protocol):
         migrate = eligible & (rng.random(probability.shape[0]) < probability)
         task_ids = np.flatnonzero(valid)[migrate]
         if task_ids.size == 0:
+            # Empty-migration round: exact int/float zeros, with the
+            # saturation verdict still reported (shared with the batch
+            # kernel's per-replica semantics).
             return RoundSummary(0, 0.0, saturated)
         destinations = j[migrate]
         moved_weight = float(state.task_weights[task_ids].sum())
         state.apply_moves(task_ids, destinations)
         return RoundSummary(int(task_ids.size), moved_weight, saturated)
+
+    def execute_round_batch(
+        self,
+        batch: "BatchWeightedState",
+        graph: Graph,
+        rngs: Sequence[np.random.Generator],
+        active: np.ndarray | None = None,
+    ) -> BatchRoundSummary:
+        """Execute one concurrent round for every active replica at once.
+
+        Parameters
+        ----------
+        batch:
+            The padded ``(R, M)`` replica stack; mutated in place.
+        rngs:
+            One generator per replica (length ``R``). Replica ``r``
+            draws only from ``rngs[r]``, *in the exact order and count
+            of the scalar kernel* (one uniform per live task for the
+            neighbour choice, then one per task with a neighbour for the
+            migration Bernoulli), so its trajectory is bit-identical to
+            a scalar run from the same generator state and reproducible
+            in isolation regardless of how many other replicas run
+            alongside it or when they retire.
+        active:
+            Boolean mask of replicas to advance (all when ``None``).
+            Retired replicas neither move tasks nor consume randomness.
+        """
+        from repro.model.batch import BatchWeightedState
+
+        if not isinstance(batch, BatchWeightedState):
+            raise ProtocolError(
+                f"{type(self).__name__}.execute_round_batch requires a "
+                "BatchWeightedState"
+            )
+        if graph.num_vertices != batch.num_nodes:
+            raise ProtocolError(
+                f"graph has {graph.num_vertices} vertices but batch has "
+                f"{batch.num_nodes} nodes"
+            )
+        num_replicas = batch.num_replicas
+        if len(rngs) != num_replicas:
+            raise ProtocolError(
+                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+            )
+        tasks_moved = np.zeros(num_replicas, dtype=np.int64)
+        weight_moved = np.zeros(num_replicas, dtype=np.float64)
+        saturated = np.zeros(num_replicas, dtype=bool)
+        if active is None:
+            rows = np.arange(num_replicas, dtype=np.int64)
+        else:
+            rows = np.flatnonzero(np.asarray(active, dtype=bool))
+        summary = BatchRoundSummary(tasks_moved, weight_moved, saturated)
+        if rows.size == 0 or graph.num_edges == 0 or batch.max_tasks == 0:
+            return summary
+
+        cache = self._graph_cache(graph)
+        alpha = self.resolve_alpha(batch)
+        speeds = batch.speeds
+        degrees = graph.degrees
+        advancing_all = rows.size == num_replicas
+        if advancing_all:
+            # Views, not copies: the kernel only reads these before the
+            # single apply_moves mutation at the end.
+            mask = batch.task_mask
+            nodes = batch.task_nodes
+            own_weights = batch.task_weights
+            node_weights = batch.node_weights
+        else:
+            mask = batch.task_mask[rows]
+            nodes = batch.task_nodes[rows]
+            own_weights = batch.task_weights[rows]
+            node_weights = batch.node_weights[rows]
+        loads = node_weights / speeds
+        num_active, max_tasks = mask.shape
+        all_live = bool(mask.all())
+        if not all_live and not np.any(mask):
+            return summary
+
+        # Neighbour-choice uniforms: replica r draws exactly m_r values
+        # from its own stream, scattered into the padded layout in task
+        # order (padding consumes no randomness) — the same draw the
+        # scalar kernel's _choose_neighbours makes. Rectangular stacks
+        # (no padding, the pipeline's common case) fill whole rows
+        # in place, which is the same stream read without the
+        # boolean-scatter cost.
+        u_choice = np.empty((num_active, max_tasks)) if all_live else np.zeros(
+            (num_active, max_tasks)
+        )
+        for position in range(num_active):
+            if all_live:
+                rngs[rows[position]].random(out=u_choice[position])
+            elif np.any(mask[position]):
+                u_choice[position, mask[position]] = rngs[rows[position]].random(
+                    int(np.count_nonzero(mask[position]))
+                )
+        i = nodes if all_live else np.where(mask, nodes, 0)
+        deg_i = degrees[i]
+        chosen_slot = np.floor(u_choice * deg_i).astype(np.int64)
+        # Guard the measure-zero event random() == 1.0 exactly.
+        np.minimum(chosen_slot, np.maximum(deg_i - 1, 0), out=chosen_slot)
+        valid = mask & (deg_i > 0)
+        all_valid = bool(valid.all())
+        if all_valid:
+            slot_index = graph.indptr[i] + chosen_slot
+            j = graph.indices[slot_index]
+        else:
+            slot_index = np.where(valid, graph.indptr[i] + chosen_slot, 0)
+            j = np.where(valid, graph.indices[slot_index], 0)
+
+        replica_axis = np.arange(num_active)[:, None]
+        gain = loads[replica_axis, i] - loads[replica_axis, j]
+        eligible = valid & self._migration_eligible(gain, speeds[j], own_weights)
+
+        # Conditional migration probability, elementwise identical to
+        # the scalar _conditional_probability. Live tasks always have
+        # W_i >= w_l > 0 (their own weight is part of the node weight),
+        # so ``valid`` is exactly the scalar kernel's positive-weight
+        # guard; padding positions may produce inf/nan and are masked
+        # out here.
+        w_i = node_weights[replica_axis, i]
+        dij = cache.dij_csr[slot_index]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self._rule == "flow":
+                rate = alpha * dij * (1.0 / speeds[i] + 1.0 / speeds[j])
+                probability = np.where(
+                    valid, deg_i * gain / (rate * w_i), 0.0
+                )
+            else:  # pseudocode rule
+                weight_gap = w_i - node_weights[replica_axis, j]
+                probability = np.where(
+                    valid,
+                    deg_i / dij * weight_gap / (2.0 * alpha * w_i),
+                    0.0,
+                )
+        saturated_rows = np.any(
+            eligible & (probability > 1.0 + 1e-12), axis=1
+        )
+        probability = np.clip(probability, 0.0, 1.0)
+
+        # Migration uniforms: replica r draws exactly valid_r values,
+        # scattered into the valid positions in task order (again the
+        # scalar kernel's consumption; full-row fill when every task has
+        # a neighbour).
+        u_migrate = np.empty((num_active, max_tasks)) if all_valid else np.ones(
+            (num_active, max_tasks)
+        )
+        for position in range(num_active):
+            if all_valid:
+                rngs[rows[position]].random(out=u_migrate[position])
+            else:
+                count = int(np.count_nonzero(valid[position]))
+                if count:
+                    u_migrate[position, valid[position]] = rngs[
+                        rows[position]
+                    ].random(count)
+        migrate = eligible & (u_migrate < probability)
+
+        move_positions, move_slots = np.nonzero(migrate)
+        if move_positions.size:
+            batch.apply_moves(
+                rows[move_positions], move_slots, j[move_positions, move_slots]
+            )
+            tasks_moved[rows] = migrate.sum(axis=1)
+            weight_moved[rows] = np.bincount(
+                move_positions,
+                weights=own_weights[move_positions, move_slots],
+                minlength=num_active,
+            )
+        saturated[rows] = saturated_rows
+        return summary
 
 
 class PerTaskThresholdProtocol(SelfishWeightedProtocol):
@@ -549,7 +792,8 @@ class PerTaskThresholdProtocol(SelfishWeightedProtocol):
     ``l_i - l_j > w_l / s_j`` — the task's own improvement test. Light
     tasks therefore keep migrating across edges that Algorithm 2 already
     considers balanced; the ``weighted-variants`` experiment quantifies
-    the resulting behaviour difference.
+    the resulting behaviour difference. Both the scalar and the batched
+    kernel are inherited; only the eligibility test differs.
     """
 
     name = "per-task-threshold"
@@ -557,43 +801,7 @@ class PerTaskThresholdProtocol(SelfishWeightedProtocol):
     def __init__(self, alpha: float | None = None):
         super().__init__(alpha, rule="flow")
 
-    def execute_round(
-        self, state: LoadStateBase, graph: Graph, rng: np.random.Generator
-    ) -> RoundSummary:
-        if not isinstance(state, WeightedState):
-            raise ProtocolError("PerTaskThresholdProtocol requires a WeightedState")
-        self._check_graph(state, graph)
-        if state.num_tasks == 0 or graph.num_edges == 0:
-            return RoundSummary(0, 0.0, False)
-
-        cache = self._graph_cache(graph)
-        alpha = self.resolve_alpha(state)
-        task_nodes = state.task_nodes
-        slot_index, neighbour = _choose_neighbours(task_nodes, graph, rng)
-        valid = neighbour >= 0
-        if not np.any(valid):
-            return RoundSummary(0, 0.0, False)
-
-        loads = state.loads
-        speeds = state.speeds
-        i = task_nodes[valid]
-        j = neighbour[valid]
-        own_weight = state.task_weights[valid]
-        eligible = (
-            loads[i] - loads[j] > own_weight / speeds[j] + ELIGIBILITY_TOLERANCE
-        )
-
-        probability = self._conditional_probability(
-            state, graph, cache, slot_index, neighbour, valid, alpha
-        )
-        saturated = bool(np.any(probability[eligible] > 1.0 + 1e-12))
-        probability = np.clip(probability, 0.0, 1.0)
-
-        migrate = eligible & (rng.random(probability.shape[0]) < probability)
-        task_ids = np.flatnonzero(valid)[migrate]
-        if task_ids.size == 0:
-            return RoundSummary(0, 0.0, saturated)
-        destinations = j[migrate]
-        moved_weight = float(state.task_weights[task_ids].sum())
-        state.apply_moves(task_ids, destinations)
-        return RoundSummary(int(task_ids.size), moved_weight, saturated)
+    def _migration_eligible(
+        self, gain: FloatArray, dst_speeds: FloatArray, own_weights: FloatArray
+    ) -> np.ndarray:
+        return gain > own_weights / dst_speeds + ELIGIBILITY_TOLERANCE

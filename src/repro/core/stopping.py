@@ -5,13 +5,16 @@ decides whether the run has reached its target. The convergence-time
 experiments measure the first round index at which the rule fires.
 
 Batched evaluation: every rule also answers :meth:`StoppingRule.satisfied_batch`
-for a :class:`~repro.model.batch.BatchUniformState` replica stack,
-returning one verdict per requested replica. The rules the measurement
-pipeline uses (:class:`NashStop`, :class:`EpsilonNashStop`,
-:class:`PotentialThresholdStop`, :class:`AnyStop`, :class:`NeverStop`)
-override it with fully vectorized implementations; the base class falls
-back to extracting each replica and running the scalar predicate, so any
-custom rule keeps working under the batch engine.
+for a replica stack (:class:`~repro.model.batch.BatchUniformState` or
+:class:`~repro.model.batch.BatchWeightedState`), returning one verdict
+per requested replica. The rules the measurement pipeline uses
+(:class:`NashStop`, :class:`EpsilonNashStop`,
+:class:`PotentialThresholdStop`, :class:`WeightedExactNashStop`,
+:class:`AnyStop`, :class:`NeverStop`) override it with fully vectorized
+implementations working off the stack's ``loads_for`` /
+``psi*_potentials`` restriction API; the base class falls back to
+extracting each replica and running the scalar predicate, so any custom
+rule keeps working under the batch engine.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.graphs.graph import Graph
 from repro.model.state import LoadStateBase, WeightedState
 
 if TYPE_CHECKING:
-    from repro.model.batch import BatchUniformState
+    from repro.model.batch import BatchStateBase, BatchWeightedState
 
 __all__ = [
     "StoppingRule",
@@ -53,7 +56,7 @@ class StoppingRule:
         raise NotImplementedError
 
     def satisfied_batch(
-        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
     ) -> np.ndarray:
         """Per-replica verdicts for the requested rows of a replica stack.
 
@@ -74,15 +77,16 @@ class StoppingRule:
 
 
 def _batch_slack(
-    batch: "BatchUniformState", graph: Graph, replicas: np.ndarray, epsilon: float
+    batch: "BatchStateBase", graph: Graph, replicas: np.ndarray, epsilon: float
 ) -> np.ndarray:
     """Per-(replica, directed edge) slack ``1/s_j - ((1-eps) l_i - l_j)``.
 
-    Computes loads for the requested rows only, so per-round checks stay
-    cheap once most replicas have retired.
+    Works for any replica stack through ``loads_for``, which computes
+    loads for the requested rows only, so per-round checks stay cheap
+    once most replicas have retired.
     """
     speeds = batch.speeds
-    loads = batch.counts[np.asarray(replicas, dtype=np.int64)] / speeds
+    loads = batch.loads_for(np.asarray(replicas, dtype=np.int64))
     src, dst = _directed_views(graph)
     return 1.0 / speeds[dst] - ((1.0 - epsilon) * loads[:, src] - loads[:, dst])
 
@@ -102,7 +106,7 @@ class NashStop(StoppingRule):
         return is_nash(state, graph, self._tolerance)
 
     def satisfied_batch(
-        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
     ) -> np.ndarray:
         rows = np.asarray(replicas, dtype=np.int64)
         if graph.num_edges == 0:
@@ -132,7 +136,7 @@ class EpsilonNashStop(StoppingRule):
         return is_epsilon_nash(state, graph, self._epsilon, self._tolerance)
 
     def satisfied_batch(
-        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
     ) -> np.ndarray:
         rows = np.asarray(replicas, dtype=np.int64)
         if graph.num_edges == 0:
@@ -160,6 +164,34 @@ class WeightedExactNashStop(StoppingRule):
         if not isinstance(state, WeightedState):
             raise ValidationError("WeightedExactNashStop requires a WeightedState")
         return is_weighted_exact_nash(state, graph, self._tolerance)
+
+    def satisfied_batch(
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
+    ) -> np.ndarray:
+        from repro.model.batch import BatchWeightedState
+
+        rows = np.asarray(replicas, dtype=np.int64)
+        if not isinstance(batch, BatchWeightedState):
+            # Let the generic fallback surface the scalar type error.
+            return super().satisfied_batch(batch, graph, rows)
+        if graph.num_edges == 0:
+            return np.ones(rows.shape[0], dtype=bool)
+        n = batch.num_nodes
+        mask = batch.task_mask[rows]
+        nodes = batch.task_nodes[rows]
+        weights = batch.task_weights[rows]
+        # Lightest task per (replica, node); inf where a node is empty,
+        # which satisfies the per-task condition vacuously (matching the
+        # scalar predicate).
+        min_weight = np.full(rows.shape[0] * n, np.inf)
+        flat_nodes = (np.arange(rows.shape[0])[:, None] * n + nodes)[mask]
+        np.minimum.at(min_weight, flat_nodes, weights[mask])
+        min_weight = min_weight.reshape(rows.shape[0], n)
+        loads = batch.loads_for(rows)
+        src, dst = _directed_views(graph)
+        gain = loads[:, src] - loads[:, dst]
+        threshold = min_weight[:, src] / batch.speeds[dst]
+        return np.all(gain <= threshold + self._tolerance, axis=1)
 
     def describe(self) -> str:
         return "weighted-exact-nash(l_i - l_j <= w_l/s_j)"
@@ -197,7 +229,7 @@ class PotentialThresholdStop(StoppingRule):
         return value <= self._threshold
 
     def satisfied_batch(
-        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
     ) -> np.ndarray:
         rows = np.asarray(replicas, dtype=np.int64)
         if self._potential == "psi0":
@@ -222,7 +254,7 @@ class AnyStop(StoppingRule):
         return any(rule.satisfied(state, graph) for rule in self._rules)
 
     def satisfied_batch(
-        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
     ) -> np.ndarray:
         rows = np.asarray(replicas, dtype=np.int64)
         verdicts = np.zeros(rows.shape[0], dtype=bool)
@@ -241,7 +273,7 @@ class NeverStop(StoppingRule):
         return False
 
     def satisfied_batch(
-        self, batch: "BatchUniformState", graph: Graph, replicas: np.ndarray
+        self, batch: "BatchStateBase", graph: Graph, replicas: np.ndarray
     ) -> np.ndarray:
         return np.zeros(np.asarray(replicas).shape[0], dtype=bool)
 

@@ -8,14 +8,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.convergence import measure_convergence_rounds
-from repro.core.protocols import SelfishUniformProtocol
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
 from repro.core.stopping import NashStop, PotentialThresholdStop, StoppingRule
 from repro.graphs.families import get_family
 from repro.graphs.graph import Graph
-from repro.model.placement import adversarial_placement, random_placement
-from repro.model.state import UniformState
+from repro.model.placement import (
+    adversarial_placement,
+    place_weighted_all_on_one,
+    random_placement,
+)
+from repro.model.state import UniformState, WeightedState
+from repro.model.tasks import two_class_weights
 from repro.spectral.eigen import algebraic_connectivity
-from repro.theory.bounds import GraphQuantities, theorem11_round_bound, theorem12_round_bound
+from repro.theory.bounds import (
+    GraphQuantities,
+    theorem11_round_bound,
+    theorem12_round_bound,
+    theorem13_round_bound,
+)
 from repro.theory.constants import psi_critical
 from repro.utils.rng import derive_seed
 
@@ -23,10 +33,13 @@ __all__ = [
     "FamilyMeasurement",
     "measure_psi_threshold_time",
     "measure_exact_nash_time",
+    "measure_weighted_threshold_time",
     "APPROX_SWEEP_QUICK",
     "APPROX_SWEEP_FULL",
     "EXACT_SWEEP_QUICK",
     "EXACT_SWEEP_FULL",
+    "WEIGHTED_SWEEP_QUICK",
+    "WEIGHTED_SWEEP_FULL",
 ]
 
 #: Sweep sizes per family for the eps-approximate NE measurement.
@@ -43,6 +56,17 @@ APPROX_SWEEP_FULL: dict[str, list[int]] = {
     "torus": [9, 16, 25, 36, 64],
     "mesh": [9, 16, 25, 36],
     "hypercube": [8, 16, 32, 64, 128],
+}
+
+#: Sweep sizes per family for the weighted threshold-state measurement.
+WEIGHTED_SWEEP_QUICK: dict[str, list[int]] = {
+    "ring": [8, 12],
+    "torus": [9, 16],
+}
+WEIGHTED_SWEEP_FULL: dict[str, list[int]] = {
+    "ring": [8, 12, 16, 24],
+    "torus": [9, 16, 25],
+    "hypercube": [8, 16, 32],
 }
 
 #: Sweep sizes per family for the exact NE measurement.
@@ -105,6 +129,82 @@ def _uniform_state_factory(graph: Graph, m: int, adversarial: bool):
         return UniformState(counts, speeds)
 
     return factory
+
+
+def _weighted_state_factory(
+    graph: Graph, m: int, heavy_fraction: float = 0.1
+):
+    """Factory producing fresh weighted initial states per repetition.
+
+    Adversarial start (all tasks on node 0) with a deterministic
+    heavy/light weight mix, so replicas differ only through their
+    migration randomness — the weighted analogue of the uniform
+    adversarial cells.
+    """
+    weights = two_class_weights(m, heavy_fraction=heavy_fraction)
+    speeds = np.ones(graph.num_vertices, dtype=np.float64)
+
+    def factory(rng: np.random.Generator) -> WeightedState:
+        locations = place_weighted_all_on_one(m, 0)
+        return WeightedState(locations, weights, speeds)
+
+    return factory
+
+
+def measure_weighted_threshold_time(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    max_budget: int = 200_000,
+    engine: str = "auto",
+) -> FamilyMeasurement:
+    """Measure Algorithm 2's rounds to the threshold state on one cell.
+
+    The weighted counterpart of :func:`measure_exact_nash_time`: uniform
+    speeds, ``m = ceil(m_factor * n)`` heavy/light tasks from an
+    adversarial start, stopping at the threshold state ``l_i - l_j <=
+    1/s_j`` (Algorithm 2's convergence target, an approximate NE by
+    Theorem 1.3). The budget is the Theorem 1.3 *expected*-rounds bound
+    with a flat 50x slack factor (the stopping target is a first-hitting
+    time, not an expectation), capped at ``max_budget``. Repetitions run
+    through the batched ensemble engine by default (``engine="auto"``
+    stacks the per-task arrays into a padded
+    :class:`~repro.model.batch.BatchWeightedState`); pass
+    ``engine="scalar"`` to force the sequential reference path — both
+    engines are pathwise identical for the weighted kernels.
+    """
+    family = get_family(family_name)
+    graph = family.make(target_n)
+    n = graph.num_vertices
+    m = int(math.ceil(m_factor * n))
+    lambda2 = algebraic_connectivity(graph)
+    quantities = GraphQuantities(n=n, max_degree=graph.max_degree, lambda2=lambda2)
+    bound = theorem13_round_bound(quantities, m, 1.0, 1.0)
+    budget = int(min(math.ceil(bound) * 50, max_budget))
+    measurement = measure_convergence_rounds(
+        graph=graph,
+        protocol=SelfishWeightedProtocol(),
+        state_factory=_weighted_state_factory(graph, m),
+        stopping=NashStop(),
+        repetitions=repetitions,
+        max_rounds=budget,
+        seed=derive_seed(seed, family_name, n, "weighted"),
+        engine=engine,
+    )
+    return FamilyMeasurement(
+        family=family_name,
+        n=n,
+        m=m,
+        lambda2=lambda2,
+        max_degree=graph.max_degree,
+        median_rounds=measurement.median_rounds,
+        mean_rounds=measurement.mean_rounds,
+        bound_rounds=bound,
+        num_converged=measurement.num_converged,
+        num_repetitions=measurement.num_repetitions,
+    )
 
 
 def measure_psi_threshold_time(

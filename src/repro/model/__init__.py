@@ -33,7 +33,7 @@ from repro.model.tasks import (
     two_class_weights,
 )
 from repro.model.state import UniformState, WeightedState, LoadStateBase
-from repro.model.batch import BatchUniformState
+from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
 from repro.model.placement import (
     all_on_one_placement,
     random_placement,
@@ -71,7 +71,9 @@ __all__ = [
     "UniformState",
     "WeightedState",
     "LoadStateBase",
+    "BatchStateBase",
     "BatchUniformState",
+    "BatchWeightedState",
     "all_on_one_placement",
     "random_placement",
     "proportional_placement",

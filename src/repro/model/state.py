@@ -273,7 +273,9 @@ class WeightedState(LoadStateBase):
         np.add.at(self._node_weights, dst, weights)
         self._task_nodes[tasks] = dst
         # Guard against floating-point drift in the incremental W_i.
-        if float(np.abs(self._node_weights).min(initial=0.0)) < -1e-9:
+        # (Plain min, not abs().min(): the absolute value is always
+        # non-negative, which made the previous guard unable to fire.)
+        if float(self._node_weights.min(initial=0.0)) < -1e-9:
             raise ModelError("node weight went negative")
 
     def rebuild_node_weights(self) -> None:

@@ -1,9 +1,23 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also registers the ``ci`` Hypothesis profile: derandomized (fixed seed)
+so the property-based equivalence tests are deterministic on CI runners.
+Loaded automatically when ``CI`` is set (GitHub Actions does) or when
+``HYPOTHESIS_PROFILE=ci`` is exported; local runs keep Hypothesis's
+default randomized exploration.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+if os.environ.get("CI") or os.environ.get("HYPOTHESIS_PROFILE") == "ci":
+    settings.load_profile("ci")
 
 from repro.graphs.generators import (
     complete_graph,

@@ -1,0 +1,185 @@
+"""Shared statistical-equivalence helpers for the batch-engine suites.
+
+One audited code path for the three contracts every batched kernel must
+honour against its scalar reference (in the spirit of the
+neighbourhood-load checks of the original selfish load balancing
+analysis):
+
+* **KS agreement** — first-hitting-round samples produced by the batch
+  and scalar engines are draws from one distribution (two-sample
+  Kolmogorov–Smirnov test);
+* **conservation** — per-replica invariants (task totals for uniform
+  stacks, total task weight for weighted stacks) hold *exactly* after
+  every batched round, and retired replicas stay bit-frozen;
+* **spawned-stream determinism** — the same seed reproduces results
+  bit-for-bit, and each replica's trajectory is stable under resizing
+  the ensemble (prefix stability of spawned child streams).
+
+Consumed by ``tests/test_core_batch.py`` (uniform engine),
+``tests/test_core_batch_weighted.py`` (weighted engine) and
+``tests/test_batch_edge_cases.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.convergence import measure_convergence_rounds
+from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
+
+__all__ = [
+    "exact_totals",
+    "replica_snapshot",
+    "assert_ks_agreement",
+    "run_both_engines",
+    "assert_engines_agree",
+    "assert_batch_conserves",
+    "assert_same_seed_determinism",
+    "assert_prefix_stability",
+]
+
+
+def exact_totals(batch: BatchStateBase) -> np.ndarray:
+    """Per-replica totals that must be *exactly* conserved every round.
+
+    Uniform stacks conserve the integer task totals; weighted stacks
+    conserve the total task weight bit-for-bit (weights are immutable,
+    only locations change).
+    """
+    if isinstance(batch, BatchWeightedState):
+        return batch.total_task_weight
+    if isinstance(batch, BatchUniformState):
+        return batch.num_tasks.copy()
+    raise TypeError(f"unknown replica stack type {type(batch).__name__}")
+
+
+def replica_snapshot(batch: BatchStateBase, index: int) -> np.ndarray:
+    """A bit-comparable snapshot of one replica's mutable assignment."""
+    if isinstance(batch, BatchWeightedState):
+        return batch.task_nodes[index].copy()
+    return batch.counts[index].copy()
+
+
+def assert_ks_agreement(
+    sample_a: np.ndarray,
+    sample_b: np.ndarray,
+    min_pvalue: float = 0.01,
+    label: str = "engines",
+) -> float:
+    """Two-sample KS test; fails when the samples' laws diverge."""
+    result = stats.ks_2samp(sample_a, sample_b)
+    assert result.pvalue > min_pvalue, (
+        f"{label} diverged: KS p={result.pvalue:.4g} "
+        f"(medians {np.median(sample_a):.4g} vs {np.median(sample_b):.4g})"
+    )
+    return float(result.pvalue)
+
+
+def run_both_engines(**common):
+    """One measurement through each engine with identical inputs."""
+    batch = measure_convergence_rounds(engine="batch", **common)
+    scalar = measure_convergence_rounds(engine="scalar", **common)
+    assert batch.engine == "batch"
+    assert scalar.engine == "scalar"
+    return batch, scalar
+
+
+def assert_engines_agree(
+    min_pvalue: float = 0.01, require_all_converged: bool = True, **common
+):
+    """First-hit distributions of the two engines pass the KS test.
+
+    ``common`` is forwarded verbatim to
+    :func:`repro.analysis.convergence.measure_convergence_rounds`
+    (graph, protocol, state_factory, stopping, repetitions, max_rounds,
+    seed, ...). Returns the two measurements for additional assertions.
+    """
+    batch, scalar = run_both_engines(**common)
+    if require_all_converged:
+        assert batch.all_converged, "batch engine failed to converge"
+        assert scalar.all_converged, "scalar engine failed to converge"
+    assert_ks_agreement(
+        batch.rounds,
+        scalar.rounds,
+        min_pvalue=min_pvalue,
+        label="batch vs scalar first-hit distributions",
+    )
+    return batch, scalar
+
+
+def assert_batch_conserves(
+    batch: BatchStateBase,
+    protocol,
+    graph,
+    rngs: Sequence[np.random.Generator],
+    rounds: int = 50,
+    retired: Sequence[int] = (),
+) -> None:
+    """Advance ``rounds`` batched rounds asserting per-round invariants.
+
+    After every round: the per-replica exact totals are unchanged, node
+    weights stay non-negative and (for weighted stacks) consistent with
+    a from-scratch bincount, and every replica listed in ``retired`` is
+    excluded from the active mask, reports zero movement, and keeps a
+    bit-identical assignment.
+    """
+    active = np.ones(batch.num_replicas, dtype=bool)
+    frozen = {}
+    for index in retired:
+        active[index] = False
+        frozen[index] = replica_snapshot(batch, index)
+    totals = exact_totals(batch)
+    for _ in range(rounds):
+        summary = protocol.execute_round_batch(batch, graph, rngs, active)
+        np.testing.assert_array_equal(
+            exact_totals(batch),
+            totals,
+            err_msg="per-replica totals not exactly conserved",
+        )
+        assert np.all(batch.node_weights >= 0)
+        if isinstance(batch, BatchWeightedState):
+            rebuilt = batch.copy()
+            rebuilt.rebuild_node_weights()
+            np.testing.assert_allclose(
+                batch.node_weights,
+                rebuilt.node_weights,
+                atol=1e-9,
+                err_msg="incremental node weights drifted from bincount",
+            )
+        for index, snapshot in frozen.items():
+            assert summary.tasks_moved[index] == 0
+            assert summary.weight_moved[index] == 0.0
+            np.testing.assert_array_equal(
+                replica_snapshot(batch, index),
+                snapshot,
+                err_msg=f"retired replica {index} was mutated",
+            )
+
+
+def assert_same_seed_determinism(run: Callable[[], tuple]) -> tuple:
+    """``run()`` twice must give bit-identical array tuples."""
+    first = run()
+    second = run()
+    for array_a, array_b in zip(first, second):
+        np.testing.assert_array_equal(array_a, array_b)
+    return first
+
+
+def assert_prefix_stability(
+    run: Callable[[int], tuple], small: int, large: int
+) -> None:
+    """Replica ``r``'s results must not depend on the ensemble size.
+
+    ``run(k)`` runs a ``k``-replica ensemble and returns arrays whose
+    leading axis is the replica axis; the ``small``-replica results must
+    be a bit-identical prefix of the ``large``-replica results (spawned
+    child streams are index-addressed, not count-dependent).
+    """
+    assert small <= large
+    results_small = run(small)
+    results_large = run(large)
+    for array_small, array_large in zip(results_small, results_large):
+        np.testing.assert_array_equal(array_small, array_large[:small])

@@ -1,0 +1,263 @@
+"""Edge cases of the batch engines (uniform and weighted stacks).
+
+ISSUE 2 satellite: the degenerate corners a vectorized engine gets wrong
+first —
+
+* ``R = 1`` degenerates to scalar behaviour (bitwise for the weighted
+  kernel, law/contract-level for the uniform one);
+* every replica already converged at round 0;
+* an empty active mask after full retirement (no movement, no RNG
+  consumption);
+* zero-weight tasks: rejected on live slots, required on padding slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from equivalence import run_both_engines
+from repro.core.batch import BatchSimulator, run_protocol_batch
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.stopping import NashStop
+from repro.errors import ModelError
+from repro.graphs.generators import cycle_graph, torus_graph
+from repro.model.batch import BatchUniformState, BatchWeightedState
+from repro.model.placement import place_weighted_random, random_placement
+from repro.model.state import UniformState, WeightedState
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+@pytest.fixture
+def torus9():
+    return torus_graph(3)
+
+
+def weighted_factory(n, m):
+    def factory(rng):
+        weights = rng.uniform(0.2, 1.0, size=m)
+        return WeightedState(place_weighted_random(m, n, rng), weights, np.ones(n))
+
+    return factory
+
+
+class TestSingleReplica:
+    """R = 1 must degenerate to the scalar engine's behaviour."""
+
+    def test_weighted_r1_bitwise_equals_scalar(self, torus9):
+        """One-replica weighted batch == scalar run, same stream."""
+        state = weighted_factory(9, 30)(make_rng(3))
+        batch = BatchWeightedState.replicate(state, 1)
+        protocol = SelfishWeightedProtocol()
+        rng_batch, rng_scalar = make_rng(7), make_rng(7)
+        scalar_state = state.copy()
+        for _ in range(40):
+            protocol.execute_round_batch(batch, torus9, [rng_batch], None)
+            protocol.execute_round(scalar_state, torus9, rng_scalar)
+        np.testing.assert_array_equal(
+            batch.replica(0).task_nodes, scalar_state.task_nodes
+        )
+
+    def test_weighted_r1_measurement_equals_scalar(self, torus9):
+        batch, scalar = run_both_engines(
+            graph=torus9,
+            protocol=SelfishWeightedProtocol(),
+            state_factory=weighted_factory(9, 27),
+            stopping=NashStop(),
+            repetitions=1,
+            max_rounds=20_000,
+            seed=13,
+        )
+        np.testing.assert_array_equal(batch.rounds, scalar.rounds)
+
+    def test_uniform_r1_runs_and_converges(self, torus9):
+        n = torus9.num_vertices
+        state = UniformState(random_placement(n, 54, make_rng(1)), np.ones(n))
+        batch = BatchUniformState.replicate(state, 1)
+        result = run_protocol_batch(
+            torus9, SelfishUniformProtocol(), batch, NashStop(),
+            max_rounds=20_000, seed=2,
+        )
+        assert result.num_replicas == 1
+        assert result.all_converged
+        assert int(batch.num_tasks[0]) == 54
+
+
+class TestAllConvergedAtRoundZero:
+    def test_uniform_balanced_start(self, torus9):
+        n = torus9.num_vertices
+        batch = BatchUniformState(np.full((4, n), 5, dtype=np.int64), np.ones(n))
+        result = run_protocol_batch(
+            torus9, SelfishUniformProtocol(), batch, NashStop(), max_rounds=50
+        )
+        assert result.all_converged
+        np.testing.assert_array_equal(result.stop_rounds, 0)
+        assert result.rounds_executed == 0
+
+    def test_weighted_balanced_start(self, torus9):
+        n = torus9.num_vertices
+        # One unit-ish task per node: already a threshold state.
+        nodes = np.tile(np.arange(n, dtype=np.int64), (3, 1))
+        weights = np.full((3, n), 0.9)
+        batch = BatchWeightedState(nodes, weights, np.ones(n))
+        result = run_protocol_batch(
+            torus9, SelfishWeightedProtocol(), batch, NashStop(), max_rounds=50
+        )
+        assert result.all_converged
+        np.testing.assert_array_equal(result.stop_rounds, 0)
+        assert result.rounds_executed == 0
+
+
+class TestEmptyActiveMask:
+    """A fully retired stack: no movement and no randomness consumed."""
+
+    @pytest.mark.parametrize("kind", ["uniform", "weighted"])
+    def test_no_moves_no_rng_consumption(self, torus9, kind):
+        n = torus9.num_vertices
+        if kind == "uniform":
+            counts = np.zeros((3, n), dtype=np.int64)
+            counts[:, 0] = 100
+            batch = BatchUniformState(counts, np.ones(n))
+            protocol = SelfishUniformProtocol()
+            snapshot = batch.counts.copy()
+        else:
+            weights = np.full((3, 20), 0.5)
+            nodes = np.zeros((3, 20), dtype=np.int64)
+            batch = BatchWeightedState(nodes, weights, np.ones(n))
+            protocol = SelfishWeightedProtocol()
+            snapshot = batch.task_nodes.copy()
+        rngs = spawn_rngs(5, 3)
+        probes = [rng.bit_generator.state for rng in rngs]
+        summary = protocol.execute_round_batch(
+            batch, torus9, rngs, np.zeros(3, dtype=bool)
+        )
+        np.testing.assert_array_equal(summary.tasks_moved, 0)
+        np.testing.assert_array_equal(summary.weight_moved, 0.0)
+        assert not np.any(summary.saturated)
+        if kind == "uniform":
+            np.testing.assert_array_equal(batch.counts, snapshot)
+        else:
+            np.testing.assert_array_equal(batch.task_nodes, snapshot)
+        for rng, probe in zip(rngs, probes):
+            assert rng.bit_generator.state == probe, "retired replica drew randomness"
+
+    def test_simulator_retires_all_then_stops(self, torus9):
+        """Once every replica converges the loop exits immediately."""
+        n = torus9.num_vertices
+        batch, rngs = (
+            BatchUniformState(np.full((2, n), 4, dtype=np.int64), np.ones(n)),
+            spawn_rngs(0, 2),
+        )
+        simulator = BatchSimulator(torus9, SelfishUniformProtocol())
+        result = simulator.run(
+            batch, stopping=NashStop(), max_rounds=10_000, rngs=rngs
+        )
+        assert result.rounds_executed == 0
+        assert "stopping rule fired" in result.stop_reason
+
+
+class TestZeroWeightTasks:
+    def test_live_zero_weight_rejected(self):
+        nodes = np.array([[0, 1]])
+        weights = np.array([[0.5, 0.0]])  # zero weight on a live slot
+        with pytest.raises(ModelError):
+            BatchWeightedState(nodes, weights, np.ones(3))
+
+    def test_padding_must_be_weightless(self):
+        nodes = np.array([[0, -1]])
+        weights = np.array([[0.5, 0.3]])  # padding slot carrying weight
+        with pytest.raises(ModelError):
+            BatchWeightedState(nodes, weights, np.ones(3))
+
+    def test_padding_weightless_accepted_and_inert(self, torus9):
+        n = torus9.num_vertices
+        nodes = np.array([[0, 0, -1], [0, 0, 0]], dtype=np.int64)
+        weights = np.array([[0.5, 0.7, 0.0], [0.4, 0.6, 0.8]])
+        batch = BatchWeightedState(nodes, weights, np.ones(n))
+        np.testing.assert_array_equal(batch.num_tasks, [2, 3])
+        np.testing.assert_array_equal(
+            batch.total_task_weight, [1.2, 0.4 + 0.6 + 0.8]
+        )
+        protocol = SelfishWeightedProtocol()
+        for _ in range(10):
+            protocol.execute_round_batch(batch, torus9, spawn_rngs(1, 2), None)
+        assert batch.task_nodes[0, 2] == -1
+        assert batch.task_weights[0, 2] == 0.0
+
+    def test_empty_replica_rows_allowed(self, torus9):
+        """A replica with zero tasks trivially converges and stays empty."""
+        n = torus9.num_vertices
+        states = [
+            WeightedState([0] * 12, [0.5] * 12, np.ones(n)),
+            WeightedState([], [], np.ones(n)),
+        ]
+        batch = BatchWeightedState.from_states(states)
+        np.testing.assert_array_equal(batch.num_tasks, [12, 0])
+        result = run_protocol_batch(
+            torus9, SelfishWeightedProtocol(), batch, NashStop(),
+            max_rounds=20_000, seed=4,
+        )
+        assert result.all_converged
+        assert result.stop_rounds[1] == 0
+
+
+class TestEmptyMigrationRoundRegression:
+    """ISSUE 2 satellite: empty-migration rounds report exact zeros.
+
+    ``moved_weight`` must be the exact float ``0.0`` (not a NaN or a
+    numpy scalar summed over an empty index array) and the batch path
+    must share the same semantics per replica.
+    """
+
+    def test_scalar_weighted_empty_round(self):
+        graph = cycle_graph(4)
+        # Perfectly balanced: no edge satisfies the migration condition.
+        state = WeightedState([0, 1, 2, 3], [1.0] * 4, np.ones(4))
+        summary = SelfishWeightedProtocol().execute_round(
+            state, graph, make_rng(0)
+        )
+        assert summary.tasks_moved == 0
+        assert isinstance(summary.tasks_moved, int)
+        assert summary.weight_moved == 0.0
+        assert isinstance(summary.weight_moved, float)
+        assert summary.saturated is False
+
+    def test_scalar_weighted_no_tasks(self):
+        graph = cycle_graph(4)
+        state = WeightedState([], [], np.ones(4))
+        summary = SelfishWeightedProtocol().execute_round(
+            state, graph, make_rng(0)
+        )
+        assert summary.tasks_moved == 0
+        assert summary.weight_moved == 0.0
+
+    def test_batch_weighted_empty_round(self):
+        graph = cycle_graph(4)
+        nodes = np.tile(np.arange(4, dtype=np.int64), (3, 1))
+        weights = np.ones((3, 4))
+        batch = BatchWeightedState(nodes, weights, np.ones(4))
+        summary = SelfishWeightedProtocol().execute_round_batch(
+            batch, graph, spawn_rngs(0, 3), None
+        )
+        np.testing.assert_array_equal(summary.tasks_moved, 0)
+        assert summary.tasks_moved.dtype == np.int64
+        np.testing.assert_array_equal(summary.weight_moved, 0.0)
+        assert summary.weight_moved.dtype == np.float64
+        assert not np.any(summary.saturated)
+
+    def test_batch_matches_scalar_on_empty_round(self):
+        """Shared semantics: both paths report identical zero summaries."""
+        graph = cycle_graph(4)
+        state = WeightedState([0, 1, 2, 3], [1.0] * 4, np.ones(4))
+        batch = BatchWeightedState.replicate(state, 2)
+        protocol = SelfishWeightedProtocol()
+        batch_summary = protocol.execute_round_batch(
+            batch, graph, [make_rng(1), make_rng(2)], None
+        )
+        for replica, seed in enumerate((1, 2)):
+            scalar_summary = protocol.execute_round(
+                state.copy(), graph, make_rng(seed)
+            )
+            assert scalar_summary.tasks_moved == batch_summary.tasks_moved[replica]
+            assert scalar_summary.weight_moved == batch_summary.weight_moved[replica]
+            assert scalar_summary.saturated == bool(batch_summary.saturated[replica])

@@ -1,6 +1,8 @@
-"""Tests for the batched ensemble engine (repro.core.batch).
+"""Tests for the batched ensemble engine (repro.core.batch), uniform path.
 
-Covers the ISSUE-mandated equivalence battery:
+Covers the equivalence battery through the shared ``tests/equivalence.py``
+harness (the weighted engine runs the same battery in
+``test_core_batch_weighted.py``):
 
 (a) per-replica determinism under fixed seeds (including prefix
     stability: the same replica is bit-identical regardless of how many
@@ -14,11 +16,17 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from scipy import stats
 
+from equivalence import (
+    assert_batch_conserves,
+    assert_engines_agree,
+    assert_prefix_stability,
+    assert_same_seed_determinism,
+)
 from repro.analysis.convergence import measure_convergence_rounds
 from repro.core.batch import BatchSimulator, run_protocol_batch
 from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.reference import ReferenceUniformProtocol
 from repro.core.stopping import (
     AnyStop,
     EpsilonNashStop,
@@ -30,8 +38,8 @@ from repro.core.stopping import (
 from repro.errors import ProtocolError, SimulationError, ValidationError
 from repro.graphs.generators import torus_graph
 from repro.model.batch import BatchUniformState
-from repro.model.placement import place_weighted_random, random_placement
-from repro.model.state import UniformState, WeightedState
+from repro.model.placement import random_placement
+from repro.model.state import UniformState
 from repro.utils.rng import spawn_rngs
 
 
@@ -65,10 +73,7 @@ class TestDeterminism:
             )
             return result.stop_rounds.copy(), batch.counts.copy()
 
-        rounds_a, counts_a = run()
-        rounds_b, counts_b = run()
-        np.testing.assert_array_equal(rounds_a, rounds_b)
-        np.testing.assert_array_equal(counts_a, counts_b)
+        assert_same_seed_determinism(run)
 
     def test_replicas_reproducible_in_isolation(self, torus9):
         """Replica r's trajectory must not depend on the ensemble size.
@@ -87,10 +92,7 @@ class TestDeterminism:
             )
             return result.stop_rounds, batch.counts
 
-        rounds_small, counts_small = run(3)
-        rounds_large, counts_large = run(8)
-        np.testing.assert_array_equal(rounds_small, rounds_large[:3])
-        np.testing.assert_array_equal(counts_small, counts_large[:3])
+        assert_prefix_stability(run, 3, 8)
 
     def test_simulator_spawns_deterministic_streams(self, torus9):
         batch_a, _ = make_ensemble(torus9, 4, 72, seed=9)
@@ -108,18 +110,16 @@ class TestDeterminism:
 
 class TestConservation:
     def test_tasks_conserved_every_round(self, torus9):
+        """Totals exact per round; a retired replica stays untouched."""
         batch, rngs = make_ensemble(torus9, 6, 90, seed=2)
-        protocol = SelfishUniformProtocol()
-        totals = batch.num_tasks.copy()
-        active = np.ones(6, dtype=bool)
-        active[4] = False  # a retired replica must stay untouched
-        frozen = batch.counts[4].copy()
-        for _ in range(60):
-            summary = protocol.execute_round_batch(batch, torus9, rngs, active)
-            np.testing.assert_array_equal(batch.num_tasks, totals)
-            assert np.all(batch.counts >= 0)
-            assert summary.tasks_moved[4] == 0
-        np.testing.assert_array_equal(batch.counts[4], frozen)
+        assert_batch_conserves(
+            batch,
+            SelfishUniformProtocol(),
+            torus9,
+            rngs,
+            rounds=60,
+            retired=[4],
+        )
 
     def test_moved_counts_reported(self, torus9):
         """From an extreme start the first round must move tasks."""
@@ -136,6 +136,7 @@ class TestConservation:
         )
 
 
+@pytest.mark.slow
 class TestDistributionalEquivalence:
     def test_ks_agreement_with_scalar_engine(self, torus9):
         """Same seed set -> first-hit distributions agree (KS test).
@@ -144,44 +145,26 @@ class TestDistributionalEquivalence:
         kernel sample the identical per-round migration law, so the
         first-hitting-round samples are draws from one distribution.
         """
-        factory = uniform_factory(torus9.num_vertices, 72)
-        common = dict(
+        assert_engines_agree(
             graph=torus9,
             protocol=SelfishUniformProtocol(),
-            state_factory=factory,
+            state_factory=uniform_factory(torus9.num_vertices, 72),
             stopping=NashStop(),
             repetitions=80,
             max_rounds=50_000,
             seed=31,
         )
-        batch = measure_convergence_rounds(engine="batch", **common)
-        scalar = measure_convergence_rounds(engine="scalar", **common)
-        assert batch.engine == "batch"
-        assert scalar.engine == "scalar"
-        assert batch.all_converged and scalar.all_converged
-        statistic = stats.ks_2samp(batch.rounds, scalar.rounds)
-        assert statistic.pvalue > 0.01, (
-            f"first-hit distributions diverged: KS p={statistic.pvalue:.4g} "
-            f"(batch median {batch.median_rounds}, "
-            f"scalar median {scalar.median_rounds})"
-        )
 
     def test_psi_threshold_agreement(self, torus9):
-        factory = uniform_factory(torus9.num_vertices, 120)
-        common = dict(
+        assert_engines_agree(
             graph=torus9,
             protocol=SelfishUniformProtocol(),
-            state_factory=factory,
+            state_factory=uniform_factory(torus9.num_vertices, 120),
             stopping=PotentialThresholdStop(60.0, "psi0"),
             repetitions=60,
             max_rounds=20_000,
             seed=77,
         )
-        batch = measure_convergence_rounds(engine="batch", **common)
-        scalar = measure_convergence_rounds(engine="scalar", **common)
-        assert batch.all_converged and scalar.all_converged
-        statistic = stats.ks_2samp(batch.rounds, scalar.rounds)
-        assert statistic.pvalue > 0.01
 
 
 class TestBatchedStoppingRules:
@@ -241,8 +224,10 @@ class TestEngineRouting:
     def test_auto_stays_scalar_for_ablation_alpha(self, torus9):
         """Clipped (alpha < 4 s_max) regimes keep the scalar reference:
 
-        there the two kernels resolve saturation differently, so auto
-        must not silently switch laws."""
+        there the two uniform kernels resolve saturation differently, so
+        auto must not silently switch laws. (The weighted kernels clip
+        identically; their routing is covered in
+        test_core_batch_weighted.py.)"""
         measurement = measure_convergence_rounds(
             graph=torus9,
             protocol=SelfishUniformProtocol(alpha=0.5),
@@ -254,38 +239,32 @@ class TestEngineRouting:
         )
         assert measurement.engine == "scalar"
 
-    def test_auto_falls_back_for_weighted(self, torus9):
+    def test_forced_batch_rejects_unstackable_states(self, torus9):
+        """Replicas with per-repetition speed vectors cannot stack."""
         n = torus9.num_vertices
 
-        def weighted_factory(rng):
-            weights = rng.uniform(0.2, 1.0, size=4 * n)
-            locations = place_weighted_random(weights.shape[0], n, rng)
-            return WeightedState(locations, weights, np.ones(n))
-
-        measurement = measure_convergence_rounds(
-            graph=torus9,
-            protocol=SelfishWeightedProtocol(),
-            state_factory=weighted_factory,
-            stopping=NashStop(),
-            repetitions=3,
-            max_rounds=20_000,
-            seed=6,
-        )
-        assert measurement.engine == "scalar"
-
-    def test_forced_batch_rejects_weighted(self, torus9):
-        n = torus9.num_vertices
-
-        def weighted_factory(rng):
-            weights = rng.uniform(0.2, 1.0, size=n)
-            locations = place_weighted_random(weights.shape[0], n, rng)
-            return WeightedState(locations, weights, np.ones(n))
+        def varying_speeds_factory(rng):
+            speeds = rng.uniform(1.0, 2.0, size=n)
+            return UniformState(random_placement(n, 36, rng), speeds)
 
         with pytest.raises(ValidationError):
             measure_convergence_rounds(
                 graph=torus9,
-                protocol=SelfishWeightedProtocol(),
-                state_factory=weighted_factory,
+                protocol=SelfishUniformProtocol(),
+                state_factory=varying_speeds_factory,
+                stopping=NashStop(),
+                repetitions=2,
+                max_rounds=100,
+                seed=6,
+                engine="batch",
+            )
+
+    def test_forced_batch_rejects_batch_incapable_protocol(self, torus9):
+        with pytest.raises(ValidationError):
+            measure_convergence_rounds(
+                graph=torus9,
+                protocol=ReferenceUniformProtocol(),
+                state_factory=uniform_factory(torus9.num_vertices, 36),
                 stopping=NashStop(),
                 repetitions=2,
                 max_rounds=100,
@@ -309,7 +288,12 @@ class TestEngineRouting:
 class TestBatchSimulatorContract:
     def test_rejects_batch_incapable_protocol(self, torus9):
         with pytest.raises(SimulationError):
-            BatchSimulator(torus9, SelfishWeightedProtocol())
+            BatchSimulator(torus9, ReferenceUniformProtocol())
+
+    def test_weighted_protocol_now_batch_capable(self, torus9):
+        """PR 2: the weighted protocols advertise a batched kernel."""
+        simulator = BatchSimulator(torus9, SelfishWeightedProtocol())
+        assert simulator.protocol.supports_batch
 
     def test_rejects_node_mismatch(self, torus9):
         batch = BatchUniformState(np.ones((2, 4), dtype=np.int64), np.ones(4))

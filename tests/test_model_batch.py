@@ -1,4 +1,4 @@
-"""Tests for repro.model.batch (the replica-stack state)."""
+"""Tests for repro.model.batch (the replica-stack states)."""
 
 from __future__ import annotations
 
@@ -7,8 +7,8 @@ import pytest
 
 from repro.core.potentials import psi0_potential, psi1_potential
 from repro.errors import ModelError
-from repro.model.batch import BatchUniformState
-from repro.model.state import UniformState
+from repro.model.batch import BatchUniformState, BatchWeightedState
+from repro.model.state import UniformState, WeightedState
 
 
 def make_batch():
@@ -174,3 +174,165 @@ class TestMutation:
 
     def test_repr(self):
         assert "R=3" in repr(make_batch())
+
+
+def make_weighted_batch():
+    """Two replicas with different task counts (padding exercised)."""
+    states = [
+        WeightedState([0, 1, 1, 2], [0.5, 0.25, 1.0, 0.75], [1.0, 1.0, 2.0]),
+        WeightedState([2, 0], [0.3, 0.6], [1.0, 1.0, 2.0]),
+    ]
+    return BatchWeightedState.from_states(states), states
+
+
+class TestWeightedConstruction:
+    def test_padded_layout(self):
+        batch, states = make_weighted_batch()
+        assert batch.num_replicas == 2
+        assert batch.num_nodes == 3
+        assert batch.max_tasks == 4
+        np.testing.assert_array_equal(batch.num_tasks, [4, 2])
+        np.testing.assert_array_equal(batch.task_nodes[1], [2, 0, -1, -1])
+        np.testing.assert_array_equal(batch.task_weights[1], [0.3, 0.6, 0.0, 0.0])
+        np.testing.assert_array_equal(
+            batch.task_mask, [[True] * 4, [True, True, False, False]]
+        )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ModelError):
+            BatchWeightedState([0, 1], [0.5, 0.5], [1.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            BatchWeightedState([[0, 1]], [[0.5]], [1.0, 1.0])
+
+    def test_rejects_out_of_range_locations(self):
+        with pytest.raises(ModelError):
+            BatchWeightedState([[0, 5]], [[0.5, 0.5]], [1.0, 1.0])
+        with pytest.raises(ModelError):
+            BatchWeightedState([[0, -2]], [[0.5, 0.5]], [1.0, 1.0])
+
+    def test_rejects_invalid_weights(self):
+        with pytest.raises(ModelError):
+            BatchWeightedState([[0, 1]], [[0.5, 1.5]], [1.0, 1.0])
+        with pytest.raises(ModelError):
+            BatchWeightedState([[0, 1]], [[0.5, 0.0]], [1.0, 1.0])
+
+    def test_from_states_rejects_mixed_speeds(self):
+        states = [
+            WeightedState([0], [0.5], [1.0, 1.0]),
+            WeightedState([0], [0.5], [1.0, 2.0]),
+        ]
+        with pytest.raises(ModelError):
+            BatchWeightedState.from_states(states)
+        assert not BatchWeightedState.can_stack(states)
+
+    def test_can_stack_allows_ragged_tasks(self):
+        _, states = make_weighted_batch()
+        assert BatchWeightedState.can_stack(states)
+        assert not BatchWeightedState.can_stack([])
+        assert not BatchWeightedState.can_stack(
+            [UniformState([1, 2], [1.0, 1.0])]
+        )
+
+    def test_replicate(self):
+        state = WeightedState([0, 2], [0.5, 0.9], [1.0, 1.0, 2.0])
+        batch = BatchWeightedState.replicate(state, 3)
+        assert batch.num_replicas == 3
+        np.testing.assert_array_equal(batch.task_nodes[2], [0, 2])
+
+    def test_replica_round_trip_strips_padding(self):
+        batch, states = make_weighted_batch()
+        replica = batch.replica(1)
+        assert isinstance(replica, WeightedState)
+        np.testing.assert_array_equal(replica.task_nodes, states[1].task_nodes)
+        np.testing.assert_array_equal(
+            replica.task_weights, states[1].task_weights
+        )
+        np.testing.assert_allclose(
+            replica.node_weights, states[1].node_weights
+        )
+
+    def test_replica_out_of_range(self):
+        batch, _ = make_weighted_batch()
+        with pytest.raises(ModelError):
+            batch.replica(2)
+
+
+class TestWeightedDerivedQuantities:
+    """Every batched quantity must agree row-wise with the scalar state."""
+
+    def test_rowwise_match(self):
+        batch, states = make_weighted_batch()
+        for r, scalar in enumerate(states):
+            np.testing.assert_allclose(batch.node_weights[r], scalar.node_weights)
+            np.testing.assert_allclose(batch.loads[r], scalar.loads)
+            np.testing.assert_allclose(batch.deviation[r], scalar.deviation)
+            assert batch.max_load_difference[r] == pytest.approx(
+                scalar.max_load_difference
+            )
+            assert batch.total_weight[r] == pytest.approx(scalar.total_weight)
+            assert batch.psi0_potentials()[r] == pytest.approx(
+                psi0_potential(scalar)
+            )
+            assert batch.psi1_potentials()[r] == pytest.approx(
+                psi1_potential(scalar)
+            )
+
+    def test_loads_for_rows(self):
+        batch, states = make_weighted_batch()
+        np.testing.assert_allclose(batch.loads_for([1])[0], states[1].loads)
+
+    def test_total_task_weight_ignores_padding(self):
+        batch, states = make_weighted_batch()
+        np.testing.assert_allclose(
+            batch.total_task_weight,
+            [state.total_weight for state in states],
+        )
+
+
+class TestWeightedMutation:
+    def test_arrays_read_only(self):
+        batch, _ = make_weighted_batch()
+        with pytest.raises(ValueError):
+            batch.task_nodes[0, 0] = 1
+        with pytest.raises(ValueError):
+            batch.task_weights[0, 0] = 0.9
+        with pytest.raises(ValueError):
+            batch.task_mask[0, 0] = False
+
+    def test_apply_moves_updates_node_weights(self):
+        batch, _ = make_weighted_batch()
+        batch.apply_moves([0, 1], [0, 1], [1, 2])
+        assert batch.task_nodes[0, 0] == 1
+        assert batch.task_nodes[1, 1] == 2
+        rebuilt = batch.copy()
+        rebuilt.rebuild_node_weights()
+        np.testing.assert_allclose(
+            batch.node_weights, rebuilt.node_weights, atol=1e-12
+        )
+
+    def test_apply_moves_rejects_padding_slot(self):
+        batch, _ = make_weighted_batch()
+        with pytest.raises(ModelError):
+            batch.apply_moves([1], [3], [0])
+
+    def test_apply_moves_rejects_duplicate_task(self):
+        batch, _ = make_weighted_batch()
+        with pytest.raises(ModelError):
+            batch.apply_moves([0, 0], [1, 1], [0, 2])
+
+    def test_apply_moves_rejects_bad_destination(self):
+        batch, _ = make_weighted_batch()
+        with pytest.raises(ModelError):
+            batch.apply_moves([0], [0], [7])
+
+    def test_copy_independent(self):
+        batch, _ = make_weighted_batch()
+        clone = batch.copy()
+        batch.apply_moves([0], [0], [2])
+        assert clone.task_nodes[0, 0] == 0
+
+    def test_repr(self):
+        batch, _ = make_weighted_batch()
+        assert "R=2" in repr(batch)

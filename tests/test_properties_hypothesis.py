@@ -23,13 +23,24 @@ from repro.core.potentials import (
     psi0_potential,
     psi1_potential,
 )
-from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
-from repro.graphs.generators import cycle_graph, grid_graph
+from repro.core.protocols import (
+    PerTaskThresholdProtocol,
+    SelfishUniformProtocol,
+    SelfishWeightedProtocol,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.model.batch import BatchWeightedState
 from repro.model.placement import proportional_placement
 from repro.model.speeds import speed_granularity
 from repro.model.state import UniformState, WeightedState
 from repro.spectral.inner_product import s_dot
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, spawn_rngs
 
 # Shared strategies -----------------------------------------------------
 
@@ -267,3 +278,140 @@ class TestModelProperties:
         steps = speeds / eps
         np.testing.assert_allclose(steps, np.rint(steps), atol=1e-6)
         assert 0 < eps <= 1.0
+
+
+# Batched weighted engine vs scalar reference ---------------------------
+
+GRAPH_FAMILIES = st.sampled_from(
+    [cycle_graph, path_graph, complete_graph, star_graph, grid_graph]
+)
+
+
+def weighted_scenario_strategy():
+    """(graph, weights, locations, speeds) over random graph families.
+
+    ``grid_graph`` interprets the size draw as a side length, so graphs
+    range from 3 to ~25 nodes; weights lie in (0, 1], speeds in [1, 8].
+    """
+    return st.tuples(
+        GRAPH_FAMILIES,
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+
+class TestBatchedWeightedProperties:
+    """The batched weighted kernel against its scalar reference.
+
+    The weighted batch kernel consumes each replica's stream exactly
+    like the scalar kernel, so single-round *law agreement* is checked
+    at full strength: identical generator states must give bit-identical
+    post-round assignments, for arbitrary weight vectors, speeds, and
+    graph families.
+    """
+
+    @staticmethod
+    def _build_scenario(make_graph, size, m, seed):
+        graph = make_graph(size)
+        n = graph.num_vertices
+        rng = make_rng(seed)
+        weights = rng.uniform(0.01, 1.0, size=m)
+        locations = rng.integers(0, n, size=m)
+        speeds = rng.uniform(1.0, 8.0, size=n)
+        return graph, WeightedState(locations, weights, speeds)
+
+    @given(
+        weighted_scenario_strategy(),
+        st.sampled_from(["flow", "pseudocode", "per-task"]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_single_round_batch_matches_scalar(self, scenario, rule, seed):
+        make_graph, size, m, state_seed = scenario
+        graph, state = self._build_scenario(make_graph, size, m, state_seed)
+        if rule == "per-task":
+            protocol = PerTaskThresholdProtocol()
+        else:
+            protocol = SelfishWeightedProtocol(rule=rule)
+        batch = BatchWeightedState.from_states([state.copy()])
+        summary = protocol.execute_round_batch(
+            batch, graph, [make_rng(seed)], None
+        )
+        scalar_summary = protocol.execute_round(state, graph, make_rng(seed))
+        assert scalar_summary.tasks_moved == summary.tasks_moved[0]
+        assert scalar_summary.weight_moved == pytest.approx(
+            summary.weight_moved[0], abs=1e-12
+        )
+        assert scalar_summary.saturated == bool(summary.saturated[0])
+        np.testing.assert_array_equal(
+            batch.replica(0).task_nodes, state.task_nodes
+        )
+        np.testing.assert_array_equal(
+            batch.node_weights[0], state.node_weights
+        )
+
+    @given(
+        weighted_scenario_strategy(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_total_weight_exactly_conserved(self, scenario, seed):
+        """Total weight per replica is bit-invariant across rounds."""
+        make_graph, size, m, state_seed = scenario
+        graph, state = self._build_scenario(make_graph, size, m, state_seed)
+        replicas = [state.copy() for _ in range(3)]
+        batch = BatchWeightedState.from_states(replicas)
+        totals = batch.total_task_weight.copy()
+        rngs = spawn_rngs(seed, 3)
+        protocol = SelfishWeightedProtocol()
+        for _ in range(5):
+            protocol.execute_round_batch(batch, graph, rngs, None)
+            np.testing.assert_array_equal(batch.total_task_weight, totals)
+            # Incremental node weights stay consistent with a rebuild.
+            rebuilt = batch.copy()
+            rebuilt.rebuild_node_weights()
+            np.testing.assert_allclose(
+                batch.node_weights, rebuilt.node_weights, atol=1e-9
+            )
+            assert np.all(batch.task_nodes[batch.task_mask] >= 0)
+
+    @given(
+        weighted_scenario_strategy(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_ragged_stack_padding_inert(self, scenario, seed):
+        """Replicas of different task counts coexist; padding never moves."""
+        make_graph, size, m, state_seed = scenario
+        graph, state = self._build_scenario(make_graph, size, m, state_seed)
+        rng = make_rng(state_seed + 1)
+        short_m = max(1, m // 2)
+        short = WeightedState(
+            rng.integers(0, graph.num_vertices, size=short_m),
+            rng.uniform(0.01, 1.0, size=short_m),
+            state.speeds,  # replicas must share one speed vector
+        )
+        batch = BatchWeightedState.from_states([state, short])
+        assert batch.max_tasks == max(state.num_tasks, short.num_tasks)
+        padding_before = batch.task_nodes[~batch.task_mask].copy()
+        protocol = SelfishWeightedProtocol()
+        protocol.execute_round_batch(batch, graph, spawn_rngs(seed, 2), None)
+        np.testing.assert_array_equal(
+            batch.task_nodes[~batch.task_mask], padding_before
+        )
+        np.testing.assert_array_equal(
+            batch.task_weights[~batch.task_mask], 0.0
+        )
