@@ -1,0 +1,143 @@
+"""Bench: parallel sweep executor vs the serial in-process path.
+
+Not a paper artifact — the scale axis on top of the PR 1/2 batch
+engines. Inside a cell the repetitions advance as one vectorized replica
+stack; across cells the executor fans independent (family, size) specs
+over a process pool. Each cell derives its own seed from the spec, so
+results are bit-identical at any worker count (asserted here), and the
+only thing parallelism can change is wall-clock.
+
+The speedup acceptance runs the quick approx grid at 100 repetitions per
+cell (the batch engine makes repetitions nearly free, so this fattens
+each cell without changing the grid) and requires >= 1.8x at 4 workers.
+It needs real cores to mean anything and is skipped on machines exposing
+fewer than 4 CPUs; the CI slow tier's multi-core runners enforce it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments._common import APPROX_SWEEP_QUICK, WEIGHTED_SWEEP_QUICK
+from repro.experiments.executor import (
+    CellSpec,
+    execute_cells,
+    group_by_family,
+    run_cell,
+    sweep_specs,
+)
+
+#: Repetitions per cell for the wall-clock acceptance: enough work per
+#: cell that pool startup amortizes away (the quick grids at the
+#: experiments' 3 repetitions finish in ~0.2s total, which a fork+pickle
+#: round-trip would swamp).
+ACCEPTANCE_REPETITIONS = 100
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _quick_approx_specs(repetitions: int) -> list[CellSpec]:
+    return sweep_specs(
+        "approx",
+        APPROX_SWEEP_QUICK,
+        m_factor=8.0,
+        repetitions=repetitions,
+        seed=20120716,
+    )
+
+
+def test_executor_serial_quick_approx(benchmark):
+    """Baseline: the quick approx grid serially in-process."""
+    specs = _quick_approx_specs(repetitions=3)
+    cells = benchmark.pedantic(
+        lambda: execute_cells(specs, workers=None), rounds=1, iterations=1
+    )
+    assert all(cell.num_converged == cell.num_repetitions for cell in cells)
+    benchmark.extra_info["cells"] = len(specs)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_executor_pool_quick_approx(benchmark, workers):
+    """The same grid through a process pool (overhead-bound at 3 reps)."""
+    specs = _quick_approx_specs(repetitions=3)
+    cells = benchmark.pedantic(
+        lambda: execute_cells(specs, workers=workers), rounds=1, iterations=1
+    )
+    assert all(cell.num_converged == cell.num_repetitions for cell in cells)
+    benchmark.extra_info["cells"] = len(specs)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cpus"] = _available_cpus()
+
+
+def test_executor_results_identical_across_worker_counts():
+    """Bit-identical cells: serial vs pool on the weighted quick grid."""
+    specs = sweep_specs(
+        "weighted",
+        WEIGHTED_SWEEP_QUICK,
+        m_factor=8.0,
+        repetitions=2,
+        seed=7,
+    )
+    serial = execute_cells(specs, workers=None)
+    pooled = execute_cells(specs, workers=2)
+    # FamilyMeasurement is a frozen dataclass of plain scalars, so
+    # equality here is exact float equality field by field.
+    assert serial == pooled
+    grouped = group_by_family(specs, serial)
+    assert [cell.family for cells in grouped.values() for cell in cells] == [
+        spec.family for spec in specs
+    ]
+
+
+def test_run_cell_rejects_unknown_kind():
+    spec = CellSpec(
+        kind="nope", family="ring", n=8, m_factor=8.0, repetitions=1, seed=1
+    )
+    with pytest.raises(ValidationError, match="unknown measurement kind"):
+        run_cell(spec)
+    with pytest.raises(ValidationError, match="unknown measurement kind"):
+        execute_cells([spec], workers=2)
+
+
+@pytest.mark.slow
+def test_executor_speedup_quick_approx_grid():
+    """Acceptance: >= 1.8x wall-clock at 4 workers on the quick approx grid.
+
+    Serial vs 4-worker pool over the same specs at 100 repetitions per
+    cell, best-of-two per configuration to shrug off noisy neighbours;
+    the results themselves must be identical.
+    """
+    cpus = _available_cpus()
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} CPU(s) available; a 4-worker pool cannot "
+            "demonstrate wall-clock speedup without real cores"
+        )
+    specs = _quick_approx_specs(repetitions=ACCEPTANCE_REPETITIONS)
+
+    def timed(workers):
+        best_seconds, cells = float("inf"), None
+        for _ in range(2):
+            start = time.perf_counter()
+            cells = execute_cells(specs, workers=workers)
+            best_seconds = min(best_seconds, time.perf_counter() - start)
+        return cells, best_seconds
+
+    pooled, pooled_seconds = timed(4)
+    serial, serial_seconds = timed(None)
+
+    assert serial == pooled
+    speedup = serial_seconds / pooled_seconds
+    assert speedup >= 1.8, (
+        f"4-worker executor only {speedup:.2f}x faster "
+        f"({pooled_seconds:.2f}s vs {serial_seconds:.2f}s serial)"
+    )

@@ -67,7 +67,13 @@ class ConvergenceMeasurement:
     Attributes
     ----------
     rounds:
-        First-hitting round per converged repetition.
+        First-hitting round per converged repetition (repetition order,
+        unconverged repetitions dropped).
+    repetition_rounds:
+        ``(num_repetitions,)`` float array aligned with the repetition
+        index: repetition ``k``'s first-hitting round, ``NaN`` where the
+        budget ran out. Both engines fill it, so downstream attribution
+        (which seed/replica converged when) is engine-independent.
     num_repetitions:
         Total repetitions attempted.
     num_converged:
@@ -81,6 +87,7 @@ class ConvergenceMeasurement:
     """
 
     rounds: np.ndarray
+    repetition_rounds: np.ndarray
     num_repetitions: int
     num_converged: int
     summary: SampleSummary | None
@@ -202,11 +209,13 @@ def measure_convergence_rounds(
             check_every=check_every,
             rngs=generators,
         )
-        rounds = result.converged_rounds.astype(np.int64)
+        repetition_rounds = np.where(
+            result.converged, result.stop_rounds, np.nan
+        ).astype(np.float64)
         engine_used = "batch"
     else:
-        hits: list[int] = []
-        for rng, state in zip(generators, states):
+        repetition_rounds = np.full(repetitions, np.nan, dtype=np.float64)
+        for index, (rng, state) in enumerate(zip(generators, states)):
             simulator = Simulator(graph, protocol, rng)
             scalar_result = simulator.run(
                 state,
@@ -215,12 +224,13 @@ def measure_convergence_rounds(
                 check_every=check_every,
             )
             if scalar_result.converged and scalar_result.stop_round is not None:
-                hits.append(scalar_result.stop_round)
-        rounds = np.asarray(hits, dtype=np.int64)
+                repetition_rounds[index] = scalar_result.stop_round
         engine_used = "scalar"
 
+    rounds = repetition_rounds[~np.isnan(repetition_rounds)].astype(np.int64)
     return ConvergenceMeasurement(
         rounds=rounds,
+        repetition_rounds=repetition_rounds,
         num_repetitions=repetitions,
         num_converged=int(rounds.shape[0]),
         summary=summarize(rounds.astype(np.float64)) if rounds.shape[0] else None,

@@ -9,6 +9,7 @@ Experiment ids
 --------------
 ``table1-approx``      Table 1, eps-approximate NE columns (empirical).
 ``table1-exact``       Table 1, exact NE columns (empirical).
+``table1-weighted``    Weighted Table-1-style sweep vs the Theorem 1.3 bound.
 ``thm11``              Theorem 1.1 measured-vs-bound.
 ``thm12``              Theorem 1.2 measured-vs-bound.
 ``thm13``              Theorem 1.3 measured-vs-bound (weighted tasks).
@@ -17,6 +18,11 @@ Experiment ids
 ``spectral-bounds``    Appendix A bounds (Lemmas 1.5/1.7/1.10/1.15, Cor 1.16).
 ``baselines``          Selfish protocol vs diffusion baselines.
 ``weighted-variants``  Algorithm 2 rules vs the [6] per-task condition.
+
+Sweep experiments accept ``workers`` (CLI ``--workers N``) to fan their
+independent (family, size) cells over a process pool via
+:mod:`repro.experiments.executor`; results are identical at any worker
+count because every cell derives its own seed.
 """
 
 from repro.experiments.registry import (

@@ -4,7 +4,14 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run table1-approx thm11 [--full] [--seed N]
+    python -m repro.experiments run table1-weighted --workers 4
     python -m repro.experiments all [--full] [--markdown experiments.md]
+
+``--workers N`` fans each sweep experiment's (family, size) cells over
+``N`` processes (sweep ids: ``table1-approx``, ``table1-exact``,
+``table1-weighted``, ``weighted-variants``); every cell derives its own
+seed, so outputs are byte-identical at any worker count. Unknown
+experiment ids exit with status 2; a failed reproduction exits with 1.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.experiments.registry import available_experiments, run_experiment
 from repro.experiments.reporting import render_result, result_to_markdown
 from repro.utils.serialization import write_csv, write_json
@@ -56,25 +64,56 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--csv",
         type=Path,
         default=None,
-        help="directory for figure-style data series (one CSV per series)",
+        help="directory for figure-style data series (one CSV per series, "
+        "named <experiment_id>__<series>.csv)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan sweep cells over N processes (default: serial in-process; "
+        "results are identical at any worker count)",
     )
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "workers", None) is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
 
-    ids = available_experiments() if args.command == "all" else args.ids
+    known = available_experiments()
+    ids = known if args.command == "all" else args.ids
+    # Fail fast on any unknown id so a typo cannot abort a multi-id run
+    # after earlier (possibly expensive) experiments already executed.
+    unknown = [experiment_id for experiment_id in ids if experiment_id not in known]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {unknown}; available: {known}",
+            file=sys.stderr,
+        )
+        return 2
     quick = not args.full
     all_passed = True
     markdown_sections: list[str] = []
     json_data: dict = {}
     for experiment_id in ids:
-        result = run_experiment(experiment_id, quick=quick, seed=args.seed)
+        try:
+            result = run_experiment(
+                experiment_id, quick=quick, seed=args.seed, workers=args.workers
+            )
+        except ReproError as error:
+            # Any deliberate library error (unknown id, bad parameters,
+            # executor misconfiguration) gets the clean-message contract;
+            # genuine programming errors still traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(render_result(result))
         print()
         all_passed = all_passed and result.passed
@@ -85,7 +124,14 @@ def main(argv: list[str] | None = None) -> int:
             for series_name, columns in result.series.items():
                 headers = list(columns)
                 rows = list(zip(*(columns[name] for name in headers)))
-                write_csv(args.csv / f"{series_name}.csv", rows, headers)
+                # Namespace by experiment so two experiments exporting a
+                # same-named series cannot overwrite each other under
+                # ``all --csv``.
+                write_csv(
+                    args.csv / f"{experiment_id}__{series_name}.csv",
+                    rows,
+                    headers,
+                )
 
     if args.markdown is not None:
         existing = (

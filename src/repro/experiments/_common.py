@@ -4,12 +4,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.analysis.convergence import measure_convergence_rounds
-from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.equilibrium import is_nash
+from repro.core.protocols import (
+    PerTaskThresholdProtocol,
+    Protocol,
+    SelfishUniformProtocol,
+    SelfishWeightedProtocol,
+)
+from repro.core.simulator import Simulator
 from repro.core.stopping import NashStop, PotentialThresholdStop, StoppingRule
+from repro.errors import ValidationError
 from repro.graphs.families import get_family
 from repro.graphs.graph import Graph
 from repro.model.placement import (
@@ -17,6 +26,7 @@ from repro.model.placement import (
     place_weighted_all_on_one,
     random_placement,
 )
+from repro.model.speeds import two_class_speeds
 from repro.model.state import UniformState, WeightedState
 from repro.model.tasks import two_class_weights
 from repro.spectral.eigen import algebraic_connectivity
@@ -27,13 +37,18 @@ from repro.theory.bounds import (
     theorem13_round_bound,
 )
 from repro.theory.constants import psi_critical
-from repro.utils.rng import derive_seed
+from repro.utils.rng import derive_seed, spawn_rngs
 
 __all__ = [
     "FamilyMeasurement",
+    "VariantMeasurement",
+    "WEIGHTED_VARIANT_LABELS",
     "measure_psi_threshold_time",
     "measure_exact_nash_time",
     "measure_weighted_threshold_time",
+    "measure_variant_threshold_time",
+    "variant_measure_seed",
+    "weighted_variant_setup",
     "APPROX_SWEEP_QUICK",
     "APPROX_SWEEP_FULL",
     "EXACT_SWEEP_QUICK",
@@ -255,6 +270,191 @@ def measure_psi_threshold_time(
         bound_rounds=bound,
         num_converged=measurement.num_converged,
         num_repetitions=measurement.num_repetitions,
+    )
+
+
+#: Weighted-protocol variants of the Section 4 ablation: variant key ->
+#: display label. The labels feed :func:`repro.utils.rng.derive_seed`, so
+#: they are part of the reproducibility contract — do not rename.
+WEIGHTED_VARIANT_LABELS: dict[str, str] = {
+    "flow": "Alg. 2 / flow rule",
+    "pseudocode": "Alg. 2 / pseudo-code rule",
+    "per-task": "[6]-style per-task",
+}
+
+
+@dataclass(frozen=True)
+class VariantMeasurement:
+    """Rounds-to-threshold measurement for one weighted-protocol variant.
+
+    Attributes
+    ----------
+    variant, label:
+        Variant key (see :data:`WEIGHTED_VARIANT_LABELS`) and its display
+        label.
+    median_rounds:
+        Median first-hitting round over the converged repetitions (NaN
+        when any repetition blew the budget, matching the ablation's
+        all-or-nothing reporting).
+    num_converged, num_repetitions:
+        Convergence bookkeeping.
+    engine:
+        Which measurement engine ran the repetitions.
+    probe_converged:
+        Whether the churn probe (a scalar replay of repetition 0)
+        reached the threshold state within the budget.
+    churn_per_round:
+        Mean migrations per round over the post-convergence churn
+        window.
+    still_threshold_nash:
+        Whether the probe state still satisfies the threshold condition
+        after the churn window.
+    """
+
+    variant: str
+    label: str
+    median_rounds: float
+    num_converged: int
+    num_repetitions: int
+    engine: str
+    probe_converged: bool
+    churn_per_round: float
+    still_threshold_nash: bool
+
+
+def variant_measure_seed(seed: int, variant: str) -> int:
+    """Per-cell seed for one ablation variant measurement.
+
+    The single derivation shared by :func:`measure_variant_threshold_time`
+    and the churn probe in :mod:`repro.experiments.weighted_variants` —
+    the probe replays repetition 0 of the measurement, which only works
+    if both sides derive the identical stream.
+
+    Deliberately derived from the variant label only, *not* ``(family,
+    n)`` like the sweep cells: the ablation runs one fixed cell per
+    variant, and the historical stream is load-bearing — the pseudo-code
+    rule is not guaranteed to reach the threshold state on every
+    trajectory (streams exist where a repetition never converges), so
+    reseeding would change the experiment's verdict, not just its
+    numbers. Fanning this kind over multiple sizes would correlate the
+    cells' randomness; grow the derivation (and re-baseline the
+    experiment) before doing that.
+    """
+    return derive_seed(seed, "weighted-variants", WEIGHTED_VARIANT_LABELS[variant])
+
+
+def weighted_variant_setup(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    variant: str,
+    m: int | None = None,
+) -> tuple[Graph, Protocol, Callable[[np.random.Generator], WeightedState]]:
+    """Graph, protocol, and state factory for one ablation variant cell.
+
+    Shared between the executor measurement kind and the churn probe in
+    :mod:`repro.experiments.weighted_variants`, so both replay the exact
+    same configuration: two-class speeds (25% fast at speed 2), two-class
+    weights (10% heavy), ``m = ceil(m_factor * n)`` tasks all starting on
+    node 0. An explicit ``m`` overrides the factor-derived count — the
+    ablation experiment fixes ``m`` exactly rather than scaling it, and
+    a ``m / n`` float round-trip through ``m_factor`` could be off by
+    one after ``ceil``.
+    """
+    if variant not in WEIGHTED_VARIANT_LABELS:
+        raise ValidationError(
+            f"unknown weighted variant {variant!r}; "
+            f"available: {sorted(WEIGHTED_VARIANT_LABELS)}"
+        )
+    family = get_family(family_name)
+    graph = family.make(target_n)
+    n = graph.num_vertices
+    if m is None:
+        m = int(math.ceil(m_factor * n))
+    speeds = two_class_speeds(n, fast_fraction=0.25, fast_speed=2.0)
+    weights = two_class_weights(m, heavy_fraction=0.1, heavy=1.0, light=0.1)
+    protocol: Protocol
+    if variant == "per-task":
+        protocol = PerTaskThresholdProtocol()
+    else:
+        protocol = SelfishWeightedProtocol(rule=variant)
+
+    def factory(rng: np.random.Generator) -> WeightedState:
+        locations = place_weighted_all_on_one(m, 0)
+        return WeightedState(locations, weights, speeds)
+
+    return graph, protocol, factory
+
+
+def measure_variant_threshold_time(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    max_rounds: int = 30_000,
+    engine: str = "auto",
+    variant: str = "flow",
+    m: int | None = None,
+    churn_window: int = 200,
+) -> VariantMeasurement:
+    """Measure one ablation variant's rounds-to-threshold and churn.
+
+    The measurement phase of the ``weighted-variants`` experiment as a
+    standalone (picklable) cell so the executor can fan the variants out
+    across processes — including the post-convergence churn probe, which
+    would otherwise serialize in the parent. The repetition seed derives
+    from the variant's display label (:func:`variant_measure_seed` — see
+    its note on why ``(family, n)`` is deliberately excluded here), so
+    results are identical at any worker count.
+
+    The churn probe is one scalar run that *replays repetition 0 of the
+    measurement* (same spawned child stream, and the weighted kernels
+    are pathwise identical across engines), so whenever the measurement
+    converged the probe is guaranteed to reach the same threshold state;
+    it then keeps running for ``churn_window`` rounds counting
+    migrations. A non-converged probe would make the churn numbers
+    meaningless, so ``probe_converged`` is reported for the verdict.
+    """
+    graph, protocol, factory = weighted_variant_setup(
+        family_name, target_n, m_factor, variant, m=m
+    )
+    label = WEIGHTED_VARIANT_LABELS[variant]
+    measure_seed = variant_measure_seed(seed, variant)
+    measurement = measure_convergence_rounds(
+        graph=graph,
+        protocol=protocol,
+        state_factory=factory,
+        stopping=NashStop(),
+        repetitions=repetitions,
+        max_rounds=max_rounds,
+        seed=measure_seed,
+        engine=engine,
+    )
+
+    rng = spawn_rngs(measure_seed, repetitions)[0]
+    state = factory(rng)
+    probe = Simulator(graph, protocol, rng).run(
+        state, stopping=NashStop(), max_rounds=max_rounds
+    )
+    moved = 0
+    for _ in range(churn_window):
+        moved += protocol.execute_round(state, graph, rng).tasks_moved
+
+    return VariantMeasurement(
+        variant=variant,
+        label=label,
+        median_rounds=(
+            measurement.median_rounds
+            if measurement.all_converged
+            else float("nan")
+        ),
+        num_converged=measurement.num_converged,
+        num_repetitions=measurement.num_repetitions,
+        engine=measurement.engine,
+        probe_converged=bool(probe.converged),
+        churn_per_round=moved / churn_window,
+        still_threshold_nash=bool(is_nash(state, graph)),
     )
 
 

@@ -1,0 +1,185 @@
+"""Parallel sweep executor: fan independent measurement cells over processes.
+
+The Table-1-style experiments sweep independent (graph family, size)
+cells — each cell spawns its own replica ensemble from a seed derived
+via :func:`repro.utils.rng.derive_seed`, so cells share no state and no
+randomness. This module turns those sweeps into data: a
+:class:`CellSpec` names the measurement kind and its parameters, and
+:func:`execute_cells` runs a spec list either serially in-process
+(``workers=None``) or fanned out over a ``ProcessPoolExecutor``.
+
+Because every cell derives its own seed *inside* the measurement
+function — ``(seed, family, n, tag)`` for the sweep kinds,
+``(seed, variant label)`` for the single-cell ``"weighted-variant"``
+kind (see :func:`repro.experiments._common.variant_measure_seed`) —
+results are bit-identical at any worker count: parallelism changes
+wall-clock, never numbers. The batch
+engine (PR 1/2) vectorizes the repetitions inside one cell; this
+executor is the axis on top: process-level parallelism across cells.
+
+Workers are processes, not threads, so the measurement functions and
+their results must be picklable. Every kind in :data:`MEASUREMENT_KINDS`
+is a module-level function in :mod:`repro.experiments._common` returning
+a frozen dataclass of plain scalars, which keeps child processes
+importable regardless of the multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
+
+from repro.errors import ValidationError
+from repro.experiments._common import (
+    measure_exact_nash_time,
+    measure_psi_threshold_time,
+    measure_variant_threshold_time,
+    measure_weighted_threshold_time,
+)
+
+__all__ = [
+    "CellSpec",
+    "MEASUREMENT_KINDS",
+    "run_cell",
+    "execute_cells",
+    "sweep_specs",
+    "group_by_family",
+]
+
+T = TypeVar("T")
+
+#: Measurement kind -> cell function. Each takes ``(family_name,
+#: target_n, m_factor, repetitions, seed)`` plus kind-specific keyword
+#: extras (a spec's ``params``) and derives its own per-cell seed.
+MEASUREMENT_KINDS: dict[str, Callable[..., object]] = {
+    "approx": measure_psi_threshold_time,
+    "exact": measure_exact_nash_time,
+    "weighted": measure_weighted_threshold_time,
+    "weighted-variant": measure_variant_threshold_time,
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Declarative description of one independent measurement cell.
+
+    Attributes
+    ----------
+    kind:
+        Key into :data:`MEASUREMENT_KINDS`.
+    family, n:
+        Graph family name and target size of the cell.
+    m_factor:
+        Task-count factor (the kind decides whether it scales ``n`` or
+        ``n^2``).
+    repetitions:
+        Independent repetitions inside the cell (batched by the PR 1/2
+        engines where possible).
+    seed:
+        Base seed; the measurement function derives the cell's own
+        stream from ``(seed, family, n, tag)``, which is what makes the
+        execution order — and the worker count — irrelevant to results.
+    params:
+        Kind-specific keyword extras as a sorted tuple of ``(name,
+        value)`` pairs (tuples keep the spec hashable and picklable).
+    """
+
+    kind: str
+    family: str
+    n: int
+    m_factor: float
+    repetitions: int
+    seed: int
+    params: tuple[tuple[str, object], ...] = ()
+
+
+def _measurement_for(kind: str) -> Callable[..., object]:
+    """Resolve a measurement kind, rejecting unknown ones."""
+    try:
+        return MEASUREMENT_KINDS[kind]
+    except KeyError:
+        raise ValidationError(
+            f"unknown measurement kind {kind!r}; "
+            f"available: {sorted(MEASUREMENT_KINDS)}"
+        ) from None
+
+
+def run_cell(spec: CellSpec) -> object:
+    """Run one cell in the current process."""
+    measure = _measurement_for(spec.kind)
+    return measure(
+        spec.family,
+        spec.n,
+        m_factor=spec.m_factor,
+        repetitions=spec.repetitions,
+        seed=spec.seed,
+        **dict(spec.params),
+    )
+
+
+def execute_cells(
+    specs: Iterable[CellSpec], workers: int | None = None
+) -> list[object]:
+    """Execute cells, returning results in spec order.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``1`` runs every cell serially in this process (the
+        reference path — no pool, no pickling). ``N >= 2`` fans the
+        cells out over a ``ProcessPoolExecutor`` with at most ``N``
+        workers. Results are identical either way; each cell's
+        randomness is derived from the spec, never from process state.
+    """
+    cell_specs = list(specs)
+    for spec in cell_specs:
+        _measurement_for(spec.kind)  # fail fast, before any fan-out
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    if workers is None or workers == 1 or len(cell_specs) <= 1:
+        return [run_cell(spec) for spec in cell_specs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cell_specs))) as pool:
+        return list(pool.map(run_cell, cell_specs))
+
+
+def sweep_specs(
+    kind: str,
+    sweep: Mapping[str, Sequence[int]],
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    **params: object,
+) -> list[CellSpec]:
+    """Expand a ``{family: [sizes]}`` sweep table into a spec list.
+
+    Preserves the sweep table's iteration order (family-major), which is
+    the order :func:`execute_cells` returns results in.
+    """
+    return [
+        CellSpec(
+            kind=kind,
+            family=family,
+            n=n,
+            m_factor=m_factor,
+            repetitions=repetitions,
+            seed=seed,
+            params=tuple(sorted(params.items())),
+        )
+        for family, sizes in sweep.items()
+        for n in sizes
+    ]
+
+
+def group_by_family(
+    specs: Sequence[CellSpec], results: Sequence[T]
+) -> dict[str, list[T]]:
+    """Regroup executor results by graph family, preserving spec order."""
+    if len(specs) != len(results):
+        raise ValidationError(
+            f"got {len(results)} results for {len(specs)} specs"
+        )
+    grouped: dict[str, list[T]] = {}
+    for spec, result in zip(specs, results):
+        grouped.setdefault(spec.family, []).append(result)
+    return grouped

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -110,8 +111,25 @@ def get_experiment(experiment_id: str) -> Callable[[bool, int], ExperimentResult
         ) from None
 
 
+def _accepts_workers(runner: Callable[..., ExperimentResult]) -> bool:
+    """Whether a registered runner takes a ``workers`` keyword."""
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+    if "workers" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
 def run_experiment(
-    experiment_id: str, quick: bool = True, seed: int = 20120716
+    experiment_id: str,
+    quick: bool = True,
+    seed: int = 20120716,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Run an experiment by id.
 
@@ -122,6 +140,14 @@ def run_experiment(
         ``False`` runs the full sweep sizes.
     seed:
         Base seed; every repetition derives an independent child.
+    workers:
+        Process count for sweep-style experiments (forwarded only to
+        runners that accept a ``workers`` keyword, so plain ``(quick,
+        seed)`` callables keep working). ``None`` runs serially;
+        parallel runs produce identical results — every cell derives
+        its own seed.
     """
     runner = get_experiment(experiment_id)
+    if workers is not None and _accepts_workers(runner):
+        return runner(quick, seed, workers=workers)
     return runner(quick, seed)

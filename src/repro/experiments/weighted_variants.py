@@ -12,12 +12,16 @@ The experiment compares three protocols on a heavy/light task mix:
 * the per-task-threshold baseline ([6]-style).
 
 Measured: rounds to the threshold state (``l_i - l_j <= 1/s_j`` on all
-edges, Algorithm 2's convergence target) over independent repetitions —
-routed through :func:`repro.analysis.convergence.measure_convergence_rounds`
-with ``engine="auto|batch|scalar"`` exactly like the uniform experiments,
-so the repetitions advance as one padded
-:class:`~repro.model.batch.BatchWeightedState` replica stack — and the
-residual churn afterwards (measured on one scalar probe run). The
+edges, Algorithm 2's convergence target) over independent repetitions,
+plus the residual churn afterwards (a scalar probe replaying repetition
+0). Each variant is one executor
+:class:`~repro.experiments.executor.CellSpec` (kind
+``"weighted-variant"``, implemented by
+:func:`repro.experiments._common.measure_variant_threshold_time`), so
+the three cells — measurement and churn probe alike — fan out over
+processes under ``--workers`` while each cell still batches its
+repetitions as one padded
+:class:`~repro.model.batch.BatchWeightedState` replica stack. The
 per-task baseline's lighter tasks keep migrating after the threshold
 state is reached (their own condition is stricter), which is exactly the
 behaviour the paper's modification removes.
@@ -25,56 +29,59 @@ behaviour the paper's modification removes.
 
 from __future__ import annotations
 
-from repro.analysis.convergence import measure_convergence_rounds
-from repro.core.equilibrium import is_nash
-from repro.core.protocols import (
-    PerTaskThresholdProtocol,
-    SelfishWeightedProtocol,
-)
-from repro.core.simulator import Simulator
-from repro.core.stopping import NashStop
+from repro.experiments._common import WEIGHTED_VARIANT_LABELS
+from repro.experiments.executor import CellSpec, execute_cells
 from repro.experiments.registry import ExperimentResult, register_experiment
-from repro.graphs.families import get_family
-from repro.model.placement import place_weighted_all_on_one
-from repro.model.speeds import two_class_speeds
-from repro.model.state import WeightedState
-from repro.model.tasks import two_class_weights
-from repro.utils.rng import derive_seed, spawn_rngs
 from repro.utils.tables import Table, format_float
 
 __all__ = ["run_weighted_variants"]
 
+#: Variant order of the ablation (also the report's row order).
+_VARIANTS = ("flow", "pseudocode", "per-task")
+
 
 @register_experiment("weighted-variants")
 def run_weighted_variants(
-    quick: bool = True, seed: int = 20120716, engine: str = "auto"
+    quick: bool = True,
+    seed: int = 20120716,
+    engine: str = "auto",
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Run the weighted-protocol ablation.
 
     ``engine`` selects the measurement engine for the rounds-to-threshold
     statistic (``"auto"`` batches the repetitions; ``"scalar"`` forces
     the sequential reference — identical results either way, the
-    weighted kernels are pathwise equivalent).
+    weighted kernels are pathwise equivalent). ``workers`` fans the
+    per-variant measurement cells over processes; each cell derives its
+    seed from the variant label, so results are identical at any worker
+    count.
     """
-    family = get_family("ring")
-    graph = family.make(8 if quick else 16)
-    n = graph.num_vertices
-    speeds = two_class_speeds(n, fast_fraction=0.25, fast_speed=2.0)
+    family_name = "ring"
+    target_n = 8 if quick else 16
     m = 1500 if quick else 6000
-    weights = two_class_weights(m, heavy_fraction=0.1, heavy=1.0, light=0.1)
     budget = 30_000 if quick else 200_000
     repetitions = 3 if quick else 5
-    churn_window = 200
 
-    def state_factory(rng):
-        locations = place_weighted_all_on_one(m, 0)
-        return WeightedState(locations, weights, speeds)
-
-    protocols = [
-        ("Alg. 2 / flow rule", SelfishWeightedProtocol(rule="flow")),
-        ("Alg. 2 / pseudo-code rule", SelfishWeightedProtocol(rule="pseudocode")),
-        ("[6]-style per-task", PerTaskThresholdProtocol()),
+    specs = [
+        CellSpec(
+            kind="weighted-variant",
+            family=family_name,
+            n=target_n,
+            m_factor=m / target_n,
+            repetitions=repetitions,
+            seed=seed,
+            params=(
+                ("engine", engine),
+                ("m", m),
+                ("max_rounds", budget),
+                ("variant", variant),
+            ),
+        )
+        for variant in _VARIANTS
     ]
+    measurements = execute_cells(specs, workers=workers)
+
     table = Table(
         headers=[
             "protocol",
@@ -83,70 +90,39 @@ def run_weighted_variants(
             "still threshold-NE after churn",
         ],
         title=(
-            f"Weighted variants on ring(n={n}), two-class speeds, "
+            f"Weighted variants on ring(n={target_n}), two-class speeds, "
             f"m={m} heavy/light tasks, {repetitions} repetitions"
         ),
     )
     rows = {}
     converged_all = True
     engine_used = None
-    for name, protocol in protocols:
-        measure_seed = derive_seed(seed, "weighted-variants", name)
-        measurement = measure_convergence_rounds(
-            graph=graph,
-            protocol=protocol,
-            state_factory=state_factory,
-            stopping=NashStop(),
-            repetitions=repetitions,
-            max_rounds=budget,
-            seed=measure_seed,
-            engine=engine,
-        )
+    for measurement in measurements:
         engine_used = measurement.engine
-        rounds = (
-            measurement.median_rounds
-            if measurement.all_converged
-            else float("nan")
+        converged_all = converged_all and (
+            measurement.num_converged == measurement.num_repetitions
+            and measurement.probe_converged
         )
-        converged_all = converged_all and measurement.all_converged
-
-        # Post-convergence churn, probed on one scalar run that *replays
-        # repetition 0 of the measurement* (same spawned child stream,
-        # and the weighted kernels are pathwise identical across
-        # engines), so whenever the measurement converged the probe is
-        # guaranteed to reach the same threshold state; then keep
-        # running and count migrations. A non-converged probe would make
-        # the churn columns meaningless, so it folds into the verdict.
-        rng = spawn_rngs(measure_seed, repetitions)[0]
-        state = state_factory(rng)
-        simulator = Simulator(graph, protocol, rng)
-        probe = simulator.run(state, stopping=NashStop(), max_rounds=budget)
-        converged_all = converged_all and probe.converged
-        moved = 0
-        for _ in range(churn_window):
-            moved += protocol.execute_round(state, graph, rng).tasks_moved
-        churn = moved / churn_window
-        still_nash = is_nash(state, graph)
         table.add_row(
             [
-                name,
-                rounds,
-                format_float(churn, 3),
-                still_nash,
+                measurement.label,
+                measurement.median_rounds,
+                format_float(measurement.churn_per_round, 3),
+                measurement.still_threshold_nash,
             ]
         )
-        rows[name] = {
-            "rounds": rounds,
-            "churn_per_round": churn,
-            "still_threshold_nash": still_nash,
+        rows[measurement.label] = {
+            "rounds": measurement.median_rounds,
+            "churn_per_round": measurement.churn_per_round,
+            "still_threshold_nash": measurement.still_threshold_nash,
         }
 
     # Expected shape: both Algorithm 2 rules converge and then stay quiet
     # (zero churn: no edge satisfies the weight-oblivious condition). The
     # per-task baseline may keep moving light tasks.
     alg2_quiet = (
-        rows["Alg. 2 / flow rule"]["churn_per_round"] == 0.0
-        and rows["Alg. 2 / pseudo-code rule"]["churn_per_round"] == 0.0
+        rows[WEIGHTED_VARIANT_LABELS["flow"]]["churn_per_round"] == 0.0
+        and rows[WEIGHTED_VARIANT_LABELS["pseudocode"]]["churn_per_round"] == 0.0
     )
     result = ExperimentResult(
         experiment_id="weighted-variants",
@@ -165,7 +141,7 @@ def run_weighted_variants(
         if alg2_quiet
         else "WARNING: Algorithm 2 kept migrating after the threshold state."
     )
-    per_task_churn = rows["[6]-style per-task"]["churn_per_round"]
+    per_task_churn = rows[WEIGHTED_VARIANT_LABELS["per-task"]]["churn_per_round"]
     result.notes.append(
         f"The per-task baseline continues migrating light tasks after the "
         f"threshold state ({per_task_churn:.2f} moves/round) — the churn "

@@ -6,17 +6,23 @@ import numpy as np
 import pytest
 
 from repro.analysis.convergence import measure_convergence_rounds
-from repro.core.protocols import SelfishUniformProtocol
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
 from repro.core.stopping import NashStop, PotentialThresholdStop
 from repro.errors import ValidationError
 from repro.graphs.generators import cycle_graph
-from repro.model.state import UniformState
+from repro.model.state import UniformState, WeightedState
 
 
 def state_factory(rng):
     counts = np.zeros(8, dtype=np.int64)
     counts[0] = 80
     return UniformState(counts, np.ones(8))
+
+
+def weighted_state_factory(rng):
+    locations = np.zeros(40, dtype=np.int64)
+    weights = np.linspace(0.2, 1.0, 40)
+    return WeightedState(locations, weights, np.ones(8))
 
 
 class TestMeasureConvergenceRounds:
@@ -33,6 +39,11 @@ class TestMeasureConvergenceRounds:
         assert measurement.all_converged
         assert measurement.num_converged == 4
         assert measurement.rounds.shape == (4,)
+        assert measurement.repetition_rounds.shape == (4,)
+        assert not np.isnan(measurement.repetition_rounds).any()
+        np.testing.assert_array_equal(
+            measurement.rounds, measurement.repetition_rounds.astype(np.int64)
+        )
         assert measurement.summary is not None
         assert measurement.median_rounds > 0
         assert measurement.mean_rounds > 0
@@ -49,8 +60,51 @@ class TestMeasureConvergenceRounds:
         )
         assert measurement.num_converged == 0
         assert not measurement.all_converged
+        assert measurement.repetition_rounds.shape == (3,)
+        assert np.isnan(measurement.repetition_rounds).all()
         assert np.isnan(measurement.median_rounds)
         assert np.isnan(measurement.mean_rounds)
+
+    def test_repetition_rounds_align_across_engines(self, ring8):
+        """Per-repetition attribution matches between scalar and batch.
+
+        The weighted kernels are pathwise identical across engines, so
+        with the same seed both must report the same first-hitting round
+        — and the same NaN slots — repetition by repetition, even when a
+        tight budget leaves some repetitions unconverged.
+        """
+
+        def run(engine, max_rounds):
+            return measure_convergence_rounds(
+                graph=ring8,
+                protocol=SelfishWeightedProtocol(),
+                state_factory=weighted_state_factory,
+                stopping=NashStop(),
+                repetitions=6,
+                max_rounds=max_rounds,
+                seed=11,
+                engine=engine,
+            )
+
+        generous = run("batch", 50_000)
+        assert generous.all_converged
+        # A budget strictly inside the observed range leaves a genuine
+        # converged/unconverged mix to attribute.
+        budget = int(np.median(generous.repetition_rounds))
+        scalar = run("scalar", budget)
+        batch = run("batch", budget)
+        assert 0 < scalar.num_converged < scalar.num_repetitions
+        np.testing.assert_array_equal(
+            scalar.repetition_rounds, batch.repetition_rounds
+        )
+        converged = ~np.isnan(batch.repetition_rounds)
+        np.testing.assert_array_equal(
+            np.isnan(generous.repetition_rounds), np.zeros(6, dtype=bool)
+        )
+        np.testing.assert_array_equal(
+            batch.repetition_rounds[converged],
+            generous.repetition_rounds[converged],
+        )
 
     def test_reproducible(self, ring8):
         def run():

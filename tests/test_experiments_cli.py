@@ -1,0 +1,170 @@
+"""End-to-end tests for the ``python -m repro.experiments`` CLI.
+
+Covers the exit-code contract (0 pass / 1 fail / 2 usage or unknown id),
+artifact writing (``--json`` / ``--csv`` / ``--markdown``), the
+experiment-namespaced CSV filenames, and ``--workers`` determinism
+(byte-identical JSON at any worker count).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.__main__ as cli
+from repro.experiments.registry import ExperimentResult
+from repro.utils.tables import Table
+
+
+def make_result(experiment_id, passed=True, series_name=None):
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"stub {experiment_id}",
+        passed=passed,
+        data={"value": 1},
+    )
+    table = Table(headers=["k"], title="stub table")
+    table.add_row([1])
+    result.tables = [table]
+    if series_name is not None:
+        result.series[series_name] = {"x": [1, 2], "y": [3.0, 4.0]}
+    return result
+
+
+@pytest.fixture
+def stub_cli(monkeypatch):
+    """Replace the CLI's registry hooks with cheap deterministic stubs."""
+    results = {
+        "stub-pass": make_result("stub-pass", series_name="curve"),
+        "stub-fail": make_result("stub-fail", passed=False, series_name="curve"),
+    }
+
+    def fake_run(experiment_id, quick=True, seed=0, workers=None):
+        from repro.experiments.registry import run_experiment
+
+        if experiment_id not in results:
+            return run_experiment(
+                experiment_id, quick=quick, seed=seed, workers=workers
+            )
+        return results[experiment_id]
+
+    monkeypatch.setattr(cli, "available_experiments", lambda: sorted(results))
+    monkeypatch.setattr(cli, "run_experiment", fake_run)
+    return results
+
+
+class TestExitCodes:
+    def test_list_exits_zero(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-weighted" in out
+        assert "table1-exact" in out
+
+    def test_unknown_id_exits_two_with_stderr_message(self, capsys):
+        code = cli.main(["run", "no-such-experiment"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown experiment" in captured.err
+        assert "available" in captured.err
+        assert "table1-weighted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_run_pass_exits_zero(self, stub_cli, capsys):
+        assert cli.main(["run", "stub-pass"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_run_fail_exits_one(self, stub_cli, capsys):
+        assert cli.main(["run", "stub-fail"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_all_runs_every_registered_id(self, stub_cli, capsys):
+        assert cli.main(["all"]) == 1  # stub-fail drags the verdict down
+        out = capsys.readouterr().out
+        assert "stub-pass" in out
+        assert "stub-fail" in out
+
+    def test_workers_zero_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["run", "table1-weighted", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestArtifacts:
+    def test_json_markdown_csv(self, stub_cli, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        markdown_path = tmp_path / "report.md"
+        csv_dir = tmp_path / "series"
+        code = cli.main(
+            [
+                "run",
+                "stub-pass",
+                "--json",
+                str(json_path),
+                "--markdown",
+                str(markdown_path),
+                "--csv",
+                str(csv_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload == {"stub-pass": {"passed": True, "value": 1}}
+        assert "### `stub-pass`" in markdown_path.read_text()
+        csv_file = csv_dir / "stub-pass__curve.csv"
+        assert csv_file.exists()
+        assert csv_file.read_text().splitlines()[0] == "x,y"
+
+    def test_csv_files_namespaced_per_experiment(self, stub_cli, tmp_path, capsys):
+        """Two experiments sharing a series name must not collide."""
+        csv_dir = tmp_path / "series"
+        code = cli.main(["all", "--csv", str(csv_dir)])
+        capsys.readouterr()
+        assert code == 1
+        names = sorted(path.name for path in csv_dir.glob("*.csv"))
+        assert names == ["stub-fail__curve.csv", "stub-pass__curve.csv"]
+        # Both series survived intact (no overwrite).
+        for name in names:
+            assert (csv_dir / name).read_text().splitlines() == [
+                "x,y",
+                "1,3.0",
+                "2,4.0",
+            ]
+
+    def test_markdown_appends(self, stub_cli, tmp_path, capsys):
+        markdown_path = tmp_path / "report.md"
+        markdown_path.write_text("# Existing\n")
+        assert cli.main(["run", "stub-pass", "--markdown", str(markdown_path)]) == 0
+        capsys.readouterr()
+        text = markdown_path.read_text()
+        assert text.startswith("# Existing")
+        assert "### `stub-pass`" in text
+
+
+class TestWorkersDeterminism:
+    def test_weighted_sweep_json_byte_identical_across_workers(
+        self, tmp_path, capsys
+    ):
+        """--workers {1,2} produce byte-for-byte identical artifacts."""
+        outputs = {}
+        for workers in ("1", "2"):
+            json_path = tmp_path / f"workers{workers}.json"
+            code = cli.main(
+                [
+                    "run",
+                    "table1-weighted",
+                    "--workers",
+                    workers,
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            assert code == 0
+            outputs[workers] = json_path.read_bytes()
+        capsys.readouterr()
+        assert outputs["1"] == outputs["2"]
+        payload = json.loads(outputs["1"])
+        assert payload["table1-weighted"]["passed"] is True
+        assert set(payload["table1-weighted"]["fits"]) == {"ring", "torus"}

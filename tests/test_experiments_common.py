@@ -10,6 +10,8 @@ from repro.experiments._common import (
     APPROX_SWEEP_QUICK,
     EXACT_SWEEP_FULL,
     EXACT_SWEEP_QUICK,
+    WEIGHTED_SWEEP_FULL,
+    WEIGHTED_SWEEP_QUICK,
     measure_exact_nash_time,
     measure_psi_threshold_time,
 )
@@ -19,9 +21,17 @@ class TestSweepDefinitions:
     def test_quick_subset_of_full_families(self):
         assert set(APPROX_SWEEP_QUICK) <= set(APPROX_SWEEP_FULL)
         assert set(EXACT_SWEEP_QUICK) <= set(EXACT_SWEEP_FULL)
+        assert set(WEIGHTED_SWEEP_QUICK) <= set(WEIGHTED_SWEEP_FULL)
 
     def test_sizes_strictly_increasing(self):
-        for sweep in (APPROX_SWEEP_QUICK, APPROX_SWEEP_FULL, EXACT_SWEEP_QUICK, EXACT_SWEEP_FULL):
+        for sweep in (
+            APPROX_SWEEP_QUICK,
+            APPROX_SWEEP_FULL,
+            EXACT_SWEEP_QUICK,
+            EXACT_SWEEP_FULL,
+            WEIGHTED_SWEEP_QUICK,
+            WEIGHTED_SWEEP_FULL,
+        ):
             for family, sizes in sweep.items():
                 assert sizes == sorted(sizes), family
                 assert len(set(sizes)) == len(sizes), family

@@ -1,0 +1,195 @@
+"""Tests for the parallel sweep executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments._common import (
+    WEIGHTED_SWEEP_QUICK,
+    FamilyMeasurement,
+    VariantMeasurement,
+    measure_variant_threshold_time,
+)
+from repro.experiments.executor import (
+    MEASUREMENT_KINDS,
+    CellSpec,
+    execute_cells,
+    group_by_family,
+    run_cell,
+    sweep_specs,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    _REGISTRY,
+    register_experiment,
+    run_experiment,
+)
+
+
+WEIGHTED_SPECS = sweep_specs(
+    "weighted", WEIGHTED_SWEEP_QUICK, m_factor=8.0, repetitions=2, seed=5
+)
+
+
+class TestSweepSpecs:
+    def test_family_major_order(self):
+        expected = [
+            (family, n)
+            for family, sizes in WEIGHTED_SWEEP_QUICK.items()
+            for n in sizes
+        ]
+        assert [(s.family, s.n) for s in WEIGHTED_SPECS] == expected
+
+    def test_shared_scalars(self):
+        for spec in WEIGHTED_SPECS:
+            assert spec.kind == "weighted"
+            assert spec.m_factor == 8.0
+            assert spec.repetitions == 2
+            assert spec.seed == 5
+            assert spec.params == ()
+
+    def test_params_sorted_and_hashable(self):
+        [spec] = sweep_specs(
+            "weighted-variant",
+            {"ring": [8]},
+            m_factor=2.0,
+            repetitions=1,
+            seed=1,
+            variant="flow",
+            engine="auto",
+        )
+        assert spec.params == (("engine", "auto"), ("variant", "flow"))
+        hash(spec)  # specs must stay usable as dict keys / picklable
+
+
+class TestRunCell:
+    def test_known_kinds_cover_all_measurements(self):
+        assert set(MEASUREMENT_KINDS) == {
+            "approx",
+            "exact",
+            "weighted",
+            "weighted-variant",
+        }
+
+    def test_runs_weighted_cell(self):
+        cell = run_cell(WEIGHTED_SPECS[0])
+        assert isinstance(cell, FamilyMeasurement)
+        assert cell.family == WEIGHTED_SPECS[0].family
+        assert cell.num_repetitions == 2
+
+    def test_variant_cell_forwards_params(self):
+        [spec] = sweep_specs(
+            "weighted-variant",
+            {"ring": [8]},
+            m_factor=10.0,
+            repetitions=2,
+            seed=3,
+            variant="per-task",
+            max_rounds=5_000,
+        )
+        cell = run_cell(spec)
+        assert isinstance(cell, VariantMeasurement)
+        assert cell.variant == "per-task"
+        direct = measure_variant_threshold_time(
+            "ring", 8, 10.0, repetitions=2, seed=3,
+            variant="per-task", max_rounds=5_000,
+        )
+        assert cell.label == direct.label == "[6]-style per-task"
+        assert cell.engine == direct.engine
+        assert cell.num_converged == direct.num_converged
+        np.testing.assert_array_equal(cell.median_rounds, direct.median_rounds)
+
+    def test_unknown_kind_rejected(self):
+        spec = CellSpec("bogus", "ring", 8, 1.0, 1, 1)
+        with pytest.raises(ValidationError, match="unknown measurement kind"):
+            run_cell(spec)
+
+
+class TestExecuteCells:
+    def test_serial_matches_pool(self):
+        serial = execute_cells(WEIGHTED_SPECS, workers=None)
+        pooled = execute_cells(WEIGHTED_SPECS, workers=2)
+        assert serial == pooled
+
+    def test_workers_one_is_serial_reference(self):
+        assert execute_cells(WEIGHTED_SPECS, workers=1) == execute_cells(
+            WEIGHTED_SPECS, workers=None
+        )
+
+    def test_order_preserved(self):
+        cells = execute_cells(WEIGHTED_SPECS, workers=2)
+        assert [(c.family, c.n) for c in cells] == [
+            (s.family, s.n) for s in WEIGHTED_SPECS
+        ]
+
+    def test_empty_spec_list(self):
+        assert execute_cells([], workers=4) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValidationError, match="workers"):
+            execute_cells(WEIGHTED_SPECS, workers=0)
+
+    def test_unknown_kind_rejected_before_fanout(self):
+        bad = CellSpec("bogus", "ring", 8, 1.0, 1, 1)
+        with pytest.raises(ValidationError, match="unknown measurement kind"):
+            execute_cells([bad], workers=4)
+
+
+class TestGroupByFamily:
+    def test_groups_preserve_order(self):
+        results = [f"{s.family}:{s.n}" for s in WEIGHTED_SPECS]
+        grouped = group_by_family(WEIGHTED_SPECS, results)
+        assert list(grouped) == list(WEIGHTED_SWEEP_QUICK)
+        for family, sizes in WEIGHTED_SWEEP_QUICK.items():
+            assert grouped[family] == [f"{family}:{n}" for n in sizes]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="results"):
+            group_by_family(WEIGHTED_SPECS, ["only-one"])
+
+
+class TestRegistryWorkersPassThrough:
+    def test_legacy_runner_without_workers_keyword(self):
+        """A plain (quick, seed) runner still works under workers=N."""
+        experiment_id = "_test-legacy-no-workers"
+        calls = []
+
+        @register_experiment(experiment_id)
+        def legacy(quick, seed):
+            calls.append((quick, seed))
+            return ExperimentResult(experiment_id=experiment_id, title="t")
+
+        try:
+            result = run_experiment(experiment_id, quick=True, workers=4)
+            assert result.experiment_id == experiment_id
+            assert calls == [(True, 20120716)]
+        finally:
+            _REGISTRY.pop(experiment_id, None)
+
+    def test_workers_forwarded_to_aware_runner(self):
+        experiment_id = "_test-workers-aware"
+        seen = {}
+
+        @register_experiment(experiment_id)
+        def aware(quick, seed, workers=None):
+            seen["workers"] = workers
+            return ExperimentResult(experiment_id=experiment_id, title="t")
+
+        try:
+            run_experiment(experiment_id, workers=3)
+            assert seen["workers"] == 3
+            run_experiment(experiment_id)
+            assert seen["workers"] is None
+        finally:
+            _REGISTRY.pop(experiment_id, None)
+
+    def test_sweep_experiment_identical_at_any_worker_count(self):
+        serial = run_experiment("table1-weighted", quick=True, seed=99)
+        pooled = run_experiment("table1-weighted", quick=True, seed=99, workers=2)
+        assert serial.passed == pooled.passed
+        assert serial.data == pooled.data
+        assert serial.series == pooled.series
+        rendered = [table.render() for table in serial.tables]
+        assert rendered == [table.render() for table in pooled.tables]

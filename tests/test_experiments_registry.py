@@ -19,6 +19,7 @@ from repro.utils.tables import Table
 EXPECTED_IDS = {
     "table1-approx",
     "table1-exact",
+    "table1-weighted",
     "thm11",
     "thm12",
     "thm13",
