@@ -1,7 +1,8 @@
 """Bench: self-stabilization (experiment ``robustness``).
 
 Shock-recovery times vs the Theorem 1.1 bound plus a kernel benchmark
-of one churn-plus-round step.
+of one churn-plus-round step (via the declarative scenario event — the
+legacy ``PoissonChurn`` helper is a deprecated shim over it).
 """
 
 from __future__ import annotations
@@ -11,10 +12,10 @@ import numpy as np
 from benchmarks.conftest import run_quick
 from repro.core.protocols import SelfishUniformProtocol
 from repro.graphs.generators import torus_graph
-from repro.model.perturbation import PoissonChurn
 from repro.model.placement import random_placement
 from repro.model.speeds import uniform_speeds
 from repro.model.state import UniformState
+from repro.scenarios import PoissonChurnEvent
 
 
 def test_robustness_experiment(benchmark):
@@ -31,11 +32,11 @@ def test_churn_round_kernel(benchmark):
     n = graph.num_vertices
     state = UniformState(random_placement(n, 8 * n * n, seed=1), uniform_speeds(n))
     protocol = SelfishUniformProtocol()
-    churn = PoissonChurn(5.0, seed=2)
+    churn = PoissonChurnEvent(5.0)
     rng = np.random.default_rng(3)
 
     def step():
-        churn.apply(state)
+        churn.apply(state, graph, rng)
         protocol.execute_round(state, graph, rng)
 
     benchmark(step)

@@ -1,0 +1,133 @@
+"""Bench: dynamic-workload scenarios (experiment ``scenarios-churn-shock``).
+
+Not a paper artifact — the scenario subsystem is the "as many scenarios
+as you can imagine" axis on top of the batch engines. The quick
+experiment must pass, one churn-plus-round step is benchmarked on both
+engines, and the acceptance check pins the ensemble speedup: a full
+churn + flash-crowd scenario cell at 100 repetitions must run >= 3x
+faster through the replica-stack engine than through the scalar loop,
+on the uniform *and* the weighted quick cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_quick
+from repro.core.protocols import SelfishUniformProtocol
+from repro.experiments.scenario_cells import measure_scenario_recovery
+from repro.graphs.generators import torus_graph
+from repro.model.batch import BatchUniformState
+from repro.model.placement import random_placement
+from repro.model.speeds import uniform_speeds
+from repro.model.state import UniformState
+from repro.scenarios import PoissonChurnEvent
+from repro.utils.rng import spawn_rngs
+
+#: Replica count for the per-round cost benchmarks.
+ROUND_COST_REPLICAS = 64
+
+
+def test_scenarios_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_quick("scenarios-churn-shock"), rounds=1, iterations=1
+    )
+    cells = result.data["cells"]
+    benchmark.extra_info["cells"] = len(cells)
+    benchmark.extra_info["median_recoveries"] = [
+        cell["median_recovery"] for cell in cells
+    ]
+
+
+def test_scenario_round_kernel_scalar(benchmark):
+    """One churn application + one protocol round (torus n=36, scalar)."""
+    graph = torus_graph(6)
+    n = graph.num_vertices
+    state = UniformState(random_placement(n, 8 * n * n, seed=1), uniform_speeds(n))
+    protocol = SelfishUniformProtocol()
+    churn = PoissonChurnEvent(5.0)
+    rng = np.random.default_rng(3)
+
+    def step():
+        churn.apply(state, graph, rng)
+        protocol.execute_round(state, graph, rng)
+
+    benchmark(step)
+
+
+def test_scenario_round_kernel_batch(benchmark):
+    """The same churn + round step over a 64-replica stack (torus n=36)."""
+    graph = torus_graph(6)
+    n = graph.num_vertices
+    rngs = spawn_rngs(1, ROUND_COST_REPLICAS)
+    counts = np.stack(
+        [random_placement(n, 8 * n * n, rng) for rng in rngs]
+    )
+    batch = BatchUniformState(counts, uniform_speeds(n))
+    protocol = SelfishUniformProtocol()
+    churn = PoissonChurnEvent(5.0)
+
+    def step():
+        churn.apply_batch(batch, graph, rngs)
+        protocol.execute_round_batch(batch, graph, rngs, None)
+
+    benchmark(step)
+    benchmark.extra_info["replicas"] = ROUND_COST_REPLICAS
+    benchmark.extra_info["replica_rounds_per_op"] = ROUND_COST_REPLICAS
+
+
+def _timed_cell(tasks: str, engine: str) -> tuple[object, float]:
+    """Best-of-two wall clock for one 100-repetition scenario cell."""
+    kwargs = dict(
+        repetitions=100,
+        seed=42,
+        tasks=tasks,
+        engine=engine,
+    )
+    if tasks == "uniform":
+        cell_args = ("torus", 16, 16.0)
+        kwargs["shock_fraction"] = 0.8
+    else:
+        cell_args = ("ring", 8, 8.0)
+    best_seconds, measurement = float("inf"), None
+    for _ in range(2):
+        start = time.perf_counter()
+        measurement = measure_scenario_recovery(*cell_args, **kwargs)
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    return measurement, best_seconds
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("tasks", ["uniform", "weighted"])
+def test_scenario_speedup_at_100_repetitions(tasks):
+    """Acceptance: >= 3x wall-clock at 100 reps through the batch engine.
+
+    The full churn + flash-crowd cell (events every round, the shock
+    mid-run, per-round observables and target verdicts) through both
+    engines with identical spawned streams. Weighted runs are pathwise
+    identical, so every measured statistic must agree exactly; uniform
+    runs agree in law, so only the wall clock is compared.
+    """
+    batch, batch_seconds = _timed_cell(tasks, "batch")
+    scalar, scalar_seconds = _timed_cell(tasks, "scalar")
+
+    assert batch.engine == "batch" and scalar.engine == "scalar"
+    assert batch.num_recovered == batch.num_replicas
+    if tasks == "weighted":
+        skip = {"engine"}
+        for field in dataclasses.fields(type(batch)):
+            if field.name in skip:
+                continue
+            assert getattr(batch, field.name) == getattr(scalar, field.name), (
+                f"weighted scenario field {field.name} diverged across engines"
+            )
+
+    speedup = scalar_seconds / batch_seconds
+    assert speedup >= 3.0, (
+        f"batched scenario engine only {speedup:.1f}x faster on the {tasks} "
+        f"cell ({batch_seconds:.2f}s vs {scalar_seconds:.2f}s)"
+    )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""A service under live fire: declarative dynamic-workload scenarios.
+
+Scenario: a 16-machine service (4x4 torus) balanced by selfish request
+migration, simulated over 100 independent replicas *at once* through
+the batched replica-stack engine. The workload is declared, not
+hand-coded:
+
+* stationary churn      — Poisson(2) requests arrive/complete per round;
+* a flash crowd         — at round 60, 80% of all requests pile onto
+                          machine 0 (a viral endpoint);
+* a machine failure     — at round 120, machine 5 is drained to its
+                          neighbours and crippled to 10% speed.
+
+The recovery analysis answers the operations questions: how many rounds
+until the ensemble is balanced again after each incident, and how tight
+the balance band stays in between.
+
+Run:  python examples/dynamic_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.theory import psi_critical
+
+
+def main() -> None:
+    graph = repro.torus_graph(4)
+    n = graph.num_vertices
+    m = 16 * n
+
+    lambda2 = repro.algebraic_connectivity(graph)
+    threshold = 4.0 * psi_critical(n, graph.max_degree, lambda2, 1.0)
+
+    # --- declare the scenario -----------------------------------------
+    schedule = repro.Schedule([
+        repro.every(1, repro.PoissonChurnEvent(rate=2.0)),
+        repro.at(60, repro.LoadShock(fraction=0.8, node=0)),
+        repro.at(120, repro.NodeOutage(node=5, residual_factor=0.1)),
+    ])
+    runner = repro.ScenarioRunner(
+        graph,
+        repro.SelfishUniformProtocol(),
+        schedule,
+        target=repro.PotentialThresholdStop(threshold, "psi0"),
+    )
+
+    def fresh_service(rng: np.random.Generator) -> repro.UniformState:
+        counts = repro.random_placement(n, m, rng)
+        return repro.UniformState(counts, repro.uniform_speeds(n))
+
+    # --- run 100 replicas through the batched engine ------------------
+    result = runner.run_ensemble(
+        fresh_service, repetitions=100, rounds=200, seed=2012
+    )
+    print(f"service of {n} machines, ~{m} requests, "
+          f"{result.num_replicas} replicas ({result.engine} engine)")
+    print(f"horizon: {result.rounds_executed} rounds, "
+          f"{len(result.events)} event applications\n")
+
+    # --- incident reports ---------------------------------------------
+    for label, event_round in [("flash crowd", 60), ("machine 5 outage", 120)]:
+        recovery = repro.recovery_rounds(result.target_satisfied, event_round)
+        recovered = recovery[recovery >= 0]
+        print(f"{label} at round {event_round}:")
+        print(f"  recovered replicas: {recovered.size}/{result.num_replicas}")
+        print(f"  rebalanced after {np.median(recovered):.0f} rounds "
+              f"(median), worst {recovered.max():.0f}")
+
+    # --- steady-state band --------------------------------------------
+    band = repro.steady_state_band(result.psi0, warmup=20)
+    imbalance = repro.time_averaged_imbalance(
+        result.max_load_difference, warmup=20
+    )
+    violation = repro.rolling_violation(result.nash_violation, window=10)
+    print(f"\nsteady state (all replicas pooled, post-warmup):")
+    print(f"  Psi_0 median {band.median:.0f}, p95 {band.p95:.0f} "
+          f"(target {threshold:.0f})")
+    print(f"  time-averaged load spread {imbalance.mean():.2f}")
+    print(f"  rolling Nash-violation settles at "
+          f"{violation[-1].mean():.1%} of edges")
+    print("\nChurn, flash crowds, dead machines — declared in one schedule, "
+          "absorbed by one memoryless protocol.")
+
+
+if __name__ == "__main__":
+    main()

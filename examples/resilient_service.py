@@ -45,8 +45,9 @@ def main() -> None:
           f"(Psi_0 <= {threshold:.0f})\n")
 
     # --- flash crowds -------------------------------------------------
+    shock = repro.LoadShock(fraction=0.5, node=0)
     for event in range(1, 4):
-        moved = repro.shock_to_node(state, 0.5, 0, rng)
+        moved = shock.apply(state, graph, rng).tasks_relocated
         spike = repro.psi0_potential(state)
         recovery = simulator.run(state, stopping=stop, max_rounds=50_000)
         print(f"flash crowd {event}: {moved} requests hit machine 0 "
@@ -54,10 +55,11 @@ def main() -> None:
               f"{recovery.stop_round} rounds")
 
     # --- steady churn -------------------------------------------------
-    churn = repro.PoissonChurn(rate=10.0, seed=7)
+    churn = repro.PoissonChurnEvent(rate=10.0)
+    churn_rng = np.random.default_rng(7)
     band = []
     for _ in range(500):
-        churn.apply(state)
+        churn.apply(state, graph, churn_rng)
         protocol.execute_round(state, graph, rng)
         band.append(repro.psi0_potential(state))
     band_array = np.asarray(band[100:])

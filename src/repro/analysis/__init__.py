@@ -1,4 +1,5 @@
-"""Measurement analysis: scaling fits, statistics, convergence extraction."""
+"""Measurement analysis: scaling fits, statistics, convergence extraction,
+and steady-state/recovery metrics for dynamic-workload scenarios."""
 
 from repro.analysis.fitting import (
     PowerLawFit,
@@ -16,6 +17,13 @@ from repro.analysis.convergence import (
     ConvergenceMeasurement,
     measure_convergence_rounds,
 )
+from repro.analysis.dynamics import (
+    recovery_rounds,
+    time_averaged_imbalance,
+    rolling_violation,
+    SteadyStateBand,
+    steady_state_band,
+)
 
 __all__ = [
     "PowerLawFit",
@@ -28,4 +36,9 @@ __all__ = [
     "geometric_mean",
     "ConvergenceMeasurement",
     "measure_convergence_rounds",
+    "recovery_rounds",
+    "time_averaged_imbalance",
+    "rolling_violation",
+    "SteadyStateBand",
+    "steady_state_band",
 ]

@@ -1,0 +1,133 @@
+"""Steady-state and recovery analysis for dynamic-workload scenarios.
+
+The static experiments measure one number per run — the first-hitting
+round of a target condition. Under a workload schedule
+(:mod:`repro.scenarios`) the interesting quantities are *functions of
+time*: how long the system needs to re-reach its target after a shock,
+how tight the balance band stays under stationary churn, and how far
+from equilibrium the system lives on average. These helpers consume the
+``(T + 1, R)`` time-major observable arrays a
+:class:`~repro.scenarios.runner.ScenarioResult` records (row ``t`` =
+state after ``t`` rounds, column ``r`` = replica; scalar runs have
+``R = 1``) and work identically for both engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "recovery_rounds",
+    "time_averaged_imbalance",
+    "rolling_violation",
+    "SteadyStateBand",
+    "steady_state_band",
+]
+
+
+def _time_major(values: object) -> np.ndarray:
+    array = np.asarray(values)
+    if array.ndim == 1:
+        array = array[:, None]
+    if array.ndim != 2:
+        raise ValidationError(
+            f"expected a (T + 1, R) time-major array, got {array.ndim}-D"
+        )
+    return array
+
+
+def recovery_rounds(satisfied: object, event_round: int) -> IntArray:
+    """Per-replica protocol rounds from an event back to the target.
+
+    ``satisfied`` is the ``(T + 1, R)`` boolean verdict trace of a
+    scenario run; ``event_round`` the round index the event fired at
+    (events apply *before* that round's protocol kernel). The recovery
+    time is the smallest ``k >= 1`` with ``satisfied[event_round + k]``
+    — i.e. the number of post-event protocol rounds until the target
+    held again — or ``-1`` where the horizon ran out first.
+    """
+    verdicts = _time_major(satisfied).astype(bool)
+    horizon = verdicts.shape[0] - 1
+    if not 0 <= event_round <= horizon:
+        raise ValidationError(
+            f"event_round must lie in [0, {horizon}], got {event_round}"
+        )
+    window = verdicts[event_round + 1 :]
+    if window.shape[0] == 0:
+        return np.full(verdicts.shape[1], -1, dtype=np.int64)
+    hit = window.any(axis=0)
+    first = window.argmax(axis=0).astype(np.int64)
+    return np.where(hit, first + 1, -1)
+
+
+def time_averaged_imbalance(values: object, warmup: int = 0) -> FloatArray:
+    """Per-replica time average of an imbalance observable.
+
+    ``values`` is any ``(T + 1, R)`` observable trace (typically
+    ``max_load_difference`` or ``psi0``); rows before ``warmup`` are
+    discarded so the average describes the (statistically) stationary
+    regime, not the initial transient.
+    """
+    trace = _time_major(values)
+    if not 0 <= warmup < trace.shape[0]:
+        raise ValidationError(
+            f"warmup must lie in [0, {trace.shape[0] - 1}], got {warmup}"
+        )
+    return trace[warmup:].mean(axis=0)
+
+
+def rolling_violation(violation: object, window: int) -> FloatArray:
+    """Rolling mean of the Nash-violation fraction along time.
+
+    ``violation`` is the ``(T + 1, R)`` per-round violated-edge fraction
+    (:func:`repro.scenarios.nash_violation_fraction` per row); returns
+    the ``(T + 2 - window, R)`` moving average. A perturbation shows up
+    as a bump whose decay profile is the system's recovery signature —
+    smoother than the boolean target verdicts, so it resolves *partial*
+    recovery too.
+    """
+    trace = _time_major(violation).astype(np.float64)
+    window = int(window)
+    if not 1 <= window <= trace.shape[0]:
+        raise ValidationError(
+            f"window must lie in [1, {trace.shape[0]}], got {window}"
+        )
+    padded = np.concatenate(
+        [np.zeros((1, trace.shape[1])), np.cumsum(trace, axis=0)], axis=0
+    )
+    return (padded[window:] - padded[:-window]) / window
+
+
+@dataclass(frozen=True)
+class SteadyStateBand:
+    """Pooled summary of an observable's stationary band.
+
+    ``median`` / ``p95`` pool every post-warmup (round, replica) sample,
+    so the band describes the whole ensemble's stationary behaviour.
+    """
+
+    median: float
+    p95: float
+    maximum: float
+    num_samples: int
+
+
+def steady_state_band(values: object, warmup: int = 0) -> SteadyStateBand:
+    """Summarize an observable's post-warmup band over all replicas."""
+    trace = _time_major(values)
+    if not 0 <= warmup < trace.shape[0]:
+        raise ValidationError(
+            f"warmup must lie in [0, {trace.shape[0] - 1}], got {warmup}"
+        )
+    samples = trace[warmup:].ravel()
+    return SteadyStateBand(
+        median=float(np.median(samples)),
+        p95=float(np.quantile(samples, 0.95)),
+        maximum=float(samples.max()),
+        num_samples=int(samples.size),
+    )

@@ -30,7 +30,7 @@ stops at round 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -143,6 +143,7 @@ class BatchSimulator:
         max_rounds: int = 10_000,
         check_every: int = 1,
         rngs: Sequence[np.random.Generator] | None = None,
+        before_round: Callable[[int, BatchStateBase], None] | None = None,
     ) -> BatchSimulationResult:
         """Run the protocol on the replica stack (mutated in place).
 
@@ -163,6 +164,12 @@ class BatchSimulator:
             The measurement pipeline passes the same children it used to
             build the initial states; by default fresh children are
             spawned from the simulator's seed.
+        before_round:
+            Optional hook ``(round_index, batch)`` invoked immediately
+            before each executed batched round (after the stopping /
+            retirement bookkeeping). The hook may mutate the stack —
+            this is how :mod:`repro.scenarios` applies workload events
+            across all replicas under non-quiescent load.
         """
         max_rounds = check_integer(max_rounds, "max_rounds", minimum=0)
         check_every = check_integer(check_every, "check_every", minimum=1)
@@ -195,6 +202,8 @@ class BatchSimulator:
                 break
             if round_index == max_rounds:
                 break
+            if before_round is not None:
+                before_round(round_index, batch)
             summary = self._protocol.execute_round_batch(
                 batch, self._graph, rngs, active
             )

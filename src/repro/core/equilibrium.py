@@ -29,6 +29,7 @@ from repro.model.state import LoadStateBase, WeightedState
 from repro.types import FloatArray, IntArray
 
 __all__ = [
+    "nash_slack_matrix",
     "is_nash",
     "is_epsilon_nash",
     "is_weighted_exact_nash",
@@ -48,16 +49,28 @@ def _directed_views(graph: Graph) -> tuple[IntArray, IntArray]:
     return np.concatenate([u, v]), np.concatenate([v, u])
 
 
-def _slack(state: LoadStateBase, graph: Graph, epsilon: float) -> FloatArray:
-    """Per-directed-edge slack ``1/s_j - ((1 - eps) l_i - l_j)``.
+def nash_slack_matrix(
+    loads: FloatArray, speeds: FloatArray, graph: Graph, epsilon: float = 0.0
+) -> FloatArray:
+    """Per-(replica, directed edge) slack ``1/s_j - ((1 - eps) l_i - l_j)``.
 
-    Negative slack means the (directed) edge is blocking at approximation
-    level ``epsilon``; ``epsilon = 0`` gives the exact-NE condition.
+    ``loads`` is ``(R, n)`` (one row per replica); returns ``(R, 2E)``.
+    Negative slack means the directed edge is blocking at approximation
+    level ``epsilon``; ``epsilon = 0`` gives the exact-NE condition. The
+    single formula behind the scalar predicates here, the batched
+    stopping rules, and the scenario Nash-violation metric — tolerance
+    or condition changes land in one place.
     """
-    loads = state.loads
-    speeds = state.speeds
+    loads = np.asarray(loads, dtype=np.float64)
     src, dst = _directed_views(graph)
-    return 1.0 / speeds[dst] - ((1.0 - epsilon) * loads[src] - loads[dst])
+    return 1.0 / speeds[dst] - ((1.0 - epsilon) * loads[:, src] - loads[:, dst])
+
+
+def _slack(state: LoadStateBase, graph: Graph, epsilon: float) -> FloatArray:
+    """Per-directed-edge slack for one scalar state (1-D view)."""
+    return nash_slack_matrix(
+        state.loads[None, :], state.speeds, graph, epsilon
+    )[0]
 
 
 def is_nash(

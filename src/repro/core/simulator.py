@@ -13,6 +13,7 @@ already satisfies the condition stops at round 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.protocols import Protocol
 from repro.core.stopping import StoppingRule
@@ -96,6 +97,7 @@ class Simulator:
         recording: RecordingOptions | None = None,
         record: bool = False,
         check_every: int = 1,
+        before_round: Callable[[int, LoadStateBase], None] | None = None,
     ) -> SimulationResult:
         """Run the protocol on ``state`` (mutated in place).
 
@@ -114,6 +116,12 @@ class Simulator:
             Evaluate the stopping rule only every ``check_every`` rounds
             (and at round 0). The reported stop round is then accurate to
             that granularity; convergence-time measurements use 1.
+        before_round:
+            Optional hook ``(round_index, state)`` invoked immediately
+            before each executed round (after the stopping check, so a
+            converged run never fires it). The hook may mutate the state
+            — this is how :mod:`repro.scenarios` applies workload events
+            under non-quiescent load.
 
         Returns
         -------
@@ -152,6 +160,8 @@ class Simulator:
                     )
             if round_index == max_rounds:
                 break
+            if before_round is not None:
+                before_round(round_index, state)
             summary = self._protocol.execute_round(state, self._graph, self._rng)
             any_saturation = any_saturation or summary.saturated
             rounds_executed += 1
@@ -183,6 +193,7 @@ def run_protocol(
     record: bool = False,
     recording: RecordingOptions | None = None,
     check_every: int = 1,
+    before_round: Callable[[int, LoadStateBase], None] | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     simulator = Simulator(graph, protocol, seed)
@@ -193,4 +204,5 @@ def run_protocol(
         recording=recording,
         record=record,
         check_every=check_every,
+        before_round=before_round,
     )

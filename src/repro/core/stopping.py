@@ -28,6 +28,7 @@ from repro.core.equilibrium import (
     is_epsilon_nash,
     is_nash,
     is_weighted_exact_nash,
+    nash_slack_matrix,
 )
 from repro.core.potentials import psi0_potential, psi1_potential
 from repro.errors import ValidationError
@@ -83,12 +84,11 @@ def _batch_slack(
 
     Works for any replica stack through ``loads_for``, which computes
     loads for the requested rows only, so per-round checks stay cheap
-    once most replicas have retired.
+    once most replicas have retired. The formula itself lives in
+    :func:`repro.core.equilibrium.nash_slack_matrix`.
     """
-    speeds = batch.speeds
     loads = batch.loads_for(np.asarray(replicas, dtype=np.int64))
-    src, dst = _directed_views(graph)
-    return 1.0 / speeds[dst] - ((1.0 - epsilon) * loads[:, src] - loads[:, dst])
+    return nash_slack_matrix(loads, batch.speeds, graph, epsilon)
 
 
 class NashStop(StoppingRule):

@@ -18,11 +18,16 @@ Experiment ids
 ``spectral-bounds``    Appendix A bounds (Lemmas 1.5/1.7/1.10/1.15, Cor 1.16).
 ``baselines``          Selfish protocol vs diffusion baselines.
 ``weighted-variants``  Algorithm 2 rules vs the [6] per-task condition.
+``robustness``         Self-stabilization: shock recovery + churn band.
+``scenarios-churn-shock``  Dynamic workloads: churn + flash-crowd recovery
+                       on uniform and weighted task systems.
 
 Sweep experiments accept ``workers`` (CLI ``--workers N``) to fan their
 independent (family, size) cells over a process pool via
 :mod:`repro.experiments.executor`; results are identical at any worker
-count because every cell derives its own seed.
+count because every cell derives its own seed. Requesting ``--workers``
+for an experiment without cell-level parallelism emits a
+:class:`RuntimeWarning` on stderr and runs serially.
 """
 
 from repro.experiments.registry import (

@@ -9,8 +9,11 @@ Usage::
 
 ``--workers N`` fans each sweep experiment's (family, size) cells over
 ``N`` processes (sweep ids: ``table1-approx``, ``table1-exact``,
-``table1-weighted``, ``weighted-variants``); every cell derives its own
-seed, so outputs are byte-identical at any worker count. Unknown
+``table1-weighted``, ``weighted-variants``, ``robustness``,
+``scenarios-churn-shock``); every cell derives its own seed, so outputs
+are byte-identical at any worker count. Requesting ``--workers`` for an
+experiment that has no cell-level parallelism prints a RuntimeWarning to
+stderr and runs serially instead of silently dropping the flag. Unknown
 experiment ids exit with status 2; a failed reproduction exits with 1.
 """
 

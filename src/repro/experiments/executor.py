@@ -37,6 +37,11 @@ from repro.experiments._common import (
     measure_variant_threshold_time,
     measure_weighted_threshold_time,
 )
+from repro.experiments.scenario_cells import (
+    measure_churn_band,
+    measure_scenario_recovery,
+    measure_shock_recovery,
+)
 
 __all__ = [
     "CellSpec",
@@ -57,6 +62,9 @@ MEASUREMENT_KINDS: dict[str, Callable[..., object]] = {
     "exact": measure_exact_nash_time,
     "weighted": measure_weighted_threshold_time,
     "weighted-variant": measure_variant_threshold_time,
+    "scenario-recovery": measure_scenario_recovery,
+    "shock-recovery": measure_shock_recovery,
+    "churn-band": measure_churn_band,
 }
 
 

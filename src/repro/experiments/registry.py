@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import inspect
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -84,6 +85,7 @@ def _ensure_loaded() -> None:
         potential_drop,
         quality,
         robustness,
+        scenarios_exp,
         spectral_exp,
         table1,
         theorem11,
@@ -143,11 +145,19 @@ def run_experiment(
     workers:
         Process count for sweep-style experiments (forwarded only to
         runners that accept a ``workers`` keyword, so plain ``(quick,
-        seed)`` callables keep working). ``None`` runs serially;
-        parallel runs produce identical results — every cell derives
-        its own seed.
+        seed)`` callables keep working — a :class:`RuntimeWarning` on
+        stderr flags the serial fallback when ``workers >= 2`` was
+        requested). ``None`` runs serially; parallel runs produce
+        identical results — every cell derives its own seed.
     """
     runner = get_experiment(experiment_id)
     if workers is not None and _accepts_workers(runner):
         return runner(quick, seed, workers=workers)
+    if workers is not None and workers > 1:
+        warnings.warn(
+            f"experiment {experiment_id!r} does not support parallel "
+            f"execution; ignoring --workers {workers} and running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return runner(quick, seed)

@@ -12,158 +12,151 @@ not evaluate:
 2. **Stationary churn** — with Poisson task arrivals/departures each
    round, the potential reaches and then *stays* in a band around the
    balanced region instead of diverging.
+
+Both parts are declarative :mod:`repro.scenarios` schedules measured by
+the executor cells in :mod:`repro.experiments.scenario_cells`
+(``"shock-recovery"`` and ``"churn-band"``), so the repetitions batch
+through the replica-stack engine and ``--workers`` fans the two parts
+over processes — results are identical at any worker count.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.potentials import psi0_potential
-from repro.core.protocols import SelfishUniformProtocol
-from repro.core.simulator import Simulator
-from repro.core.stopping import PotentialThresholdStop
+from repro.experiments.executor import CellSpec, execute_cells
 from repro.experiments.registry import ExperimentResult, register_experiment
-from repro.graphs.families import get_family
-from repro.model.perturbation import PoissonChurn, shock_to_node
-from repro.model.placement import adversarial_placement, random_placement
-from repro.model.speeds import uniform_speeds
-from repro.model.state import UniformState
-from repro.spectral.eigen import algebraic_connectivity
-from repro.theory.bounds import GraphQuantities, theorem11_round_bound
-from repro.theory.constants import psi_critical
-from repro.utils.rng import derive_seed, make_rng
+from repro.experiments.scenario_cells import (
+    ChurnBandMeasurement,
+    ShockRecoveryMeasurement,
+)
 from repro.utils.tables import Table, format_float
 
 __all__ = ["run_robustness"]
 
 
-def _shock_part(quick: bool, seed: int) -> tuple[Table, bool, dict]:
-    family = get_family("torus")
-    graph = family.make(9 if quick else 16)
-    n = graph.num_vertices
-    speeds = uniform_speeds(n)
-    m = 8 * n * n
-    lambda2 = algebraic_connectivity(graph)
-    quantities = GraphQuantities(n=n, max_degree=graph.max_degree, lambda2=lambda2)
-    psi_c = psi_critical(n, graph.max_degree, lambda2, 1.0)
-    threshold = 4.0 * psi_c
-    bound = theorem11_round_bound(quantities, m, 1.0)
-    num_shocks = 3 if quick else 6
+@register_experiment("robustness")
+def run_robustness(
+    quick: bool = True, seed: int = 20120716, workers: int | None = None
+) -> ExperimentResult:
+    """Run the self-stabilization experiment.
 
-    rng = make_rng(derive_seed(seed, "robustness", "shock"))
-    state = UniformState(adversarial_placement(speeds, m), speeds)
-    simulator = Simulator(graph, SelfishUniformProtocol(), rng)
-    stopping = PotentialThresholdStop(threshold, "psi0")
+    ``workers`` fans the shock and churn parts over processes; each part
+    derives its own stream from ``(seed, family, n, tag)``, so results
+    are identical at any worker count.
+    """
+    repetitions = 3 if quick else 5
+    specs = [
+        CellSpec(
+            kind="shock-recovery",
+            family="torus",
+            n=9 if quick else 16,
+            m_factor=8.0,
+            repetitions=repetitions,
+            seed=seed,
+            params=(("num_shocks", 3 if quick else 6),),
+        ),
+        CellSpec(
+            kind="churn-band",
+            family="torus",
+            n=9,
+            m_factor=8.0,
+            repetitions=repetitions,
+            seed=seed,
+            params=(("horizon", 400 if quick else 2000),),
+        ),
+    ]
+    shock: ShockRecoveryMeasurement
+    churn: ChurnBandMeasurement
+    shock, churn = execute_cells(specs, workers=workers)  # type: ignore[assignment]
 
-    table = Table(
-        headers=["event", "Psi_0 after event", "recovery rounds", "bound"],
-        title=f"Shock recovery on torus(n={n}), m={m}: half the tasks to node 0",
+    shock_table = Table(
+        headers=[
+            "event",
+            "Psi_0 after event",
+            "recovery rounds (median)",
+            "worst replica",
+            "bound",
+        ],
+        title=(
+            f"Shock recovery on torus(n={shock.n}), m={shock.m}: half the "
+            f"tasks to node 0 ({shock.num_replicas} replicas, "
+            f"{shock.engine} engine)"
+        ),
     )
-    recoveries = []
-    ok = True
-    initial = simulator.run(state, stopping=stopping, max_rounds=int(2 * bound))
-    table.add_row(
-        ["initial convergence", "-", initial.stop_round, format_float(bound, 0)]
-    )
-    ok = ok and initial.converged
-    for shock_index in range(num_shocks):
-        shock_to_node(state, 0.5, 0, rng)
-        after = psi0_potential(state)
-        result = simulator.run(state, stopping=stopping, max_rounds=int(2 * bound))
-        recovered = result.converged
-        ok = ok and recovered and result.stop_round <= bound
-        recoveries.append(result.stop_round if recovered else None)
-        table.add_row(
-            [
-                f"shock {shock_index + 1}",
-                format_float(after, 0),
-                result.stop_round if recovered else None,
-                format_float(bound, 0),
-            ]
-        )
-    return table, ok, {"recovery_rounds": recoveries, "bound": bound}
-
-
-def _churn_part(quick: bool, seed: int) -> tuple[Table, bool, dict]:
-    family = get_family("torus")
-    graph = family.make(9)
-    n = graph.num_vertices
-    speeds = uniform_speeds(n)
-    m = 8 * n * n
-    lambda2 = algebraic_connectivity(graph)
-    psi_c = psi_critical(n, graph.max_degree, lambda2, 1.0)
-    horizon = 400 if quick else 2000
-    warmup = 100
-    churn_rate = 5.0
-
-    rng = make_rng(derive_seed(seed, "robustness", "churn"))
-    state = UniformState(random_placement(n, m, rng), speeds)
-    protocol = SelfishUniformProtocol()
-    churn = PoissonChurn(churn_rate, seed=derive_seed(seed, "churn-process"))
-
-    values = []
-    all_values = []
-    for round_index in range(horizon):
-        churn.apply(state)
-        protocol.execute_round(state, graph, rng)
-        all_values.append(psi0_potential(state))
-        if round_index >= warmup:
-            values.append(all_values[-1])
-    values_array = np.asarray(values)
-    median_psi = float(np.median(values_array))
-    p95_psi = float(np.quantile(values_array, 0.95))
-    # Stationarity criterion: the potential band stays within a modest
-    # multiple of the no-churn critical value.
-    ok = p95_psi <= 16.0 * psi_c
-    table = Table(
-        headers=["churn rate", "rounds", "median Psi_0", "p95 Psi_0", "4 psi_c"],
-        title=f"Stationary churn on torus(n={n}): Poisson({churn_rate}) in/out per round",
-    )
-    table.add_row(
+    shock_table.add_row(
         [
-            format_float(churn_rate, 1),
-            horizon - warmup,
-            format_float(median_psi, 0),
-            format_float(p95_psi, 0),
-            format_float(4.0 * psi_c, 0),
+            "initial convergence",
+            "-",
+            shock.initial_rounds,
+            "-",
+            format_float(shock.bound_rounds, 0),
         ]
     )
-    data = {
-        "median_psi0": median_psi,
-        "p95_psi0": p95_psi,
-        "psi_c": psi_c,
-        "series": {
-            "round": list(range(horizon)),
-            "psi0": all_values,
-        },
-    }
-    return table, ok, data
+    for index in range(shock.num_shocks):
+        shock_table.add_row(
+            [
+                f"shock {index + 1}",
+                format_float(shock.psi0_after_shocks[index], 0),
+                shock.recovery_medians[index],
+                shock.recovery_maxima[index],
+                format_float(shock.bound_rounds, 0),
+            ]
+        )
 
+    churn_table = Table(
+        headers=["churn rate", "rounds", "median Psi_0", "p95 Psi_0", "4 psi_c"],
+        title=(
+            f"Stationary churn on torus(n={churn.n}): "
+            f"Poisson({churn.churn_rate}) in/out per round "
+            f"({churn.num_replicas} replicas, {churn.engine} engine)"
+        ),
+    )
+    churn_table.add_row(
+        [
+            format_float(churn.churn_rate, 1),
+            churn.horizon - churn.warmup,
+            format_float(churn.median_psi0, 0),
+            format_float(churn.p95_psi0, 0),
+            format_float(4.0 * churn.psi_c, 0),
+        ]
+    )
 
-@register_experiment("robustness")
-def run_robustness(quick: bool = True, seed: int = 20120716) -> ExperimentResult:
-    """Run the self-stabilization experiment."""
-    shock_table, shock_ok, shock_data = _shock_part(quick, seed)
-    churn_table, churn_ok, churn_data = _churn_part(quick, seed)
-    churn_series = churn_data.pop("series")
     result = ExperimentResult(
         experiment_id="robustness",
         title="Self-stabilization: shock recovery and stationary churn",
         tables=[shock_table, churn_table],
-        passed=shock_ok and churn_ok,
-        data={"shock": shock_data, "churn": churn_data},
-        series={"churn-psi0-band": churn_series},
+        passed=shock.within_bound and churn.stationary,
+        data={
+            "shock": {
+                "recovery_rounds": list(shock.recovery_medians),
+                "recovery_maxima": list(shock.recovery_maxima),
+                "initial_rounds": shock.initial_rounds,
+                "bound": shock.bound_rounds,
+                "engine": shock.engine,
+            },
+            "churn": {
+                "median_psi0": churn.median_psi0,
+                "p95_psi0": churn.p95_psi0,
+                "psi_c": churn.psi_c,
+                "engine": churn.engine,
+            },
+        },
+        series={
+            "churn-psi0-band": {
+                "round": list(range(1, churn.horizon + 1)),
+                "psi0": list(churn.psi0_series),
+            }
+        },
     )
     result.notes.append(
         "Every shock recovery finished below the Theorem 1.1 bound — the "
         "memoryless protocol restarts its guarantee from any state."
-        if shock_ok
+        if shock.within_bound
         else "WARNING: a shock recovery exceeded the bound."
     )
     result.notes.append(
         "Under stationary churn the potential stays in a narrow band "
         "around the balanced region."
-        if churn_ok
+        if churn.stationary
         else "WARNING: the potential drifted under churn."
     )
     return result

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import ModelError, SpeedError
 from repro.model.state import (
     LoadStateBase,
     UniformState,
@@ -154,6 +154,24 @@ class BatchStateBase:
         weights = self._weights_rows(replicas)
         average_load = weights.sum(axis=1) / self.total_speed
         return weights - average_load[:, None] * self._speeds[None, :]
+
+    def rescale_speed(self, node: int, factor: float) -> None:
+        """Multiply ``node``'s speed by ``factor`` (> 0) for all replicas.
+
+        Speeds are shared across the stack (replicas are repetitions of
+        one scenario), so a speed event is deterministic and applies to
+        every replica at once — the batched counterpart of
+        :meth:`repro.model.state.LoadStateBase.rescale_speed`.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ModelError(f"node {node} out of range")
+        if not factor > 0:
+            raise SpeedError(f"speed factor must be positive, got {factor}")
+        speeds = self._speeds.copy()
+        speeds.setflags(write=True)
+        speeds[node] *= factor
+        speeds.setflags(write=False)
+        self._speeds = speeds
 
     def psi0_potentials(self, replicas: object | None = None) -> FloatArray:
         """Per-replica ``Psi_0 = sum_i e_i^2 / s_i``.
@@ -357,6 +375,35 @@ class BatchUniformState(BatchStateBase):
             )
         self._counts[rows] = updated
 
+    def adjust_counts(self, replicas: object, deltas: object) -> None:
+        """Add signed per-node count deltas to the given replica rows.
+
+        The sanctioned mutation path for workload events
+        (:mod:`repro.scenarios` arrivals, departures, shocks): unlike
+        :meth:`apply_flows` the row totals may change, but counts must
+        stay non-negative. The batched counterpart of
+        :meth:`repro.model.state.UniformState.replace_counts`.
+        """
+        rows = np.asarray(replicas, dtype=np.int64)
+        delta_array = np.asarray(deltas, dtype=np.int64)
+        expected_shape = (rows.shape[0], self.num_nodes)
+        if delta_array.shape != expected_shape:
+            raise ModelError(
+                f"deltas must have shape {expected_shape}, got {delta_array.shape}"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_replicas):
+            raise ModelError("replica index out of range")
+        if np.unique(rows).shape[0] != rows.shape[0]:
+            # Fancy-index assignment would keep only the last duplicate's
+            # delta, silently dropping the others.
+            raise ModelError("duplicate replica index in adjust_counts")
+        updated = self._counts[rows] + delta_array
+        if np.any(updated < 0):
+            raise ModelError(
+                "count deltas drove a node's task count negative"
+            )
+        self._counts[rows] = updated
+
     def __repr__(self) -> str:
         return (
             f"BatchUniformState(R={self.num_replicas}, n={self.num_nodes}, "
@@ -374,7 +421,10 @@ class BatchWeightedState(BatchStateBase):
     padded with location ``-1`` and weight ``0``, and
     :attr:`task_mask` marks the live slots. Padding never moves,
     carries no weight, and consumes no randomness in the batched
-    kernels.
+    kernels. Scenario events may punch padding holes mid-row
+    (:meth:`remove_tasks`) or append live slots (:meth:`add_tasks`);
+    only the *order* of a row's live slots is meaningful, and
+    :meth:`compact` repacks it into a prefix without changing it.
 
     Parameters
     ----------
@@ -416,11 +466,11 @@ class BatchWeightedState(BatchStateBase):
             raise ModelError("task weights must lie in (0, 1]")
         if np.any(weights[~mask] != 0.0):
             raise ModelError("padding slots (location -1) must carry weight 0")
+        # Stored writable (scenario events add/remove tasks in place);
+        # the properties hand out read-only views.
         self._task_nodes = nodes.copy()
         self._task_weights = weights.copy()
-        self._task_weights.setflags(write=False)
-        self._mask = mask
-        self._mask.setflags(write=False)
+        self._mask = mask.copy()
         self._node_weights = self._bincount_rows()
 
     def _bincount_rows(self) -> FloatArray:
@@ -560,13 +610,18 @@ class BatchWeightedState(BatchStateBase):
 
     @property
     def task_weights(self) -> FloatArray:
-        """``(R, M)`` immutable task weights, ``0`` at padding."""
-        return self._task_weights
+        """``(R, M)`` task weights, ``0`` at padding (read-only view).
+
+        Rounds never change weights; only the scenario event APIs
+        (:meth:`add_tasks` / :meth:`remove_tasks`) do.
+        """
+        return _read_only_view(self._task_weights)
 
     @property
     def task_mask(self) -> np.ndarray:
-        """``(R, M)`` boolean mask of live (non-padding) task slots."""
-        return self._mask
+        """``(R, M)`` boolean mask of live (non-padding) task slots
+        (read-only view)."""
+        return _read_only_view(self._mask)
 
     @property
     def total_task_weight(self) -> FloatArray:
@@ -631,6 +686,129 @@ class BatchWeightedState(BatchStateBase):
         # Guard against floating-point drift in the incremental W_i.
         if float(self._node_weights.min(initial=0.0)) < -1e-9:
             raise ModelError("node weight went negative")
+
+    def add_tasks(self, replicas: object, nodes: object, weights: object) -> None:
+        """Append new tasks across the stack (scenario arrivals).
+
+        ``replicas`` / ``nodes`` / ``weights`` are aligned 1-D arrays:
+        give replica ``replicas[k]`` a new task of weight ``weights[k]``
+        on node ``nodes[k]``. Each replica's new tasks land in slots
+        *after* its last live slot (in input order), growing the padded
+        task axis when needed — so the per-replica live-task order
+        matches a scalar state that appended the same tasks, which is
+        what keeps the weighted kernels' randomness consumption pathwise
+        identical across engines.
+        """
+        rows = np.asarray(replicas, dtype=np.int64)
+        dst = np.asarray(nodes, dtype=np.int64)
+        new_weights = np.asarray(weights, dtype=np.float64)
+        if not (rows.shape == dst.shape == new_weights.shape) or rows.ndim != 1:
+            raise ModelError("replicas, nodes, weights must align (1-D)")
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.num_replicas:
+            raise ModelError("replica index out of range")
+        if dst.min() < 0 or dst.max() >= self.num_nodes:
+            raise ModelError(f"task locations must lie in [0, {self.num_nodes - 1}]")
+        if np.any(new_weights <= 0.0) or np.any(new_weights > 1.0):
+            raise ModelError("task weights must lie in (0, 1]")
+        num_replicas = self.num_replicas
+        width = self.max_tasks
+        per_row = np.bincount(rows, minlength=num_replicas)
+        if width:
+            has_live = self._mask.any(axis=1)
+            live_end = np.where(
+                has_live, width - np.argmax(self._mask[:, ::-1], axis=1), 0
+            ).astype(np.int64)
+        else:
+            live_end = np.zeros(num_replicas, dtype=np.int64)
+        needed = int((live_end + per_row).max(initial=0))
+        if needed > width:
+            grow = needed - width
+            self._task_nodes = np.concatenate(
+                [
+                    self._task_nodes,
+                    np.full((num_replicas, grow), -1, dtype=np.int64),
+                ],
+                axis=1,
+            )
+            self._task_weights = np.concatenate(
+                [self._task_weights, np.zeros((num_replicas, grow))], axis=1
+            )
+            self._mask = np.concatenate(
+                [self._mask, np.zeros((num_replicas, grow), dtype=bool)], axis=1
+            )
+        # Rank of each new task within its replica, in input order.
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        group_sizes = per_row[per_row > 0]
+        group_starts = np.repeat(
+            np.concatenate([[0], np.cumsum(group_sizes)[:-1]]), group_sizes
+        )
+        rank_sorted = np.arange(rows.shape[0], dtype=np.int64) - group_starts
+        cols = np.empty(rows.shape[0], dtype=np.int64)
+        cols[order] = live_end[sorted_rows] + rank_sorted
+        self._task_nodes[rows, cols] = dst
+        self._task_weights[rows, cols] = new_weights
+        self._mask[rows, cols] = True
+        flat_weights = self._node_weights.reshape(-1)
+        np.add.at(flat_weights, rows * self.num_nodes + dst, new_weights)
+
+    def remove_tasks(self, replicas: object, tasks: object) -> None:
+        """Delete task slots across the stack (scenario departures).
+
+        ``replicas`` / ``tasks`` are aligned 1-D arrays naming live
+        (replica, slot) pairs; each becomes a padding slot (location
+        ``-1``, weight ``0``). Surviving tasks keep their slots, hence
+        their relative order — matching a scalar state that deleted the
+        same tasks while preserving survivor order.
+        """
+        rows = np.asarray(replicas, dtype=np.int64)
+        cols = np.asarray(tasks, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ModelError("replicas and tasks must align (1-D)")
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.num_replicas:
+            raise ModelError("replica index out of range")
+        if cols.min() < 0 or cols.max() >= self.max_tasks:
+            raise ModelError("task slot out of range")
+        if not np.all(self._mask[rows, cols]):
+            raise ModelError("cannot remove a padding task slot")
+        flat = rows * self.max_tasks + cols
+        if np.unique(flat).shape[0] != flat.shape[0]:
+            raise ModelError("duplicate (replica, task) pair in removal")
+        weights = self._task_weights[rows, cols]
+        sources = self._task_nodes[rows, cols]
+        flat_weights = self._node_weights.reshape(-1)
+        np.subtract.at(flat_weights, rows * self.num_nodes + sources, weights)
+        self._task_nodes[rows, cols] = -1
+        self._task_weights[rows, cols] = 0.0
+        self._mask[rows, cols] = False
+        # Guard against floating-point drift in the decremented W_i.
+        if float(self._node_weights.min(initial=0.0)) < -1e-9:
+            raise ModelError("node weight went negative")
+        np.maximum(self._node_weights, 0.0, out=self._node_weights)
+
+    def compact(self) -> None:
+        """Repack live tasks into prefix slots and shrink the task axis.
+
+        Departures leave padding holes and arrivals grow ``M``; long
+        churn scenarios would otherwise accumulate unbounded padding.
+        Compaction preserves each replica's live-task *order* (the only
+        thing the kernels' randomness consumption depends on), so it is
+        observationally neutral: no randomness is consumed and
+        trajectories are unchanged.
+        """
+        live_counts = self._mask.sum(axis=1)
+        new_width = int(live_counts.max(initial=0))
+        if new_width == self.max_tasks:
+            return
+        # Stable argsort of ~mask floats live slots to the front, in order.
+        order = np.argsort(~self._mask, axis=1, kind="stable")[:, :new_width]
+        self._task_nodes = np.take_along_axis(self._task_nodes, order, axis=1)
+        self._task_weights = np.take_along_axis(self._task_weights, order, axis=1)
+        self._mask = np.take_along_axis(self._mask, order, axis=1)
 
     def rebuild_node_weights(self) -> None:
         """Recompute ``W_i`` from scratch (kills accumulated FP drift)."""

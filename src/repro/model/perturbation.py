@@ -1,22 +1,22 @@
-"""Workload perturbations: task churn and adversarial shocks.
+"""Deprecated workload-perturbation helpers (use :mod:`repro.scenarios`).
 
-The paper's model keeps the task set fixed ("the total number of tokens
-is time-invariant"), but the protocol is memoryless in the state, so it
-is naturally *self-stabilizing*: after any perturbation, convergence
-restarts from the perturbed state with the same guarantees. This module
-provides the perturbation primitives the ``robustness`` experiment uses
-to demonstrate that:
+These uniform-state-only, scalar-only helpers predate the declarative
+scenario subsystem. They are kept as thin shims over the
+:mod:`repro.scenarios.events` event types — same randomness consumption,
+same return values, same error contracts — so existing callers keep
+working bit-for-bit, but new code should compose events into a
+:class:`repro.scenarios.Schedule` instead: the events additionally
+support weighted states and vectorize across batched replica stacks.
 
-* :func:`inject_tasks` / :func:`remove_tasks` — task churn (arrivals
-  and departures at random nodes);
-* :func:`shock_to_node` — an adversarial shock relocating a fraction of
-  all tasks onto one node;
-* :class:`PoissonChurn` — a stationary churn process applying a random
-  number of arrivals and departures per round (keeping the expected
-  task count constant).
+* :func:`inject_tasks` -> :class:`repro.scenarios.TaskArrival`
+* :func:`remove_tasks` -> :class:`repro.scenarios.TaskDeparture`
+* :func:`shock_to_node` -> :class:`repro.scenarios.LoadShock`
+* :class:`PoissonChurn` -> :class:`repro.scenarios.PoissonChurnEvent`
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -29,15 +29,34 @@ from repro.utils.validation import check_integer, check_non_negative
 __all__ = ["inject_tasks", "remove_tasks", "shock_to_node", "PoissonChurn"]
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.model.perturbation.{old} is deprecated; use "
+        f"repro.scenarios.{new} (declarative, weighted-aware, batched)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _require_uniform(state: object, action: str) -> None:
+    if not isinstance(state, UniformState):
+        raise ModelError(f"{action} supports uniform states")
+
+
 def inject_tasks(
     state: UniformState,
     count: int,
     rng: np.random.Generator,
     node: int | None = None,
 ) -> None:
-    """Add ``count`` new unit tasks, at ``node`` or uniformly at random."""
-    if not isinstance(state, UniformState):
-        raise ModelError("task injection supports uniform states")
+    """Add ``count`` new unit tasks, at ``node`` or uniformly at random.
+
+    .. deprecated:: use :class:`repro.scenarios.TaskArrival`.
+    """
+    from repro.scenarios.events import TaskArrival
+
+    _deprecated("inject_tasks", "TaskArrival")
+    _require_uniform(state, "task injection")
     count = check_integer(count, "count", minimum=0)
     if count == 0:
         return
@@ -45,32 +64,22 @@ def inject_tasks(
         node = check_integer(node, "node", minimum=0)
         if node >= state.num_nodes:
             raise ModelError(f"node {node} out of range")
-        additions = np.zeros(state.num_nodes, dtype=np.int64)
-        additions[node] = count
-    else:
-        targets = rng.integers(0, state.num_nodes, size=count)
-        additions = np.bincount(targets, minlength=state.num_nodes).astype(np.int64)
-    state.replace_counts(state.counts + additions)
+    TaskArrival(count, node=node).apply(state, None, rng)
 
 
 def remove_tasks(state: UniformState, count: int, rng: np.random.Generator) -> None:
     """Remove ``count`` tasks chosen uniformly among the present tasks.
 
     Removing more tasks than exist clears the system.
+
+    .. deprecated:: use :class:`repro.scenarios.TaskDeparture`.
     """
-    if not isinstance(state, UniformState):
-        raise ModelError("task removal supports uniform states")
+    from repro.scenarios.events import TaskDeparture
+
+    _deprecated("remove_tasks", "TaskDeparture")
+    _require_uniform(state, "task removal")
     count = check_integer(count, "count", minimum=0)
-    total = state.num_tasks
-    if count == 0 or total == 0:
-        return
-    if count >= total:
-        state.replace_counts(np.zeros(state.num_nodes, dtype=np.int64))
-        return
-    # Sample a uniformly random subset of tasks via the multivariate
-    # hypergeometric distribution over the per-node counts.
-    removed = rng.multivariate_hypergeometric(state.counts, count)
-    state.replace_counts(state.counts - removed)
+    TaskDeparture(count).apply(state, None, rng)
 
 
 def shock_to_node(
@@ -78,32 +87,29 @@ def shock_to_node(
 ) -> int:
     """Relocate ``fraction`` of all tasks onto ``node``; returns the number moved.
 
-    Each task independently participates with probability ``fraction``
-    — an adversarial "flash crowd" event.
+    .. deprecated:: use :class:`repro.scenarios.LoadShock`.
     """
-    if not isinstance(state, UniformState):
-        raise ModelError("shocks support uniform states")
+    from repro.scenarios.events import LoadShock
+
+    _deprecated("shock_to_node", "LoadShock")
+    _require_uniform(state, "shocks")
     fraction = check_non_negative(fraction, "fraction")
     if fraction > 1.0:
         raise ModelError("fraction must lie in [0, 1]")
     node = check_integer(node, "node", minimum=0)
     if node >= state.num_nodes:
         raise ModelError(f"node {node} out of range")
-    grabbed = rng.binomial(state.counts, fraction).astype(np.int64)
-    grabbed[node] = 0
-    moved = int(grabbed.sum())
-    new_counts = state.counts - grabbed
-    new_counts[node] += moved
-    state.replace_counts(new_counts)
-    return moved
+    outcome = LoadShock(fraction, node=node).apply(state, None, rng)
+    return outcome.tasks_relocated
 
 
 class PoissonChurn:
     """Stationary task churn: Poisson arrivals and matched departures.
 
-    Each application draws ``k ~ Poisson(rate)`` arrivals (placed at
-    uniform random nodes) and ``k' ~ Poisson(rate)`` departures (uniform
-    among present tasks), so the expected task count is stationary.
+    .. deprecated:: use :class:`repro.scenarios.PoissonChurnEvent` in a
+       :class:`repro.scenarios.Schedule` — the declarative event is
+       stateless (randomness comes from the trajectory stream) and runs
+       on weighted states and replica stacks too.
 
     Parameters
     ----------
@@ -114,6 +120,7 @@ class PoissonChurn:
     """
 
     def __init__(self, rate: float, seed: SeedLike = None):
+        _deprecated("PoissonChurn", "PoissonChurnEvent")
         self._rate = check_non_negative(rate, "rate")
         self._rng = make_rng(seed)
 
@@ -124,9 +131,8 @@ class PoissonChurn:
 
     def apply(self, state: UniformState) -> tuple[int, int]:
         """Apply one churn step; returns ``(arrived, departed)``."""
-        arrivals = int(self._rng.poisson(self._rate))
-        departures = int(self._rng.poisson(self._rate))
-        inject_tasks(state, arrivals, self._rng)
-        before = state.num_tasks
-        remove_tasks(state, departures, self._rng)
-        return arrivals, before - state.num_tasks
+        from repro.scenarios.events import PoissonChurnEvent
+
+        _require_uniform(state, "churn")
+        outcome = PoissonChurnEvent(self._rate).apply(state, None, self._rng)
+        return outcome.tasks_added, outcome.tasks_removed

@@ -121,6 +121,24 @@ class LoadStateBase:
         """``L_Delta(x) = max_i |e_i / s_i|`` (Definition 3.4)."""
         return float(np.abs(self.deviation / self._speeds).max())
 
+    def rescale_speed(self, node: int, factor: float) -> None:
+        """Multiply ``node``'s speed by ``factor`` (> 0).
+
+        The sanctioned mutation path for dynamic-scenario speed events
+        (:mod:`repro.scenarios`): :attr:`speeds` itself is a read-only
+        view, and the stored vector is replaced wholesale so previously
+        handed-out views keep describing the pre-event speeds.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ModelError(f"node {node} out of range")
+        if not factor > 0:
+            raise SpeedError(f"speed factor must be positive, got {factor}")
+        speeds = self._speeds.copy()
+        speeds.setflags(write=True)
+        speeds[node] *= factor
+        speeds.setflags(write=False)
+        self._speeds = speeds
+
     def copy(self) -> "LoadStateBase":
         """Deep copy of the mutable assignment."""
         raise NotImplementedError
@@ -277,6 +295,60 @@ class WeightedState(LoadStateBase):
         # non-negative, which made the previous guard unable to fire.)
         if float(self._node_weights.min(initial=0.0)) < -1e-9:
             raise ModelError("node weight went negative")
+
+    def add_tasks(self, nodes: object, weights: object) -> None:
+        """Append new tasks at the given nodes (scenario arrivals).
+
+        New tasks take the next indices (``m .. m + k - 1``) in the
+        order given, so existing task indices stay valid and the task
+        order — which the weighted kernels consume randomness in — is
+        extended, never permuted.
+        """
+        new_nodes = np.asarray(nodes, dtype=np.int64)
+        new_weights = check_array_1d(weights, "weights", length=new_nodes.shape[0])
+        if new_nodes.ndim != 1:
+            raise ModelError("nodes must be 1-D")
+        if new_nodes.size == 0:
+            return
+        if new_nodes.min() < 0 or new_nodes.max() >= self.num_nodes:
+            raise ModelError(f"task locations must lie in [0, {self.num_nodes - 1}]")
+        if np.any(new_weights <= 0.0) or np.any(new_weights > 1.0):
+            raise ModelError("task weights must lie in (0, 1]")
+        self._task_nodes = np.concatenate([self._task_nodes, new_nodes])
+        merged = np.concatenate([self._task_weights, new_weights])
+        merged.setflags(write=False)
+        self._task_weights = merged
+        np.add.at(self._node_weights, new_nodes, new_weights)
+
+    def remove_tasks(self, task_indices: object) -> None:
+        """Delete the given tasks (scenario departures).
+
+        Surviving tasks keep their relative order (indices shift down),
+        preserving the per-task randomness-consumption order of the
+        weighted kernels for the remaining tasks.
+        """
+        indices = np.asarray(task_indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ModelError("task_indices must be 1-D")
+        if indices.size == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.num_tasks:
+            raise ModelError("task index out of range")
+        if np.unique(indices).shape[0] != indices.shape[0]:
+            raise ModelError("duplicate task index in removal")
+        np.subtract.at(
+            self._node_weights, self._task_nodes[indices], self._task_weights[indices]
+        )
+        keep = np.ones(self.num_tasks, dtype=bool)
+        keep[indices] = False
+        self._task_nodes = self._task_nodes[keep]
+        kept_weights = self._task_weights[keep]
+        kept_weights.setflags(write=False)
+        self._task_weights = kept_weights
+        # Guard against floating-point drift in the decremented W_i.
+        if float(self._node_weights.min(initial=0.0)) < -1e-9:
+            raise ModelError("node weight went negative")
+        np.maximum(self._node_weights, 0.0, out=self._node_weights)
 
     def rebuild_node_weights(self) -> None:
         """Recompute ``W_i`` from scratch (kills accumulated FP drift)."""

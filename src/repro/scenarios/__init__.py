@@ -1,0 +1,61 @@
+"""Dynamic-workload scenarios: declarative events, schedules, runners.
+
+The paper proves convergence for a static task set; this subpackage
+turns the reproduction into a dynamic-workload simulator. Compose
+declarative :mod:`events <repro.scenarios.events>` (task arrivals and
+departures, Poisson churn, load shocks, speed changes, node drains and
+outages) into a round-indexed :class:`Schedule`, then drive them with a
+:class:`ScenarioRunner` over either engine — the scalar simulator or
+the batched replica-stack engine — and feed the recorded per-round
+observables to :mod:`repro.analysis.dynamics` for recovery times and
+steady-state bands.
+
+>>> from repro.scenarios import (
+...     Schedule, at, every, PoissonChurnEvent, LoadShock, ScenarioRunner,
+... )
+>>> schedule = Schedule([
+...     every(1, PoissonChurnEvent(rate=2.0)),
+...     at(100, LoadShock(fraction=0.5, node=0)),
+... ])
+"""
+
+from repro.scenarios.events import (
+    Event,
+    EventOutcome,
+    BatchEventOutcome,
+    TaskArrival,
+    TaskDeparture,
+    PoissonChurnEvent,
+    LoadShock,
+    SpeedChange,
+    NodeDrain,
+    NodeOutage,
+)
+from repro.scenarios.schedule import Schedule, ScheduleEntry, at, every
+from repro.scenarios.runner import (
+    EventRecord,
+    ScenarioResult,
+    ScenarioRunner,
+    nash_violation_fraction,
+)
+
+__all__ = [
+    "Event",
+    "EventOutcome",
+    "BatchEventOutcome",
+    "TaskArrival",
+    "TaskDeparture",
+    "PoissonChurnEvent",
+    "LoadShock",
+    "SpeedChange",
+    "NodeDrain",
+    "NodeOutage",
+    "Schedule",
+    "ScheduleEntry",
+    "at",
+    "every",
+    "EventRecord",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "nash_violation_fraction",
+]

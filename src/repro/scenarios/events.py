@@ -1,0 +1,762 @@
+"""Declarative workload events for dynamic scenarios.
+
+The paper's convergence theorems hold for a *static* task set; real
+deployments churn. An :class:`Event` is a declarative description of one
+workload perturbation — task arrivals and departures (including a
+stationary Poisson churn process), adversarial load shocks, speed
+changes, node drains and outages — that knows how to apply itself to
+
+* a scalar state (:class:`~repro.model.state.UniformState` or
+  :class:`~repro.model.state.WeightedState`) via :meth:`Event.apply`, and
+* a replica stack (:class:`~repro.model.batch.BatchUniformState` or
+  :class:`~repro.model.batch.BatchWeightedState`) via
+  :meth:`Event.apply_batch`, vectorized over the stack.
+
+Randomness contract
+-------------------
+Events are stateless and picklable; all randomness comes from the
+generator(s) passed at application time. The batched application draws
+replica ``r``'s randomness from ``rngs[r]`` with *exactly the calls* the
+scalar application makes against a single state — so for weighted
+states, where the protocol kernels are already pathwise identical
+across engines, scenario runs stay bit-identical per replica, and for
+uniform states batch and scalar scenario runs sample the same law (the
+uniform protocol kernels themselves are only law-equivalent).
+
+Application is vectorized across replicas wherever the mutation allows:
+per-replica draws fill one deltas/slots buffer and the stack is mutated
+with a single :meth:`~repro.model.batch.BatchUniformState.adjust_counts`
+/ :meth:`~repro.model.batch.BatchWeightedState.add_tasks` /
+``remove_tasks`` / ``apply_moves`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError, ValidationError
+from repro.graphs.graph import Graph
+from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
+from repro.model.state import LoadStateBase, UniformState, WeightedState
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "EventOutcome",
+    "BatchEventOutcome",
+    "Event",
+    "TaskArrival",
+    "TaskDeparture",
+    "PoissonChurnEvent",
+    "LoadShock",
+    "SpeedChange",
+    "NodeDrain",
+    "NodeOutage",
+]
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """What one event application did to one state.
+
+    The net workload delta (``tasks_added - tasks_removed``,
+    ``weight_added - weight_removed``) is what the scenario equivalence
+    harness checks conservation *modulo*; relocations conserve both.
+    """
+
+    tasks_added: int = 0
+    tasks_removed: int = 0
+    weight_added: float = 0.0
+    weight_removed: float = 0.0
+    tasks_relocated: int = 0
+
+
+@dataclass(frozen=True)
+class BatchEventOutcome:
+    """Per-replica outcomes of one batched event application.
+
+    All arrays are aligned with the full replica axis (length ``R``);
+    rows the application did not touch report zeros.
+    """
+
+    tasks_added: IntArray
+    tasks_removed: IntArray
+    weight_added: FloatArray
+    weight_removed: FloatArray
+    tasks_relocated: IntArray
+
+    @classmethod
+    def zeros(cls, num_replicas: int) -> "BatchEventOutcome":
+        return cls(
+            tasks_added=np.zeros(num_replicas, dtype=np.int64),
+            tasks_removed=np.zeros(num_replicas, dtype=np.int64),
+            weight_added=np.zeros(num_replicas, dtype=np.float64),
+            weight_removed=np.zeros(num_replicas, dtype=np.float64),
+            tasks_relocated=np.zeros(num_replicas, dtype=np.int64),
+        )
+
+
+def _check_node(node: int, state: LoadStateBase | BatchStateBase) -> None:
+    if not 0 <= node < state.num_nodes:
+        raise ModelError(f"node {node} out of range [0, {state.num_nodes - 1}]")
+
+
+def _rows(batch: BatchStateBase, replicas: object | None) -> IntArray:
+    if replicas is None:
+        return np.arange(batch.num_replicas, dtype=np.int64)
+    rows = np.asarray(replicas, dtype=np.int64)
+    if rows.size and (rows.min() < 0 or rows.max() >= batch.num_replicas):
+        raise ModelError("replica index out of range")
+    return rows
+
+
+def _check_rngs(batch: BatchStateBase, rngs) -> None:
+    if len(rngs) != batch.num_replicas:
+        raise ModelError(
+            f"need one generator per replica ({batch.num_replicas}), "
+            f"got {len(rngs)}"
+        )
+
+
+def _require_all_replicas(
+    batch: BatchStateBase, replicas: object | None, event_name: str
+) -> None:
+    """Reject subset application for events touching shared stack state."""
+    rows = _rows(batch, replicas)
+    if rows.shape[0] != batch.num_replicas or np.unique(rows).shape[0] != (
+        batch.num_replicas
+    ):
+        raise ModelError(
+            f"{event_name} mutates the stack's shared speed vector and "
+            "cannot apply to a subset of replicas; pass replicas=None"
+        )
+
+
+class Event:
+    """Base class: one declarative workload perturbation.
+
+    Subclasses implement :meth:`apply` (scalar states) and
+    :meth:`apply_batch` (replica stacks) with the shared randomness
+    contract described in the module docstring. Events are immutable
+    value objects; a :class:`~repro.scenarios.schedule.Schedule` decides
+    *when* they fire.
+    """
+
+    name: str = "event"
+
+    def apply(
+        self,
+        state: LoadStateBase,
+        graph: Graph | None,
+        rng: np.random.Generator,
+    ) -> EventOutcome:
+        """Apply the event to a scalar state (mutated in place)."""
+        raise NotImplementedError
+
+    def apply_batch(
+        self,
+        batch: BatchStateBase,
+        graph: Graph | None,
+        rngs,
+        replicas: object | None = None,
+    ) -> BatchEventOutcome:
+        """Apply the event to the given replica rows (all when ``None``).
+
+        Exception: speed-changing events (:class:`SpeedChange`, the
+        speed step of :class:`NodeOutage`) act on the stack's *shared*
+        speed vector and therefore reject a strict subset of replicas —
+        they cannot apply to some rows but not others.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description for logs and tables."""
+        return self.name
+
+
+@dataclass(frozen=True)
+class TaskArrival(Event):
+    """``count`` new tasks arrive, at ``node`` or uniform-random nodes.
+
+    Weighted states give every new task weight ``weight`` (uniform
+    states ignore it — their tasks are unit-weight by definition).
+    """
+
+    count: int
+    node: int | None = None
+    weight: float = 1.0
+    name: str = field(default="arrival", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.count, (int, np.integer)) or self.count < 0:
+            raise ValidationError(f"count must be a non-negative int, got {self.count}")
+        if self.node is not None and (
+            not isinstance(self.node, (int, np.integer)) or self.node < 0
+        ):
+            raise ValidationError(f"node must be a non-negative int, got {self.node}")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValidationError(
+                f"arrival weight must lie in (0, 1], got {self.weight}"
+            )
+
+    def _targets(self, rng: np.random.Generator, num_nodes: int) -> IntArray:
+        if self.node is not None:
+            return np.full(self.count, self.node, dtype=np.int64)
+        return rng.integers(0, num_nodes, size=self.count)
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        if self.node is not None:
+            _check_node(self.node, state)
+        if self.count == 0:
+            return EventOutcome()
+        targets = self._targets(rng, state.num_nodes)
+        if isinstance(state, UniformState):
+            additions = np.bincount(targets, minlength=state.num_nodes).astype(
+                np.int64
+            )
+            state.replace_counts(state.counts + additions)
+            return EventOutcome(
+                tasks_added=self.count, weight_added=float(self.count)
+            )
+        if isinstance(state, WeightedState):
+            state.add_tasks(targets, np.full(self.count, self.weight))
+            return EventOutcome(
+                tasks_added=self.count, weight_added=self.count * self.weight
+            )
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _check_rngs(batch, rngs)
+        if self.node is not None:
+            _check_node(self.node, batch)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        if self.count == 0 or rows.size == 0:
+            return outcome
+        n = batch.num_nodes
+        if isinstance(batch, BatchUniformState):
+            deltas = np.zeros((rows.size, n), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                targets = self._targets(rngs[replica], n)
+                np.add.at(deltas[position], targets, 1)
+            batch.adjust_counts(rows, deltas)
+            outcome.tasks_added[rows] = self.count
+            outcome.weight_added[rows] = float(self.count)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            all_targets = np.concatenate(
+                [self._targets(rngs[replica], n) for replica in rows]
+            )
+            task_rows = np.repeat(rows, self.count)
+            batch.add_tasks(
+                task_rows, all_targets, np.full(task_rows.shape[0], self.weight)
+            )
+            outcome.tasks_added[rows] = self.count
+            outcome.weight_added[rows] = self.count * self.weight
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        where = "uniform-random nodes" if self.node is None else f"node {self.node}"
+        return f"arrival({self.count} tasks at {where})"
+
+
+@dataclass(frozen=True)
+class TaskDeparture(Event):
+    """``count`` tasks chosen uniformly among the present tasks depart.
+
+    Requesting more departures than tasks exist clears the system.
+    """
+
+    count: int
+    name: str = field(default="departure", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.count, (int, np.integer)) or self.count < 0:
+            raise ValidationError(f"count must be a non-negative int, got {self.count}")
+
+    @staticmethod
+    def _uniform_removal(
+        rng: np.random.Generator, counts: IntArray, count: int
+    ) -> IntArray | None:
+        """Per-node removal counts, or ``None`` when nothing changes.
+
+        No randomness is consumed when the system is empty or fully
+        cleared — both engines must skip the draw identically.
+        """
+        total = int(counts.sum())
+        if count == 0 or total == 0:
+            return None
+        if count >= total:
+            return counts.copy()
+        return rng.multivariate_hypergeometric(counts, count).astype(np.int64)
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        if isinstance(state, UniformState):
+            removed = self._uniform_removal(rng, state.counts, self.count)
+            if removed is None:
+                return EventOutcome()
+            state.replace_counts(state.counts - removed)
+            gone = int(removed.sum())
+            return EventOutcome(tasks_removed=gone, weight_removed=float(gone))
+        if isinstance(state, WeightedState):
+            live = state.num_tasks
+            k = min(self.count, live)
+            if k == 0:
+                return EventOutcome()
+            chosen = rng.choice(live, size=k, replace=False)
+            weight_gone = float(state.task_weights[chosen].sum())
+            state.remove_tasks(chosen)
+            return EventOutcome(tasks_removed=k, weight_removed=weight_gone)
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _check_rngs(batch, rngs)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        if self.count == 0 or rows.size == 0:
+            return outcome
+        if isinstance(batch, BatchUniformState):
+            counts = batch.counts
+            deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                removed = self._uniform_removal(
+                    rngs[replica], counts[replica], self.count
+                )
+                if removed is None:
+                    continue
+                deltas[position] -= removed
+                gone = int(removed.sum())
+                outcome.tasks_removed[replica] = gone
+                outcome.weight_removed[replica] = float(gone)
+            batch.adjust_counts(rows, deltas)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            mask = batch.task_mask
+            weights = batch.task_weights
+            slot_rows: list[np.ndarray] = []
+            slot_cols: list[np.ndarray] = []
+            for replica in rows:
+                live = np.flatnonzero(mask[replica])
+                k = min(self.count, live.size)
+                if k == 0:
+                    continue
+                chosen = rngs[replica].choice(live.size, size=k, replace=False)
+                slots = live[chosen]
+                slot_rows.append(np.full(k, replica, dtype=np.int64))
+                slot_cols.append(slots)
+                outcome.tasks_removed[replica] = k
+                outcome.weight_removed[replica] = float(weights[replica, slots].sum())
+            if slot_rows:
+                batch.remove_tasks(
+                    np.concatenate(slot_rows), np.concatenate(slot_cols)
+                )
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return f"departure({self.count} uniform-random tasks)"
+
+
+@dataclass(frozen=True)
+class PoissonChurnEvent(Event):
+    """Stationary churn: ``Poisson(rate)`` arrivals and departures.
+
+    Each application draws ``k ~ Poisson(rate)`` arrivals (placed at
+    ``node`` or uniform-random nodes, weight ``weight`` on weighted
+    states) followed by ``k' ~ Poisson(rate)`` departures (uniform among
+    the then-present tasks), so the expected task count is stationary.
+    Typically scheduled with :func:`repro.scenarios.every` at period 1.
+    """
+
+    rate: float
+    node: int | None = None
+    weight: float = 1.0
+    name: str = field(default="poisson-churn", init=False, repr=False)
+
+    def __post_init__(self):
+        if not self.rate >= 0.0:
+            raise ValidationError(f"rate must be >= 0, got {self.rate}")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValidationError(
+                f"arrival weight must lie in (0, 1], got {self.weight}"
+            )
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        arrivals = int(rng.poisson(self.rate))
+        departures = int(rng.poisson(self.rate))
+        added = TaskArrival(arrivals, node=self.node, weight=self.weight).apply(
+            state, graph, rng
+        )
+        removed = TaskDeparture(departures).apply(state, graph, rng)
+        return EventOutcome(
+            tasks_added=added.tasks_added,
+            tasks_removed=removed.tasks_removed,
+            weight_added=added.weight_added,
+            weight_removed=removed.weight_removed,
+        )
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _check_rngs(batch, rngs)
+        if self.node is not None:
+            _check_node(self.node, batch)
+        rows = _rows(batch, replicas)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        if rows.size == 0:
+            return outcome
+        # Per-replica draw order matches the scalar path exactly:
+        # poisson(arrivals), poisson(departures), then arrival placement,
+        # then departure selection (which sees the post-arrival state).
+        # Across replicas the arrivals land in one stack mutation and the
+        # departures in another.
+        arrivals = np.empty(rows.size, dtype=np.int64)
+        departures = np.empty(rows.size, dtype=np.int64)
+        for position, replica in enumerate(rows):
+            arrivals[position] = rngs[replica].poisson(self.rate)
+            departures[position] = rngs[replica].poisson(self.rate)
+
+        n = batch.num_nodes
+        is_uniform = isinstance(batch, BatchUniformState)
+        is_weighted = isinstance(batch, BatchWeightedState)
+        if not (is_uniform or is_weighted):
+            raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+        # --- arrivals -------------------------------------------------
+        if is_uniform:
+            deltas = np.zeros((rows.size, n), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                k = int(arrivals[position])
+                if k == 0:
+                    continue
+                targets = TaskArrival(k, node=self.node)._targets(rngs[replica], n)
+                np.add.at(deltas[position], targets, 1)
+            batch.adjust_counts(rows, deltas)
+            outcome.tasks_added[rows] = arrivals
+            outcome.weight_added[rows] = arrivals.astype(np.float64)
+        else:
+            add_rows: list[np.ndarray] = []
+            add_nodes: list[np.ndarray] = []
+            for position, replica in enumerate(rows):
+                k = int(arrivals[position])
+                if k == 0:
+                    continue
+                targets = TaskArrival(k, node=self.node)._targets(rngs[replica], n)
+                add_rows.append(np.full(k, replica, dtype=np.int64))
+                add_nodes.append(targets)
+            if add_rows:
+                task_rows = np.concatenate(add_rows)
+                batch.add_tasks(
+                    task_rows,
+                    np.concatenate(add_nodes),
+                    np.full(task_rows.shape[0], self.weight),
+                )
+            outcome.tasks_added[rows] = arrivals
+            outcome.weight_added[rows] = arrivals * self.weight
+
+        # --- departures (seeing the post-arrival state) ---------------
+        if is_uniform:
+            counts = batch.counts
+            deltas = np.zeros((rows.size, n), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                removed = TaskDeparture._uniform_removal(
+                    rngs[replica], counts[replica], int(departures[position])
+                )
+                if removed is None:
+                    continue
+                deltas[position] -= removed
+                gone = int(removed.sum())
+                outcome.tasks_removed[replica] = gone
+                outcome.weight_removed[replica] = float(gone)
+            batch.adjust_counts(rows, deltas)
+        else:
+            mask = batch.task_mask
+            weights = batch.task_weights
+            slot_rows: list[np.ndarray] = []
+            slot_cols: list[np.ndarray] = []
+            for position, replica in enumerate(rows):
+                live = np.flatnonzero(mask[replica])
+                k = min(int(departures[position]), live.size)
+                if k == 0:
+                    continue
+                chosen = rngs[replica].choice(live.size, size=k, replace=False)
+                slots = live[chosen]
+                slot_rows.append(np.full(k, replica, dtype=np.int64))
+                slot_cols.append(slots)
+                outcome.tasks_removed[replica] = k
+                outcome.weight_removed[replica] = float(weights[replica, slots].sum())
+            if slot_rows:
+                batch.remove_tasks(
+                    np.concatenate(slot_rows), np.concatenate(slot_cols)
+                )
+        return outcome
+
+    def describe(self) -> str:
+        return f"poisson-churn(rate={self.rate})"
+
+
+@dataclass(frozen=True)
+class LoadShock(Event):
+    """A flash crowd: each task joins ``node`` with probability ``fraction``.
+
+    Tasks already on ``node`` stay put; the total workload is conserved
+    (pure relocation).
+    """
+
+    fraction: float
+    node: int = 0
+    name: str = field(default="shock", init=False, repr=False)
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValidationError(
+                f"fraction must lie in [0, 1], got {self.fraction}"
+            )
+        if not isinstance(self.node, (int, np.integer)) or self.node < 0:
+            raise ValidationError(f"node must be a non-negative int, got {self.node}")
+
+    def _uniform_delta(
+        self, rng: np.random.Generator, counts: IntArray
+    ) -> tuple[IntArray, int]:
+        grabbed = rng.binomial(counts, self.fraction).astype(np.int64)
+        grabbed[self.node] = 0
+        moved = int(grabbed.sum())
+        delta = -grabbed
+        delta[self.node] += moved
+        return delta, moved
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        _check_node(self.node, state)
+        if isinstance(state, UniformState):
+            delta, moved = self._uniform_delta(rng, state.counts)
+            state.replace_counts(state.counts + delta)
+            return EventOutcome(tasks_relocated=moved)
+        if isinstance(state, WeightedState):
+            live = state.num_tasks
+            if live == 0:
+                return EventOutcome()
+            uniforms = rng.random(live)
+            move = (uniforms < self.fraction) & (state.task_nodes != self.node)
+            indices = np.flatnonzero(move)
+            if indices.size:
+                state.apply_moves(
+                    indices, np.full(indices.size, self.node, dtype=np.int64)
+                )
+            return EventOutcome(tasks_relocated=int(indices.size))
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _check_rngs(batch, rngs)
+        _check_node(self.node, batch)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        if rows.size == 0:
+            return outcome
+        if isinstance(batch, BatchUniformState):
+            counts = batch.counts
+            deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                delta, moved = self._uniform_delta(rngs[replica], counts[replica])
+                deltas[position] = delta
+                outcome.tasks_relocated[replica] = moved
+            batch.adjust_counts(rows, deltas)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            mask = batch.task_mask
+            nodes = batch.task_nodes
+            move_rows: list[np.ndarray] = []
+            move_slots: list[np.ndarray] = []
+            for replica in rows:
+                live = np.flatnonzero(mask[replica])
+                if live.size == 0:
+                    continue
+                uniforms = rngs[replica].random(live.size)
+                moving = live[
+                    (uniforms < self.fraction)
+                    & (nodes[replica, live] != self.node)
+                ]
+                if moving.size:
+                    move_rows.append(np.full(moving.size, replica, dtype=np.int64))
+                    move_slots.append(moving)
+                outcome.tasks_relocated[replica] = int(moving.size)
+            if move_rows:
+                all_rows = np.concatenate(move_rows)
+                all_slots = np.concatenate(move_slots)
+                batch.apply_moves(
+                    all_rows,
+                    all_slots,
+                    np.full(all_rows.shape[0], self.node, dtype=np.int64),
+                )
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return f"shock({self.fraction:.0%} of tasks to node {self.node})"
+
+
+@dataclass(frozen=True)
+class SpeedChange(Event):
+    """Multiply ``node``'s speed by ``factor`` (deterministic).
+
+    Speeds are shared across a replica stack, so the batched application
+    rescales every replica at once and consumes no randomness. Note that
+    targets computed from the *initial* speeds (potential thresholds,
+    round bounds) describe the pre-event system.
+    """
+
+    node: int
+    factor: float
+    name: str = field(default="speed-change", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.node, (int, np.integer)) or self.node < 0:
+            raise ValidationError(f"node must be a non-negative int, got {self.node}")
+        if not self.factor > 0.0:
+            raise ValidationError(f"factor must be positive, got {self.factor}")
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        state.rescale_speed(self.node, self.factor)
+        return EventOutcome()
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _require_all_replicas(batch, replicas, "SpeedChange")
+        batch.rescale_speed(self.node, self.factor)
+        return BatchEventOutcome.zeros(batch.num_replicas)
+
+    def describe(self) -> str:
+        return f"speed-change(node {self.node} x{self.factor:g})"
+
+
+@dataclass(frozen=True)
+class NodeDrain(Event):
+    """Flush every task off ``node`` to uniformly random neighbours.
+
+    The graph-aware evacuation primitive: each evicted task picks one of
+    ``node``'s neighbours independently. A no-op on empty or isolated
+    nodes (consuming no randomness).
+    """
+
+    node: int
+    name: str = field(default="drain", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.node, (int, np.integer)) or self.node < 0:
+            raise ValidationError(f"node must be a non-negative int, got {self.node}")
+
+    def _require_graph(self, graph: Graph | None) -> Graph:
+        if graph is None:
+            raise ModelError("NodeDrain needs the graph to find neighbours")
+        return graph
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        graph = self._require_graph(graph)
+        _check_node(self.node, state)
+        neighbours = graph.neighbors(self.node)
+        if isinstance(state, UniformState):
+            count = int(state.counts[self.node])
+            if count == 0 or neighbours.size == 0:
+                return EventOutcome()
+            choice = rng.integers(0, neighbours.size, size=count)
+            delta = np.zeros(state.num_nodes, dtype=np.int64)
+            delta[self.node] = -count
+            np.add.at(delta, neighbours[choice], 1)
+            state.replace_counts(state.counts + delta)
+            return EventOutcome(tasks_relocated=count)
+        if isinstance(state, WeightedState):
+            indices = state.tasks_on(self.node)
+            if indices.size == 0 or neighbours.size == 0:
+                return EventOutcome()
+            choice = rng.integers(0, neighbours.size, size=indices.size)
+            state.apply_moves(indices, neighbours[choice])
+            return EventOutcome(tasks_relocated=int(indices.size))
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        graph = self._require_graph(graph)
+        _check_rngs(batch, rngs)
+        _check_node(self.node, batch)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        neighbours = graph.neighbors(self.node)
+        if rows.size == 0 or neighbours.size == 0:
+            return outcome
+        if isinstance(batch, BatchUniformState):
+            counts = batch.counts
+            deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                count = int(counts[replica, self.node])
+                if count == 0:
+                    continue
+                choice = rngs[replica].integers(0, neighbours.size, size=count)
+                deltas[position, self.node] = -count
+                np.add.at(deltas[position], neighbours[choice], 1)
+                outcome.tasks_relocated[replica] = count
+            batch.adjust_counts(rows, deltas)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            mask = batch.task_mask
+            nodes = batch.task_nodes
+            move_rows: list[np.ndarray] = []
+            move_slots: list[np.ndarray] = []
+            move_dst: list[np.ndarray] = []
+            for replica in rows:
+                slots = np.flatnonzero(mask[replica] & (nodes[replica] == self.node))
+                if slots.size == 0:
+                    continue
+                choice = rngs[replica].integers(0, neighbours.size, size=slots.size)
+                move_rows.append(np.full(slots.size, replica, dtype=np.int64))
+                move_slots.append(slots)
+                move_dst.append(neighbours[choice])
+                outcome.tasks_relocated[replica] = int(slots.size)
+            if move_rows:
+                batch.apply_moves(
+                    np.concatenate(move_rows),
+                    np.concatenate(move_slots),
+                    np.concatenate(move_dst),
+                )
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return f"drain(node {self.node} -> neighbours)"
+
+
+@dataclass(frozen=True)
+class NodeOutage(Event):
+    """Node failure: drain ``node`` to neighbours, then cripple its speed.
+
+    Composition of :class:`NodeDrain` and :class:`SpeedChange` — the
+    node's tasks evacuate and its speed drops to ``residual_factor``
+    times its current value, so the protocol routes load away from it
+    afterwards. Intended as a one-shot event (repeating it keeps
+    multiplying the speed down).
+    """
+
+    node: int
+    residual_factor: float = 0.01
+    name: str = field(default="outage", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.node, (int, np.integer)) or self.node < 0:
+            raise ValidationError(f"node must be a non-negative int, got {self.node}")
+        if not 0.0 < self.residual_factor <= 1.0:
+            raise ValidationError(
+                f"residual_factor must lie in (0, 1], got {self.residual_factor}"
+            )
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        outcome = NodeDrain(self.node).apply(state, graph, rng)
+        state.rescale_speed(self.node, self.residual_factor)
+        return outcome
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _require_all_replicas(batch, replicas, "NodeOutage")
+        outcome = NodeDrain(self.node).apply_batch(batch, graph, rngs, replicas)
+        batch.rescale_speed(self.node, self.residual_factor)
+        return outcome
+
+    def describe(self) -> str:
+        return (
+            f"outage(node {self.node}, speed x{self.residual_factor:g} "
+            "after drain)"
+        )

@@ -1,0 +1,502 @@
+"""The scenario runner: dynamic workloads on both simulation engines.
+
+:class:`ScenarioRunner` drives a protocol under a
+:class:`~repro.scenarios.schedule.Schedule` of workload events through
+either engine — the scalar :class:`~repro.core.simulator.Simulator` or
+the batched :class:`~repro.core.batch.BatchSimulator` — via their
+``before_round`` hooks: before each protocol round the runner records
+the observables of the current state, then applies the events due that
+round. Because the load is non-quiescent (events keep perturbing the
+system), nothing *stops* the run; instead the optional ``target``
+stopping rule is evaluated every round and its per-round verdicts are
+recorded, from which :mod:`repro.analysis.dynamics` extracts recovery
+times and steady-state bands.
+
+Both engines produce one result type: every per-round observable is a
+``(T + 1, R)`` array (time-major, replica axis second; scalar runs have
+``R = 1``), where row ``t`` describes the state after ``t`` protocol
+rounds and all events scheduled before them. Event applications are
+logged with per-replica magnitudes and the post-event potential.
+
+Engine equivalence mirrors the static measurement pipeline: weighted
+scenario runs are pathwise bit-identical between engines (events and
+kernels both consume each replica's spawned stream in the scalar order);
+uniform runs agree in law. ``engine="auto"`` in :meth:`run_ensemble`
+applies the same routing rules as
+:func:`repro.analysis.convergence.measure_convergence_rounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchSimulator
+from repro.core.equilibrium import nash_slack_matrix
+from repro.core.potentials import psi0_potential
+from repro.core.protocols import Protocol
+from repro.core.simulator import Simulator
+from repro.core.stopping import StoppingRule
+from repro.errors import SimulationError, ValidationError
+from repro.graphs.graph import Graph
+from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
+from repro.model.state import LoadStateBase, UniformState, WeightedState
+from repro.scenarios.schedule import Schedule
+from repro.types import FloatArray, IntArray, SeedLike
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "EventRecord",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "nash_violation_fraction",
+]
+
+#: Compact the padded weighted stack when the task axis exceeds both this
+#: width and twice the widest replica (long churn runs would otherwise
+#: accumulate unbounded padding). Compaction is observationally neutral.
+_COMPACT_MIN_WIDTH = 64
+
+
+def nash_violation_fraction(
+    loads: FloatArray, speeds: FloatArray, graph: Graph, tolerance: float = 1e-9
+) -> FloatArray:
+    """Fraction of directed edges violating ``l_i - l_j <= 1/s_j``.
+
+    ``loads`` is ``(R, n)`` (one row per replica); returns ``(R,)``. The
+    rolling-violation metric is built on this: unlike the boolean Nash
+    predicate it degrades gracefully, so it resolves *how far* from
+    equilibrium a perturbed system is, not just whether it left it. The
+    edge condition is the shared
+    :func:`repro.core.equilibrium.nash_slack_matrix`.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.ndim != 2:
+        raise ValidationError(f"loads must be 2-D (replicas, nodes), got {loads.ndim}-D")
+    if graph.num_edges == 0:
+        return np.zeros(loads.shape[0])
+    violating = nash_slack_matrix(loads, speeds, graph) < -tolerance
+    return violating.mean(axis=1)
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One event application across the replica axis.
+
+    All arrays have length ``R`` (scalar runs: 1); rows untouched by the
+    event report zeros. ``psi0_after`` is the potential right after this
+    event applied — before the round's protocol kernel ran.
+    """
+
+    round_index: int
+    name: str
+    description: str
+    tasks_added: IntArray
+    tasks_removed: IntArray
+    weight_added: FloatArray
+    weight_removed: FloatArray
+    tasks_relocated: IntArray
+    psi0_after: FloatArray
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run (either engine).
+
+    Attributes
+    ----------
+    final_state:
+        The state / replica stack when the horizon completed.
+    engine:
+        ``"scalar"`` or ``"batch"``.
+    rounds_executed:
+        The horizon ``T``; every per-round array has ``T + 1`` rows.
+    psi0, max_load_difference, nash_violation, total_weight, num_tasks:
+        ``(T + 1, R)`` observables; row ``t`` is the state after ``t``
+        protocol rounds (and all events scheduled before them).
+    target_satisfied:
+        ``(T + 1, R)`` boolean verdicts of the runner's ``target`` rule
+        (all ``False`` when no target was given).
+    events:
+        Chronological log of event applications with per-replica
+        magnitudes.
+    """
+
+    final_state: LoadStateBase | BatchStateBase
+    engine: str
+    rounds_executed: int
+    psi0: FloatArray
+    max_load_difference: FloatArray
+    nash_violation: FloatArray
+    total_weight: FloatArray
+    num_tasks: IntArray
+    target_satisfied: np.ndarray
+    events: list[EventRecord]
+
+    @property
+    def num_replicas(self) -> int:
+        """Ensemble size ``R`` (1 for scalar runs)."""
+        return int(self.psi0.shape[1])
+
+    def events_named(self, name: str) -> list[EventRecord]:
+        """The applications of events named ``name``, chronologically."""
+        return [record for record in self.events if record.name == name]
+
+
+class _Recorder:
+    """Preallocated (T + 1, R) observable arrays filled row by row."""
+
+    def __init__(self, horizon: int, num_replicas: int):
+        shape = (horizon + 1, num_replicas)
+        self.psi0 = np.zeros(shape)
+        self.max_load_difference = np.zeros(shape)
+        self.nash_violation = np.zeros(shape)
+        self.total_weight = np.zeros(shape)
+        self.num_tasks = np.zeros(shape, dtype=np.int64)
+        self.target_satisfied = np.zeros(shape, dtype=bool)
+
+
+class ScenarioRunner:
+    """Runs a protocol under a schedule of workload events.
+
+    Parameters
+    ----------
+    graph:
+        The processor network.
+    protocol:
+        Any :class:`~repro.core.protocols.Protocol`; the batched paths
+        additionally need a batched kernel (``supports_batch``).
+    schedule:
+        The workload dynamics. An empty schedule reduces the runner to a
+        fixed-horizon simulation with per-round observables.
+    target:
+        Optional stopping rule evaluated (but never acted on) every
+        round; its verdicts feed the recovery metrics.
+    tolerance:
+        Slack for the Nash-violation edge predicate.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: Protocol,
+        schedule: Schedule | None = None,
+        target: StoppingRule | None = None,
+        tolerance: float = 1e-9,
+    ):
+        self._graph = graph
+        self._protocol = protocol
+        self._schedule = schedule if schedule is not None else Schedule()
+        self._target = target
+        self._tolerance = tolerance
+
+    @property
+    def graph(self) -> Graph:
+        """The processor network."""
+        return self._graph
+
+    @property
+    def protocol(self) -> Protocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def schedule(self) -> Schedule:
+        """The workload dynamics."""
+        return self._schedule
+
+    # ------------------------------------------------------------------
+    # Scalar engine
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        state: LoadStateBase,
+        rounds: int,
+        rng: SeedLike = None,
+    ) -> ScenarioResult:
+        """Run the scenario on a scalar state (mutated in place).
+
+        ``rng`` drives *both* the events and the protocol rounds — it is
+        the replica's single trajectory stream, exactly as in the
+        batched path.
+        """
+        rounds = check_integer(rounds, "rounds", minimum=0)
+        generator = make_rng(rng)
+        recorder = _Recorder(rounds, 1)
+        events: list[EventRecord] = []
+
+        def record(round_index: int, current: LoadStateBase) -> None:
+            recorder.psi0[round_index, 0] = psi0_potential(current)
+            recorder.max_load_difference[round_index, 0] = (
+                current.max_load_difference
+            )
+            recorder.nash_violation[round_index, 0] = nash_violation_fraction(
+                current.loads[None, :], current.speeds, self._graph, self._tolerance
+            )[0]
+            recorder.total_weight[round_index, 0] = _exact_total(current)
+            recorder.num_tasks[round_index, 0] = current.num_tasks
+            if self._target is not None:
+                recorder.target_satisfied[round_index, 0] = self._target.satisfied(
+                    current, self._graph
+                )
+
+        def before_round(round_index: int, current: LoadStateBase) -> None:
+            record(round_index, current)
+            for event in self._schedule.events_due(round_index):
+                outcome = event.apply(current, self._graph, generator)
+                events.append(
+                    EventRecord(
+                        round_index=round_index,
+                        name=event.name,
+                        description=event.describe(),
+                        tasks_added=np.array([outcome.tasks_added], dtype=np.int64),
+                        tasks_removed=np.array(
+                            [outcome.tasks_removed], dtype=np.int64
+                        ),
+                        weight_added=np.array([outcome.weight_added]),
+                        weight_removed=np.array([outcome.weight_removed]),
+                        tasks_relocated=np.array(
+                            [outcome.tasks_relocated], dtype=np.int64
+                        ),
+                        psi0_after=np.array([psi0_potential(current)]),
+                    )
+                )
+
+        simulator = Simulator(self._graph, self._protocol, generator)
+        simulator.run(
+            state, stopping=None, max_rounds=rounds, before_round=before_round
+        )
+        record(rounds, state)
+        return ScenarioResult(
+            final_state=state,
+            engine="scalar",
+            rounds_executed=rounds,
+            psi0=recorder.psi0,
+            max_load_difference=recorder.max_load_difference,
+            nash_violation=recorder.nash_violation,
+            total_weight=recorder.total_weight,
+            num_tasks=recorder.num_tasks,
+            target_satisfied=recorder.target_satisfied,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched engine
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        batch: BatchStateBase,
+        rounds: int,
+        rngs: Sequence[np.random.Generator] | None = None,
+        seed: SeedLike = None,
+    ) -> ScenarioResult:
+        """Run the scenario on a replica stack (mutated in place).
+
+        ``rngs`` are the per-replica trajectory streams (spawned from
+        ``seed`` when omitted); each drives its replica's events *and*
+        protocol randomness, in the scalar consumption order.
+        """
+        rounds = check_integer(rounds, "rounds", minimum=0)
+        num_replicas = batch.num_replicas
+        if rngs is None:
+            rngs = spawn_rngs(seed, num_replicas)
+        elif len(rngs) != num_replicas:
+            raise SimulationError(
+                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+            )
+        recorder = _Recorder(rounds, num_replicas)
+        events: list[EventRecord] = []
+        all_rows = np.arange(num_replicas, dtype=np.int64)
+
+        def record(round_index: int, current: BatchStateBase) -> None:
+            recorder.psi0[round_index] = current.psi0_potentials()
+            recorder.max_load_difference[round_index] = (
+                current.max_load_difference
+            )
+            recorder.nash_violation[round_index] = nash_violation_fraction(
+                current.loads, current.speeds, self._graph, self._tolerance
+            )
+            recorder.total_weight[round_index] = _exact_total_batch(current)
+            recorder.num_tasks[round_index] = current.num_tasks
+            if self._target is not None:
+                recorder.target_satisfied[round_index] = (
+                    self._target.satisfied_batch(current, self._graph, all_rows)
+                )
+
+        def before_round(round_index: int, current: BatchStateBase) -> None:
+            record(round_index, current)
+            for event in self._schedule.events_due(round_index):
+                outcome = event.apply_batch(current, self._graph, rngs, None)
+                events.append(
+                    EventRecord(
+                        round_index=round_index,
+                        name=event.name,
+                        description=event.describe(),
+                        tasks_added=outcome.tasks_added,
+                        tasks_removed=outcome.tasks_removed,
+                        weight_added=outcome.weight_added,
+                        weight_removed=outcome.weight_removed,
+                        tasks_relocated=outcome.tasks_relocated,
+                        psi0_after=current.psi0_potentials(),
+                    )
+                )
+            if isinstance(current, BatchWeightedState):
+                widest = int(current.num_tasks.max(initial=0))
+                if (
+                    current.max_tasks > _COMPACT_MIN_WIDTH
+                    and current.max_tasks > 2 * widest
+                ):
+                    current.compact()
+
+        simulator = BatchSimulator(self._graph, self._protocol, seed)
+        simulator.run(
+            batch,
+            stopping=None,
+            max_rounds=rounds,
+            rngs=rngs,
+            before_round=before_round,
+        )
+        record(rounds, batch)
+        return ScenarioResult(
+            final_state=batch,
+            engine="batch",
+            rounds_executed=rounds,
+            psi0=recorder.psi0,
+            max_load_difference=recorder.max_load_difference,
+            nash_violation=recorder.nash_violation,
+            total_weight=recorder.total_weight,
+            num_tasks=recorder.num_tasks,
+            target_satisfied=recorder.target_satisfied,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+    # Ensemble convenience (mirrors measure_convergence_rounds routing)
+    # ------------------------------------------------------------------
+    def run_ensemble(
+        self,
+        state_factory: Callable[[np.random.Generator], LoadStateBase],
+        repetitions: int,
+        rounds: int,
+        seed: SeedLike = None,
+        engine: str = "auto",
+    ) -> ScenarioResult:
+        """Run ``repetitions`` independent replicas of the scenario.
+
+        Repetition ``k`` derives everything — initial state, event
+        randomness, migration randomness — from spawned child stream
+        ``k``, so the two engines see identical per-replica streams.
+        ``engine="auto"`` batches when the protocol and states qualify
+        under the same rules as the static measurement pipeline
+        (weighted runs always batch when stackable; uniform runs batch
+        unless probability clipping would change the law).
+        """
+        from repro.analysis.convergence import (
+            _batch_stackable,
+            _batch_state_class,
+            _same_law_as_scalar,
+        )
+
+        if repetitions < 1:
+            raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
+        if engine not in ("auto", "batch", "scalar"):
+            raise ValidationError(
+                f"engine must be one of ('auto', 'batch', 'scalar'), got {engine!r}"
+            )
+        generators = spawn_rngs(seed, repetitions)
+        states = [state_factory(generator) for generator in generators]
+        stackable = _batch_stackable(self._protocol, states)
+        if engine == "batch" and not stackable:
+            raise ValidationError(
+                "engine='batch' requires a batch-capable protocol and "
+                "stackable states; use engine='auto' to fall back"
+            )
+        use_batch = engine == "batch" or (
+            engine == "auto"
+            and stackable
+            and (
+                getattr(self._protocol, "batch_matches_clipped_law", False)
+                or _same_law_as_scalar(self._protocol, states)
+            )
+        )
+        if use_batch:
+            batch = _batch_state_class(self._protocol).from_states(states)
+            return self.run_batch(batch, rounds, rngs=generators)
+        replica_results = [
+            self.run(state, rounds, rng=generator)
+            for state, generator in zip(states, generators)
+        ]
+        return _concatenate_results(replica_results)
+
+
+def _exact_total(state: LoadStateBase) -> float:
+    """A state's exactly conserved total (modulo events)."""
+    if isinstance(state, WeightedState):
+        return float(state.task_weights.sum())
+    if isinstance(state, UniformState):
+        return float(state.num_tasks)
+    return float(state.total_weight)
+
+
+def _exact_total_batch(batch: BatchStateBase) -> FloatArray:
+    """Per-replica exactly conserved totals (modulo events)."""
+    if isinstance(batch, BatchWeightedState):
+        return batch.total_task_weight
+    if isinstance(batch, BatchUniformState):
+        return batch.num_tasks.astype(np.float64)
+    return batch.total_weight
+
+
+def _concatenate_results(results: list[ScenarioResult]) -> ScenarioResult:
+    """Merge per-replica scalar results into one replica-axis result."""
+    first = results[0]
+    merged_events: list[EventRecord] = []
+    for position, record in enumerate(first.events):
+        siblings = [result.events[position] for result in results]
+        if any(
+            sibling.round_index != record.round_index
+            or sibling.name != record.name
+            for sibling in siblings
+        ):
+            raise SimulationError(
+                "scalar replicas produced diverging event logs; schedules "
+                "must be deterministic in time"
+            )
+        merged_events.append(
+            EventRecord(
+                round_index=record.round_index,
+                name=record.name,
+                description=record.description,
+                tasks_added=np.concatenate([s.tasks_added for s in siblings]),
+                tasks_removed=np.concatenate([s.tasks_removed for s in siblings]),
+                weight_added=np.concatenate([s.weight_added for s in siblings]),
+                weight_removed=np.concatenate(
+                    [s.weight_removed for s in siblings]
+                ),
+                tasks_relocated=np.concatenate(
+                    [s.tasks_relocated for s in siblings]
+                ),
+                psi0_after=np.concatenate([s.psi0_after for s in siblings]),
+            )
+        )
+    return ScenarioResult(
+        final_state=first.final_state,
+        engine="scalar",
+        rounds_executed=first.rounds_executed,
+        psi0=np.concatenate([r.psi0 for r in results], axis=1),
+        max_load_difference=np.concatenate(
+            [r.max_load_difference for r in results], axis=1
+        ),
+        nash_violation=np.concatenate(
+            [r.nash_violation for r in results], axis=1
+        ),
+        total_weight=np.concatenate([r.total_weight for r in results], axis=1),
+        num_tasks=np.concatenate([r.num_tasks for r in results], axis=1),
+        target_satisfied=np.concatenate(
+            [r.target_satisfied for r in results], axis=1
+        ),
+        events=merged_events,
+    )

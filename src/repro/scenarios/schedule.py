@@ -1,0 +1,145 @@
+"""Round-indexed schedules composing events into a scenario.
+
+A :class:`Schedule` is a declarative, picklable list of entries, each
+pairing an :class:`~repro.scenarios.events.Event` with a *trigger*:
+either explicit round indices (:func:`at`) or a periodic window
+(:func:`every`). The :class:`~repro.scenarios.runner.ScenarioRunner`
+asks :meth:`Schedule.events_due` before each protocol round and applies
+the due events in entry order — so "when" is deterministic (two runs of
+the same schedule fire the same events at the same rounds) while the
+events' *magnitudes* may be stochastic (drawn from the replica streams
+at application time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.scenarios.events import Event
+
+__all__ = ["ScheduleEntry", "Schedule", "at", "every"]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One event plus the rounds it fires on.
+
+    Exactly one of ``rounds`` (explicit indices) or ``period`` (fire at
+    ``start, start + period, ...`` strictly below ``stop``) is set; use
+    the :func:`at` / :func:`every` constructors rather than building
+    entries by hand.
+    """
+
+    event: Event
+    rounds: tuple[int, ...] | None = None
+    period: int | None = None
+    start: int = 0
+    stop: int | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.event, Event):
+            raise ValidationError(
+                f"entry needs an Event, got {type(self.event).__name__}"
+            )
+        if (self.rounds is None) == (self.period is None):
+            raise ValidationError("set exactly one of rounds= or period=")
+        if self.rounds is not None:
+            if any(
+                not isinstance(r, (int, np.integer)) or r < 0
+                for r in self.rounds
+            ):
+                raise ValidationError("explicit rounds must be non-negative ints")
+        else:
+            if not isinstance(self.period, (int, np.integer)) or self.period < 1:
+                raise ValidationError(f"period must be >= 1, got {self.period}")
+            if self.start < 0:
+                raise ValidationError(f"start must be >= 0, got {self.start}")
+            if self.stop is not None and self.stop <= self.start:
+                raise ValidationError("stop must exceed start")
+
+    def due(self, round_index: int) -> bool:
+        """Whether the entry fires before round ``round_index``."""
+        if self.rounds is not None:
+            return round_index in self.rounds
+        if round_index < self.start:
+            return False
+        if self.stop is not None and round_index >= self.stop:
+            return False
+        return (round_index - self.start) % self.period == 0
+
+
+def at(round_index: int | Iterable[int], event: Event) -> ScheduleEntry:
+    """Fire ``event`` once per listed round (a single int or several).
+
+    Accepts plain and numpy integers — round indices routinely come out
+    of numpy arithmetic.
+    """
+    if isinstance(round_index, (int, np.integer)):
+        rounds: tuple[int, ...] = (int(round_index),)
+    else:
+        rounds = tuple(int(r) for r in round_index)
+    return ScheduleEntry(event=event, rounds=rounds)
+
+
+def every(
+    period: int, event: Event, start: int = 0, stop: int | None = None
+) -> ScheduleEntry:
+    """Fire ``event`` at rounds ``start, start + period, ...`` (< ``stop``)."""
+    return ScheduleEntry(
+        event=event,
+        period=int(period),
+        start=int(start),
+        stop=None if stop is None else int(stop),
+    )
+
+
+class Schedule:
+    """An ordered collection of schedule entries.
+
+    Entry order is application order within a round, which matters when
+    events compose (e.g. a drain scheduled with a same-round shock).
+    """
+
+    def __init__(self, entries: Sequence[ScheduleEntry] = ()):
+        entries = tuple(entries)
+        for entry in entries:
+            if not isinstance(entry, ScheduleEntry):
+                raise ValidationError(
+                    "Schedule takes ScheduleEntry items (use at()/every()), "
+                    f"got {type(entry).__name__}"
+                )
+        self._entries = entries
+
+    @property
+    def entries(self) -> tuple[ScheduleEntry, ...]:
+        """The entries, in application order."""
+        return self._entries
+
+    def events_due(self, round_index: int) -> list[Event]:
+        """Events firing before round ``round_index``, in entry order."""
+        return [
+            entry.event for entry in self._entries if entry.due(round_index)
+        ]
+
+    def event_rounds(self, event_name: str, horizon: int) -> list[int]:
+        """All rounds (< ``horizon``) at which events named ``event_name`` fire.
+
+        Convenience for recovery analysis: e.g. the shock rounds of a
+        churn-plus-shock schedule.
+        """
+        return [
+            round_index
+            for round_index in range(horizon)
+            for entry in self._entries
+            if entry.event.name == event_name and entry.due(round_index)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Schedule({list(self._entries)!r})"

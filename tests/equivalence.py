@@ -15,9 +15,18 @@ analysis):
   bit-for-bit, and each replica's trajectory is stable under resizing
   the ensemble (prefix stability of spawned child streams).
 
+Scenario-aware variants extend the contracts to dynamic workloads
+(:mod:`repro.scenarios`): conservation *modulo* the scheduled event
+deltas (:func:`assert_scenario_conservation`) and batch-vs-scalar
+agreement under a fixed schedule
+(:func:`assert_scenario_engines_agree`) — pathwise for the weighted
+protocols, in law (KS over final potentials and recovery rounds) for
+the uniform protocol.
+
 Consumed by ``tests/test_core_batch.py`` (uniform engine),
-``tests/test_core_batch_weighted.py`` (weighted engine) and
-``tests/test_batch_edge_cases.py``.
+``tests/test_core_batch_weighted.py`` (weighted engine),
+``tests/test_batch_edge_cases.py`` and the ``tests/test_scenarios_*``
+suites.
 """
 
 from __future__ import annotations
@@ -39,6 +48,9 @@ __all__ = [
     "assert_batch_conserves",
     "assert_same_seed_determinism",
     "assert_prefix_stability",
+    "assert_scenario_conservation",
+    "run_scenario_both_engines",
+    "assert_scenario_engines_agree",
 ]
 
 
@@ -157,6 +169,119 @@ def assert_batch_conserves(
                 snapshot,
                 err_msg=f"retired replica {index} was mutated",
             )
+
+
+def assert_scenario_conservation(result, atol: float = 0.0) -> None:
+    """Totals change *exactly* by the scheduled event deltas, round by round.
+
+    The dynamic-workload analogue of per-round conservation: within one
+    scenario run (either engine), the per-replica exactly conserved
+    total (task count / total task weight) after round ``t`` must equal
+    the total before it plus the net delta of the events applied at
+    round ``t`` — relocations (shocks, drains) and protocol rounds must
+    never change it. Uniform runs check with ``atol=0`` (integer
+    totals); weighted runs need a tiny float tolerance because the
+    event log accumulates weight sums in a different order than the
+    state's total.
+    """
+    horizon = result.rounds_executed
+    deltas = np.zeros((horizon, result.num_replicas))
+    for record in result.events:
+        deltas[record.round_index] += record.weight_added - record.weight_removed
+    expected = result.total_weight[0] + np.cumsum(deltas, axis=0)
+    np.testing.assert_allclose(
+        result.total_weight[1:],
+        expected,
+        atol=atol,
+        rtol=0.0,
+        err_msg="totals diverged from the event log (conservation modulo events)",
+    )
+
+
+def run_scenario_both_engines(
+    runner, state_factory, repetitions: int, rounds: int, seed: int
+):
+    """One scenario ensemble through each engine with identical streams."""
+    batch = runner.run_ensemble(
+        state_factory, repetitions, rounds, seed=seed, engine="batch"
+    )
+    scalar = runner.run_ensemble(
+        state_factory, repetitions, rounds, seed=seed, engine="scalar"
+    )
+    assert batch.engine == "batch"
+    assert scalar.engine == "scalar"
+    return batch, scalar
+
+
+def assert_scenario_engines_agree(
+    runner,
+    state_factory,
+    repetitions: int,
+    rounds: int,
+    seed: int,
+    pathwise: bool,
+    shock_round: int | None = None,
+    min_pvalue: float = 0.01,
+    conservation_atol: float = 0.0,
+):
+    """Batch and scalar scenario runs agree (pathwise or in law).
+
+    ``pathwise=True`` (weighted protocols) asserts bit-identical task
+    counts, target verdicts and event magnitudes plus numerically
+    identical potentials. ``pathwise=False`` (uniform protocol — the
+    kernels are only law-equivalent) asserts KS agreement of the final
+    potentials and, when ``shock_round`` is given, of the post-shock
+    recovery-round distributions. Both runs additionally pass
+    per-engine conservation modulo events. Returns the two results.
+    """
+    from repro.analysis.dynamics import recovery_rounds
+
+    batch, scalar = run_scenario_both_engines(
+        runner, state_factory, repetitions, rounds, seed
+    )
+    for result in (batch, scalar):
+        assert_scenario_conservation(result, atol=conservation_atol)
+    if pathwise:
+        np.testing.assert_array_equal(batch.num_tasks, scalar.num_tasks)
+        np.testing.assert_array_equal(
+            batch.target_satisfied, scalar.target_satisfied
+        )
+        np.testing.assert_allclose(batch.psi0, scalar.psi0, atol=1e-9)
+        np.testing.assert_allclose(
+            batch.total_weight, scalar.total_weight, atol=1e-9
+        )
+        assert len(batch.events) == len(scalar.events)
+        for record_b, record_s in zip(batch.events, scalar.events):
+            assert record_b.round_index == record_s.round_index
+            assert record_b.name == record_s.name
+            np.testing.assert_array_equal(
+                record_b.tasks_added, record_s.tasks_added
+            )
+            np.testing.assert_array_equal(
+                record_b.tasks_removed, record_s.tasks_removed
+            )
+            np.testing.assert_array_equal(
+                record_b.tasks_relocated, record_s.tasks_relocated
+            )
+    else:
+        assert_ks_agreement(
+            batch.psi0[-1],
+            scalar.psi0[-1],
+            min_pvalue=min_pvalue,
+            label="batch vs scalar final potentials",
+        )
+        if shock_round is not None:
+            recovery_batch = recovery_rounds(batch.target_satisfied, shock_round)
+            recovery_scalar = recovery_rounds(
+                scalar.target_satisfied, shock_round
+            )
+            assert_ks_agreement(
+                recovery_batch,
+                recovery_scalar,
+                min_pvalue=min_pvalue,
+                label="batch vs scalar recovery-round distributions",
+            )
+    return batch, scalar
 
 
 def assert_same_seed_determinism(run: Callable[[], tuple]) -> tuple:

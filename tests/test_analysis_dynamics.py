@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.dynamics import (
+    recovery_rounds,
+    rolling_violation,
+    steady_state_band,
+    time_averaged_imbalance,
+)
+from repro.errors import ValidationError
+
+
+class TestRecoveryRounds:
+    def test_basic_recovery(self):
+        satisfied = np.array(
+            [[True, True], [False, False], [False, True], [True, True]]
+        )
+        # Event at round 1: replica 0 recovers at record 3 (2 rounds),
+        # replica 1 at record 2 (1 round).
+        np.testing.assert_array_equal(
+            recovery_rounds(satisfied, 1), [2, 1]
+        )
+
+    def test_never_recovered_is_minus_one(self):
+        satisfied = np.zeros((5, 3), dtype=bool)
+        np.testing.assert_array_equal(
+            recovery_rounds(satisfied, 2), [-1, -1, -1]
+        )
+
+    def test_event_at_horizon_edge(self):
+        satisfied = np.ones((4, 2), dtype=bool)
+        np.testing.assert_array_equal(recovery_rounds(satisfied, 3), [-1, -1])
+
+    def test_one_dimensional_input(self):
+        satisfied = np.array([False, False, False, True])
+        np.testing.assert_array_equal(recovery_rounds(satisfied, 0), [3])
+
+    def test_event_round_validated(self):
+        with pytest.raises(ValidationError):
+            recovery_rounds(np.zeros((3, 1), dtype=bool), 5)
+
+
+class TestTimeAveragedImbalance:
+    def test_warmup_discards_transient(self):
+        values = np.array([[100.0], [100.0], [2.0], [4.0]])
+        assert time_averaged_imbalance(values, warmup=2)[0] == pytest.approx(3.0)
+
+    def test_warmup_validated(self):
+        with pytest.raises(ValidationError):
+            time_averaged_imbalance(np.zeros((3, 1)), warmup=3)
+
+
+class TestRollingViolation:
+    def test_moving_average(self):
+        trace = np.array([[0.0], [1.0], [1.0], [0.0]])
+        rolled = rolling_violation(trace, window=2)
+        np.testing.assert_allclose(rolled[:, 0], [0.5, 1.0, 0.5])
+
+    def test_window_one_is_identity(self):
+        trace = np.random.default_rng(0).random((6, 2))
+        np.testing.assert_allclose(rolling_violation(trace, 1), trace)
+
+    def test_window_validated(self):
+        with pytest.raises(ValidationError):
+            rolling_violation(np.zeros((3, 1)), window=4)
+
+
+class TestSteadyStateBand:
+    def test_pools_replicas_and_rounds(self):
+        values = np.array([[1.0, 3.0], [2.0, 4.0]])
+        band = steady_state_band(values)
+        assert band.num_samples == 4
+        assert band.median == pytest.approx(2.5)
+        assert band.maximum == 4.0
+
+    def test_warmup(self):
+        values = np.array([[1000.0], [1.0], [1.0]])
+        band = steady_state_band(values, warmup=1)
+        assert band.maximum == 1.0

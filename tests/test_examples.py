@@ -23,6 +23,7 @@ EXPECTED_CLOSING = {
     "protocol_comparison.py": "damped diffusion",
     "spectral_analysis.py": "quadratic penalty",
     "resilient_service.py": "balance is an attractor",
+    "dynamic_service.py": "absorbed by one memoryless protocol",
 }
 
 
@@ -50,8 +51,8 @@ def test_example_runs(script_name):
 
 
 def test_examples_directory_complete():
-    """At least the six documented examples exist (and nothing is empty)."""
+    """At least the seven documented examples exist (and nothing is empty)."""
     scripts = sorted(EXAMPLES_DIR.glob("*.py"))
-    assert len(scripts) >= 6
+    assert len(scripts) >= 7
     for script in scripts:
         assert script.read_text().strip(), f"{script.name} is empty"

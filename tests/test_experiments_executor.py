@@ -71,6 +71,9 @@ class TestRunCell:
             "exact",
             "weighted",
             "weighted-variant",
+            "scenario-recovery",
+            "shock-recovery",
+            "churn-band",
         }
 
     def test_runs_weighted_cell(self):

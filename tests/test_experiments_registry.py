@@ -30,6 +30,7 @@ EXPECTED_IDS = {
     "weighted-variants",
     "equilibrium-quality",
     "robustness",
+    "scenarios-churn-shock",
 }
 
 
@@ -51,6 +52,62 @@ class TestRegistry:
             @register_experiment("spectral-bounds")
             def duplicate(quick, seed):  # pragma: no cover
                 raise AssertionError
+
+
+class TestWorkersForwarding:
+    """``workers`` must never be dropped silently (PR 4 satellite)."""
+
+    def _temporary_experiment(self, runner):
+        from repro.experiments import registry
+
+        experiment_id = "_test-workers-forwarding"
+        registry._REGISTRY[experiment_id] = runner
+        return experiment_id
+
+    def _cleanup(self, experiment_id):
+        from repro.experiments import registry
+
+        registry._REGISTRY.pop(experiment_id, None)
+
+    def test_serial_fallback_warns(self):
+        def runner(quick, seed):
+            return ExperimentResult(experiment_id="w", title="w")
+
+        experiment_id = self._temporary_experiment(runner)
+        try:
+            with pytest.warns(RuntimeWarning, match="does not support parallel"):
+                run_experiment(experiment_id, workers=2)
+        finally:
+            self._cleanup(experiment_id)
+
+    def test_workers_one_stays_silent(self):
+        """workers=1 is the serial reference either way — no warning."""
+        import warnings
+
+        def runner(quick, seed):
+            return ExperimentResult(experiment_id="w", title="w")
+
+        experiment_id = self._temporary_experiment(runner)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                run_experiment(experiment_id, workers=1)
+        finally:
+            self._cleanup(experiment_id)
+
+    def test_workers_forwarded_when_declared(self):
+        seen = {}
+
+        def runner(quick, seed, workers=None):
+            seen["workers"] = workers
+            return ExperimentResult(experiment_id="w", title="w")
+
+        experiment_id = self._temporary_experiment(runner)
+        try:
+            run_experiment(experiment_id, workers=3)
+        finally:
+            self._cleanup(experiment_id)
+        assert seen["workers"] == 3
 
 
 class TestReporting:

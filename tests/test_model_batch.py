@@ -336,3 +336,81 @@ class TestWeightedMutation:
     def test_repr(self):
         batch, _ = make_weighted_batch()
         assert "R=2" in repr(batch)
+
+
+class TestScenarioMutationApis:
+    """PR 4 state-mutation APIs backing the scenario events."""
+
+    def test_adjust_counts_changes_totals(self):
+        batch = BatchUniformState(np.array([[5, 0], [1, 1]]), np.ones(2))
+        batch.adjust_counts([0, 1], np.array([[-2, 3], [0, -1]]))
+        np.testing.assert_array_equal(batch.counts, [[3, 3], [1, 0]])
+
+    def test_adjust_counts_rejects_negative_result(self):
+        batch = BatchUniformState(np.array([[5, 0]]), np.ones(2))
+        with pytest.raises(ModelError):
+            batch.adjust_counts([0], np.array([[-10, 0]]))
+
+    def test_adjust_counts_rejects_duplicate_rows(self):
+        """Fancy-index assignment would silently keep only the last
+        duplicate's delta."""
+        batch = BatchUniformState(np.array([[5, 5]]), np.ones(2))
+        with pytest.raises(ModelError, match="duplicate replica"):
+            batch.adjust_counts([0, 0], np.array([[1, 0], [0, 1]]))
+
+    def test_weighted_add_remove_roundtrip(self):
+        from repro.model.state import WeightedState
+
+        states = [
+            WeightedState([0, 1], [0.5, 0.2], np.ones(3)),
+            WeightedState([2], [0.9], np.ones(3)),
+        ]
+        batch = BatchWeightedState.from_states(states)
+        batch.add_tasks([1, 1], [0, 2], [0.3, 0.4])
+        np.testing.assert_array_equal(batch.num_tasks, [2, 3])
+        # Appended after the last live slot, preserving live order.
+        np.testing.assert_allclose(
+            batch.replica(1).task_weights, [0.9, 0.3, 0.4]
+        )
+        batch.remove_tasks([1], [1])  # drop the 0.3 task
+        np.testing.assert_allclose(batch.replica(1).task_weights, [0.9, 0.4])
+        rebuilt = batch.copy()
+        rebuilt.rebuild_node_weights()
+        np.testing.assert_allclose(
+            batch.node_weights, rebuilt.node_weights, atol=1e-12
+        )
+
+    def test_remove_rejects_padding_and_duplicates(self):
+        from repro.model.state import WeightedState
+
+        batch = BatchWeightedState.from_states(
+            [
+                WeightedState([0, 1], [0.5, 0.2], np.ones(3)),
+                WeightedState([2], [0.9], np.ones(3)),
+            ]
+        )
+        with pytest.raises(ModelError, match="padding"):
+            batch.remove_tasks([1], [1])
+        with pytest.raises(ModelError, match="duplicate"):
+            batch.remove_tasks([0, 0], [1, 1])
+
+    def test_compact_preserves_live_order(self):
+        from repro.model.state import WeightedState
+
+        batch = BatchWeightedState.from_states(
+            [WeightedState([0, 1, 2, 0], [0.1, 0.2, 0.3, 0.4], np.ones(3))]
+        )
+        batch.remove_tasks([0, 0], [0, 2])
+        before = batch.replica(0)
+        batch.compact()
+        assert batch.max_tasks == 2
+        after = batch.replica(0)
+        np.testing.assert_array_equal(before.task_nodes, after.task_nodes)
+        np.testing.assert_allclose(before.task_weights, after.task_weights)
+
+    def test_rescale_speed_shared(self):
+        batch = BatchUniformState(np.array([[5, 0], [1, 1]]), np.ones(2))
+        batch.rescale_speed(0, 2.0)
+        assert batch.speeds[0] == 2.0
+        with pytest.raises(Exception):
+            batch.rescale_speed(0, -1.0)

@@ -1,9 +1,15 @@
-"""Tests for repro.model.perturbation."""
+"""Tests for repro.model.perturbation (deprecated shims over repro.scenarios).
+
+The helpers here are kept as behavior-preserving shims; these tests pin
+the legacy contract (uniform-only, same errors, same return values).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.errors import ModelError
 from repro.model.perturbation import (
@@ -120,3 +126,16 @@ class TestPoissonChurn:
 
     def test_rate_property(self):
         assert PoissonChurn(2.5).rate == 2.5
+
+
+class TestDeprecation:
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_shims_warn(self, state, rng):
+        with pytest.warns(DeprecationWarning, match="repro.scenarios"):
+            inject_tasks(state, 1, rng)
+        with pytest.warns(DeprecationWarning, match="repro.scenarios"):
+            remove_tasks(state, 1, rng)
+        with pytest.warns(DeprecationWarning, match="repro.scenarios"):
+            shock_to_node(state, 0.1, 0, rng)
+        with pytest.warns(DeprecationWarning, match="repro.scenarios"):
+            PoissonChurn(1.0, seed=1)

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) over random event schedules.
+
+The scenario subsystem's two contracts must hold for *any* schedule, not
+just the curated churn-plus-shock ones:
+
+* **conservation modulo events** — within a run (either engine), the
+  per-replica exact totals change by precisely the net event deltas;
+* **engine equivalence** — the weighted protocols stay pathwise
+  bit-identical between the scalar and batched paths under arbitrary
+  event sequences (the strongest check available: events and kernels
+  must consume each replica's stream identically), and uniform runs stay
+  deterministic under the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
+from repro.core.stopping import NashStop
+from repro.graphs.generators import cycle_graph
+from repro.model.placement import place_weighted_random, random_placement
+from repro.model.state import UniformState, WeightedState
+from repro.scenarios import (
+    LoadShock,
+    NodeDrain,
+    NodeOutage,
+    PoissonChurnEvent,
+    Schedule,
+    ScenarioRunner,
+    SpeedChange,
+    TaskArrival,
+    TaskDeparture,
+    at,
+    every,
+)
+
+from tests.equivalence import (
+    assert_scenario_conservation,
+    assert_scenario_engines_agree,
+)
+
+N = 5
+HORIZON = 10
+
+# Events drawn over a small 5-node ring; parameters kept small so a
+# 10-round scenario stays fast while still mixing arrivals, departures,
+# relocations and speed changes.
+EVENTS = st.one_of(
+    st.builds(
+        TaskArrival,
+        st.integers(0, 4),
+        node=st.one_of(st.none(), st.integers(0, N - 1)),
+        weight=st.sampled_from([0.25, 0.5, 1.0]),
+    ),
+    st.builds(TaskDeparture, st.integers(0, 4)),
+    st.builds(
+        PoissonChurnEvent,
+        st.floats(0.0, 3.0, allow_nan=False),
+        weight=st.sampled_from([0.5, 1.0]),
+    ),
+    st.builds(
+        LoadShock,
+        st.floats(0.0, 1.0, allow_nan=False),
+        node=st.integers(0, N - 1),
+    ),
+    st.builds(
+        SpeedChange, st.integers(0, N - 1), st.sampled_from([0.5, 2.0])
+    ),
+    st.builds(NodeDrain, st.integers(0, N - 1)),
+    st.builds(
+        NodeOutage, st.integers(0, N - 1), residual_factor=st.just(0.5)
+    ),
+)
+
+ENTRIES = st.one_of(
+    st.builds(at, st.integers(0, HORIZON - 1), EVENTS),
+    st.builds(every, st.integers(1, 4), EVENTS, start=st.integers(0, 3)),
+)
+
+SCHEDULES = st.lists(ENTRIES, min_size=0, max_size=4).map(Schedule)
+
+
+class TestRandomSchedules:
+    @given(schedule=SCHEDULES, seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_engines_pathwise_identical(self, schedule, seed):
+        graph = cycle_graph(N)
+        runner = ScenarioRunner(
+            graph, SelfishWeightedProtocol(), schedule, target=NashStop()
+        )
+
+        def factory(rng):
+            m = 12
+            return WeightedState(
+                place_weighted_random(m, N, rng),
+                rng.uniform(0.1, 1.0, m),
+                np.ones(N),
+            )
+
+        assert_scenario_engines_agree(
+            runner,
+            factory,
+            repetitions=3,
+            rounds=HORIZON,
+            seed=seed,
+            pathwise=True,
+            conservation_atol=1e-9,
+        )
+
+    @given(schedule=SCHEDULES, seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_batch_conserves_and_is_deterministic(self, schedule, seed):
+        graph = cycle_graph(N)
+        runner = ScenarioRunner(graph, SelfishUniformProtocol(), schedule)
+
+        def factory(rng):
+            return UniformState(random_placement(N, 40, rng), np.ones(N))
+
+        def run_once():
+            return runner.run_ensemble(
+                factory, repetitions=4, rounds=HORIZON, seed=seed
+            )
+
+        first, second = run_once(), run_once()
+        assert_scenario_conservation(first)
+        np.testing.assert_array_equal(first.num_tasks, second.num_tasks)
+        np.testing.assert_array_equal(first.psi0, second.psi0)
+        # Counts never negative, whatever the events did.
+        assert np.all(first.final_state.counts >= 0)
