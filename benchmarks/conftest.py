@@ -9,6 +9,9 @@ on. Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -16,6 +19,51 @@ from repro.graphs.generators import torus_graph
 from repro.model.placement import all_on_one_placement
 from repro.model.speeds import uniform_speeds
 from repro.model.state import UniformState
+
+#: Machine-readable record of the acceptance benchmarks, committed so the
+#: perf trajectory is tracked across PRs. Keyed by (cell, policy).
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR5.json"
+
+
+def record_bench(
+    cell: str, policy: str, wall_clock_seconds: float, speedup: float, **extra
+) -> None:
+    """Upsert one (cell, policy) row into ``BENCH_PR5.json``.
+
+    ``wall_clock_seconds`` is the timed quantity of the row (per-round or
+    end-to-end — the cell name says which); ``speedup`` is relative to
+    the row's stated baseline. Extra keyword scalars ride along.
+
+    The committed file is a deliberately refreshed snapshot, not a
+    side-effect of every test run: writes happen only when
+    ``BENCH_PR5_RECORD=1`` is exported (``BENCH_PR5_RECORD=1 pytest -q
+    -m slow benchmarks/`` to refresh), so routine tier-1 runs — which
+    include the slow acceptance benchmarks — never dirty the working
+    tree with machine-local timings.
+    """
+    import os
+
+    if os.environ.get("BENCH_PR5_RECORD", "") not in ("1", "true", "yes"):
+        return
+    rows: list[dict] = []
+    if BENCH_RESULTS_PATH.exists():
+        rows = json.loads(BENCH_RESULTS_PATH.read_text(encoding="utf-8"))
+    rows = [
+        row for row in rows if (row["cell"], row["policy"]) != (cell, policy)
+    ]
+    rows.append(
+        {
+            "cell": cell,
+            "policy": policy,
+            "wall_clock_seconds": round(float(wall_clock_seconds), 6),
+            "speedup": round(float(speedup), 3),
+            **extra,
+        }
+    )
+    rows.sort(key=lambda row: (row["cell"], row["policy"]))
+    BENCH_RESULTS_PATH.write_text(
+        json.dumps(rows, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture

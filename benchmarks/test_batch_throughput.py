@@ -14,8 +14,14 @@ shortcut to lean on.
 The per-round cost cells additionally probe the heavy-m regime
 (ring(8), m=1500, the ``weighted-variants`` configuration): there the
 scalar weighted kernel is already vectorized over 1500 tasks, so
-batching only removes per-replica dispatch overhead (~1.3-1.8x), while
-in the ``m = O(n)`` measurement regime it is worth ~5-9x.
+batching under the spawned stream layout only removes per-replica
+dispatch overhead (~1.3-1.8x). The counter stream layout (PR 5) attacks
+exactly this cell: one fused Philox block draw plus a per-edge
+probability table replace the two per-replica fill loops and most of
+the per-task math, and the acceptance test pins ``rng_policy="counter"``
+at >= 2.5x per-round over ``"spawned"`` at (ring(8), m=1500, R=256).
+Acceptance numbers land in ``benchmarks/BENCH_PR5.json`` (cell, policy,
+wall-clock, speedup) so the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.conftest import record_bench
 from repro.analysis.convergence import measure_convergence_rounds
 from repro.core.protocols import SelfishUniformProtocol, SelfishWeightedProtocol
 from repro.core.stopping import NashStop, PotentialThresholdStop
@@ -40,7 +47,7 @@ from repro.model.state import UniformState, WeightedState
 from repro.model.tasks import two_class_weights
 from repro.spectral.eigen import algebraic_connectivity
 from repro.theory.constants import psi_critical
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import CounterStreams, spawn_rngs
 
 REPLICA_COUNTS = [1, 32, 256]
 
@@ -121,6 +128,24 @@ def test_weighted_batched_round_cost(benchmark, replicas):
 
 
 @pytest.mark.parametrize("replicas", REPLICA_COUNTS)
+def test_weighted_counter_round_cost(benchmark, replicas):
+    """One counter-layout weighted round over R replicas (heavy-m cell)."""
+    graph, states, _ = _weighted_states(replicas)
+    batch = BatchWeightedState.from_states(states)
+    streams = CounterStreams(7, replicas)
+    protocol = SelfishWeightedProtocol()
+    rounds = iter(range(10**9))
+
+    def step():
+        streams.begin_round(next(rounds))
+        protocol.execute_round_batch(batch, graph, streams, None)
+
+    benchmark(step)
+    benchmark.extra_info["replicas"] = replicas
+    benchmark.extra_info["replica_rounds_per_op"] = replicas
+
+
+@pytest.mark.parametrize("replicas", REPLICA_COUNTS)
 def test_weighted_sequential_round_cost(benchmark, replicas):
     """The same R weighted replica-rounds through the scalar kernel."""
     graph, states, rngs = _weighted_states(replicas)
@@ -133,6 +158,59 @@ def test_weighted_sequential_round_cost(benchmark, replicas):
     benchmark(run_all)
     benchmark.extra_info["replicas"] = replicas
     benchmark.extra_info["replica_rounds_per_op"] = replicas
+
+
+@pytest.mark.slow
+def test_weighted_counter_per_round_speedup():
+    """Acceptance: counter >= 2.5x per-round on (ring(8), m=1500, R=256).
+
+    The ISSUE 5 tentpole pin: the heavy-m weighted cell where spawned
+    batching is dispatch-bound. Both policies advance the same initial
+    replica stack for a fixed number of rounds; the per-round wall clock
+    is best-of-two. The numbers are recorded in ``BENCH_PR5.json``.
+    """
+    replicas, rounds = 256, 30
+    graph, states, _ = _weighted_states(replicas)
+    protocol = SelfishWeightedProtocol()
+
+    def timed(policy):
+        best = float("inf")
+        for _ in range(2):
+            batch = BatchWeightedState.from_states(states)
+            if policy == "counter":
+                streams: object = CounterStreams(7, replicas)
+            else:
+                streams = spawn_rngs(7, replicas)
+            # Warm caches (graph tables, allocator) outside the clock.
+            start = time.perf_counter()
+            for round_index in range(rounds):
+                if policy == "counter":
+                    streams.begin_round(round_index)
+                protocol.execute_round_batch(batch, graph, streams, None)
+            best = min(best, (time.perf_counter() - start) / rounds)
+        return best
+
+    spawned_seconds = timed("spawned")
+    counter_seconds = timed("counter")
+    speedup = spawned_seconds / counter_seconds
+    record_bench(
+        "weighted-round ring(8) m=1500 R=256",
+        "spawned",
+        spawned_seconds,
+        1.0,
+        baseline="spawned per-round",
+    )
+    record_bench(
+        "weighted-round ring(8) m=1500 R=256",
+        "counter",
+        counter_seconds,
+        speedup,
+        baseline="spawned per-round",
+    )
+    assert speedup >= 2.5, (
+        f"counter layout only {speedup:.2f}x faster per round "
+        f"({counter_seconds * 1e3:.2f}ms vs {spawned_seconds * 1e3:.2f}ms)"
+    )
 
 
 @pytest.mark.slow
@@ -176,6 +254,13 @@ def test_weighted_speedup_at_100_repetitions():
     np.testing.assert_array_equal(batch.rounds, scalar.rounds)
 
     speedup = scalar_seconds / batch_seconds
+    record_bench(
+        "weighted-measurement ring(16) m=8n reps=100",
+        "spawned",
+        batch_seconds,
+        speedup,
+        baseline="scalar loop",
+    )
     assert speedup >= 3.0, (
         f"batched weighted engine only {speedup:.1f}x faster "
         f"({batch_seconds:.2f}s vs {scalar_seconds:.2f}s)"
@@ -227,6 +312,13 @@ def test_speedup_at_100_repetitions(torus36):
     assert batch.median_rounds == pytest.approx(scalar.median_rounds, rel=0.25)
 
     speedup = scalar_seconds / batch_seconds
+    record_bench(
+        "uniform-measurement torus36 m=8n^2 reps=100",
+        "spawned",
+        batch_seconds,
+        speedup,
+        baseline="scalar loop",
+    )
     assert speedup >= 5.0, (
         f"batched engine only {speedup:.1f}x faster "
         f"({batch_seconds:.2f}s vs {scalar_seconds:.2f}s)"

@@ -3,10 +3,14 @@
 Not a paper artifact — the scenario subsystem is the "as many scenarios
 as you can imagine" axis on top of the batch engines. The quick
 experiment must pass, one churn-plus-round step is benchmarked on both
-engines, and the acceptance check pins the ensemble speedup: a full
-churn + flash-crowd scenario cell at 100 repetitions must run >= 3x
-faster through the replica-stack engine than through the scalar loop,
-on the uniform *and* the weighted quick cells.
+engines, and two acceptance checks pin the speedups: a full churn +
+flash-crowd scenario cell at 100 repetitions must run >= 3x faster
+through the replica-stack engine than through the scalar loop (uniform
+*and* weighted quick cells), and the PR 5 counter stream layout must
+run the heavy-churn cell (Poisson churn every round, torus36, R=256)
+>= 2x faster per round than the spawned layout — the per-replica event
+draw loop was one of the ROADMAP's named bottlenecks. Acceptance
+numbers land in ``benchmarks/BENCH_PR5.json``.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import run_quick
+from benchmarks.conftest import record_bench, run_quick
 from repro.core.protocols import SelfishUniformProtocol
 from repro.experiments.scenario_cells import measure_scenario_recovery
 from repro.graphs.generators import torus_graph
@@ -26,7 +30,7 @@ from repro.model.placement import random_placement
 from repro.model.speeds import uniform_speeds
 from repro.model.state import UniformState
 from repro.scenarios import PoissonChurnEvent
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import CounterStreams, spawn_rngs
 
 #: Replica count for the per-round cost benchmarks.
 ROUND_COST_REPLICAS = 64
@@ -78,6 +82,89 @@ def test_scenario_round_kernel_batch(benchmark):
     benchmark(step)
     benchmark.extra_info["replicas"] = ROUND_COST_REPLICAS
     benchmark.extra_info["replica_rounds_per_op"] = ROUND_COST_REPLICAS
+
+
+def test_scenario_round_kernel_counter(benchmark):
+    """The churn + round step over a 64-replica stack, counter layout."""
+    graph = torus_graph(6)
+    n = graph.num_vertices
+    children = spawn_rngs(1, ROUND_COST_REPLICAS)
+    counts = np.stack(
+        [random_placement(n, 8 * n * n, rng) for rng in children]
+    )
+    batch = BatchUniformState(counts, uniform_speeds(n))
+    protocol = SelfishUniformProtocol()
+    churn = PoissonChurnEvent(5.0)
+    streams = CounterStreams(1, ROUND_COST_REPLICAS)
+    rounds = iter(range(10**9))
+
+    def step():
+        streams.begin_round(next(rounds))
+        churn.apply_batch(batch, graph, streams)
+        protocol.execute_round_batch(batch, graph, streams, None)
+
+    benchmark(step)
+    benchmark.extra_info["replicas"] = ROUND_COST_REPLICAS
+    benchmark.extra_info["replica_rounds_per_op"] = ROUND_COST_REPLICAS
+
+
+@pytest.mark.slow
+def test_heavy_churn_counter_per_round_speedup():
+    """Acceptance: counter >= 2x per-round on the heavy-churn cell, R=256.
+
+    The ISSUE 5 scenario pin: Poisson churn every round on torus36 with
+    m = 8 n^2 tasks per replica. Under the spawned layout every round
+    pays ~4 R generator calls (two Poissons, placement, removal) plus R
+    multinomials; the counter layout draws each as one block. Both
+    policies advance identical initial stacks; best-of-two per-round
+    wall clock; recorded in ``BENCH_PR5.json``.
+    """
+    replicas, rounds = 256, 20
+    graph = torus_graph(6)
+    n = graph.num_vertices
+    children = spawn_rngs(1, replicas)
+    counts = np.stack([random_placement(n, 8 * n * n, rng) for rng in children])
+    protocol = SelfishUniformProtocol()
+    churn = PoissonChurnEvent(5.0)
+
+    def timed(policy):
+        best = float("inf")
+        for _ in range(2):
+            batch = BatchUniformState(counts.copy(), uniform_speeds(n))
+            if policy == "counter":
+                streams: object = CounterStreams(1, replicas)
+            else:
+                streams = spawn_rngs(1, replicas)
+            start = time.perf_counter()
+            for round_index in range(rounds):
+                if policy == "counter":
+                    streams.begin_round(round_index)
+                churn.apply_batch(batch, graph, streams)
+                protocol.execute_round_batch(batch, graph, streams, None)
+            best = min(best, (time.perf_counter() - start) / rounds)
+        return best
+
+    spawned_seconds = timed("spawned")
+    counter_seconds = timed("counter")
+    speedup = spawned_seconds / counter_seconds
+    record_bench(
+        "heavy-churn-round torus36 m=8n^2 R=256",
+        "spawned",
+        spawned_seconds,
+        1.0,
+        baseline="spawned per-round",
+    )
+    record_bench(
+        "heavy-churn-round torus36 m=8n^2 R=256",
+        "counter",
+        counter_seconds,
+        speedup,
+        baseline="spawned per-round",
+    )
+    assert speedup >= 2.0, (
+        f"counter layout only {speedup:.2f}x faster on the heavy-churn "
+        f"cell ({counter_seconds * 1e3:.2f}ms vs {spawned_seconds * 1e3:.2f}ms)"
+    )
 
 
 def _timed_cell(tasks: str, engine: str) -> tuple[object, float]:

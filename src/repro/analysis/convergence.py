@@ -23,10 +23,13 @@ Two execution engines produce statistically identical measurements:
   implementation.
 
 ``"auto"`` (the default) picks the batch engine whenever the inputs
-qualify. Both engines derive repetition ``k``'s randomness from the same
-spawned child stream (state construction first, then migration draws),
-so each repetition's first-hitting time has the same distribution either
-way. For the uniform protocol the sample paths differ (binomial chain
+qualify. Under the default ``rng_policy="spawned"`` both engines derive
+repetition ``k``'s randomness from the same spawned child stream (state
+construction first, then migration draws), so each repetition's
+first-hitting time has the same distribution either way;
+``rng_policy="counter"`` swaps the batch engine's round randomness for
+the vectorized Philox counter layout (one block draw per site per
+round — same law, different paths; see :mod:`repro.utils.rng`). For the uniform protocol the sample paths differ (binomial chain
 vs. batched multinomial — the same law), and the laws diverge only under
 probability clipping with an ablation-level ``alpha < 4 s_max``;
 ``"auto"`` therefore keeps such uniform runs on the scalar reference
@@ -53,7 +56,7 @@ from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.model.state import LoadStateBase
 from repro.types import SeedLike
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import CounterStreams, check_rng_policy, spawn_rngs
 
 __all__ = ["ConvergenceMeasurement", "measure_convergence_rounds"]
 
@@ -150,6 +153,7 @@ def measure_convergence_rounds(
     seed: SeedLike = None,
     check_every: int = 1,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> ConvergenceMeasurement:
     """Measure first-hitting rounds of ``stopping`` over repetitions.
 
@@ -158,6 +162,23 @@ def measure_convergence_rounds(
     state_factory:
         Called once per repetition with that repetition's generator;
         must return a fresh initial state (it will be mutated).
+    rng_policy:
+        Per-replica stream layout for the *round* randomness:
+        ``"spawned"`` (default) keeps the historical spawned-child
+        streams and every bit-identity guarantee; ``"counter"`` uses the
+        vectorized Philox counter layout (law-level equivalent,
+        same-seed deterministic, and resize prefix-stable for the static
+        weighted cells). Initial states are built from spawned children
+        under *both* policies, so the two policies measure the same
+        initial-state ensemble. The counter layout only exists for the
+        batch engine — combining it with ``engine="scalar"`` raises, and
+        with ``engine="auto"`` it forces the batch engine (the inputs
+        must be stackable). Like an explicit ``engine="batch"``, that
+        bypasses the clipped-law guard: uniform ablation runs
+        (``alpha < 4 s_max``) sample the batch kernel's rescaled
+        clipping law, which differs from the scalar chain rule's — the
+        counter policy's scalar-law agreement holds in the unclipped
+        regime every paper experiment runs in.
     engine:
         ``"auto"`` (default) uses the vectorized batch engine when the
         protocol and states qualify, else the scalar loop; ``"batch"``
@@ -179,35 +200,50 @@ def measure_convergence_rounds(
         raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
     if engine not in _ENGINES:
         raise ValidationError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    check_rng_policy(rng_policy)
+    if rng_policy == "counter" and engine == "scalar":
+        raise ValidationError(
+            "rng_policy='counter' is a batch-engine stream layout; the "
+            "scalar reference always consumes spawned streams"
+        )
     generators = spawn_rngs(seed, repetitions)
     states = [state_factory(rng) for rng in generators]
 
     stackable = _batch_stackable(protocol, states)
-    if engine == "batch" and not stackable:
+    if (engine == "batch" or rng_policy == "counter") and not stackable:
         raise ValidationError(
-            "engine='batch' requires a batch-capable protocol and states "
-            "that stack into its replica layout (one node count, one "
-            "shared speed vector); use engine='auto' to fall back "
+            "engine='batch' (and rng_policy='counter') requires a "
+            "batch-capable protocol and states that stack into its "
+            "replica layout (one node count, one shared speed vector); "
+            "use engine='auto' with rng_policy='spawned' to fall back "
             "automatically"
         )
-    use_batch = engine == "batch" or (
-        engine == "auto"
-        and stackable
-        and (
-            getattr(protocol, "batch_matches_clipped_law", False)
-            or _same_law_as_scalar(protocol, states)
+    use_batch = (
+        engine == "batch"
+        or rng_policy == "counter"
+        or (
+            engine == "auto"
+            and stackable
+            and (
+                getattr(protocol, "batch_matches_clipped_law", False)
+                or _same_law_as_scalar(protocol, states)
+            )
         )
     )
 
     if use_batch:
         batch = _batch_state_class(protocol).from_states(states)  # type: ignore[union-attr]
         simulator = BatchSimulator(graph, protocol)
+        if rng_policy == "counter":
+            rngs: object = CounterStreams(seed, repetitions)
+        else:
+            rngs = generators
         result = simulator.run(
             batch,
             stopping=stopping,
             max_rounds=max_rounds,
             check_every=check_every,
-            rngs=generators,
+            rngs=rngs,
         )
         repetition_rounds = np.where(
             result.converged, result.stop_rounds, np.nan

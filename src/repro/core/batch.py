@@ -10,16 +10,30 @@ stopping rule over the whole stack, records each replica's first-hitting
 round, and *retires* converged replicas from the active set so stragglers
 never pay for finished work.
 
-RNG stream derivation
----------------------
-Replica randomness comes from child generators spawned off the
-simulator's seed with :func:`repro.utils.rng.spawn_rngs` (NumPy
-``SeedSequence.spawn``). Child ``r`` depends only on the root seed and
-its index — not on how many replicas run — so replica ``r`` is
-reproducible in isolation: the same seed replayed with a smaller or
-larger ensemble yields bit-identical trajectories for the shared prefix
-of replicas. Retired replicas stop consuming randomness, which cannot
-perturb the others because no stream is shared.
+RNG stream layouts
+------------------
+Replica randomness flows through a pluggable
+:class:`~repro.utils.rng.StreamLayout` (``rng_policy``):
+
+* ``"spawned"`` (default) — child generators spawned off the simulator's
+  seed with :func:`repro.utils.rng.spawn_rngs` (NumPy
+  ``SeedSequence.spawn``). Child ``r`` depends only on the root seed and
+  its index — not on how many replicas run — so replica ``r`` is
+  reproducible in isolation: the same seed replayed with a smaller or
+  larger ensemble yields bit-identical trajectories for the shared
+  prefix of replicas. Retired replicas stop consuming randomness, which
+  cannot perturb the others because no stream is shared. This layout
+  preserves every historical bit-identity guarantee (weighted batch runs
+  are pathwise identical to scalar runs).
+* ``"counter"`` — a Philox counter layout
+  (:class:`~repro.utils.rng.CounterStreams`): each round's draw sites
+  fill the whole active stack with one vectorized block draw keyed on
+  ``(root seed, round, site)``, removing the per-replica fill loop. Runs
+  are same-seed deterministic and agree with the scalar reference in
+  *law* (not pathwise); static weighted ensembles additionally stay
+  resize prefix-stable because each replica's counter range depends only
+  on its position in the active prefix. See the README's
+  reproducibility-guarantees matrix.
 
 Convergence-time convention (same as the scalar simulator): a replica's
 *stop round* is the number of rounds executed before the stopping
@@ -40,7 +54,12 @@ from repro.errors import SimulationError
 from repro.graphs.graph import Graph
 from repro.model.batch import BatchStateBase
 from repro.types import IntArray, SeedLike
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import (
+    StreamLayout,
+    as_stream_layout,
+    check_rng_policy,
+    make_streams,
+)
 from repro.utils.validation import check_integer
 
 __all__ = ["BatchSimulationResult", "BatchSimulator", "run_protocol_batch"]
@@ -113,10 +132,22 @@ class BatchSimulator:
         per-task-threshold variant). The stack passed to :meth:`run`
         must be the protocol's ``batch_state_class()``.
     seed:
-        Seed for the per-replica child streams (see module docstring).
+        Seed for the per-replica streams (see module docstring).
+    rng_policy:
+        Stream layout used when :meth:`run` spawns its own randomness:
+        ``"spawned"`` (default, bit-compatible with every earlier
+        release) or ``"counter"`` (vectorized Philox block draws,
+        law-level equivalent). Ignored when explicit ``rngs`` are passed
+        to :meth:`run`.
     """
 
-    def __init__(self, graph: Graph, protocol: Protocol, seed: SeedLike = None):
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: Protocol,
+        seed: SeedLike = None,
+        rng_policy: str = "spawned",
+    ):
         if not getattr(protocol, "supports_batch", False):
             raise SimulationError(
                 f"protocol {protocol.name!r} has no batched kernel; use the "
@@ -125,6 +156,7 @@ class BatchSimulator:
         self._graph = graph
         self._protocol = protocol
         self._seed = seed
+        self._rng_policy = check_rng_policy(rng_policy)
 
     @property
     def graph(self) -> Graph:
@@ -142,7 +174,7 @@ class BatchSimulator:
         stopping: StoppingRule | None = None,
         max_rounds: int = 10_000,
         check_every: int = 1,
-        rngs: Sequence[np.random.Generator] | None = None,
+        rngs: Sequence[np.random.Generator] | StreamLayout | None = None,
         before_round: Callable[[int, BatchStateBase], None] | None = None,
     ) -> BatchSimulationResult:
         """Run the protocol on the replica stack (mutated in place).
@@ -160,10 +192,12 @@ class BatchSimulator:
             Evaluate the stopping rule only every ``check_every`` rounds
             (and at round 0), as in the scalar simulator.
         rngs:
-            Optional pre-spawned per-replica generators (length ``R``).
-            The measurement pipeline passes the same children it used to
-            build the initial states; by default fresh children are
-            spawned from the simulator's seed.
+            Optional pre-built per-replica randomness: a sequence of
+            generators (length ``R``, the spawned layout) or a
+            :class:`~repro.utils.rng.StreamLayout`. The measurement
+            pipeline passes the same children it used to build the
+            initial states; by default a fresh layout is built from the
+            simulator's seed and ``rng_policy``.
         before_round:
             Optional hook ``(round_index, batch)`` invoked immediately
             before each executed batched round (after the stopping /
@@ -180,10 +214,14 @@ class BatchSimulator:
             )
         num_replicas = batch.num_replicas
         if rngs is None:
-            rngs = spawn_rngs(self._seed, num_replicas)
-        elif len(rngs) != num_replicas:
+            streams: StreamLayout = make_streams(
+                self._rng_policy, self._seed, num_replicas
+            )
+        else:
+            streams = as_stream_layout(rngs)
+        if len(streams) != num_replicas:
             raise SimulationError(
-                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+                f"need one generator per replica ({num_replicas}), got {len(streams)}"
             )
 
         active = np.ones(num_replicas, dtype=bool)
@@ -202,10 +240,11 @@ class BatchSimulator:
                 break
             if round_index == max_rounds:
                 break
+            streams.begin_round(round_index)
             if before_round is not None:
                 before_round(round_index, batch)
             summary = self._protocol.execute_round_batch(
-                batch, self._graph, rngs, active
+                batch, self._graph, streams, active
             )
             any_saturation |= summary.saturated
             rounds_executed += 1
@@ -238,9 +277,10 @@ def run_protocol_batch(
     max_rounds: int = 10_000,
     seed: SeedLike = None,
     check_every: int = 1,
+    rng_policy: str = "spawned",
 ) -> BatchSimulationResult:
     """One-call convenience wrapper around :class:`BatchSimulator`."""
-    simulator = BatchSimulator(graph, protocol, seed)
+    simulator = BatchSimulator(graph, protocol, seed, rng_policy=rng_policy)
     return simulator.run(
         batch, stopping=stopping, max_rounds=max_rounds, check_every=check_every
     )

@@ -37,6 +37,7 @@ from repro.errors import ProtocolError
 from repro.graphs.graph import Graph
 from repro.model.state import LoadStateBase, UniformState, WeightedState
 from repro.types import FloatArray, IntArray
+from repro.utils.rng import StreamLayout, as_stream_layout
 from repro.utils.validation import check_positive
 
 if TYPE_CHECKING:
@@ -97,7 +98,11 @@ class _GraphCache:
     ``slot + 1`` neighbours; ``slot_in_row[k]`` is the neighbour position
     of CSR slot ``k`` within its source node's adjacency list (used by the
     batched kernel to scatter per-slot probabilities into the padded
-    ``(n, Delta)`` layout).
+    ``(n, Delta)`` layout); ``deg_float`` / ``degm1`` are per-node degree
+    lookups pre-cast for the counter kernel's fused draw (``degm1`` keeps
+    ``-1`` at isolated nodes — the fused draw's remainder then lands at
+    exactly ``1.0``, which no clipped probability can exceed, so tasks on
+    isolated nodes never migrate without needing a branch).
     """
 
     def __init__(self, graph: Graph):
@@ -115,6 +120,9 @@ class _GraphCache:
             np.arange(self.csr_rows.shape[0], dtype=np.int64)
             - graph.indptr[self.csr_rows]
         )
+        self.deg_float = degrees.astype(np.float64)
+        self.degm1 = degrees.astype(np.int64) - 1
+        self.has_isolated = bool(np.any(degrees == 0))
 
 
 class Protocol:
@@ -327,10 +335,14 @@ class SelfishUniformProtocol(Protocol):
         batch:
             The ``(R, n)`` replica stack; mutated in place.
         rngs:
-            One generator per replica (length ``R``). Replica ``r`` draws
-            only from ``rngs[r]``, so its trajectory is reproducible in
-            isolation regardless of how many other replicas run
-            alongside it or when they retire.
+            One generator per replica (length ``R``) or a
+            :class:`~repro.utils.rng.StreamLayout`. Under the spawned
+            layout replica ``r`` draws only from ``rngs[r]``, so its
+            trajectory is reproducible in isolation regardless of how
+            many other replicas run alongside it or when they retire;
+            under the counter layout the whole active stack draws its
+            multinomial block from one per-round site stream (same
+            per-round law, vectorized dispatch).
         active:
             Boolean mask of replicas to advance (all when ``None``).
             Retired replicas neither move tasks nor consume randomness.
@@ -354,9 +366,10 @@ class SelfishUniformProtocol(Protocol):
                 f"{batch.num_nodes} nodes"
             )
         num_replicas = batch.num_replicas
-        if len(rngs) != num_replicas:
+        streams = as_stream_layout(rngs)
+        if len(streams) != num_replicas:
             raise ProtocolError(
-                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+                f"need one generator per replica ({num_replicas}), got {len(streams)}"
             )
         tasks_moved = np.zeros(num_replicas, dtype=np.int64)
         saturated = np.zeros(num_replicas, dtype=bool)
@@ -401,12 +414,20 @@ class SelfishUniformProtocol(Protocol):
             total = np.minimum(total, 1.0)
         pvals[..., max_degree] = np.maximum(1.0 - total, 0.0)
 
-        # One exact multinomial draw per replica from its own stream.
-        draws = np.empty((rows.size, n, max_degree + 1), dtype=np.int64)
-        for position, replica in enumerate(rows):
-            draws[position] = rngs[replica].multinomial(
-                counts[position], pvals[position]
+        if streams.policy == "counter":
+            # One vectorized multinomial over the whole active stack from
+            # the round's site stream — the same per-replica law as the
+            # spawned per-replica draws, in a single dispatch.
+            draws = streams.site("uniform-multinomial").multinomial(
+                counts, pvals
             )
+        else:
+            # One exact multinomial draw per replica from its own stream.
+            draws = np.empty((rows.size, n, max_degree + 1), dtype=np.int64)
+            for position, replica in enumerate(rows):
+                draws[position] = streams[replica].multinomial(
+                    counts[position], pvals[position]
+                )
 
         moved_slots = draws[..., :max_degree]
         sent = moved_slots.sum(axis=2)
@@ -494,6 +515,16 @@ class SelfishWeightedProtocol(Protocol):
     #: same Bernoulli probability), so batched and scalar sampling share
     #: one law even in ablation-``alpha`` regimes.
     batch_matches_clipped_law = True
+
+    #: Algorithm 2's migration condition depends only on the (source,
+    #: destination) edge, never on the task's own weight — so the counter
+    #: kernel can evaluate it once per ``(replica, edge)`` and gather.
+    #: :class:`PerTaskThresholdProtocol` overrides this: its condition is
+    #: per task and is evaluated after the gather instead. Subclass
+    #: contract: any subclass whose :meth:`_migration_eligible` reads
+    #: ``own_weights`` MUST set this to ``False``, or the counter kernel
+    #: will gate migrations with the edge-level condition only.
+    _edgewise_condition = True
 
     @classmethod
     def batch_state_class(cls) -> type:
@@ -627,14 +658,17 @@ class SelfishWeightedProtocol(Protocol):
         batch:
             The padded ``(R, M)`` replica stack; mutated in place.
         rngs:
-            One generator per replica (length ``R``). Replica ``r``
-            draws only from ``rngs[r]``, *in the exact order and count
-            of the scalar kernel* (one uniform per live task for the
-            neighbour choice, then one per task with a neighbour for the
-            migration Bernoulli), so its trajectory is bit-identical to
-            a scalar run from the same generator state and reproducible
-            in isolation regardless of how many other replicas run
-            alongside it or when they retire.
+            One generator per replica (length ``R``) or a
+            :class:`~repro.utils.rng.StreamLayout`. Under the spawned
+            layout replica ``r`` draws only from ``rngs[r]``, *in the
+            exact order and count of the scalar kernel* (one uniform per
+            live task for the neighbour choice, then one per task with a
+            neighbour for the migration Bernoulli), so its trajectory is
+            bit-identical to a scalar run from the same generator state
+            and reproducible in isolation regardless of how many other
+            replicas run alongside it or when they retire. The counter
+            layout routes through :meth:`_execute_round_batch_counter`
+            instead — same per-round migration law, one fused block draw.
         active:
             Boolean mask of replicas to advance (all when ``None``).
             Retired replicas neither move tasks nor consume randomness.
@@ -652,10 +686,16 @@ class SelfishWeightedProtocol(Protocol):
                 f"{batch.num_nodes} nodes"
             )
         num_replicas = batch.num_replicas
-        if len(rngs) != num_replicas:
+        streams = as_stream_layout(rngs)
+        if len(streams) != num_replicas:
             raise ProtocolError(
-                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+                f"need one generator per replica ({num_replicas}), got {len(streams)}"
             )
+        if streams.policy == "counter":
+            return self._execute_round_batch_counter(
+                batch, graph, streams, active
+            )
+        rngs = streams.generators
         tasks_moved = np.zeros(num_replicas, dtype=np.int64)
         weight_moved = np.zeros(num_replicas, dtype=np.float64)
         saturated = np.zeros(num_replicas, dtype=bool)
@@ -783,6 +823,176 @@ class SelfishWeightedProtocol(Protocol):
         saturated[rows] = saturated_rows
         return summary
 
+    def _execute_round_batch_counter(
+        self,
+        batch: "BatchWeightedState",
+        graph: Graph,
+        streams: StreamLayout,
+        active: np.ndarray | None,
+    ) -> BatchRoundSummary:
+        """Counter-layout round: one fused block draw for the whole stack.
+
+        The migration probability of a task on node ``i`` that chose
+        neighbour ``j`` depends only on ``(replica, i, j)``, so the
+        kernel first builds a tiny per-``(replica, directed edge)``
+        probability table ``(A, nnz)`` — exactly the scalar expressions,
+        evaluated once per edge instead of once per task — and then
+        resolves every task with a *single* uniform: ``u * deg(i)``
+        selects the neighbour slot (its integer part) *and* supplies the
+        migration uniform (its fractional part, which is U[0, 1)
+        independent of the selected slot). One ``(A, M)`` Philox block
+        per round replaces the spawned layout's ``2 R`` per-replica
+        fills, and the per-task math drops from ~20 full-stack passes to
+        ~8 — together the >= 2.5x heavy-m per-round win pinned in
+        ``benchmarks/test_batch_throughput.py``.
+
+        Law: identical to the scalar kernel per replica (neighbour
+        uniform, eligibility, clipped probability are the same
+        expressions; only the pathwise draw order differs). Replica
+        ``r``'s rows sit at its prefix position among the active set, so
+        static weighted ensembles stay resize prefix-stable under this
+        layout too.
+        """
+        from repro.model.batch import BatchWeightedState
+
+        assert isinstance(batch, BatchWeightedState)
+        num_replicas = batch.num_replicas
+        tasks_moved = np.zeros(num_replicas, dtype=np.int64)
+        weight_moved = np.zeros(num_replicas, dtype=np.float64)
+        saturated = np.zeros(num_replicas, dtype=bool)
+        if active is None:
+            rows = np.arange(num_replicas, dtype=np.int64)
+        else:
+            rows = np.flatnonzero(np.asarray(active, dtype=bool))
+        summary = BatchRoundSummary(tasks_moved, weight_moved, saturated)
+        if rows.size == 0 or graph.num_edges == 0 or batch.max_tasks == 0:
+            return summary
+
+        cache = self._graph_cache(graph)
+        alpha = self.resolve_alpha(batch)
+        speeds = batch.speeds
+        degrees = graph.degrees
+        advancing_all = rows.size == num_replicas
+        if advancing_all:
+            mask = batch.task_mask
+            nodes = batch.task_nodes
+            own_weights = batch.task_weights
+            node_weights = batch.node_weights
+        else:
+            mask = batch.task_mask[rows]
+            nodes = batch.task_nodes[rows]
+            own_weights = batch.task_weights[rows]
+            node_weights = batch.node_weights[rows]
+        loads = node_weights / speeds
+        num_active, max_tasks = mask.shape
+        all_live = bool(mask.all())
+        if not all_live and not np.any(mask):
+            return summary
+
+        # Per-(replica, directed edge) tables, shape (A, nnz): the same
+        # eligibility and probability expressions as the scalar kernel,
+        # evaluated once per edge. These MUST stay in sync with
+        # _csr_migration_probabilities / _conditional_probability /
+        # _migration_eligible — they cannot share code because those
+        # helpers are shaped per task, and re-deriving per task is the
+        # cost this kernel exists to avoid; the KS law-agreement tests
+        # in tests/test_rng_streams.py pin the equivalence.
+        src, dst = cache.csr_rows, graph.indices
+        gain = loads[:, src] - loads[:, dst]
+        edge_eligible = gain > 1.0 / speeds[dst] + ELIGIBILITY_TOLERANCE
+        w_src = node_weights[:, src]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self._rule == "flow":
+                rate = alpha * cache.dij_csr * (
+                    1.0 / speeds[src] + 1.0 / speeds[dst]
+                )
+                p_raw = np.where(
+                    w_src > 0, degrees[src] * gain / (rate * w_src), 0.0
+                )
+            else:  # pseudocode rule
+                p_raw = np.where(
+                    w_src > 0,
+                    degrees[src]
+                    / cache.dij_csr
+                    * (w_src - node_weights[:, dst])
+                    / (2.0 * alpha * w_src),
+                    0.0,
+                )
+        if self._edgewise_condition:
+            p_eff = np.where(edge_eligible, np.clip(p_raw, 0.0, 1.0), 0.0)
+        else:
+            # Per-task condition (PerTaskThresholdProtocol): the clipped
+            # probability table carries no eligibility gate; the per-task
+            # test applies after the gather below.
+            p_eff = np.clip(p_raw, 0.0, 1.0)
+
+        # Fused draw: one uniform per task slot. The integer part of
+        # u * deg(i) is the chosen neighbour slot; the remainder is the
+        # migration uniform (U[0, 1) independent of the slot). Padding
+        # slots and isolated nodes resolve to remainder 1.0 (degm1 = -1),
+        # which never beats a clipped probability.
+        u = streams.site("weighted-migrate").random((num_active, max_tasks))
+        i = nodes if all_live else np.where(mask, nodes, 0)
+        u *= cache.deg_float[i]
+        slot = u.astype(np.int64)
+        np.minimum(slot, cache.degm1[i], out=slot)  # u == 1.0 guard
+        u -= slot  # in-place remainder
+        edge = graph.indptr[i] + slot  # per-task local CSR slot
+        # Tasks on isolated nodes carry slot -1 (their remainder is then
+        # exactly 1.0, so they can never migrate), but their raw edge
+        # index may be -1 and would wrap the gathers below into another
+        # replica's edge entries — clamp the index and remember which
+        # positions point at a real edge so the saturation/eligibility
+        # gathers cannot read a neighbour row's values.
+        valid_edge: np.ndarray | None = None
+        if cache.has_isolated:
+            valid_edge = slot >= 0
+            np.maximum(edge, 0, out=edge)
+        flat = edge + (
+            np.arange(num_active, dtype=np.int64) * src.shape[0]
+        )[:, None]
+        p_task = np.take(p_eff, flat)
+        migrate = u < p_task
+        if not all_live:
+            migrate &= mask
+        if not self._edgewise_condition:
+            # [6]-style per-task test, the scalar expression verbatim:
+            # gain > w_l / s_j + tolerance.
+            gain_task = np.take(gain, flat)
+            dst_speed_task = speeds[dst][edge]
+            eligible_task = self._migration_eligible(
+                gain_task, dst_speed_task, own_weights
+            )
+            if valid_edge is not None:
+                eligible_task &= valid_edge
+            migrate &= eligible_task
+            if np.any(p_raw > 1.0 + 1e-12):  # rare: ablation alpha only
+                sat_task = eligible_task & (np.take(p_raw, flat) > 1.0 + 1e-12)
+                if not all_live:
+                    sat_task &= mask
+                saturated[rows] = sat_task.any(axis=1)
+        else:
+            sat_edge = edge_eligible & (p_raw > 1.0 + 1e-12)
+            if np.any(sat_edge):  # rare: ablation alpha only
+                sat_task = np.take(sat_edge, flat)
+                if valid_edge is not None:
+                    sat_task &= valid_edge
+                if not all_live:
+                    sat_task &= mask
+                saturated[rows] = sat_task.any(axis=1)
+
+        move_pos, move_slot = np.nonzero(migrate)
+        if move_pos.size:
+            destinations = graph.indices[edge[move_pos, move_slot]]
+            batch.apply_moves(rows[move_pos], move_slot, destinations)
+            tasks_moved[rows] = migrate.sum(axis=1)
+            weight_moved[rows] = np.bincount(
+                move_pos,
+                weights=own_weights[move_pos, move_slot],
+                minlength=num_active,
+            )
+        return summary
+
 
 class PerTaskThresholdProtocol(SelfishWeightedProtocol):
     """Reconstructed [6]-style weighted protocol (per-task condition).
@@ -797,6 +1007,10 @@ class PerTaskThresholdProtocol(SelfishWeightedProtocol):
     """
 
     name = "per-task-threshold"
+
+    #: The migration condition tests each task's *own* weight, so the
+    #: counter kernel evaluates it per task after the edge-table gather.
+    _edgewise_condition = False
 
     def __init__(self, alpha: float | None = None):
         super().__init__(alpha, rule="flow")

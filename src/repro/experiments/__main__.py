@@ -10,11 +10,18 @@ Usage::
 ``--workers N`` fans each sweep experiment's (family, size) cells over
 ``N`` processes (sweep ids: ``table1-approx``, ``table1-exact``,
 ``table1-weighted``, ``weighted-variants``, ``robustness``,
-``scenarios-churn-shock``); every cell derives its own seed, so outputs
-are byte-identical at any worker count. Requesting ``--workers`` for an
-experiment that has no cell-level parallelism prints a RuntimeWarning to
-stderr and runs serially instead of silently dropping the flag. Unknown
-experiment ids exit with status 2; a failed reproduction exits with 1.
+``scenarios-churn-shock``); every cell derives its own seed, so
+measurement outputs are byte-identical at any worker count (the
+``run_meta`` record each experiment's JSON carries — effective workers,
+rng policy, seed — is the only artifact field that reflects the
+invocation). ``--rng counter`` switches the sweep experiments onto the
+vectorized Philox counter stream layout (statistically equivalent,
+same-seed deterministic, different sample paths from the default
+``spawned`` layout). Requesting ``--workers`` (or a non-default
+``--rng``) for an experiment that has no such parameter prints a
+RuntimeWarning to stderr and falls back instead of silently dropping
+the flag. Unknown experiment ids exit with status 2; a failed
+reproduction exits with 1.
 """
 
 from __future__ import annotations
@@ -76,7 +83,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="fan sweep cells over N processes (default: serial in-process; "
-        "results are identical at any worker count)",
+        "measurement results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--rng",
+        choices=("spawned", "counter"),
+        default="spawned",
+        help="per-replica RNG stream layout: 'spawned' (default; "
+        "bit-identical to earlier releases) or 'counter' (vectorized "
+        "Philox block draws; statistically equivalent and same-seed "
+        "deterministic, but on different sample paths)",
     )
 
 
@@ -109,7 +125,11 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in ids:
         try:
             result = run_experiment(
-                experiment_id, quick=quick, seed=args.seed, workers=args.workers
+                experiment_id,
+                quick=quick,
+                seed=args.seed,
+                workers=args.workers,
+                rng_policy=args.rng,
             )
         except ReproError as error:
             # Any deliberate library error (unknown id, bad parameters,

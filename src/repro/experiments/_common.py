@@ -174,6 +174,7 @@ def measure_weighted_threshold_time(
     seed: int,
     max_budget: int = 200_000,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> FamilyMeasurement:
     """Measure Algorithm 2's rounds to the threshold state on one cell.
 
@@ -207,6 +208,7 @@ def measure_weighted_threshold_time(
         max_rounds=budget,
         seed=derive_seed(seed, family_name, n, "weighted"),
         engine=engine,
+        rng_policy=rng_policy,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -230,6 +232,7 @@ def measure_psi_threshold_time(
     seed: int,
     budget_factor: float = 2.0,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> FamilyMeasurement:
     """Measure rounds until ``Psi_0 <= 4 psi_c`` on one family cell.
 
@@ -258,6 +261,7 @@ def measure_psi_threshold_time(
         max_rounds=int(math.ceil(budget_factor * bound)) + 10,
         seed=derive_seed(seed, family_name, n, "approx"),
         engine=engine,
+        rng_policy=rng_policy,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -394,6 +398,7 @@ def measure_variant_threshold_time(
     seed: int,
     max_rounds: int = 30_000,
     engine: str = "auto",
+    rng_policy: str = "spawned",
     variant: str = "flow",
     m: int | None = None,
     churn_window: int = 200,
@@ -430,8 +435,13 @@ def measure_variant_threshold_time(
         max_rounds=max_rounds,
         seed=measure_seed,
         engine=engine,
+        rng_policy=rng_policy,
     )
 
+    # The churn probe is always a spawned scalar replay of repetition
+    # 0's stream: under the default policy it revisits the measurement's
+    # exact trajectory; under rng_policy="counter" it is an independent
+    # scalar probe of the same (initial state, protocol) cell.
     rng = spawn_rngs(measure_seed, repetitions)[0]
     state = factory(rng)
     probe = Simulator(graph, protocol, rng).run(
@@ -466,6 +476,7 @@ def measure_exact_nash_time(
     seed: int,
     max_budget: int = 2_000_000,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> FamilyMeasurement:
     """Measure rounds until the exact NE on one family cell.
 
@@ -493,6 +504,7 @@ def measure_exact_nash_time(
         max_rounds=budget,
         seed=derive_seed(seed, family_name, n, "exact"),
         engine=engine,
+        rng_policy=rng_policy,
     )
     return FamilyMeasurement(
         family=family_name,

@@ -91,6 +91,13 @@ class CellSpec:
     params:
         Kind-specific keyword extras as a sorted tuple of ``(name,
         value)`` pairs (tuples keep the spec hashable and picklable).
+    rng_policy:
+        Per-replica stream layout inside the cell: ``"spawned"``
+        (default, bit-identical to all earlier releases) or
+        ``"counter"`` (vectorized Philox block draws; law-level
+        equivalent and same-seed deterministic — including across
+        process boundaries, so counter cells too are byte-identical at
+        any worker count).
     """
 
     kind: str
@@ -100,6 +107,7 @@ class CellSpec:
     repetitions: int
     seed: int
     params: tuple[tuple[str, object], ...] = ()
+    rng_policy: str = "spawned"
 
 
 def _measurement_for(kind: str) -> Callable[..., object]:
@@ -122,6 +130,7 @@ def run_cell(spec: CellSpec) -> object:
         m_factor=spec.m_factor,
         repetitions=spec.repetitions,
         seed=spec.seed,
+        rng_policy=spec.rng_policy,
         **dict(spec.params),
     )
 
@@ -157,6 +166,7 @@ def sweep_specs(
     m_factor: float,
     repetitions: int,
     seed: int,
+    rng_policy: str = "spawned",
     **params: object,
 ) -> list[CellSpec]:
     """Expand a ``{family: [sizes]}`` sweep table into a spec list.
@@ -173,6 +183,7 @@ def sweep_specs(
             repetitions=repetitions,
             seed=seed,
             params=tuple(sorted(params.items())),
+            rng_policy=rng_policy,
         )
         for family, sizes in sweep.items()
         for n in sizes

@@ -113,13 +113,13 @@ def get_experiment(experiment_id: str) -> Callable[[bool, int], ExperimentResult
         ) from None
 
 
-def _accepts_workers(runner: Callable[..., ExperimentResult]) -> bool:
-    """Whether a registered runner takes a ``workers`` keyword."""
+def _accepts_keyword(runner: Callable[..., ExperimentResult], name: str) -> bool:
+    """Whether a registered runner takes keyword ``name``."""
     try:
         parameters = inspect.signature(runner).parameters
     except (TypeError, ValueError):  # builtins / odd callables
         return False
-    if "workers" in parameters:
+    if name in parameters:
         return True
     return any(
         parameter.kind is inspect.Parameter.VAR_KEYWORD
@@ -132,6 +132,7 @@ def run_experiment(
     quick: bool = True,
     seed: int = 20120716,
     workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Run an experiment by id.
 
@@ -149,15 +150,51 @@ def run_experiment(
         stderr flags the serial fallback when ``workers >= 2`` was
         requested). ``None`` runs serially; parallel runs produce
         identical results — every cell derives its own seed.
+    rng_policy:
+        Per-replica stream layout for the experiment's ensembles:
+        ``"spawned"`` (default, bit-identical to earlier releases) or
+        ``"counter"`` (vectorized Philox blocks, law-level equivalent).
+        Forwarded only to runners that accept it; requesting
+        ``"counter"`` from one that does not warns and runs spawned.
+
+    Notes
+    -----
+    Every result's ``data`` gains a ``run_meta`` record — the requested
+    and *effective* worker count and rng policy — so JSON artifacts are
+    self-describing about how they were produced (a requested
+    ``--workers``/``--rng`` that fell back serially/spawned is visible
+    in the artifact, not just on stderr).
     """
+    from repro.utils.rng import check_rng_policy
+
+    check_rng_policy(rng_policy)
     runner = get_experiment(experiment_id)
-    if workers is not None and _accepts_workers(runner):
-        return runner(quick, seed, workers=workers)
-    if workers is not None and workers > 1:
+    keywords: dict[str, object] = {}
+    if workers is not None and _accepts_keyword(runner, "workers"):
+        keywords["workers"] = workers
+    elif workers is not None and workers > 1:
         warnings.warn(
             f"experiment {experiment_id!r} does not support parallel "
             f"execution; ignoring --workers {workers} and running serially",
             RuntimeWarning,
             stacklevel=2,
         )
-    return runner(quick, seed)
+    if _accepts_keyword(runner, "rng_policy"):
+        keywords["rng_policy"] = rng_policy
+    elif rng_policy != "spawned":
+        warnings.warn(
+            f"experiment {experiment_id!r} has no rng_policy parameter; "
+            f"ignoring --rng {rng_policy} and using spawned streams",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    result = runner(quick, seed, **keywords)
+    result.data["run_meta"] = {
+        "workers_requested": workers,
+        "workers_effective": keywords.get("workers", 1) or 1,
+        "rng_policy_requested": rng_policy,
+        "rng_policy_effective": keywords.get("rng_policy", "spawned"),
+        "seed": seed,
+        "quick": quick,
+    }
+    return result

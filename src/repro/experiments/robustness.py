@@ -35,13 +35,17 @@ __all__ = ["run_robustness"]
 
 @register_experiment("robustness")
 def run_robustness(
-    quick: bool = True, seed: int = 20120716, workers: int | None = None
+    quick: bool = True,
+    seed: int = 20120716,
+    workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Run the self-stabilization experiment.
 
     ``workers`` fans the shock and churn parts over processes; each part
     derives its own stream from ``(seed, family, n, tag)``, so results
-    are identical at any worker count.
+    are identical at any worker count. ``rng_policy`` selects the
+    per-replica stream layout inside each part.
     """
     repetitions = 3 if quick else 5
     specs = [
@@ -53,6 +57,7 @@ def run_robustness(
             repetitions=repetitions,
             seed=seed,
             params=(("num_shocks", 3 if quick else 6),),
+            rng_policy=rng_policy,
         ),
         CellSpec(
             kind="churn-band",
@@ -62,6 +67,7 @@ def run_robustness(
             repetitions=repetitions,
             seed=seed,
             params=(("horizon", 400 if quick else 2000),),
+            rng_policy=rng_policy,
         ),
     ]
     shock: ShockRecoveryMeasurement

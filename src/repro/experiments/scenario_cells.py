@@ -166,6 +166,7 @@ def measure_scenario_recovery(
     warmup: int = 20,
     violation_window: int = 10,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> ScenarioCellMeasurement:
     """Measure recovery from a mid-churn load shock on one cell.
 
@@ -194,6 +195,7 @@ def measure_scenario_recovery(
         rounds=horizon,
         seed=derive_seed(seed, family_name, n, f"scenario-{tasks}"),
         engine=engine,
+        rng_policy=rng_policy,
     )
     recovery = recovery_rounds(result.target_satisfied, shock_round)
     recovered = recovery[recovery >= 0]
@@ -263,6 +265,7 @@ def measure_shock_recovery(
     shock_fraction: float = 0.5,
     budget_factor: float = 2.0,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> ShockRecoveryMeasurement:
     """Measure recovery from repeated adversarial shocks on one cell.
 
@@ -302,6 +305,7 @@ def measure_shock_recovery(
         rounds=horizon,
         seed=derive_seed(seed, family_name, n, "shock"),
         engine=engine,
+        rng_policy=rng_policy,
     )
     initial = recovery_rounds(result.target_satisfied, 0)
     medians: list[float] = []
@@ -370,6 +374,7 @@ def measure_churn_band(
     horizon: int = 400,
     warmup: int = 100,
     engine: str = "auto",
+    rng_policy: str = "spawned",
 ) -> ChurnBandMeasurement:
     """Measure the stationary potential band under Poisson churn."""
     family = get_family(family_name)
@@ -391,6 +396,7 @@ def measure_churn_band(
         rounds=horizon,
         seed=derive_seed(seed, family_name, n, "churn"),
         engine=engine,
+        rng_policy=rng_policy,
     )
     band = steady_state_band(result.psi0, warmup)
     return ChurnBandMeasurement(

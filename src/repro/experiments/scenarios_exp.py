@@ -59,7 +59,9 @@ SHOCK_ROUND = 60
 SETTLE_SLACK = 0.05
 
 
-def _specs(quick: bool, seed: int, repetitions: int) -> list[CellSpec]:
+def _specs(
+    quick: bool, seed: int, repetitions: int, rng_policy: str = "spawned"
+) -> list[CellSpec]:
     grid = SCENARIO_GRID_QUICK if quick else SCENARIO_GRID_FULL
     return [
         CellSpec(
@@ -69,6 +71,7 @@ def _specs(quick: bool, seed: int, repetitions: int) -> list[CellSpec]:
             m_factor=m_factor,
             repetitions=repetitions,
             seed=seed,
+            rng_policy=rng_policy,
             params=tuple(
                 sorted(
                     {
@@ -87,16 +90,20 @@ def _specs(quick: bool, seed: int, repetitions: int) -> list[CellSpec]:
 
 @register_experiment("scenarios-churn-shock")
 def run_scenarios_churn_shock(
-    quick: bool = True, seed: int = 20120716, workers: int | None = None
+    quick: bool = True,
+    seed: int = 20120716,
+    workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Churn + flash-crowd scenario sweep on both task systems.
 
     ``workers`` fans the cells over processes; every cell derives its
     own stream from ``(seed, family, n, tag)``, so results are identical
-    at any worker count.
+    at any worker count. ``rng_policy`` selects the per-replica stream
+    layout inside each cell (``"counter"`` vectorizes the churn draws).
     """
     repetitions = 25 if quick else 50
-    specs = _specs(quick, seed, repetitions)
+    specs = _specs(quick, seed, repetitions, rng_policy)
     cells: list[ScenarioCellMeasurement] = execute_cells(specs, workers=workers)  # type: ignore[assignment]
 
     table = Table(

@@ -169,7 +169,10 @@ def _fit_table(
 
 @register_experiment("table1-approx")
 def run_table1_approx(
-    quick: bool = True, seed: int = 20120716, workers: int | None = None
+    quick: bool = True,
+    seed: int = 20120716,
+    workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Table 1, eps-approximate NE columns.
 
@@ -182,7 +185,12 @@ def run_table1_approx(
     sweep = APPROX_SWEEP_QUICK if quick else APPROX_SWEEP_FULL
     repetitions = 3 if quick else 5
     specs = sweep_specs(
-        "approx", sweep, m_factor=8.0, repetitions=repetitions, seed=seed
+        "approx",
+        sweep,
+        m_factor=8.0,
+        repetitions=repetitions,
+        seed=seed,
+        rng_policy=rng_policy,
     )
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
         specs, execute_cells(specs, workers=workers)
@@ -233,7 +241,10 @@ def run_table1_approx(
 
 @register_experiment("table1-exact")
 def run_table1_exact(
-    quick: bool = True, seed: int = 20120716, workers: int | None = None
+    quick: bool = True,
+    seed: int = 20120716,
+    workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Table 1, exact NE columns.
 
@@ -245,7 +256,12 @@ def run_table1_exact(
     sweep = EXACT_SWEEP_QUICK if quick else EXACT_SWEEP_FULL
     repetitions = 3 if quick else 5
     specs = sweep_specs(
-        "exact", sweep, m_factor=8.0, repetitions=repetitions, seed=seed
+        "exact",
+        sweep,
+        m_factor=8.0,
+        repetitions=repetitions,
+        seed=seed,
+        rng_policy=rng_policy,
     )
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
         specs, execute_cells(specs, workers=workers)
@@ -290,7 +306,10 @@ def run_table1_exact(
 
 @register_experiment("table1-weighted")
 def run_table1_weighted(
-    quick: bool = True, seed: int = 20120716, workers: int | None = None
+    quick: bool = True,
+    seed: int = 20120716,
+    workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Weighted extension of the Table 1 sweep (Theorem 1.3 target).
 
@@ -306,7 +325,12 @@ def run_table1_weighted(
     sweep = WEIGHTED_SWEEP_QUICK if quick else WEIGHTED_SWEEP_FULL
     repetitions = 3 if quick else 5
     specs = sweep_specs(
-        "weighted", sweep, m_factor=8.0, repetitions=repetitions, seed=seed
+        "weighted",
+        sweep,
+        m_factor=8.0,
+        repetitions=repetitions,
+        seed=seed,
+        rng_policy=rng_policy,
     )
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
         specs, execute_cells(specs, workers=workers)

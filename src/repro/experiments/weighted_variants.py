@@ -46,6 +46,7 @@ def run_weighted_variants(
     seed: int = 20120716,
     engine: str = "auto",
     workers: int | None = None,
+    rng_policy: str = "spawned",
 ) -> ExperimentResult:
     """Run the weighted-protocol ablation.
 
@@ -77,6 +78,7 @@ def run_weighted_variants(
                 ("max_rounds", budget),
                 ("variant", variant),
             ),
+            rng_policy=rng_policy,
         )
         for variant in _VARIANTS
     ]

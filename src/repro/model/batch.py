@@ -31,8 +31,14 @@ Padding slots carry location ``-1`` and weight ``0`` and never
 participate in rounds, loads, or potentials.
 
 Replicas are statistically independent: the batched protocol kernels
-draw each replica's randomness from its own spawned RNG stream (see
-:mod:`repro.core.batch`), and nothing in the state couples rows.
+draw each replica's randomness through a
+:class:`~repro.utils.rng.StreamLayout` — its own spawned RNG stream
+under the default ``"spawned"`` policy, its own rows of per-site Philox
+counter blocks under ``"counter"`` (see :mod:`repro.core.batch`) — and
+nothing in the state couples rows. The stacks themselves are
+layout-agnostic: construction (:meth:`~BatchUniformState.from_states`,
+``replicate``) never consumes randomness, so the same initial stack
+serves both policies.
 """
 
 from __future__ import annotations

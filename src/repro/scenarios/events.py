@@ -15,17 +15,31 @@ changes, node drains and outages — that knows how to apply itself to
 Randomness contract
 -------------------
 Events are stateless and picklable; all randomness comes from the
-generator(s) passed at application time. The batched application draws
-replica ``r``'s randomness from ``rngs[r]`` with *exactly the calls* the
-scalar application makes against a single state — so for weighted
-states, where the protocol kernels are already pathwise identical
-across engines, scenario runs stay bit-identical per replica, and for
-uniform states batch and scalar scenario runs sample the same law (the
-uniform protocol kernels themselves are only law-equivalent).
+generator(s) — or the :class:`~repro.utils.rng.StreamLayout` — passed at
+application time, and the behaviour is layout-policy dependent:
+
+* **spawned** (a generator sequence or
+  :class:`~repro.utils.rng.SpawnedStreams`): the batched application
+  draws replica ``r``'s randomness from ``rngs[r]`` with *exactly the
+  calls* the scalar application makes against a single state — so for
+  weighted states, where the protocol kernels are already pathwise
+  identical across engines, scenario runs stay bit-identical per
+  replica, and for uniform states batch and scalar scenario runs sample
+  the same law (the uniform protocol kernels themselves are only
+  law-equivalent).
+* **counter** (:class:`~repro.utils.rng.CounterStreams`): each event
+  application draws whole-stack blocks from per-site keyed Philox
+  streams — one vectorized call per draw step instead of a per-replica
+  Python loop (the heavy-churn speedup pinned in
+  ``benchmarks/test_scenarios.py``). Per-replica marginals keep the
+  scalar law exactly (placements, uniform-subset departures via the
+  multivariate-hypergeometric chain rule / random-key selection,
+  binomial shocks); runs are same-seed deterministic but not pathwise
+  comparable to spawned runs.
 
 Application is vectorized across replicas wherever the mutation allows:
-per-replica draws fill one deltas/slots buffer and the stack is mutated
-with a single :meth:`~repro.model.batch.BatchUniformState.adjust_counts`
+draws fill one deltas/slots buffer and the stack is mutated with a
+single :meth:`~repro.model.batch.BatchUniformState.adjust_counts`
 / :meth:`~repro.model.batch.BatchWeightedState.add_tasks` /
 ``remove_tasks`` / ``apply_moves`` call.
 """
@@ -41,6 +55,7 @@ from repro.graphs.graph import Graph
 from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
 from repro.model.state import LoadStateBase, UniformState, WeightedState
 from repro.types import FloatArray, IntArray
+from repro.utils.rng import StreamLayout, as_stream_layout
 
 __all__ = [
     "EventOutcome",
@@ -131,6 +146,130 @@ def _require_all_replicas(
             f"{event_name} mutates the stack's shared speed vector and "
             "cannot apply to a subset of replicas; pass replicas=None"
         )
+
+
+def _scatter_targets(
+    rows_size: int, num_nodes: int, targets: IntArray, live: np.ndarray | None
+) -> IntArray:
+    """Per-row node counts from a ``(rows, K)`` target block.
+
+    ``live`` masks the ragged per-row prefix actually drawn (``None`` for
+    rectangular blocks). One ``bincount`` replaces per-replica
+    ``np.add.at`` scatters.
+    """
+    flat = (
+        np.arange(rows_size, dtype=np.int64)[:, None] * num_nodes + targets
+    )
+    if live is not None:
+        flat = flat[live]
+    return (
+        np.bincount(flat.ravel(), minlength=rows_size * num_nodes)
+        .reshape(rows_size, num_nodes)
+        .astype(np.int64)
+    )
+
+
+def _hypergeometric_removal(
+    gen: np.random.Generator, counts: IntArray, k: IntArray
+) -> IntArray:
+    """Vectorized uniform-without-replacement removal across replicas.
+
+    Row ``r`` removes ``k[r]`` tasks uniformly among its ``counts[r]``
+    (requires ``k[r] <= counts[r].sum()``). The law is the multivariate
+    hypergeometric the scalar path draws per replica, sampled by binary
+    splitting: the removals falling in the left half of a node segment
+    are hypergeometric in (left-half tasks, right-half tasks, segment
+    removals), and the recursion bottoms out at single nodes. Segments
+    at one depth share a single vectorized ``hypergeometric`` call over
+    ``(R, segments)``, so the whole draw costs ``ceil(log2 n)`` numpy
+    calls instead of ``R`` per-replica (or ``n`` chain-rule) ones.
+    """
+    num_rows, num_nodes = counts.shape
+    prefix = np.zeros((num_rows, num_nodes + 1), dtype=np.int64)
+    np.cumsum(counts, axis=1, out=prefix[:, 1:])
+    removal = np.zeros((num_rows, num_nodes), dtype=np.int64)
+    starts = np.array([0], dtype=np.int64)
+    ends = np.array([num_nodes], dtype=np.int64)
+    k_segments = np.asarray(k, dtype=np.int64)[:, None]
+    while True:
+        leaves = ends - starts == 1
+        if np.any(leaves):
+            removal[:, starts[leaves]] = k_segments[:, leaves]
+        if np.all(leaves):
+            return removal
+        starts = starts[~leaves]
+        ends = ends[~leaves]
+        k_segments = k_segments[:, ~leaves]
+        mids = (starts + ends) // 2
+        left_total = prefix[:, mids] - prefix[:, starts]
+        right_total = prefix[:, ends] - prefix[:, mids]
+        left_draw = gen.hypergeometric(left_total, right_total, k_segments)
+        starts = np.column_stack([starts, mids]).reshape(-1)
+        ends = np.column_stack([mids, ends]).reshape(-1)
+        k_segments = np.stack(
+            [left_draw, k_segments - left_draw], axis=2
+        ).reshape(num_rows, -1)
+
+
+def _random_subset_slots(
+    gen: np.random.Generator, mask: np.ndarray, k: IntArray
+) -> tuple[IntArray, IntArray]:
+    """Uniform random ``k[r]``-subsets of each row's live slots.
+
+    Random-key selection: i.i.d. uniform keys on the live slots, the
+    ``k[r]`` smallest win — a uniformly random subset, vectorized across
+    the stack. Returns aligned (row position, slot) index arrays.
+    """
+    keys = gen.random(mask.shape)
+    keys[~mask] = np.inf  # dead slots never selected
+    order = np.argsort(keys, axis=1)
+    chosen = np.arange(mask.shape[1]) < np.asarray(k, dtype=np.int64)[:, None]
+    positions, ranks = np.nonzero(chosen)
+    return positions, order[positions, ranks]
+
+
+def _remove_uniform_block(
+    batch: BatchStateBase,
+    streams: StreamLayout,
+    rows: IntArray,
+    requested: IntArray,
+    outcome: BatchEventOutcome,
+) -> None:
+    """Counter-path uniform task removal across the stack.
+
+    Removes ``min(requested[r], present)`` uniformly random tasks from
+    each row — the multivariate-hypergeometric chain for uniform stacks,
+    random-key subset selection for weighted stacks. Shared by
+    :class:`TaskDeparture` and the departure half of
+    :class:`PoissonChurnEvent`.
+    """
+    if isinstance(batch, BatchUniformState):
+        counts = batch.counts[rows]
+        k = np.minimum(requested, counts.sum(axis=1))
+        if np.any(k):
+            removed = _hypergeometric_removal(
+                streams.site("departure"), counts, k
+            )
+            batch.adjust_counts(rows, -removed)
+        outcome.tasks_removed[rows] = k
+        outcome.weight_removed[rows] = k.astype(np.float64)
+        return
+    if isinstance(batch, BatchWeightedState):
+        mask = batch.task_mask[rows]
+        k = np.minimum(requested, mask.sum(axis=1))
+        if np.any(k):
+            positions, slots = _random_subset_slots(
+                streams.site("departure"), mask, k
+            )
+            outcome.weight_removed[rows] = np.bincount(
+                positions,
+                weights=batch.task_weights[rows[positions], slots],
+                minlength=rows.size,
+            )
+            batch.remove_tasks(rows[positions], slots)
+        outcome.tasks_removed[rows] = k
+        return
+    raise ModelError(f"unsupported batch type {type(batch).__name__}")
 
 
 class Event:
@@ -227,7 +366,8 @@ class TaskArrival(Event):
         raise ModelError(f"unsupported state type {type(state).__name__}")
 
     def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
-        _check_rngs(batch, rngs)
+        streams = as_stream_layout(rngs)
+        _check_rngs(batch, streams)
         if self.node is not None:
             _check_node(self.node, batch)
         outcome = BatchEventOutcome.zeros(batch.num_replicas)
@@ -235,10 +375,14 @@ class TaskArrival(Event):
         if self.count == 0 or rows.size == 0:
             return outcome
         n = batch.num_nodes
+        if streams.policy == "counter":
+            targets = self._target_block(streams, rows.size, n)
+            self._add_target_block(batch, rows, targets, None, outcome)
+            return outcome
         if isinstance(batch, BatchUniformState):
             deltas = np.zeros((rows.size, n), dtype=np.int64)
             for position, replica in enumerate(rows):
-                targets = self._targets(rngs[replica], n)
+                targets = self._targets(streams[replica], n)
                 np.add.at(deltas[position], targets, 1)
             batch.adjust_counts(rows, deltas)
             outcome.tasks_added[rows] = self.count
@@ -246,7 +390,7 @@ class TaskArrival(Event):
             return outcome
         if isinstance(batch, BatchWeightedState):
             all_targets = np.concatenate(
-                [self._targets(rngs[replica], n) for replica in rows]
+                [self._targets(streams[replica], n) for replica in rows]
             )
             task_rows = np.repeat(rows, self.count)
             batch.add_tasks(
@@ -255,6 +399,59 @@ class TaskArrival(Event):
             outcome.tasks_added[rows] = self.count
             outcome.weight_added[rows] = self.count * self.weight
             return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def _target_block(
+        self, streams: StreamLayout, rows_size: int, num_nodes: int
+    ) -> IntArray:
+        """``(rows, count)`` arrival targets in one block draw."""
+        if self.node is not None:
+            return np.full((rows_size, self.count), self.node, dtype=np.int64)
+        return streams.site("arrival").integers(
+            0, num_nodes, size=(rows_size, self.count)
+        )
+
+    def _add_target_block(
+        self,
+        batch: BatchStateBase,
+        rows: IntArray,
+        targets: IntArray,
+        live: np.ndarray | None,
+        outcome: BatchEventOutcome,
+        counts: IntArray | None = None,
+    ) -> None:
+        """Apply a (possibly ragged) arrival target block to the stack.
+
+        ``live`` masks each row's drawn prefix (``None`` = rectangular,
+        ``counts`` then defaults to the block width). Shared by the
+        counter paths of :class:`TaskArrival` and
+        :class:`PoissonChurnEvent`.
+        """
+        if counts is None:
+            counts = np.full(rows.size, targets.shape[1], dtype=np.int64)
+        if isinstance(batch, BatchUniformState):
+            batch.adjust_counts(
+                rows, _scatter_targets(rows.size, batch.num_nodes, targets, live)
+            )
+            outcome.tasks_added[rows] = counts
+            outcome.weight_added[rows] = counts.astype(np.float64)
+            return
+        if isinstance(batch, BatchWeightedState):
+            if live is None:
+                task_rows = np.repeat(rows, targets.shape[1])
+                flat_targets = targets.ravel()
+            else:
+                positions, columns = np.nonzero(live)
+                task_rows = rows[positions]
+                flat_targets = targets[positions, columns]
+            batch.add_tasks(
+                task_rows,
+                flat_targets,
+                np.full(task_rows.shape[0], self.weight),
+            )
+            outcome.tasks_added[rows] = counts
+            outcome.weight_added[rows] = counts * self.weight
+            return
         raise ModelError(f"unsupported batch type {type(batch).__name__}")
 
     def describe(self) -> str:
@@ -312,17 +509,22 @@ class TaskDeparture(Event):
         raise ModelError(f"unsupported state type {type(state).__name__}")
 
     def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
-        _check_rngs(batch, rngs)
+        streams = as_stream_layout(rngs)
+        _check_rngs(batch, streams)
         outcome = BatchEventOutcome.zeros(batch.num_replicas)
         rows = _rows(batch, replicas)
         if self.count == 0 or rows.size == 0:
+            return outcome
+        if streams.policy == "counter":
+            per_row = np.full(rows.size, self.count, dtype=np.int64)
+            _remove_uniform_block(batch, streams, rows, per_row, outcome)
             return outcome
         if isinstance(batch, BatchUniformState):
             counts = batch.counts
             deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
             for position, replica in enumerate(rows):
                 removed = self._uniform_removal(
-                    rngs[replica], counts[replica], self.count
+                    streams[replica], counts[replica], self.count
                 )
                 if removed is None:
                     continue
@@ -342,7 +544,7 @@ class TaskDeparture(Event):
                 k = min(self.count, live.size)
                 if k == 0:
                     continue
-                chosen = rngs[replica].choice(live.size, size=k, replace=False)
+                chosen = streams[replica].choice(live.size, size=k, replace=False)
                 slots = live[chosen]
                 slot_rows.append(np.full(k, replica, dtype=np.int64))
                 slot_cols.append(slots)
@@ -398,13 +600,16 @@ class PoissonChurnEvent(Event):
         )
 
     def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
-        _check_rngs(batch, rngs)
+        streams = as_stream_layout(rngs)
+        _check_rngs(batch, streams)
         if self.node is not None:
             _check_node(self.node, batch)
         rows = _rows(batch, replicas)
         outcome = BatchEventOutcome.zeros(batch.num_replicas)
         if rows.size == 0:
             return outcome
+        if streams.policy == "counter":
+            return self._apply_batch_counter(batch, streams, rows, outcome)
         # Per-replica draw order matches the scalar path exactly:
         # poisson(arrivals), poisson(departures), then arrival placement,
         # then departure selection (which sees the post-arrival state).
@@ -413,8 +618,8 @@ class PoissonChurnEvent(Event):
         arrivals = np.empty(rows.size, dtype=np.int64)
         departures = np.empty(rows.size, dtype=np.int64)
         for position, replica in enumerate(rows):
-            arrivals[position] = rngs[replica].poisson(self.rate)
-            departures[position] = rngs[replica].poisson(self.rate)
+            arrivals[position] = streams[replica].poisson(self.rate)
+            departures[position] = streams[replica].poisson(self.rate)
 
         n = batch.num_nodes
         is_uniform = isinstance(batch, BatchUniformState)
@@ -429,7 +634,9 @@ class PoissonChurnEvent(Event):
                 k = int(arrivals[position])
                 if k == 0:
                     continue
-                targets = TaskArrival(k, node=self.node)._targets(rngs[replica], n)
+                targets = TaskArrival(k, node=self.node)._targets(
+                    streams[replica], n
+                )
                 np.add.at(deltas[position], targets, 1)
             batch.adjust_counts(rows, deltas)
             outcome.tasks_added[rows] = arrivals
@@ -441,7 +648,9 @@ class PoissonChurnEvent(Event):
                 k = int(arrivals[position])
                 if k == 0:
                     continue
-                targets = TaskArrival(k, node=self.node)._targets(rngs[replica], n)
+                targets = TaskArrival(k, node=self.node)._targets(
+                    streams[replica], n
+                )
                 add_rows.append(np.full(k, replica, dtype=np.int64))
                 add_nodes.append(targets)
             if add_rows:
@@ -460,7 +669,7 @@ class PoissonChurnEvent(Event):
             deltas = np.zeros((rows.size, n), dtype=np.int64)
             for position, replica in enumerate(rows):
                 removed = TaskDeparture._uniform_removal(
-                    rngs[replica], counts[replica], int(departures[position])
+                    streams[replica], counts[replica], int(departures[position])
                 )
                 if removed is None:
                     continue
@@ -479,7 +688,7 @@ class PoissonChurnEvent(Event):
                 k = min(int(departures[position]), live.size)
                 if k == 0:
                     continue
-                chosen = rngs[replica].choice(live.size, size=k, replace=False)
+                chosen = streams[replica].choice(live.size, size=k, replace=False)
                 slots = live[chosen]
                 slot_rows.append(np.full(k, replica, dtype=np.int64))
                 slot_cols.append(slots)
@@ -489,6 +698,36 @@ class PoissonChurnEvent(Event):
                 batch.remove_tasks(
                     np.concatenate(slot_rows), np.concatenate(slot_cols)
                 )
+        return outcome
+
+    def _apply_batch_counter(
+        self,
+        batch: BatchStateBase,
+        streams: StreamLayout,
+        rows: IntArray,
+        outcome: BatchEventOutcome,
+    ) -> BatchEventOutcome:
+        """Counter path: whole-stack block draws, three mutations total.
+
+        Arrival and departure magnitudes come from one Poisson block
+        each; placements fill a padded ``(rows, max arrivals)`` target
+        block whose ragged prefixes land in a single ``adjust_counts`` /
+        ``add_tasks``; departures (seeing the post-arrival state) reuse
+        the shared uniform-removal block. Per-replica marginals match
+        the scalar path's law exactly.
+        """
+        gen = streams.site("poisson-churn")
+        arrivals = gen.poisson(self.rate, size=rows.size).astype(np.int64)
+        departures = gen.poisson(self.rate, size=rows.size).astype(np.int64)
+        widest = int(arrivals.max(initial=0))
+        if widest:
+            arrival = TaskArrival(widest, node=self.node, weight=self.weight)
+            targets = arrival._target_block(streams, rows.size, batch.num_nodes)
+            live = np.arange(widest) < arrivals[:, None]
+            arrival._add_target_block(
+                batch, rows, targets, live, outcome, counts=arrivals
+            )
+        _remove_uniform_block(batch, streams, rows, departures, outcome)
         return outcome
 
     def describe(self) -> str:
@@ -546,17 +785,20 @@ class LoadShock(Event):
         raise ModelError(f"unsupported state type {type(state).__name__}")
 
     def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
-        _check_rngs(batch, rngs)
+        streams = as_stream_layout(rngs)
+        _check_rngs(batch, streams)
         _check_node(self.node, batch)
         outcome = BatchEventOutcome.zeros(batch.num_replicas)
         rows = _rows(batch, replicas)
         if rows.size == 0:
             return outcome
+        if streams.policy == "counter":
+            return self._apply_batch_counter(batch, streams, rows, outcome)
         if isinstance(batch, BatchUniformState):
             counts = batch.counts
             deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
             for position, replica in enumerate(rows):
-                delta, moved = self._uniform_delta(rngs[replica], counts[replica])
+                delta, moved = self._uniform_delta(streams[replica], counts[replica])
                 deltas[position] = delta
                 outcome.tasks_relocated[replica] = moved
             batch.adjust_counts(rows, deltas)
@@ -570,7 +812,7 @@ class LoadShock(Event):
                 live = np.flatnonzero(mask[replica])
                 if live.size == 0:
                     continue
-                uniforms = rngs[replica].random(live.size)
+                uniforms = streams[replica].random(live.size)
                 moving = live[
                     (uniforms < self.fraction)
                     & (nodes[replica, live] != self.node)
@@ -587,6 +829,44 @@ class LoadShock(Event):
                     all_slots,
                     np.full(all_rows.shape[0], self.node, dtype=np.int64),
                 )
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def _apply_batch_counter(
+        self,
+        batch: BatchStateBase,
+        streams: StreamLayout,
+        rows: IntArray,
+        outcome: BatchEventOutcome,
+    ) -> BatchEventOutcome:
+        """Counter path: one binomial / uniform block for the stack."""
+        if isinstance(batch, BatchUniformState):
+            counts = batch.counts[rows]
+            grabbed = (
+                streams.site("shock")
+                .binomial(counts, self.fraction)
+                .astype(np.int64)
+            )
+            grabbed[:, self.node] = 0
+            moved = grabbed.sum(axis=1)
+            deltas = -grabbed
+            deltas[:, self.node] += moved
+            batch.adjust_counts(rows, deltas)
+            outcome.tasks_relocated[rows] = moved
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            mask = batch.task_mask[rows]
+            nodes = batch.task_nodes[rows]
+            uniforms = streams.site("shock").random(mask.shape)
+            moving = mask & (uniforms < self.fraction) & (nodes != self.node)
+            positions, slots = np.nonzero(moving)
+            if positions.size:
+                batch.apply_moves(
+                    rows[positions],
+                    slots,
+                    np.full(positions.size, self.node, dtype=np.int64),
+                )
+            outcome.tasks_relocated[rows] = moving.sum(axis=1)
             return outcome
         raise ModelError(f"unsupported batch type {type(batch).__name__}")
 
@@ -673,13 +953,18 @@ class NodeDrain(Event):
 
     def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
         graph = self._require_graph(graph)
-        _check_rngs(batch, rngs)
+        streams = as_stream_layout(rngs)
+        _check_rngs(batch, streams)
         _check_node(self.node, batch)
         outcome = BatchEventOutcome.zeros(batch.num_replicas)
         rows = _rows(batch, replicas)
         neighbours = graph.neighbors(self.node)
         if rows.size == 0 or neighbours.size == 0:
             return outcome
+        if streams.policy == "counter":
+            return self._apply_batch_counter(
+                batch, streams, rows, neighbours, outcome
+            )
         if isinstance(batch, BatchUniformState):
             counts = batch.counts
             deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
@@ -687,7 +972,7 @@ class NodeDrain(Event):
                 count = int(counts[replica, self.node])
                 if count == 0:
                     continue
-                choice = rngs[replica].integers(0, neighbours.size, size=count)
+                choice = streams[replica].integers(0, neighbours.size, size=count)
                 deltas[position, self.node] = -count
                 np.add.at(deltas[position], neighbours[choice], 1)
                 outcome.tasks_relocated[replica] = count
@@ -703,7 +988,9 @@ class NodeDrain(Event):
                 slots = np.flatnonzero(mask[replica] & (nodes[replica] == self.node))
                 if slots.size == 0:
                     continue
-                choice = rngs[replica].integers(0, neighbours.size, size=slots.size)
+                choice = streams[replica].integers(
+                    0, neighbours.size, size=slots.size
+                )
                 move_rows.append(np.full(slots.size, replica, dtype=np.int64))
                 move_slots.append(slots)
                 move_dst.append(neighbours[choice])
@@ -714,6 +1001,45 @@ class NodeDrain(Event):
                     np.concatenate(move_slots),
                     np.concatenate(move_dst),
                 )
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def _apply_batch_counter(
+        self,
+        batch: BatchStateBase,
+        streams: StreamLayout,
+        rows: IntArray,
+        neighbours: IntArray,
+        outcome: BatchEventOutcome,
+    ) -> BatchEventOutcome:
+        """Counter path: one neighbour-choice block for the stack."""
+        if isinstance(batch, BatchUniformState):
+            evicted = batch.counts[rows, self.node]
+            widest = int(evicted.max(initial=0))
+            if widest == 0:
+                return outcome
+            choice = streams.site("drain").integers(
+                0, neighbours.size, size=(rows.size, widest)
+            )
+            live = np.arange(widest) < evicted[:, None]
+            deltas = _scatter_targets(
+                rows.size, batch.num_nodes, neighbours[choice], live
+            )
+            deltas[:, self.node] -= evicted
+            batch.adjust_counts(rows, deltas)
+            outcome.tasks_relocated[rows] = evicted
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            mask = batch.task_mask[rows]
+            nodes = batch.task_nodes[rows]
+            on_node = mask & (nodes == self.node)
+            positions, slots = np.nonzero(on_node)
+            if positions.size:
+                choice = streams.site("drain").integers(
+                    0, neighbours.size, size=positions.size
+                )
+                batch.apply_moves(rows[positions], slots, neighbours[choice])
+            outcome.tasks_relocated[rows] = on_node.sum(axis=1)
             return outcome
         raise ModelError(f"unsupported batch type {type(batch).__name__}")
 

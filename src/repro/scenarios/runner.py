@@ -18,10 +18,16 @@ Both engines produce one result type: every per-round observable is a
 rounds and all events scheduled before them. Event applications are
 logged with per-replica magnitudes and the post-event potential.
 
-Engine equivalence mirrors the static measurement pipeline: weighted
-scenario runs are pathwise bit-identical between engines (events and
-kernels both consume each replica's spawned stream in the scalar order);
-uniform runs agree in law. ``engine="auto"`` in :meth:`run_ensemble`
+Engine equivalence mirrors the static measurement pipeline and depends
+on the RNG stream layout (``rng_policy``): under the default
+``"spawned"`` layout weighted scenario runs are pathwise bit-identical
+between engines (events and kernels both consume each replica's spawned
+stream in the scalar order) and uniform runs agree in law; under the
+``"counter"`` layout (:class:`~repro.utils.rng.CounterStreams`) events
+and kernels draw whole-stack Philox blocks per site per round — runs of
+either task system then agree with the scalar reference in law and are
+same-seed deterministic, but not pathwise comparable (see the README's
+reproducibility matrix). ``engine="auto"`` in :meth:`run_ensemble`
 applies the same routing rules as
 :func:`repro.analysis.convergence.measure_convergence_rounds`.
 """
@@ -45,7 +51,14 @@ from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedSt
 from repro.model.state import LoadStateBase, UniformState, WeightedState
 from repro.scenarios.schedule import Schedule
 from repro.types import FloatArray, IntArray, SeedLike
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import (
+    StreamLayout,
+    as_stream_layout,
+    check_rng_policy,
+    make_rng,
+    make_streams,
+    spawn_rngs,
+)
 from repro.utils.validation import check_integer
 
 __all__ = [
@@ -290,22 +303,28 @@ class ScenarioRunner:
         self,
         batch: BatchStateBase,
         rounds: int,
-        rngs: Sequence[np.random.Generator] | None = None,
+        rngs: Sequence[np.random.Generator] | StreamLayout | None = None,
         seed: SeedLike = None,
+        rng_policy: str = "spawned",
     ) -> ScenarioResult:
         """Run the scenario on a replica stack (mutated in place).
 
-        ``rngs`` are the per-replica trajectory streams (spawned from
-        ``seed`` when omitted); each drives its replica's events *and*
-        protocol randomness, in the scalar consumption order.
+        ``rngs`` is the per-replica randomness — a generator sequence /
+        :class:`~repro.utils.rng.SpawnedStreams` (each stream drives its
+        replica's events *and* protocol randomness in the scalar
+        consumption order) or a :class:`~repro.utils.rng.CounterStreams`
+        layout (events and kernels draw whole-stack blocks). When
+        omitted, a layout is built from ``seed`` under ``rng_policy``.
         """
         rounds = check_integer(rounds, "rounds", minimum=0)
         num_replicas = batch.num_replicas
         if rngs is None:
-            rngs = spawn_rngs(seed, num_replicas)
-        elif len(rngs) != num_replicas:
+            streams = make_streams(check_rng_policy(rng_policy), seed, num_replicas)
+        else:
+            streams = as_stream_layout(rngs)
+        if len(streams) != num_replicas:
             raise SimulationError(
-                f"need one generator per replica ({num_replicas}), got {len(rngs)}"
+                f"need one generator per replica ({num_replicas}), got {len(streams)}"
             )
         recorder = _Recorder(rounds, num_replicas)
         events: list[EventRecord] = []
@@ -329,7 +348,7 @@ class ScenarioRunner:
         def before_round(round_index: int, current: BatchStateBase) -> None:
             record(round_index, current)
             for event in self._schedule.events_due(round_index):
-                outcome = event.apply_batch(current, self._graph, rngs, None)
+                outcome = event.apply_batch(current, self._graph, streams, None)
                 events.append(
                     EventRecord(
                         round_index=round_index,
@@ -356,7 +375,7 @@ class ScenarioRunner:
             batch,
             stopping=None,
             max_rounds=rounds,
-            rngs=rngs,
+            rngs=streams,
             before_round=before_round,
         )
         record(rounds, batch)
@@ -383,12 +402,20 @@ class ScenarioRunner:
         rounds: int,
         seed: SeedLike = None,
         engine: str = "auto",
+        rng_policy: str = "spawned",
     ) -> ScenarioResult:
         """Run ``repetitions`` independent replicas of the scenario.
 
-        Repetition ``k`` derives everything — initial state, event
-        randomness, migration randomness — from spawned child stream
-        ``k``, so the two engines see identical per-replica streams.
+        Under ``rng_policy="spawned"`` repetition ``k`` derives
+        everything — initial state, event randomness, migration
+        randomness — from spawned child stream ``k``, so the two engines
+        see identical per-replica streams. ``rng_policy="counter"``
+        keeps the spawned children for the *initial states* (both
+        policies run the same ensemble) but draws all round randomness
+        as vectorized counter blocks; it requires the batch engine and,
+        like an explicit ``engine="batch"``, skips the clipped-law
+        guard (uniform ablation-``alpha`` runs sample the batch
+        kernel's rescaled clipping law).
         ``engine="auto"`` batches when the protocol and states qualify
         under the same rules as the static measurement pipeline
         (weighted runs always batch when stackable; uniform runs batch
@@ -406,24 +433,39 @@ class ScenarioRunner:
             raise ValidationError(
                 f"engine must be one of ('auto', 'batch', 'scalar'), got {engine!r}"
             )
+        check_rng_policy(rng_policy)
+        if rng_policy == "counter" and engine == "scalar":
+            raise ValidationError(
+                "rng_policy='counter' is a batch-engine stream layout; the "
+                "scalar engine always consumes spawned streams"
+            )
         generators = spawn_rngs(seed, repetitions)
         states = [state_factory(generator) for generator in generators]
         stackable = _batch_stackable(self._protocol, states)
-        if engine == "batch" and not stackable:
+        if (engine == "batch" or rng_policy == "counter") and not stackable:
             raise ValidationError(
-                "engine='batch' requires a batch-capable protocol and "
-                "stackable states; use engine='auto' to fall back"
+                "engine='batch' (and rng_policy='counter') requires a "
+                "batch-capable protocol and stackable states; use "
+                "engine='auto' with rng_policy='spawned' to fall back"
             )
-        use_batch = engine == "batch" or (
-            engine == "auto"
-            and stackable
-            and (
-                getattr(self._protocol, "batch_matches_clipped_law", False)
-                or _same_law_as_scalar(self._protocol, states)
+        use_batch = (
+            engine == "batch"
+            or rng_policy == "counter"
+            or (
+                engine == "auto"
+                and stackable
+                and (
+                    getattr(self._protocol, "batch_matches_clipped_law", False)
+                    or _same_law_as_scalar(self._protocol, states)
+                )
             )
         )
         if use_batch:
             batch = _batch_state_class(self._protocol).from_states(states)
+            if rng_policy == "counter":
+                return self.run_batch(
+                    batch, rounds, seed=seed, rng_policy="counter"
+                )
             return self.run_batch(batch, rounds, rngs=generators)
         replica_results = [
             self.run(state, rounds, rng=generator)

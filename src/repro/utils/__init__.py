@@ -1,6 +1,17 @@
 """Small shared utilities: RNG handling, validation, tables, serialization."""
 
-from repro.utils.rng import make_rng, spawn_rngs, derive_seed
+from repro.utils.rng import (
+    make_rng,
+    spawn_rngs,
+    derive_seed,
+    RNG_POLICIES,
+    check_rng_policy,
+    StreamLayout,
+    SpawnedStreams,
+    CounterStreams,
+    make_streams,
+    as_stream_layout,
+)
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -24,6 +35,13 @@ __all__ = [
     "make_rng",
     "spawn_rngs",
     "derive_seed",
+    "RNG_POLICIES",
+    "check_rng_policy",
+    "StreamLayout",
+    "SpawnedStreams",
+    "CounterStreams",
+    "make_streams",
+    "as_stream_layout",
     "check_positive",
     "check_non_negative",
     "check_probability",

@@ -1,4 +1,4 @@
-"""Random-number-generator plumbing.
+"""Random-number-generator plumbing and per-replica stream layouts.
 
 All stochastic code in the library accepts a ``SeedLike`` argument and turns
 it into a :class:`numpy.random.Generator` through :func:`make_rng`. This
@@ -11,6 +11,36 @@ gives three properties the experiments rely on:
   repetitions ran.
 * **Convenience** — passing an existing ``Generator`` threads it through
   unchanged, so composed simulations can share one stream when desired.
+
+Stream layouts
+--------------
+The batched engines additionally need *per-replica* randomness for a whole
+ensemble. A :class:`StreamLayout` is the pluggable policy for that, with
+two implementations:
+
+* :class:`SpawnedStreams` (policy ``"spawned"``, the default) — the legacy
+  layout: one spawned child :class:`~numpy.random.Generator` per replica
+  (``SeedSequence.spawn``), each consumed sequentially exactly as the
+  scalar reference would. This preserves every pathwise bit-identity
+  guarantee the library has shipped since PR 1 — existing seeds keep
+  producing byte-identical results.
+* :class:`CounterStreams` (policy ``"counter"``) — a Philox counter-based
+  layout. Each *draw site* (one randomness-consuming step of one round —
+  a kernel's migration block, one event's placement draw) gets its own
+  ``Philox`` bit generator keyed on ``(root_seed, round, site)``; the
+  replica axis is addressed through the Philox *counter* (replica ``r``
+  owns a contiguous counter range of the site's block), so one vectorized
+  call fills the whole ``(R, M)`` / ``(R, n)`` randomness block per site
+  per round instead of ``R`` per-replica fills. Counter runs are
+  same-seed deterministic (including across processes) and agree with the
+  scalar reference *in law*; for draw sites with fixed per-replica
+  consumption — the weighted kernels' fused migration draw in particular
+  — replica ``r``'s counter range depends only on its index among the
+  active prefix, so static weighted ensembles are resize prefix-stable.
+  Sites with data-dependent consumption (multinomial / Poisson /
+  hypergeometric rejection sampling, churn-sized blocks) remain
+  deterministic but not resize-stable; see the reproducibility matrix in
+  the README.
 """
 
 from __future__ import annotations
@@ -20,7 +50,21 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.types import SeedLike
 
-__all__ = ["make_rng", "spawn_rngs", "derive_seed"]
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "RNG_POLICIES",
+    "check_rng_policy",
+    "StreamLayout",
+    "SpawnedStreams",
+    "CounterStreams",
+    "make_streams",
+    "as_stream_layout",
+]
+
+#: Recognized per-replica stream layout policies.
+RNG_POLICIES = ("spawned", "counter")
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -49,14 +93,43 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from ``seed``.
 
     Uses numpy's ``SeedSequence.spawn`` so the children are independent of
-    each other and of the parent stream.
+    each other and of the parent stream. Child ``k`` depends only on the
+    seed and its index ``k``, never on ``count`` — the prefix-stability
+    property the ensemble engines rely on.
+
+    The derivation never mutates its input: for a ``Generator`` (or a raw
+    ``SeedSequence``) the children are spawned in one ``spawn(count)``
+    call from an *unmutated copy* of its seed sequence, so two calls with
+    the same input yield the same streams and the caller's own spawn
+    counter is untouched. The flip side of that repeatability: this
+    function is a pure derivation, **not** a source of fresh entropy —
+    calling it twice on one ``Generator`` (or mixing it with the
+    generator's own ``spawn``) duplicates streams rather than extending
+    them. To build several *distinct* ensembles from one seed, derive a
+    distinct sub-seed per ensemble first (:func:`derive_seed`).
     """
     if count < 0:
         raise ValidationError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
-        return [seed.spawn(1)[0] for _ in range(count)]
-    sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+        sequence = seed.bit_generator.seed_seq
+        if not isinstance(sequence, np.random.SeedSequence):
+            raise ValidationError(
+                "cannot spawn from a Generator whose bit generator has no "
+                "SeedSequence"
+            )
+    elif isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    else:
+        sequence = np.random.SeedSequence(seed)
+    # Re-derive an unmutated twin so this call neither consumes the
+    # caller's spawn counter nor depends on how often it was spawned from
+    # before: same input -> same children, always numbered 0..count-1.
+    pristine = np.random.SeedSequence(
+        entropy=sequence.entropy,
+        spawn_key=sequence.spawn_key,
+        pool_size=sequence.pool_size,
+    )
+    return [np.random.default_rng(child) for child in pristine.spawn(count)]
 
 
 def derive_seed(seed: int, *components: int | str) -> int:
@@ -70,11 +143,7 @@ def derive_seed(seed: int, *components: int | str) -> int:
     mixed: list[int] = [seed]
     for component in components:
         if isinstance(component, str):
-            # Stable (process-independent) string folding.
-            value = 0
-            for char in component:
-                value = (value * 131 + ord(char)) % (2**63)
-            mixed.append(value)
+            mixed.append(_fold_label(component))
         elif isinstance(component, (int, np.integer)):
             mixed.append(int(component) & (2**63 - 1))
         else:
@@ -83,3 +152,214 @@ def derive_seed(seed: int, *components: int | str) -> int:
             )
     sequence = np.random.SeedSequence(mixed)
     return int(sequence.generate_state(1, dtype=np.uint64)[0] % (2**63))
+
+
+def check_rng_policy(policy: str) -> str:
+    """Validate an ``rng_policy`` value, returning it unchanged."""
+    if policy not in RNG_POLICIES:
+        raise ValidationError(
+            f"rng_policy must be one of {RNG_POLICIES}, got {policy!r}"
+        )
+    return policy
+
+
+def _fold_label(label: str) -> int:
+    """Stable (process-independent) string folding, shared with
+    :func:`derive_seed`."""
+    value = 0
+    for char in label:
+        value = (value * 131 + ord(char)) % (2**63)
+    return value
+
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a fast, well-mixed 64-bit permutation."""
+    x &= _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return x ^ (x >> 31)
+
+
+class StreamLayout:
+    """Per-replica randomness layout for one batched ensemble run.
+
+    The layout owns *all* randomness a replica stack consumes over its
+    rounds — protocol kernels and scenario events alike draw through it.
+    Two policies exist (see the module docstring): :class:`SpawnedStreams`
+    exposes per-replica generators for the legacy sequential consumption,
+    :class:`CounterStreams` exposes per-(round, site) keyed generators for
+    vectorized block draws. Consumers dispatch on :attr:`policy`.
+
+    ``len(layout)`` is the replica count, so layouts satisfy the same
+    one-generator-per-replica arity checks as a raw generator list.
+    """
+
+    policy: str = "abstract"
+
+    def __init__(self, num_replicas: int):
+        if num_replicas < 0:
+            raise ValidationError(
+                f"num_replicas must be non-negative, got {num_replicas}"
+            )
+        self._num_replicas = int(num_replicas)
+
+    @property
+    def num_replicas(self) -> int:
+        """Ensemble size ``R``."""
+        return self._num_replicas
+
+    def __len__(self) -> int:
+        return self._num_replicas
+
+    def begin_round(self, round_index: int) -> None:
+        """Mark the start of batched round ``round_index``.
+
+        The simulators call this once per round before any event or
+        kernel draws. A no-op for spawned streams; counter streams key
+        the round's draw sites off it.
+        """
+
+    @property
+    def generators(self) -> list[np.random.Generator]:
+        """The per-replica generators (spawned policy only)."""
+        raise ValidationError(
+            f"the {self.policy!r} stream layout has no per-replica "
+            "generators; dispatch on StreamLayout.policy"
+        )
+
+    def __getitem__(self, index: int) -> np.random.Generator:
+        return self.generators[index]
+
+    def site(self, label: str) -> np.random.Generator:
+        """A fresh generator for one draw site of the current round
+        (counter policy only)."""
+        raise ValidationError(
+            f"the {self.policy!r} stream layout has no counter draw "
+            "sites; dispatch on StreamLayout.policy"
+        )
+
+
+class SpawnedStreams(StreamLayout):
+    """The legacy layout: one spawned child generator per replica.
+
+    Wraps an explicit generator list (or spawns one from ``seed`` via
+    :func:`spawn_rngs`). Consumers index it exactly like the raw list the
+    kernels historically received, so every spawned-policy draw is
+    bit-identical to pre-layout behaviour.
+    """
+
+    policy = "spawned"
+
+    def __init__(
+        self,
+        generators: "list[np.random.Generator] | None" = None,
+        seed: SeedLike = None,
+        num_replicas: int | None = None,
+    ):
+        if generators is None:
+            if num_replicas is None:
+                raise ValidationError(
+                    "SpawnedStreams needs generators or num_replicas"
+                )
+            generators = spawn_rngs(seed, num_replicas)
+        else:
+            generators = list(generators)
+        super().__init__(len(generators))
+        self._generators = generators
+
+    @property
+    def generators(self) -> list[np.random.Generator]:
+        """The per-replica generators, replica-indexed."""
+        return self._generators
+
+
+class CounterStreams(StreamLayout):
+    """Philox counter-based per-replica streams.
+
+    Every draw site of every round gets a fresh ``Philox`` bit generator
+    whose 128-bit key is derived (SplitMix64 mixing) from
+    ``(root_seed, round_index, site_sequence, site_label)``; the replica
+    axis is addressed through the Philox counter — one vectorized block
+    draw covers the whole active stack, replica ``r`` owning the rows of
+    its prefix position. Within a round, sites are distinguished by an
+    auto-incrementing sequence number (plus their label), so the same
+    event applied twice in one round draws from distinct streams.
+
+    ``begin_round`` must be called before the round's first :meth:`site`;
+    the simulators do this automatically.
+    """
+
+    policy = "counter"
+
+    def __init__(self, seed: SeedLike, num_replicas: int):
+        super().__init__(num_replicas)
+        if seed is None:
+            root = int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+        elif isinstance(seed, (int, np.integer)):
+            if seed < 0:
+                raise ValidationError(f"seed must be non-negative, got {seed}")
+            root = int(seed)
+        else:
+            raise ValidationError(
+                "CounterStreams needs an explicit int (or None) seed; a "
+                f"Generator carries no stable root key (got "
+                f"{type(seed).__name__})"
+            )
+        self._root = root
+        self._round: int | None = None
+        self._site_sequence = 0
+        self._label_cache: dict[str, int] = {}
+
+    @property
+    def root_seed(self) -> int:
+        """The integer root every site key derives from."""
+        return self._root
+
+    def begin_round(self, round_index: int) -> None:
+        if round_index < 0:
+            raise ValidationError(
+                f"round_index must be non-negative, got {round_index}"
+            )
+        self._round = int(round_index)
+        self._site_sequence = 0
+
+    def site(self, label: str) -> np.random.Generator:
+        if self._round is None:
+            raise ValidationError(
+                "CounterStreams.site() called before begin_round()"
+            )
+        folded = self._label_cache.get(label)
+        if folded is None:
+            folded = self._label_cache[label] = _fold_label(label)
+        state = _mix64(self._root)
+        for component in (self._round, self._site_sequence, folded):
+            state = _mix64(state ^ ((component * _GOLDEN) & _MASK64))
+        self._site_sequence += 1
+        key = np.array([state, _mix64(state ^ _GOLDEN)], dtype=np.uint64)
+        return np.random.Generator(np.random.Philox(key=key))
+
+
+def make_streams(
+    policy: str, seed: SeedLike, num_replicas: int
+) -> StreamLayout:
+    """Build the stream layout for ``policy`` (see :data:`RNG_POLICIES`)."""
+    check_rng_policy(policy)
+    if policy == "counter":
+        return CounterStreams(seed, num_replicas)
+    return SpawnedStreams(seed=seed, num_replicas=num_replicas)
+
+
+def as_stream_layout(rngs: object) -> StreamLayout:
+    """Coerce a kernel's ``rngs`` argument into a :class:`StreamLayout`.
+
+    Existing call sites pass a plain sequence of per-replica generators;
+    those wrap into a :class:`SpawnedStreams` (preserving the historical
+    consumption bit-for-bit). A :class:`StreamLayout` passes through.
+    """
+    if isinstance(rngs, StreamLayout):
+        return rngs
+    return SpawnedStreams(list(rngs))

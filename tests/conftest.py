@@ -32,6 +32,23 @@ from repro.model.speeds import uniform_speeds
 from repro.model.state import UniformState, WeightedState
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--rng-policy",
+        choices=("spawned", "counter"),
+        default="spawned",
+        help="stream-layout policy the policy-matrix tests run the "
+        "measurement pipeline under (CI runs the fast tier once per "
+        "policy)",
+    )
+
+
+@pytest.fixture
+def cli_rng_policy(request: pytest.FixtureRequest) -> str:
+    """The ``--rng-policy`` the current pytest invocation selected."""
+    return request.config.getoption("--rng-policy")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator for tests."""

@@ -23,10 +23,18 @@ agreement under a fixed schedule
 protocols, in law (KS over final potentials and recovery rounds) for
 the uniform protocol.
 
+The counter stream layout (``rng_policy="counter"``, PR 5) pins the
+same three contracts at the law level:
+:func:`assert_counter_matches_scalar_law` (KS against the scalar
+reference), :func:`assert_counter_scenario_agrees` (scenario ensembles:
+conservation modulo events plus KS), and the generic
+:func:`assert_same_seed_determinism` / :func:`assert_prefix_stability`
+run with counter-policy closures.
+
 Consumed by ``tests/test_core_batch.py`` (uniform engine),
 ``tests/test_core_batch_weighted.py`` (weighted engine),
-``tests/test_batch_edge_cases.py`` and the ``tests/test_scenarios_*``
-suites.
+``tests/test_batch_edge_cases.py``, ``tests/test_rng_streams.py``
+(counter layout) and the ``tests/test_scenarios_*`` suites.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from scipy import stats
 
 from repro.analysis.convergence import measure_convergence_rounds
 from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
+from repro.utils.rng import StreamLayout
 
 __all__ = [
     "exact_totals",
@@ -51,6 +60,8 @@ __all__ = [
     "assert_scenario_conservation",
     "run_scenario_both_engines",
     "assert_scenario_engines_agree",
+    "assert_counter_matches_scalar_law",
+    "assert_counter_scenario_agrees",
 ]
 
 
@@ -126,15 +137,18 @@ def assert_batch_conserves(
     batch: BatchStateBase,
     protocol,
     graph,
-    rngs: Sequence[np.random.Generator],
+    rngs: Sequence[np.random.Generator] | StreamLayout,
     rounds: int = 50,
     retired: Sequence[int] = (),
 ) -> None:
     """Advance ``rounds`` batched rounds asserting per-round invariants.
 
-    After every round: the per-replica exact totals are unchanged, node
-    weights stay non-negative and (for weighted stacks) consistent with
-    a from-scratch bincount, and every replica listed in ``retired`` is
+    ``rngs`` may be the classic per-replica generator list or any
+    :class:`~repro.utils.rng.StreamLayout` (counter layouts get their
+    ``begin_round`` driven here, as the simulators would). After every
+    round: the per-replica exact totals are unchanged, node weights stay
+    non-negative and (for weighted stacks) consistent with a
+    from-scratch bincount, and every replica listed in ``retired`` is
     excluded from the active mask, reports zero movement, and keeps a
     bit-identical assignment.
     """
@@ -144,7 +158,9 @@ def assert_batch_conserves(
         active[index] = False
         frozen[index] = replica_snapshot(batch, index)
     totals = exact_totals(batch)
-    for _ in range(rounds):
+    for round_index in range(rounds):
+        if isinstance(rngs, StreamLayout):
+            rngs.begin_round(round_index)
         summary = protocol.execute_round_batch(batch, graph, rngs, active)
         np.testing.assert_array_equal(
             exact_totals(batch),
@@ -282,6 +298,88 @@ def assert_scenario_engines_agree(
                 label="batch vs scalar recovery-round distributions",
             )
     return batch, scalar
+
+
+def assert_counter_matches_scalar_law(
+    min_pvalue: float = 0.01, require_all_converged: bool = True, **common
+):
+    """Counter-policy first-hit distributions match the scalar reference.
+
+    The counter layout's core statistical contract: a KS two-sample test
+    between ``rng_policy="counter"`` (batch engine) and the scalar
+    spawned reference, over identical initial-state ensembles (both
+    policies build states from the same spawned children). ``common`` is
+    forwarded to
+    :func:`repro.analysis.convergence.measure_convergence_rounds`.
+    Returns the two measurements.
+    """
+    counter = measure_convergence_rounds(
+        engine="batch", rng_policy="counter", **common
+    )
+    scalar = measure_convergence_rounds(engine="scalar", **common)
+    assert counter.engine == "batch"
+    assert scalar.engine == "scalar"
+    if require_all_converged:
+        assert counter.all_converged, "counter policy failed to converge"
+        assert scalar.all_converged, "scalar reference failed to converge"
+    assert_ks_agreement(
+        counter.rounds,
+        scalar.rounds,
+        min_pvalue=min_pvalue,
+        label="counter vs scalar first-hit distributions",
+    )
+    return counter, scalar
+
+
+def assert_counter_scenario_agrees(
+    runner,
+    state_factory,
+    repetitions: int,
+    rounds: int,
+    seed: int,
+    shock_round: int | None = None,
+    min_pvalue: float = 0.01,
+    conservation_atol: float = 0.0,
+):
+    """Counter-policy scenario ensembles agree with the scalar reference.
+
+    Counter runs are law-level for *both* task systems (the pathwise
+    spawned contract does not apply), so the check is: per-engine
+    conservation modulo events, KS agreement of the final potentials,
+    and — when ``shock_round`` is given — of the post-shock
+    recovery-round distributions. Returns (counter, scalar) results.
+    """
+    from repro.analysis.dynamics import recovery_rounds
+
+    counter = runner.run_ensemble(
+        state_factory,
+        repetitions,
+        rounds,
+        seed=seed,
+        engine="batch",
+        rng_policy="counter",
+    )
+    scalar = runner.run_ensemble(
+        state_factory, repetitions, rounds, seed=seed, engine="scalar"
+    )
+    assert counter.engine == "batch"
+    assert scalar.engine == "scalar"
+    assert_scenario_conservation(counter, atol=conservation_atol)
+    assert_scenario_conservation(scalar, atol=conservation_atol)
+    assert_ks_agreement(
+        counter.psi0[-1],
+        scalar.psi0[-1],
+        min_pvalue=min_pvalue,
+        label="counter vs scalar final potentials",
+    )
+    if shock_round is not None:
+        assert_ks_agreement(
+            recovery_rounds(counter.target_satisfied, shock_round),
+            recovery_rounds(scalar.target_satisfied, shock_round),
+            min_pvalue=min_pvalue,
+            label="counter vs scalar recovery-round distributions",
+        )
+    return counter, scalar
 
 
 def assert_same_seed_determinism(run: Callable[[], tuple]) -> tuple:

@@ -192,7 +192,132 @@ class TestRegistryWorkersPassThrough:
         serial = run_experiment("table1-weighted", quick=True, seed=99)
         pooled = run_experiment("table1-weighted", quick=True, seed=99, workers=2)
         assert serial.passed == pooled.passed
-        assert serial.data == pooled.data
+        # Measurement data is identical at any worker count; the
+        # run_meta record is the one field that (by design) describes
+        # the invocation itself.
+        serial_data = dict(serial.data)
+        pooled_data = dict(pooled.data)
+        assert serial_data.pop("run_meta")["workers_effective"] == 1
+        assert pooled_data.pop("run_meta")["workers_effective"] == 2
+        assert serial_data == pooled_data
         assert serial.series == pooled.series
         rendered = [table.render() for table in serial.tables]
         assert rendered == [table.render() for table in pooled.tables]
+
+    def test_run_meta_records_rng_policy(self):
+        result = run_experiment(
+            "table1-weighted", quick=True, seed=99, rng_policy="counter"
+        )
+        meta = result.data["run_meta"]
+        assert meta["rng_policy_requested"] == "counter"
+        assert meta["rng_policy_effective"] == "counter"
+
+    def test_legacy_runner_warns_on_counter_request(self):
+        experiment_id = "_test-legacy-no-rng"
+
+        @register_experiment(experiment_id)
+        def legacy(quick, seed):
+            return ExperimentResult(experiment_id=experiment_id, title="t")
+
+        try:
+            with pytest.warns(RuntimeWarning, match="rng_policy"):
+                result = run_experiment(experiment_id, rng_policy="counter")
+            meta = result.data["run_meta"]
+            assert meta["rng_policy_requested"] == "counter"
+            assert meta["rng_policy_effective"] == "spawned"
+        finally:
+            _REGISTRY.pop(experiment_id, None)
+
+
+class TestRngPolicySpecs:
+    def test_default_policy_is_spawned(self):
+        for spec in WEIGHTED_SPECS:
+            assert spec.rng_policy == "spawned"
+
+    def test_sweep_specs_thread_policy(self):
+        specs = sweep_specs(
+            "weighted",
+            WEIGHTED_SWEEP_QUICK,
+            m_factor=8.0,
+            repetitions=2,
+            seed=5,
+            rng_policy="counter",
+        )
+        assert all(spec.rng_policy == "counter" for spec in specs)
+
+    def test_counter_cell_matches_spawned_cell_shape(self):
+        """A counter cell returns the same measurement type with the
+        same configuration fields (only the sample paths differ)."""
+        spec = CellSpec(
+            kind="weighted",
+            family="ring",
+            n=8,
+            m_factor=2.0,
+            repetitions=2,
+            seed=5,
+            rng_policy="counter",
+        )
+        counter = run_cell(spec)
+        spawned = run_cell(
+            CellSpec(
+                kind="weighted",
+                family="ring",
+                n=8,
+                m_factor=2.0,
+                repetitions=2,
+                seed=5,
+            )
+        )
+        assert isinstance(counter, FamilyMeasurement)
+        assert (counter.family, counter.n, counter.m) == (
+            spawned.family,
+            spawned.n,
+            spawned.m,
+        )
+        assert counter.num_converged == counter.num_repetitions
+
+
+class TestCounterSubprocessDeterminism:
+    def test_pickled_counter_cell_reproduces_across_processes(self):
+        """The counter layout's keys derive from plain integers (no
+        per-process entropy, no object identity), so the *same pickled
+        CellSpec* run in a fresh interpreter must reproduce this
+        process's result byte-for-byte (compared as pickles) — the
+        property that makes counter cells safe to fan over the process
+        pool."""
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        import repro
+
+        spec = CellSpec(
+            kind="weighted",
+            family="ring",
+            n=8,
+            m_factor=2.0,
+            repetitions=3,
+            seed=77,
+            rng_policy="counter",
+        )
+        local_result = run_cell(spec)
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        script = (
+            "import pickle, sys\n"
+            "from repro.experiments.executor import run_cell\n"
+            "spec = pickle.loads(sys.stdin.buffer.read())\n"
+            "sys.stdout.buffer.write(pickle.dumps(run_cell(spec), protocol=4))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            input=pickle.dumps(spec, protocol=4),
+            capture_output=True,
+            env=env,
+            check=True,
+        )
+        assert completed.stdout == pickle.dumps(local_result, protocol=4)
+        assert pickle.loads(completed.stdout) == local_result

@@ -415,3 +415,92 @@ class TestBatchedWeightedProperties:
         np.testing.assert_array_equal(
             batch.task_weights[~batch.task_mask], 0.0
         )
+
+
+# Counter stream layout (PR 5) -------------------------------------------
+
+
+class TestCounterPolicyProperties:
+    """Hypothesis sweep of the counter layout over random weighted cells.
+
+    The counter kernel rewrote the weighted round's draw structure (one
+    fused block draw over a per-edge probability table), so the exact
+    conservation laws and determinism are asserted over *random*
+    configurations — ragged task counts, mixed speeds, random weights —
+    not just the curated benchmark cells.
+    """
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_counter_rounds_conserve_exactly(self, n, replicas, seed):
+        from repro.model.batch import BatchWeightedState
+        from repro.utils.rng import CounterStreams
+
+        rng = make_rng(seed)
+        graph = cycle_graph(n)
+        speeds = rng.uniform(1.0, 4.0, size=n)
+        states = []
+        for _ in range(replicas):
+            m = int(rng.integers(1, 60))
+            states.append(
+                WeightedState(
+                    rng.integers(0, n, size=m),
+                    rng.uniform(0.05, 1.0, size=m),
+                    speeds,
+                )
+            )
+        batch = BatchWeightedState.from_states(states)
+        totals = batch.total_task_weight.copy()
+        task_counts = batch.num_tasks.copy()
+        streams = CounterStreams(seed, replicas)
+        protocol = SelfishWeightedProtocol()
+        for round_index in range(8):
+            streams.begin_round(round_index)
+            protocol.execute_round_batch(batch, graph, streams, None)
+            # Weights are immutable and padding inert: totals and task
+            # counts are conserved bit-for-bit, and the incremental W_i
+            # stays a true bincount.
+            np.testing.assert_array_equal(batch.total_task_weight, totals)
+            np.testing.assert_array_equal(batch.num_tasks, task_counts)
+            rebuilt = batch.copy()
+            rebuilt.rebuild_node_weights()
+            np.testing.assert_allclose(
+                batch.node_weights, rebuilt.node_weights, atol=1e-9
+            )
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_counter_rounds_same_seed_deterministic(self, n, seed):
+        from repro.model.batch import BatchWeightedState
+        from repro.utils.rng import CounterStreams
+
+        def run():
+            rng = make_rng(seed)
+            graph = cycle_graph(n)
+            speeds = rng.uniform(1.0, 3.0, size=n)
+            m = int(rng.integers(4, 40))
+            state = WeightedState(
+                rng.integers(0, n, size=m),
+                rng.uniform(0.05, 1.0, size=m),
+                speeds,
+            )
+            batch = BatchWeightedState.replicate(state, 4)
+            streams = CounterStreams(seed, 4)
+            protocol = SelfishWeightedProtocol()
+            for round_index in range(6):
+                streams.begin_round(round_index)
+                protocol.execute_round_batch(batch, graph, streams, None)
+            return batch.task_nodes.copy()
+
+        np.testing.assert_array_equal(run(), run())

@@ -326,3 +326,159 @@ class TestEventValueSemantics:
     def test_describe_is_informative(self):
         assert "node 2" in LoadShock(0.5, node=2).describe()
         assert "rate" in PoissonChurnEvent(1.5).describe()
+
+
+class TestCounterEventPaths:
+    """Counter-layout applications: same semantics, block draws.
+
+    Each event's counter path must preserve the event's invariants
+    (totals, placement supports, outcome bookkeeping) — the law-level
+    agreement with the scalar path is pinned end-to-end in
+    ``tests/test_scenarios_runner.py``.
+    """
+
+    @staticmethod
+    def _streams(num_replicas, seed=7, round_index=0):
+        from repro.utils.rng import CounterStreams
+
+        streams = CounterStreams(seed, num_replicas)
+        streams.begin_round(round_index)
+        return streams
+
+    def test_arrival_uniform_counts(self):
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        before = batch.num_tasks.copy()
+        outcome = TaskArrival(9).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(batch.num_tasks, before + 9)
+        np.testing.assert_array_equal(outcome.tasks_added, np.full(5, 9))
+
+    def test_arrival_targeted_consumes_no_site(self):
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        TaskArrival(4, node=1).apply_batch(batch, None, streams)
+        # No site was consumed for a deterministic placement.
+        assert streams._site_sequence == 0
+
+    def test_arrival_weighted_appends_in_slot_order(self):
+        batch, _ = _weighted_batch()
+        streams = self._streams(batch.num_replicas)
+        widths = batch.num_tasks.copy()
+        TaskArrival(3, weight=0.25).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(batch.num_tasks, widths + 3)
+        # The three new tasks occupy the trailing live slots of each row.
+        for row in range(batch.num_replicas):
+            live = np.flatnonzero(batch.task_mask[row])
+            np.testing.assert_allclose(
+                batch.task_weights[row, live[-3:]], 0.25
+            )
+
+    def test_departure_uniform_removes_exactly(self):
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        before = batch.num_tasks.copy()
+        outcome = TaskDeparture(11).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(batch.num_tasks, before - 11)
+        np.testing.assert_array_equal(outcome.tasks_removed, np.full(5, 11))
+
+    def test_departure_uniform_overremoval_clears(self):
+        batch, _ = _uniform_batch(m=6)
+        streams = self._streams(batch.num_replicas)
+        TaskDeparture(1000).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(batch.num_tasks, np.zeros(5, dtype=int))
+
+    def test_departure_weighted_removes_and_accounts_weight(self):
+        batch, _ = _weighted_batch()
+        streams = self._streams(batch.num_replicas)
+        total_before = batch.total_task_weight.copy()
+        outcome = TaskDeparture(4).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(
+            batch.num_tasks, np.full(5, 16)
+        )
+        np.testing.assert_allclose(
+            total_before - batch.total_task_weight, outcome.weight_removed
+        )
+
+    def test_shock_uniform_conserves_and_relocates(self):
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        before = batch.num_tasks.copy()
+        outcome = LoadShock(1.0, node=2).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(batch.num_tasks, before)
+        np.testing.assert_array_equal(batch.counts[:, 2], before)
+        assert np.all(outcome.tasks_relocated >= 0)
+
+    def test_shock_weighted_fraction_zero_noop(self):
+        batch, _ = _weighted_batch()
+        streams = self._streams(batch.num_replicas)
+        nodes = batch.task_nodes.copy()
+        outcome = LoadShock(0.0, node=1).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(batch.task_nodes, nodes)
+        np.testing.assert_array_equal(outcome.tasks_relocated, np.zeros(5, int))
+
+    def test_drain_uniform_empties_node(self):
+        graph = cycle_graph(4)
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        before = batch.num_tasks.copy()
+        evicted = batch.counts[:, 1].copy()
+        outcome = NodeDrain(1).apply_batch(batch, graph, streams)
+        np.testing.assert_array_equal(batch.counts[:, 1], 0)
+        np.testing.assert_array_equal(batch.num_tasks, before)
+        np.testing.assert_array_equal(outcome.tasks_relocated, evicted)
+        # Evicted tasks landed on node 1's neighbours only (0 and 2).
+        np.testing.assert_array_equal(batch.counts[:, 3], _uniform_batch()[0].counts[:, 3])
+
+    def test_drain_weighted_empties_node(self):
+        graph = cycle_graph(4)
+        batch, _ = _weighted_batch()
+        streams = self._streams(batch.num_replicas)
+        NodeDrain(0).apply_batch(batch, graph, streams)
+        assert not np.any((batch.task_nodes == 0) & batch.task_mask)
+
+    def test_outage_counter_drains_and_cripples(self):
+        graph = cycle_graph(4)
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        NodeOutage(2, residual_factor=0.5).apply_batch(batch, graph, streams)
+        np.testing.assert_array_equal(batch.counts[:, 2], 0)
+        assert batch.speeds[2] == pytest.approx(0.5)
+
+    def test_churn_counter_conserves_modulo_outcome(self):
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        before = batch.num_tasks.copy()
+        outcome = PoissonChurnEvent(4.0).apply_batch(batch, None, streams)
+        np.testing.assert_array_equal(
+            batch.num_tasks,
+            before + outcome.tasks_added - outcome.tasks_removed,
+        )
+
+    def test_churn_counter_weighted_conserves_modulo_outcome(self):
+        batch, _ = _weighted_batch()
+        streams = self._streams(batch.num_replicas)
+        before = batch.total_task_weight.copy()
+        outcome = PoissonChurnEvent(3.0, weight=0.5).apply_batch(
+            batch, None, streams
+        )
+        np.testing.assert_allclose(
+            batch.total_task_weight,
+            before + outcome.weight_added - outcome.weight_removed,
+            atol=1e-12,
+        )
+
+    def test_counter_events_deterministic(self):
+        def run():
+            batch, _ = _uniform_batch()
+            streams = self._streams(batch.num_replicas, seed=13)
+            PoissonChurnEvent(5.0).apply_batch(batch, None, streams)
+            LoadShock(0.4, node=0).apply_batch(batch, None, streams)
+            return batch.counts.copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_speed_change_ignores_layout_policy(self):
+        batch, _ = _uniform_batch()
+        streams = self._streams(batch.num_replicas)
+        SpeedChange(1, 2.0).apply_batch(batch, None, streams)
+        assert batch.speeds[1] == pytest.approx(2.0)

@@ -283,3 +283,119 @@ class TestNashViolationFraction:
         loads = np.array([[40.0, 0.0, 0.0, 0.0]])
         fraction = nash_violation_fraction(loads, np.ones(4), graph)
         assert 0.0 < fraction[0] <= 1.0
+
+
+class TestCounterScenarioPolicy:
+    """rng_policy='counter' scenario runs: law-level engine agreement."""
+
+    def _uniform_runner(self, n=9):
+        graph = torus_graph(3)
+        from repro.spectral.eigen import algebraic_connectivity
+        from repro.theory.constants import psi_critical
+
+        lambda2 = algebraic_connectivity(graph)
+        threshold = 4.0 * psi_critical(n, graph.max_degree, lambda2, 1.0)
+        schedule = Schedule(
+            [
+                every(1, PoissonChurnEvent(1.0)),
+                at(20, LoadShock(0.8, node=0)),
+            ]
+        )
+        return ScenarioRunner(
+            graph,
+            SelfishUniformProtocol(),
+            schedule,
+            target=PotentialThresholdStop(threshold, "psi0"),
+        )
+
+    def test_counter_run_deterministic_and_conserving(self):
+        runner = self._uniform_runner()
+
+        def run():
+            result = runner.run_ensemble(
+                _uniform_factory(9, 16 * 9),
+                repetitions=16,
+                rounds=40,
+                seed=5,
+                engine="batch",
+                rng_policy="counter",
+            )
+            assert_scenario_conservation(result)
+            return result.psi0, result.num_tasks, result.target_satisfied
+
+        first = run()
+        second = run()
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_counter_weighted_conserves_exactly(self):
+        n, m = 8, 64
+        schedule = Schedule(
+            [
+                every(1, PoissonChurnEvent(1.0, weight=0.5)),
+                at(10, LoadShock(0.5, node=0)),
+                at(15, TaskArrival(5, weight=0.5)),
+                at(18, TaskDeparture(7)),
+            ]
+        )
+        runner = ScenarioRunner(
+            cycle_graph(n), SelfishWeightedProtocol(), schedule, target=NashStop()
+        )
+        result = runner.run_ensemble(
+            _weighted_factory(n, m),
+            repetitions=20,
+            rounds=30,
+            seed=9,
+            engine="batch",
+            rng_policy="counter",
+        )
+        assert_scenario_conservation(result, atol=1e-9)
+
+    def test_counter_rejects_scalar_engine(self):
+        runner = self._uniform_runner()
+        with pytest.raises(ValidationError):
+            runner.run_ensemble(
+                _uniform_factory(9, 16 * 9),
+                repetitions=2,
+                rounds=5,
+                seed=1,
+                engine="scalar",
+                rng_policy="counter",
+            )
+
+    @pytest.mark.slow
+    def test_counter_uniform_recovery_matches_scalar_in_law(self):
+        from tests.equivalence import assert_counter_scenario_agrees
+
+        runner = self._uniform_runner()
+        assert_counter_scenario_agrees(
+            runner,
+            _uniform_factory(9, 16 * 9),
+            repetitions=120,
+            rounds=60,
+            seed=41,
+            shock_round=20,
+        )
+
+    @pytest.mark.slow
+    def test_counter_weighted_final_potentials_match_scalar_in_law(self):
+        from tests.equivalence import assert_counter_scenario_agrees
+
+        n, m = 8, 64
+        schedule = Schedule(
+            [
+                every(1, PoissonChurnEvent(1.0, weight=0.5)),
+                at(20, LoadShock(0.5, node=0)),
+            ]
+        )
+        runner = ScenarioRunner(
+            cycle_graph(n), SelfishWeightedProtocol(), schedule, target=NashStop()
+        )
+        assert_counter_scenario_agrees(
+            runner,
+            _weighted_factory(n, m),
+            repetitions=120,
+            rounds=60,
+            seed=41,
+            conservation_atol=1e-9,
+        )

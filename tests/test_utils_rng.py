@@ -6,7 +6,17 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+from repro.utils.rng import (
+    RNG_POLICIES,
+    CounterStreams,
+    SpawnedStreams,
+    as_stream_layout,
+    check_rng_policy,
+    derive_seed,
+    make_rng,
+    make_streams,
+    spawn_rngs,
+)
 
 
 class TestMakeRng:
@@ -67,6 +77,65 @@ class TestSpawnRngs:
         children = spawn_rngs(generator, 2)
         assert len(children) == 2
 
+    def test_generator_input_is_not_mutated(self):
+        """Regression: spawning children must not consume the caller's
+        spawn counter (it used to call ``seed.spawn(1)`` in a loop)."""
+        generator = np.random.default_rng(3)
+        sequence = generator.bit_generator.seed_seq
+        before = sequence.n_children_spawned
+        spawn_rngs(generator, 4)
+        assert sequence.n_children_spawned == before
+        # The generator's own stream is untouched too.
+        reference = np.random.default_rng(3).random(5)
+        np.testing.assert_array_equal(generator.random(5), reference)
+
+    def test_generator_input_repeatable(self):
+        """Regression: two calls with the same generator used to yield
+        silently different streams (each call advanced the spawn
+        counter)."""
+        generator = np.random.default_rng(3)
+        first = [g.random(4) for g in spawn_rngs(generator, 3)]
+        second = [g.random(4) for g in spawn_rngs(generator, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_generator_input_matches_one_shot_spawn_numbering(self):
+        """Children come from one ``spawn(count)`` call on an unmutated
+        copy, so they match spawning directly off the seed sequence."""
+        generator = np.random.default_rng(3)
+        children = spawn_rngs(generator, 3)
+        expected = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(3).spawn(3)
+        ]
+        for child, reference in zip(children, expected):
+            np.testing.assert_array_equal(child.random(4), reference.random(4))
+
+    def test_seed_sequence_input_accepted_and_unmutated(self):
+        sequence = np.random.SeedSequence(11)
+        first = [g.random(4) for g in spawn_rngs(sequence, 3)]
+        assert sequence.n_children_spawned == 0
+        second = [g.random(4) for g in spawn_rngs(sequence, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_int_seed_children_unchanged_by_fix(self):
+        """The int-seed derivation is part of the reproducibility
+        contract: children must equal a direct SeedSequence spawn."""
+        children = spawn_rngs(9, 3)
+        expected = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(9).spawn(3)
+        ]
+        for child, reference in zip(children, expected):
+            np.testing.assert_array_equal(child.random(4), reference.random(4))
+
+    def test_prefix_stability(self):
+        small = [g.random(3) for g in spawn_rngs(5, 2)]
+        large = [g.random(3) for g in spawn_rngs(5, 6)]
+        for x, y in zip(small, large):
+            np.testing.assert_array_equal(x, y)
+
 
 class TestDeriveSeed:
     def test_deterministic(self):
@@ -89,3 +158,107 @@ class TestDeriveSeed:
         seed = derive_seed(11, "experiment", 3)
         generator = make_rng(seed)
         assert 0.0 <= generator.random() < 1.0
+
+
+class TestStreamLayoutPlumbing:
+    def test_policies_and_factory(self):
+        assert RNG_POLICIES == ("spawned", "counter")
+        assert check_rng_policy("spawned") == "spawned"
+        with pytest.raises(ValidationError):
+            check_rng_policy("philox")
+        spawned = make_streams("spawned", 7, 4)
+        counter = make_streams("counter", 7, 4)
+        assert isinstance(spawned, SpawnedStreams)
+        assert isinstance(counter, CounterStreams)
+        assert spawned.policy == "spawned" and counter.policy == "counter"
+        assert len(spawned) == len(counter) == 4
+
+    def test_spawned_wraps_matching_children(self):
+        layout = make_streams("spawned", 7, 3)
+        reference = spawn_rngs(7, 3)
+        for child, expected in zip(layout.generators, reference):
+            np.testing.assert_array_equal(child.random(4), expected.random(4))
+
+    def test_as_stream_layout_wraps_lists_and_passes_layouts(self):
+        generators = spawn_rngs(1, 2)
+        layout = as_stream_layout(generators)
+        assert isinstance(layout, SpawnedStreams)
+        assert layout[0] is generators[0]
+        assert as_stream_layout(layout) is layout
+
+    def test_cross_policy_access_raises(self):
+        counter = CounterStreams(5, 2)
+        with pytest.raises(ValidationError):
+            counter.generators
+        spawned = SpawnedStreams(seed=5, num_replicas=2)
+        with pytest.raises(ValidationError):
+            spawned.site("anything")
+
+
+class TestCounterStreams:
+    def test_site_before_begin_round_raises(self):
+        streams = CounterStreams(3, 2)
+        with pytest.raises(ValidationError):
+            streams.site("kernel")
+
+    def test_generator_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            CounterStreams(np.random.default_rng(0), 2)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            CounterStreams(-1, 2)
+
+    def test_none_seed_gets_entropy_root(self):
+        assert CounterStreams(None, 2).root_seed >= 0
+
+    def test_site_streams_deterministic(self):
+        def draw():
+            streams = CounterStreams(9, 4)
+            streams.begin_round(3)
+            return streams.site("kernel").random((4, 5))
+
+        np.testing.assert_array_equal(draw(), draw())
+
+    def test_sites_distinct_within_round(self):
+        streams = CounterStreams(9, 4)
+        streams.begin_round(0)
+        a = streams.site("kernel").random(8)
+        b = streams.site("kernel").random(8)
+        assert not np.allclose(a, b)  # sequence number separates repeats
+
+    def test_sites_distinct_across_rounds_and_labels(self):
+        streams = CounterStreams(9, 4)
+        streams.begin_round(0)
+        first = streams.site("kernel").random(8)
+        second = streams.site("event").random(8)
+        streams.begin_round(1)
+        third = streams.site("kernel").random(8)
+        assert not np.allclose(first, second)
+        assert not np.allclose(first, third)
+
+    def test_roots_separate_streams(self):
+        values = []
+        for root in (1, 2):
+            streams = CounterStreams(root, 2)
+            streams.begin_round(0)
+            values.append(streams.site("kernel").random(8))
+        assert not np.allclose(values[0], values[1])
+
+    def test_begin_round_resets_site_sequence(self):
+        streams = CounterStreams(9, 4)
+        streams.begin_round(0)
+        first = streams.site("kernel").random(8)
+        streams.begin_round(0)
+        again = streams.site("kernel").random(8)
+        np.testing.assert_array_equal(first, again)
+
+    def test_row_prefix_independent_of_block_height(self):
+        """Replica rows of a site block are a prefix-stable function of
+        the row index (row-major Philox counter addressing)."""
+        streams = CounterStreams(9, 8)
+        streams.begin_round(5)
+        tall = streams.site("kernel").random((8, 6))
+        streams.begin_round(5)
+        short = streams.site("kernel").random((3, 6))
+        np.testing.assert_array_equal(short, tall[:3])
