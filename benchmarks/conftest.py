@@ -21,29 +21,35 @@ from repro.model.speeds import uniform_speeds
 from repro.model.state import UniformState
 
 #: Machine-readable record of the acceptance benchmarks, committed so the
-#: perf trajectory is tracked across PRs. Keyed by (cell, policy).
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR5.json"
+#: perf trajectory accumulates across PRs. Keyed by (cell, policy).
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH.json"
 
 
 def record_bench(
     cell: str, policy: str, wall_clock_seconds: float, speedup: float, **extra
 ) -> None:
-    """Upsert one (cell, policy) row into ``BENCH_PR5.json``.
+    """Upsert one (cell, policy) row into ``BENCH.json``.
 
     ``wall_clock_seconds`` is the timed quantity of the row (per-round or
     end-to-end — the cell name says which); ``speedup`` is relative to
     the row's stated baseline. Extra keyword scalars ride along.
 
-    The committed file is a deliberately refreshed snapshot, not a
-    side-effect of every test run: writes happen only when
-    ``BENCH_PR5_RECORD=1`` is exported (``BENCH_PR5_RECORD=1 pytest -q
-    -m slow benchmarks/`` to refresh), so routine tier-1 runs — which
-    include the slow acceptance benchmarks — never dirty the working
-    tree with machine-local timings.
+    The committed file is the cumulative perf trajectory — rows from
+    earlier PRs stay until their benchmark re-records them — and a
+    deliberately refreshed snapshot, not a side-effect of every test
+    run: writes happen only when ``BENCH_RECORD=1`` is exported
+    (``BENCH_RECORD=1 pytest -q -m slow benchmarks/`` to refresh;
+    the legacy ``BENCH_PR5_RECORD=1`` spelling still works), so routine
+    tier-1 runs — which include the slow acceptance benchmarks — never
+    dirty the working tree with machine-local timings.
     """
     import os
 
-    if os.environ.get("BENCH_PR5_RECORD", "") not in ("1", "true", "yes"):
+    enabled = ("1", "true", "yes")
+    if (
+        os.environ.get("BENCH_RECORD", "") not in enabled
+        and os.environ.get("BENCH_PR5_RECORD", "") not in enabled
+    ):
         return
     rows: list[dict] = []
     if BENCH_RESULTS_PATH.exists():

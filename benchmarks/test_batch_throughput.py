@@ -20,7 +20,7 @@ exactly this cell: one fused Philox block draw plus a per-edge
 probability table replace the two per-replica fill loops and most of
 the per-task math, and the acceptance test pins ``rng_policy="counter"``
 at >= 2.5x per-round over ``"spawned"`` at (ring(8), m=1500, R=256).
-Acceptance numbers land in ``benchmarks/BENCH_PR5.json`` (cell, policy,
+Acceptance numbers land in ``benchmarks/BENCH.json`` (cell, policy,
 wall-clock, speedup) so the perf trajectory is tracked across PRs.
 """
 
@@ -167,7 +167,7 @@ def test_weighted_counter_per_round_speedup():
     The ISSUE 5 tentpole pin: the heavy-m weighted cell where spawned
     batching is dispatch-bound. Both policies advance the same initial
     replica stack for a fixed number of rounds; the per-round wall clock
-    is best-of-two. The numbers are recorded in ``BENCH_PR5.json``.
+    is best-of-two. The numbers are recorded in ``BENCH.json``.
     """
     replicas, rounds = 256, 30
     graph, states, _ = _weighted_states(replicas)

@@ -10,7 +10,7 @@ through the replica-stack engine than through the scalar loop (uniform
 run the heavy-churn cell (Poisson churn every round, torus36, R=256)
 >= 2x faster per round than the spawned layout — the per-replica event
 draw loop was one of the ROADMAP's named bottlenecks. Acceptance
-numbers land in ``benchmarks/BENCH_PR5.json``.
+numbers land in ``benchmarks/BENCH.json``.
 """
 
 from __future__ import annotations
@@ -117,7 +117,7 @@ def test_heavy_churn_counter_per_round_speedup():
     pays ~4 R generator calls (two Poissons, placement, removal) plus R
     multinomials; the counter layout draws each as one block. Both
     policies advance identical initial stacks; best-of-two per-round
-    wall clock; recorded in ``BENCH_PR5.json``.
+    wall clock; recorded in ``BENCH.json``.
     """
     replicas, rounds = 256, 20
     graph = torus_graph(6)

@@ -154,6 +154,8 @@ def measure_convergence_rounds(
     check_every: int = 1,
     engine: str = "auto",
     rng_policy: str = "spawned",
+    replica_offset: int = 0,
+    replica_count: int | None = None,
 ) -> ConvergenceMeasurement:
     """Measure first-hitting rounds of ``stopping`` over repetitions.
 
@@ -162,6 +164,20 @@ def measure_convergence_rounds(
     state_factory:
         Called once per repetition with that repetition's generator;
         must return a fresh initial state (it will be mutated).
+    replica_offset, replica_count:
+        Measure only the *window* of repetitions
+        ``[replica_offset, replica_offset + replica_count)`` of the
+        ``repetitions``-sized ensemble (``repetitions`` stays the
+        monolithic total). Every windowed repetition draws exactly the
+        streams it would draw in the monolithic run — spawned children
+        are spawned offset-aware, counter layouts address the Philox
+        counter by global replica index — so concatenating the windows'
+        ``repetition_rounds`` in offset order reproduces the monolithic
+        measurement byte-for-byte. The returned measurement covers just
+        the window (``num_repetitions == replica_count``). Counter
+        windows are only available to protocols whose draw sites are all
+        fixed-width replica-addressed (the weighted kernels); a
+        whole-stack site on a windowed layout raises.
     rng_policy:
         Per-replica stream layout for the *round* randomness:
         ``"spawned"`` (default) keeps the historical spawned-child
@@ -206,7 +222,19 @@ def measure_convergence_rounds(
             "rng_policy='counter' is a batch-engine stream layout; the "
             "scalar reference always consumes spawned streams"
         )
-    generators = spawn_rngs(seed, repetitions)
+    if replica_offset < 0:
+        raise ValidationError(
+            f"replica_offset must be non-negative, got {replica_offset}"
+        )
+    count = repetitions - replica_offset if replica_count is None else replica_count
+    if count < 1:
+        raise ValidationError(f"replica_count must be >= 1, got {count}")
+    if replica_offset + count > repetitions:
+        raise ValidationError(
+            f"replica window [{replica_offset}, {replica_offset + count}) "
+            f"exceeds repetitions={repetitions}"
+        )
+    generators = spawn_rngs(seed, count, offset=replica_offset)
     states = [state_factory(rng) for rng in generators]
 
     stackable = _batch_stackable(protocol, states)
@@ -235,7 +263,12 @@ def measure_convergence_rounds(
         batch = _batch_state_class(protocol).from_states(states)  # type: ignore[union-attr]
         simulator = BatchSimulator(graph, protocol)
         if rng_policy == "counter":
-            rngs: object = CounterStreams(seed, repetitions)
+            rngs: object = CounterStreams(
+                seed,
+                count,
+                replica_offset=replica_offset,
+                total_replicas=repetitions,
+            )
         else:
             rngs = generators
         result = simulator.run(
@@ -250,7 +283,7 @@ def measure_convergence_rounds(
         ).astype(np.float64)
         engine_used = "batch"
     else:
-        repetition_rounds = np.full(repetitions, np.nan, dtype=np.float64)
+        repetition_rounds = np.full(count, np.nan, dtype=np.float64)
         for index, (rng, state) in enumerate(zip(generators, states)):
             simulator = Simulator(graph, protocol, rng)
             scalar_result = simulator.run(
@@ -267,7 +300,7 @@ def measure_convergence_rounds(
     return ConvergenceMeasurement(
         rounds=rounds,
         repetition_rounds=repetition_rounds,
-        num_repetitions=repetitions,
+        num_repetitions=count,
         num_converged=int(rounds.shape[0]),
         summary=summarize(rounds.astype(np.float64)) if rounds.shape[0] else None,
         engine=engine_used,

@@ -17,7 +17,13 @@ from repro.types import SeedLike
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_array_1d
 
-__all__ = ["SampleSummary", "summarize", "bootstrap_ci", "geometric_mean"]
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "bootstrap_half_width",
+    "geometric_mean",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,45 @@ def bootstrap_ci(
         float(np.quantile(means, tail)),
         float(np.quantile(means, 1.0 - tail)),
     )
+
+
+def bootstrap_half_width(
+    values: object,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: SeedLike = None,
+    min_count: int = 1,
+) -> float:
+    """NaN-aware bootstrap CI half-width for the mean.
+
+    The adaptive ensemble controller feeds this the raw
+    ``repetition_rounds`` of the replicas run so far, in which
+    unconverged replicas appear as NaN (budget exhausted). Those entries
+    are *excluded* from the resample rather than poisoning the interval;
+    when fewer than ``min_count`` finite values remain (including the
+    all-NaN wave) the half-width is NaN, which no finite target can
+    satisfy — the caller falls through to its replica cap.
+    """
+    # Not check_array_1d: that helper rejects non-finite entries, and
+    # NaN entries are exactly what this function exists to tolerate.
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValidationError(
+            f"values must be one-dimensional, got shape {array.shape}"
+        )
+    if min_count < 1:
+        raise ValidationError(f"min_count must be positive, got {min_count}")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    finite = array[np.isfinite(array)]
+    if finite.shape[0] < min_count:
+        return float("nan")
+    low, high = bootstrap_ci(
+        finite, confidence=confidence, num_resamples=num_resamples, seed=seed
+    )
+    return (high - low) / 2.0
 
 
 def geometric_mean(values: object) -> float:

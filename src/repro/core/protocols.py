@@ -848,10 +848,13 @@ class SelfishWeightedProtocol(Protocol):
 
         Law: identical to the scalar kernel per replica (neighbour
         uniform, eligibility, clipped probability are the same
-        expressions; only the pathwise draw order differs). Replica
-        ``r``'s rows sit at its prefix position among the active set, so
-        static weighted ensembles stay resize prefix-stable under this
-        layout too.
+        expressions; only the pathwise draw order differs). The block is
+        addressed by *global* replica index through
+        ``StreamLayout.site_uniforms`` — replica ``r`` owns the site's
+        counter words ``[r * M, (r + 1) * M)`` no matter which other
+        replicas are active or how the ensemble is sharded — so static
+        weighted ensembles are resize prefix-stable *and* windowed
+        (sharded) stacks reproduce the monolithic draws byte-for-byte.
         """
         from repro.model.batch import BatchWeightedState
 
@@ -931,7 +934,7 @@ class SelfishWeightedProtocol(Protocol):
         # migration uniform (U[0, 1) independent of the slot). Padding
         # slots and isolated nodes resolve to remainder 1.0 (degm1 = -1),
         # which never beats a clipped probability.
-        u = streams.site("weighted-migrate").random((num_active, max_tasks))
+        u = streams.site_uniforms("weighted-migrate", rows, max_tasks)
         i = nodes if all_live else np.where(mask, nodes, 0)
         u *= cache.deg_float[i]
         slot = u.astype(np.int64)

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run table1-approx thm11 [--full] [--seed N]
-    python -m repro.experiments run table1-weighted --workers 4
+    python -m repro.experiments run table1-weighted --workers 4 --shard-size 64
+    python -m repro.experiments run table1-weighted --target-ci 2.5
     python -m repro.experiments all [--full] [--markdown experiments.md]
 
 ``--workers N`` fans each sweep experiment's (family, size) cells over
@@ -13,15 +14,25 @@ Usage::
 ``scenarios-churn-shock``); every cell derives its own seed, so
 measurement outputs are byte-identical at any worker count (the
 ``run_meta`` record each experiment's JSON carries — effective workers,
-rng policy, seed — is the only artifact field that reflects the
-invocation). ``--rng counter`` switches the sweep experiments onto the
+rng policy, sharding knobs, per-cell wall-clock — is the only artifact
+field that reflects the invocation). ``--shard-size R`` additionally
+splits each cell's replica ensemble into windows of ``R`` replicas that
+the pool schedules as independent sub-tasks, so a single huge cell no
+longer serializes the sweep; shard merging preserves byte-identity at
+any ``(workers, shard-size)``. ``--target-ci H`` switches the
+family-sweep experiments to adaptive ensemble sizing: each cell runs
+replicas in shard-sized waves until the bootstrap CI half-width on its
+mean convergence round drops to ``H`` (the configured repetition count
+becomes a cap; ``run_meta.cell_timings`` records requested vs effective
+repetitions). ``--rng counter`` switches the sweep experiments onto the
 vectorized Philox counter stream layout (statistically equivalent,
 same-seed deterministic, different sample paths from the default
-``spawned`` layout). Requesting ``--workers`` (or a non-default
-``--rng``) for an experiment that has no such parameter prints a
-RuntimeWarning to stderr and falls back instead of silently dropping
-the flag. Unknown experiment ids exit with status 2; a failed
-reproduction exits with 1.
+``spawned`` layout); under it only the weighted kinds may shard — see
+:mod:`repro.experiments.executor`. Requesting ``--workers`` (or
+``--rng``/``--shard-size``/``--target-ci``) for an experiment that has
+no such parameter prints a RuntimeWarning to stderr and falls back
+instead of silently dropping the flag. Unknown experiment ids exit with
+status 2; a failed reproduction exits with 1.
 """
 
 from __future__ import annotations
@@ -94,6 +105,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "Philox block draws; statistically equivalent and same-seed "
         "deterministic, but on different sample paths)",
     )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replicas per executor shard: split each sweep cell's "
+        "ensemble into R-replica windows scheduled as independent pool "
+        "tasks (results stay byte-identical at any workers/shard-size "
+        "combination); default: monolithic cells",
+    )
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="H",
+        help="adaptive ensemble sizing for family sweeps: run each "
+        "cell's replicas in shard-sized waves until the bootstrap 95%% "
+        "CI half-width on its mean convergence round is at most H "
+        "(repetitions become a cap; effective sizes are recorded in "
+        "run_meta.cell_timings)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -102,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if getattr(args, "shard_size", None) is not None and args.shard_size < 1:
+        parser.error(f"--shard-size must be >= 1, got {args.shard_size}")
+    if getattr(args, "target_ci", None) is not None and not args.target_ci > 0:
+        parser.error(f"--target-ci must be positive, got {args.target_ci}")
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
@@ -130,6 +166,8 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 rng_policy=args.rng,
+                shard_size=args.shard_size,
+                target_ci=args.target_ci,
             )
         except ReproError as error:
             # Any deliberate library error (unknown id, bad parameters,

@@ -117,6 +117,10 @@ class FamilyMeasurement:
         The paper's (concrete-constant) upper bound for this cell.
     num_converged, num_repetitions:
         Convergence bookkeeping.
+    repetition_rounds:
+        Per-repetition first-hitting rounds in repetition order (NaN
+        where the budget ran out) — the raw sample the executor's shard
+        merge and adaptive CI controller operate on.
     """
 
     family: str
@@ -129,6 +133,7 @@ class FamilyMeasurement:
     bound_rounds: float
     num_converged: int
     num_repetitions: int
+    repetition_rounds: tuple[float, ...] = ()
 
 
 def _uniform_state_factory(graph: Graph, m: int, adversarial: bool):
@@ -175,6 +180,8 @@ def measure_weighted_threshold_time(
     max_budget: int = 200_000,
     engine: str = "auto",
     rng_policy: str = "spawned",
+    replica_offset: int = 0,
+    replica_count: int | None = None,
 ) -> FamilyMeasurement:
     """Measure Algorithm 2's rounds to the threshold state on one cell.
 
@@ -209,6 +216,8 @@ def measure_weighted_threshold_time(
         seed=derive_seed(seed, family_name, n, "weighted"),
         engine=engine,
         rng_policy=rng_policy,
+        replica_offset=replica_offset,
+        replica_count=replica_count,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -221,6 +230,9 @@ def measure_weighted_threshold_time(
         bound_rounds=bound,
         num_converged=measurement.num_converged,
         num_repetitions=measurement.num_repetitions,
+        repetition_rounds=tuple(
+            float(value) for value in measurement.repetition_rounds
+        ),
     )
 
 
@@ -233,6 +245,8 @@ def measure_psi_threshold_time(
     budget_factor: float = 2.0,
     engine: str = "auto",
     rng_policy: str = "spawned",
+    replica_offset: int = 0,
+    replica_count: int | None = None,
 ) -> FamilyMeasurement:
     """Measure rounds until ``Psi_0 <= 4 psi_c`` on one family cell.
 
@@ -262,6 +276,8 @@ def measure_psi_threshold_time(
         seed=derive_seed(seed, family_name, n, "approx"),
         engine=engine,
         rng_policy=rng_policy,
+        replica_offset=replica_offset,
+        replica_count=replica_count,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -274,6 +290,9 @@ def measure_psi_threshold_time(
         bound_rounds=bound,
         num_converged=measurement.num_converged,
         num_repetitions=measurement.num_repetitions,
+        repetition_rounds=tuple(
+            float(value) for value in measurement.repetition_rounds
+        ),
     )
 
 
@@ -313,6 +332,9 @@ class VariantMeasurement:
     still_threshold_nash:
         Whether the probe state still satisfies the threshold condition
         after the churn window.
+    repetition_rounds:
+        Per-repetition first-hitting rounds in repetition order (NaN
+        where the budget ran out), for the executor's shard merge.
     """
 
     variant: str
@@ -324,6 +346,7 @@ class VariantMeasurement:
     probe_converged: bool
     churn_per_round: float
     still_threshold_nash: bool
+    repetition_rounds: tuple[float, ...] = ()
 
 
 def variant_measure_seed(seed: int, variant: str) -> int:
@@ -402,6 +425,8 @@ def measure_variant_threshold_time(
     variant: str = "flow",
     m: int | None = None,
     churn_window: int = 200,
+    replica_offset: int = 0,
+    replica_count: int | None = None,
 ) -> VariantMeasurement:
     """Measure one ablation variant's rounds-to-threshold and churn.
 
@@ -420,6 +445,12 @@ def measure_variant_threshold_time(
     it then keeps running for ``churn_window`` rounds counting
     migrations. A non-converged probe would make the churn numbers
     meaningless, so ``probe_converged`` is reported for the verdict.
+
+    ``replica_offset`` / ``replica_count`` run a replica window of the
+    ensemble (see :func:`measure_convergence_rounds`). The churn probe —
+    a replay of global repetition 0 — only runs on the window that
+    contains replica 0; other shards report NaN/False probe fields, and
+    the executor's merge takes the probe columns from the first shard.
     """
     graph, protocol, factory = weighted_variant_setup(
         family_name, target_n, m_factor, variant, m=m
@@ -436,20 +467,32 @@ def measure_variant_threshold_time(
         seed=measure_seed,
         engine=engine,
         rng_policy=rng_policy,
+        replica_offset=replica_offset,
+        replica_count=replica_count,
     )
 
     # The churn probe is always a spawned scalar replay of repetition
     # 0's stream: under the default policy it revisits the measurement's
     # exact trajectory; under rng_policy="counter" it is an independent
-    # scalar probe of the same (initial state, protocol) cell.
-    rng = spawn_rngs(measure_seed, repetitions)[0]
-    state = factory(rng)
-    probe = Simulator(graph, protocol, rng).run(
-        state, stopping=NashStop(), max_rounds=max_rounds
-    )
-    moved = 0
-    for _ in range(churn_window):
-        moved += protocol.execute_round(state, graph, rng).tasks_moved
+    # scalar probe of the same (initial state, protocol) cell. Shards
+    # that do not own replica 0 skip it (it would serialize the same
+    # scalar run once per shard) and report placeholder probe fields.
+    if replica_offset == 0:
+        rng = spawn_rngs(measure_seed, repetitions)[0]
+        state = factory(rng)
+        probe = Simulator(graph, protocol, rng).run(
+            state, stopping=NashStop(), max_rounds=max_rounds
+        )
+        moved = 0
+        for _ in range(churn_window):
+            moved += protocol.execute_round(state, graph, rng).tasks_moved
+        probe_converged = bool(probe.converged)
+        churn_per_round = moved / churn_window
+        still_threshold_nash = bool(is_nash(state, graph))
+    else:
+        probe_converged = False
+        churn_per_round = float("nan")
+        still_threshold_nash = False
 
     return VariantMeasurement(
         variant=variant,
@@ -462,9 +505,12 @@ def measure_variant_threshold_time(
         num_converged=measurement.num_converged,
         num_repetitions=measurement.num_repetitions,
         engine=measurement.engine,
-        probe_converged=bool(probe.converged),
-        churn_per_round=moved / churn_window,
-        still_threshold_nash=bool(is_nash(state, graph)),
+        probe_converged=probe_converged,
+        churn_per_round=churn_per_round,
+        still_threshold_nash=still_threshold_nash,
+        repetition_rounds=tuple(
+            float(value) for value in measurement.repetition_rounds
+        ),
     )
 
 
@@ -477,6 +523,8 @@ def measure_exact_nash_time(
     max_budget: int = 2_000_000,
     engine: str = "auto",
     rng_policy: str = "spawned",
+    replica_offset: int = 0,
+    replica_count: int | None = None,
 ) -> FamilyMeasurement:
     """Measure rounds until the exact NE on one family cell.
 
@@ -505,6 +553,8 @@ def measure_exact_nash_time(
         seed=derive_seed(seed, family_name, n, "exact"),
         engine=engine,
         rng_policy=rng_policy,
+        replica_offset=replica_offset,
+        replica_count=replica_count,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -517,4 +567,7 @@ def measure_exact_nash_time(
         bound_rounds=bound,
         num_converged=measurement.num_converged,
         num_repetitions=measurement.num_repetitions,
+        repetition_rounds=tuple(
+            float(value) for value in measurement.repetition_rounds
+        ),
     )

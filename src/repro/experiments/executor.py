@@ -13,25 +13,60 @@ function — ``(seed, family, n, tag)`` for the sweep kinds,
 ``(seed, variant label)`` for the single-cell ``"weighted-variant"``
 kind (see :func:`repro.experiments._common.variant_measure_seed`) —
 results are bit-identical at any worker count: parallelism changes
-wall-clock, never numbers. The batch
-engine (PR 1/2) vectorizes the repetitions inside one cell; this
-executor is the axis on top: process-level parallelism across cells.
+wall-clock, never numbers.
+
+Three nested parallel axes compose here:
+
+1. the batch engine vectorizes the replicas *inside* one shard;
+2. ``CellSpec.shard_size`` splits one cell's replica ensemble into
+   replica-window shards — each shard draws exactly the streams its
+   replicas would draw in a monolithic run (offset-aware spawned
+   children; globally replica-addressed counter blocks), so merging
+   shard results in replica order is byte-identical to the serial run
+   at any ``(workers, shard_size)``;
+3. the process pool schedules the flattened (cell, shard) task list
+   via a submit/as-completed work queue, so one huge cell no longer
+   serializes the sweep.
+
+``CellSpec.target_ci`` additionally switches a family-sweep cell to
+*adaptive ensemble sizing*: replicas run in shard-sized waves until the
+bootstrap CI half-width on the mean convergence round drops below the
+target (NaN rounds from unconverged replicas are excluded — see
+:func:`repro.analysis.statistics.bootstrap_half_width`), with
+``repetitions`` as the hard cap. Wave boundaries and the CI evaluation
+seed are deterministic functions of the spec, so adaptive runs are
+reproducible at any worker count too.
 
 Workers are processes, not threads, so the measurement functions and
 their results must be picklable. Every kind in :data:`MEASUREMENT_KINDS`
-is a module-level function in :mod:`repro.experiments._common` returning
-a frozen dataclass of plain scalars, which keeps child processes
-importable regardless of the multiprocessing start method.
+is a module-level function in :mod:`repro.experiments._common` or
+:mod:`repro.experiments.scenario_cells` returning a frozen dataclass of
+plain scalars, which keeps child processes importable regardless of the
+multiprocessing start method.
+
+Sharding restrictions (enforced per spec, only when a split would
+actually happen): under ``rng_policy="counter"`` only the weighted
+kinds shard — their single draw site is fixed-width and
+replica-addressed — while the uniform kinds' multinomial and the
+scenario events consume data-dependent whole-stack blocks that a window
+cannot reproduce. Under the default spawned policy every kind shards.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
+import numpy as np
+
+from repro.analysis.statistics import bootstrap_half_width, summarize
 from repro.errors import ValidationError
 from repro.experiments._common import (
+    FamilyMeasurement,
+    VariantMeasurement,
     measure_exact_nash_time,
     measure_psi_threshold_time,
     measure_variant_threshold_time,
@@ -41,13 +76,24 @@ from repro.experiments.scenario_cells import (
     measure_churn_band,
     measure_scenario_recovery,
     measure_shock_recovery,
+    run_scenario_window,
+    summarize_scenario_result,
 )
+from repro.scenarios import merge_replica_results
+from repro.utils.rng import derive_seed
 
 __all__ = [
     "CellSpec",
     "MEASUREMENT_KINDS",
+    "ADAPTIVE_KINDS",
+    "COUNTER_SHARDABLE_KINDS",
+    "ShardTiming",
+    "CellTiming",
+    "ExecutionReport",
     "run_cell",
+    "run_cell_shard",
     "execute_cells",
+    "execute_cells_report",
     "sweep_specs",
     "group_by_family",
 ]
@@ -67,6 +113,29 @@ MEASUREMENT_KINDS: dict[str, Callable[..., object]] = {
     "churn-band": measure_churn_band,
 }
 
+#: Kinds returning a :class:`FamilyMeasurement` — the sweep kinds whose
+#: mean convergence round the adaptive CI controller can target.
+ADAPTIVE_KINDS = frozenset({"approx", "exact", "weighted"})
+
+#: Kinds whose ensembles shard under ``rng_policy="counter"``: all their
+#: counter draw sites are fixed-width and replica-addressed (the
+#: weighted kernels' fused migration draw). The uniform kinds' batched
+#: multinomial and every scenario event consume data-dependent
+#: whole-stack blocks, so their counter ensembles refuse to split.
+COUNTER_SHARDABLE_KINDS = frozenset({"weighted", "weighted-variant"})
+
+#: Kinds merged through :func:`repro.scenarios.merge_replica_results`.
+_SCENARIO_KINDS = frozenset(
+    {"scenario-recovery", "shock-recovery", "churn-band"}
+)
+
+#: Wave size for adaptive cells that set no explicit ``shard_size``.
+_DEFAULT_ADAPTIVE_WAVE = 8
+
+#: Converged samples required before the adaptive CI is evaluated at
+#: all (a 2-3 sample bootstrap interval is noise, not evidence).
+_MIN_ADAPTIVE_SAMPLE = 4
+
 
 @dataclass(frozen=True)
 class CellSpec:
@@ -83,7 +152,8 @@ class CellSpec:
         ``n^2``).
     repetitions:
         Independent repetitions inside the cell (batched by the PR 1/2
-        engines where possible).
+        engines where possible). Under adaptive sizing (``target_ci``)
+        this is the hard cap.
     seed:
         Base seed; the measurement function derives the cell's own
         stream from ``(seed, family, n, tag)``, which is what makes the
@@ -98,6 +168,19 @@ class CellSpec:
         equivalent and same-seed deterministic — including across
         process boundaries, so counter cells too are byte-identical at
         any worker count).
+    shard_size:
+        Replicas per shard. ``None`` (default) keeps the cell
+        monolithic; a value smaller than ``repetitions`` splits the
+        ensemble into replica windows that the pool schedules
+        independently, with results merged in replica order —
+        byte-identical to the monolithic run. Under adaptive sizing it
+        sets the wave size instead.
+    target_ci:
+        Adaptive ensemble sizing (family sweep kinds only): run
+        replicas in shard-sized waves until the bootstrap CI half-width
+        on the mean convergence round is at most this value, capped at
+        ``repetitions``. ``None`` (default) keeps the fixed repetition
+        count.
     """
 
     kind: str
@@ -108,6 +191,74 @@ class CellSpec:
     seed: int
     params: tuple[tuple[str, object], ...] = ()
     rng_policy: str = "spawned"
+    shard_size: int | None = None
+    target_ci: float | None = None
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock of one shard (replica window) of a cell."""
+
+    replica_offset: int
+    replica_count: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock and ensemble-size record for one executed cell.
+
+    ``seconds`` is the summed shard wall-clock (the cell's CPU cost; the
+    pool overlaps shards, so elapsed time is lower). Adaptive cells
+    report how the wave controller stopped (``"target"`` when the CI
+    half-width met ``target_ci``, ``"cap"`` when the replica cap was
+    reached first) and the last evaluated half-width.
+    """
+
+    kind: str
+    family: str
+    n: int
+    rng_policy: str
+    seconds: float
+    repetitions_requested: int
+    repetitions_effective: int
+    shards: tuple[ShardTiming, ...]
+    adaptive_stop: str | None = None
+    ci_half_width: float | None = None
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the experiment artifact's ``run_meta``."""
+        return {
+            "kind": self.kind,
+            "family": self.family,
+            "n": self.n,
+            "rng_policy": self.rng_policy,
+            "seconds": self.seconds,
+            "repetitions_requested": self.repetitions_requested,
+            "repetitions_effective": self.repetitions_effective,
+            "adaptive_stop": self.adaptive_stop,
+            "ci_half_width": self.ci_half_width,
+            "shards": [
+                {
+                    "replica_offset": shard.replica_offset,
+                    "replica_count": shard.replica_count,
+                    "seconds": shard.seconds,
+                }
+                for shard in self.shards
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Results plus per-cell/per-shard timings, in spec order."""
+
+    results: tuple[object, ...]
+    timings: tuple[CellTiming, ...]
+
+    def timings_json(self) -> list[dict]:
+        """The ``run_meta.cell_timings`` artifact payload."""
+        return [timing.to_json() for timing in self.timings]
 
 
 def _measurement_for(kind: str) -> Callable[..., object]:
@@ -121,8 +272,44 @@ def _measurement_for(kind: str) -> Callable[..., object]:
         ) from None
 
 
-def run_cell(spec: CellSpec) -> object:
-    """Run one cell in the current process."""
+def _check_spec(spec: CellSpec) -> None:
+    """Validate one spec's sharding/adaptive configuration up front."""
+    _measurement_for(spec.kind)
+    if spec.shard_size is not None and spec.shard_size < 1:
+        raise ValidationError(
+            f"shard_size must be >= 1, got {spec.shard_size}"
+        )
+    if spec.target_ci is not None:
+        if not spec.target_ci > 0:
+            raise ValidationError(
+                f"target_ci must be positive, got {spec.target_ci}"
+            )
+        if spec.kind not in ADAPTIVE_KINDS:
+            raise ValidationError(
+                f"adaptive sizing (target_ci) targets the mean convergence "
+                f"round of the family sweep kinds {sorted(ADAPTIVE_KINDS)}; "
+                f"kind {spec.kind!r} has no such estimand"
+            )
+    splits = spec.target_ci is not None or (
+        spec.shard_size is not None and spec.shard_size < spec.repetitions
+    )
+    if (
+        splits
+        and spec.rng_policy == "counter"
+        and spec.kind not in COUNTER_SHARDABLE_KINDS
+    ):
+        raise ValidationError(
+            f"kind {spec.kind!r} cannot shard under rng_policy='counter': "
+            "its draw sites consume data-dependent whole-stack counter "
+            "blocks (multinomial / churn-sized), which a replica window "
+            "cannot reproduce. Use rng_policy='spawned' for sharded runs "
+            f"of this kind, or drop shard_size/target_ci; counter sharding "
+            f"is available for {sorted(COUNTER_SHARDABLE_KINDS)}"
+        )
+
+
+def _run_monolithic(spec: CellSpec) -> object:
+    """Run one fixed-R cell whole, in the current process."""
     measure = _measurement_for(spec.kind)
     return measure(
         spec.family,
@@ -135,29 +322,418 @@ def run_cell(spec: CellSpec) -> object:
     )
 
 
+def run_cell(spec: CellSpec) -> object:
+    """Run one cell in the current process.
+
+    Fixed-R specs run monolithically (the byte-identity reference the
+    sharded pool reproduces). Adaptive specs (``target_ci``) run their
+    wave loop serially — the same wave boundaries, CI seeds, and stop
+    rule as the pooled path, so ``run_cell`` remains the single-process
+    reference for every spec.
+    """
+    _check_spec(spec)
+    if spec.target_ci is None:
+        return _run_monolithic(spec)
+    job = _CellJob(spec)
+    _drive_job_serial(job)
+    job.finalize()
+    return job.result
+
+
+def run_cell_shard(
+    spec: CellSpec, replica_offset: int, replica_count: int
+) -> object:
+    """Run one replica window of a cell (the pool's shard task body).
+
+    Returns the kind's *partial* result for replicas
+    ``[replica_offset, replica_offset + replica_count)``: a windowed
+    measurement dataclass for the family/variant kinds, a raw windowed
+    :class:`~repro.scenarios.ScenarioResult` for the scenario kinds.
+    Partials merge in offset order via :func:`_merge_shards`.
+    """
+    if spec.kind in _SCENARIO_KINDS:
+        return run_scenario_window(
+            spec.kind,
+            spec.family,
+            spec.n,
+            spec.m_factor,
+            repetitions=spec.repetitions,
+            seed=spec.seed,
+            replica_offset=replica_offset,
+            replica_count=replica_count,
+            rng_policy=spec.rng_policy,
+            **dict(spec.params),
+        )
+    measure = _measurement_for(spec.kind)
+    return measure(
+        spec.family,
+        spec.n,
+        m_factor=spec.m_factor,
+        repetitions=spec.repetitions,
+        seed=spec.seed,
+        rng_policy=spec.rng_policy,
+        replica_offset=replica_offset,
+        replica_count=replica_count,
+        **dict(spec.params),
+    )
+
+
+def _merge_family_shards(
+    parts: Sequence[FamilyMeasurement],
+) -> FamilyMeasurement:
+    """Merge windowed family measurements in replica (offset) order.
+
+    Recomputes the summary statistics over the concatenated
+    ``repetition_rounds`` exactly as the monolithic measurement does
+    (NaN filter, int64 round-trip, :func:`summarize`), so the merged
+    cell is byte-identical to the serial run.
+    """
+    first = parts[0]
+    repetition_rounds = tuple(
+        value for part in parts for value in part.repetition_rounds
+    )
+    rounds_array = np.asarray(repetition_rounds, dtype=np.float64)
+    converged = rounds_array[~np.isnan(rounds_array)].astype(np.int64)
+    if converged.shape[0]:
+        summary = summarize(converged.astype(np.float64))
+        median_rounds, mean_rounds = summary.median, summary.mean
+    else:
+        median_rounds = mean_rounds = float("nan")
+    return FamilyMeasurement(
+        family=first.family,
+        n=first.n,
+        m=first.m,
+        lambda2=first.lambda2,
+        max_degree=first.max_degree,
+        median_rounds=median_rounds,
+        mean_rounds=mean_rounds,
+        bound_rounds=first.bound_rounds,
+        num_converged=int(converged.shape[0]),
+        num_repetitions=sum(part.num_repetitions for part in parts),
+        repetition_rounds=repetition_rounds,
+    )
+
+
+def _merge_variant_shards(
+    parts: Sequence[VariantMeasurement],
+) -> VariantMeasurement:
+    """Merge windowed variant measurements in replica (offset) order.
+
+    The churn probe ran only on the shard owning replica 0 (the first),
+    whose probe fields carry over verbatim; the ablation's
+    all-or-nothing ``median_rounds`` is recomputed over the full
+    ensemble.
+    """
+    first = parts[0]
+    repetition_rounds = tuple(
+        value for part in parts for value in part.repetition_rounds
+    )
+    rounds_array = np.asarray(repetition_rounds, dtype=np.float64)
+    converged = rounds_array[~np.isnan(rounds_array)].astype(np.int64)
+    num_repetitions = sum(part.num_repetitions for part in parts)
+    if converged.shape[0] == num_repetitions and converged.shape[0]:
+        median_rounds = summarize(converged.astype(np.float64)).median
+    else:
+        median_rounds = float("nan")
+    return VariantMeasurement(
+        variant=first.variant,
+        label=first.label,
+        median_rounds=median_rounds,
+        num_converged=int(converged.shape[0]),
+        num_repetitions=num_repetitions,
+        engine=first.engine,
+        probe_converged=first.probe_converged,
+        churn_per_round=first.churn_per_round,
+        still_threshold_nash=first.still_threshold_nash,
+        repetition_rounds=repetition_rounds,
+    )
+
+
+def _merge_shards(spec: CellSpec, parts: Sequence[object]) -> object:
+    """Merge one cell's shard partials (in offset order) into its result."""
+    if spec.kind in _SCENARIO_KINDS:
+        merged = merge_replica_results(list(parts))
+        return summarize_scenario_result(
+            spec.kind,
+            spec.family,
+            spec.n,
+            spec.m_factor,
+            spec.seed,
+            merged,
+            **dict(spec.params),
+        )
+    if spec.kind == "weighted-variant":
+        return _merge_variant_shards(parts)
+    return _merge_family_shards(parts)
+
+
+def _shard_windows(spec: CellSpec) -> list[tuple[int, int] | None]:
+    """The fixed-R shard plan: ``[None]`` means one monolithic task."""
+    size = spec.shard_size
+    if size is None or size >= spec.repetitions:
+        return [None]
+    return [
+        (offset, min(size, spec.repetitions - offset))
+        for offset in range(0, spec.repetitions, size)
+    ]
+
+
+def _wave_windows(spec: CellSpec) -> list[tuple[int, int]]:
+    """The adaptive wave plan, up to the replica cap."""
+    size = spec.shard_size or min(spec.repetitions, _DEFAULT_ADAPTIVE_WAVE)
+    return [
+        (offset, min(size, spec.repetitions - offset))
+        for offset in range(0, spec.repetitions, size)
+    ]
+
+
+def _run_task(
+    spec: CellSpec, window: tuple[int, int] | None
+) -> tuple[object, float]:
+    """Pool task body: one monolithic cell or one shard, timed."""
+    start = time.perf_counter()
+    if window is None:
+        payload = run_cell(spec)
+    else:
+        payload = run_cell_shard(spec, window[0], window[1])
+    return payload, time.perf_counter() - start
+
+
+class _CellJob:
+    """Scheduling state for one cell: its task plan, partials, timings.
+
+    Fixed-R jobs emit all their shard tasks up front; adaptive jobs emit
+    one wave at a time, deciding after each completion whether the CI
+    target is met (``complete`` returns the next wave's task, if any).
+    The same object drives both the serial loop and the pooled work
+    queue, so the two paths share one wave state machine.
+    """
+
+    __slots__ = (
+        "spec",
+        "adaptive",
+        "windows",
+        "partials",
+        "seconds",
+        "next_wave",
+        "received",
+        "stop_reason",
+        "half_width",
+        "result",
+        "timing",
+    )
+
+    def __init__(self, spec: CellSpec):
+        _check_spec(spec)
+        self.spec = spec
+        self.adaptive = spec.target_ci is not None
+        self.stop_reason: str | None = None
+        self.half_width = float("nan")
+        self.result: object = None
+        self.timing: CellTiming | None = None
+        self.received = 0
+        if self.adaptive:
+            self.windows: list[tuple[int, int] | None] = list(
+                _wave_windows(spec)
+            )
+            self.partials: list[object] = []
+            self.seconds: list[float] = []
+            self.next_wave = 0
+        else:
+            self.windows = _shard_windows(spec)
+            self.partials = [None] * len(self.windows)
+            self.seconds = [0.0] * len(self.windows)
+            self.next_wave = len(self.windows)
+
+    @property
+    def task_parallelism(self) -> int:
+        """How many of this job's tasks can run concurrently."""
+        return 1 if self.adaptive else len(self.windows)
+
+    def start_tasks(self) -> list[tuple[int, tuple[int, int] | None]]:
+        """Initial ``(slot, window)`` tasks to schedule."""
+        if self.adaptive:
+            self.next_wave = 1
+            return [(0, self.windows[0])]
+        return list(enumerate(self.windows))
+
+    def complete(
+        self, slot: int, payload: object, seconds: float
+    ) -> list[tuple[int, tuple[int, int] | None]]:
+        """Record one finished task; return follow-up tasks (adaptive)."""
+        self.received += 1
+        if not self.adaptive:
+            self.partials[slot] = payload
+            self.seconds[slot] = seconds
+            return []
+        # Adaptive waves run one at a time, so completions arrive in
+        # wave order.
+        self.partials.append(payload)
+        self.seconds.append(seconds)
+        return self._next_adaptive_tasks()
+
+    def _next_adaptive_tasks(
+        self,
+    ) -> list[tuple[int, tuple[int, int] | None]]:
+        spec = self.spec
+        rounds = np.concatenate(
+            [
+                np.asarray(part.repetition_rounds, dtype=np.float64)
+                for part in self.partials
+            ]
+        )
+        # The CI seed is a pure function of (spec, wave index): adaptive
+        # runs stop at the same wave no matter where the waves executed.
+        self.half_width = bootstrap_half_width(
+            rounds,
+            seed=derive_seed(
+                spec.seed, spec.family, spec.n, "adaptive-ci", len(self.partials)
+            ),
+            min_count=_MIN_ADAPTIVE_SAMPLE,
+        )
+        if (
+            not math.isnan(self.half_width)
+            and self.half_width <= spec.target_ci
+        ):
+            self.stop_reason = "target"
+            return []
+        if self.next_wave >= len(self.windows):
+            self.stop_reason = "cap"
+            return []
+        slot = self.next_wave
+        self.next_wave += 1
+        return [(slot, self.windows[slot])]
+
+    @property
+    def done(self) -> bool:
+        if self.adaptive:
+            return self.stop_reason is not None
+        return self.received == len(self.windows)
+
+    def finalize(self) -> None:
+        """Merge partials into the cell result and freeze the timing."""
+        spec = self.spec
+        if self.adaptive:
+            windows = self.windows[: len(self.partials)]
+            self.result = _merge_shards(spec, self.partials)
+            shards = tuple(
+                ShardTiming(window[0], window[1], elapsed)
+                for window, elapsed in zip(windows, self.seconds)
+            )
+            effective = sum(window[1] for window in windows)
+            adaptive_stop = self.stop_reason
+            ci_half_width: float | None = self.half_width
+        else:
+            if self.windows == [None]:
+                self.result = self.partials[0]
+                shards = (
+                    ShardTiming(0, spec.repetitions, self.seconds[0]),
+                )
+            else:
+                self.result = _merge_shards(spec, self.partials)
+                shards = tuple(
+                    ShardTiming(window[0], window[1], elapsed)
+                    for window, elapsed in zip(self.windows, self.seconds)
+                )
+            effective = spec.repetitions
+            adaptive_stop = None
+            ci_half_width = None
+        self.timing = CellTiming(
+            kind=spec.kind,
+            family=spec.family,
+            n=spec.n,
+            rng_policy=spec.rng_policy,
+            seconds=float(sum(shard.seconds for shard in shards)),
+            repetitions_requested=spec.repetitions,
+            repetitions_effective=effective,
+            shards=shards,
+            adaptive_stop=adaptive_stop,
+            ci_half_width=ci_half_width,
+        )
+
+
+def _drive_job_serial(job: _CellJob) -> None:
+    """Run one job's tasks to completion in the current process."""
+    tasks = job.start_tasks()
+    while tasks:
+        slot, window = tasks.pop(0)
+        payload, seconds = _run_task(job.spec, window)
+        tasks.extend(job.complete(slot, payload, seconds))
+
+
+def _execute_pooled(jobs: list[_CellJob], workers: int) -> None:
+    """Schedule every job's tasks over a process pool work queue."""
+    planned = sum(job.task_parallelism for job in jobs)
+    with ProcessPoolExecutor(max_workers=min(workers, planned)) as pool:
+        pending: dict = {}
+        for index, job in enumerate(jobs):
+            for slot, window in job.start_tasks():
+                future = pool.submit(_run_task, job.spec, window)
+                pending[future] = (index, slot)
+        while pending:
+            finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in finished:
+                index, slot = pending.pop(future)
+                payload, seconds = future.result()
+                for new_slot, new_window in jobs[index].complete(
+                    slot, payload, seconds
+                ):
+                    follow_up = pool.submit(
+                        _run_task, jobs[index].spec, new_window
+                    )
+                    pending[follow_up] = (index, new_slot)
+
+
+def execute_cells_report(
+    specs: Iterable[CellSpec], workers: int | None = None
+) -> ExecutionReport:
+    """Execute cells, returning results *and* per-cell timings.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``1`` runs every task serially in this process (the
+        reference path — no pool, no pickling; fixed-R cells run
+        monolithically). ``N >= 2`` fans the flattened (cell, shard)
+        task list over a ``ProcessPoolExecutor`` with at most ``N``
+        workers, falling back to the serial path when there are fewer
+        than two schedulable tasks. Results are byte-identical either
+        way; each cell's randomness is derived from the spec, never
+        from process state or task placement.
+    """
+    cell_specs = list(specs)
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    jobs = [_CellJob(spec) for spec in cell_specs]
+    planned = sum(job.task_parallelism for job in jobs)
+    if workers is None or workers == 1 or planned <= 1:
+        for job in jobs:
+            _drive_job_serial(job)
+    else:
+        _execute_pooled(jobs, workers)
+    for job in jobs:
+        if not job.done:
+            raise ValidationError(
+                f"cell ({job.spec.kind}, {job.spec.family}, {job.spec.n}) "
+                "finished incomplete — executor scheduling bug"
+            )
+        job.finalize()
+    return ExecutionReport(
+        results=tuple(job.result for job in jobs),
+        timings=tuple(job.timing for job in jobs),
+    )
+
+
 def execute_cells(
     specs: Iterable[CellSpec], workers: int | None = None
 ) -> list[object]:
     """Execute cells, returning results in spec order.
 
-    Parameters
-    ----------
-    workers:
-        ``None`` or ``1`` runs every cell serially in this process (the
-        reference path — no pool, no pickling). ``N >= 2`` fans the
-        cells out over a ``ProcessPoolExecutor`` with at most ``N``
-        workers. Results are identical either way; each cell's
-        randomness is derived from the spec, never from process state.
+    The timing-less convenience wrapper around
+    :func:`execute_cells_report`; see it for the scheduling and
+    byte-identity contract.
     """
-    cell_specs = list(specs)
-    for spec in cell_specs:
-        _measurement_for(spec.kind)  # fail fast, before any fan-out
-    if workers is not None and workers < 1:
-        raise ValidationError(f"workers must be >= 1, got {workers}")
-    if workers is None or workers == 1 or len(cell_specs) <= 1:
-        return [run_cell(spec) for spec in cell_specs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cell_specs))) as pool:
-        return list(pool.map(run_cell, cell_specs))
+    return list(execute_cells_report(specs, workers=workers).results)
 
 
 def sweep_specs(
@@ -167,6 +743,8 @@ def sweep_specs(
     repetitions: int,
     seed: int,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
+    target_ci: float | None = None,
     **params: object,
 ) -> list[CellSpec]:
     """Expand a ``{family: [sizes]}`` sweep table into a spec list.
@@ -184,6 +762,8 @@ def sweep_specs(
             seed=seed,
             params=tuple(sorted(params.items())),
             rng_policy=rng_policy,
+            shard_size=shard_size,
+            target_ci=target_ci,
         )
         for family, sizes in sweep.items()
         for n in sizes

@@ -133,6 +133,8 @@ def run_experiment(
     seed: int = 20120716,
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
+    target_ci: float | None = None,
 ) -> ExperimentResult:
     """Run an experiment by id.
 
@@ -156,14 +158,28 @@ def run_experiment(
         ``"counter"`` (vectorized Philox blocks, law-level equivalent).
         Forwarded only to runners that accept it; requesting
         ``"counter"`` from one that does not warns and runs spawned.
+    shard_size:
+        Replicas per executor shard: cells with more repetitions split
+        into replica-window sub-tasks the process pool schedules
+        independently (results stay byte-identical — see
+        :mod:`repro.experiments.executor`). Forwarded only to runners
+        that accept it; others warn and run monolithic cells.
+    target_ci:
+        Adaptive ensemble sizing for sweep experiments: stop each
+        family cell's replica waves once the bootstrap CI half-width on
+        its mean convergence round drops to this value (the configured
+        repetition count becomes a cap). Forwarded only to runners that
+        accept it.
 
     Notes
     -----
     Every result's ``data`` gains a ``run_meta`` record — the requested
-    and *effective* worker count and rng policy — so JSON artifacts are
-    self-describing about how they were produced (a requested
-    ``--workers``/``--rng`` that fell back serially/spawned is visible
-    in the artifact, not just on stderr).
+    and *effective* worker count, rng policy, and sharding knobs — so
+    JSON artifacts are self-describing about how they were produced (a
+    requested ``--workers``/``--rng``/``--shard-size`` that fell back
+    is visible in the artifact, not just on stderr). Runners that time
+    their cells report per-cell wall-clock and effective ensemble sizes
+    under ``run_meta["cell_timings"]``.
     """
     from repro.utils.rng import check_rng_policy
 
@@ -188,13 +204,42 @@ def run_experiment(
             RuntimeWarning,
             stacklevel=2,
         )
+    if shard_size is not None:
+        if _accepts_keyword(runner, "shard_size"):
+            keywords["shard_size"] = shard_size
+        else:
+            warnings.warn(
+                f"experiment {experiment_id!r} has no shard_size parameter; "
+                f"ignoring --shard-size {shard_size} and running monolithic "
+                "cells",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if target_ci is not None:
+        if _accepts_keyword(runner, "target_ci"):
+            keywords["target_ci"] = target_ci
+        else:
+            warnings.warn(
+                f"experiment {experiment_id!r} has no target_ci parameter; "
+                f"ignoring --target-ci {target_ci} and running fixed-size "
+                "ensembles",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     result = runner(quick, seed, **keywords)
+    cell_timings = result.data.pop("cell_timings", None)
     result.data["run_meta"] = {
         "workers_requested": workers,
         "workers_effective": keywords.get("workers", 1) or 1,
         "rng_policy_requested": rng_policy,
         "rng_policy_effective": keywords.get("rng_policy", "spawned"),
+        "shard_size_requested": shard_size,
+        "shard_size_effective": keywords.get("shard_size"),
+        "target_ci_requested": target_ci,
+        "target_ci_effective": keywords.get("target_ci"),
         "seed": seed,
         "quick": quick,
     }
+    if cell_timings is not None:
+        result.data["run_meta"]["cell_timings"] = cell_timings
     return result

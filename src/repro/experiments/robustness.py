@@ -22,7 +22,7 @@ over processes — results are identical at any worker count.
 
 from __future__ import annotations
 
-from repro.experiments.executor import CellSpec, execute_cells
+from repro.experiments.executor import CellSpec, execute_cells_report
 from repro.experiments.registry import ExperimentResult, register_experiment
 from repro.experiments.scenario_cells import (
     ChurnBandMeasurement,
@@ -39,13 +39,16 @@ def run_robustness(
     seed: int = 20120716,
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
 ) -> ExperimentResult:
     """Run the self-stabilization experiment.
 
     ``workers`` fans the shock and churn parts over processes; each part
     derives its own stream from ``(seed, family, n, tag)``, so results
-    are identical at any worker count. ``rng_policy`` selects the
-    per-replica stream layout inside each part.
+    are identical at any worker count. ``shard_size`` additionally
+    splits each part's replica ensemble into window sub-tasks (spawned
+    policy only). ``rng_policy`` selects the per-replica stream layout
+    inside each part.
     """
     repetitions = 3 if quick else 5
     specs = [
@@ -58,6 +61,7 @@ def run_robustness(
             seed=seed,
             params=(("num_shocks", 3 if quick else 6),),
             rng_policy=rng_policy,
+            shard_size=shard_size,
         ),
         CellSpec(
             kind="churn-band",
@@ -68,11 +72,13 @@ def run_robustness(
             seed=seed,
             params=(("horizon", 400 if quick else 2000),),
             rng_policy=rng_policy,
+            shard_size=shard_size,
         ),
     ]
     shock: ShockRecoveryMeasurement
     churn: ChurnBandMeasurement
-    shock, churn = execute_cells(specs, workers=workers)  # type: ignore[assignment]
+    report = execute_cells_report(specs, workers=workers)
+    shock, churn = report.results  # type: ignore[assignment]
 
     shock_table = Table(
         headers=[
@@ -145,6 +151,7 @@ def run_robustness(
                 "psi_c": churn.psi_c,
                 "engine": churn.engine,
             },
+            "cell_timings": report.timings_json(),
         },
         series={
             "churn-psi0-band": {

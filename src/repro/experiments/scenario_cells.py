@@ -17,12 +17,24 @@ Three kinds:
   the Theorem 1.1 bound;
 * ``"churn-band"`` (:func:`measure_churn_band`) — stationary churn,
   checking the potential stays in a band around the balanced region.
+
+Each kind is split into *build* (deterministic cell construction),
+*run* (the ensemble — or a replica window of it,
+:func:`run_scenario_window`), and *summarize*
+(:func:`summarize_scenario_result`, pure aggregation of a
+:class:`~repro.scenarios.ScenarioResult`). The ``measure_*`` functions
+compose all three; the executor's replica-sharded path runs windows in
+worker processes and summarizes the
+:func:`~repro.scenarios.merge_replica_results`-merged ensemble in the
+parent, which is byte-identical because spawned windows draw exactly
+their replicas' monolithic streams.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -51,6 +63,7 @@ from repro.scenarios import (
     LoadShock,
     PoissonChurnEvent,
     Schedule,
+    ScenarioResult,
     ScenarioRunner,
     at,
     every,
@@ -67,6 +80,8 @@ __all__ = [
     "measure_scenario_recovery",
     "measure_shock_recovery",
     "measure_churn_band",
+    "run_scenario_window",
+    "summarize_scenario_result",
 ]
 
 
@@ -100,6 +115,23 @@ def _scenario_setup(
     raise ValidationError(
         f"tasks must be 'uniform' or 'weighted', got {tasks!r}"
     )
+
+
+@dataclass(frozen=True)
+class _ScenarioCell:
+    """One fully built scenario cell: ready to run and to summarize.
+
+    Construction is deterministic in ``(kind, family, n, m_factor, seed,
+    params)``, so a worker process rebuilding the cell for a replica
+    window and the parent rebuilding it to summarize the merged ensemble
+    agree on every derived quantity (schedule, horizon, cell seed).
+    """
+
+    runner: ScenarioRunner
+    factory: Callable[[np.random.Generator], object]
+    horizon: int
+    cell_seed: int
+    summarize: Callable[[ScenarioResult], object]
 
 
 @dataclass(frozen=True)
@@ -151,6 +183,77 @@ class ScenarioCellMeasurement:
     psi0_p95: float
 
 
+def _build_recovery_cell(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    seed: int,
+    tasks: str = "uniform",
+    churn_rate: float = 1.0,
+    churn_weight: float = 0.5,
+    shock_round: int = 60,
+    shock_fraction: float = 0.5,
+    horizon: int = 180,
+    warmup: int = 20,
+    violation_window: int = 10,
+) -> _ScenarioCell:
+    family = get_family(family_name)
+    graph = family.make(target_n)
+    n = graph.num_vertices
+    m = int(math.ceil(m_factor * n))
+    protocol, target, factory = _scenario_setup(graph, tasks, m)
+    schedule = Schedule(
+        [
+            every(1, PoissonChurnEvent(churn_rate, weight=churn_weight)),
+            at(shock_round, LoadShock(shock_fraction, node=0)),
+        ]
+    )
+    runner = ScenarioRunner(graph, protocol, schedule, target=target)
+
+    def summarize(result: ScenarioResult) -> ScenarioCellMeasurement:
+        recovery = recovery_rounds(result.target_satisfied, shock_round)
+        recovered = recovery[recovery >= 0]
+        rolling = rolling_violation(result.nash_violation, violation_window)
+        post_shock = rolling[min(shock_round, rolling.shape[0] - 1) :]
+        # Last rolling window made entirely of pre-shock records (record
+        # shock_round itself is recorded before the shock applies).
+        preshock_index = max(
+            min(shock_round + 1, rolling.shape[0]) - violation_window, 0
+        )
+        band = steady_state_band(result.psi0, warmup)
+        return ScenarioCellMeasurement(
+            family=family_name,
+            n=n,
+            m=m,
+            tasks=tasks,
+            engine=result.engine,
+            num_replicas=result.num_replicas,
+            num_recovered=int(recovered.shape[0]),
+            shock_round=shock_round,
+            horizon=horizon,
+            median_recovery=(
+                float(np.median(recovered)) if recovered.size else float("nan")
+            ),
+            max_recovery=(float(recovered.max()) if recovered.size else -1.0),
+            mean_imbalance=float(
+                time_averaged_imbalance(result.max_load_difference, warmup).mean()
+            ),
+            violation_preshock=float(rolling[preshock_index].mean()),
+            violation_peak=float(post_shock.max()) if post_shock.size else 0.0,
+            violation_settled=float(rolling[-1].mean()),
+            psi0_median=band.median,
+            psi0_p95=band.p95,
+        )
+
+    return _ScenarioCell(
+        runner=runner,
+        factory=factory,
+        horizon=horizon,
+        cell_seed=derive_seed(seed, family_name, n, f"scenario-{tasks}"),
+        summarize=summarize,
+    )
+
+
 def measure_scenario_recovery(
     family_name: str,
     target_n: int,
@@ -177,57 +280,29 @@ def measure_scenario_recovery(
     "scenario-<tasks>")``, so executor results are identical at any
     worker count.
     """
-    family = get_family(family_name)
-    graph = family.make(target_n)
-    n = graph.num_vertices
-    m = int(math.ceil(m_factor * n))
-    protocol, target, factory = _scenario_setup(graph, tasks, m)
-    schedule = Schedule(
-        [
-            every(1, PoissonChurnEvent(churn_rate, weight=churn_weight)),
-            at(shock_round, LoadShock(shock_fraction, node=0)),
-        ]
+    cell = _build_recovery_cell(
+        family_name,
+        target_n,
+        m_factor,
+        seed,
+        tasks=tasks,
+        churn_rate=churn_rate,
+        churn_weight=churn_weight,
+        shock_round=shock_round,
+        shock_fraction=shock_fraction,
+        horizon=horizon,
+        warmup=warmup,
+        violation_window=violation_window,
     )
-    runner = ScenarioRunner(graph, protocol, schedule, target=target)
-    result = runner.run_ensemble(
-        factory,
+    result = cell.runner.run_ensemble(
+        cell.factory,
         repetitions=repetitions,
-        rounds=horizon,
-        seed=derive_seed(seed, family_name, n, f"scenario-{tasks}"),
+        rounds=cell.horizon,
+        seed=cell.cell_seed,
         engine=engine,
         rng_policy=rng_policy,
     )
-    recovery = recovery_rounds(result.target_satisfied, shock_round)
-    recovered = recovery[recovery >= 0]
-    rolling = rolling_violation(result.nash_violation, violation_window)
-    post_shock = rolling[min(shock_round, rolling.shape[0] - 1) :]
-    # Last rolling window made entirely of pre-shock records (record
-    # shock_round itself is recorded before the shock applies).
-    preshock_index = max(min(shock_round + 1, rolling.shape[0]) - violation_window, 0)
-    band = steady_state_band(result.psi0, warmup)
-    return ScenarioCellMeasurement(
-        family=family_name,
-        n=n,
-        m=m,
-        tasks=tasks,
-        engine=result.engine,
-        num_replicas=result.num_replicas,
-        num_recovered=int(recovered.shape[0]),
-        shock_round=shock_round,
-        horizon=horizon,
-        median_recovery=(
-            float(np.median(recovered)) if recovered.size else float("nan")
-        ),
-        max_recovery=(float(recovered.max()) if recovered.size else -1.0),
-        mean_imbalance=float(
-            time_averaged_imbalance(result.max_load_difference, warmup).mean()
-        ),
-        violation_preshock=float(rolling[preshock_index].mean()),
-        violation_peak=float(post_shock.max()) if post_shock.size else 0.0,
-        violation_settled=float(rolling[-1].mean()),
-        psi0_median=band.median,
-        psi0_p95=band.p95,
-    )
+    return cell.summarize(result)
 
 
 @dataclass(frozen=True)
@@ -255,27 +330,15 @@ class ShockRecoveryMeasurement:
     within_bound: bool
 
 
-def measure_shock_recovery(
+def _build_shock_cell(
     family_name: str,
     target_n: int,
     m_factor: float,
-    repetitions: int,
     seed: int,
     num_shocks: int = 3,
     shock_fraction: float = 0.5,
     budget_factor: float = 2.0,
-    engine: str = "auto",
-    rng_policy: str = "spawned",
-) -> ShockRecoveryMeasurement:
-    """Measure recovery from repeated adversarial shocks on one cell.
-
-    ``m = ceil(m_factor * n^2)`` tasks start adversarially (all on one
-    node); shocks relocating ``shock_fraction`` of all tasks onto node 0
-    fire every ``budget_factor x bound`` rounds, giving each recovery
-    the same budget the static Theorem 1.1 measurement allows. The
-    memoryless protocol must re-reach ``Psi_0 <= 4 psi_c`` within the
-    bound after *every* shock.
-    """
+) -> _ScenarioCell:
     family = get_family(family_name)
     graph = family.make(target_n)
     n = graph.num_vertices
@@ -299,45 +362,88 @@ def measure_shock_recovery(
         schedule,
         target=PotentialThresholdStop(4.0 * psi_c, "psi0"),
     )
-    result = runner.run_ensemble(
-        factory,
+
+    def summarize(result: ScenarioResult) -> ShockRecoveryMeasurement:
+        initial = recovery_rounds(result.target_satisfied, 0)
+        medians: list[float] = []
+        maxima: list[float] = []
+        # The initial adversarial-start convergence only needs to land
+        # within its budget_factor x bound segment (the historical
+        # criterion); the bound itself is asserted for the *post-shock*
+        # recoveries, which is the self-stabilization claim under test.
+        within = bool(np.all(initial >= 0) and float(initial.max()) <= gap)
+        for shock_round in shock_rounds:
+            recovery = recovery_rounds(result.target_satisfied, shock_round)
+            ok = bool(np.all(recovery >= 0) and float(recovery.max()) <= bound)
+            within = within and ok
+            medians.append(float(np.median(recovery)))
+            maxima.append(float(recovery.max()))
+        shock_records = result.events_named("shock")
+        return ShockRecoveryMeasurement(
+            family=family_name,
+            n=n,
+            m=m,
+            engine=result.engine,
+            num_replicas=result.num_replicas,
+            num_shocks=num_shocks,
+            bound_rounds=bound,
+            initial_rounds=float(np.median(initial)),
+            recovery_medians=tuple(medians),
+            recovery_maxima=tuple(maxima),
+            psi0_after_shocks=tuple(
+                float(np.median(record.psi0_after)) for record in shock_records
+            ),
+            within_bound=within,
+        )
+
+    return _ScenarioCell(
+        runner=runner,
+        factory=factory,
+        horizon=horizon,
+        cell_seed=derive_seed(seed, family_name, n, "shock"),
+        summarize=summarize,
+    )
+
+
+def measure_shock_recovery(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    num_shocks: int = 3,
+    shock_fraction: float = 0.5,
+    budget_factor: float = 2.0,
+    engine: str = "auto",
+    rng_policy: str = "spawned",
+) -> ShockRecoveryMeasurement:
+    """Measure recovery from repeated adversarial shocks on one cell.
+
+    ``m = ceil(m_factor * n^2)`` tasks start adversarially (all on one
+    node); shocks relocating ``shock_fraction`` of all tasks onto node 0
+    fire every ``budget_factor x bound`` rounds, giving each recovery
+    the same budget the static Theorem 1.1 measurement allows. The
+    memoryless protocol must re-reach ``Psi_0 <= 4 psi_c`` within the
+    bound after *every* shock.
+    """
+    cell = _build_shock_cell(
+        family_name,
+        target_n,
+        m_factor,
+        seed,
+        num_shocks=num_shocks,
+        shock_fraction=shock_fraction,
+        budget_factor=budget_factor,
+    )
+    result = cell.runner.run_ensemble(
+        cell.factory,
         repetitions=repetitions,
-        rounds=horizon,
-        seed=derive_seed(seed, family_name, n, "shock"),
+        rounds=cell.horizon,
+        seed=cell.cell_seed,
         engine=engine,
         rng_policy=rng_policy,
     )
-    initial = recovery_rounds(result.target_satisfied, 0)
-    medians: list[float] = []
-    maxima: list[float] = []
-    # The initial adversarial-start convergence only needs to land within
-    # its budget_factor x bound segment (the historical criterion); the
-    # bound itself is asserted for the *post-shock* recoveries, which is
-    # the self-stabilization claim under test.
-    within = bool(np.all(initial >= 0) and float(initial.max()) <= gap)
-    for shock_round in shock_rounds:
-        recovery = recovery_rounds(result.target_satisfied, shock_round)
-        ok = bool(np.all(recovery >= 0) and float(recovery.max()) <= bound)
-        within = within and ok
-        medians.append(float(np.median(recovery)))
-        maxima.append(float(recovery.max()))
-    shock_records = result.events_named("shock")
-    return ShockRecoveryMeasurement(
-        family=family_name,
-        n=n,
-        m=m,
-        engine=result.engine,
-        num_replicas=result.num_replicas,
-        num_shocks=num_shocks,
-        bound_rounds=bound,
-        initial_rounds=float(np.median(initial)),
-        recovery_medians=tuple(medians),
-        recovery_maxima=tuple(maxima),
-        psi0_after_shocks=tuple(
-            float(np.median(record.psi0_after)) for record in shock_records
-        ),
-        within_bound=within,
-    )
+    return cell.summarize(result)
 
 
 @dataclass(frozen=True)
@@ -364,19 +470,15 @@ class ChurnBandMeasurement:
     psi0_series: tuple[float, ...]
 
 
-def measure_churn_band(
+def _build_churn_cell(
     family_name: str,
     target_n: int,
     m_factor: float,
-    repetitions: int,
     seed: int,
     churn_rate: float = 5.0,
     horizon: int = 400,
     warmup: int = 100,
-    engine: str = "auto",
-    rng_policy: str = "spawned",
-) -> ChurnBandMeasurement:
-    """Measure the stationary potential band under Poisson churn."""
+) -> _ScenarioCell:
     family = get_family(family_name)
     graph = family.make(target_n)
     n = graph.num_vertices
@@ -390,27 +492,143 @@ def measure_churn_band(
 
     schedule = Schedule([every(1, PoissonChurnEvent(churn_rate))])
     runner = ScenarioRunner(graph, SelfishUniformProtocol(), schedule)
-    result = runner.run_ensemble(
-        factory,
-        repetitions=repetitions,
-        rounds=horizon,
-        seed=derive_seed(seed, family_name, n, "churn"),
-        engine=engine,
-        rng_policy=rng_policy,
+
+    def summarize(result: ScenarioResult) -> ChurnBandMeasurement:
+        band = steady_state_band(result.psi0, warmup)
+        return ChurnBandMeasurement(
+            family=family_name,
+            n=n,
+            m=m,
+            engine=result.engine,
+            num_replicas=result.num_replicas,
+            churn_rate=churn_rate,
+            horizon=horizon,
+            warmup=warmup,
+            median_psi0=band.median,
+            p95_psi0=band.p95,
+            psi_c=psi_c,
+            stationary=band.p95 <= 16.0 * psi_c,
+            psi0_series=tuple(float(v) for v in result.psi0[1:].mean(axis=1)),
+        )
+
+    return _ScenarioCell(
+        runner=runner,
+        factory=factory,
+        horizon=horizon,
+        cell_seed=derive_seed(seed, family_name, n, "churn"),
+        summarize=summarize,
     )
-    band = steady_state_band(result.psi0, warmup)
-    return ChurnBandMeasurement(
-        family=family_name,
-        n=n,
-        m=m,
-        engine=result.engine,
-        num_replicas=result.num_replicas,
+
+
+def measure_churn_band(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    churn_rate: float = 5.0,
+    horizon: int = 400,
+    warmup: int = 100,
+    engine: str = "auto",
+    rng_policy: str = "spawned",
+) -> ChurnBandMeasurement:
+    """Measure the stationary potential band under Poisson churn."""
+    cell = _build_churn_cell(
+        family_name,
+        target_n,
+        m_factor,
+        seed,
         churn_rate=churn_rate,
         horizon=horizon,
         warmup=warmup,
-        median_psi0=band.median,
-        p95_psi0=band.p95,
-        psi_c=psi_c,
-        stationary=band.p95 <= 16.0 * psi_c,
-        psi0_series=tuple(float(v) for v in result.psi0[1:].mean(axis=1)),
     )
+    result = cell.runner.run_ensemble(
+        cell.factory,
+        repetitions=repetitions,
+        rounds=cell.horizon,
+        seed=cell.cell_seed,
+        engine=engine,
+        rng_policy=rng_policy,
+    )
+    return cell.summarize(result)
+
+
+#: Builder per scenario measurement kind; the builder's keyword surface
+#: is the kind's parameter contract (CellSpec.params keys must match).
+_CELL_BUILDERS: dict[str, Callable[..., _ScenarioCell]] = {
+    "scenario-recovery": _build_recovery_cell,
+    "shock-recovery": _build_shock_cell,
+    "churn-band": _build_churn_cell,
+}
+
+
+def _build_cell(
+    kind: str,
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    seed: int,
+    params: dict,
+) -> _ScenarioCell:
+    builder = _CELL_BUILDERS.get(kind)
+    if builder is None:
+        raise ValidationError(
+            f"unknown scenario measurement kind {kind!r}; "
+            f"available: {sorted(_CELL_BUILDERS)}"
+        )
+    return builder(family_name, target_n, m_factor, seed, **params)
+
+
+def run_scenario_window(
+    kind: str,
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    replica_offset: int = 0,
+    replica_count: int | None = None,
+    engine: str = "auto",
+    rng_policy: str = "spawned",
+    **params,
+) -> ScenarioResult:
+    """Run one replica window of a scenario cell (executor shard body).
+
+    Returns the raw :class:`~repro.scenarios.ScenarioResult` for replicas
+    ``[replica_offset, replica_offset + replica_count)`` of the
+    ``repetitions``-sized ensemble; windows merged in offset order with
+    :func:`~repro.scenarios.merge_replica_results` reproduce the
+    monolithic ensemble byte-for-byte (spawned policy only — counter
+    scenario ensembles refuse to shard, see
+    :meth:`ScenarioRunner.run_ensemble`).
+    """
+    cell = _build_cell(kind, family_name, target_n, m_factor, seed, params)
+    return cell.runner.run_ensemble(
+        cell.factory,
+        repetitions=repetitions,
+        rounds=cell.horizon,
+        seed=cell.cell_seed,
+        engine=engine,
+        rng_policy=rng_policy,
+        replica_offset=replica_offset,
+        replica_count=replica_count,
+    )
+
+
+def summarize_scenario_result(
+    kind: str,
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    seed: int,
+    result: ScenarioResult,
+    **params,
+):
+    """Summarize a (possibly shard-merged) ensemble result for ``kind``.
+
+    Pure aggregation — rebuilding the cell is deterministic, so the
+    parent process summarizing merged shard windows produces exactly
+    what the monolithic ``measure_*`` call would.
+    """
+    cell = _build_cell(kind, family_name, target_n, m_factor, seed, params)
+    return cell.summarize(result)

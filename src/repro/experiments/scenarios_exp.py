@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.executor import CellSpec, execute_cells
+from repro.experiments.executor import CellSpec, execute_cells_report
 from repro.experiments.registry import ExperimentResult, register_experiment
 from repro.experiments.scenario_cells import ScenarioCellMeasurement
 from repro.utils.tables import Table, format_float
@@ -60,7 +60,11 @@ SETTLE_SLACK = 0.05
 
 
 def _specs(
-    quick: bool, seed: int, repetitions: int, rng_policy: str = "spawned"
+    quick: bool,
+    seed: int,
+    repetitions: int,
+    rng_policy: str = "spawned",
+    shard_size: int | None = None,
 ) -> list[CellSpec]:
     grid = SCENARIO_GRID_QUICK if quick else SCENARIO_GRID_FULL
     return [
@@ -72,6 +76,7 @@ def _specs(
             repetitions=repetitions,
             seed=seed,
             rng_policy=rng_policy,
+            shard_size=shard_size,
             params=tuple(
                 sorted(
                     {
@@ -94,17 +99,23 @@ def run_scenarios_churn_shock(
     seed: int = 20120716,
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
 ) -> ExperimentResult:
     """Churn + flash-crowd scenario sweep on both task systems.
 
     ``workers`` fans the cells over processes; every cell derives its
     own stream from ``(seed, family, n, tag)``, so results are identical
-    at any worker count. ``rng_policy`` selects the per-replica stream
-    layout inside each cell (``"counter"`` vectorizes the churn draws).
+    at any worker count. ``shard_size`` additionally splits each cell's
+    replica ensemble into window sub-tasks (spawned policy only — the
+    counter policy's event draws consume whole-stack blocks, so
+    counter + shard_size raises). ``rng_policy`` selects the
+    per-replica stream layout inside each cell (``"counter"``
+    vectorizes the churn draws).
     """
     repetitions = 25 if quick else 50
-    specs = _specs(quick, seed, repetitions, rng_policy)
-    cells: list[ScenarioCellMeasurement] = execute_cells(specs, workers=workers)  # type: ignore[assignment]
+    specs = _specs(quick, seed, repetitions, rng_policy, shard_size)
+    report = execute_cells_report(specs, workers=workers)
+    cells: list[ScenarioCellMeasurement] = list(report.results)  # type: ignore[arg-type]
 
     table = Table(
         headers=[
@@ -177,7 +188,8 @@ def run_scenarios_churn_shock(
                     "psi0_p95": cell.psi0_p95,
                 }
                 for cell in cells
-            ]
+            ],
+            "cell_timings": report.timings_json(),
         },
     )
     result.series["scenario_recovery"] = {

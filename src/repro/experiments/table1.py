@@ -27,7 +27,11 @@ from repro.experiments._common import (
     WEIGHTED_SWEEP_QUICK,
     FamilyMeasurement,
 )
-from repro.experiments.executor import execute_cells, group_by_family, sweep_specs
+from repro.experiments.executor import (
+    execute_cells_report,
+    group_by_family,
+    sweep_specs,
+)
 from repro.experiments.registry import ExperimentResult, register_experiment
 from repro.graphs.families import get_family
 from repro.theory.table1 import TABLE1_ROWS
@@ -173,14 +177,19 @@ def run_table1_approx(
     seed: int = 20120716,
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
+    target_ci: float | None = None,
 ) -> ExperimentResult:
     """Table 1, eps-approximate NE columns.
 
     Measures the first round with ``Psi_0 <= 4 psi_c`` (the Theorem 1.1
     target; an eps-approximate NE once ``m`` clears the Lemma 3.17
     threshold — checked separately in ``thm11``). ``workers`` fans the
-    (family, size) cells over processes; results are identical at any
-    worker count.
+    (family, size) cells over processes, ``shard_size`` additionally
+    splits each cell's ensemble into replica-window pool tasks; results
+    are identical at any (workers, shard_size). ``target_ci`` switches
+    to adaptive ensemble sizing (see
+    :mod:`repro.experiments.executor`).
     """
     sweep = APPROX_SWEEP_QUICK if quick else APPROX_SWEEP_FULL
     repetitions = 3 if quick else 5
@@ -191,9 +200,12 @@ def run_table1_approx(
         repetitions=repetitions,
         seed=seed,
         rng_policy=rng_policy,
+        shard_size=shard_size,
+        target_ci=target_ci,
     )
+    report = execute_cells_report(specs, workers=workers)
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
-        specs, execute_cells(specs, workers=workers)
+        specs, list(report.results)
     )
 
     sweep_table = _sweep_table(
@@ -223,7 +235,7 @@ def run_table1_approx(
         title="Table 1 (eps-approximate NE): measured convergence vs bounds",
         tables=[sweep_table, fit_table],
         passed=all_ok and bounded and converged,
-        data={"fits": fits},
+        data={"fits": fits, "cell_timings": report.timings_json()},
     )
     result.notes.append(
         "Every measured cell lies below the Theorem 1.1 bound with its "
@@ -245,13 +257,17 @@ def run_table1_exact(
     seed: int = 20120716,
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
+    target_ci: float | None = None,
 ) -> ExperimentResult:
     """Table 1, exact NE columns.
 
     Measures the first round in an exact Nash equilibrium (uniform tasks,
     uniform speeds, ``m = 8 n``, adversarial all-on-one start).
-    ``workers`` fans the (family, size) cells over processes; results
-    are identical at any worker count.
+    ``workers`` fans the (family, size) cells over processes,
+    ``shard_size`` additionally splits each cell's ensemble into
+    replica-window pool tasks; results are identical at any (workers,
+    shard_size). ``target_ci`` switches to adaptive ensemble sizing.
     """
     sweep = EXACT_SWEEP_QUICK if quick else EXACT_SWEEP_FULL
     repetitions = 3 if quick else 5
@@ -262,9 +278,12 @@ def run_table1_exact(
         repetitions=repetitions,
         seed=seed,
         rng_policy=rng_policy,
+        shard_size=shard_size,
+        target_ci=target_ci,
     )
+    report = execute_cells_report(specs, workers=workers)
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
-        specs, execute_cells(specs, workers=workers)
+        specs, list(report.results)
     )
 
     sweep_table = _sweep_table(
@@ -294,7 +313,7 @@ def run_table1_exact(
         title="Table 1 (exact NE): measured convergence vs bounds",
         tables=[sweep_table, fit_table],
         passed=all_ok and bounded and converged,
-        data={"fits": fits},
+        data={"fits": fits, "cell_timings": report.timings_json()},
     )
     result.notes.append(
         "All repetitions reached an exact NE within the Theorem 1.2 budget."
@@ -310,6 +329,8 @@ def run_table1_weighted(
     seed: int = 20120716,
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
+    target_ci: float | None = None,
 ) -> ExperimentResult:
     """Weighted extension of the Table 1 sweep (Theorem 1.3 target).
 
@@ -319,8 +340,11 @@ def run_table1_weighted(
     ``l_i - l_j <= 1/s_j``, per (family, size) cell, and the measured
     scaling exponent is checked against the effective exponent of the
     Theorem 1.3 bound over the same sizes — mirroring ``table1-exact``.
-    ``workers`` fans the cells over processes; results are identical at
-    any worker count.
+    ``workers`` fans the cells over processes, ``shard_size``
+    additionally splits each cell's ensemble into replica-window pool
+    tasks; results are identical at any (workers, shard_size) under
+    both rng policies. ``target_ci`` switches to adaptive ensemble
+    sizing.
     """
     sweep = WEIGHTED_SWEEP_QUICK if quick else WEIGHTED_SWEEP_FULL
     repetitions = 3 if quick else 5
@@ -331,9 +355,12 @@ def run_table1_weighted(
         repetitions=repetitions,
         seed=seed,
         rng_policy=rng_policy,
+        shard_size=shard_size,
+        target_ci=target_ci,
     )
+    report = execute_cells_report(specs, workers=workers)
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
-        specs, execute_cells(specs, workers=workers)
+        specs, list(report.results)
     )
 
     sweep_table = _sweep_table(
@@ -364,7 +391,7 @@ def run_table1_weighted(
         "Theorem 1.3",
         tables=[sweep_table, fit_table],
         passed=all_ok and converged,
-        data={"fits": fits},
+        data={"fits": fits, "cell_timings": report.timings_json()},
     )
     flat = [cell for cells in measurements.values() for cell in cells]
     result.series["weighted_sweep"] = {

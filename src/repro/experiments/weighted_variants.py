@@ -30,7 +30,7 @@ behaviour the paper's modification removes.
 from __future__ import annotations
 
 from repro.experiments._common import WEIGHTED_VARIANT_LABELS
-from repro.experiments.executor import CellSpec, execute_cells
+from repro.experiments.executor import CellSpec, execute_cells_report
 from repro.experiments.registry import ExperimentResult, register_experiment
 from repro.utils.tables import Table, format_float
 
@@ -47,6 +47,7 @@ def run_weighted_variants(
     engine: str = "auto",
     workers: int | None = None,
     rng_policy: str = "spawned",
+    shard_size: int | None = None,
 ) -> ExperimentResult:
     """Run the weighted-protocol ablation.
 
@@ -54,9 +55,11 @@ def run_weighted_variants(
     statistic (``"auto"`` batches the repetitions; ``"scalar"`` forces
     the sequential reference — identical results either way, the
     weighted kernels are pathwise equivalent). ``workers`` fans the
-    per-variant measurement cells over processes; each cell derives its
-    seed from the variant label, so results are identical at any worker
-    count.
+    per-variant measurement cells over processes, ``shard_size``
+    additionally splits each variant's ensemble into replica-window
+    sub-tasks (both rng policies — the variant kind's draw site is
+    replica-addressed); each cell derives its seed from the variant
+    label, so results are identical at any (workers, shard_size).
     """
     family_name = "ring"
     target_n = 8 if quick else 16
@@ -79,10 +82,12 @@ def run_weighted_variants(
                 ("variant", variant),
             ),
             rng_policy=rng_policy,
+            shard_size=shard_size,
         )
         for variant in _VARIANTS
     ]
-    measurements = execute_cells(specs, workers=workers)
+    report = execute_cells_report(specs, workers=workers)
+    measurements = list(report.results)
 
     table = Table(
         headers=[
@@ -131,7 +136,11 @@ def run_weighted_variants(
         title="Section 4 ablation: migration condition and probability rule",
         tables=[table],
         passed=converged_all and alg2_quiet,
-        data={"rows": rows, "engine": engine_used},
+        data={
+            "rows": rows,
+            "engine": engine_used,
+            "cell_timings": report.timings_json(),
+        },
     )
     result.notes.append(
         f"Rounds-to-threshold measured over {repetitions} repetitions via "

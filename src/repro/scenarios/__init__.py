@@ -36,6 +36,7 @@ from repro.scenarios.runner import (
     EventRecord,
     ScenarioResult,
     ScenarioRunner,
+    merge_replica_results,
     nash_violation_fraction,
 )
 
@@ -57,5 +58,6 @@ __all__ = [
     "EventRecord",
     "ScenarioResult",
     "ScenarioRunner",
+    "merge_replica_results",
     "nash_violation_fraction",
 ]

@@ -65,6 +65,7 @@ __all__ = [
     "EventRecord",
     "ScenarioResult",
     "ScenarioRunner",
+    "merge_replica_results",
     "nash_violation_fraction",
 ]
 
@@ -403,8 +404,21 @@ class ScenarioRunner:
         seed: SeedLike = None,
         engine: str = "auto",
         rng_policy: str = "spawned",
+        replica_offset: int = 0,
+        replica_count: int | None = None,
     ) -> ScenarioResult:
         """Run ``repetitions`` independent replicas of the scenario.
+
+        ``replica_offset`` / ``replica_count`` select a *window* of the
+        ``repetitions``-sized ensemble (``repetitions`` stays the
+        monolithic total): each windowed replica receives exactly the
+        spawned child stream it would own in the monolithic run, so
+        concatenating window results in offset order
+        (:func:`merge_replica_results`) reproduces the monolithic
+        ensemble byte-for-byte. Windows require
+        ``rng_policy="spawned"`` — scenario events draw whole-stack
+        counter blocks whose word consumption depends on replicas
+        outside the window, so counter ensembles cannot shard.
 
         Under ``rng_policy="spawned"`` repetition ``k`` derives
         everything — initial state, event randomness, migration
@@ -439,7 +453,32 @@ class ScenarioRunner:
                 "rng_policy='counter' is a batch-engine stream layout; the "
                 "scalar engine always consumes spawned streams"
             )
-        generators = spawn_rngs(seed, repetitions)
+        if replica_offset < 0:
+            raise ValidationError(
+                f"replica_offset must be non-negative, got {replica_offset}"
+            )
+        count = (
+            repetitions - replica_offset
+            if replica_count is None
+            else replica_count
+        )
+        if count < 1:
+            raise ValidationError(f"replica_count must be >= 1, got {count}")
+        if replica_offset + count > repetitions:
+            raise ValidationError(
+                f"replica window [{replica_offset}, {replica_offset + count})"
+                f" exceeds repetitions={repetitions}"
+            )
+        windowed = replica_offset != 0 or count != repetitions
+        if windowed and rng_policy == "counter":
+            raise ValidationError(
+                "scenario ensembles cannot shard under rng_policy="
+                "'counter': event draw sites consume whole-stack counter "
+                "blocks (churn-sized, data-dependent), so a replica "
+                "window cannot reproduce its monolithic streams; use "
+                "rng_policy='spawned' for sharded scenario cells"
+            )
+        generators = spawn_rngs(seed, count, offset=replica_offset)
         states = [state_factory(generator) for generator in generators]
         stackable = _batch_stackable(self._protocol, states)
         if (engine == "batch" or rng_policy == "counter") and not stackable:
@@ -471,7 +510,7 @@ class ScenarioRunner:
             self.run(state, rounds, rng=generator)
             for state, generator in zip(states, generators)
         ]
-        return _concatenate_results(replica_results)
+        return merge_replica_results(replica_results)
 
 
 def _exact_total(state: LoadStateBase) -> float:
@@ -492,9 +531,23 @@ def _exact_total_batch(batch: BatchStateBase) -> FloatArray:
     return batch.total_weight
 
 
-def _concatenate_results(results: list[ScenarioResult]) -> ScenarioResult:
-    """Merge per-replica scalar results into one replica-axis result."""
+def merge_replica_results(results: list[ScenarioResult]) -> ScenarioResult:
+    """Concatenate results along the replica axis, in list order.
+
+    Used both to fan scalar per-replica runs back into one ensemble
+    result and to merge shard (replica-window) results back into the
+    monolithic ensemble: because windowed runs draw exactly their
+    replicas' monolithic streams, concatenating the windows in offset
+    order reproduces the monolithic ``ScenarioResult`` byte-for-byte.
+    Event logs must be deterministic in time (same rounds, same names
+    across all inputs); the merged result keeps the first input's engine
+    tag and final state.
+    """
+    if not results:
+        raise ValidationError("merge_replica_results needs >= 1 result")
     first = results[0]
+    if len(results) == 1:
+        return first
     merged_events: list[EventRecord] = []
     for position, record in enumerate(first.events):
         siblings = [result.events[position] for result in results]
@@ -526,7 +579,7 @@ def _concatenate_results(results: list[ScenarioResult]) -> ScenarioResult:
         )
     return ScenarioResult(
         final_state=first.final_state,
-        engine="scalar",
+        engine=first.engine,
         rounds_executed=first.rounds_executed,
         psi0=np.concatenate([r.psi0 for r in results], axis=1),
         max_load_difference=np.concatenate(

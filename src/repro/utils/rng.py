@@ -35,11 +35,14 @@ two implementations:
   same-seed deterministic (including across processes) and agree with the
   scalar reference *in law*; for draw sites with fixed per-replica
   consumption — the weighted kernels' fused migration draw in particular
-  — replica ``r``'s counter range depends only on its index among the
-  active prefix, so static weighted ensembles are resize prefix-stable.
-  Sites with data-dependent consumption (multinomial / Poisson /
-  hypergeometric rejection sampling, churn-sized blocks) remain
-  deterministic but not resize-stable; see the reproducibility matrix in
+  — replica ``r``'s counter range depends only on its *global* replica
+  index (:meth:`CounterStreams.site_uniforms`), so static weighted
+  ensembles are resize prefix-stable **and** shardable: a windowed layout
+  (``replica_offset`` / ``total_replicas``) reproduces its replica
+  window of the monolithic run byte-for-byte. Sites with data-dependent
+  consumption (multinomial / Poisson / hypergeometric rejection
+  sampling, churn-sized blocks) remain deterministic but not
+  resize-stable and refuse to shard; see the reproducibility matrix in
   the README.
 """
 
@@ -89,13 +92,22 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     )
 
 
-def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+def spawn_rngs(
+    seed: SeedLike, count: int, offset: int = 0
+) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from ``seed``.
 
     Uses numpy's ``SeedSequence.spawn`` so the children are independent of
     each other and of the parent stream. Child ``k`` depends only on the
     seed and its index ``k``, never on ``count`` — the prefix-stability
     property the ensemble engines rely on.
+
+    ``offset`` selects a *window* of the child sequence: the returned
+    generators are children ``offset .. offset + count - 1``, exactly the
+    streams replicas ``[offset, offset + count)`` would receive in a
+    monolithic ``spawn_rngs(seed, offset + count)`` call. This is what
+    lets a shard of a replica ensemble reproduce its slice of a serial
+    run byte-for-byte.
 
     The derivation never mutates its input: for a ``Generator`` (or a raw
     ``SeedSequence``) the children are spawned in one ``spawn(count)``
@@ -110,6 +122,8 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ValidationError(f"count must be non-negative, got {count}")
+    if offset < 0:
+        raise ValidationError(f"offset must be non-negative, got {offset}")
     if isinstance(seed, np.random.Generator):
         sequence = seed.bit_generator.seed_seq
         if not isinstance(sequence, np.random.SeedSequence):
@@ -129,7 +143,8 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
         spawn_key=sequence.spawn_key,
         pool_size=sequence.pool_size,
     )
-    return [np.random.default_rng(child) for child in pristine.spawn(count)]
+    children = pristine.spawn(offset + count)[offset:]
+    return [np.random.default_rng(child) for child in children]
 
 
 def derive_seed(seed: int, *components: int | str) -> int:
@@ -242,6 +257,16 @@ class StreamLayout:
             "sites; dispatch on StreamLayout.policy"
         )
 
+    def site_uniforms(
+        self, label: str, rows: np.ndarray, width: int
+    ) -> np.ndarray:
+        """Replica-addressed uniform block for one draw site of the
+        current round (counter policy only)."""
+        raise ValidationError(
+            f"the {self.policy!r} stream layout has no counter draw "
+            "sites; dispatch on StreamLayout.policy"
+        )
+
 
 class SpawnedStreams(StreamLayout):
     """The legacy layout: one spawned child generator per replica.
@@ -250,6 +275,11 @@ class SpawnedStreams(StreamLayout):
     :func:`spawn_rngs`). Consumers index it exactly like the raw list the
     kernels historically received, so every spawned-policy draw is
     bit-identical to pre-layout behaviour.
+
+    ``replica_offset`` (seed-based construction only) spawns the window of
+    children starting at that global replica index, so a shard's layout
+    holds exactly the generators its replicas would own in a monolithic
+    run.
     """
 
     policy = "spawned"
@@ -259,14 +289,20 @@ class SpawnedStreams(StreamLayout):
         generators: "list[np.random.Generator] | None" = None,
         seed: SeedLike = None,
         num_replicas: int | None = None,
+        replica_offset: int = 0,
     ):
         if generators is None:
             if num_replicas is None:
                 raise ValidationError(
                     "SpawnedStreams needs generators or num_replicas"
                 )
-            generators = spawn_rngs(seed, num_replicas)
+            generators = spawn_rngs(seed, num_replicas, offset=replica_offset)
         else:
+            if replica_offset != 0:
+                raise ValidationError(
+                    "replica_offset applies to seed-based construction "
+                    "only; explicit generators already carry their window"
+                )
             generators = list(generators)
         super().__init__(len(generators))
         self._generators = generators
@@ -284,18 +320,36 @@ class CounterStreams(StreamLayout):
     whose 128-bit key is derived (SplitMix64 mixing) from
     ``(root_seed, round_index, site_sequence, site_label)``; the replica
     axis is addressed through the Philox counter — one vectorized block
-    draw covers the whole active stack, replica ``r`` owning the rows of
-    its prefix position. Within a round, sites are distinguished by an
+    draw covers the whole active stack, replica ``r`` owning the counter
+    words of its global index (for fixed-width sites, words
+    ``[r * width, (r + 1) * width)``). Within a round, sites are
+    distinguished by an
     auto-incrementing sequence number (plus their label), so the same
     event applied twice in one round draws from distinct streams.
 
-    ``begin_round`` must be called before the round's first :meth:`site`;
-    the simulators do this automatically.
+    ``begin_round`` must be called before the round's first :meth:`site`
+    or :meth:`site_uniforms`; the simulators do this automatically.
+
+    A layout may cover a *window* of a larger ensemble: a
+    ``CounterStreams(seed, count, replica_offset=off, total_replicas=R)``
+    shard addresses the counter with global replica indices
+    ``off .. off + count - 1``, so :meth:`site_uniforms` returns exactly
+    the rows the monolithic ``CounterStreams(seed, R)`` layout would
+    hand those replicas. Whole-stack :meth:`site` draws are refused on a
+    windowed layout — a shard cannot reproduce a draw whose word
+    consumption depends on replicas outside its window (multinomial /
+    Poisson / churn-sized blocks).
     """
 
     policy = "counter"
 
-    def __init__(self, seed: SeedLike, num_replicas: int):
+    def __init__(
+        self,
+        seed: SeedLike,
+        num_replicas: int,
+        replica_offset: int = 0,
+        total_replicas: int | None = None,
+    ):
         super().__init__(num_replicas)
         if seed is None:
             root = int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
@@ -309,7 +363,23 @@ class CounterStreams(StreamLayout):
                 f"Generator carries no stable root key (got "
                 f"{type(seed).__name__})"
             )
+        if replica_offset < 0:
+            raise ValidationError(
+                f"replica_offset must be non-negative, got {replica_offset}"
+            )
+        total = (
+            replica_offset + num_replicas
+            if total_replicas is None
+            else int(total_replicas)
+        )
+        if replica_offset + num_replicas > total:
+            raise ValidationError(
+                f"window [{replica_offset}, {replica_offset + num_replicas}) "
+                f"exceeds total_replicas={total}"
+            )
         self._root = root
+        self._replica_offset = int(replica_offset)
+        self._total_replicas = total
         self._round: int | None = None
         self._site_sequence = 0
         self._label_cache: dict[str, int] = {}
@@ -319,6 +389,25 @@ class CounterStreams(StreamLayout):
         """The integer root every site key derives from."""
         return self._root
 
+    @property
+    def replica_offset(self) -> int:
+        """Global index of this layout's first replica."""
+        return self._replica_offset
+
+    @property
+    def total_replicas(self) -> int:
+        """Size of the full ensemble this layout is a window of."""
+        return self._total_replicas
+
+    @property
+    def is_windowed(self) -> bool:
+        """True when this layout covers a strict window of a larger
+        ensemble (a shard)."""
+        return (
+            self._replica_offset != 0
+            or self._total_replicas != self._num_replicas
+        )
+
     def begin_round(self, round_index: int) -> None:
         if round_index < 0:
             raise ValidationError(
@@ -327,10 +416,17 @@ class CounterStreams(StreamLayout):
         self._round = int(round_index)
         self._site_sequence = 0
 
-    def site(self, label: str) -> np.random.Generator:
+    def _site_key(self, label: str) -> np.ndarray:
+        """Derive (and consume) the next site's 128-bit Philox key.
+
+        Shared by :meth:`site` and :meth:`site_uniforms` so both consume
+        one slot of the per-round site sequence — a sharded run and a
+        monolithic run visit the same sites in the same order and derive
+        identical keys.
+        """
         if self._round is None:
             raise ValidationError(
-                "CounterStreams.site() called before begin_round()"
+                "CounterStreams draw site requested before begin_round()"
             )
         folded = self._label_cache.get(label)
         if folded is None:
@@ -339,8 +435,69 @@ class CounterStreams(StreamLayout):
         for component in (self._round, self._site_sequence, folded):
             state = _mix64(state ^ ((component * _GOLDEN) & _MASK64))
         self._site_sequence += 1
-        key = np.array([state, _mix64(state ^ _GOLDEN)], dtype=np.uint64)
+        return np.array([state, _mix64(state ^ _GOLDEN)], dtype=np.uint64)
+
+    def site(self, label: str) -> np.random.Generator:
+        if self.is_windowed:
+            raise ValidationError(
+                f"whole-stack draw site {label!r} is not available on a "
+                "windowed CounterStreams layout: its word consumption "
+                "depends on replicas outside the shard. Only "
+                "replica-addressed site_uniforms() draws shard; use the "
+                "spawned policy (or no sharding) for this measurement."
+            )
+        key = self._site_key(label)
         return np.random.Generator(np.random.Philox(key=key))
+
+    def site_uniforms(
+        self, label: str, rows: np.ndarray, width: int
+    ) -> np.ndarray:
+        """Uniform(0, 1) block for one fixed-width draw site, addressed
+        by *global* replica index.
+
+        Replica ``r`` of the full ensemble owns the 64-bit words
+        ``[r * width, (r + 1) * width)`` of the site's Philox stream,
+        independent of which other replicas are active or how the
+        ensemble is sharded. ``rows`` are *local* replica indices of this
+        layout's window; the returned array has shape
+        ``(len(rows), width)``, row ``p`` holding local replica
+        ``rows[p]``'s words, and is freshly allocated (safe to mutate
+        in place).
+        """
+        key = self._site_key(label)
+        rows = np.asarray(rows, dtype=np.int64)
+        if width < 0:
+            raise ValidationError(f"width must be non-negative, got {width}")
+        if rows.size == 0:
+            return np.empty((0, width), dtype=np.float64)
+        if rows.min() < 0 or rows.max() >= self._num_replicas:
+            raise ValidationError(
+                f"rows must lie in [0, {self._num_replicas}), got "
+                f"[{rows.min()}, {rows.max()}]"
+            )
+        if width == 0:
+            return np.empty((rows.size, 0), dtype=np.float64)
+        global_rows = rows + self._replica_offset
+        low = int(global_rows.min())
+        high = int(global_rows.max())
+        bit_generator = np.random.Philox(key=key)
+        # Philox advances in 4-word counter blocks; position the stream
+        # on replica `low`'s first word, discarding any sub-block
+        # remainder word by word.
+        start_word = low * width
+        blocks, remainder = divmod(start_word, 4)
+        if blocks:
+            bit_generator.advance(blocks)
+        generator = np.random.Generator(bit_generator)
+        if remainder:
+            generator.random(remainder)
+        span = high - low + 1
+        block = generator.random((span, width))
+        if span == global_rows.size and np.array_equal(
+            global_rows, np.arange(low, high + 1)
+        ):
+            return block
+        return block[global_rows - low]
 
 
 def make_streams(

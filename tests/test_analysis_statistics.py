@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.statistics import bootstrap_ci, geometric_mean, summarize
+from repro.analysis.statistics import (
+    bootstrap_ci,
+    bootstrap_half_width,
+    geometric_mean,
+    summarize,
+)
 from repro.errors import ValidationError
 
 
@@ -51,6 +56,45 @@ class TestBootstrapCi:
             bootstrap_ci([], seed=0)
         with pytest.raises(ValidationError):
             bootstrap_ci([1.0], confidence=1.5, seed=0)
+
+
+class TestBootstrapHalfWidth:
+    def test_matches_ci_on_clean_sample(self, rng):
+        sample = rng.normal(10.0, 2.0, size=50)
+        low, high = bootstrap_ci(sample, seed=3)
+        assert bootstrap_half_width(sample, seed=3) == pytest.approx(
+            (high - low) / 2.0
+        )
+
+    def test_nan_values_excluded(self, rng):
+        sample = rng.normal(10.0, 2.0, size=50)
+        polluted = np.concatenate([sample, [np.nan, np.nan, np.inf]])
+        assert bootstrap_half_width(polluted, seed=4) == pytest.approx(
+            bootstrap_half_width(sample, seed=4)
+        )
+
+    def test_all_nan_returns_nan(self):
+        assert np.isnan(bootstrap_half_width([np.nan, np.nan], seed=0))
+        assert np.isnan(bootstrap_half_width([], seed=0))
+
+    def test_min_count_gate(self, rng):
+        sample = [1.0, 2.0, np.nan, np.nan]
+        # Two finite values < min_count=4 -> no CI yet.
+        assert np.isnan(bootstrap_half_width(sample, seed=1, min_count=4))
+        assert np.isfinite(bootstrap_half_width(sample, seed=1, min_count=2))
+
+    def test_narrows_with_sample_size(self, rng):
+        small = rng.normal(0.0, 1.0, size=10)
+        large = np.concatenate([small, rng.normal(0.0, 1.0, size=490)])
+        assert bootstrap_half_width(large, seed=5) < bootstrap_half_width(
+            small, seed=5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_half_width([1.0, 2.0], min_count=0)
+        with pytest.raises(ValidationError):
+            bootstrap_half_width([1.0, 2.0], confidence=1.5)
 
 
 class TestGeometricMean:

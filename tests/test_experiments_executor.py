@@ -321,3 +321,367 @@ class TestCounterSubprocessDeterminism:
         )
         assert completed.stdout == pickle.dumps(local_result, protocol=4)
         assert pickle.loads(completed.stdout) == local_result
+
+
+def _pickled(value):
+    import pickle
+
+    return pickle.dumps(value, protocol=4)
+
+
+class TestShardedExecution:
+    """Replica-sharded cells: byte-identical merge at any shard plan."""
+
+    @pytest.mark.parametrize("rng_policy", ["spawned", "counter"])
+    def test_sharded_family_cell_matches_monolithic(self, rng_policy):
+        monolithic = run_cell(
+            CellSpec("weighted", "ring", 8, 2.0, 7, 123, rng_policy=rng_policy)
+        )
+        for shard_size in (1, 2, 3, 5):
+            sharded = execute_cells(
+                [
+                    CellSpec(
+                        "weighted",
+                        "ring",
+                        8,
+                        2.0,
+                        7,
+                        123,
+                        rng_policy=rng_policy,
+                        shard_size=shard_size,
+                    )
+                ],
+                workers=2,
+            )[0]
+            assert _pickled(sharded) == _pickled(monolithic)
+
+    @pytest.mark.parametrize("rng_policy", ["spawned", "counter"])
+    def test_sharded_variant_cell_matches_monolithic(self, rng_policy):
+        params = (("max_rounds", 10_000), ("variant", "flow"))
+        monolithic = run_cell(
+            CellSpec(
+                "weighted-variant",
+                "ring",
+                8,
+                2.0,
+                5,
+                31,
+                params=params,
+                rng_policy=rng_policy,
+            )
+        )
+        sharded = execute_cells(
+            [
+                CellSpec(
+                    "weighted-variant",
+                    "ring",
+                    8,
+                    2.0,
+                    5,
+                    31,
+                    params=params,
+                    rng_policy=rng_policy,
+                    shard_size=2,
+                )
+            ],
+            workers=2,
+        )[0]
+        assert _pickled(sharded) == _pickled(monolithic)
+        # The churn probe ran on the replica-0 shard and its fields
+        # carried through the merge.
+        assert sharded.probe_converged == monolithic.probe_converged
+
+    def test_sharded_scenario_cell_matches_monolithic(self):
+        monolithic = run_cell(
+            CellSpec("scenario-recovery", "ring", 8, 2.0, 4, 9)
+        )
+        sharded = execute_cells(
+            [CellSpec("scenario-recovery", "ring", 8, 2.0, 4, 9, shard_size=2)],
+            workers=2,
+        )[0]
+        assert _pickled(sharded) == _pickled(monolithic)
+
+    def test_sharded_sweep_serial_matches_pool(self):
+        specs = sweep_specs(
+            "weighted",
+            WEIGHTED_SWEEP_QUICK,
+            m_factor=8.0,
+            repetitions=4,
+            seed=5,
+            shard_size=2,
+        )
+        serial = execute_cells(specs, workers=None)
+        pooled = execute_cells(specs, workers=3)
+        # Per-cell pickles: pickling the whole list at once lets the
+        # memo encode accidental object sharing between cells, which
+        # differs between in-process and round-tripped results even
+        # when every cell is value- and byte-identical on its own.
+        assert [_pickled(c) for c in serial] == [_pickled(c) for c in pooled]
+        assert [(c.family, c.n) for c in pooled] == [
+            (s.family, s.n) for s in specs
+        ]
+
+    def test_counter_unshardable_kinds_refused(self):
+        for kind in ("approx", "scenario-recovery"):
+            spec = CellSpec(
+                kind, "ring", 8, 2.0, 6, 1, rng_policy="counter", shard_size=2
+            )
+            with pytest.raises(ValidationError, match="cannot shard"):
+                run_cell(spec)
+            with pytest.raises(ValidationError, match="cannot shard"):
+                execute_cells([spec], workers=2)
+
+    def test_counter_shard_size_without_split_is_harmless(self):
+        """shard_size >= repetitions never splits, so an unshardable
+        counter kind with it still runs (monolithically)."""
+        cell = run_cell(
+            CellSpec(
+                "approx",
+                "ring",
+                8,
+                2.0,
+                3,
+                1,
+                rng_policy="counter",
+                shard_size=10,
+            )
+        )
+        assert cell.num_repetitions == 3
+
+    def test_invalid_shard_size_rejected(self):
+        with pytest.raises(ValidationError, match="shard_size"):
+            run_cell(CellSpec("weighted", "ring", 8, 2.0, 3, 1, shard_size=0))
+
+    def test_pickled_sharded_counter_cell_reproduces_across_processes(self):
+        """The sharded-counter analogue of the monolithic subprocess
+        test: a pickled sharded spec in a fresh interpreter reproduces
+        this process's *monolithic* result byte-for-byte."""
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        import repro
+
+        monolithic = run_cell(
+            CellSpec(
+                "weighted", "ring", 8, 2.0, 7, 77, rng_policy="counter"
+            )
+        )
+        sharded_spec = CellSpec(
+            "weighted",
+            "ring",
+            8,
+            2.0,
+            7,
+            77,
+            rng_policy="counter",
+            shard_size=3,
+        )
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        script = (
+            "import pickle, sys\n"
+            "from repro.experiments.executor import execute_cells\n"
+            "spec = pickle.loads(sys.stdin.buffer.read())\n"
+            "[cell] = execute_cells([spec], workers=2)\n"
+            "sys.stdout.buffer.write(pickle.dumps(cell, protocol=4))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            input=pickle.dumps(sharded_spec, protocol=4),
+            capture_output=True,
+            env=env,
+            check=True,
+        )
+        assert completed.stdout == pickle.dumps(monolithic, protocol=4)
+
+
+class TestAdaptiveSizing:
+    """target_ci: wave-based adaptive ensemble sizing."""
+
+    SPEC = CellSpec(
+        "weighted", "ring", 16, 4.0, 64, 7, shard_size=8, target_ci=5.0
+    )
+
+    def test_stops_before_cap_with_fewer_replicas(self):
+        from repro.experiments.executor import execute_cells_report
+
+        report = execute_cells_report([self.SPEC], workers=None)
+        timing = report.timings[0]
+        assert timing.adaptive_stop == "target"
+        assert timing.ci_half_width <= self.SPEC.target_ci
+        assert timing.repetitions_effective < timing.repetitions_requested
+        assert (
+            report.results[0].num_repetitions == timing.repetitions_effective
+        )
+
+    def test_deterministic_across_worker_counts(self):
+        from repro.experiments.executor import execute_cells_report
+
+        specs = [
+            self.SPEC,
+            CellSpec(
+                "weighted",
+                "hypercube",
+                16,
+                4.0,
+                64,
+                7,
+                shard_size=8,
+                target_ci=5.0,
+            ),
+        ]
+        serial = execute_cells_report(specs, workers=None)
+        pooled = execute_cells_report(specs, workers=2)
+        assert [_pickled(c) for c in serial.results] == [
+            _pickled(c) for c in pooled.results
+        ]
+        assert [t.repetitions_effective for t in serial.timings] == [
+            t.repetitions_effective for t in pooled.timings
+        ]
+        # run_cell is the single-process reference for adaptive specs
+        # too.
+        assert _pickled(run_cell(self.SPEC)) == _pickled(serial.results[0])
+
+    def test_unreachable_target_falls_to_cap(self):
+        from repro.experiments.executor import execute_cells_report
+
+        spec = CellSpec(
+            "weighted", "ring", 8, 2.0, 6, 7, shard_size=2, target_ci=1e-9
+        )
+        report = execute_cells_report([spec], workers=None)
+        timing = report.timings[0]
+        assert timing.adaptive_stop == "cap"
+        assert timing.repetitions_effective == 6
+        # The capped run measures the same ensemble as the fixed-R run.
+        fixed = run_cell(CellSpec("weighted", "ring", 8, 2.0, 6, 7))
+        assert _pickled(report.results[0]) == _pickled(fixed)
+
+    def test_all_nan_waves_fall_to_cap_with_nan_half_width(self):
+        """No replica ever converges (max_budget=1), so every CI
+        evaluation sees an all-NaN sample: the controller must run to
+        the cap and report a NaN half-width, never stop 'target'."""
+        from repro.experiments.executor import execute_cells_report
+
+        spec = CellSpec(
+            "weighted",
+            "ring",
+            8,
+            2.0,
+            6,
+            7,
+            params=(("max_budget", 1),),
+            shard_size=2,
+            target_ci=100.0,
+        )
+        report = execute_cells_report([spec], workers=None)
+        timing = report.timings[0]
+        cell = report.results[0]
+        assert cell.num_converged == 0
+        assert timing.adaptive_stop == "cap"
+        assert timing.repetitions_effective == 6
+        assert np.isnan(timing.ci_half_width)
+        assert np.isnan(cell.median_rounds)
+
+    def test_non_family_kind_rejected(self):
+        for kind in ("weighted-variant", "scenario-recovery"):
+            with pytest.raises(ValidationError, match="adaptive sizing"):
+                run_cell(
+                    CellSpec(kind, "ring", 8, 2.0, 6, 1, target_ci=1.0)
+                )
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValidationError, match="target_ci"):
+            run_cell(CellSpec("weighted", "ring", 8, 2.0, 6, 1, target_ci=0.0))
+
+
+class TestExecutionReport:
+    def test_timings_shape_and_json(self):
+        import json
+
+        from repro.experiments.executor import execute_cells_report
+
+        specs = [
+            CellSpec("weighted", "ring", 8, 2.0, 4, 5, shard_size=2),
+            CellSpec("weighted", "torus", 9, 2.0, 4, 5),
+        ]
+        report = execute_cells_report(specs, workers=None)
+        assert len(report.timings) == len(specs)
+        sharded, monolithic = report.timings
+        assert [
+            (s.replica_offset, s.replica_count) for s in sharded.shards
+        ] == [(0, 2), (2, 2)]
+        assert [
+            (s.replica_offset, s.replica_count) for s in monolithic.shards
+        ] == [(0, 4)]
+        for timing in report.timings:
+            assert timing.seconds > 0.0
+            assert timing.repetitions_requested == 4
+            assert timing.repetitions_effective == 4
+            assert timing.adaptive_stop is None
+        payload = json.loads(json.dumps(report.timings_json()))
+        assert payload[0]["family"] == "ring"
+        assert payload[0]["shards"][1]["replica_offset"] == 2
+
+    def test_execute_cells_returns_bare_results(self):
+        from repro.experiments.executor import execute_cells_report
+
+        specs = [CellSpec("weighted", "ring", 8, 2.0, 2, 5)]
+        assert _pickled(execute_cells(specs, workers=None)) == _pickled(
+            list(execute_cells_report(specs, workers=None).results)
+        )
+
+
+class TestRunMetaSharding:
+    def test_run_meta_records_sharding_and_cell_timings(self):
+        result = run_experiment(
+            "table1-weighted", quick=True, seed=99, workers=2, shard_size=2
+        )
+        meta = result.data["run_meta"]
+        assert meta["shard_size_requested"] == 2
+        assert meta["shard_size_effective"] == 2
+        assert meta["target_ci_requested"] is None
+        timings = meta["cell_timings"]
+        assert timings, "sweep experiments must record per-cell timings"
+        for cell in timings:
+            assert cell["repetitions_requested"] == 3
+            assert cell["repetitions_effective"] == 3
+            assert cell["seconds"] > 0.0
+            # quick sweeps have 3 repetitions -> two shards of (2, 1)
+            assert [
+                (s["replica_offset"], s["replica_count"])
+                for s in cell["shards"]
+            ] == [(0, 2), (2, 1)]
+
+    def test_run_meta_records_adaptive_effective_repetitions(self):
+        result = run_experiment(
+            "table1-weighted", quick=True, seed=99, target_ci=500.0
+        )
+        meta = result.data["run_meta"]
+        assert meta["target_ci_effective"] == 500.0
+        for cell in meta["cell_timings"]:
+            assert cell["adaptive_stop"] in ("target", "cap")
+            assert (
+                cell["repetitions_effective"] <= cell["repetitions_requested"]
+            )
+
+    def test_legacy_runner_warns_on_shard_size(self):
+        experiment_id = "_test-legacy-no-shard"
+
+        @register_experiment(experiment_id)
+        def legacy(quick, seed):
+            return ExperimentResult(experiment_id=experiment_id, title="t")
+
+        try:
+            with pytest.warns(RuntimeWarning, match="shard_size"):
+                result = run_experiment(experiment_id, shard_size=4)
+            meta = result.data["run_meta"]
+            assert meta["shard_size_requested"] == 4
+            assert meta["shard_size_effective"] is None
+        finally:
+            _REGISTRY.pop(experiment_id, None)

@@ -136,6 +136,39 @@ class TestSpawnRngs:
         for x, y in zip(small, large):
             np.testing.assert_array_equal(x, y)
 
+    def test_offset_window_matches_monolithic_children(self):
+        """Child ``offset + k`` of a window equals child ``offset + k``
+        of the monolithic spawn — the shard contract."""
+        monolithic = [g.random(4) for g in spawn_rngs(5, 7)]
+        window = [g.random(4) for g in spawn_rngs(5, 3, offset=2)]
+        for got, expected in zip(window, monolithic[2:5]):
+            np.testing.assert_array_equal(got, expected)
+
+    def test_offset_zero_is_default_behaviour(self):
+        plain = [g.random(4) for g in spawn_rngs(5, 3)]
+        explicit = [g.random(4) for g in spawn_rngs(5, 3, offset=0)]
+        for x, y in zip(plain, explicit):
+            np.testing.assert_array_equal(x, y)
+
+    def test_offset_windows_concatenate_to_monolithic(self):
+        monolithic = [g.random(2) for g in spawn_rngs(11, 6)]
+        shards = [
+            g.random(2)
+            for offset, count in ((0, 2), (2, 2), (4, 2))
+            for g in spawn_rngs(11, count, offset=offset)
+        ]
+        for got, expected in zip(shards, monolithic):
+            np.testing.assert_array_equal(got, expected)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(1, 2, offset=-1)
+
+    def test_offset_does_not_mutate_caller_sequence(self):
+        sequence = np.random.SeedSequence(11)
+        spawn_rngs(sequence, 2, offset=3)
+        assert sequence.n_children_spawned == 0
+
 
 class TestDeriveSeed:
     def test_deterministic(self):
@@ -262,3 +295,64 @@ class TestCounterStreams:
         streams.begin_round(5)
         short = streams.site("kernel").random((3, 6))
         np.testing.assert_array_equal(short, tall[:3])
+
+
+class TestCounterStreamWindows:
+    """Replica-window (sharded) CounterStreams layouts."""
+
+    def test_site_uniforms_matches_whole_stack_site(self):
+        """On a full (unwindowed) stack, the replica-addressed block
+        draw reproduces the packed ``site().random((R, M))`` draw."""
+        streams = CounterStreams(9, 6)
+        streams.begin_round(2)
+        packed = streams.site("kernel").random((6, 5))
+        streams.begin_round(2)
+        addressed = streams.site_uniforms("kernel", np.arange(6), 5)
+        np.testing.assert_array_equal(addressed, packed)
+
+    def test_window_rows_match_monolithic_rows(self):
+        """A window's rows equal the same global rows of the monolithic
+        layout — the counter shard contract."""
+        full = CounterStreams(9, 8)
+        full.begin_round(3)
+        monolithic = full.site_uniforms("kernel", np.arange(8), 4)
+        window = CounterStreams(9, 3, replica_offset=2, total_replicas=8)
+        window.begin_round(3)
+        local = window.site_uniforms("kernel", np.arange(3), 4)
+        np.testing.assert_array_equal(local, monolithic[2:5])
+
+    def test_window_gap_rows(self):
+        """Non-contiguous (retired-replica) row subsets address their
+        own global rows only."""
+        full = CounterStreams(9, 8)
+        full.begin_round(0)
+        monolithic = full.site_uniforms("kernel", np.arange(8), 3)
+        window = CounterStreams(9, 4, replica_offset=4, total_replicas=8)
+        window.begin_round(0)
+        rows = np.array([0, 2, 3])  # local -> global 4, 6, 7
+        local = window.site_uniforms("kernel", rows, 3)
+        np.testing.assert_array_equal(local, monolithic[[4, 6, 7]])
+
+    def test_windowed_whole_stack_site_refused(self):
+        window = CounterStreams(9, 3, replica_offset=2, total_replicas=8)
+        window.begin_round(0)
+        with pytest.raises(ValidationError, match="windowed"):
+            window.site("kernel")
+        # The replica-addressed draw is the windowed layout's API.
+        window.site_uniforms("kernel", np.arange(3), 2)
+
+    def test_window_properties(self):
+        window = CounterStreams(9, 3, replica_offset=2, total_replicas=8)
+        assert window.replica_offset == 2
+        assert window.total_replicas == 8
+        assert window.is_windowed
+        assert len(window) == 3
+        full = CounterStreams(9, 8)
+        assert not full.is_windowed
+        assert full.total_replicas == 8
+
+    def test_window_validation(self):
+        with pytest.raises(ValidationError):
+            CounterStreams(9, 3, replica_offset=-1)
+        with pytest.raises(ValidationError):
+            CounterStreams(9, 5, replica_offset=4, total_replicas=8)
