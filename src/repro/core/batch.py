@@ -168,6 +168,24 @@ class BatchSimulator:
         """The protocol being simulated."""
         return self._protocol
 
+    def swap_graph(self, graph: Graph) -> None:
+        """Replace the network with ``graph`` (same vertex count).
+
+        The batched run loop re-reads the graph every round, so a swap
+        performed inside a ``before_round`` hook applies to that round's
+        ``execute_round_batch`` for *all* replicas — topology events are
+        replica-stable under both RNG policies because the swap consumes
+        no stream randomness. Graphs are immutable; the swap installs a
+        different derived instance, never mutates.
+        """
+        if graph.num_vertices != self._graph.num_vertices:
+            raise SimulationError(
+                f"cannot swap to graph {graph.name} with "
+                f"{graph.num_vertices} vertices; current graph "
+                f"{self._graph.name} has {self._graph.num_vertices}"
+            )
+        self._graph = graph
+
     def run(
         self,
         batch: BatchStateBase,

@@ -50,7 +50,13 @@ __all__ = [
     "SelfishUniformProtocol",
     "SelfishWeightedProtocol",
     "PerTaskThresholdProtocol",
+    "GRAPH_CACHE_CAPACITY",
 ]
+
+#: Maximum number of live graphs a protocol keeps CSR/dij caches for.
+#: Beyond this the least-recently-used entry is evicted (topology
+#: scenarios cycle through derived graphs; sweeps through sizes).
+GRAPH_CACHE_CAPACITY = 8
 
 
 @dataclass(frozen=True)
@@ -171,6 +177,8 @@ class Protocol:
         self._cache: "weakref.WeakKeyDictionary[Graph, _GraphCache]" = (
             weakref.WeakKeyDictionary()
         )
+        # Recency order for LRU eviction: weak refs, least recent first.
+        self._cache_order: list[weakref.ref] = []
         self._last: tuple[weakref.ref, _GraphCache] | None = None
 
     def resolve_alpha(self, state: LoadStateBase) -> float:
@@ -182,18 +190,48 @@ class Protocol:
     def _graph_cache(self, graph: Graph) -> _GraphCache:
         last = self._last
         if last is not None and last[0]() is graph:
+            self._touch(graph)
             return last[1]
         cache = self._cache.get(graph)
         if cache is None:
             cache = _GraphCache(graph)
-            # Keep at most a few graphs cached; experiments sweep sizes.
-            # (Dead graphs drop out automatically via the weak keys; this
-            # bounds memory when many graphs stay alive simultaneously.)
-            if len(self._cache) > 8:
-                self._cache.clear()
+            # Keep at most GRAPH_CACHE_CAPACITY graphs cached; experiments
+            # sweep sizes and topology scenarios cycle derived graphs.
+            # Evict exactly the least-recently-used live entry — clearing
+            # everything would rebuild every CSR/dij cache each round when
+            # more than `capacity` graphs stay alive simultaneously. (Dead
+            # graphs still drop out automatically via the weak keys.)
+            if len(self._cache) >= GRAPH_CACHE_CAPACITY:
+                self._evict_lru()
             self._cache[graph] = cache
+        self._touch(graph)
         self._last = (weakref.ref(graph), cache)
         return cache
+
+    def _touch(self, graph: Graph) -> None:
+        """Move ``graph`` to the most-recent end of the LRU order."""
+        order = self._cache_order
+        for position in range(len(order) - 1, -1, -1):
+            obj = order[position]()
+            if obj is None:
+                del order[position]
+            elif obj is graph or obj == graph:
+                order.append(order.pop(position))
+                return
+        order.append(weakref.ref(graph))
+
+    def _evict_lru(self) -> None:
+        """Drop the single least-recently-used live cache entry."""
+        order = self._cache_order
+        while order:
+            obj = order[0]()
+            if obj is None:
+                # Already collected; the weak dict dropped it too.
+                del order[0]
+                continue
+            del order[0]
+            self._cache.pop(obj, None)
+            return
 
     def execute_round(
         self, state: LoadStateBase, graph: Graph, rng: np.random.Generator

@@ -89,6 +89,23 @@ class Simulator:
         """The protocol being simulated."""
         return self._protocol
 
+    def swap_graph(self, graph: Graph) -> None:
+        """Replace the network with ``graph`` (same vertex count).
+
+        The run loop re-reads the graph every round, so a swap performed
+        inside a ``before_round`` hook takes effect for that very round
+        — this is how :mod:`repro.scenarios` applies topology events
+        (edge failures, partitions, recoveries). Graphs are immutable;
+        the swap installs a different derived instance, never mutates.
+        """
+        if graph.num_vertices != self._graph.num_vertices:
+            raise SimulationError(
+                f"cannot swap to graph {graph.name} with "
+                f"{graph.num_vertices} vertices; current graph "
+                f"{self._graph.name} has {self._graph.num_vertices}"
+            )
+        self._graph = graph
+
     def run(
         self,
         state: LoadStateBase,

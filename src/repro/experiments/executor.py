@@ -76,6 +76,7 @@ from repro.experiments.scenario_cells import (
     measure_churn_band,
     measure_scenario_recovery,
     measure_shock_recovery,
+    measure_topology_resilience,
     run_scenario_window,
     summarize_scenario_result,
 )
@@ -111,6 +112,7 @@ MEASUREMENT_KINDS: dict[str, Callable[..., object]] = {
     "scenario-recovery": measure_scenario_recovery,
     "shock-recovery": measure_shock_recovery,
     "churn-band": measure_churn_band,
+    "topology-resilience": measure_topology_resilience,
 }
 
 #: Kinds returning a :class:`FamilyMeasurement` — the sweep kinds whose
@@ -126,7 +128,7 @@ COUNTER_SHARDABLE_KINDS = frozenset({"weighted", "weighted-variant"})
 
 #: Kinds merged through :func:`repro.scenarios.merge_replica_results`.
 _SCENARIO_KINDS = frozenset(
-    {"scenario-recovery", "shock-recovery", "churn-band"}
+    {"scenario-recovery", "shock-recovery", "churn-band", "topology-resilience"}
 )
 
 #: Wave size for adaptive cells that set no explicit ``shard_size``.

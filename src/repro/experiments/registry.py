@@ -91,6 +91,7 @@ def _ensure_loaded() -> None:
         theorem11,
         theorem12,
         theorem13,
+        topology_exp,
         weighted_variants,
     )
 

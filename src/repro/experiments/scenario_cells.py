@@ -16,7 +16,11 @@ Three kinds:
   self-stabilization check: repeated shocks, each recovery compared to
   the Theorem 1.1 bound;
 * ``"churn-band"`` (:func:`measure_churn_band`) — stationary churn,
-  checking the potential stays in a band around the balanced region.
+  checking the potential stays in a band around the balanced region;
+* ``"topology-resilience"`` (:func:`measure_topology_resilience`) — an
+  edge-failure / network-partition / recovery cycle, tracking the
+  per-round graph factor ``Delta / lambda_2`` (``inf`` through the
+  disconnected window) and post-recovery re-convergence.
 
 Each kind is split into *build* (deterministic cell construction),
 *run* (the ensemble — or a replica window of it,
@@ -60,7 +64,10 @@ from repro.model.placement import (
 from repro.model.state import UniformState, WeightedState
 from repro.model.tasks import two_class_weights
 from repro.scenarios import (
+    EdgeFailure,
+    EdgeRecovery,
     LoadShock,
+    NetworkPartition,
     PoissonChurnEvent,
     Schedule,
     ScenarioResult,
@@ -77,9 +84,11 @@ __all__ = [
     "ScenarioCellMeasurement",
     "ShockRecoveryMeasurement",
     "ChurnBandMeasurement",
+    "TopologyResilienceMeasurement",
     "measure_scenario_recovery",
     "measure_shock_recovery",
     "measure_churn_band",
+    "measure_topology_resilience",
     "run_scenario_window",
     "summarize_scenario_result",
 ]
@@ -553,12 +562,177 @@ def measure_churn_band(
     return cell.summarize(result)
 
 
+@dataclass(frozen=True)
+class TopologyResilienceMeasurement:
+    """Edge-failure / partition / recovery measurement for one cell.
+
+    The schedule: a random ``fail_fraction`` of live edges fail at
+    ``fail_round``, the first ``n // 2`` vertices are partitioned off at
+    ``partition_round``, and the base network is restored wholesale at
+    ``recover_round``. Attributes track the paper's graph factor
+    ``Delta / lambda_2`` through the cycle:
+
+    ``gap_baseline`` (row 0), ``gap_degraded`` (after the edge failure,
+    just before the partition), ``gap_partitioned`` (first disconnected
+    row — ``inf``, never an exception), ``gap_restored`` (the final row
+    equals the baseline *exactly*: the restored graph is structurally
+    equal to the original, so the memoized spectral entry is reused).
+    ``disconnected_rounds`` counts rows with ``lambda_2 = 0``;
+    recovery statistics are measured from ``recover_round`` against the
+    cell's equilibrium target. ``gap_series`` is the full ``(T + 1,)``
+    trace for CSV export.
+    """
+
+    family: str
+    n: int
+    m: int
+    tasks: str
+    engine: str
+    num_replicas: int
+    fail_round: int
+    partition_round: int
+    recover_round: int
+    horizon: int
+    gap_baseline: float
+    gap_degraded: float
+    gap_partitioned: float
+    gap_restored: bool
+    disconnected_rounds: int
+    num_recovered: int
+    median_recovery: float
+    max_recovery: float
+    gap_series: tuple[float, ...]
+
+
+def _build_topology_cell(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    seed: int,
+    tasks: str = "uniform",
+    fail_fraction: float = 0.3,
+    fail_round: int = 20,
+    partition_round: int = 45,
+    recover_round: int = 70,
+    horizon: int = 140,
+) -> _ScenarioCell:
+    if not 0 < fail_round < partition_round < recover_round < horizon:
+        raise ValidationError(
+            "rounds must satisfy 0 < fail_round < partition_round < "
+            f"recover_round < horizon, got ({fail_round}, {partition_round}, "
+            f"{recover_round}, {horizon})"
+        )
+    family = get_family(family_name)
+    graph = family.make(target_n)
+    n = graph.num_vertices
+    m = int(math.ceil(m_factor * n))
+    protocol, target, factory = _scenario_setup(graph, tasks, m)
+    schedule = Schedule(
+        [
+            at(
+                fail_round,
+                EdgeFailure(
+                    fraction=fail_fraction,
+                    seed=derive_seed(seed, family_name, n, "edge-fail"),
+                ),
+            ),
+            at(partition_round, NetworkPartition(tuple(range(n // 2)))),
+            at(recover_round, EdgeRecovery()),
+        ]
+    )
+    runner = ScenarioRunner(graph, protocol, schedule, target=target)
+
+    def summarize(result: ScenarioResult) -> TopologyResilienceMeasurement:
+        gap = result.gap_ratio
+        connected = result.connected
+        recovery = recovery_rounds(result.target_satisfied, recover_round)
+        recovered = recovery[recovery >= 0]
+        return TopologyResilienceMeasurement(
+            family=family_name,
+            n=n,
+            m=m,
+            tasks=tasks,
+            engine=result.engine,
+            num_replicas=result.num_replicas,
+            fail_round=fail_round,
+            partition_round=partition_round,
+            recover_round=recover_round,
+            horizon=horizon,
+            gap_baseline=float(gap[0]),
+            gap_degraded=float(gap[partition_round]),
+            gap_partitioned=float(gap[partition_round + 1]),
+            gap_restored=bool(gap[-1] == gap[0]),
+            disconnected_rounds=int(np.count_nonzero(~connected)),
+            num_recovered=int(recovered.shape[0]),
+            median_recovery=(
+                float(np.median(recovered)) if recovered.size else float("nan")
+            ),
+            max_recovery=(float(recovered.max()) if recovered.size else -1.0),
+            gap_series=tuple(float(v) for v in gap),
+        )
+
+    return _ScenarioCell(
+        runner=runner,
+        factory=factory,
+        horizon=horizon,
+        cell_seed=derive_seed(seed, family_name, n, f"topology-{tasks}"),
+        summarize=summarize,
+    )
+
+
+def measure_topology_resilience(
+    family_name: str,
+    target_n: int,
+    m_factor: float,
+    repetitions: int,
+    seed: int,
+    tasks: str = "uniform",
+    fail_fraction: float = 0.3,
+    fail_round: int = 20,
+    partition_round: int = 45,
+    recover_round: int = 70,
+    horizon: int = 140,
+    engine: str = "auto",
+    rng_policy: str = "spawned",
+) -> TopologyResilienceMeasurement:
+    """Measure resilience through a failure → partition → recovery cycle.
+
+    ``m = ceil(m_factor * n)`` tasks from a random start; the topology
+    events are replica-stable (their randomness derives from the cell
+    seed, not the replica streams), so both engines and both RNG
+    policies see the identical graph sequence, and the cell can shard
+    into replica windows under the spawned policy.
+    """
+    cell = _build_topology_cell(
+        family_name,
+        target_n,
+        m_factor,
+        seed,
+        tasks=tasks,
+        fail_fraction=fail_fraction,
+        fail_round=fail_round,
+        partition_round=partition_round,
+        recover_round=recover_round,
+        horizon=horizon,
+    )
+    result = cell.runner.run_ensemble(
+        cell.factory,
+        repetitions=repetitions,
+        rounds=cell.horizon,
+        seed=cell.cell_seed,
+        engine=engine,
+        rng_policy=rng_policy,
+    )
+    return cell.summarize(result)
+
+
 #: Builder per scenario measurement kind; the builder's keyword surface
 #: is the kind's parameter contract (CellSpec.params keys must match).
 _CELL_BUILDERS: dict[str, Callable[..., _ScenarioCell]] = {
     "scenario-recovery": _build_recovery_cell,
     "shock-recovery": _build_shock_cell,
     "churn-band": _build_churn_cell,
+    "topology-resilience": _build_topology_cell,
 }
 
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import GraphError, ValidationError
 from repro.graphs.graph import Graph
 from repro.types import EdgeList, SeedLike
-from repro.utils.rng import make_rng
+from repro.utils.rng import derive_seed, make_rng
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = [
@@ -29,6 +29,10 @@ __all__ = [
     "star_graph",
     "complete_bipartite_graph",
     "binary_tree_graph",
+    "fat_tree_graph",
+    "leaf_spine_graph",
+    "expander_graph",
+    "power_law_graph",
     "random_regular_graph",
     "erdos_renyi_graph",
     "watts_strogatz_graph",
@@ -145,6 +149,167 @@ def binary_tree_graph(n: int) -> Graph:
         parent = (child - 1) // 2
         edges.append((parent, child))
     return Graph(n, edges, name=f"binary_tree(n={n})")
+
+
+def fat_tree_graph(k: int) -> Graph:
+    """k-ary fat-tree datacenter fabric (switch layer only).
+
+    The canonical three-tier Clos wiring: ``(k/2)^2`` core switches and
+    ``k`` pods of ``k/2`` aggregation plus ``k/2`` edge switches each.
+    Within a pod, edge and aggregation switches form a complete
+    bipartite graph; aggregation switch ``i`` of every pod uplinks to
+    the core block ``[i*(k/2), (i+1)*(k/2))``. Total size
+    ``n = (k/2)^2 + k^2``; ``k`` must be even. Hosts are not modelled —
+    tasks live on the switch fabric whose spectral gap the failure
+    scenarios degrade.
+    """
+    k = check_integer(k, "k", minimum=2)
+    if k % 2 != 0:
+        raise ValidationError(f"fat-tree arity k must be even, got {k}")
+    half = k // 2
+    num_cores = half * half
+    n = num_cores + k * k
+    edges: list[tuple[int, int]] = []
+    for pod in range(k):
+        pod_base = num_cores + pod * k
+        aggs = [pod_base + i for i in range(half)]
+        edge_switches = [pod_base + half + j for j in range(half)]
+        for agg in aggs:
+            for edge_switch in edge_switches:
+                edges.append((agg, edge_switch))
+        for i, agg in enumerate(aggs):
+            for core in range(i * half, (i + 1) * half):
+                edges.append((core, agg))
+    return Graph(n, edges, name=f"fat_tree(k={k})")
+
+
+def leaf_spine_graph(
+    num_spines: int, num_leaves: int, hosts_per_leaf: int = 0
+) -> Graph:
+    """Two-tier leaf-spine (Clos) fabric.
+
+    Every leaf connects to every spine (``K_{spines,leaves}``);
+    optionally ``hosts_per_leaf`` degree-1 host vertices hang off each
+    leaf. Vertex order: spines, then leaves, then hosts grouped by leaf.
+    """
+    num_spines = check_integer(num_spines, "num_spines", minimum=1)
+    num_leaves = check_integer(num_leaves, "num_leaves", minimum=1)
+    hosts_per_leaf = check_integer(hosts_per_leaf, "hosts_per_leaf", minimum=0)
+    n = num_spines + num_leaves * (1 + hosts_per_leaf)
+    edges: list[tuple[int, int]] = []
+    for spine in range(num_spines):
+        for leaf in range(num_leaves):
+            edges.append((spine, num_spines + leaf))
+    host_base = num_spines + num_leaves
+    for leaf in range(num_leaves):
+        for h in range(hosts_per_leaf):
+            edges.append(
+                (num_spines + leaf, host_base + leaf * hosts_per_leaf + h)
+            )
+    return Graph(
+        n, edges, name=f"leaf_spine(s={num_spines},l={num_leaves},h={hosts_per_leaf})"
+    )
+
+
+def expander_graph(
+    n: int,
+    degree: int = 4,
+    seed: SeedLike = None,
+    gap_floor: float | None = None,
+    max_attempts: int = 50,
+) -> Graph:
+    """Random ``degree``-regular graph with a *verified* spectral-gap floor.
+
+    Samples the pairing model and keeps the first graph whose measured
+    algebraic connectivity reaches ``gap_floor`` (default
+    ``0.9 * (d - 2 sqrt(d-1))``, 90% of the Ramanujan bound — random
+    regular graphs are near-Ramanujan with high probability, so one or
+    two attempts suffice in practice). Each attempt derives its own
+    child seed, so the result is deterministic in ``(n, degree, seed)``.
+    """
+    # Imported lazily: repro.spectral builds on repro.graphs.graph, so a
+    # top-level import here would be circular at package import time.
+    from repro.spectral.eigen import algebraic_connectivity
+
+    n = check_integer(n, "n", minimum=3)
+    degree = check_integer(degree, "degree", minimum=3)
+    if gap_floor is None:
+        gap_floor = 0.9 * (degree - 2.0 * math.sqrt(degree - 1.0))
+    base_seed = 0 if seed is None else seed
+    for attempt in range(max_attempts):
+        candidate = random_regular_graph(
+            n, degree, seed=derive_seed(base_seed, "expander", n, degree, attempt)
+        )
+        if algebraic_connectivity(candidate, strict=False) >= gap_floor:
+            return candidate.renamed(f"expander(n={n},d={degree})")
+    raise GraphError(
+        f"no {degree}-regular graph on {n} vertices reached the spectral-gap "
+        f"floor {gap_floor:.3f} in {max_attempts} attempts"
+    )
+
+
+def power_law_graph(
+    n: int,
+    exponent: float = 2.5,
+    mean_degree: float = 4.0,
+    seed: SeedLike = None,
+) -> Graph:
+    """Chung-Lu random graph with a power-law expected degree sequence.
+
+    Expected degrees ``w_i ~ (i + 1)^(-1/(exponent - 1))`` are scaled to
+    the requested mean; edge ``(i, j)`` appears independently with
+    probability ``min(1, w_i w_j / sum(w))``. Chung-Lu samples can leave
+    small components, so each non-hub component is reattached by one
+    edge from its highest-degree vertex to the global hub (vertex 0) —
+    a vanishing perturbation that preserves the heavy degree tail while
+    guaranteeing connectivity.
+    """
+    n = check_integer(n, "n", minimum=2)
+    if not exponent > 1.0:
+        raise ValidationError(f"exponent must be > 1, got {exponent}")
+    if not mean_degree > 0.0:
+        raise ValidationError(f"mean_degree must be positive, got {mean_degree}")
+    rng = make_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights *= mean_degree * n / weights.sum()
+    total = weights.sum()
+    upper_u, upper_v = np.triu_indices(n, k=1)
+    probabilities = np.minimum(
+        1.0, weights[upper_u] * weights[upper_v] / total
+    )
+    mask = rng.random(upper_u.shape[0]) < probabilities
+    edge_u = upper_u[mask].astype(np.int64)
+    edge_v = upper_v[mask].astype(np.int64)
+    # Reattach stray components to the hub (vertex 0, the heaviest).
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(vertex: int) -> int:
+        root = vertex
+        while parent[root] != root:
+            root = parent[root]
+        while parent[vertex] != root:
+            parent[vertex], vertex = root, parent[vertex]
+        return root
+
+    for u, v in zip(edge_u.tolist(), edge_v.tolist()):
+        parent[find(u)] = find(v)
+    degrees = np.bincount(
+        np.concatenate([edge_u, edge_v]), minlength=n
+    )
+    roots = np.array([find(vertex) for vertex in range(n)], dtype=np.int64)
+    extra: list[tuple[int, int]] = []
+    hub_root = roots[0]
+    for root in np.unique(roots):
+        if root == hub_root:
+            continue
+        members = np.flatnonzero(roots == root)
+        anchor = members[int(np.argmax(degrees[members]))]
+        extra.append((0, int(anchor)))
+    edges = list(zip(edge_u.tolist(), edge_v.tolist())) + extra
+    return Graph(
+        n, edges, name=f"power_law(n={n},gamma={exponent})"
+    )
 
 
 def random_regular_graph(n: int, degree: int, seed: SeedLike = None) -> Graph:

@@ -232,6 +232,66 @@ class Graph:
             self._hash = hash((self._num_vertices, self._edges.tobytes()))
         return self._hash
 
+    # ------------------------------------------------------------------
+    # Derived graphs (dynamic topology)
+    # ------------------------------------------------------------------
+    def _normalized_pairs(self, edges: EdgeList) -> IntArray:
+        """``(k, 2)`` u < v pair array with endpoint/self-loop validation."""
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            return pairs.reshape(0, 2)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphError("edges must be a sequence of (u, v) pairs")
+        if pairs.min() < 0 or pairs.max() >= self._num_vertices:
+            raise GraphError(
+                f"edge endpoints must lie in [0, {self._num_vertices - 1}], "
+                f"got range [{pairs.min()}, {pairs.max()}]"
+            )
+        if np.any(pairs[:, 0] == pairs[:, 1]):
+            raise GraphError("self-loops are not allowed")
+        return np.stack(
+            [np.minimum(pairs[:, 0], pairs[:, 1]), np.maximum(pairs[:, 0], pairs[:, 1])],
+            axis=1,
+        )
+
+    def without_edges(self, edges: EdgeList, name: str | None = None) -> "Graph":
+        """A new graph with the given undirected edges removed.
+
+        The receiver is untouched (graphs are immutable); the derived
+        graph goes through the full CSR build, so every hash/equality/
+        cache contract holds for it too. Edges not present are ignored,
+        making failure events idempotent.
+        """
+        drop = self._normalized_pairs(edges)
+        if drop.shape[0] == 0 or self.num_edges == 0:
+            kept = self._edges
+        else:
+            n = self._num_vertices
+            keys = self._edges[:, 0] * n + self._edges[:, 1]
+            drop_keys = drop[:, 0] * n + drop[:, 1]
+            kept = self._edges[~np.isin(keys, drop_keys)]
+        removed = self.num_edges - kept.shape[0]
+        return Graph(
+            self._num_vertices,
+            kept,
+            name=name or f"{self._name}-{removed}e",
+        )
+
+    def with_edges(self, edges: EdgeList, name: str | None = None) -> "Graph":
+        """A new graph with the given undirected edges added.
+
+        The receiver is untouched; duplicates (edges already present)
+        collapse in the constructor's dedup, making recovery events
+        idempotent.
+        """
+        add = self._normalized_pairs(edges)
+        combined = np.concatenate([self._edges, add], axis=0)
+        return Graph(
+            self._num_vertices,
+            combined,
+            name=name or f"{self._name}+{add.shape[0]}e",
+        )
+
     def renamed(self, name: str) -> "Graph":
         """Return a copy of this graph carrying a different name."""
         clone = Graph.__new__(Graph)

@@ -4,7 +4,9 @@ The paper proves convergence for a static task set; this subpackage
 turns the reproduction into a dynamic-workload simulator. Compose
 declarative :mod:`events <repro.scenarios.events>` (task arrivals and
 departures, Poisson churn, load shocks, speed changes, node drains and
-outages) into a round-indexed :class:`Schedule`, then drive them with a
+outages, plus topology events — edge failures, network partitions and
+recoveries that swap in derived immutable graphs) into a round-indexed
+:class:`Schedule`, then drive them with a
 :class:`ScenarioRunner` over either engine — the scalar simulator or
 the batched replica-stack engine — and feed the recorded per-round
 observables to :mod:`repro.analysis.dynamics` for recovery times and
@@ -30,6 +32,9 @@ from repro.scenarios.events import (
     SpeedChange,
     NodeDrain,
     NodeOutage,
+    EdgeFailure,
+    EdgeRecovery,
+    NetworkPartition,
 )
 from repro.scenarios.schedule import Schedule, ScheduleEntry, at, every
 from repro.scenarios.runner import (
@@ -51,6 +56,9 @@ __all__ = [
     "SpeedChange",
     "NodeDrain",
     "NodeOutage",
+    "EdgeFailure",
+    "EdgeRecovery",
+    "NetworkPartition",
     "Schedule",
     "ScheduleEntry",
     "at",

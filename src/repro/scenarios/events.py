@@ -68,6 +68,9 @@ __all__ = [
     "SpeedChange",
     "NodeDrain",
     "NodeOutage",
+    "EdgeFailure",
+    "EdgeRecovery",
+    "NetworkPartition",
 ]
 
 
@@ -284,6 +287,11 @@ class Event:
 
     name: str = "event"
 
+    #: Topology events transform the *graph* instead of the state; the
+    #: runner swaps the simulator onto the derived graph rather than
+    #: calling :meth:`apply`/:meth:`apply_batch`.
+    mutates_topology: bool = False
+
     def apply(
         self,
         state: LoadStateBase,
@@ -291,6 +299,22 @@ class Event:
         rng: np.random.Generator,
     ) -> EventOutcome:
         """Apply the event to a scalar state (mutated in place)."""
+        raise NotImplementedError
+
+    def transform_graph(
+        self, graph: Graph, base_graph: Graph, round_index: int
+    ) -> Graph:
+        """Derive the new network from the ``graph`` currently in force.
+
+        Only meaningful when :attr:`mutates_topology` is true. Returns a
+        *new* immutable :class:`~repro.graphs.graph.Graph` (graphs are
+        never mutated); ``base_graph`` is the scenario's original
+        network, used by recovery events to restore it. Any randomness
+        is derived from the event's own seed and ``round_index`` —
+        topology events consume **no** stream randomness, which is what
+        makes them replica-stable under both RNG policies and invariant
+        across replica-shard windows.
+        """
         raise NotImplementedError
 
     def apply_batch(
@@ -1086,3 +1110,150 @@ class NodeOutage(Event):
             f"outage(node {self.node}, speed x{self.residual_factor:g} "
             "after drain)"
         )
+
+
+class _TopologyEvent(Event):
+    """Shared plumbing for graph-transforming events.
+
+    Topology events never touch the load state — tasks stay where they
+    are and the protocol simply sees a different neighbourhood next
+    round — so the workload-side hooks refuse loudly instead of
+    silently doing nothing.
+    """
+
+    mutates_topology: bool = True
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        raise ModelError(
+            f"{self.name} transforms the graph, not the state; "
+            "ScenarioRunner applies it via transform_graph"
+        )
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        raise ModelError(
+            f"{self.name} transforms the graph, not the state; "
+            "ScenarioRunner applies it via transform_graph"
+        )
+
+
+@dataclass(frozen=True)
+class EdgeFailure(_TopologyEvent):
+    """Links go down: remove explicit ``edges`` or a random ``fraction``.
+
+    Exactly one of ``edges`` (a tuple of ``(u, v)`` pairs) and
+    ``fraction`` (of the *current* graph's edges, rounded) must be
+    given. The random choice is drawn from a generator derived from the
+    event's own ``seed`` and the firing round — not from the replica
+    streams — so every replica sees the same failed links under both
+    RNG policies. Removing an already-absent edge is a no-op
+    (idempotent).
+    """
+
+    edges: tuple[tuple[int, int], ...] | None = None
+    fraction: float | None = None
+    seed: int = 0
+    name: str = field(default="edge-failure", init=False, repr=False)
+
+    def __post_init__(self):
+        if (self.edges is None) == (self.fraction is None):
+            raise ValidationError(
+                "exactly one of edges and fraction must be given"
+            )
+        if self.fraction is not None and not 0.0 < self.fraction < 1.0:
+            raise ValidationError(
+                f"fraction must lie in (0, 1), got {self.fraction}"
+            )
+        if self.edges is not None and len(self.edges) == 0:
+            raise ValidationError("edges must be non-empty")
+
+    def transform_graph(self, graph, base_graph, round_index) -> Graph:
+        from repro.utils.rng import derive_seed, make_rng
+
+        if self.edges is not None:
+            return graph.without_edges(np.asarray(self.edges, dtype=np.int64))
+        count = max(1, round(self.fraction * graph.num_edges))
+        count = min(count, graph.num_edges)
+        rng = make_rng(derive_seed(self.seed, "edge-failure", round_index))
+        chosen = rng.choice(graph.num_edges, size=count, replace=False)
+        return graph.without_edges(graph.edges[np.sort(chosen)])
+
+    def describe(self) -> str:
+        if self.edges is not None:
+            return f"edge-failure({len(self.edges)} explicit edges)"
+        return f"edge-failure({self.fraction:g} of live edges)"
+
+
+@dataclass(frozen=True)
+class EdgeRecovery(_TopologyEvent):
+    """Links come back: add explicit ``edges``, or restore the base graph.
+
+    With ``edges=None`` the scenario's *original* network is restored
+    wholesale — and because :class:`~repro.graphs.graph.Graph` equality
+    is structural, the restored graph hits the protocol's existing
+    CSR/dij caches for the base topology. Adding an already-present
+    edge is a no-op (idempotent).
+    """
+
+    edges: tuple[tuple[int, int], ...] | None = None
+    name: str = field(default="edge-recovery", init=False, repr=False)
+
+    def __post_init__(self):
+        if self.edges is not None and len(self.edges) == 0:
+            raise ValidationError("edges must be non-empty (or None for full restore)")
+
+    def transform_graph(self, graph, base_graph, round_index) -> Graph:
+        if self.edges is None:
+            return base_graph
+        return graph.with_edges(np.asarray(self.edges, dtype=np.int64))
+
+    def describe(self) -> str:
+        if self.edges is None:
+            return "edge-recovery(restore base graph)"
+        return f"edge-recovery({len(self.edges)} explicit edges)"
+
+
+@dataclass(frozen=True)
+class NetworkPartition(_TopologyEvent):
+    """Cut every edge between ``nodes`` and the rest of the network.
+
+    Deterministic — the cut is fully determined by the node set — and
+    idempotent. The graph goes disconnected (assuming both sides hold a
+    vertex and the cut is non-empty), which the live spectral tracking
+    reports as ``lambda_2 = 0`` / ``gap_ratio = inf``; heal it with
+    :class:`EdgeRecovery`.
+    """
+
+    nodes: tuple[int, ...]
+    name: str = field(default="partition", init=False, repr=False)
+
+    def __post_init__(self):
+        if len(self.nodes) == 0:
+            raise ValidationError("nodes must be non-empty")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValidationError("nodes must be distinct")
+        if any(
+            not isinstance(node, (int, np.integer)) or node < 0
+            for node in self.nodes
+        ):
+            raise ValidationError("nodes must be non-negative ints")
+
+    def transform_graph(self, graph, base_graph, round_index) -> Graph:
+        side = np.zeros(graph.num_vertices, dtype=bool)
+        nodes = np.asarray(self.nodes, dtype=np.int64)
+        if nodes.max() >= graph.num_vertices:
+            raise ModelError(
+                f"partition node {int(nodes.max())} out of range "
+                f"[0, {graph.num_vertices - 1}]"
+            )
+        if nodes.shape[0] >= graph.num_vertices:
+            raise ModelError("partition must leave both sides non-empty")
+        side[nodes] = True
+        cut = side[graph.edges_u] != side[graph.edges_v]
+        if not np.any(cut):
+            return graph
+        return graph.without_edges(
+            graph.edges[cut], name=f"{graph.name}|cut{int(np.count_nonzero(cut))}"
+        )
+
+    def describe(self) -> str:
+        return f"partition({len(self.nodes)} nodes isolated)"

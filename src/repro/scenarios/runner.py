@@ -50,6 +50,7 @@ from repro.graphs.graph import Graph
 from repro.model.batch import BatchStateBase, BatchUniformState, BatchWeightedState
 from repro.model.state import LoadStateBase, UniformState, WeightedState
 from repro.scenarios.schedule import Schedule
+from repro.spectral.eigen import algebraic_connectivity
 from repro.types import FloatArray, IntArray, SeedLike
 from repro.utils.rng import (
     StreamLayout,
@@ -136,7 +137,15 @@ class ScenarioResult:
         (all ``False`` when no target was given).
     events:
         Chronological log of event applications with per-replica
-        magnitudes.
+        magnitudes. Topology events log with zero workload magnitudes —
+        they relocate nothing; the graph itself changed.
+    lambda2, gap_ratio, connected:
+        ``(T + 1,)`` per-round topology trace: the algebraic
+        connectivity of the graph in force, the paper's graph factor
+        ``Delta / lambda_2`` (``inf`` through disconnected windows), and
+        the connectivity verdict. One row per round — *not* per replica
+        — because topology events are replica-stable: every replica
+        sees the same graph. ``None`` on results from older pipelines.
     """
 
     final_state: LoadStateBase | BatchStateBase
@@ -149,6 +158,9 @@ class ScenarioResult:
     num_tasks: IntArray
     target_satisfied: np.ndarray
     events: list[EventRecord]
+    lambda2: FloatArray | None = None
+    gap_ratio: FloatArray | None = None
+    connected: np.ndarray | None = None
 
     @property
     def num_replicas(self) -> int:
@@ -171,6 +183,31 @@ class _Recorder:
         self.total_weight = np.zeros(shape)
         self.num_tasks = np.zeros(shape, dtype=np.int64)
         self.target_satisfied = np.zeros(shape, dtype=bool)
+        # Topology trace: one row per round, shared across replicas.
+        self.lambda2 = np.zeros(horizon + 1)
+        self.gap_ratio = np.zeros(horizon + 1)
+        self.connected = np.zeros(horizon + 1, dtype=bool)
+
+
+def _spectral_entry(
+    graph: Graph, memo: dict[Graph, tuple[float, float, bool]]
+) -> tuple[float, float, bool]:
+    """Memoized ``(lambda_2, Delta/lambda_2, connected)`` for ``graph``.
+
+    The memo is keyed by the graph's *structural* equality, so a
+    recovery event restoring the base graph reuses the entry computed at
+    round 0 instead of re-running the eigensolver, and long disconnected
+    windows cost one solve total. Disconnected graphs report
+    ``lambda_2 = 0`` / ``gap_ratio = inf`` (the non-strict spectral
+    path) rather than raising.
+    """
+    entry = memo.get(graph)
+    if entry is None:
+        lambda2 = algebraic_connectivity(graph, strict=False)
+        gap = graph.max_degree / lambda2 if lambda2 > 0.0 else float("inf")
+        entry = (lambda2, gap, lambda2 > 0.0)
+        memo[graph] = entry
+    return entry
 
 
 class ScenarioRunner:
@@ -241,26 +278,48 @@ class ScenarioRunner:
         generator = make_rng(rng)
         recorder = _Recorder(rounds, 1)
         events: list[EventRecord] = []
+        # The graph currently in force (topology events swap it); a
+        # one-slot holder so the closures below track the swaps.
+        current_graph: list[Graph] = [self._graph]
+        spectral_memo: dict[Graph, tuple[float, float, bool]] = {}
+        simulator = Simulator(self._graph, self._protocol, generator)
 
         def record(round_index: int, current: LoadStateBase) -> None:
+            graph = current_graph[0]
             recorder.psi0[round_index, 0] = psi0_potential(current)
             recorder.max_load_difference[round_index, 0] = (
                 current.max_load_difference
             )
             recorder.nash_violation[round_index, 0] = nash_violation_fraction(
-                current.loads[None, :], current.speeds, self._graph, self._tolerance
+                current.loads[None, :], current.speeds, graph, self._tolerance
             )[0]
             recorder.total_weight[round_index, 0] = _exact_total(current)
             recorder.num_tasks[round_index, 0] = current.num_tasks
+            lambda2, gap_ratio, connected = _spectral_entry(graph, spectral_memo)
+            recorder.lambda2[round_index] = lambda2
+            recorder.gap_ratio[round_index] = gap_ratio
+            recorder.connected[round_index] = connected
             if self._target is not None:
                 recorder.target_satisfied[round_index, 0] = self._target.satisfied(
-                    current, self._graph
+                    current, graph
                 )
 
         def before_round(round_index: int, current: LoadStateBase) -> None:
             record(round_index, current)
             for event in self._schedule.events_due(round_index):
-                outcome = event.apply(current, self._graph, generator)
+                if event.mutates_topology:
+                    new_graph = event.transform_graph(
+                        current_graph[0], self._graph, round_index
+                    )
+                    current_graph[0] = new_graph
+                    simulator.swap_graph(new_graph)
+                    events.append(
+                        _topology_event_record(
+                            round_index, event, np.array([psi0_potential(current)])
+                        )
+                    )
+                    continue
+                outcome = event.apply(current, current_graph[0], generator)
                 events.append(
                     EventRecord(
                         round_index=round_index,
@@ -279,7 +338,6 @@ class ScenarioRunner:
                     )
                 )
 
-        simulator = Simulator(self._graph, self._protocol, generator)
         simulator.run(
             state, stopping=None, max_rounds=rounds, before_round=before_round
         )
@@ -295,6 +353,9 @@ class ScenarioRunner:
             num_tasks=recorder.num_tasks,
             target_satisfied=recorder.target_satisfied,
             events=events,
+            lambda2=recorder.lambda2,
+            gap_ratio=recorder.gap_ratio,
+            connected=recorder.connected,
         )
 
     # ------------------------------------------------------------------
@@ -330,26 +391,52 @@ class ScenarioRunner:
         recorder = _Recorder(rounds, num_replicas)
         events: list[EventRecord] = []
         all_rows = np.arange(num_replicas, dtype=np.int64)
+        current_graph: list[Graph] = [self._graph]
+        spectral_memo: dict[Graph, tuple[float, float, bool]] = {}
+        simulator = BatchSimulator(self._graph, self._protocol, seed)
 
         def record(round_index: int, current: BatchStateBase) -> None:
+            graph = current_graph[0]
             recorder.psi0[round_index] = current.psi0_potentials()
             recorder.max_load_difference[round_index] = (
                 current.max_load_difference
             )
             recorder.nash_violation[round_index] = nash_violation_fraction(
-                current.loads, current.speeds, self._graph, self._tolerance
+                current.loads, current.speeds, graph, self._tolerance
             )
             recorder.total_weight[round_index] = _exact_total_batch(current)
             recorder.num_tasks[round_index] = current.num_tasks
+            lambda2, gap_ratio, connected = _spectral_entry(graph, spectral_memo)
+            recorder.lambda2[round_index] = lambda2
+            recorder.gap_ratio[round_index] = gap_ratio
+            recorder.connected[round_index] = connected
             if self._target is not None:
                 recorder.target_satisfied[round_index] = (
-                    self._target.satisfied_batch(current, self._graph, all_rows)
+                    self._target.satisfied_batch(current, graph, all_rows)
                 )
 
         def before_round(round_index: int, current: BatchStateBase) -> None:
             record(round_index, current)
             for event in self._schedule.events_due(round_index):
-                outcome = event.apply_batch(current, self._graph, streams, None)
+                if event.mutates_topology:
+                    # Topology events consume no stream randomness and
+                    # swap one graph shared by the whole stack, so they
+                    # are replica-stable under both stream layouts (and
+                    # invariant across spawned replica-shard windows).
+                    new_graph = event.transform_graph(
+                        current_graph[0], self._graph, round_index
+                    )
+                    current_graph[0] = new_graph
+                    simulator.swap_graph(new_graph)
+                    events.append(
+                        _topology_event_record(
+                            round_index, event, current.psi0_potentials()
+                        )
+                    )
+                    continue
+                outcome = event.apply_batch(
+                    current, current_graph[0], streams, None
+                )
                 events.append(
                     EventRecord(
                         round_index=round_index,
@@ -371,7 +458,6 @@ class ScenarioRunner:
                 ):
                     current.compact()
 
-        simulator = BatchSimulator(self._graph, self._protocol, seed)
         simulator.run(
             batch,
             stopping=None,
@@ -391,6 +477,9 @@ class ScenarioRunner:
             num_tasks=recorder.num_tasks,
             target_satisfied=recorder.target_satisfied,
             events=events,
+            lambda2=recorder.lambda2,
+            gap_ratio=recorder.gap_ratio,
+            connected=recorder.connected,
         )
 
     # ------------------------------------------------------------------
@@ -513,6 +602,30 @@ class ScenarioRunner:
         return merge_replica_results(replica_results)
 
 
+def _topology_event_record(
+    round_index: int, event, psi0_after: FloatArray
+) -> EventRecord:
+    """Event-log entry for a graph swap: zero workload magnitudes.
+
+    Topology events move no tasks and no weight (the network changed
+    under an unchanged task placement), so conservation assertions see
+    zero deltas across the swap.
+    """
+    num_replicas = psi0_after.shape[0]
+    zeros_int = np.zeros(num_replicas, dtype=np.int64)
+    return EventRecord(
+        round_index=round_index,
+        name=event.name,
+        description=event.describe(),
+        tasks_added=zeros_int,
+        tasks_removed=zeros_int,
+        weight_added=np.zeros(num_replicas),
+        weight_removed=np.zeros(num_replicas),
+        tasks_relocated=zeros_int,
+        psi0_after=np.asarray(psi0_after, dtype=np.float64).copy(),
+    )
+
+
 def _exact_total(state: LoadStateBase) -> float:
     """A state's exactly conserved total (modulo events)."""
     if isinstance(state, WeightedState):
@@ -594,4 +707,10 @@ def merge_replica_results(results: list[ScenarioResult]) -> ScenarioResult:
             [r.target_satisfied for r in results], axis=1
         ),
         events=merged_events,
+        # The topology trace is replica-independent (every replica sees
+        # the same graph swaps), so the first input's trace is the
+        # ensemble's trace.
+        lambda2=first.lambda2,
+        gap_ratio=first.gap_ratio,
+        connected=first.connected,
     )

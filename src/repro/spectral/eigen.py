@@ -73,14 +73,20 @@ def _smallest_two_sparse(matrix: sp.csr_matrix) -> FloatArray:
     return np.sort(np.clip(values, 0.0, None))
 
 
-def algebraic_connectivity(graph: Graph) -> float:
+def algebraic_connectivity(graph: Graph, strict: bool = True) -> float:
     """Second-smallest Laplacian eigenvalue ``lambda_2`` (Fiedler value).
 
-    Raises :class:`DisconnectedGraphError` when the graph is disconnected
-    (``lambda_2 = 0`` by Lemma 1.4 (2)); the protocol analysis needs a
-    connected network.
+    With ``strict=True`` (the default, what the theory code wants)
+    raises :class:`DisconnectedGraphError` when the graph is
+    disconnected (``lambda_2 = 0`` by Lemma 1.4 (2)); the protocol
+    analysis needs a connected network. ``strict=False`` instead reports
+    ``0.0`` for disconnected (or single-vertex) graphs — the live
+    topology tracking in :mod:`repro.scenarios` records the degradation
+    through a partition window rather than crashing on it.
     """
     if graph.num_vertices == 1:
+        if not strict:
+            return 0.0
         raise DisconnectedGraphError("lambda_2 undefined for a single vertex")
     if graph.num_vertices <= DENSE_CUTOFF:
         spectrum = laplacian_spectrum(graph)
@@ -89,6 +95,8 @@ def algebraic_connectivity(graph: Graph) -> float:
         values = _smallest_two_sparse(laplacian_sparse(graph))
         lambda2 = float(values[1])
     if lambda2 < ZERO_TOLERANCE:
+        if not strict:
+            return 0.0
         raise DisconnectedGraphError(
             f"{graph.name} appears disconnected (lambda_2 = {lambda2:.2e})"
         )
@@ -151,6 +159,14 @@ def generalized_lambda2(graph: Graph, speeds: object) -> float:
     return mu2
 
 
-def spectral_gap_ratio(graph: Graph) -> float:
-    """``Delta / lambda_2`` — the graph factor in the paper's bounds."""
-    return graph.max_degree / algebraic_connectivity(graph)
+def spectral_gap_ratio(graph: Graph, strict: bool = True) -> float:
+    """``Delta / lambda_2`` — the graph factor in the paper's bounds.
+
+    ``strict=False`` returns ``inf`` for disconnected graphs (where
+    ``lambda_2 = 0``) instead of raising, so per-round traces can record
+    the bound degrading to infinity through a partition window.
+    """
+    lambda2 = algebraic_connectivity(graph, strict=strict)
+    if lambda2 == 0.0:
+        return float("inf")
+    return graph.max_degree / lambda2

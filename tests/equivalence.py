@@ -21,7 +21,11 @@ deltas (:func:`assert_scenario_conservation`) and batch-vs-scalar
 agreement under a fixed schedule
 (:func:`assert_scenario_engines_agree`) — pathwise for the weighted
 protocols, in law (KS over final potentials and recovery rounds) for
-the uniform protocol.
+the uniform protocol. Dynamic-topology scenarios add two exact
+contracts: the per-round spectral trace is identical across engines,
+policies and shard windows (:func:`assert_topology_traces_agree`), and
+a scheduled partition/recovery pair shows up in the trace at exactly
+the expected rows (:func:`assert_topology_window`).
 
 The counter stream layout (``rng_policy="counter"``, PR 5) pins the
 same three contracts at the law level:
@@ -62,6 +66,8 @@ __all__ = [
     "assert_scenario_engines_agree",
     "assert_counter_matches_scalar_law",
     "assert_counter_scenario_agrees",
+    "assert_topology_traces_agree",
+    "assert_topology_window",
 ]
 
 
@@ -380,6 +386,62 @@ def assert_counter_scenario_agrees(
             label="counter vs scalar recovery-round distributions",
         )
     return counter, scalar
+
+
+def assert_topology_traces_agree(result_a, result_b) -> None:
+    """Two scenario results record the identical spectral trace.
+
+    Topology events are replica-stable and consume no stream
+    randomness, so the per-round ``lambda2`` / ``gap_ratio`` /
+    ``connected`` traces must be *identical* across engines, RNG
+    policies and shard windows — not merely equal in law.
+    ``assert_allclose`` treats matching ``inf`` entries (disconnected
+    windows) as equal.
+    """
+    for result in (result_a, result_b):
+        assert result.lambda2 is not None, "missing spectral trace"
+    np.testing.assert_array_equal(
+        result_a.connected,
+        result_b.connected,
+        err_msg="connectivity traces diverged",
+    )
+    np.testing.assert_allclose(
+        result_a.lambda2,
+        result_b.lambda2,
+        atol=1e-9,
+        err_msg="lambda_2 traces diverged",
+    )
+    np.testing.assert_allclose(
+        result_a.gap_ratio,
+        result_b.gap_ratio,
+        atol=1e-9,
+        err_msg="gap-ratio traces diverged",
+    )
+
+
+def assert_topology_window(
+    result, partition_round: int, recover_round: int
+) -> None:
+    """The spectral trace shows the scheduled partition window exactly.
+
+    Row ``t`` of the trace is the state *after* ``t`` rounds (events at
+    round ``t`` apply after row ``t`` is recorded), so a partition at
+    ``partition_round`` followed by a recovery at ``recover_round``
+    must produce: disconnected rows with ``lambda_2 = 0`` and
+    ``gap_ratio = inf`` exactly on ``[partition_round + 1,
+    recover_round]``, and a bit-exact return to the baseline row-0
+    values afterwards (the recovered graph is structurally equal to
+    the original).
+    """
+    window = slice(partition_round + 1, recover_round + 1)
+    assert not result.connected[window].any(), "partition window connected"
+    assert np.all(result.lambda2[window] == 0.0)
+    assert np.all(np.isinf(result.gap_ratio[window]))
+    assert result.connected[partition_round], "pre-partition row disconnected"
+    assert result.connected[recover_round + 1], "post-recovery row disconnected"
+    assert result.lambda2[recover_round + 1] == result.lambda2[0]
+    assert result.gap_ratio[recover_round + 1] == result.gap_ratio[0]
+    assert result.gap_ratio[-1] == result.gap_ratio[0]
 
 
 def assert_same_seed_determinism(run: Callable[[], tuple]) -> tuple:

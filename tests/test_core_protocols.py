@@ -294,3 +294,57 @@ class TestGraphCacheKeying:
         cache_second = protocol._graph_cache(second)
         assert protocol._graph_cache(first) is cache_first
         assert protocol._graph_cache(second) is cache_second
+
+
+class TestGraphCacheLRU:
+    """Regression: a full graph cache used to be *cleared wholesale*,
+
+    so a rotation of ``capacity + 1`` graphs rebuilt every hot entry on
+    each pass. Eviction is now true LRU: the single least-recently-used
+    entry is dropped and the hot remainder survives."""
+
+    def _fill(self, protocol, count):
+        graphs = [cycle_graph(3 + index) for index in range(count)]
+        for graph in graphs:
+            protocol._graph_cache(graph)
+        return graphs
+
+    def test_insert_at_capacity_evicts_exactly_one(self):
+        from repro.core.protocols import GRAPH_CACHE_CAPACITY
+
+        protocol = SelfishUniformProtocol()
+        graphs = self._fill(protocol, GRAPH_CACHE_CAPACITY)
+        caches = {g: protocol._graph_cache(g) for g in graphs}
+        overflow = cycle_graph(3 + GRAPH_CACHE_CAPACITY)
+        protocol._graph_cache(overflow)
+        assert len(protocol._cache) == GRAPH_CACHE_CAPACITY
+        # graphs[0] is the LRU entry; every other hot entry survived
+        # (identity check: the same cache object, not a rebuild).
+        assert graphs[0] not in protocol._cache
+        for graph in graphs[1:]:
+            assert protocol._graph_cache(graph) is caches[graph]
+
+    def test_touch_protects_oldest_entry(self):
+        from repro.core.protocols import GRAPH_CACHE_CAPACITY
+
+        protocol = SelfishUniformProtocol()
+        graphs = self._fill(protocol, GRAPH_CACHE_CAPACITY)
+        protocol._graph_cache(graphs[0])  # refresh the oldest
+        protocol._graph_cache(cycle_graph(3 + GRAPH_CACHE_CAPACITY))
+        assert graphs[0] in protocol._cache
+        assert graphs[1] not in protocol._cache  # second-oldest evicted
+
+    def test_dead_refs_do_not_count_toward_capacity(self):
+        import gc
+
+        from repro.core.protocols import GRAPH_CACHE_CAPACITY
+
+        protocol = SelfishUniformProtocol()
+        transient = cycle_graph(64)
+        protocol._graph_cache(transient)
+        del transient
+        protocol._last = None
+        gc.collect()
+        graphs = self._fill(protocol, GRAPH_CACHE_CAPACITY)
+        # the dead entry vanished on its own; all live entries fit
+        assert all(graph in protocol._cache for graph in graphs)

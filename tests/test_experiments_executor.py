@@ -74,6 +74,7 @@ class TestRunCell:
             "scenario-recovery",
             "shock-recovery",
             "churn-band",
+            "topology-resilience",
         }
 
     def test_runs_weighted_cell(self):

@@ -31,6 +31,7 @@ EXPECTED_IDS = {
     "equilibrium-quality",
     "robustness",
     "scenarios-churn-shock",
+    "topology-failures",
 }
 
 

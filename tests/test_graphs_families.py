@@ -19,6 +19,10 @@ class TestRegistry:
             "mesh",
             "torus",
             "hypercube",
+            "fat-tree",
+            "leaf-spine",
+            "expander",
+            "power-law",
         }
 
     def test_get_family_unknown(self):

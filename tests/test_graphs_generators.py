@@ -14,7 +14,11 @@ from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
     erdos_renyi_graph,
+    expander_graph,
+    fat_tree_graph,
     from_edges,
+    leaf_spine_graph,
+    power_law_graph,
     grid_graph,
     hypercube_graph,
     lollipop_graph,
@@ -223,3 +227,83 @@ class TestFromEdges:
         graph = from_edges(4, [(0, 1), (2, 3)], name="pair")
         assert graph.name == "pair"
         assert graph.num_edges == 2
+
+
+class TestFatTree:
+    def test_size_and_arity(self):
+        graph = fat_tree_graph(4)
+        # (k/2)^2 cores + k pods of k switches
+        assert graph.num_vertices == 4 + 4 * 4
+        assert graph.max_degree == 4
+
+    def test_layer_degrees(self):
+        k = 4
+        graph = fat_tree_graph(k)
+        half = k // 2
+        num_cores = half * half
+        degrees = graph.degrees
+        # cores connect to one agg per pod; aggs to half cores + half
+        # edges; edge switches to the half aggs of their pod.
+        np.testing.assert_array_equal(degrees[:num_cores], k)
+        for pod in range(k):
+            base = num_cores + pod * k
+            np.testing.assert_array_equal(degrees[base : base + half], k)
+            np.testing.assert_array_equal(degrees[base + half : base + k], half)
+
+    def test_diameter_four(self):
+        assert diameter(fat_tree_graph(4)) == 4
+
+    def test_connected_across_arities(self):
+        for k in (2, 4, 6):
+            assert is_connected(fat_tree_graph(k))
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            fat_tree_graph(3)
+
+
+class TestLeafSpine:
+    def test_is_complete_bipartite(self):
+        graph = leaf_spine_graph(4, 12)
+        assert graph.num_vertices == 16
+        assert graph.num_edges == 4 * 12
+        np.testing.assert_array_equal(graph.degrees[:4], 12)  # spines
+        np.testing.assert_array_equal(graph.degrees[4:], 4)  # leaves
+        assert diameter(graph) == 2
+
+    def test_hosts_hang_off_leaves(self):
+        graph = leaf_spine_graph(2, 3, hosts_per_leaf=2)
+        assert graph.num_vertices == 2 + 3 + 6
+        np.testing.assert_array_equal(graph.degrees[5:], 1)
+
+
+class TestExpander:
+    def test_regular_with_gap_floor(self):
+        from repro.spectral.eigen import algebraic_connectivity
+
+        graph = expander_graph(20, degree=4, seed=0)
+        assert is_regular(graph)
+        assert graph.max_degree == 4
+        # Ramanujan-style floor: 0.9 * (d - 2 sqrt(d - 1))
+        floor = 0.9 * (4 - 2 * np.sqrt(3.0))
+        assert algebraic_connectivity(graph) >= floor
+
+    def test_deterministic_per_seed(self):
+        assert expander_graph(20, seed=5) == expander_graph(20, seed=5)
+        assert expander_graph(20, seed=5) != expander_graph(20, seed=6)
+
+
+class TestPowerLaw:
+    def test_connected_and_sized(self):
+        graph = power_law_graph(40, seed=3)
+        assert graph.num_vertices == 40
+        assert is_connected(graph)
+
+    def test_heavy_tail(self):
+        """Hub degrees dominate the median degree by a wide margin."""
+        graph = power_law_graph(120, exponent=2.5, seed=3)
+        degrees = np.sort(graph.degrees)
+        assert degrees[-1] >= 3 * np.median(degrees)
+
+    def test_deterministic_per_seed(self):
+        assert power_law_graph(40, seed=9) == power_law_graph(40, seed=9)

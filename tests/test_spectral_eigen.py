@@ -153,3 +153,41 @@ class TestSpectralGapRatio:
         small = spectral_gap_ratio(cycle_graph(8))
         large = spectral_gap_ratio(cycle_graph(16))
         assert large / small == pytest.approx(4.0, rel=0.15)
+
+
+class TestNonStrictDisconnected:
+    """``strict=False``: disconnected graphs report, they don't raise.
+
+    The live topology trace evaluates the spectrum every round while
+    partitions are in effect, so the non-strict path must map a
+    disconnected graph to ``lambda_2 = 0`` and ``gap_ratio = inf``
+    instead of :class:`DisconnectedGraphError`."""
+
+    def test_disconnected_lambda2_zero(self):
+        graph = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert algebraic_connectivity(graph, strict=False) == 0.0
+
+    def test_disconnected_gap_inf(self):
+        graph = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert spectral_gap_ratio(graph, strict=False) == math.inf
+
+    def test_single_vertex_non_strict(self):
+        graph = from_edges(1, [])
+        assert algebraic_connectivity(graph, strict=False) == 0.0
+        assert spectral_gap_ratio(graph, strict=False) == math.inf
+
+    def test_strict_remains_default(self):
+        graph = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        with pytest.raises(DisconnectedGraphError):
+            algebraic_connectivity(graph)
+        with pytest.raises(DisconnectedGraphError):
+            spectral_gap_ratio(graph)
+
+    def test_connected_values_identical(self, small_graphs):
+        for graph in small_graphs:
+            assert algebraic_connectivity(graph, strict=False) == (
+                algebraic_connectivity(graph)
+            )
+            assert spectral_gap_ratio(graph, strict=False) == (
+                spectral_gap_ratio(graph)
+            )
