@@ -1,0 +1,41 @@
+"""Top-level package entry point.
+
+``python -m repro --list`` prints the registered experiment ids one per
+line (exit 0) — a stable surface for shell completion and CI scripts.
+Everything else defers to the full experiment CLI,
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import available_experiments
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Adolphs & Berenbrink (PODC 2012). "
+        "Run experiments with python -m repro.experiments.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print available experiment ids, one per line",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -24,6 +24,10 @@ from repro.analysis.dynamics import (
     SteadyStateBand,
     steady_state_band,
 )
+from repro.analysis.streaming import (
+    ObservableSummary,
+    RunningMoments,
+)
 
 __all__ = [
     "PowerLawFit",
@@ -41,4 +45,6 @@ __all__ = [
     "rolling_violation",
     "SteadyStateBand",
     "steady_state_band",
+    "ObservableSummary",
+    "RunningMoments",
 ]

@@ -1,0 +1,109 @@
+"""Bounded-memory streaming reducers for long scenario recordings.
+
+A full scenario recording materializes ``(T + 1, R)`` arrays per
+observable — fine for the paper's horizons, prohibitive for
+multi-thousand-round trace replays. The streaming path folds recorded
+rows through :class:`RunningMoments` chunk by chunk: per-replica count,
+mean, variance (via the numerically stable Chan et al. parallel-merge
+update), minimum, maximum, and last value, all in ``O(R)`` memory
+independent of the horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import FloatArray
+
+__all__ = ["ObservableSummary", "RunningMoments"]
+
+
+@dataclass(frozen=True)
+class ObservableSummary:
+    """Per-replica summary statistics of one recorded observable.
+
+    All arrays have shape ``(R,)``; ``variance`` is the population
+    variance (``ddof=0``) over the recorded rows. ``last`` is the final
+    recorded row — for scenario recordings that is always the
+    post-horizon state, regardless of thinning.
+    """
+
+    count: int
+    mean: FloatArray
+    variance: FloatArray
+    minimum: FloatArray
+    maximum: FloatArray
+    last: FloatArray
+
+
+class RunningMoments:
+    """Streaming per-replica moments over row chunks.
+
+    Feed ``(k, R)`` chunks of recorded rows via :meth:`update`; the
+    reducer keeps count/mean/M2/min/max/last per replica and never
+    retains a chunk. Merging a chunk uses the parallel-variance update
+    (Chan, Golub & LeVeque), so the result matches a single-pass
+    computation over the concatenated rows to floating-point accuracy.
+    """
+
+    def __init__(self, num_replicas: int):
+        if num_replicas < 1:
+            raise ValidationError(
+                f"num_replicas must be >= 1, got {num_replicas}"
+            )
+        self._num_replicas = num_replicas
+        self._count = 0
+        self._mean = np.zeros(num_replicas, dtype=np.float64)
+        self._m2 = np.zeros(num_replicas, dtype=np.float64)
+        self._minimum = np.full(num_replicas, np.inf, dtype=np.float64)
+        self._maximum = np.full(num_replicas, -np.inf, dtype=np.float64)
+        self._last = np.full(num_replicas, np.nan, dtype=np.float64)
+
+    @property
+    def count(self) -> int:
+        """Rows folded in so far."""
+        return self._count
+
+    def update(self, chunk: FloatArray) -> None:
+        """Fold a ``(k, R)`` chunk of rows into the running moments."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim != 2 or chunk.shape[1] != self._num_replicas:
+            raise ValidationError(
+                f"chunk must have shape (k, {self._num_replicas}), "
+                f"got {chunk.shape}"
+            )
+        k = chunk.shape[0]
+        if k == 0:
+            return
+        chunk_mean = chunk.mean(axis=0)
+        chunk_m2 = np.square(chunk - chunk_mean).sum(axis=0)
+        if self._count == 0:
+            self._mean = chunk_mean
+            self._m2 = chunk_m2
+        else:
+            total = self._count + k
+            delta = chunk_mean - self._mean
+            self._mean = self._mean + delta * (k / total)
+            self._m2 = (
+                self._m2 + chunk_m2 + np.square(delta) * (self._count * k / total)
+            )
+        self._count += k
+        np.minimum(self._minimum, chunk.min(axis=0), out=self._minimum)
+        np.maximum(self._maximum, chunk.max(axis=0), out=self._maximum)
+        self._last = chunk[-1].copy()
+
+    def summary(self) -> ObservableSummary:
+        """The folded statistics as an :class:`ObservableSummary`."""
+        if self._count == 0:
+            raise ValidationError("no rows recorded")
+        return ObservableSummary(
+            count=self._count,
+            mean=self._mean.copy(),
+            variance=self._m2 / self._count,
+            minimum=self._minimum.copy(),
+            maximum=self._maximum.copy(),
+            last=self._last.copy(),
+        )

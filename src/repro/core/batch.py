@@ -194,6 +194,7 @@ class BatchSimulator:
         check_every: int = 1,
         rngs: Sequence[np.random.Generator] | StreamLayout | None = None,
         before_round: Callable[[int, BatchStateBase], None] | None = None,
+        after_round: Callable[[int, BatchStateBase], None] | None = None,
     ) -> BatchSimulationResult:
         """Run the protocol on the replica stack (mutated in place).
 
@@ -222,6 +223,13 @@ class BatchSimulator:
             retirement bookkeeping). The hook may mutate the stack —
             this is how :mod:`repro.scenarios` applies workload events
             across all replicas under non-quiescent load.
+        after_round:
+            Optional hook ``(round_index, batch)`` invoked immediately
+            after each executed batched round's kernel. The stack is
+            untouched between ``after_round(t)`` and ``before_round(t +
+            1)``, so an observer recording here sees exactly the stack a
+            row-``t + 1`` scenario record would — the streaming scenario
+            recorder relies on that equivalence.
         """
         max_rounds = check_integer(max_rounds, "max_rounds", minimum=0)
         check_every = check_integer(check_every, "check_every", minimum=1)
@@ -266,6 +274,8 @@ class BatchSimulator:
             )
             any_saturation |= summary.saturated
             rounds_executed += 1
+            if after_round is not None:
+                after_round(round_index, batch)
 
         converged = stop_rounds >= 0
         if stopping is None:

@@ -154,6 +154,15 @@ class Protocol:
     #: runs on the scalar reference.
     batch_matches_clipped_law: bool = False
 
+    #: Whether the batched kernel's counter-layout draw sites are
+    #: addressed by *global replica index* (``site_uniforms``) rather
+    #: than whole-stack blocks (``site``). Shardable kernels reproduce a
+    #: replica window's monolithic counter streams exactly, so
+    #: counter-policy ensembles with deterministic schedules may split
+    #: across workers; whole-stack sites (e.g. the uniform kernel's
+    #: multinomial) consume words data-dependently and cannot.
+    counter_shardable: bool = False
+
     @classmethod
     def batch_state_class(cls) -> type | None:
         """The replica-stack state type the batched kernel advances.
@@ -553,6 +562,12 @@ class SelfishWeightedProtocol(Protocol):
     #: same Bernoulli probability), so batched and scalar sampling share
     #: one law even in ablation-``alpha`` regimes.
     batch_matches_clipped_law = True
+
+    #: The counter kernel's only draw site is
+    #: ``site_uniforms("weighted-migrate", ...)`` — one word per
+    #: ``(global replica, slot)``, independent of the other replicas —
+    #: so counter ensembles over deterministic schedules shard cleanly.
+    counter_shardable = True
 
     #: Algorithm 2's migration condition depends only on the (source,
     #: destination) edge, never on the task's own weight — so the counter

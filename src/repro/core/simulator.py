@@ -115,6 +115,7 @@ class Simulator:
         record: bool = False,
         check_every: int = 1,
         before_round: Callable[[int, LoadStateBase], None] | None = None,
+        after_round: Callable[[int, LoadStateBase], None] | None = None,
     ) -> SimulationResult:
         """Run the protocol on ``state`` (mutated in place).
 
@@ -139,6 +140,13 @@ class Simulator:
             converged run never fires it). The hook may mutate the state
             — this is how :mod:`repro.scenarios` applies workload events
             under non-quiescent load.
+        after_round:
+            Optional hook ``(round_index, state)`` invoked immediately
+            after each executed round's kernel. Nothing touches the
+            state between ``after_round(t)`` and ``before_round(t +
+            1)``, so an observer recording here sees exactly the state
+            a row-``t + 1`` trace record would — the streaming scenario
+            recorder relies on that equivalence.
 
         Returns
         -------
@@ -184,6 +192,8 @@ class Simulator:
             rounds_executed += 1
             if recorder is not None:
                 recorder.record(round_index + 1, state, self._graph, summary)
+            if after_round is not None:
+                after_round(round_index, state)
 
         return SimulationResult(
             final_state=state,

@@ -126,6 +126,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(repetitions become a cap; effective sizes are recorded in "
         "run_meta.cell_timings)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="replay this saved workload trace file as the single cell "
+        "of the workloads-traffic experiment (other experiments warn "
+        "and ignore it)",
+    )
+    parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="narrow the workloads-traffic experiment to one cell of "
+        "this generator (mmpp, diurnal, flash-crowd, adversarial, "
+        "mmpp-flash; other experiments warn and ignore it)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -138,6 +155,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--shard-size must be >= 1, got {args.shard_size}")
     if getattr(args, "target_ci", None) is not None and not args.target_ci > 0:
         parser.error(f"--target-ci must be positive, got {args.target_ci}")
+    if getattr(args, "seed", None) is not None and args.seed < 0:
+        parser.error(
+            f"--seed must be a non-negative integer, got {args.seed}"
+        )
+    if getattr(args, "trace", None) is not None and not args.trace.is_file():
+        parser.error(f"--trace file not found: {args.trace}")
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
@@ -168,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
                 rng_policy=args.rng,
                 shard_size=args.shard_size,
                 target_ci=args.target_ci,
+                trace=None if args.trace is None else str(args.trace),
+                workload=args.workload,
             )
         except ReproError as error:
             # Any deliberate library error (unknown id, bad parameters,

@@ -80,6 +80,14 @@ from repro.experiments.scenario_cells import (
     run_scenario_window,
     summarize_scenario_result,
 )
+
+# Importing the workload cells registers their builders into the
+# scenario cell registry — worker processes import this module to
+# unpickle CellSpec tasks, so the registration is visible pool-wide.
+from repro.experiments.workload_cells import (
+    measure_workload_adversarial,
+    measure_workload_replay,
+)
 from repro.scenarios import merge_replica_results
 from repro.utils.rng import derive_seed
 
@@ -88,6 +96,7 @@ __all__ = [
     "MEASUREMENT_KINDS",
     "ADAPTIVE_KINDS",
     "COUNTER_SHARDABLE_KINDS",
+    "WORKLOAD_KINDS",
     "ShardTiming",
     "CellTiming",
     "ExecutionReport",
@@ -113,6 +122,8 @@ MEASUREMENT_KINDS: dict[str, Callable[..., object]] = {
     "shock-recovery": measure_shock_recovery,
     "churn-band": measure_churn_band,
     "topology-resilience": measure_topology_resilience,
+    "workload-replay": measure_workload_replay,
+    "workload-adversarial": measure_workload_adversarial,
 }
 
 #: Kinds returning a :class:`FamilyMeasurement` — the sweep kinds whose
@@ -126,9 +137,25 @@ ADAPTIVE_KINDS = frozenset({"approx", "exact", "weighted"})
 #: whole-stack blocks, so their counter ensembles refuse to split.
 COUNTER_SHARDABLE_KINDS = frozenset({"weighted", "weighted-variant"})
 
+#: Trace-replay kinds: their schedules are compiled from workload
+#: traces, so every event is deterministic (zero stream randomness).
+#: That makes them the one scenario family whose *counter* ensembles
+#: may shard — but only on weighted task systems (``params["tasks"] ==
+#: "weighted"``), because the uniform kernel's multinomial site is
+#: whole-stack.
+WORKLOAD_KINDS = frozenset({"workload-replay", "workload-adversarial"})
+
 #: Kinds merged through :func:`repro.scenarios.merge_replica_results`.
-_SCENARIO_KINDS = frozenset(
-    {"scenario-recovery", "shock-recovery", "churn-band", "topology-resilience"}
+_SCENARIO_KINDS = (
+    frozenset(
+        {
+            "scenario-recovery",
+            "shock-recovery",
+            "churn-band",
+            "topology-resilience",
+        }
+    )
+    | WORKLOAD_KINDS
 )
 
 #: Wave size for adaptive cells that set no explicit ``shard_size``.
@@ -295,18 +322,19 @@ def _check_spec(spec: CellSpec) -> None:
     splits = spec.target_ci is not None or (
         spec.shard_size is not None and spec.shard_size < spec.repetitions
     )
-    if (
-        splits
-        and spec.rng_policy == "counter"
-        and spec.kind not in COUNTER_SHARDABLE_KINDS
-    ):
+    counter_shardable = spec.kind in COUNTER_SHARDABLE_KINDS or (
+        spec.kind in WORKLOAD_KINDS
+        and dict(spec.params).get("tasks", "uniform") == "weighted"
+    )
+    if splits and spec.rng_policy == "counter" and not counter_shardable:
         raise ValidationError(
             f"kind {spec.kind!r} cannot shard under rng_policy='counter': "
             "its draw sites consume data-dependent whole-stack counter "
             "blocks (multinomial / churn-sized), which a replica window "
             "cannot reproduce. Use rng_policy='spawned' for sharded runs "
             f"of this kind, or drop shard_size/target_ci; counter sharding "
-            f"is available for {sorted(COUNTER_SHARDABLE_KINDS)}"
+            f"is available for {sorted(COUNTER_SHARDABLE_KINDS)} and for "
+            "weighted-task workload replay kinds"
         )
 
 

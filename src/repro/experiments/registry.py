@@ -93,6 +93,7 @@ def _ensure_loaded() -> None:
         theorem13,
         topology_exp,
         weighted_variants,
+        workloads_exp,
     )
 
 
@@ -136,6 +137,8 @@ def run_experiment(
     rng_policy: str = "spawned",
     shard_size: int | None = None,
     target_ci: float | None = None,
+    trace: str | None = None,
+    workload: str | None = None,
 ) -> ExperimentResult:
     """Run an experiment by id.
 
@@ -171,6 +174,15 @@ def run_experiment(
         its mean convergence round drops to this value (the configured
         repetition count becomes a cap). Forwarded only to runners that
         accept it.
+    trace:
+        Path to a saved workload trace file (``--trace``); forwarded
+        only to runners that accept a ``trace`` keyword (the
+        ``workloads-traffic`` experiment replays it as its single cell).
+        Requesting it elsewhere warns and runs the normal grid.
+    workload:
+        Name of a workload generator (``--workload``); forwarded only
+        to runners that accept it, narrowing the grid to one cell of
+        that generator.
 
     Notes
     -----
@@ -227,6 +239,27 @@ def run_experiment(
                 RuntimeWarning,
                 stacklevel=2,
             )
+    if trace is not None:
+        if _accepts_keyword(runner, "trace"):
+            keywords["trace"] = trace
+        else:
+            warnings.warn(
+                f"experiment {experiment_id!r} has no trace parameter; "
+                f"ignoring --trace {trace} and running its normal grid",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if workload is not None:
+        if _accepts_keyword(runner, "workload"):
+            keywords["workload"] = workload
+        else:
+            warnings.warn(
+                f"experiment {experiment_id!r} has no workload parameter; "
+                f"ignoring --workload {workload} and running its normal "
+                "grid",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     result = runner(quick, seed, **keywords)
     cell_timings = result.data.pop("cell_timings", None)
     result.data["run_meta"] = {
@@ -238,6 +271,8 @@ def run_experiment(
         "shard_size_effective": keywords.get("shard_size"),
         "target_ci_requested": target_ci,
         "target_ci_effective": keywords.get("target_ci"),
+        "trace": keywords.get("trace"),
+        "workload": keywords.get("workload"),
         "seed": seed,
         "quick": quick,
     }

@@ -802,9 +802,13 @@ class BatchWeightedState(BatchStateBase):
         Departures leave padding holes and arrivals grow ``M``; long
         churn scenarios would otherwise accumulate unbounded padding.
         Compaction preserves each replica's live-task *order* (the only
-        thing the kernels' randomness consumption depends on), so it is
-        observationally neutral: no randomness is consumed and
-        trajectories are unchanged.
+        thing the spawned kernels' randomness consumption depends on),
+        so under ``rng_policy="spawned"`` it is observationally neutral:
+        no randomness is consumed and trajectories are unchanged. The
+        counter kernel addresses its words by *slot*, so compaction
+        there changes which word each task draws — deterministically,
+        but pathwise; same-seed counter runs compact at the same rounds
+        and stay reproducible.
         """
         live_counts = self._mask.sum(axis=1)
         new_width = int(live_counts.max(initial=0))

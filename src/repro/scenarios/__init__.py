@@ -35,12 +35,19 @@ from repro.scenarios.events import (
     EdgeFailure,
     EdgeRecovery,
     NetworkPartition,
+    TraceArrival,
+    TraceDeparture,
+    TraceRelocation,
+    AdversarialArrival,
 )
 from repro.scenarios.schedule import Schedule, ScheduleEntry, at, every
 from repro.scenarios.runner import (
     EventRecord,
     ScenarioResult,
     ScenarioRunner,
+    EventTotals,
+    StreamingRecording,
+    StreamingScenarioResult,
     merge_replica_results,
     nash_violation_fraction,
 )
@@ -59,6 +66,10 @@ __all__ = [
     "EdgeFailure",
     "EdgeRecovery",
     "NetworkPartition",
+    "TraceArrival",
+    "TraceDeparture",
+    "TraceRelocation",
+    "AdversarialArrival",
     "Schedule",
     "ScheduleEntry",
     "at",
@@ -66,6 +77,9 @@ __all__ = [
     "EventRecord",
     "ScenarioResult",
     "ScenarioRunner",
+    "EventTotals",
+    "StreamingRecording",
+    "StreamingScenarioResult",
     "merge_replica_results",
     "nash_violation_fraction",
 ]

@@ -63,6 +63,10 @@ __all__ = [
     "Event",
     "TaskArrival",
     "TaskDeparture",
+    "TraceArrival",
+    "TraceDeparture",
+    "TraceRelocation",
+    "AdversarialArrival",
     "PoissonChurnEvent",
     "LoadShock",
     "SpeedChange",
@@ -291,6 +295,15 @@ class Event:
     #: runner swaps the simulator onto the derived graph rather than
     #: calling :meth:`apply`/:meth:`apply_batch`.
     mutates_topology: bool = False
+
+    #: Deterministic events consume **no** stream randomness: their
+    #: effect is a pure function of the current state, so they are
+    #: pathwise identical across engines, both RNG policies, and any
+    #: replica-shard window. Compiled workload traces
+    #: (:mod:`repro.workloads`) emit only deterministic events, which is
+    #: what lets counter-policy scenario ensembles shard (see
+    #: :attr:`repro.scenarios.schedule.Schedule.is_deterministic`).
+    deterministic: bool = False
 
     def apply(
         self,
@@ -1257,3 +1270,414 @@ class NetworkPartition(_TopologyEvent):
 
     def describe(self) -> str:
         return f"partition({len(self.nodes)} nodes isolated)"
+
+
+def _scan_removal(
+    counts: IntArray, count: int | IntArray, start_node: int
+) -> IntArray:
+    """Deterministic sweep removal over node counts.
+
+    Scans nodes in index order starting at ``start_node`` (wrapping) and
+    takes up to each node's available tasks until ``count`` are removed
+    (or the system empties). Works on a scalar ``(n,)`` count vector or
+    a stacked ``(R, n)`` block with per-row ``count``; returns per-node
+    removal counts of the same shape. Pure function of the counts — no
+    randomness — so every replica under every RNG policy removes exactly
+    the same number of tasks from the same nodes.
+    """
+    counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
+    num_rows, num_nodes = counts.shape
+    order = (np.arange(num_nodes) + start_node) % num_nodes
+    available = counts[:, order]
+    cumulative = np.cumsum(available, axis=1)
+    wanted = np.atleast_1d(np.asarray(count, dtype=np.int64))[:, None]
+    take = np.clip(wanted - (cumulative - available), 0, available)
+    removal = np.zeros_like(counts)
+    removal[:, order] = take
+    return removal
+
+
+@dataclass(frozen=True)
+class TraceArrival(Event):
+    """Compiled-trace arrival: tasks land on explicit ``targets``.
+
+    The target nodes were resolved at trace-generation time from the
+    trace's own seed, so the event is fully deterministic — every
+    replica receives the same tasks at the same nodes under both RNG
+    policies, any engine, and any shard window.
+    """
+
+    targets: tuple[int, ...]
+    weight: float = 1.0
+    deterministic = True
+    name: str = field(default="trace-arrival", init=False, repr=False)
+
+    def __post_init__(self):
+        if not all(
+            isinstance(node, (int, np.integer)) and node >= 0
+            for node in self.targets
+        ):
+            raise ValidationError("targets must be non-negative ints")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValidationError(
+                f"arrival weight must lie in (0, 1], got {self.weight}"
+            )
+
+    @property
+    def count(self) -> int:
+        return len(self.targets)
+
+    def _target_array(self, num_nodes: int) -> IntArray:
+        targets = np.asarray(self.targets, dtype=np.int64)
+        if targets.size and int(targets.max()) >= num_nodes:
+            raise ModelError(
+                f"trace-arrival target {int(targets.max())} out of range "
+                f"[0, {num_nodes - 1}]"
+            )
+        return targets
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        targets = self._target_array(state.num_nodes)
+        if targets.size == 0:
+            return EventOutcome()
+        if isinstance(state, UniformState):
+            additions = np.bincount(targets, minlength=state.num_nodes).astype(
+                np.int64
+            )
+            state.replace_counts(state.counts + additions)
+            return EventOutcome(
+                tasks_added=self.count, weight_added=float(self.count)
+            )
+        if isinstance(state, WeightedState):
+            state.add_tasks(targets, np.full(targets.size, self.weight))
+            return EventOutcome(
+                tasks_added=self.count, weight_added=self.count * self.weight
+            )
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        targets = self._target_array(batch.num_nodes)
+        if targets.size == 0 or rows.size == 0:
+            return outcome
+        if isinstance(batch, BatchUniformState):
+            additions = np.bincount(targets, minlength=batch.num_nodes).astype(
+                np.int64
+            )
+            batch.adjust_counts(rows, np.repeat(additions[None, :], rows.size, 0))
+            outcome.tasks_added[rows] = self.count
+            outcome.weight_added[rows] = float(self.count)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            task_rows = np.repeat(rows, targets.size)
+            batch.add_tasks(
+                task_rows,
+                np.tile(targets, rows.size),
+                np.full(task_rows.shape[0], self.weight),
+            )
+            outcome.tasks_added[rows] = self.count
+            outcome.weight_added[rows] = self.count * self.weight
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return f"trace-arrival({self.count} tasks at explicit nodes)"
+
+
+@dataclass(frozen=True)
+class TraceDeparture(Event):
+    """Compiled-trace departure: exactly ``count`` tasks leave, by sweep.
+
+    Removal is the deterministic node sweep of :func:`_scan_removal`
+    (weighted stacks additionally take each node's lowest-index live
+    slots first), so whenever the system holds at least ``count`` tasks
+    — which trace validation guarantees for compiled traces — every
+    replica removes exactly ``count`` under every policy/engine/shard
+    configuration, keeping the ``num_tasks`` trajectory byte-identical
+    across all of them.
+    """
+
+    count: int
+    start_node: int = 0
+    deterministic = True
+    name: str = field(default="trace-departure", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.count, (int, np.integer)) or self.count < 0:
+            raise ValidationError(f"count must be a non-negative int, got {self.count}")
+        if not isinstance(self.start_node, (int, np.integer)) or self.start_node < 0:
+            raise ValidationError(
+                f"start_node must be a non-negative int, got {self.start_node}"
+            )
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        _check_node(self.start_node, state)
+        if self.count == 0:
+            return EventOutcome()
+        if isinstance(state, UniformState):
+            removal = _scan_removal(state.counts, self.count, self.start_node)[0]
+            gone = int(removal.sum())
+            if gone == 0:
+                return EventOutcome()
+            state.replace_counts(state.counts - removal)
+            return EventOutcome(tasks_removed=gone, weight_removed=float(gone))
+        if isinstance(state, WeightedState):
+            scan_pos = self._scan_positions(state.num_nodes)
+            order = np.argsort(scan_pos[state.task_nodes], kind="stable")
+            chosen = order[: min(self.count, state.num_tasks)]
+            if chosen.size == 0:
+                return EventOutcome()
+            weight_gone = float(state.task_weights[chosen].sum())
+            state.remove_tasks(chosen)
+            return EventOutcome(
+                tasks_removed=int(chosen.size), weight_removed=weight_gone
+            )
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def _scan_positions(self, num_nodes: int) -> IntArray:
+        """``scan_pos[node]`` = how late the sweep reaches ``node``."""
+        return (np.arange(num_nodes) - self.start_node) % num_nodes
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _check_node(self.start_node, batch)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        if self.count == 0 or rows.size == 0:
+            return outcome
+        if isinstance(batch, BatchUniformState):
+            counts = batch.counts[rows]
+            removal = _scan_removal(counts, self.count, self.start_node)
+            gone = removal.sum(axis=1)
+            batch.adjust_counts(rows, -removal)
+            outcome.tasks_removed[rows] = gone
+            outcome.weight_removed[rows] = gone.astype(np.float64)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            mask = batch.task_mask[rows]
+            k = np.minimum(self.count, mask.sum(axis=1))
+            if np.any(k):
+                scan_pos = self._scan_positions(batch.num_nodes)
+                keys = scan_pos[batch.task_nodes[rows]]
+                keys = np.where(mask, keys, batch.num_nodes)
+                order = np.argsort(keys, axis=1, kind="stable")
+                chosen = np.arange(mask.shape[1]) < k[:, None]
+                positions, ranks = np.nonzero(chosen)
+                slots = order[positions, ranks]
+                outcome.weight_removed[rows] = np.bincount(
+                    positions,
+                    weights=batch.task_weights[rows[positions], slots],
+                    minlength=rows.size,
+                )
+                batch.remove_tasks(rows[positions], slots)
+                # Repack to dense prefix slots: the counter kernel
+                # addresses its Philox words by (replica, slot) with a
+                # stride of the *stack's* padded width, so leaving
+                # replica-dependent holes would make that width — and
+                # hence every subsequent counter draw — depend on which
+                # replicas share the stack. Dense slots keep the width a
+                # function of the trace's task trajectory alone, which
+                # is what lets counter-policy shard windows reproduce
+                # the monolithic run byte-for-byte.
+                batch.compact()
+            outcome.tasks_removed[rows] = k
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return (
+            f"trace-departure({self.count} tasks, sweep from node "
+            f"{self.start_node})"
+        )
+
+
+@dataclass(frozen=True)
+class TraceRelocation(Event):
+    """Compiled-trace flash crowd: a fixed share of each node's tasks
+    moves to hotspot ``node``.
+
+    From every node ``j != node``, exactly
+    ``floor(fraction * count_j)`` tasks relocate to the hotspot
+    (weighted stacks move each node's lowest-index live slots first).
+    Deterministic given the state — zero stream randomness — and
+    workload-conserving.
+    """
+
+    node: int
+    fraction: float
+    deterministic = True
+    name: str = field(default="trace-relocation", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.node, (int, np.integer)) or self.node < 0:
+            raise ValidationError(f"node must be a non-negative int, got {self.node}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValidationError(
+                f"fraction must lie in [0, 1], got {self.fraction}"
+            )
+
+    @staticmethod
+    def _quota(counts: IntArray, fraction: float) -> IntArray:
+        # The epsilon absorbs IEEE noise like 10 * 0.3 = 2.999...996 so
+        # the quota is the intended floor on every platform.
+        return np.floor(counts * fraction + 1e-9).astype(np.int64)
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        _check_node(self.node, state)
+        if isinstance(state, UniformState):
+            grabbed = self._quota(state.counts, self.fraction)
+            grabbed[self.node] = 0
+            moved = int(grabbed.sum())
+            if moved == 0:
+                return EventOutcome()
+            delta = -grabbed
+            delta[self.node] += moved
+            state.replace_counts(state.counts + delta)
+            return EventOutcome(tasks_relocated=moved)
+        if isinstance(state, WeightedState):
+            moving: list[np.ndarray] = []
+            for target in range(state.num_nodes):
+                if target == self.node:
+                    continue
+                indices = state.tasks_on(target)
+                quota = int(self._quota(indices.size, self.fraction))
+                if quota:
+                    moving.append(indices[:quota])
+            if not moving:
+                return EventOutcome()
+            indices = np.concatenate(moving)
+            state.apply_moves(
+                indices, np.full(indices.size, self.node, dtype=np.int64)
+            )
+            return EventOutcome(tasks_relocated=int(indices.size))
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        _check_node(self.node, batch)
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        if rows.size == 0:
+            return outcome
+        if isinstance(batch, BatchUniformState):
+            grabbed = self._quota(batch.counts[rows], self.fraction)
+            grabbed[:, self.node] = 0
+            moved = grabbed.sum(axis=1)
+            deltas = -grabbed
+            deltas[:, self.node] += moved
+            batch.adjust_counts(rows, deltas)
+            outcome.tasks_relocated[rows] = moved
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            n = batch.num_nodes
+            mask = batch.task_mask[rows]
+            # Sentinel group n collects dead slots so live per-node
+            # groups stay contiguous under the stable sort below.
+            groups = np.where(mask, batch.task_nodes[rows], n)
+            counts = _scatter_targets(rows.size, n + 1, groups, None)
+            quota = self._quota(counts, self.fraction)
+            quota[:, self.node] = 0
+            quota[:, n] = 0
+            moved = quota.sum(axis=1)
+            if np.any(moved):
+                prefix = np.zeros((rows.size, n + 2), dtype=np.int64)
+                np.cumsum(counts, axis=1, out=prefix[:, 1:])
+                order = np.argsort(groups, axis=1, kind="stable")
+                sorted_groups = np.take_along_axis(groups, order, axis=1)
+                # Rank of each slot within its (row, node) group: the
+                # sorted position minus the group's start offset.
+                rank = np.arange(mask.shape[1])[None, :] - np.take_along_axis(
+                    prefix[:, :-1], sorted_groups, axis=1
+                )
+                move = rank < np.take_along_axis(quota, sorted_groups, axis=1)
+                positions, columns = np.nonzero(move)
+                slots = order[positions, columns]
+                batch.apply_moves(
+                    rows[positions],
+                    slots,
+                    np.full(positions.size, self.node, dtype=np.int64),
+                )
+            outcome.tasks_relocated[rows] = moved
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return (
+            f"trace-relocation({self.fraction:.0%} of each node's tasks "
+            f"to node {self.node})"
+        )
+
+
+@dataclass(frozen=True)
+class AdversarialArrival(Event):
+    """Adversarial arrival: ``count`` tasks land on the most-loaded node.
+
+    The placement is *deferred*: the trace generator records only the
+    intent, and the target is resolved per replica at application time
+    as ``argmax(loads)`` (ties break to the lowest node index). That
+    keeps the event a pure function of the state — different replicas
+    may be hit on different nodes, yet the event stays deterministic,
+    consumes no stream randomness, and the per-replica task-count delta
+    is exactly ``count`` everywhere.
+    """
+
+    count: int
+    weight: float = 1.0
+    deterministic = True
+    name: str = field(default="adversarial-arrival", init=False, repr=False)
+
+    def __post_init__(self):
+        if not isinstance(self.count, (int, np.integer)) or self.count < 0:
+            raise ValidationError(f"count must be a non-negative int, got {self.count}")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValidationError(
+                f"arrival weight must lie in (0, 1], got {self.weight}"
+            )
+
+    def apply(self, state, graph, rng) -> EventOutcome:
+        if self.count == 0:
+            return EventOutcome()
+        target = int(np.argmax(state.loads))
+        if isinstance(state, UniformState):
+            counts = state.counts.copy()
+            counts[target] += self.count
+            state.replace_counts(counts)
+            return EventOutcome(
+                tasks_added=self.count, weight_added=float(self.count)
+            )
+        if isinstance(state, WeightedState):
+            state.add_tasks(
+                np.full(self.count, target, dtype=np.int64),
+                np.full(self.count, self.weight),
+            )
+            return EventOutcome(
+                tasks_added=self.count, weight_added=self.count * self.weight
+            )
+        raise ModelError(f"unsupported state type {type(state).__name__}")
+
+    def apply_batch(self, batch, graph, rngs, replicas=None) -> BatchEventOutcome:
+        outcome = BatchEventOutcome.zeros(batch.num_replicas)
+        rows = _rows(batch, replicas)
+        if self.count == 0 or rows.size == 0:
+            return outcome
+        targets = np.argmax(batch.loads[rows], axis=1)
+        if isinstance(batch, BatchUniformState):
+            deltas = np.zeros((rows.size, batch.num_nodes), dtype=np.int64)
+            deltas[np.arange(rows.size), targets] = self.count
+            batch.adjust_counts(rows, deltas)
+            outcome.tasks_added[rows] = self.count
+            outcome.weight_added[rows] = float(self.count)
+            return outcome
+        if isinstance(batch, BatchWeightedState):
+            task_rows = np.repeat(rows, self.count)
+            batch.add_tasks(
+                task_rows,
+                np.repeat(targets, self.count),
+                np.full(task_rows.shape[0], self.weight),
+            )
+            outcome.tasks_added[rows] = self.count
+            outcome.weight_added[rows] = self.count * self.weight
+            return outcome
+        raise ModelError(f"unsupported batch type {type(batch).__name__}")
+
+    def describe(self) -> str:
+        return f"adversarial-arrival({self.count} tasks at argmax-load node)"

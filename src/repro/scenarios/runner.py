@@ -39,6 +39,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.analysis.streaming import ObservableSummary, RunningMoments
 from repro.core.batch import BatchSimulator
 from repro.core.equilibrium import nash_slack_matrix
 from repro.core.potentials import psi0_potential
@@ -53,6 +54,7 @@ from repro.scenarios.schedule import Schedule
 from repro.spectral.eigen import algebraic_connectivity
 from repro.types import FloatArray, IntArray, SeedLike
 from repro.utils.rng import (
+    CounterStreams,
     StreamLayout,
     as_stream_layout,
     check_rng_policy,
@@ -64,8 +66,11 @@ from repro.utils.validation import check_integer
 
 __all__ = [
     "EventRecord",
+    "EventTotals",
     "ScenarioResult",
     "ScenarioRunner",
+    "StreamingRecording",
+    "StreamingScenarioResult",
     "merge_replica_results",
     "nash_violation_fraction",
 ]
@@ -210,6 +215,255 @@ def _spectral_entry(
     return entry
 
 
+#: Observables the streaming recorder reduces, matching the
+#: :class:`ScenarioResult` array names (``target_satisfied`` is folded
+#: as 0/1 so its mean is the satisfaction fraction).
+_STREAMING_OBSERVABLES = (
+    "psi0",
+    "max_load_difference",
+    "nash_violation",
+    "total_weight",
+    "num_tasks",
+    "target_satisfied",
+)
+
+
+@dataclass(frozen=True)
+class StreamingRecording:
+    """Options for the bounded-memory streaming observable recorder.
+
+    Parameters
+    ----------
+    thin_every:
+        Record every ``thin_every``-th row (rows 0 and ``T`` are always
+        kept). 1 records every round.
+    chunk_rounds:
+        Rows per resident chunk: the recorder buffers at most this many
+        recorded rows per observable before folding them into the
+        running reducers, so peak memory is ``O(chunk_rounds * R)``
+        regardless of the horizon.
+    """
+
+    thin_every: int = 1
+    chunk_rounds: int = 256
+
+    def __post_init__(self):
+        check_integer(self.thin_every, "thin_every", minimum=1)
+        check_integer(self.chunk_rounds, "chunk_rounds", minimum=1)
+
+
+@dataclass(frozen=True)
+class EventTotals:
+    """Aggregated magnitudes of one event name over a streaming run.
+
+    Streaming runs fold every application of an event into these
+    per-replica running totals instead of keeping the chronological
+    :class:`EventRecord` log — a million-event trace would otherwise
+    hold ``O(num_events * R)`` magnitude arrays, defeating the
+    bounded-memory guarantee. All arrays have shape ``(R,)``.
+    """
+
+    applications: int
+    tasks_added: IntArray
+    tasks_removed: IntArray
+    weight_added: FloatArray
+    weight_removed: FloatArray
+    tasks_relocated: IntArray
+
+
+@dataclass(frozen=True)
+class StreamingScenarioResult:
+    """Outcome of a streaming-recorded scenario run.
+
+    Instead of the full ``(T + 1, R)`` observable arrays of
+    :class:`ScenarioResult`, the recorded rows are folded into
+    per-replica :class:`~repro.analysis.streaming.ObservableSummary`
+    reducers plus thinned replica-mean series — memory stays
+    ``O(chunk_rounds * R + rows_recorded)`` however long the trace.
+
+    Attributes
+    ----------
+    observables:
+        Per-observable :class:`ObservableSummary` (count / mean /
+        variance / min / max / last per replica) over the recorded rows.
+        ``target_satisfied`` is folded as 0/1, so its mean is each
+        replica's satisfaction fraction.
+    series:
+        Per-observable replica-mean series over the recorded rows
+        (shape ``(rows_recorded,)``), aligned with ``recorded_rounds``.
+    recorded_rounds:
+        The row indices recorded: every ``thin_every``-th row plus rows
+        0 and ``T``.
+    lambda2, gap_ratio, connected:
+        The topology trace at the recorded rows.
+    event_totals:
+        Per-event-name :class:`EventTotals` — the aggregate of what the
+        schedule did, in ``O(names * R)`` memory where the full-mode
+        event log would be ``O(num_events * R)``.
+    chunks_flushed:
+        Chunks folded into the reducers — grows with the horizon.
+    peak_resident_chunks:
+        Maximum chunks resident at once — one preallocated buffer per
+        observable, *independent of the horizon* (the bounded-memory
+        guarantee pinned in the tests).
+    """
+
+    final_state: LoadStateBase | BatchStateBase
+    engine: str
+    rounds_executed: int
+    num_replicas: int
+    thin_every: int
+    chunk_rounds: int
+    rows_recorded: int
+    chunks_flushed: int
+    peak_resident_chunks: int
+    recorded_rounds: IntArray
+    observables: dict[str, ObservableSummary]
+    series: dict[str, FloatArray]
+    lambda2: FloatArray
+    gap_ratio: FloatArray
+    connected: np.ndarray
+    event_totals: dict[str, EventTotals]
+
+
+class _StreamingRecorder:
+    """Chunked row recorder folding into running per-replica reducers.
+
+    One ``(chunk_rounds, R)`` buffer per observable is allocated once
+    and reused: when full it folds into that observable's
+    :class:`RunningMoments` and resets, so the number of resident
+    chunks never exceeds ``len(_STREAMING_OBSERVABLES)`` no matter the
+    horizon. Replica-mean series and the (shared) topology trace are
+    ``O(rows_recorded)`` scalars.
+    """
+
+    def __init__(self, num_replicas: int, options: StreamingRecording):
+        self._options = options
+        self._buffers = {
+            name: np.zeros((options.chunk_rounds, num_replicas))
+            for name in _STREAMING_OBSERVABLES
+        }
+        self._moments = {
+            name: RunningMoments(num_replicas)
+            for name in _STREAMING_OBSERVABLES
+        }
+        self._series: dict[str, list[float]] = {
+            name: [] for name in _STREAMING_OBSERVABLES
+        }
+        self._fill = 0
+        self._rounds: list[int] = []
+        self._lambda2: list[float] = []
+        self._gap_ratio: list[float] = []
+        self._connected: list[bool] = []
+        self._event_totals: dict[str, list] = {}
+        self._num_replicas = num_replicas
+        self.chunks_flushed = 0
+        self.peak_resident_chunks = len(_STREAMING_OBSERVABLES)
+
+    def due(self, row: int, horizon: int) -> bool:
+        """Whether row ``row`` is recorded (thinning keeps 0 and T)."""
+        return row % self._options.thin_every == 0 or row == horizon
+
+    def fold_event(self, name: str, outcome) -> None:
+        """Accumulate one event application into its name's totals.
+
+        ``outcome`` is a :class:`~repro.scenarios.events.BatchEventOutcome`
+        (arrays over the replica axis), an
+        :class:`~repro.scenarios.events.EventOutcome` (scalar run — its
+        scalars broadcast to the single replica), or ``None`` (topology
+        events: the application counts, the magnitudes are zero).
+        """
+        totals = self._event_totals.get(name)
+        if totals is None:
+            totals = [
+                0,
+                np.zeros(self._num_replicas, dtype=np.int64),
+                np.zeros(self._num_replicas, dtype=np.int64),
+                np.zeros(self._num_replicas, dtype=np.float64),
+                np.zeros(self._num_replicas, dtype=np.float64),
+                np.zeros(self._num_replicas, dtype=np.int64),
+            ]
+            self._event_totals[name] = totals
+        totals[0] += 1
+        if outcome is None:
+            return
+        totals[1] += outcome.tasks_added
+        totals[2] += outcome.tasks_removed
+        totals[3] += outcome.weight_added
+        totals[4] += outcome.weight_removed
+        totals[5] += outcome.tasks_relocated
+
+    def record(
+        self,
+        row: int,
+        values: dict[str, FloatArray],
+        lambda2: float,
+        gap_ratio: float,
+        connected: bool,
+    ) -> None:
+        for name in _STREAMING_OBSERVABLES:
+            self._buffers[name][self._fill] = values[name]
+            self._series[name].append(float(values[name].mean()))
+        self._fill += 1
+        self._rounds.append(row)
+        self._lambda2.append(lambda2)
+        self._gap_ratio.append(gap_ratio)
+        self._connected.append(connected)
+        if self._fill == self._options.chunk_rounds:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._fill == 0:
+            return
+        for name in _STREAMING_OBSERVABLES:
+            self._moments[name].update(self._buffers[name][: self._fill])
+        self.chunks_flushed += 1
+        self._fill = 0
+
+    def result(
+        self,
+        final_state: LoadStateBase | BatchStateBase,
+        engine: str,
+        rounds_executed: int,
+        num_replicas: int,
+    ) -> StreamingScenarioResult:
+        self._flush()
+        return StreamingScenarioResult(
+            final_state=final_state,
+            engine=engine,
+            rounds_executed=rounds_executed,
+            num_replicas=num_replicas,
+            thin_every=self._options.thin_every,
+            chunk_rounds=self._options.chunk_rounds,
+            rows_recorded=len(self._rounds),
+            chunks_flushed=self.chunks_flushed,
+            peak_resident_chunks=self.peak_resident_chunks,
+            recorded_rounds=np.asarray(self._rounds, dtype=np.int64),
+            observables={
+                name: self._moments[name].summary()
+                for name in _STREAMING_OBSERVABLES
+            },
+            series={
+                name: np.asarray(self._series[name])
+                for name in _STREAMING_OBSERVABLES
+            },
+            lambda2=np.asarray(self._lambda2),
+            gap_ratio=np.asarray(self._gap_ratio),
+            connected=np.asarray(self._connected, dtype=bool),
+            event_totals={
+                name: EventTotals(
+                    applications=totals[0],
+                    tasks_added=totals[1],
+                    tasks_removed=totals[2],
+                    weight_added=totals[3],
+                    weight_removed=totals[4],
+                    tasks_relocated=totals[5],
+                )
+                for name, totals in self._event_totals.items()
+            },
+        )
+
+
 class ScenarioRunner:
     """Runs a protocol under a schedule of workload events.
 
@@ -267,16 +521,21 @@ class ScenarioRunner:
         state: LoadStateBase,
         rounds: int,
         rng: SeedLike = None,
-    ) -> ScenarioResult:
+        recording: StreamingRecording | None = None,
+    ) -> ScenarioResult | StreamingScenarioResult:
         """Run the scenario on a scalar state (mutated in place).
 
         ``rng`` drives *both* the events and the protocol rounds — it is
         the replica's single trajectory stream, exactly as in the
-        batched path.
+        batched path. Passing ``recording`` switches to the streaming
+        recorder (identical row semantics — rows are observed between
+        rounds, where full-mode records them — thinned and folded into
+        bounded-memory reducers) and returns a
+        :class:`StreamingScenarioResult`.
         """
         rounds = check_integer(rounds, "rounds", minimum=0)
         generator = make_rng(rng)
-        recorder = _Recorder(rounds, 1)
+        recorder = _Recorder(rounds, 1) if recording is None else None
         events: list[EventRecord] = []
         # The graph currently in force (topology events swap it); a
         # one-slot holder so the closures below track the swaps.
@@ -304,8 +563,13 @@ class ScenarioRunner:
                     current, graph
                 )
 
-        def before_round(round_index: int, current: LoadStateBase) -> None:
-            record(round_index, current)
+        # Streaming runs fold event magnitudes into per-name totals
+        # instead of the chronological EventRecord log: a long trace's
+        # log would grow O(num_events), breaking the flat-memory
+        # guarantee the streaming recorder exists for.
+        stream = None if recording is None else _StreamingRecorder(1, recording)
+
+        def apply_events(round_index: int, current: LoadStateBase) -> None:
             for event in self._schedule.events_due(round_index):
                 if event.mutates_topology:
                     new_graph = event.transform_graph(
@@ -313,13 +577,21 @@ class ScenarioRunner:
                     )
                     current_graph[0] = new_graph
                     simulator.swap_graph(new_graph)
-                    events.append(
-                        _topology_event_record(
-                            round_index, event, np.array([psi0_potential(current)])
+                    if stream is not None:
+                        stream.fold_event(event.name, None)
+                    else:
+                        events.append(
+                            _topology_event_record(
+                                round_index,
+                                event,
+                                np.array([psi0_potential(current)]),
+                            )
                         )
-                    )
                     continue
                 outcome = event.apply(current, current_graph[0], generator)
+                if stream is not None:
+                    stream.fold_event(event.name, outcome)
+                    continue
                 events.append(
                     EventRecord(
                         round_index=round_index,
@@ -338,25 +610,72 @@ class ScenarioRunner:
                     )
                 )
 
+        if recording is None:
+
+            def before_round(round_index: int, current: LoadStateBase) -> None:
+                record(round_index, current)
+                apply_events(round_index, current)
+
+            simulator.run(
+                state, stopping=None, max_rounds=rounds, before_round=before_round
+            )
+            record(rounds, state)
+            return ScenarioResult(
+                final_state=state,
+                engine="scalar",
+                rounds_executed=rounds,
+                psi0=recorder.psi0,
+                max_load_difference=recorder.max_load_difference,
+                nash_violation=recorder.nash_violation,
+                total_weight=recorder.total_weight,
+                num_tasks=recorder.num_tasks,
+                target_satisfied=recorder.target_satisfied,
+                events=events,
+                lambda2=recorder.lambda2,
+                gap_ratio=recorder.gap_ratio,
+                connected=recorder.connected,
+            )
+
+        def record_stream(row: int, current: LoadStateBase) -> None:
+            graph = current_graph[0]
+            values = {
+                "psi0": np.array([psi0_potential(current)]),
+                "max_load_difference": np.array(
+                    [current.max_load_difference]
+                ),
+                "nash_violation": nash_violation_fraction(
+                    current.loads[None, :],
+                    current.speeds,
+                    graph,
+                    self._tolerance,
+                ),
+                "total_weight": np.array([_exact_total(current)]),
+                "num_tasks": np.array([float(current.num_tasks)]),
+                "target_satisfied": np.array(
+                    [
+                        float(self._target.satisfied(current, graph))
+                        if self._target is not None
+                        else 0.0
+                    ]
+                ),
+            }
+            lambda2, gap_ratio, connected = _spectral_entry(graph, spectral_memo)
+            stream.record(row, values, lambda2, gap_ratio, connected)
+
+        def after_round(round_index: int, current: LoadStateBase) -> None:
+            row = round_index + 1
+            if stream.due(row, rounds):
+                record_stream(row, current)
+
+        record_stream(0, state)
         simulator.run(
-            state, stopping=None, max_rounds=rounds, before_round=before_round
+            state,
+            stopping=None,
+            max_rounds=rounds,
+            before_round=apply_events,
+            after_round=after_round,
         )
-        record(rounds, state)
-        return ScenarioResult(
-            final_state=state,
-            engine="scalar",
-            rounds_executed=rounds,
-            psi0=recorder.psi0,
-            max_load_difference=recorder.max_load_difference,
-            nash_violation=recorder.nash_violation,
-            total_weight=recorder.total_weight,
-            num_tasks=recorder.num_tasks,
-            target_satisfied=recorder.target_satisfied,
-            events=events,
-            lambda2=recorder.lambda2,
-            gap_ratio=recorder.gap_ratio,
-            connected=recorder.connected,
-        )
+        return stream.result(state, "scalar", rounds, 1)
 
     # ------------------------------------------------------------------
     # Batched engine
@@ -368,7 +687,8 @@ class ScenarioRunner:
         rngs: Sequence[np.random.Generator] | StreamLayout | None = None,
         seed: SeedLike = None,
         rng_policy: str = "spawned",
-    ) -> ScenarioResult:
+        recording: StreamingRecording | None = None,
+    ) -> ScenarioResult | StreamingScenarioResult:
         """Run the scenario on a replica stack (mutated in place).
 
         ``rngs`` is the per-replica randomness — a generator sequence /
@@ -377,6 +697,13 @@ class ScenarioRunner:
         consumption order) or a :class:`~repro.utils.rng.CounterStreams`
         layout (events and kernels draw whole-stack blocks). When
         omitted, a layout is built from ``seed`` under ``rng_policy``.
+
+        Passing ``recording`` switches to the streaming recorder: rows
+        are observed via the batch simulator's ``after_round`` hook (the
+        stack is untouched between a round's kernel and the next round's
+        events, so a streamed row equals the full-mode row exactly),
+        thinned, and folded into bounded-memory per-replica reducers.
+        Returns a :class:`StreamingScenarioResult` in that mode.
         """
         rounds = check_integer(rounds, "rounds", minimum=0)
         num_replicas = batch.num_replicas
@@ -388,7 +715,7 @@ class ScenarioRunner:
             raise SimulationError(
                 f"need one generator per replica ({num_replicas}), got {len(streams)}"
             )
-        recorder = _Recorder(rounds, num_replicas)
+        recorder = _Recorder(rounds, num_replicas) if recording is None else None
         events: list[EventRecord] = []
         all_rows = np.arange(num_replicas, dtype=np.int64)
         current_graph: list[Graph] = [self._graph]
@@ -415,8 +742,17 @@ class ScenarioRunner:
                     self._target.satisfied_batch(current, graph, all_rows)
                 )
 
-        def before_round(round_index: int, current: BatchStateBase) -> None:
-            record(round_index, current)
+        # Streaming runs fold event magnitudes into per-name totals —
+        # the chronological EventRecord log holds O(num_events * R)
+        # magnitude arrays, which is exactly the growth the streaming
+        # recorder exists to avoid.
+        stream = (
+            None
+            if recording is None
+            else _StreamingRecorder(num_replicas, recording)
+        )
+
+        def apply_events(round_index: int, current: BatchStateBase) -> None:
             for event in self._schedule.events_due(round_index):
                 if event.mutates_topology:
                     # Topology events consume no stream randomness and
@@ -428,15 +764,21 @@ class ScenarioRunner:
                     )
                     current_graph[0] = new_graph
                     simulator.swap_graph(new_graph)
-                    events.append(
-                        _topology_event_record(
-                            round_index, event, current.psi0_potentials()
+                    if stream is not None:
+                        stream.fold_event(event.name, None)
+                    else:
+                        events.append(
+                            _topology_event_record(
+                                round_index, event, current.psi0_potentials()
+                            )
                         )
-                    )
                     continue
                 outcome = event.apply_batch(
                     current, current_graph[0], streams, None
                 )
+                if stream is not None:
+                    stream.fold_event(event.name, outcome)
+                    continue
                 events.append(
                     EventRecord(
                         round_index=round_index,
@@ -458,29 +800,74 @@ class ScenarioRunner:
                 ):
                     current.compact()
 
+        if recording is None:
+
+            def before_round(round_index: int, current: BatchStateBase) -> None:
+                record(round_index, current)
+                apply_events(round_index, current)
+
+            simulator.run(
+                batch,
+                stopping=None,
+                max_rounds=rounds,
+                rngs=streams,
+                before_round=before_round,
+            )
+            record(rounds, batch)
+            return ScenarioResult(
+                final_state=batch,
+                engine="batch",
+                rounds_executed=rounds,
+                psi0=recorder.psi0,
+                max_load_difference=recorder.max_load_difference,
+                nash_violation=recorder.nash_violation,
+                total_weight=recorder.total_weight,
+                num_tasks=recorder.num_tasks,
+                target_satisfied=recorder.target_satisfied,
+                events=events,
+                lambda2=recorder.lambda2,
+                gap_ratio=recorder.gap_ratio,
+                connected=recorder.connected,
+            )
+
+        def record_stream(row: int, current: BatchStateBase) -> None:
+            graph = current_graph[0]
+            if self._target is not None:
+                satisfied = self._target.satisfied_batch(
+                    current, graph, all_rows
+                ).astype(np.float64)
+            else:
+                satisfied = np.zeros(num_replicas)
+            values = {
+                "psi0": current.psi0_potentials(),
+                "max_load_difference": current.max_load_difference,
+                "nash_violation": nash_violation_fraction(
+                    current.loads, current.speeds, graph, self._tolerance
+                ),
+                "total_weight": np.asarray(
+                    _exact_total_batch(current), dtype=np.float64
+                ),
+                "num_tasks": current.num_tasks.astype(np.float64),
+                "target_satisfied": satisfied,
+            }
+            lambda2, gap_ratio, connected = _spectral_entry(graph, spectral_memo)
+            stream.record(row, values, lambda2, gap_ratio, connected)
+
+        def after_round(round_index: int, current: BatchStateBase) -> None:
+            row = round_index + 1
+            if stream.due(row, rounds):
+                record_stream(row, current)
+
+        record_stream(0, batch)
         simulator.run(
             batch,
             stopping=None,
             max_rounds=rounds,
             rngs=streams,
-            before_round=before_round,
+            before_round=apply_events,
+            after_round=after_round,
         )
-        record(rounds, batch)
-        return ScenarioResult(
-            final_state=batch,
-            engine="batch",
-            rounds_executed=rounds,
-            psi0=recorder.psi0,
-            max_load_difference=recorder.max_load_difference,
-            nash_violation=recorder.nash_violation,
-            total_weight=recorder.total_weight,
-            num_tasks=recorder.num_tasks,
-            target_satisfied=recorder.target_satisfied,
-            events=events,
-            lambda2=recorder.lambda2,
-            gap_ratio=recorder.gap_ratio,
-            connected=recorder.connected,
-        )
+        return stream.result(batch, "batch", rounds, num_replicas)
 
     # ------------------------------------------------------------------
     # Ensemble convenience (mirrors measure_convergence_rounds routing)
@@ -495,7 +882,8 @@ class ScenarioRunner:
         rng_policy: str = "spawned",
         replica_offset: int = 0,
         replica_count: int | None = None,
-    ) -> ScenarioResult:
+        recording: StreamingRecording | None = None,
+    ) -> ScenarioResult | StreamingScenarioResult:
         """Run ``repetitions`` independent replicas of the scenario.
 
         ``replica_offset`` / ``replica_count`` select a *window* of the
@@ -504,10 +892,22 @@ class ScenarioRunner:
         spawned child stream it would own in the monolithic run, so
         concatenating window results in offset order
         (:func:`merge_replica_results`) reproduces the monolithic
-        ensemble byte-for-byte. Windows require
-        ``rng_policy="spawned"`` — scenario events draw whole-stack
-        counter blocks whose word consumption depends on replicas
-        outside the window, so counter ensembles cannot shard.
+        ensemble byte-for-byte. Windows under ``rng_policy="counter"``
+        additionally require a *deterministic* schedule
+        (:attr:`~repro.scenarios.schedule.Schedule.is_deterministic` —
+        compiled workload traces qualify) and a counter-shardable
+        protocol kernel: stochastic events draw whole-stack counter
+        blocks whose word consumption depends on replicas outside the
+        window, and the uniform kernel's multinomial site does too, so
+        only deterministic-event weighted scenarios shard under the
+        counter layout. Each counter window then runs a
+        :class:`~repro.utils.rng.CounterStreams` window of the
+        monolithic layout, making shard merges byte-identical to the
+        monolithic counter run.
+
+        ``recording`` switches the run to the bounded-memory streaming
+        recorder (batch engine only, monolithic only — a
+        :class:`StreamingScenarioResult` has no byte-exact shard merge).
 
         Under ``rng_policy="spawned"`` repetition ``k`` derives
         everything — initial state, event randomness, migration
@@ -560,12 +960,29 @@ class ScenarioRunner:
             )
         windowed = replica_offset != 0 or count != repetitions
         if windowed and rng_policy == "counter":
+            if not self._schedule.is_deterministic:
+                raise ValidationError(
+                    "scenario ensembles with stochastic events cannot "
+                    "shard under rng_policy='counter': event draw sites "
+                    "consume whole-stack counter blocks (churn-sized, "
+                    "data-dependent), so a replica window cannot "
+                    "reproduce its monolithic streams; compile the "
+                    "workload to deterministic trace events or use "
+                    "rng_policy='spawned' for sharded scenario cells"
+                )
+            if not getattr(self._protocol, "counter_shardable", False):
+                raise ValidationError(
+                    f"protocol {self._protocol.name!r} cannot shard under "
+                    "rng_policy='counter': its batched kernel draws "
+                    "whole-stack counter blocks (per-replica word "
+                    "consumption depends on the full ensemble); use a "
+                    "counter-shardable kernel or rng_policy='spawned'"
+                )
+        if recording is not None and windowed:
             raise ValidationError(
-                "scenario ensembles cannot shard under rng_policy="
-                "'counter': event draw sites consume whole-stack counter "
-                "blocks (churn-sized, data-dependent), so a replica "
-                "window cannot reproduce its monolithic streams; use "
-                "rng_policy='spawned' for sharded scenario cells"
+                "streaming recording cannot run on a replica window: "
+                "streamed reducer summaries have no byte-exact shard "
+                "merge; run the streaming ensemble monolithically"
             )
         generators = spawn_rngs(seed, count, offset=replica_offset)
         states = [state_factory(generator) for generator in generators]
@@ -588,13 +1005,39 @@ class ScenarioRunner:
                 )
             )
         )
+        if recording is not None and not use_batch:
+            raise ValidationError(
+                "streaming recording requires the batch engine; this "
+                "protocol/state combination falls back to scalar replica "
+                "runs (use ScenarioRunner.run(recording=...) per replica "
+                "instead)"
+            )
         if use_batch:
             batch = _batch_state_class(self._protocol).from_states(states)
             if rng_policy == "counter":
+                if windowed:
+                    # A window of the monolithic counter layout: site
+                    # draws are keyed on global replica indices, so the
+                    # window reproduces exactly the monolithic streams
+                    # for its replicas (deterministic events consume
+                    # none, and the kernel is counter-shardable).
+                    window = CounterStreams(
+                        seed,
+                        count,
+                        replica_offset=replica_offset,
+                        total_replicas=repetitions,
+                    )
+                    return self.run_batch(batch, rounds, rngs=window)
                 return self.run_batch(
-                    batch, rounds, seed=seed, rng_policy="counter"
+                    batch,
+                    rounds,
+                    seed=seed,
+                    rng_policy="counter",
+                    recording=recording,
                 )
-            return self.run_batch(batch, rounds, rngs=generators)
+            return self.run_batch(
+                batch, rounds, rngs=generators, recording=recording
+            )
         replica_results = [
             self.run(state, rounds, rng=generator)
             for state, generator in zip(states, generators)

@@ -113,6 +113,22 @@ class Schedule:
                     f"got {type(entry).__name__}"
                 )
         self._entries = entries
+        # Compiled workload traces produce thousands of single-round
+        # entries; scanning all of them every round would make the
+        # per-round dispatch O(entries * horizon). Index explicit-round
+        # entries by round up front and keep only periodic entries on
+        # the scan path — entry order is preserved by sorting on the
+        # original position when merging the two.
+        self._explicit: dict[int, list[tuple[int, Event]]] = {}
+        self._periodic: list[tuple[int, ScheduleEntry]] = []
+        for position, entry in enumerate(entries):
+            if entry.rounds is not None:
+                for round_index in set(entry.rounds):
+                    self._explicit.setdefault(round_index, []).append(
+                        (position, entry.event)
+                    )
+            else:
+                self._periodic.append((position, entry))
 
     @property
     def entries(self) -> tuple[ScheduleEntry, ...]:
@@ -121,9 +137,14 @@ class Schedule:
 
     def events_due(self, round_index: int) -> list[Event]:
         """Events firing before round ``round_index``, in entry order."""
-        return [
-            entry.event for entry in self._entries if entry.due(round_index)
-        ]
+        due = list(self._explicit.get(round_index, ()))
+        for position, entry in self._periodic:
+            if entry.due(round_index):
+                due.append((position, entry.event))
+        if not due:
+            return []
+        due.sort(key=lambda item: item[0])
+        return [event for _, event in due]
 
     def event_rounds(self, event_name: str, horizon: int) -> list[int]:
         """All rounds (< ``horizon``) at which events named ``event_name`` fire.
@@ -137,6 +158,25 @@ class Schedule:
             for entry in self._entries
             if entry.event.name == event_name and entry.due(round_index)
         ]
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether every entry's event consumes zero stream randomness.
+
+        True when each event is either flagged
+        :attr:`~repro.scenarios.events.Event.deterministic` or is a
+        topology transform (those derive any randomness from their own
+        seed, never from the replica streams). Compiled workload traces
+        (:func:`repro.workloads.compile_trace`) always satisfy this,
+        which is what lets counter-policy scenario ensembles run in
+        replica-shard windows: no event touches the whole-stack site
+        streams, so a window's draws are independent of the other
+        windows.
+        """
+        return all(
+            entry.event.deterministic or entry.event.mutates_topology
+            for entry in self._entries
+        )
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,399 @@
+"""Canonical workload traces and the versioned JSONL trace-file format.
+
+A :class:`WorkloadTrace` is the contract between workload *generation*
+and *simulation*: an immutable header (vertex count, horizon, seed,
+initial task count, generator label) plus an ordered stream of
+:class:`TraceEvent` records. Generators (:mod:`repro.workloads.generators`)
+resolve **all** randomness at generation time from
+``derive_seed(trace_seed, round, site)`` — never from the replica
+streams — so a trace, and therefore the schedule compiled from it
+(:func:`repro.workloads.compiler.compile_trace`), is byte-identical
+across engines, both RNG policies, any worker count, and any replica
+shard window.
+
+File format
+-----------
+``save_trace`` writes JSON Lines: the first line is a header object
+
+.. code-block:: json
+
+    {"format": "repro-trace", "version": 1, "num_nodes": 20,
+     "horizon": 120, "seed": 7, "initial_tasks": 160,
+     "generator": "mmpp", "num_events": 214}
+
+followed by one object per event, e.g.
+
+.. code-block:: json
+
+    {"round": 3, "kind": "arrival", "targets": [4, 0, 17], "weight": 1.0}
+    {"round": 3, "kind": "departure", "count": 2, "node": 5}
+    {"round": 9, "kind": "relocation", "node": 11, "fraction": 0.5}
+    {"round": 12, "kind": "adversarial", "count": 8, "weight": 1.0}
+
+``load_trace`` refuses unknown formats and versions, and both loading
+and compilation run :func:`validate_trace`, whose key guarantee is
+*departure safety*: a running-total account of every arrival and
+departure proves no departure can ever exceed the tasks present, so the
+compiled :class:`~repro.scenarios.events.TraceDeparture` events never
+clamp and the replayed ``num_tasks`` trajectory is exactly
+:func:`task_timeline` for every replica under every configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import IntArray
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TRACE_KINDS",
+    "TraceEvent",
+    "WorkloadTrace",
+    "validate_trace",
+    "task_timeline",
+    "save_trace",
+    "load_trace",
+]
+
+#: Magic string in the header line of every trace file.
+TRACE_FORMAT = "repro-trace"
+
+#: Current trace-file schema version; ``load_trace`` accepts only this.
+TRACE_VERSION = 1
+
+#: Recognised event kinds, mapping 1:1 onto the deterministic
+#: compiled events in :mod:`repro.scenarios.events`.
+TRACE_KINDS = ("arrival", "departure", "relocation", "adversarial")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One workload perturbation at one round.
+
+    Field use per kind:
+
+    * ``arrival`` — ``targets`` (explicit node per task), ``weight``;
+    * ``departure`` — ``count`` tasks leave, deterministic node sweep
+      starting at ``node``;
+    * ``relocation`` — ``fraction`` of each node's tasks moves to
+      hotspot ``node``;
+    * ``adversarial`` — ``count`` tasks land on the most-loaded node
+      (resolved per replica at application time), ``weight``.
+    """
+
+    round_index: int
+    kind: str
+    targets: tuple[int, ...] = ()
+    node: int = 0
+    count: int = 0
+    fraction: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if (
+            not isinstance(self.round_index, (int, np.integer))
+            or self.round_index < 0
+        ):
+            raise ValidationError(
+                f"round_index must be a non-negative int, got {self.round_index}"
+            )
+        if self.kind not in TRACE_KINDS:
+            raise ValidationError(
+                f"unknown trace event kind {self.kind!r}; "
+                f"expected one of {TRACE_KINDS}"
+            )
+        if not isinstance(self.node, (int, np.integer)) or self.node < 0:
+            raise ValidationError(
+                f"node must be a non-negative int, got {self.node}"
+            )
+        if not isinstance(self.count, (int, np.integer)) or self.count < 0:
+            raise ValidationError(
+                f"count must be a non-negative int, got {self.count}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValidationError(
+                f"fraction must lie in [0, 1], got {self.fraction}"
+            )
+        if not 0.0 < self.weight <= 1.0:
+            raise ValidationError(
+                f"weight must lie in (0, 1], got {self.weight}"
+            )
+
+    @property
+    def task_delta(self) -> int:
+        """Net change in the system's task count when the event applies."""
+        if self.kind == "arrival":
+            return len(self.targets)
+        if self.kind == "adversarial":
+            return int(self.count)
+        if self.kind == "departure":
+            return -int(self.count)
+        return 0
+
+    @property
+    def task_events(self) -> int:
+        """Tasks the event touches with a count known from the trace alone.
+
+        Arrivals and adversarial arrivals contribute their task count,
+        departures theirs; relocations move a state-dependent number and
+        contribute zero here. This is the unit the streaming-replay
+        throughput benchmark counts.
+        """
+        if self.kind == "arrival":
+            return len(self.targets)
+        if self.kind in ("departure", "adversarial"):
+            return int(self.count)
+        return 0
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """An immutable workload trace: header plus ordered event stream."""
+
+    num_nodes: int
+    horizon: int
+    seed: int
+    initial_tasks: int
+    events: tuple[TraceEvent, ...]
+    generator: str = "custom"
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_task_events(self) -> int:
+        """Total trace-countable task events (see ``TraceEvent.task_events``)."""
+        return sum(event.task_events for event in self.events)
+
+    @property
+    def final_tasks(self) -> int:
+        """Task count after the whole trace has applied."""
+        return self.initial_tasks + sum(e.task_delta for e in self.events)
+
+
+def validate_trace(trace: WorkloadTrace) -> WorkloadTrace:
+    """Check a trace's internal consistency; returns it for chaining.
+
+    Beyond per-field ranges this proves *departure safety*: walking the
+    events in order with a running task total (starting at
+    ``initial_tasks``) shows every departure leaves the total
+    non-negative. Compiled departures therefore never clamp, which is
+    the property that makes the replayed task-count trajectory exact
+    (equal to :func:`task_timeline`) on every replica under every
+    engine, RNG policy, and shard configuration.
+    """
+    if not isinstance(trace.num_nodes, (int, np.integer)) or trace.num_nodes < 1:
+        raise ValidationError(
+            f"num_nodes must be a positive int, got {trace.num_nodes}"
+        )
+    if not isinstance(trace.horizon, (int, np.integer)) or trace.horizon < 1:
+        raise ValidationError(
+            f"horizon must be a positive int, got {trace.horizon}"
+        )
+    if not isinstance(trace.seed, (int, np.integer)) or trace.seed < 0:
+        raise ValidationError(
+            f"trace seed must be a non-negative int, got {trace.seed}"
+        )
+    if (
+        not isinstance(trace.initial_tasks, (int, np.integer))
+        or trace.initial_tasks < 0
+    ):
+        raise ValidationError(
+            f"initial_tasks must be a non-negative int, got {trace.initial_tasks}"
+        )
+    running = int(trace.initial_tasks)
+    previous_round = 0
+    for position, event in enumerate(trace.events):
+        if event.round_index >= trace.horizon:
+            raise ValidationError(
+                f"event {position} fires at round {event.round_index} "
+                f">= horizon {trace.horizon}"
+            )
+        if event.round_index < previous_round:
+            raise ValidationError(
+                f"event {position} at round {event.round_index} breaks "
+                "non-decreasing round order"
+            )
+        previous_round = event.round_index
+        if event.kind == "arrival":
+            if event.targets and max(event.targets) >= trace.num_nodes:
+                raise ValidationError(
+                    f"event {position}: arrival target {max(event.targets)} "
+                    f"out of range [0, {trace.num_nodes - 1}]"
+                )
+        elif event.node >= trace.num_nodes:
+            raise ValidationError(
+                f"event {position}: node {event.node} out of range "
+                f"[0, {trace.num_nodes - 1}]"
+            )
+        delta = event.task_delta
+        if running + delta < 0:
+            raise ValidationError(
+                f"event {position}: departure of {event.count} tasks at "
+                f"round {event.round_index} exceeds the {running} tasks "
+                "present — the trace is not departure-safe"
+            )
+        running += delta
+    return trace
+
+
+def task_timeline(trace: WorkloadTrace) -> IntArray:
+    """Expected task count before each round, aligned with recorded rows.
+
+    ``timeline[t]`` is the system's task count at observation row ``t``
+    — after all events of rounds ``< t`` and before round ``t``'s own
+    events — matching the scenario recorder's row semantics exactly.
+    Length ``horizon + 1``; a validated trace's replay reproduces this
+    array verbatim in every replica's ``num_tasks`` trajectory.
+    """
+    deltas = np.zeros(trace.horizon + 1, dtype=np.int64)
+    for event in trace.events:
+        deltas[event.round_index + 1] += event.task_delta
+    timeline = np.cumsum(deltas)
+    timeline += trace.initial_tasks
+    return timeline
+
+
+def _event_record(event: TraceEvent) -> dict:
+    record: dict = {"round": int(event.round_index), "kind": event.kind}
+    if event.kind == "arrival":
+        record["targets"] = [int(t) for t in event.targets]
+        record["weight"] = float(event.weight)
+    elif event.kind == "departure":
+        record["count"] = int(event.count)
+        record["node"] = int(event.node)
+    elif event.kind == "relocation":
+        record["node"] = int(event.node)
+        record["fraction"] = float(event.fraction)
+    else:  # adversarial
+        record["count"] = int(event.count)
+        record["weight"] = float(event.weight)
+    return record
+
+
+def _event_from_record(record: dict, position: int) -> TraceEvent:
+    try:
+        kind = record["kind"]
+        round_index = int(record["round"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValidationError(
+            f"trace line {position}: malformed event record ({error})"
+        ) from None
+    if kind == "arrival":
+        return TraceEvent(
+            round_index,
+            "arrival",
+            targets=tuple(int(t) for t in record.get("targets", ())),
+            weight=float(record.get("weight", 1.0)),
+        )
+    if kind == "departure":
+        return TraceEvent(
+            round_index,
+            "departure",
+            count=int(record.get("count", 0)),
+            node=int(record.get("node", 0)),
+        )
+    if kind == "relocation":
+        return TraceEvent(
+            round_index,
+            "relocation",
+            node=int(record.get("node", 0)),
+            fraction=float(record.get("fraction", 0.0)),
+        )
+    if kind == "adversarial":
+        return TraceEvent(
+            round_index,
+            "adversarial",
+            count=int(record.get("count", 0)),
+            weight=float(record.get("weight", 1.0)),
+        )
+    raise ValidationError(
+        f"trace line {position}: unknown event kind {kind!r}"
+    )
+
+
+def save_trace(trace: WorkloadTrace, path: str | Path) -> Path:
+    """Write a validated trace as versioned JSONL; returns the path."""
+    validate_trace(trace)
+    path = Path(path)
+    header = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "num_nodes": int(trace.num_nodes),
+        "horizon": int(trace.horizon),
+        "seed": int(trace.seed),
+        "initial_tasks": int(trace.initial_tasks),
+        "generator": trace.generator,
+        "num_events": trace.num_events,
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for event in trace.events:
+            handle.write(json.dumps(_event_record(event)) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> WorkloadTrace:
+    """Read and validate a JSONL trace file written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = [line for line in (raw.strip() for raw in handle) if line]
+    if not lines:
+        raise ValidationError(f"trace file {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ValidationError(
+            f"trace file {path}: header is not valid JSON ({error})"
+        ) from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValidationError(
+            f"trace file {path}: not a {TRACE_FORMAT!r} file"
+        )
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise ValidationError(
+            f"trace file {path}: unsupported version {version!r} "
+            f"(this reader handles version {TRACE_VERSION})"
+        )
+    try:
+        num_nodes = int(header["num_nodes"])
+        horizon = int(header["horizon"])
+        seed = int(header["seed"])
+        initial_tasks = int(header["initial_tasks"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValidationError(
+            f"trace file {path}: malformed header ({error})"
+        ) from None
+    events = []
+    for position, line in enumerate(lines[1:], start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"trace file {path} line {position}: invalid JSON ({error})"
+            ) from None
+        events.append(_event_from_record(record, position))
+    declared = header.get("num_events")
+    if declared is not None and int(declared) != len(events):
+        raise ValidationError(
+            f"trace file {path}: header declares {declared} events, "
+            f"found {len(events)}"
+        )
+    trace = WorkloadTrace(
+        num_nodes=num_nodes,
+        horizon=horizon,
+        seed=seed,
+        initial_tasks=initial_tasks,
+        events=tuple(events),
+        generator=str(header.get("generator", "custom")),
+    )
+    return validate_trace(trace)

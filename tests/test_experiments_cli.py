@@ -48,6 +48,8 @@ def stub_cli(monkeypatch):
         rng_policy="spawned",
         shard_size=None,
         target_ci=None,
+        trace=None,
+        workload=None,
     ):
         from repro.experiments.registry import run_experiment
 
@@ -60,6 +62,8 @@ def stub_cli(monkeypatch):
                 rng_policy=rng_policy,
                 shard_size=shard_size,
                 target_ci=target_ci,
+                trace=trace,
+                workload=workload,
             )
         return results[experiment_id]
 
@@ -248,3 +252,77 @@ class TestRngFlag:
             outputs.append(payload)
         capsys.readouterr()
         assert outputs[0] == outputs[1]
+
+
+class TestTopLevelEntryPoint:
+    def test_list_prints_ids_one_per_line(self, capsys):
+        import repro.__main__ as top
+
+        assert top.main(["--list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "workloads-traffic" in lines
+        assert "table1-weighted" in lines
+        assert lines == sorted(lines)
+        assert all("\t" not in line and " " not in line for line in lines)
+
+    def test_no_arguments_prints_help_and_exits_zero(self, capsys):
+        import repro.__main__ as top
+
+        assert top.main([]) == 0
+        out = capsys.readouterr().out
+        assert "usage: python -m repro" in out
+        assert "--list" in out
+
+
+class TestSeedValidation:
+    def test_negative_seed_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["run", "table1-weighted", "--seed", "-3"])
+        assert excinfo.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_non_integer_seed_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["run", "table1-weighted", "--seed", "not-a-number"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+
+class TestWorkloadFlags:
+    def test_missing_trace_file_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(
+                [
+                    "run",
+                    "workloads-traffic",
+                    "--trace",
+                    str(tmp_path / "nope.jsonl"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_two(self, capsys):
+        code = cli.main(
+            ["run", "workloads-traffic", "--workload", "tidal-wave"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown workload" in captured.err
+
+    def test_trace_replay_runs_and_passes(self, tmp_path, capsys):
+        from repro.workloads import build_workload, save_trace
+
+        trace_path = tmp_path / "small.jsonl"
+        save_trace(
+            build_workload(
+                "mmpp", num_nodes=6, horizon=15, seed=3, initial_tasks=24
+            ),
+            trace_path,
+        )
+        code = cli.main(
+            ["run", "workloads-traffic", "--trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file" in out  # the loaded-trace cell reports workload=file

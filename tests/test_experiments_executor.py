@@ -75,6 +75,8 @@ class TestRunCell:
             "shock-recovery",
             "churn-band",
             "topology-resilience",
+            "workload-replay",
+            "workload-adversarial",
         }
 
     def test_runs_weighted_cell(self):

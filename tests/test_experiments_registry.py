@@ -32,6 +32,7 @@ EXPECTED_IDS = {
     "robustness",
     "scenarios-churn-shock",
     "topology-failures",
+    "workloads-traffic",
 }
 
 

@@ -44,6 +44,8 @@ class TestTopLevelApi:
         "repro.diffusion",
         "repro.theory",
         "repro.analysis",
+        "repro.scenarios",
+        "repro.workloads",
         "repro.experiments",
     ],
 )

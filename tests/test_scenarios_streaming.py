@@ -1,0 +1,272 @@
+"""Streaming observable recording: reducer correctness and flat memory.
+
+The streaming recorder must be *observationally equivalent* to the full
+``(T + 1, R)`` recording — every summary statistic at ``thin_every=1``
+equals the same reduction of the full arrays — while keeping the number
+of resident chunks constant in the horizon (the bounded-memory
+guarantee of the million-task replay path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming import ObservableSummary, RunningMoments
+from repro.errors import ValidationError
+from repro.graphs import torus_graph
+from repro.model import UniformState, random_placement
+from repro.scenarios import (
+    ScenarioRunner,
+    StreamingRecording,
+    StreamingScenarioResult,
+)
+from repro.workloads import build_workload, compile_trace
+
+
+def make_runner(tasks="weighted", horizon=24, n=9, m=54):
+    from repro.experiments.scenario_cells import _scenario_setup
+
+    graph = torus_graph(3)
+    trace = build_workload(
+        "mmpp-flash", num_nodes=n, horizon=horizon, seed=13, initial_tasks=m
+    )
+    protocol, target, factory = _scenario_setup(graph, tasks, m)
+    runner = ScenarioRunner(
+        graph, protocol, compile_trace(trace), target=target
+    )
+    return runner, factory, horizon
+
+
+OBSERVABLES = (
+    "psi0",
+    "max_load_difference",
+    "nash_violation",
+    "total_weight",
+    "num_tasks",
+    "target_satisfied",
+)
+
+
+def full_array(result, name):
+    values = getattr(result, name)
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestRunningMoments:
+    def test_matches_single_pass(self):
+        rng = np.random.default_rng(5)
+        rows = rng.normal(size=(100, 4))
+        moments = RunningMoments(4)
+        for start in range(0, 100, 7):  # uneven chunking
+            moments.update(rows[start : start + 7])
+        summary = moments.summary()
+        assert summary.count == 100
+        np.testing.assert_allclose(summary.mean, rows.mean(axis=0))
+        np.testing.assert_allclose(summary.variance, rows.var(axis=0))
+        np.testing.assert_array_equal(summary.minimum, rows.min(axis=0))
+        np.testing.assert_array_equal(summary.maximum, rows.max(axis=0))
+        np.testing.assert_array_equal(summary.last, rows[-1])
+
+    def test_empty_chunk_is_noop(self):
+        moments = RunningMoments(3)
+        moments.update(np.empty((0, 3)))
+        assert moments.count == 0
+
+    def test_shape_validation(self):
+        moments = RunningMoments(3)
+        with pytest.raises(ValidationError):
+            moments.update(np.zeros((5, 4)))
+        with pytest.raises(ValidationError):
+            moments.update(np.zeros(5))
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValidationError):
+            RunningMoments(2).summary()
+
+    def test_bad_replica_count(self):
+        with pytest.raises(ValidationError):
+            RunningMoments(0)
+
+
+class TestStreamingRecordingOptions:
+    def test_defaults(self):
+        options = StreamingRecording()
+        assert options.thin_every == 1
+        assert options.chunk_rounds == 256
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StreamingRecording(thin_every=0)
+        with pytest.raises(ValidationError):
+            StreamingRecording(chunk_rounds=0)
+
+
+class TestStreamingEqualsFull:
+    """At thin_every=1 every streamed statistic equals the full-mode
+    reduction — same rows, same values, different memory."""
+
+    @pytest.mark.parametrize("tasks", ["uniform", "weighted"])
+    def test_batch_summaries_match_full_recording(self, tasks):
+        runner, factory, horizon = make_runner(tasks)
+        full = runner.run_ensemble(
+            factory, 5, horizon, seed=3, engine="batch"
+        )
+        runner2, factory2, _ = make_runner(tasks)
+        streamed = runner2.run_ensemble(
+            factory2, 5, horizon, seed=3, engine="batch",
+            recording=StreamingRecording(thin_every=1, chunk_rounds=7),
+        )
+        assert isinstance(streamed, StreamingScenarioResult)
+        assert streamed.rows_recorded == horizon + 1
+        np.testing.assert_array_equal(
+            streamed.recorded_rounds, np.arange(horizon + 1)
+        )
+        for name in OBSERVABLES:
+            rows = full_array(full, name)
+            summary = streamed.observables[name]
+            np.testing.assert_allclose(
+                summary.mean, rows.mean(axis=0), err_msg=name
+            )
+            np.testing.assert_allclose(
+                summary.variance, rows.var(axis=0), err_msg=name
+            )
+            np.testing.assert_array_equal(
+                summary.minimum, rows.min(axis=0), err_msg=name
+            )
+            np.testing.assert_array_equal(
+                summary.maximum, rows.max(axis=0), err_msg=name
+            )
+            np.testing.assert_array_equal(
+                summary.last, rows[-1], err_msg=name
+            )
+            np.testing.assert_allclose(
+                streamed.series[name], rows.mean(axis=1), err_msg=name
+            )
+        np.testing.assert_array_equal(streamed.lambda2, full.lambda2)
+        np.testing.assert_array_equal(streamed.connected, full.connected)
+        # Streaming keeps per-name event totals, not the chronological
+        # log — they must equal the full-mode log's aggregation.
+        names = {record.name for record in full.events}
+        assert set(streamed.event_totals) == names
+        for name in names:
+            records = full.events_named(name)
+            totals = streamed.event_totals[name]
+            assert totals.applications == len(records)
+            np.testing.assert_array_equal(
+                totals.tasks_added,
+                np.sum([r.tasks_added for r in records], axis=0),
+            )
+            np.testing.assert_array_equal(
+                totals.tasks_removed,
+                np.sum([r.tasks_removed for r in records], axis=0),
+            )
+            np.testing.assert_array_equal(
+                totals.tasks_relocated,
+                np.sum([r.tasks_relocated for r in records], axis=0),
+            )
+
+    def test_scalar_streaming_matches_full(self):
+        runner, _, horizon = make_runner("uniform")
+        state_full = UniformState(
+            random_placement(9, 54, np.random.default_rng(2)), np.ones(9)
+        )
+        state_stream = UniformState(
+            state_full.counts.copy(), state_full.speeds.copy()
+        )
+        full = runner.run(state_full, horizon, rng=11)
+        runner2, _, _ = make_runner("uniform")
+        streamed = runner2.run(
+            state_stream, horizon, rng=11,
+            recording=StreamingRecording(thin_every=1, chunk_rounds=5),
+        )
+        assert streamed.engine == "scalar"
+        for name in OBSERVABLES:
+            rows = full_array(full, name)
+            np.testing.assert_allclose(
+                streamed.observables[name].mean, rows.mean(axis=0),
+                err_msg=name,
+            )
+            np.testing.assert_array_equal(
+                streamed.observables[name].last, rows[-1], err_msg=name
+            )
+
+
+class TestThinning:
+    def test_thinning_keeps_first_and_final_rows(self):
+        runner, factory, horizon = make_runner("uniform", horizon=23)
+        streamed = runner.run_ensemble(
+            factory, 3, horizon, seed=7, engine="batch",
+            recording=StreamingRecording(thin_every=4),
+        )
+        expected = [
+            row for row in range(horizon + 1)
+            if row % 4 == 0 or row == horizon
+        ]
+        np.testing.assert_array_equal(streamed.recorded_rounds, expected)
+        assert streamed.rows_recorded == len(expected)
+        assert streamed.observables["psi0"].count == len(expected)
+
+    def test_thinned_rows_match_full_rows(self):
+        runner, factory, horizon = make_runner("weighted")
+        full = runner.run_ensemble(
+            factory, 4, horizon, seed=9, engine="batch"
+        )
+        runner2, factory2, _ = make_runner("weighted")
+        streamed = runner2.run_ensemble(
+            factory2, 4, horizon, seed=9, engine="batch",
+            recording=StreamingRecording(thin_every=5),
+        )
+        kept = streamed.recorded_rounds
+        np.testing.assert_allclose(
+            streamed.series["psi0"], full.psi0[kept].mean(axis=1)
+        )
+        np.testing.assert_array_equal(
+            streamed.observables["num_tasks"].last, full.num_tasks[-1]
+        )
+
+
+class TestBoundedMemory:
+    def test_peak_resident_chunks_independent_of_horizon(self):
+        """The bounded-memory guarantee: a 10x longer trace flushes 10x
+        more chunks but never holds more of them resident."""
+        peaks, flushed = [], []
+        for horizon in (20, 200):
+            runner, factory, _ = make_runner("uniform", horizon=horizon)
+            streamed = runner.run_ensemble(
+                factory, 3, horizon, seed=5, engine="batch",
+                recording=StreamingRecording(thin_every=1, chunk_rounds=16),
+            )
+            peaks.append(streamed.peak_resident_chunks)
+            flushed.append(streamed.chunks_flushed)
+        assert peaks[0] == peaks[1] == len(OBSERVABLES)
+        assert flushed[1] > flushed[0]
+        assert flushed[1] == -(-201 // 16)  # ceil(rows / chunk_rounds)
+
+    def test_partial_final_chunk_is_flushed(self):
+        runner, factory, horizon = make_runner("uniform", horizon=10)
+        streamed = runner.run_ensemble(
+            factory, 2, horizon, seed=5, engine="batch",
+            recording=StreamingRecording(chunk_rounds=256),
+        )
+        assert streamed.chunks_flushed == 1  # 11 rows < one chunk
+        assert streamed.observables["psi0"].count == 11
+
+
+class TestStreamingRefusals:
+    def test_replica_window_refused(self):
+        runner, factory, horizon = make_runner("weighted")
+        with pytest.raises(ValidationError, match="window"):
+            runner.run_ensemble(
+                factory, 4, horizon, seed=1, engine="batch",
+                replica_offset=0, replica_count=2,
+                recording=StreamingRecording(),
+            )
+
+    def test_scalar_engine_ensemble_refused(self):
+        runner, factory, horizon = make_runner("weighted")
+        with pytest.raises(ValidationError, match="batch engine"):
+            runner.run_ensemble(
+                factory, 4, horizon, seed=1, engine="scalar",
+                recording=StreamingRecording(),
+            )

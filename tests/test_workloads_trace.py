@@ -1,0 +1,258 @@
+"""Tests for the workload trace model, generators, and file format."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TraceEvent,
+    WorkloadTrace,
+    available_workloads,
+    build_workload,
+    load_trace,
+    merge_traces,
+    save_trace,
+    task_timeline,
+    validate_trace,
+)
+from repro.workloads.generators import (
+    adversarial_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    mmpp_trace,
+)
+
+
+class TestTraceEvent:
+    def test_arrival_deltas(self):
+        event = TraceEvent(round_index=3, kind="arrival", targets=(0, 1, 1))
+        assert event.task_delta == 3
+        assert event.task_events == 3
+
+    def test_departure_deltas(self):
+        event = TraceEvent(round_index=0, kind="departure", count=5)
+        assert event.task_delta == -5
+        assert event.task_events == 5
+
+    def test_relocation_is_conserving(self):
+        event = TraceEvent(
+            round_index=2, kind="relocation", node=1, fraction=0.5
+        )
+        assert event.task_delta == 0
+        assert event.task_events == 0
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValidationError):
+            TraceEvent(round_index=-1, kind="arrival", targets=(0,))
+        with pytest.raises(ValidationError):
+            TraceEvent(round_index=0, kind="tsunami")
+        with pytest.raises(ValidationError):
+            TraceEvent(round_index=0, kind="relocation", node=0, fraction=1.5)
+        with pytest.raises(ValidationError):
+            TraceEvent(round_index=0, kind="arrival", targets=(0,), weight=0.0)
+
+
+class TestValidation:
+    def test_target_out_of_range_rejected(self):
+        trace = WorkloadTrace(
+            num_nodes=4,
+            horizon=10,
+            seed=1,
+            initial_tasks=0,
+            events=(
+                TraceEvent(round_index=0, kind="arrival", targets=(4,)),
+            ),
+        )
+        with pytest.raises(ValidationError):
+            validate_trace(trace)
+
+    def test_unsorted_events_rejected(self):
+        trace = WorkloadTrace(
+            num_nodes=4,
+            horizon=10,
+            seed=1,
+            initial_tasks=0,
+            events=(
+                TraceEvent(round_index=5, kind="arrival", targets=(0,)),
+                TraceEvent(round_index=2, kind="arrival", targets=(1,)),
+            ),
+        )
+        with pytest.raises(ValidationError):
+            validate_trace(trace)
+
+    def test_departure_unsafe_rejected(self):
+        trace = WorkloadTrace(
+            num_nodes=4,
+            horizon=10,
+            seed=1,
+            initial_tasks=2,
+            events=(
+                TraceEvent(round_index=1, kind="departure", count=3),
+            ),
+        )
+        with pytest.raises(ValidationError, match="departure-safe"):
+            validate_trace(trace)
+
+    def test_event_beyond_horizon_rejected(self):
+        trace = WorkloadTrace(
+            num_nodes=4,
+            horizon=10,
+            seed=1,
+            initial_tasks=0,
+            events=(
+                TraceEvent(round_index=10, kind="arrival", targets=(0,)),
+            ),
+        )
+        with pytest.raises(ValidationError):
+            validate_trace(trace)
+
+
+class TestTimeline:
+    def test_timeline_tracks_running_total(self):
+        trace = WorkloadTrace(
+            num_nodes=3,
+            horizon=5,
+            seed=0,
+            initial_tasks=10,
+            events=(
+                TraceEvent(round_index=1, kind="arrival", targets=(0, 1)),
+                TraceEvent(round_index=3, kind="departure", count=4),
+                TraceEvent(
+                    round_index=4, kind="relocation", node=0, fraction=0.5
+                ),
+            ),
+        )
+        timeline = task_timeline(trace)
+        np.testing.assert_array_equal(timeline, [10, 10, 12, 12, 8, 8])
+        assert trace.final_tasks == 8
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "name", ["mmpp", "diurnal", "flash-crowd", "adversarial", "mmpp-flash"]
+    )
+    def test_build_workload_deterministic(self, name):
+        kwargs = dict(num_nodes=8, horizon=40, seed=7, initial_tasks=30)
+        first = build_workload(name, **kwargs)
+        second = build_workload(name, **kwargs)
+        assert first == second
+        assert first.num_nodes == 8
+        assert first.horizon == 40
+        validate_trace(first)
+        # Determinism is seed-sensitive.
+        assert build_workload(name, num_nodes=8, horizon=40, seed=8,
+                              initial_tasks=30) != first
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError, match="unknown workload"):
+            build_workload("tsunami", num_nodes=4, horizon=10, seed=1)
+
+    def test_catalog_is_sorted_and_complete(self):
+        names = available_workloads()
+        assert names == sorted(names)
+        assert {"mmpp", "diurnal", "flash-crowd", "adversarial"} <= set(names)
+
+    def test_mmpp_produces_arrivals_and_departures(self):
+        trace = mmpp_trace(6, 60, 3, initial_tasks=20)
+        kinds = {event.kind for event in trace.events}
+        assert "arrival" in kinds
+        assert "departure" in kinds
+        validate_trace(trace)
+
+    def test_flash_crowd_emits_relocations(self):
+        trace = flash_crowd_trace(6, 50, 3, initial_tasks=40, crowds=2)
+        assert any(e.kind == "relocation" for e in trace.events)
+        validate_trace(trace)
+
+    def test_adversarial_counts_and_matched_departures(self):
+        trace = adversarial_trace(
+            6, 20, 3, count=4, period=2, initial_tasks=12
+        )
+        adversarial = [e for e in trace.events if e.kind == "adversarial"]
+        assert all(e.count == 4 for e in adversarial)
+        # Matched departures keep the timeline bounded.
+        assert task_timeline(trace).max() <= 12 + 4
+        validate_trace(trace)
+
+    def test_diurnal_rate_modulation(self):
+        trace = diurnal_trace(
+            6, 96, 5, base_rate=12.0, amplitude=0.9, period=48
+        )
+        validate_trace(trace)
+        assert trace.num_events > 0
+
+
+class TestMerge:
+    def test_merge_preserves_safety_and_order(self):
+        first = mmpp_trace(6, 30, 1, initial_tasks=20)
+        second = flash_crowd_trace(6, 40, 2, initial_tasks=30)
+        merged = merge_traces(first, second)
+        assert merged.initial_tasks == 50
+        assert merged.horizon == 40
+        rounds = [event.round_index for event in merged.events]
+        assert rounds == sorted(rounds)
+        validate_trace(merged)
+
+    def test_merge_rejects_node_mismatch(self):
+        with pytest.raises(ValidationError):
+            merge_traces(
+                mmpp_trace(6, 10, 1, initial_tasks=50),
+                mmpp_trace(8, 10, 1, initial_tasks=50),
+            )
+
+
+class TestFileFormat:
+    def test_round_trip(self, tmp_path):
+        trace = build_workload(
+            "mmpp-flash", num_nodes=10, horizon=50, seed=9, initial_tasks=40
+        )
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_header_fields(self, tmp_path):
+        trace = mmpp_trace(5, 20, 4, initial_tasks=15)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_VERSION
+        assert header["num_nodes"] == 5
+        assert header["num_events"] == trace.num_events
+
+    def test_wrong_format_rejected(self, tmp_path):
+        trace = mmpp_trace(5, 20, 4, initial_tasks=15)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["format"] = "not-a-trace"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        trace = mmpp_trace(5, 20, 4, initial_tasks=15)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = TRACE_VERSION + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = mmpp_trace(5, 20, 4, initial_tasks=15)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValidationError):
+            load_trace(path)
