@@ -21,25 +21,75 @@ from repro.model.speeds import uniform_speeds
 from repro.model.state import UniformState
 
 #: Machine-readable record of the acceptance benchmarks, committed so the
-#: perf trajectory accumulates across PRs. Keyed by (cell, policy).
+#: perf trajectory accumulates across PRs. Versioned: a ``schema``
+#: header plus ``rows`` keyed by (cell, policy, backend), each row
+#: tagged with the PR that recorded it.
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH.json"
+
+#: Stamped onto rows recorded by the current checkout; bump when a PR
+#: re-records (or adds) benchmark rows so the trajectory stays
+#: attributable.
+BENCH_CURRENT_PR = 10
+
+
+def _machine_metadata() -> dict:
+    """Hardware/toolchain context for a freshly recorded row."""
+    import os
+
+    import numpy
+
+    metadata: dict = {
+        "cpu_count": os.cpu_count(),
+        "numpy_version": numpy.__version__,
+    }
+    try:
+        import numba
+
+        metadata["numba_version"] = numba.__version__
+    except ImportError:
+        pass
+    try:
+        import cupy
+
+        metadata["cupy_version"] = cupy.__version__
+    except ImportError:
+        pass
+    return metadata
+
+
+def _load_bench_rows() -> list[dict]:
+    """Current BENCH.json rows (tolerating the pre-schema flat list)."""
+    if not BENCH_RESULTS_PATH.exists():
+        return []
+    document = json.loads(BENCH_RESULTS_PATH.read_text(encoding="utf-8"))
+    if isinstance(document, list):  # pre-versioned flat layout
+        return document
+    return list(document.get("rows", []))
 
 
 def record_bench(
-    cell: str, policy: str, wall_clock_seconds: float, speedup: float, **extra
+    cell: str,
+    policy: str,
+    wall_clock_seconds: float,
+    speedup: float,
+    backend: str = "numpy",
+    **extra,
 ) -> None:
-    """Upsert one (cell, policy) row into ``BENCH.json``.
+    """Upsert one (cell, policy, backend) row into ``BENCH.json``.
 
     ``wall_clock_seconds`` is the timed quantity of the row (per-round or
     end-to-end — the cell name says which); ``speedup`` is relative to
-    the row's stated baseline. Extra keyword scalars ride along.
+    the row's stated baseline; ``backend`` tags which
+    :mod:`repro.backends` implementation ran the kernels. Extra keyword
+    scalars ride along. Recorded rows carry the recording PR
+    (``BENCH_CURRENT_PR``) and machine metadata (cpu count, numpy /
+    numba / cupy versions), so the committed file is a cumulative
+    per-PR perf trajectory — rows from earlier PRs stay until a later
+    PR's benchmark re-records them.
 
-    The committed file is the cumulative perf trajectory — rows from
-    earlier PRs stay until their benchmark re-records them — and a
-    deliberately refreshed snapshot, not a side-effect of every test
-    run: writes happen only when ``BENCH_RECORD=1`` is exported
-    (``BENCH_RECORD=1 pytest -q -m slow benchmarks/`` to refresh;
-    the legacy ``BENCH_PR5_RECORD=1`` spelling still works), so routine
+    Writes happen only when ``BENCH_RECORD=1`` is exported
+    (``BENCH_RECORD=1 pytest -q -m slow benchmarks/`` to refresh; the
+    legacy ``BENCH_PR5_RECORD=1`` spelling still works), so routine
     tier-1 runs — which include the slow acceptance benchmarks — never
     dirty the working tree with machine-local timings.
     """
@@ -51,25 +101,63 @@ def record_bench(
         and os.environ.get("BENCH_PR5_RECORD", "") not in enabled
     ):
         return
-    rows: list[dict] = []
-    if BENCH_RESULTS_PATH.exists():
-        rows = json.loads(BENCH_RESULTS_PATH.read_text(encoding="utf-8"))
+    rows = _load_bench_rows()
     rows = [
-        row for row in rows if (row["cell"], row["policy"]) != (cell, policy)
+        row
+        for row in rows
+        if (row["cell"], row["policy"], row.get("backend", "numpy"))
+        != (cell, policy, backend)
     ]
     rows.append(
         {
             "cell": cell,
             "policy": policy,
+            "backend": backend,
+            "pr": BENCH_CURRENT_PR,
             "wall_clock_seconds": round(float(wall_clock_seconds), 6),
             "speedup": round(float(speedup), 3),
+            "machine": _machine_metadata(),
             **extra,
         }
     )
-    rows.sort(key=lambda row: (row["cell"], row["policy"]))
-    BENCH_RESULTS_PATH.write_text(
-        json.dumps(rows, indent=2) + "\n", encoding="utf-8"
+    rows.sort(
+        key=lambda row: (row["cell"], row["policy"], row.get("backend", "numpy"))
     )
+    document = {
+        "schema": {
+            "version": 2,
+            "key": ["cell", "policy", "backend"],
+            "description": (
+                "Cumulative acceptance-benchmark trajectory. One row per "
+                "(cell, policy, backend); 'pr' is the stacked PR that "
+                "recorded the row, 'machine' the recording hardware and "
+                "toolchain. Refresh with BENCH_RECORD=1 pytest -q -m slow "
+                "benchmarks/."
+            ),
+        },
+        "rows": rows,
+    }
+    BENCH_RESULTS_PATH.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    """Backend-marker skips for the benchmark tier (mirrors tests/)."""
+    import importlib.util
+
+    for marker_name, module in (("requires_numba", "numba"), ("requires_cupy", "cupy")):
+        if importlib.util.find_spec(module) is not None:
+            continue
+        skip = pytest.mark.skip(
+            reason=f"{module} is not installed (install the "
+            f"{'jit' if module == 'numba' else 'gpu'} extra)"
+        )
+        for item in items:
+            if marker_name in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture

@@ -48,6 +48,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backends import ArrayBackend, resolve_backend
 from repro.core.protocols import Protocol
 from repro.core.stopping import StoppingRule
 from repro.errors import SimulationError
@@ -139,6 +140,14 @@ class BatchSimulator:
         release) or ``"counter"`` (vectorized Philox block draws,
         law-level equivalent). Ignored when explicit ``rngs`` are passed
         to :meth:`run`.
+    backend:
+        Array backend for the batched kernels: a name from
+        :data:`repro.backends.BACKEND_NAMES` (``"numpy"`` default,
+        ``"numba"``, ``"cupy"``) or an
+        :class:`~repro.backends.ArrayBackend` instance. Resolved with
+        warn-and-fallback to numpy when the named backend's optional
+        dependency is missing. The numpy backend is bit-identical to
+        the pre-backend kernels at the same seeds.
     """
 
     def __init__(
@@ -147,6 +156,7 @@ class BatchSimulator:
         protocol: Protocol,
         seed: SeedLike = None,
         rng_policy: str = "spawned",
+        backend: "str | ArrayBackend | None" = None,
     ):
         if not getattr(protocol, "supports_batch", False):
             raise SimulationError(
@@ -157,6 +167,7 @@ class BatchSimulator:
         self._protocol = protocol
         self._seed = seed
         self._rng_policy = check_rng_policy(rng_policy)
+        self._backend = resolve_backend(backend)
 
     @property
     def graph(self) -> Graph:
@@ -167,6 +178,11 @@ class BatchSimulator:
     def protocol(self) -> Protocol:
         """The protocol being simulated."""
         return self._protocol
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The resolved array backend the kernels dispatch through."""
+        return self._backend
 
     def swap_graph(self, graph: Graph) -> None:
         """Replace the network with ``graph`` (same vertex count).
@@ -241,7 +257,8 @@ class BatchSimulator:
         num_replicas = batch.num_replicas
         if rngs is None:
             streams: StreamLayout = make_streams(
-                self._rng_policy, self._seed, num_replicas
+                self._rng_policy, self._seed, num_replicas,
+                backend=self._backend,
             )
         else:
             streams = as_stream_layout(rngs)
@@ -270,7 +287,7 @@ class BatchSimulator:
             if before_round is not None:
                 before_round(round_index, batch)
             summary = self._protocol.execute_round_batch(
-                batch, self._graph, streams, active
+                batch, self._graph, streams, active, backend=self._backend
             )
             any_saturation |= summary.saturated
             rounds_executed += 1
@@ -306,9 +323,12 @@ def run_protocol_batch(
     seed: SeedLike = None,
     check_every: int = 1,
     rng_policy: str = "spawned",
+    backend: "str | ArrayBackend | None" = None,
 ) -> BatchSimulationResult:
     """One-call convenience wrapper around :class:`BatchSimulator`."""
-    simulator = BatchSimulator(graph, protocol, seed, rng_policy=rng_policy)
+    simulator = BatchSimulator(
+        graph, protocol, seed, rng_policy=rng_policy, backend=backend
+    )
     return simulator.run(
         batch, stopping=stopping, max_rounds=max_rounds, check_every=check_every
     )

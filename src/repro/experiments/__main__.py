@@ -28,7 +28,12 @@ repetitions). ``--rng counter`` switches the sweep experiments onto the
 vectorized Philox counter stream layout (statistically equivalent,
 same-seed deterministic, different sample paths from the default
 ``spawned`` layout); under it only the weighted kinds may shard — see
-:mod:`repro.experiments.executor`. Requesting ``--workers`` (or
+:mod:`repro.experiments.executor`. ``--backend numba`` (or ``cupy``)
+dispatches the batched kernels through :mod:`repro.backends` — the
+default ``numpy`` backend stays bit-identical to every earlier release,
+and a requested backend whose optional dependency is missing warns and
+falls back to numpy (``run_meta`` records requested vs effective).
+Requesting ``--workers`` (or
 ``--rng``/``--shard-size``/``--target-ci``) for an experiment that has
 no such parameter prints a RuntimeWarning to stderr and falls back
 instead of silently dropping the flag. Unknown experiment ids exit with
@@ -143,6 +148,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "this generator (mmpp, diurnal, flash-crowd, adversarial, "
         "mmpp-flash; other experiments warn and ignore it)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba", "cupy"),
+        default="numpy",
+        help="array backend for the batched kernels: 'numpy' (default; "
+        "bit-identical to earlier releases), 'numba' (JIT-fused kernels, "
+        "requires the 'jit' extra), or 'cupy' (GPU arrays, requires the "
+        "'gpu' extra). A missing optional dependency prints a "
+        "RuntimeWarning and falls back to numpy; run_meta records the "
+        "requested and effective backend",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -193,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
                 target_ci=args.target_ci,
                 trace=None if args.trace is None else str(args.trace),
                 workload=args.workload,
+                backend=args.backend,
             )
         except ReproError as error:
             # Any deliberate library error (unknown id, bad parameters,

@@ -182,6 +182,7 @@ def measure_weighted_threshold_time(
     rng_policy: str = "spawned",
     replica_offset: int = 0,
     replica_count: int | None = None,
+    backend: str = "numpy",
 ) -> FamilyMeasurement:
     """Measure Algorithm 2's rounds to the threshold state on one cell.
 
@@ -218,6 +219,7 @@ def measure_weighted_threshold_time(
         rng_policy=rng_policy,
         replica_offset=replica_offset,
         replica_count=replica_count,
+        backend=backend,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -247,6 +249,7 @@ def measure_psi_threshold_time(
     rng_policy: str = "spawned",
     replica_offset: int = 0,
     replica_count: int | None = None,
+    backend: str = "numpy",
 ) -> FamilyMeasurement:
     """Measure rounds until ``Psi_0 <= 4 psi_c`` on one family cell.
 
@@ -278,6 +281,7 @@ def measure_psi_threshold_time(
         rng_policy=rng_policy,
         replica_offset=replica_offset,
         replica_count=replica_count,
+        backend=backend,
     )
     return FamilyMeasurement(
         family=family_name,
@@ -427,6 +431,7 @@ def measure_variant_threshold_time(
     churn_window: int = 200,
     replica_offset: int = 0,
     replica_count: int | None = None,
+    backend: str = "numpy",
 ) -> VariantMeasurement:
     """Measure one ablation variant's rounds-to-threshold and churn.
 
@@ -469,6 +474,7 @@ def measure_variant_threshold_time(
         rng_policy=rng_policy,
         replica_offset=replica_offset,
         replica_count=replica_count,
+        backend=backend,
     )
 
     # The churn probe is always a spawned scalar replay of repetition
@@ -525,6 +531,7 @@ def measure_exact_nash_time(
     rng_policy: str = "spawned",
     replica_offset: int = 0,
     replica_count: int | None = None,
+    backend: str = "numpy",
 ) -> FamilyMeasurement:
     """Measure rounds until the exact NE on one family cell.
 
@@ -555,6 +562,7 @@ def measure_exact_nash_time(
         rng_policy=rng_policy,
         replica_offset=replica_offset,
         replica_count=replica_count,
+        backend=backend,
     )
     return FamilyMeasurement(
         family=family_name,

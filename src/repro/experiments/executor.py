@@ -63,6 +63,7 @@ from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 import numpy as np
 
 from repro.analysis.statistics import bootstrap_half_width, summarize
+from repro.backends import check_backend
 from repro.errors import ValidationError
 from repro.experiments._common import (
     FamilyMeasurement,
@@ -204,6 +205,14 @@ class CellSpec:
         independently, with results merged in replica order —
         byte-identical to the monolithic run. Under adaptive sizing it
         sets the wave size instead.
+    backend:
+        Array backend for the cell's batched kernels: ``"numpy"``
+        (default, bit-identical to all earlier releases), ``"numba"``
+        (JIT-fused kernels, ``jit`` extra), or ``"cupy"`` (GPU arrays,
+        ``gpu`` extra). Resolved inside the measurement function with
+        warn-and-fallback to numpy when the extra is missing, so the
+        knob travels process boundaries as a plain string and pooled
+        runs behave exactly like serial ones.
     target_ci:
         Adaptive ensemble sizing (family sweep kinds only): run
         replicas in shard-sized waves until the bootstrap CI half-width
@@ -222,6 +231,7 @@ class CellSpec:
     rng_policy: str = "spawned"
     shard_size: int | None = None
     target_ci: float | None = None
+    backend: str = "numpy"
 
 
 @dataclass(frozen=True)
@@ -254,6 +264,7 @@ class CellTiming:
     shards: tuple[ShardTiming, ...]
     adaptive_stop: str | None = None
     ci_half_width: float | None = None
+    backend: str = "numpy"
 
     def to_json(self) -> dict:
         """Plain-dict form for the experiment artifact's ``run_meta``."""
@@ -262,6 +273,7 @@ class CellTiming:
             "family": self.family,
             "n": self.n,
             "rng_policy": self.rng_policy,
+            "backend": self.backend,
             "seconds": self.seconds,
             "repetitions_requested": self.repetitions_requested,
             "repetitions_effective": self.repetitions_effective,
@@ -304,6 +316,7 @@ def _measurement_for(kind: str) -> Callable[..., object]:
 def _check_spec(spec: CellSpec) -> None:
     """Validate one spec's sharding/adaptive configuration up front."""
     _measurement_for(spec.kind)
+    check_backend(spec.backend)
     if spec.shard_size is not None and spec.shard_size < 1:
         raise ValidationError(
             f"shard_size must be >= 1, got {spec.shard_size}"
@@ -348,6 +361,7 @@ def _run_monolithic(spec: CellSpec) -> object:
         repetitions=spec.repetitions,
         seed=spec.seed,
         rng_policy=spec.rng_policy,
+        backend=spec.backend,
         **dict(spec.params),
     )
 
@@ -392,6 +406,7 @@ def run_cell_shard(
             replica_offset=replica_offset,
             replica_count=replica_count,
             rng_policy=spec.rng_policy,
+            backend=spec.backend,
             **dict(spec.params),
         )
     measure = _measurement_for(spec.kind)
@@ -404,6 +419,7 @@ def run_cell_shard(
         rng_policy=spec.rng_policy,
         replica_offset=replica_offset,
         replica_count=replica_count,
+        backend=spec.backend,
         **dict(spec.params),
     )
 
@@ -679,6 +695,7 @@ class _CellJob:
             shards=shards,
             adaptive_stop=adaptive_stop,
             ci_half_width=ci_half_width,
+            backend=spec.backend,
         )
 
 
@@ -775,6 +792,7 @@ def sweep_specs(
     rng_policy: str = "spawned",
     shard_size: int | None = None,
     target_ci: float | None = None,
+    backend: str = "numpy",
     **params: object,
 ) -> list[CellSpec]:
     """Expand a ``{family: [sizes]}`` sweep table into a spec list.
@@ -794,6 +812,7 @@ def sweep_specs(
             rng_policy=rng_policy,
             shard_size=shard_size,
             target_ci=target_ci,
+            backend=backend,
         )
         for family, sizes in sweep.items()
         for n in sizes

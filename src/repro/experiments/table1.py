@@ -179,6 +179,7 @@ def run_table1_approx(
     rng_policy: str = "spawned",
     shard_size: int | None = None,
     target_ci: float | None = None,
+    backend: str = "numpy",
 ) -> ExperimentResult:
     """Table 1, eps-approximate NE columns.
 
@@ -202,6 +203,7 @@ def run_table1_approx(
         rng_policy=rng_policy,
         shard_size=shard_size,
         target_ci=target_ci,
+        backend=backend,
     )
     report = execute_cells_report(specs, workers=workers)
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
@@ -259,6 +261,7 @@ def run_table1_exact(
     rng_policy: str = "spawned",
     shard_size: int | None = None,
     target_ci: float | None = None,
+    backend: str = "numpy",
 ) -> ExperimentResult:
     """Table 1, exact NE columns.
 
@@ -280,6 +283,7 @@ def run_table1_exact(
         rng_policy=rng_policy,
         shard_size=shard_size,
         target_ci=target_ci,
+        backend=backend,
     )
     report = execute_cells_report(specs, workers=workers)
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(
@@ -331,6 +335,7 @@ def run_table1_weighted(
     rng_policy: str = "spawned",
     shard_size: int | None = None,
     target_ci: float | None = None,
+    backend: str = "numpy",
 ) -> ExperimentResult:
     """Weighted extension of the Table 1 sweep (Theorem 1.3 target).
 
@@ -357,6 +362,7 @@ def run_table1_weighted(
         rng_policy=rng_policy,
         shard_size=shard_size,
         target_ci=target_ci,
+        backend=backend,
     )
     report = execute_cells_report(specs, workers=workers)
     measurements: dict[str, list[FamilyMeasurement]] = group_by_family(

@@ -246,6 +246,7 @@ def measure_workload_replay(
     seed: int,
     engine: str = "auto",
     rng_policy: str = "spawned",
+    backend: str = "numpy",
     **params,
 ) -> WorkloadMeasurement:
     """Replay a compiled workload trace over an ensemble and summarize.
@@ -267,6 +268,7 @@ def measure_workload_replay(
         seed=cell.cell_seed,
         engine=engine,
         rng_policy=rng_policy,
+        backend=backend,
     )
     return cell.summarize(result)
 
@@ -279,6 +281,7 @@ def measure_workload_adversarial(
     seed: int,
     engine: str = "auto",
     rng_policy: str = "spawned",
+    backend: str = "numpy",
     **params,
 ) -> WorkloadMeasurement:
     """Replay the adversarial generator: arrivals chase the loaded node.
@@ -298,5 +301,6 @@ def measure_workload_adversarial(
         seed=cell.cell_seed,
         engine=engine,
         rng_policy=rng_policy,
+        backend=backend,
     )
     return cell.summarize(result)

@@ -349,6 +349,7 @@ class CounterStreams(StreamLayout):
         num_replicas: int,
         replica_offset: int = 0,
         total_replicas: int | None = None,
+        backend: object | None = None,
     ):
         super().__init__(num_replicas)
         if seed is None:
@@ -383,6 +384,12 @@ class CounterStreams(StreamLayout):
         self._round: int | None = None
         self._site_sequence = 0
         self._label_cache: dict[str, int] = {}
+        # Optional ArrayBackend whose philox_uniforms hook fills the
+        # site blocks (a device backend generates where its arrays
+        # live). ``None`` uses the reference numpy fill; the numpy
+        # backend's hook is that same fill, so either spelling is
+        # bit-identical.
+        self._backend = backend
 
     @property
     def root_seed(self) -> int:
@@ -463,6 +470,15 @@ class CounterStreams(StreamLayout):
         ``(len(rows), width)``, row ``p`` holding local replica
         ``rows[p]``'s words, and is freshly allocated (safe to mutate
         in place).
+
+        Sparse row sets (retired-replica holes, shard windows) are
+        generated run by run: each maximal contiguous run of requested
+        global rows is one block fill starting at its first word, so
+        rows *between* runs — replicas that already converged — cost
+        zero draws. Because the addressing is absolute per row, the
+        result is bit-identical to generating the whole ``[low, high]``
+        span and gathering (the pre-run-splitting behaviour, pinned in
+        ``tests/test_backends.py``).
         """
         key = self._site_key(label)
         rows = np.asarray(rows, dtype=np.int64)
@@ -480,33 +496,68 @@ class CounterStreams(StreamLayout):
         global_rows = rows + self._replica_offset
         low = int(global_rows.min())
         high = int(global_rows.max())
+        span = high - low + 1
+        if span == global_rows.size and np.array_equal(
+            global_rows, np.arange(low, high + 1)
+        ):
+            # Dense ascending rows (the unretired common case): one fill.
+            return self._fill_words(key, low, span, width)
+        unique_rows, inverse = np.unique(global_rows, return_inverse=True)
+        breaks = np.flatnonzero(np.diff(unique_rows) > 1) + 1
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [unique_rows.size]))
+        block = np.empty((unique_rows.size, width), dtype=np.float64)
+        for run_start, run_end in zip(starts, ends):
+            block[run_start:run_end] = self._fill_words(
+                key, int(unique_rows[run_start]), run_end - run_start, width
+            )
+        if unique_rows.size == global_rows.size and np.array_equal(
+            unique_rows, global_rows
+        ):
+            return block
+        return block[inverse]
+
+    def _fill_words(
+        self, key: np.ndarray, first_row: int, count: int, width: int
+    ) -> np.ndarray:
+        """Fill ``count`` consecutive replica rows of a site's stream,
+        starting at global row ``first_row`` (absolute word
+        addressing), through the backend hook when one is set."""
+        start_word = first_row * width
+        if self._backend is not None:
+            flat = self._backend.philox_uniforms(
+                key, start_word, count * width
+            )
+            return np.asarray(flat, dtype=np.float64).reshape(count, width)
         bit_generator = np.random.Philox(key=key)
         # Philox advances in 4-word counter blocks; position the stream
-        # on replica `low`'s first word, discarding any sub-block
-        # remainder word by word.
-        start_word = low * width
+        # on the run's first word, discarding any sub-block remainder
+        # word by word.
         blocks, remainder = divmod(start_word, 4)
         if blocks:
             bit_generator.advance(blocks)
         generator = np.random.Generator(bit_generator)
         if remainder:
             generator.random(remainder)
-        span = high - low + 1
-        block = generator.random((span, width))
-        if span == global_rows.size and np.array_equal(
-            global_rows, np.arange(low, high + 1)
-        ):
-            return block
-        return block[global_rows - low]
+        return generator.random((count, width))
 
 
 def make_streams(
-    policy: str, seed: SeedLike, num_replicas: int
+    policy: str,
+    seed: SeedLike,
+    num_replicas: int,
+    backend: object | None = None,
 ) -> StreamLayout:
-    """Build the stream layout for ``policy`` (see :data:`RNG_POLICIES`)."""
+    """Build the stream layout for ``policy`` (see :data:`RNG_POLICIES`).
+
+    ``backend`` (an :class:`repro.backends.ArrayBackend`, optional)
+    routes the counter layout's Philox block fills through the
+    backend's fill hook; the spawned layout's per-replica generators
+    are host-sequential by construction and ignore it.
+    """
     check_rng_policy(policy)
     if policy == "counter":
-        return CounterStreams(seed, num_replicas)
+        return CounterStreams(seed, num_replicas, backend=backend)
     return SpawnedStreams(seed=seed, num_replicas=num_replicas)
 
 

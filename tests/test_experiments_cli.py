@@ -50,6 +50,7 @@ def stub_cli(monkeypatch):
         target_ci=None,
         trace=None,
         workload=None,
+        backend="numpy",
     ):
         from repro.experiments.registry import run_experiment
 
@@ -64,6 +65,7 @@ def stub_cli(monkeypatch):
                 target_ci=target_ci,
                 trace=trace,
                 workload=workload,
+                backend=backend,
             )
         return results[experiment_id]
 
